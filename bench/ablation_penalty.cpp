@@ -1,0 +1,152 @@
+// Ablation of the design choices DESIGN.md calls out:
+//   1. penalty policy (zero / fixed / traffic-proportional),
+//   2. unit weights (Fig. 7c) vs native metrics,
+//   3. consolidation pass on/off,
+//   4. plain vs gadget augmentation.
+// Metric: upgrades (churn), disrupted traffic, penalty paid, throughput,
+// over repeated TE rounds with shifting demands on Abilene.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/controller.hpp"
+#include "core/fixed_charge.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rwc;
+  (void)argc;
+  (void)argv;
+  bench::print_header("Ablation: penalty policy / weights / consolidation");
+
+  const graph::Graph topology = sim::abilene();
+  te::McfTe engine;
+  const std::vector<util::Db> snr(topology.edge_count(), util::Db{14.0});
+
+  struct Variant {
+    std::string name;
+    core::ControllerOptions options;
+  };
+  std::vector<Variant> variants;
+  {
+    Variant v;
+    v.name = "zero penalty";
+    v.options.penalty = std::make_shared<core::ZeroPenalty>();
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "fixed penalty 10";
+    v.options.penalty = std::make_shared<core::FixedPenalty>(10.0);
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "traffic-proportional";
+    v.options.penalty = std::make_shared<core::TrafficProportionalPenalty>();
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "traffic-prop + unit weights";
+    v.options.penalty = std::make_shared<core::TrafficProportionalPenalty>();
+    v.options.augment.unit_weights = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "traffic-prop, no consolidation";
+    v.options.penalty = std::make_shared<core::TrafficProportionalPenalty>();
+    v.options.consolidate = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.name = "traffic-prop + gadget";
+    v.options.penalty = std::make_shared<core::TrafficProportionalPenalty>();
+    v.options.augment.unsplittable_gadget = true;
+    variants.push_back(v);
+  }
+
+  util::TextTable rows({"variant", "routed (mean)", "upgrades", "disrupted G",
+                        "penalty paid"});
+  for (const Variant& variant : variants) {
+    core::DynamicCapacityController controller(
+        topology, optical::ModulationTable::standard(), engine,
+        variant.options);
+    double routed = 0.0;
+    std::size_t upgrades = 0;
+    double disrupted = 0.0;
+    double penalty = 0.0;
+    const int kRounds = 8;
+    for (int round = 0; round < kRounds; ++round) {
+      util::Rng rng(static_cast<std::uint64_t>(round) * 31 + 5);
+      sim::GravityParams gravity;
+      gravity.total = util::Gbps{1200.0 + 300.0 * (round % 3)};
+      const auto demands = sim::gravity_matrix(topology, gravity, rng);
+      const auto report = controller.run_round(snr, demands);
+      routed += report.total_routed.value;
+      upgrades += report.plan.upgrades.size();
+      for (const auto& change : report.plan.upgrades)
+        disrupted += change.upgrade_traffic.value;
+      penalty += report.total_penalty;
+    }
+    rows.add_row({variant.name, util::format_double(routed / kRounds, 0),
+                  std::to_string(upgrades), util::format_double(disrupted, 0),
+                  util::format_double(penalty, 0)});
+  }
+  rows.print(std::cout);
+  // Per-unit-flow vs per-activation cost semantics on the Fig. 7 scenario.
+  std::cout << "\nPer-unit (min-cost flow) vs fixed-charge (activation)"
+               " semantics, Fig. 7 scenario:\n";
+  {
+    graph::Graph square = sim::fig7_square();
+    const auto a = *square.find_node("A");
+    const auto b = *square.find_node("B");
+    const auto c = *square.find_node("C");
+    const auto d = *square.find_node("D");
+    const std::vector<core::VariableLink> variable = {
+        {*square.find_edge(a, b), util::Gbps{200.0}},
+        {*square.find_edge(c, d), util::Gbps{200.0}}};
+    const te::TrafficMatrix demands = {{a, b, util::Gbps{125.0}, 0},
+                                       {c, d, util::Gbps{125.0}, 0}};
+    // Per-unit: the controller pipeline (consolidated).
+    core::ControllerOptions options;
+    options.snr_margin = util::Db{0.0};
+    options.penalty = std::make_shared<core::FixedPenalty>(100.0);
+    core::DynamicCapacityController controller(
+        square, optical::ModulationTable::standard(), engine, options);
+    std::vector<util::Db> square_snr(square.edge_count(), util::Db{7.5});
+    for (const auto& link : variable) {
+      square_snr[static_cast<std::size_t>(link.edge.value)] = util::Db{20.0};
+      // Opposite direction of the same fiber.
+      const auto& e = square.edge(link.edge);
+      square_snr[static_cast<std::size_t>(
+          square.find_edge(e.dst, e.src)->value)] = util::Db{20.0};
+    }
+    const auto report = controller.run_round(square_snr, demands);
+    // Fixed-charge: 100 per activation, regardless of traffic.
+    const std::vector<double> activation_costs = {100.0, 100.0};
+    const auto fixed = core::solve_fixed_charge(
+        square, variable, activation_costs, engine, demands);
+    util::TextTable cmp({"semantics", "routed", "activations", "cost"});
+    cmp.add_row({"per-unit flow (Theorem 1)",
+                 util::format_double(report.total_routed.value, 0),
+                 std::to_string(report.plan.upgrades.size()),
+                 util::format_double(report.total_penalty, 0)});
+    cmp.add_row({"fixed-charge (exact)",
+                 util::format_double(fixed.routed.value, 0),
+                 std::to_string(fixed.activated.size()),
+                 util::format_double(fixed.activation_cost, 0)});
+    cmp.print(std::cout);
+  }
+
+  std::cout << "\nReading: zero penalty maximizes disrupted traffic; the"
+               " penalized policies\n(the paper suggests traffic-proportional)"
+               " keep throughput while steering\nupgrades to less-loaded"
+               " links; the consolidation pass removes gratuitous\n"
+               "activations; the gadget trades a little splittable"
+               " throughput for\nunsplittable-flow support.\n";
+  return 0;
+}

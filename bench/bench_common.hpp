@@ -1,0 +1,41 @@
+// Shared helpers for the figure-reproduction benches: the full-scale fleet
+// (2000 links / 2.5 years, as in the paper) and output helpers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "telemetry/snr_model.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rwc::bench {
+
+inline constexpr std::uint64_t kFleetSeed = 20170701;
+
+/// The paper-scale fleet: 50 fibers x 40 wavelengths = 2000 links, 2.5
+/// years at 15-minute samples. Pass `fibers` (e.g. from argv) to scale the
+/// run down for quick iterations.
+inline telemetry::SnrFleetGenerator make_fleet(int fibers = 50) {
+  telemetry::SnrFleetGenerator::FleetParams params;
+  params.fiber_count = fibers;
+  params.wavelengths_per_fiber = 40;
+  return telemetry::SnrFleetGenerator(params, kFleetSeed);
+}
+
+/// Parses an optional first CLI argument as the fiber count.
+inline int fibers_from_args(int argc, char** argv, int fallback = 50) {
+  if (argc > 1) {
+    const int parsed = std::atoi(argv[1]);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace rwc::bench

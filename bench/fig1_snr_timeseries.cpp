@@ -1,0 +1,66 @@
+// Figure 1: SNR over time of 40 optical wavelengths on one WAN fiber cable,
+// with the feasible-capacity thresholds as horizontal reference lines.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "optical/modulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rwc;
+  bench::print_header(
+      "Figure 1: SNR of 40 wavelengths on one WAN fiber (2.5 years)");
+
+  const auto fleet = bench::make_fleet(bench::fibers_from_args(argc, argv, 1));
+  const auto table = optical::ModulationTable::standard();
+  const int kFiber = 0;
+  const int lambdas = fleet.wavelengths_per_fiber();
+
+  // Downsample one representative wavelength to daily minima for the plot
+  // (the paper's plot shows dips; minima preserve them).
+  const auto trace = fleet.generate_trace(kFiber, 0);
+  const auto per_day = static_cast<std::size_t>(util::kDay / trace.interval);
+  std::vector<double> daily_min;
+  for (std::size_t i = 0; i + per_day <= trace.size(); i += per_day) {
+    double lowest = trace.at(i).value;
+    for (std::size_t j = i; j < i + per_day; ++j)
+      lowest = std::min(lowest, trace.at(j).value);
+    daily_min.push_back(lowest);
+  }
+  std::cout << "Wavelength 0, daily minimum SNR (dB):\n"
+            << util::plot_series(daily_min, 96, 16, "day", "SNR dB");
+
+  std::cout << "\nCapacity thresholds (dashed lines in the paper):\n";
+  util::TextTable thresholds({"capacity", "required SNR"});
+  for (const auto& format : table.formats())
+    thresholds.add_row(
+        {util::format_double(format.capacity.value, 0) + " Gbps",
+         util::format_double(format.min_snr.value, 1) + " dB"});
+  thresholds.print(std::cout);
+
+  std::cout << "\nPer-wavelength summary on this fiber:\n";
+  util::TextTable summary(
+      {"lambda", "mean dB", "min dB", "max dB", "range dB", "dips<6.5dB"});
+  for (int lambda = 0; lambda < lambdas; ++lambda) {
+    const auto t = fleet.generate_trace(kFiber, lambda);
+    std::vector<double> samples(t.samples_db.begin(), t.samples_db.end());
+    const auto s = util::summarize(samples);
+    std::size_t dips = 0;
+    bool below = false;
+    for (double v : samples) {
+      const bool now_below = v < 6.5;
+      if (now_below && !below) ++dips;
+      below = now_below;
+    }
+    summary.add_row({std::to_string(lambda), util::format_double(s.mean, 2),
+                     util::format_double(s.min, 2),
+                     util::format_double(s.max, 2),
+                     util::format_double(s.max - s.min, 2),
+                     std::to_string(dips)});
+  }
+  summary.print(std::cout);
+  std::cout << "\nObservation (paper): SNR is mostly stable with occasional"
+               " correlated dips;\nall wavelengths sit well above the 6.5 dB"
+               " threshold required for 100 Gbps.\n";
+  return 0;
+}

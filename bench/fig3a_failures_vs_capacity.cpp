@@ -1,0 +1,58 @@
+// Figure 3a: number of link failures per wavelength as a function of the
+// (statically) configured capacity, on a high-quality fiber where every
+// rate is SNR-feasible. Paper shape: flat up to 175 Gbps, some links jump
+// at 200 Gbps (log-scale spread 1..100).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "telemetry/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rwc;
+  bench::print_header(
+      "Figure 3a: failures vs configured capacity (high-quality fiber)");
+  (void)argc;
+  (void)argv;
+
+  // A premium fiber: high baseline so even 200 G is nominally feasible.
+  telemetry::SnrFleetGenerator::FleetParams params;
+  params.fiber_count = 1;
+  params.wavelengths_per_fiber = 40;
+  params.model.fiber_baseline_mean = util::Db{15.8};
+  params.model.fiber_baseline_sigma = util::Db{0.3};
+  params.model.fiber_baseline_min = util::Db{15.0};
+  const telemetry::SnrFleetGenerator fleet(params, bench::kFleetSeed + 3);
+
+  const auto table = optical::ModulationTable::standard();
+  util::TextTable rows({"lambda", "100G", "125G", "150G", "175G", "200G"});
+  std::vector<std::size_t> totals(table.formats().size(), 0);
+  std::vector<std::size_t> max_failures(table.formats().size(), 0);
+  for (int lambda = 0; lambda < fleet.wavelengths_per_fiber(); ++lambda) {
+    const auto counts =
+        telemetry::failures_per_capacity(fleet.generate_trace(0, lambda),
+                                         table);
+    // counts[0] is the 50 G rate; columns start at 100 G (index 1).
+    rows.add_row({std::to_string(lambda), std::to_string(counts[1]),
+                  std::to_string(counts[2]), std::to_string(counts[3]),
+                  std::to_string(counts[4]), std::to_string(counts[5])});
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      totals[i] += counts[i];
+      max_failures[i] = std::max(max_failures[i], counts[i]);
+    }
+  }
+  rows.print(std::cout);
+
+  std::cout << "\nFleet view (40 wavelengths):\n";
+  util::TextTable agg({"capacity", "total failures", "max per lambda"});
+  const auto formats = table.formats();
+  for (std::size_t i = 1; i < formats.size(); ++i)
+    agg.add_row({util::format_double(formats[i].capacity.value, 0) + " Gbps",
+                 std::to_string(totals[i]),
+                 std::to_string(max_failures[i])});
+  agg.print(std::cout);
+  std::cout << "\nObservation (paper): no significant increase up to 175"
+               " Gbps; driving\nthe links at 200 Gbps multiplies failures"
+               " on several wavelengths.\n";
+  return 0;
+}

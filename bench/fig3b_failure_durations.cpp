@@ -1,0 +1,63 @@
+// Figure 3b: duration of link failures when WAN links operate at a given
+// capacity (only where the rate is feasible per the link's SNR). Paper
+// shape: failures last several hours on average at every capacity.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "telemetry/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rwc;
+  const int fibers = bench::fibers_from_args(argc, argv, 12);
+  bench::print_header("Figure 3b: failure durations vs capacity (" +
+                      std::to_string(fibers * 40) + " links)");
+
+  const auto fleet = bench::make_fleet(fibers);
+  const auto table = optical::ModulationTable::standard();
+  const auto formats = table.formats();
+
+  // Collect failure durations per capacity, only for links whose feasible
+  // capacity covers that rate (the paper's conditioning). Episodes shorter
+  // than two samples (30 min) are debounced: production gear applies a
+  // hold-down before declaring a link event, so single-sample jitter
+  // crossings near the threshold are not failures.
+  constexpr std::size_t kDebounceSamples = 2;
+  std::vector<std::vector<double>> durations(formats.size());
+  for (int link = 0; link < fleet.link_count(); ++link) {
+    const auto trace = fleet.generate_trace(link);
+    const auto stats = telemetry::analyze_link(trace, table);
+    for (std::size_t i = 0; i < formats.size(); ++i) {
+      if (stats.feasible_capacity < formats[i].capacity) continue;
+      for (const auto& episode :
+           telemetry::failure_episodes(trace, formats[i].min_snr)) {
+        if (episode.length < kDebounceSamples) continue;
+        durations[i].push_back(episode.duration(trace) / util::kHour);
+      }
+    }
+  }
+
+  util::TextTable rows(
+      {"capacity", "episodes", "mean h", "median h", "p90 h", "max h"});
+  for (std::size_t i = 0; i < formats.size(); ++i) {
+    if (durations[i].empty()) {
+      rows.add_row({util::format_double(formats[i].capacity.value, 0) +
+                        " Gbps",
+                    "0", "-", "-", "-", "-"});
+      continue;
+    }
+    const util::EmpiricalCdf cdf(durations[i]);
+    const auto summary = util::summarize(durations[i]);
+    rows.add_row({util::format_double(formats[i].capacity.value, 0) + " Gbps",
+                  std::to_string(durations[i].size()),
+                  util::format_double(summary.mean, 1),
+                  util::format_double(cdf.value_at(0.5), 1),
+                  util::format_double(cdf.value_at(0.9), 1),
+                  util::format_double(summary.max, 1)});
+  }
+  rows.print(std::cout);
+  std::cout << "\nObservation (paper): failure events last several hours at"
+               " every capacity,\nso creating extra failures by statically"
+               " over-modulating is unacceptable.\n";
+  return 0;
+}

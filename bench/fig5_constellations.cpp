@@ -1,0 +1,48 @@
+// Figure 5: constellation diagrams of the testbed link at its three
+// modulations — QPSK (100 G), 8QAM (150 G), 16QAM (200 G) — with measured
+// EVM and estimated pre-FEC BER at the link SNR.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bvt/constellation.hpp"
+#include "optical/ber.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rwc;
+  (void)argc;
+  (void)argv;
+  bench::print_header(
+      "Figure 5: testbed constellations (QPSK / 8QAM / 16QAM)");
+
+  const auto table = optical::ModulationTable::standard();
+  const util::Db link_snr{16.0};  // a healthy testbed link
+  util::Rng rng(5);
+
+  struct Row {
+    const char* label;
+    double rate;
+    int points;
+  };
+  const Row rows[] = {{"(a) 100 Gbps DP-QPSK", 100.0, 4},
+                      {"(b) 150 Gbps DP-8QAM", 150.0, 8},
+                      {"(c) 200 Gbps DP-16QAM", 200.0, 16}};
+
+  for (const Row& row : rows) {
+    const auto& format = table.format_for(util::Gbps{row.rate});
+    const auto ideal = bvt::ideal_constellation(row.points);
+    const auto received =
+        bvt::sample_constellation(row.points, link_snr, 6000, rng);
+    std::cout << row.label << "  @ " << link_snr << "\n"
+              << bvt::render_constellation(received, 33);
+    std::cout << "  measured EVM: "
+              << util::format_percent(bvt::measure_evm(received, ideal))
+              << "   expected EVM: "
+              << util::format_percent(optical::expected_evm(link_snr))
+              << "   approx pre-FEC BER: "
+              << optical::approx_ber(format, link_snr) << "\n\n";
+  }
+  std::cout << "All three formats lock at this SNR (FEC limit "
+            << optical::kFecBerLimit << "); at lower SNR the denser"
+            << " constellations blur first.\n";
+  return 0;
+}

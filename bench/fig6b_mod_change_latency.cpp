@@ -1,0 +1,72 @@
+// Figure 6b: CDF of the time taken to change a fiber link's modulation in
+// the testbed — 200 reconfigurations per procedure. Paper anchors: ~68 s
+// average with today's laser power-cycling firmware ("Mod Change") vs
+// ~35 ms when the laser stays on ("Efficient Mod Change").
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bvt/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rwc;
+  (void)argc;
+  (void)argv;
+  bench::print_header(
+      "Figure 6b: modulation-change latency (200 trials per procedure)");
+
+  const auto table = optical::ModulationTable::standard();
+  const util::Gbps rates[] = {util::Gbps{100.0}, util::Gbps{150.0},
+                              util::Gbps{200.0}};
+
+  auto run_trials = [&](bvt::Procedure procedure) {
+    bvt::BvtDevice device(table, 0xF16B);
+    device.mdio_write(bvt::Register::kControl,
+                      bvt::control::kLaserEnable | bvt::control::kTxEnable);
+    device.set_link_snr(util::Db{16.0});
+    std::vector<double> seconds;
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto report = device.change_modulation(
+          rates[static_cast<std::size_t>(trial % 3)], procedure);
+      seconds.push_back(report.downtime);
+    }
+    return seconds;
+  };
+
+  const auto standard = run_trials(bvt::Procedure::kStandard);
+  const auto efficient = run_trials(bvt::Procedure::kEfficient);
+
+  // The paper plots the CDF on a log-time axis; do the same.
+  std::vector<double> standard_log, efficient_log;
+  for (double s : standard) standard_log.push_back(std::log10(s));
+  for (double s : efficient) efficient_log.push_back(std::log10(s));
+  const util::EmpiricalCdf standard_cdf(standard_log);
+  const util::EmpiricalCdf efficient_cdf(efficient_log);
+  const std::vector<std::pair<std::string, const util::EmpiricalCdf*>>
+      series = {{"Mod Change (laser cycled)", &standard_cdf},
+                {"Efficient Mod Change (laser on)", &efficient_cdf}};
+  std::cout << util::plot_cdfs(series, 84, 16,
+                               "log10(seconds)  [-2 = 10 ms, 2 = 100 s]");
+
+  util::TextTable rows({"procedure", "mean", "median", "p95", "min", "max"});
+  auto add = [&](const std::string& name, const std::vector<double>& raw) {
+    const util::EmpiricalCdf cdf(raw);
+    const auto summary = util::summarize(raw);
+    auto fmt = [](double v) {
+      return v >= 1.0 ? util::format_double(v, 1) + " s"
+                      : util::format_double(v * 1000.0, 1) + " ms";
+    };
+    rows.add_row({name, fmt(summary.mean), fmt(cdf.value_at(0.5)),
+                  fmt(cdf.value_at(0.95)), fmt(summary.min),
+                  fmt(summary.max)});
+  };
+  add("standard (laser power-cycled)", standard);
+  add("efficient (laser stays on)", efficient);
+  rows.print(std::cout);
+
+  std::cout << "\nPaper: 68 s average today vs 35 ms with the efficient"
+               " procedure -> hitless\ncapacity changes are within reach of"
+               " current hardware.\n";
+  return 0;
+}

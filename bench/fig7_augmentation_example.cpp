@@ -1,0 +1,96 @@
+// Figure 7: the graph-abstraction walk-through. Square topology A,B,C,D;
+// demands A->B and C->D grow from 100 to 125 Gbps; links (A,B) and (C,D)
+// have SNR headroom to double. With <capacity, cost> fake links and a
+// penalty of 100, the penalty-minimizing solution increases the capacity of
+// only ONE link (7b). With unit weights, flows stay on one-hop paths at the
+// price of more upgrades (7c).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/controller.hpp"
+#include "graph/dot.hpp"
+#include "sim/topology.hpp"
+#include "te/cspf.hpp"
+#include "te/mcf_te.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rwc;
+  using namespace util::literals;
+  (void)argc;
+  (void)argv;
+  bench::print_header("Figure 7: augmentation on the square topology");
+
+  graph::Graph base = sim::fig7_square();
+  const auto a = *base.find_node("A");
+  const auto b = *base.find_node("B");
+  const auto c = *base.find_node("C");
+  const auto d = *base.find_node("D");
+
+  const te::TrafficMatrix demands = {{a, b, 125_Gbps, 0},
+                                     {c, d, 125_Gbps, 0}};
+  // Only the A-B and C-D fibers have the SNR for 200 G.
+  std::vector<util::Db> snr(base.edge_count(), util::Db{7.5});
+  for (graph::EdgeId e :
+       {*base.find_edge(a, b), *base.find_edge(b, a), *base.find_edge(c, d),
+        *base.find_edge(d, c)})
+    snr[static_cast<std::size_t>(e.value)] = util::Db{20.0};
+
+  te::McfTe mcf;
+  te::CspfTe cspf;
+
+  auto run_case = [&](const std::string& label, const te::TeAlgorithm& engine,
+                      core::ControllerOptions options) {
+    options.snr_margin = 0_dB;
+    core::DynamicCapacityController controller(
+        base, optical::ModulationTable::standard(), engine, options);
+    const auto report = controller.run_round(snr, demands);
+    std::cout << label << ":\n";
+    util::TextTable rows({"metric", "value"});
+    rows.add_row({"routed",
+                  util::format_double(report.total_routed.value, 0) +
+                      " / 250 Gbps"});
+    rows.add_row({"links upgraded",
+                  std::to_string(report.plan.upgrades.size())});
+    rows.add_row({"penalty paid",
+                  util::format_double(report.total_penalty, 0)});
+    for (const auto& change : report.plan.upgrades)
+      rows.add_row(
+          {"  upgrade",
+           base.node_name(base.edge(change.edge).src) + "->" +
+               base.node_name(base.edge(change.edge).dst) + "  " +
+               util::format_double(change.from.value, 0) + "G -> " +
+               util::format_double(change.to.value, 0) + "G (carries " +
+               util::format_double(change.upgrade_traffic.value, 0) + "G)"});
+    for (const auto& routing : report.plan.physical_assignment.routings)
+      for (const auto& [path, volume] : routing.paths)
+        rows.add_row({"  flow " + base.node_name(routing.demand.src) + "->" +
+                          base.node_name(routing.demand.dst),
+                      util::format_double(volume.value, 0) + "G via " +
+                          graph::path_to_string(base, path)});
+    rows.print(std::cout);
+    std::cout << '\n';
+  };
+
+  // 7b: penalty 100 on capacity changes, min-cost engine, consolidation on.
+  core::ControllerOptions penalized;
+  penalized.penalty = std::make_shared<core::FixedPenalty>(100.0);
+  run_case("Fig. 7b  (penalty 100, few increases)", mcf, penalized);
+
+  // 7c: unit weights with a shortest-path engine — short paths at all
+  // costs, even if more links change capacity.
+  core::ControllerOptions short_paths;
+  short_paths.penalty = std::make_shared<core::FixedPenalty>(1.0);
+  short_paths.augment.unit_weights = true;
+  short_paths.consolidate = false;
+  run_case("Fig. 7c  (unit weights, short paths, CSPF engine)", cspf,
+           short_paths);
+
+  std::cout << "Augmented topology of Fig. 7b in DOT (fake links carry the"
+               " penalty label):\n";
+  std::vector<core::VariableLink> variable = {
+      {*base.find_edge(a, b), 200_Gbps}, {*base.find_edge(c, d), 200_Gbps}};
+  const auto augmented = core::augment_topology(
+      base, variable, core::FixedPenalty{100.0});
+  std::cout << graph::to_dot(augmented.graph, "fig7b") << '\n';
+  return 0;
+}

@@ -1,0 +1,179 @@
+// google-benchmark microbenchmarks: solver and abstraction scaling on
+// Waxman random WANs (25..200 nodes). Establishes that the augmentation
+// layer adds negligible cost on top of the TE solve itself.
+#include <benchmark/benchmark.h>
+
+#include "core/augment.hpp"
+#include "core/translate.hpp"
+#include "flow/graph_adapter.hpp"
+#include "flow/maxflow.hpp"
+#include "flow/mincost.hpp"
+#include "graph/ksp.hpp"
+#include "lp/simplex.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "te/swan.hpp"
+#include "telemetry/analysis.hpp"
+#include "telemetry/streaming.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rwc;
+
+graph::Graph make_topology(int nodes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return sim::waxman(nodes, rng);
+}
+
+std::vector<core::VariableLink> every_other_link(const graph::Graph& g) {
+  std::vector<core::VariableLink> variable;
+  for (graph::EdgeId e : g.edge_ids())
+    if (e.value % 2 == 0)
+      variable.push_back({e, g.edge(e).capacity + util::Gbps{100.0}});
+  return variable;
+}
+
+void BM_MaxFlowDinic(benchmark::State& state) {
+  const auto g = make_topology(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto view = flow::make_network(g);
+    benchmark::DoNotOptimize(
+        flow::max_flow_dinic(view.net, 0, static_cast<int>(g.node_count()) - 1));
+  }
+  state.SetLabel(std::to_string(g.edge_count()) + " edges");
+}
+BENCHMARK(BM_MaxFlowDinic)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_MinCostMaxFlow(benchmark::State& state) {
+  auto g = make_topology(static_cast<int>(state.range(0)), 2);
+  util::Rng rng(3);
+  for (graph::EdgeId e : g.edge_ids()) g.edge(e).cost = rng.uniform(0.0, 5.0);
+  for (auto _ : state) {
+    auto view = flow::make_network(g);
+    benchmark::DoNotOptimize(flow::min_cost_max_flow(
+        view.net, 0, static_cast<int>(g.node_count()) - 1));
+  }
+}
+BENCHMARK(BM_MinCostMaxFlow)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_KShortestPaths(benchmark::State& state) {
+  const auto g = make_topology(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(graph::k_shortest_paths(
+        g, graph::NodeId{0},
+        graph::NodeId{static_cast<std::int32_t>(g.node_count()) - 1}, 4));
+}
+BENCHMARK(BM_KShortestPaths)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_Augmentation(benchmark::State& state) {
+  const auto g = make_topology(static_cast<int>(state.range(0)), 5);
+  const auto variable = every_other_link(g);
+  const core::TrafficProportionalPenalty penalty;
+  const std::vector<double> traffic(g.edge_count(), 20.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::augment_topology(g, variable, penalty, traffic));
+  state.SetLabel(std::to_string(variable.size()) + " variable links");
+}
+BENCHMARK(BM_Augmentation)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_McfTeRound(benchmark::State& state) {
+  const auto g = make_topology(static_cast<int>(state.range(0)), 6);
+  util::Rng rng(7);
+  sim::GravityParams gravity;
+  gravity.total = util::Gbps{g.total_capacity().value / 3.0};
+  gravity.sparsity = 0.9;  // a few dozen demands
+  const auto demands = sim::gravity_matrix(g, gravity, rng);
+  const te::McfTe engine;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.solve(g, demands));
+  state.SetLabel(std::to_string(demands.size()) + " demands");
+}
+BENCHMARK(BM_McfTeRound)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_AugmentSolveTranslate(benchmark::State& state) {
+  const auto g = make_topology(static_cast<int>(state.range(0)), 8);
+  const auto variable = every_other_link(g);
+  const core::TrafficProportionalPenalty penalty;
+  util::Rng rng(9);
+  sim::GravityParams gravity;
+  gravity.total = util::Gbps{g.total_capacity().value / 2.0};
+  gravity.sparsity = 0.9;
+  const auto demands = sim::gravity_matrix(g, gravity, rng);
+  const te::McfTe engine;
+  for (auto _ : state) {
+    const auto augmented = core::augment_topology(g, variable, penalty);
+    const auto assignment = engine.solve(augmented.graph, demands);
+    benchmark::DoNotOptimize(
+        core::translate_assignment(g, augmented, variable, assignment));
+  }
+}
+BENCHMARK(BM_AugmentSolveTranslate)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_SwanLpRound(benchmark::State& state) {
+  const auto g = make_topology(static_cast<int>(state.range(0)), 10);
+  util::Rng rng(11);
+  sim::GravityParams gravity;
+  gravity.total = util::Gbps{g.total_capacity().value / 3.0};
+  gravity.sparsity = 0.93;
+  const auto demands = sim::gravity_matrix(g, gravity, rng);
+  const te::SwanTe engine;
+  for (auto _ : state) benchmark::DoNotOptimize(engine.solve(g, demands));
+  state.SetLabel(std::to_string(demands.size()) + " demands");
+}
+BENCHMARK(BM_SwanLpRound)->Arg(25)->Arg(50);
+
+// Exact (sort-based HDR) vs streaming (P-square) per-link analysis.
+telemetry::SnrTrace perf_trace(int days) {
+  telemetry::SnrFleetGenerator::FleetParams params;
+  params.fiber_count = 1;
+  params.wavelengths_per_fiber = 1;
+  params.duration = days * util::kDay;
+  return telemetry::SnrFleetGenerator(params, 42).generate_trace(0, 0);
+}
+
+void BM_AnalyzeLinkExact(benchmark::State& state) {
+  const auto trace = perf_trace(static_cast<int>(state.range(0)));
+  const auto table = optical::ModulationTable::standard();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(telemetry::analyze_link(trace, table));
+  state.SetLabel(std::to_string(trace.size()) + " samples");
+}
+BENCHMARK(BM_AnalyzeLinkExact)->Arg(30)->Arg(180)->Arg(912);
+
+void BM_AnalyzeLinkStreaming(benchmark::State& state) {
+  const auto trace = perf_trace(static_cast<int>(state.range(0)));
+  const auto table = optical::ModulationTable::standard();
+  for (auto _ : state) {
+    telemetry::StreamingLinkAnalyzer analyzer;
+    analyzer.add(trace);
+    benchmark::DoNotOptimize(analyzer.stats(table));
+  }
+  state.SetLabel(std::to_string(trace.size()) + " samples");
+}
+BENCHMARK(BM_AnalyzeLinkStreaming)->Arg(30)->Arg(180)->Arg(912);
+
+void BM_SimplexDense(benchmark::State& state) {
+  // Random feasible LP: n variables, n/2 constraints.
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(13);
+  lp::LpProblem problem(lp::Sense::kMaximize);
+  for (int v = 0; v < n; ++v)
+    problem.add_variable(rng.uniform(0.5, 2.0), rng.uniform(5.0, 20.0));
+  for (int r = 0; r < n / 2; ++r) {
+    std::vector<lp::Term> terms;
+    for (int v = 0; v < n; ++v)
+      if (rng.bernoulli(0.3)) terms.push_back({v, rng.uniform(0.1, 1.0)});
+    if (!terms.empty())
+      problem.add_constraint(std::move(terms), lp::Relation::kLessEqual,
+                             rng.uniform(10.0, 50.0));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(problem.solve());
+}
+BENCHMARK(BM_SimplexDense)->Arg(50)->Arg(100)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Section 2.2 simulation: availability gain from replacing binary link
+// failures with capacity flaps. A degraded-SNR population drives frequent
+// dips; the dynamic policy keeps partially-degraded links alive at lower
+// rates while the static policy declares them down.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "tickets/analysis.hpp"
+#include "tickets/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rwc;
+  (void)argc;
+  (void)argv;
+  bench::print_header("Availability gain: failures become flaps");
+
+  // Part 1: ticket-log estimate (paper's 25%).
+  const auto tickets =
+      tickets::generate_tickets(tickets::TicketModelParams{}, 20171130);
+  const auto opportunity = tickets::opportunity_report(
+      tickets, optical::ModulationTable::standard());
+  std::cout << "From the 250-event ticket log: "
+            << util::format_percent(opportunity.recoverable_event_fraction)
+            << " of failures retain SNR >= 3 dB and become 50 Gbps flaps"
+            << " (paper: ~25%).\n\n";
+
+  // Part 2: trace-driven simulation on a stressed fleet.
+  const graph::Graph topology = sim::abilene();
+  te::McfTe engine;
+  util::Rng rng(7);
+  sim::GravityParams gravity;
+  gravity.total = util::Gbps{400.0};
+  const auto demands = sim::gravity_matrix(topology, gravity, rng);
+
+  util::TextTable rows({"policy", "availability", "failures", "flaps",
+                        "delivered", "downtime h"});
+  for (sim::CapacityPolicy policy :
+       {sim::CapacityPolicy::kStatic, sim::CapacityPolicy::kDynamic,
+        sim::CapacityPolicy::kDynamicHitless}) {
+    sim::SimulationConfig config;
+    config.horizon = 4.0 * util::kDay;
+    config.te_interval = 30.0 * util::kMinute;
+    config.policy = policy;
+    config.seed = 99;
+    // Stress the optical layer: lower baselines, frequent deep dips.
+    config.snr_model.fiber_baseline_mean = util::Db{11.5};
+    config.snr_model.fiber_deep_rate_per_year = 25.0;
+    config.snr_model.deep_depth_median_db = 7.0;
+    sim::WanSimulator simulator(topology, engine, config);
+    const auto metrics = simulator.run(demands);
+    rows.add_row({sim::to_string(policy),
+                  util::format_percent(metrics.availability),
+                  std::to_string(metrics.link_failures),
+                  std::to_string(metrics.link_flaps),
+                  util::format_percent(metrics.delivered_fraction()),
+                  util::format_double(metrics.reconfig_downtime_hours, 2)});
+  }
+  rows.print(std::cout);
+  std::cout << "\nShape to match the paper: the dynamic policies convert a"
+               " large share of\nbinary failures into rate flaps, raising"
+               " availability; hitless reconfiguration\nmakes the flaps"
+               " nearly free.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Section 3.1 simulation: what the 68 s vs 35 ms reconfiguration latency
+// costs at the network level. Sweeps the TE churn rate (via demand
+// volatility) and reports lost traffic under both procedures.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bvt/latency.hpp"
+#include "core/controller.hpp"
+#include "core/orchestrator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rwc;
+  (void)argc;
+  (void)argv;
+  bench::print_header(
+      "Reconfiguration downtime: laser-cycling (68 s) vs hitless (35 ms)");
+
+  // Per-change downtime distribution, directly.
+  const bvt::LatencyModel latency;
+  util::Rng rng(3);
+  util::TextTable per_change({"procedure", "mean", "p99"});
+  for (bvt::Procedure procedure :
+       {bvt::Procedure::kStandard, bvt::Procedure::kEfficient}) {
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i)
+      samples.push_back(latency.sample_downtime(procedure, rng));
+    const util::EmpiricalCdf cdf(samples);
+    auto fmt = [](double v) {
+      return v >= 1.0 ? util::format_double(v, 1) + " s"
+                      : util::format_double(v * 1000.0, 1) + " ms";
+    };
+    per_change.add_row({bvt::to_string(procedure),
+                        fmt(util::summarize(samples).mean),
+                        fmt(cdf.value_at(0.99))});
+  }
+  per_change.print(std::cout);
+
+  // Network-level cost under increasing churn (diurnal demands force
+  // capacity changes every few rounds).
+  std::cout << "\nNetwork-level cost on Abilene (1 day, diurnal load):\n";
+  const graph::Graph topology = sim::abilene();
+  te::McfTe engine;
+  util::TextTable rows({"load (x fabric)", "procedure", "changes",
+                        "downtime h", "delivered", "lost vs hitless"});
+  const double fabric = topology.total_capacity().value / 2.0;
+  for (double scale : {1.0, 1.5, 2.0}) {
+    util::Rng demand_rng(11);
+    sim::GravityParams gravity;
+    gravity.total = util::Gbps{fabric * scale};
+    const auto demands = sim::gravity_matrix(topology, gravity, demand_rng);
+    double hitless_delivered = 0.0;
+    for (sim::CapacityPolicy policy :
+         {sim::CapacityPolicy::kDynamicHitless,
+          sim::CapacityPolicy::kDynamic}) {
+      sim::SimulationConfig config;
+      config.horizon = 1.0 * util::kDay;
+      config.te_interval = 30.0 * util::kMinute;
+      config.policy = policy;
+      config.diurnal = true;
+      config.seed = 2024;
+      sim::WanSimulator simulator(topology, engine, config);
+      const auto metrics = simulator.run(demands);
+      if (policy == sim::CapacityPolicy::kDynamicHitless)
+        hitless_delivered = metrics.delivered_gbps_hours;
+      const double lost =
+          hitless_delivered > 0.0
+              ? 1.0 - metrics.delivered_gbps_hours / hitless_delivered
+              : 0.0;
+      rows.add_row(
+          {util::format_double(scale, 1) + "x", sim::to_string(policy),
+           std::to_string(metrics.upgrades + metrics.link_flaps +
+                          metrics.restorations),
+           util::format_double(metrics.reconfig_downtime_hours, 2),
+           util::format_percent(metrics.delivered_fraction()),
+           util::format_percent(lost)});
+    }
+  }
+  rows.print(std::cout);
+
+  // Device-backed execution timeline of one real upgrade (drain ->
+  // modulation change over MDIO -> restore).
+  std::cout << "\nOrchestrated execution of one upgrade (A-B 100G -> 200G"
+               " while carrying 90G):\n";
+  {
+    graph::Graph base;
+    const auto a = base.add_node("A");
+    const auto b = base.add_node("B");
+    base.add_edge(a, b, util::Gbps{100.0});
+    core::ControllerOptions controller_options;
+    controller_options.snr_margin = util::Db{0.0};
+    core::DynamicCapacityController controller(
+        base, optical::ModulationTable::standard(), engine,
+        controller_options);
+    const std::vector<util::Db> snr = {util::Db{16.0}};
+    controller.run_round(snr, {{a, b, util::Gbps{90.0}, 0}});
+    const auto before = controller.last_assignment();
+    const auto round =
+        controller.run_round(snr, {{a, b, util::Gbps{150.0}, 0}});
+
+    for (bvt::Procedure procedure :
+         {bvt::Procedure::kStandard, bvt::Procedure::kEfficient}) {
+      auto devices = core::make_device_array(
+          base, optical::ModulationTable::standard(), 11, util::Db{16.0});
+      core::ReconfigurationOrchestrator::Options orchestration;
+      orchestration.procedure = procedure;
+      const auto execution =
+          core::ReconfigurationOrchestrator(orchestration)
+              .execute(controller.current_topology(), before, round.plan,
+                       devices);
+      std::cout << "  [" << bvt::to_string(procedure) << "] makespan "
+                << util::format_double(execution.makespan, 3)
+                << " s, parked traffic "
+                << util::format_double(execution.parked_gbps_seconds, 1)
+                << " Gbps-s, timeline:\n";
+      for (const auto& event : execution.timeline)
+        std::cout << "    t=" << util::format_double(event.at, 3) << "s  "
+                  << event.description << '\n';
+    }
+  }
+
+  std::cout << "\nShape to match the paper: with 68 s changes, every"
+               " reconfiguration bites;\nat 35 ms the downtime cost is"
+               " negligible, making frequent adaptation viable.\n";
+  return 0;
+}

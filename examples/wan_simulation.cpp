@@ -1,0 +1,67 @@
+// Scenario: a week in the life of a continental WAN.
+//
+// Runs the discrete-event simulator on the 24-node US backbone with
+// gravity + diurnal traffic and compares all four capacity policies —
+// the experiment a network operator would run before deploying dynamic
+// link capacities.
+#include <iostream>
+
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rwc;
+
+  // Optional args: horizon days, demand scale.
+  const double days = argc > 1 ? std::atof(argv[1]) : 2.0;
+  const double scale = argc > 2 ? std::atof(argv[2]) : 1.5;
+
+  const graph::Graph topology = sim::us_wan24();
+  te::McfTe engine;
+
+  util::Rng rng(2026);
+  sim::GravityParams gravity;
+  gravity.total =
+      util::Gbps{topology.total_capacity().value / 2.0 * scale};
+  const auto demands = sim::gravity_matrix(topology, gravity, rng);
+
+  std::cout << "US-WAN24: " << topology.node_count() << " nodes, "
+            << sim::link_count(topology) << " links, offered "
+            << te::total_demand(demands) << " (" << scale
+            << "x fabric), horizon " << days << " days\n\n";
+
+  util::TextTable rows({"policy", "delivered", "availability", "failures",
+                        "flaps", "upgrades", "restorations", "downtime h"});
+  for (sim::CapacityPolicy policy :
+       {sim::CapacityPolicy::kStatic, sim::CapacityPolicy::kStaticAggressive,
+        sim::CapacityPolicy::kDynamic,
+        sim::CapacityPolicy::kDynamicHitless}) {
+    sim::SimulationConfig config;
+    config.horizon = days * util::kDay;
+    config.te_interval = 30.0 * util::kMinute;
+    config.policy = policy;
+    config.static_capacity = util::Gbps{175.0};  // the aggressive strawman
+    config.seed = 7;
+    sim::WanSimulator simulator(topology, engine, config);
+    const auto metrics = simulator.run(demands);
+    rows.add_row({sim::to_string(policy),
+                  util::format_percent(metrics.delivered_fraction()),
+                  util::format_percent(metrics.availability),
+                  std::to_string(metrics.link_failures),
+                  std::to_string(metrics.link_flaps),
+                  std::to_string(metrics.upgrades),
+                  std::to_string(metrics.restorations),
+                  util::format_double(metrics.reconfig_downtime_hours, 2)});
+  }
+  rows.print(std::cout);
+
+  std::cout << "\nHow to read this: static-100 is today's network;"
+               " static-aggressive (175 G\neverywhere) gains throughput but"
+               " fails more; the dynamic policies adapt the\nrate to the"
+               " SNR — run fast when clean, walk when degraded, crawl"
+               " instead of\nfailing.\n";
+  return 0;
+}

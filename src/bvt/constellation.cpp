@@ -1,0 +1,149 @@
+#include "bvt/constellation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace rwc::bvt {
+
+using util::Db;
+
+std::vector<IqPoint> ideal_constellation(int points) {
+  std::vector<IqPoint> ideal;
+  switch (points) {
+    case 2:
+      ideal = {{-1.0, 0.0}, {1.0, 0.0}};
+      break;
+    case 4: {
+      const double a = 1.0 / std::numbers::sqrt2;
+      ideal = {{a, a}, {-a, a}, {-a, -a}, {a, -a}};
+      break;
+    }
+    case 8: {
+      // Star 8QAM: two QPSK rings, outer rotated 45 degrees, radius ratio
+      // chosen for equal minimum distance (1 + sqrt(3) ratio is common; we
+      // use the simpler 2x ratio used by several coherent DSPs).
+      const double r1 = 1.0;
+      const double r2 = 2.0;
+      for (int k = 0; k < 4; ++k) {
+        const double angle = std::numbers::pi / 2.0 * k;
+        ideal.push_back({r1 * std::cos(angle), r1 * std::sin(angle)});
+        const double outer = angle + std::numbers::pi / 4.0;
+        ideal.push_back({r2 * std::cos(outer), r2 * std::sin(outer)});
+      }
+      break;
+    }
+    case 16: {
+      for (double i : {-3.0, -1.0, 1.0, 3.0})
+        for (double q : {-3.0, -1.0, 1.0, 3.0}) ideal.push_back({i, q});
+      break;
+    }
+    default:
+      RWC_CHECK_MSG(false, "unsupported constellation size");
+  }
+  // Normalize to unit average power.
+  double power = 0.0;
+  for (const IqPoint& p : ideal) power += p.i * p.i + p.q * p.q;
+  power /= static_cast<double>(ideal.size());
+  const double scale = 1.0 / std::sqrt(power);
+  for (IqPoint& p : ideal) {
+    p.i *= scale;
+    p.q *= scale;
+  }
+  return ideal;
+}
+
+std::vector<IqPoint> sample_constellation(int points, Db snr,
+                                          std::size_t symbols,
+                                          util::Rng& rng) {
+  const auto ideal = ideal_constellation(points);
+  const double snr_linear = util::db_to_linear(snr);
+  // Unit signal power; noise power 1/snr split over the two quadratures.
+  const double noise_sigma = std::sqrt(0.5 / snr_linear);
+  std::vector<IqPoint> received;
+  received.reserve(symbols);
+  for (std::size_t s = 0; s < symbols; ++s) {
+    const auto& p = ideal[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ideal.size()) - 1))];
+    received.push_back({p.i + rng.normal(0.0, noise_sigma),
+                        p.q + rng.normal(0.0, noise_sigma)});
+  }
+  return received;
+}
+
+double measure_evm(std::span<const IqPoint> received,
+                   std::span<const IqPoint> ideal) {
+  RWC_EXPECTS(!received.empty() && !ideal.empty());
+  double error_power = 0.0;
+  double reference_power = 0.0;
+  for (const IqPoint& r : received) {
+    double best = std::numeric_limits<double>::infinity();
+    double best_power = 0.0;
+    for (const IqPoint& p : ideal) {
+      const double di = r.i - p.i;
+      const double dq = r.q - p.q;
+      const double d2 = di * di + dq * dq;
+      if (d2 < best) {
+        best = d2;
+        best_power = p.i * p.i + p.q * p.q;
+      }
+    }
+    error_power += best;
+    reference_power += best_power;
+  }
+  RWC_CHECK(reference_power > 0.0);
+  return std::sqrt(error_power / reference_power);
+}
+
+std::string render_constellation(std::span<const IqPoint> symbols,
+                                 std::size_t grid) {
+  RWC_EXPECTS(grid >= 9);
+  double radius = 0.0;
+  for (const IqPoint& p : symbols)
+    radius = std::max({radius, std::abs(p.i), std::abs(p.q)});
+  if (radius <= 0.0) radius = 1.0;
+  radius *= 1.05;
+
+  std::vector<std::size_t> counts(grid * grid, 0);
+  for (const IqPoint& p : symbols) {
+    const auto col = static_cast<std::size_t>(std::clamp(
+        (p.i + radius) / (2.0 * radius) * static_cast<double>(grid - 1) + 0.5,
+        0.0, static_cast<double>(grid - 1)));
+    const auto row = static_cast<std::size_t>(std::clamp(
+        (radius - p.q) / (2.0 * radius) * static_cast<double>(grid - 1) + 0.5,
+        0.0, static_cast<double>(grid - 1)));
+    ++counts[row * grid + col];
+  }
+  std::size_t max_count = 1;
+  for (std::size_t c : counts) max_count = std::max(max_count, c);
+
+  static constexpr char kRamp[] = " .:+*#@";
+  constexpr std::size_t kLevels = sizeof kRamp - 2;
+  std::string out;
+  out.reserve((grid + 3) * (grid + 2));
+  out += '+' + std::string(grid, '-') + "+\n";
+  for (std::size_t row = 0; row < grid; ++row) {
+    out += '|';
+    for (std::size_t col = 0; col < grid; ++col) {
+      const std::size_t c = counts[row * grid + col];
+      if (c == 0) {
+        // Axis cross-hairs for orientation.
+        const bool on_axis = row == grid / 2 || col == grid / 2;
+        out += on_axis ? '.' : ' ';
+        continue;
+      }
+      const double level = std::log1p(static_cast<double>(c)) /
+                           std::log1p(static_cast<double>(max_count));
+      const auto index = static_cast<std::size_t>(
+          std::clamp(level * kLevels, 1.0, static_cast<double>(kLevels)));
+      out += kRamp[index];
+    }
+    out += "|\n";
+  }
+  out += '+' + std::string(grid, '-') + "+\n";
+  return out;
+}
+
+}  // namespace rwc::bvt

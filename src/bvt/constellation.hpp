@@ -1,0 +1,41 @@
+// Constellation generation and measurement (paper Fig. 5): ideal symbol
+// grids for the coherent formats, AWGN sampling at a given SNR, EVM
+// measurement, and an ASCII renderer for bench output.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace rwc::bvt {
+
+/// One complex symbol (in-phase / quadrature).
+struct IqPoint {
+  double i = 0.0;
+  double q = 0.0;
+};
+
+/// Ideal constellation for a format with 2^bits points, normalized to unit
+/// average symbol power. Supported: 2 (BPSK), 4 (QPSK), 8 (star 8QAM),
+/// 16 (square 16QAM).
+std::vector<IqPoint> ideal_constellation(int points);
+
+/// Draws `symbols` received symbols: uniformly random ideal points plus
+/// complex AWGN at symbol SNR `snr`.
+std::vector<IqPoint> sample_constellation(int points, util::Db snr,
+                                          std::size_t symbols,
+                                          util::Rng& rng);
+
+/// RMS error-vector magnitude of received symbols against the nearest ideal
+/// point, as a fraction of RMS reference power.
+double measure_evm(std::span<const IqPoint> received,
+                   std::span<const IqPoint> ideal);
+
+/// Renders the symbols as an ASCII density plot (darker glyph = more hits).
+std::string render_constellation(std::span<const IqPoint> symbols,
+                                 std::size_t grid = 33);
+
+}  // namespace rwc::bvt

@@ -1,0 +1,163 @@
+#include "bvt/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "optical/ber.hpp"
+#include "util/check.hpp"
+
+namespace rwc::bvt {
+
+using util::Db;
+using util::Gbps;
+using util::Seconds;
+
+BvtDevice::BvtDevice(optical::ModulationTable table, std::uint64_t seed,
+                     LatencyModelParams latency)
+    : table_(std::move(table)), latency_(latency), rng_(seed) {
+  // Default to the ladder's 100 Gbps rate when present (today's deployments),
+  // otherwise the lowest rate.
+  selected_index_ = 0;
+  const auto formats = table_.formats();
+  for (std::size_t i = 0; i < formats.size(); ++i)
+    if (formats[i].capacity == Gbps{100.0}) selected_index_ = i;
+  active_index_ = selected_index_;
+}
+
+void BvtDevice::set_link_snr(Db snr) {
+  snr_ = snr;
+  update_lock();
+}
+
+void BvtDevice::update_lock() {
+  const auto& format = table_.formats()[active_index_];
+  carrier_locked_ =
+      laser_on_ && tx_enabled_ && optical::format_viable(format, snr_);
+  fault_ = laser_on_ && !carrier_locked_;
+}
+
+std::uint16_t BvtDevice::mdio_read(Register reg) const {
+  switch (reg) {
+    case Register::kDeviceId:
+      return kBvtDeviceId;
+    case Register::kControl: {
+      std::uint16_t v = 0;
+      if (laser_on_) v |= control::kLaserEnable;
+      if (tx_enabled_) v |= control::kTxEnable;
+      if (hitless_mode_) v |= control::kHitlessMode;
+      return v;  // kApplyConfig is self-clearing and always reads 0
+    }
+    case Register::kStatus: {
+      std::uint16_t v = 0;
+      if (laser_on_) v |= status::kLaserOn;
+      if (carrier_locked_) v |= status::kCarrierLocked;
+      if (fault_) v |= status::kFault;
+      return v;
+    }
+    case Register::kModulationSelect:
+      return static_cast<std::uint16_t>(selected_index_);
+    case Register::kModulationActive:
+      return static_cast<std::uint16_t>(active_index_);
+    case Register::kActiveRateGbps:
+      return static_cast<std::uint16_t>(
+          table_.formats()[active_index_].capacity.value);
+    case Register::kSnrCentiDb:
+      return static_cast<std::uint16_t>(
+          std::clamp(snr_.value * 100.0, 0.0, 65535.0));
+    case Register::kReconfigCount:
+      return static_cast<std::uint16_t>(reconfig_count_ & 0xFFFF);
+    case Register::kLastReconfigMs:
+      return static_cast<std::uint16_t>(
+          std::clamp(last_reconfig_ * 1000.0, 0.0, 65535.0));
+  }
+  return 0;
+}
+
+void BvtDevice::mdio_write(Register reg, std::uint16_t value) {
+  switch (reg) {
+    case Register::kControl: {
+      laser_on_ = (value & control::kLaserEnable) != 0;
+      tx_enabled_ = (value & control::kTxEnable) != 0;
+      hitless_mode_ = (value & control::kHitlessMode) != 0;
+      if ((value & control::kApplyConfig) != 0) {
+        active_index_ = selected_index_;
+        ++reconfig_count_;
+      }
+      update_lock();
+      return;
+    }
+    case Register::kModulationSelect:
+      RWC_EXPECTS(value < table_.formats().size());
+      selected_index_ = value;
+      return;
+    default:
+      // Writes to RO registers are ignored (like real hardware).
+      return;
+  }
+}
+
+Seconds BvtDevice::power_on() {
+  if (laser_on_) return 0.0;
+  const Seconds warmup = rng_.lognormal_from_moments(
+      latency_.params().laser_warmup_mean, latency_.params().laser_warmup_sd);
+  mdio_write(Register::kControl,
+             static_cast<std::uint16_t>(mdio_read(Register::kControl) |
+                                        control::kLaserEnable));
+  return warmup;
+}
+
+void BvtDevice::power_off() {
+  mdio_write(Register::kControl,
+             static_cast<std::uint16_t>(mdio_read(Register::kControl) &
+                                        ~control::kLaserEnable));
+}
+
+ReconfigReport BvtDevice::change_modulation(Gbps target,
+                                            Procedure procedure) {
+  RWC_EXPECTS(table_.has_rate(target));
+  ReconfigReport report;
+  report.procedure = procedure;
+  report.from = table_.formats()[active_index_].capacity;
+  report.to = target;
+
+  std::size_t target_index = 0;
+  const auto formats = table_.formats();
+  for (std::size_t i = 0; i < formats.size(); ++i)
+    if (formats[i].capacity == target) target_index = i;
+
+  // Register sequence a driver would issue.
+  const std::uint16_t base_control =
+      static_cast<std::uint16_t>(control::kTxEnable | control::kLaserEnable);
+  mdio_write(Register::kModulationSelect,
+             static_cast<std::uint16_t>(target_index));
+  if (procedure == Procedure::kStandard) {
+    // Laser power-cycle bracket around the apply.
+    mdio_write(Register::kControl,
+               static_cast<std::uint16_t>(control::kTxEnable));  // laser off
+    mdio_write(Register::kControl,
+               static_cast<std::uint16_t>(base_control | control::kApplyConfig));
+  } else {
+    mdio_write(Register::kControl,
+               static_cast<std::uint16_t>(base_control | control::kHitlessMode |
+                                          control::kApplyConfig));
+    mdio_write(Register::kControl, base_control);  // clear hitless latch
+  }
+
+  report.downtime = latency_.sample_downtime(procedure, rng_);
+  last_reconfig_ = report.downtime;
+  update_lock();
+  report.success = carrier_locked_;
+  if (!report.success) fault_ = true;
+  return report;
+}
+
+Gbps BvtDevice::active_capacity() const {
+  if (!carrier_locked_) return Gbps{0.0};
+  return table_.formats()[active_index_].capacity;
+}
+
+const optical::ModulationFormat& BvtDevice::active_format() const {
+  return table_.formats()[active_index_];
+}
+
+}  // namespace rwc::bvt

@@ -1,0 +1,80 @@
+// Simulated bandwidth-variable transceiver.
+//
+// The device exposes the MDIO register file of registers.hpp and a
+// convenience driver (`change_modulation`) that performs the same register
+// sequence a controller would: select modulation, optionally power-cycle the
+// laser, apply, wait for DSP lock. Durations are sampled from LatencyModel;
+// lock success depends on the link SNR via the optical BER model.
+#pragma once
+
+#include <cstdint>
+
+#include "bvt/latency.hpp"
+#include "bvt/registers.hpp"
+#include "optical/modulation.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace rwc::bvt {
+
+/// Outcome of one modulation change.
+struct ReconfigReport {
+  bool success = false;            // carrier locked at the target rate
+  Procedure procedure = Procedure::kStandard;
+  util::Gbps from{0.0};
+  util::Gbps to{0.0};
+  /// Time the link carried no traffic during the change.
+  util::Seconds downtime = 0.0;
+};
+
+class BvtDevice {
+ public:
+  BvtDevice(optical::ModulationTable table, std::uint64_t seed,
+            LatencyModelParams latency = {});
+
+  // --- Physical environment -------------------------------------------
+  /// Updates the SNR the receiver sees; re-evaluates carrier lock.
+  void set_link_snr(util::Db snr);
+  util::Db link_snr() const { return snr_; }
+
+  // --- MDIO access ------------------------------------------------------
+  std::uint16_t mdio_read(Register reg) const;
+  void mdio_write(Register reg, std::uint16_t value);
+
+  // --- High-level driver -------------------------------------------------
+  /// Drives a modulation change to `target` (must be a ladder rate) with the
+  /// given procedure. Returns the sampled downtime and whether the carrier
+  /// locked (it fails when the SNR cannot sustain the target format).
+  ReconfigReport change_modulation(util::Gbps target, Procedure procedure);
+
+  /// Turns the laser on (no-op when already on); returns the warm-up time.
+  util::Seconds power_on();
+  void power_off();
+
+  bool laser_on() const { return laser_on_; }
+  bool carrier_locked() const { return carrier_locked_; }
+  /// Traffic-carrying rate: active rate when locked, else 0.
+  util::Gbps active_capacity() const;
+  const optical::ModulationFormat& active_format() const;
+  std::uint32_t reconfig_count() const { return reconfig_count_; }
+  const optical::ModulationTable& table() const { return table_; }
+
+ private:
+  void update_lock();
+
+  optical::ModulationTable table_;
+  LatencyModel latency_;
+  util::Rng rng_;
+  util::Db snr_{0.0};
+  std::size_t selected_index_ = 0;  // kModulationSelect
+  std::size_t active_index_ = 0;    // kModulationActive
+  bool laser_on_ = false;
+  bool tx_enabled_ = true;
+  bool hitless_mode_ = false;
+  bool carrier_locked_ = false;
+  bool fault_ = false;
+  std::uint32_t reconfig_count_ = 0;
+  util::Seconds last_reconfig_ = 0.0;
+};
+
+}  // namespace rwc::bvt

@@ -1,0 +1,32 @@
+#include "bvt/latency.hpp"
+
+namespace rwc::bvt {
+
+const char* to_string(Procedure procedure) {
+  switch (procedure) {
+    case Procedure::kStandard:
+      return "standard";
+    case Procedure::kEfficient:
+      return "efficient";
+  }
+  return "unknown";
+}
+
+LatencyModel::LatencyModel(LatencyModelParams params) : params_(params) {}
+
+util::Seconds LatencyModel::sample_downtime(Procedure procedure,
+                                            util::Rng& rng) const {
+  const LatencyModelParams& p = params_;
+  if (procedure == Procedure::kStandard) {
+    return rng.lognormal_from_moments(p.laser_shutdown_mean,
+                                      p.laser_shutdown_sd) +
+           rng.lognormal_from_moments(p.register_program_mean,
+                                      p.register_program_sd) +
+           rng.lognormal_from_moments(p.laser_warmup_mean, p.laser_warmup_sd) +
+           rng.lognormal_from_moments(p.dsp_relock_mean, p.dsp_relock_sd);
+  }
+  return rng.lognormal_from_moments(p.fast_program_mean, p.fast_program_sd) +
+         rng.lognormal_from_moments(p.dsp_relock_mean, p.dsp_relock_sd);
+}
+
+}  // namespace rwc::bvt

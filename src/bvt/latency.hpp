@@ -1,0 +1,52 @@
+// Latency model of a BVT modulation change (paper Section 3.1 / Fig. 6b).
+//
+// State-of-the-art modules power-cycle the laser around a modulation change;
+// the warm-up dominates and yields ~68 s average downtime. Keeping the laser
+// on ("efficient" / hitless-leaning procedure) leaves only register
+// programming and DSP re-lock: ~35 ms average.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace rwc::bvt {
+
+/// How a modulation change is executed.
+enum class Procedure {
+  kStandard,   // laser power-cycled (today's firmware default)
+  kEfficient,  // laser kept on; only the DSP path reconfigures
+};
+
+const char* to_string(Procedure procedure);
+
+struct LatencyModelParams {
+  // Standard procedure components (seconds).
+  double laser_shutdown_mean = 1.5;
+  double laser_shutdown_sd = 0.4;
+  double laser_warmup_mean = 65.0;
+  double laser_warmup_sd = 22.0;
+  double register_program_mean = 0.8;  // full reprogram incl. firmware table
+  double register_program_sd = 0.3;
+
+  // Efficient procedure components (seconds).
+  double fast_program_mean = 0.004;
+  double fast_program_sd = 0.002;
+  double dsp_relock_mean = 0.030;
+  double dsp_relock_sd = 0.012;
+};
+
+/// Samples per-component and total reconfiguration durations.
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyModelParams params = {});
+
+  /// Total traffic-affecting downtime of one modulation change.
+  util::Seconds sample_downtime(Procedure procedure, util::Rng& rng) const;
+
+  const LatencyModelParams& params() const { return params_; }
+
+ private:
+  LatencyModelParams params_;
+};
+
+}  // namespace rwc::bvt

@@ -1,0 +1,45 @@
+// MDIO register map of the simulated bandwidth-variable transceiver (BVT).
+//
+// The paper programs modulation changes over the transceiver's MDIO
+// interface; we model a compatible 16-bit register file so the controller
+// code path (program registers -> apply -> wait for lock) matches how a real
+// flex-rate module is driven.
+#pragma once
+
+#include <cstdint>
+
+namespace rwc::bvt {
+
+/// Register addresses (clause-45 style flat 16-bit space).
+enum class Register : std::uint16_t {
+  kDeviceId = 0x0000,          // RO: constant kBvtDeviceId
+  kControl = 0x0001,           // RW: control bits
+  kStatus = 0x0002,            // RO: status bits
+  kModulationSelect = 0x0010,  // RW: requested ladder index
+  kModulationActive = 0x0011,  // RO: currently active ladder index
+  kActiveRateGbps = 0x0012,    // RO: active line rate in Gbps
+  kSnrCentiDb = 0x0020,        // RO: reported SNR in 0.01 dB units
+  kReconfigCount = 0x0030,     // RO: lifetime modulation changes
+  kLastReconfigMs = 0x0031,    // RO: last change duration in ms (saturating)
+};
+
+inline constexpr std::uint16_t kBvtDeviceId = 0xACC1;
+
+/// Control register bits.
+namespace control {
+inline constexpr std::uint16_t kLaserEnable = 1u << 0;
+inline constexpr std::uint16_t kTxEnable = 1u << 1;
+/// Self-clearing: latches kModulationSelect into the datapath.
+inline constexpr std::uint16_t kApplyConfig = 1u << 2;
+/// When set, kApplyConfig performs an efficient (laser kept on) change.
+inline constexpr std::uint16_t kHitlessMode = 1u << 3;
+}  // namespace control
+
+/// Status register bits.
+namespace status {
+inline constexpr std::uint16_t kLaserOn = 1u << 0;
+inline constexpr std::uint16_t kCarrierLocked = 1u << 1;
+inline constexpr std::uint16_t kFault = 1u << 2;
+}  // namespace status
+
+}  // namespace rwc::bvt

@@ -1,0 +1,7 @@
+// Library identification for rwc_bvt.
+namespace rwc::bvt {
+
+/// Version string of the bvt subsystem (matches the top-level project).
+const char* version() { return "1.0.0"; }
+
+}  // namespace rwc::bvt

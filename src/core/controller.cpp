@@ -1,0 +1,175 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "flow/network.hpp"
+#include "util/check.hpp"
+
+namespace rwc::core {
+
+using graph::EdgeId;
+using util::Db;
+using util::Gbps;
+
+DynamicCapacityController::DynamicCapacityController(
+    graph::Graph physical, optical::ModulationTable table,
+    const te::TeAlgorithm& engine, ControllerOptions options)
+    : physical_(std::move(physical)),
+      table_(std::move(table)),
+      engine_(engine),
+      options_(std::move(options)) {
+  if (options_.penalty == nullptr)
+    options_.penalty = std::make_shared<TrafficProportionalPenalty>();
+  configured_.reserve(physical_.edge_count());
+  for (EdgeId edge : physical_.edge_ids())
+    configured_.push_back(physical_.edge(edge).capacity);
+  if (options_.hysteresis.has_value())
+    hysteresis_.emplace(physical_.edge_count(), *options_.hysteresis);
+  last_traffic_.assign(physical_.edge_count(), 0.0);
+}
+
+graph::Graph DynamicCapacityController::current_topology() const {
+  graph::Graph current;
+  for (graph::NodeId node : physical_.node_ids())
+    current.add_node(physical_.node_name(node));
+  for (EdgeId edge : physical_.edge_ids()) {
+    const graph::Edge& e = physical_.edge(edge);
+    current.add_edge(e.src, e.dst,
+                     configured_[static_cast<std::size_t>(edge.value)],
+                     e.cost, e.weight);
+  }
+  return current;
+}
+
+Gbps DynamicCapacityController::configured_capacity(EdgeId edge) const {
+  RWC_EXPECTS(edge.valid() &&
+              static_cast<std::size_t>(edge.value) < configured_.size());
+  return configured_[static_cast<std::size_t>(edge.value)];
+}
+
+ReconfigurationPlan DynamicCapacityController::evaluate(
+    const graph::Graph& current,
+    std::span<const VariableLink> variable_links,
+    const te::TrafficMatrix& demands) const {
+  const AugmentedTopology augmented =
+      augment_topology(current, variable_links, *options_.penalty,
+                       last_traffic_, options_.augment);
+  const te::FlowAssignment assignment =
+      engine_.solve(augmented.graph, demands);
+  return translate_assignment(current, augmented, variable_links, assignment);
+}
+
+DynamicCapacityController::RoundReport
+DynamicCapacityController::run_round(std::span<const Db> link_snr,
+                                     const te::TrafficMatrix& demands) {
+  RWC_EXPECTS(link_snr.size() == physical_.edge_count());
+  RoundReport report;
+
+  // Step 1-2: feasible rates; flap down links whose SNR degraded.
+  std::vector<Gbps> feasible(physical_.edge_count());
+  for (EdgeId edge : physical_.edge_ids()) {
+    const auto i = static_cast<std::size_t>(edge.value);
+    feasible[i] =
+        table_.feasible_capacity(link_snr[i], options_.snr_margin);
+    if (hysteresis_.has_value()) {
+      const Gbps with_extra = table_.feasible_capacity(
+          link_snr[i],
+          options_.snr_margin + options_.hysteresis->extra_up_margin);
+      feasible[i] =
+          hysteresis_->filter(i, feasible[i], with_extra, configured_[i]);
+    }
+    if (feasible[i] < configured_[i]) {
+      report.reductions.push_back(LinkFlap{edge, configured_[i], feasible[i]});
+      configured_[i] = feasible[i];
+    }
+  }
+
+  // Restoration: degraded links come back toward their nominal rate as
+  // soon as the SNR allows (an operational repair, not a TE decision).
+  if (options_.restore_to_nominal) {
+    for (EdgeId edge : physical_.edge_ids()) {
+      const auto i = static_cast<std::size_t>(edge.value);
+      const Gbps target = std::min(physical_.edge(edge).capacity, feasible[i]);
+      if (target > configured_[i]) {
+        report.restorations.push_back(
+            LinkFlap{edge, configured_[i], target});
+        configured_[i] = target;
+      }
+    }
+  }
+
+  // Step 3: variable links (headroom above the configured rate).
+  std::vector<VariableLink> variable_links;
+  for (EdgeId edge : physical_.edge_ids()) {
+    const auto i = static_cast<std::size_t>(edge.value);
+    if (feasible[i] > configured_[i])
+      variable_links.push_back(VariableLink{edge, feasible[i]});
+  }
+
+  // Steps 4-5: augment, solve with the unmodified engine, translate.
+  // Protected flows (Section 4.2 (i)) are carved out first: their capacity
+  // disappears from the topology and their links leave the variable set.
+  graph::Graph current = current_topology();
+  if (!options_.protected_flows.empty())
+    current = carve_out_protected(current, options_.protected_flows,
+                                  variable_links);
+  report.plan = evaluate(current, variable_links, demands);
+
+  // Consolidation: drop upgrades whose removal does not hurt throughput or
+  // penalty (fewest activations among cost-equal optima).
+  if (options_.consolidate && !report.plan.upgrades.empty()) {
+    // Try cheapest-traffic upgrades first: they are the likeliest to be
+    // gratuitous tie-break artifacts.
+    auto by_traffic = report.plan.upgrades;
+    std::sort(by_traffic.begin(), by_traffic.end(),
+              [](const CapacityChange& a, const CapacityChange& b) {
+                return a.upgrade_traffic < b.upgrade_traffic;
+              });
+    for (const CapacityChange& candidate : by_traffic) {
+      if (report.plan.upgrades.size() <= 1) break;
+      std::vector<VariableLink> reduced = variable_links;
+      std::erase_if(reduced, [&](const VariableLink& link) {
+        const bool still_upgraded =
+            std::any_of(report.plan.upgrades.begin(),
+                        report.plan.upgrades.end(),
+                        [&](const CapacityChange& u) {
+                          return u.edge == link.edge;
+                        });
+        // Keep only links that are still part of the plan, minus the
+        // candidate being tested.
+        return !still_upgraded || link.edge == candidate.edge;
+      });
+      ReconfigurationPlan trial = evaluate(current, reduced, demands);
+      const double before_routed =
+          report.plan.physical_assignment.total_routed.value;
+      if (trial.physical_assignment.total_routed.value >=
+              before_routed - 1e-6 &&
+          trial.total_penalty <= report.plan.total_penalty + 1e-6 &&
+          trial.upgrades.size() < report.plan.upgrades.size()) {
+        report.plan = std::move(trial);
+      }
+    }
+  }
+
+  // Step 6: apply upgrades and plan the consistent transition.
+  for (const CapacityChange& change : report.plan.upgrades)
+    configured_[static_cast<std::size_t>(change.edge.value)] = change.to;
+
+  graph::Graph upgraded = current_topology();
+  te::FlowAssignment previous = last_assignment_;
+  previous.edge_load_gbps.resize(upgraded.edge_count(), 0.0);
+  report.transition = te::plan_transition(
+      upgraded, previous, report.plan.physical_assignment);
+  report.transition_valid =
+      te::validate_transition(upgraded, previous, report.transition);
+
+  report.total_routed = report.plan.physical_assignment.total_routed;
+  report.total_penalty = report.plan.total_penalty;
+
+  last_assignment_ = report.plan.physical_assignment;
+  last_traffic_ = last_assignment_.edge_load_gbps;
+  last_traffic_.resize(physical_.edge_count(), 0.0);
+  return report;
+}
+
+}  // namespace rwc::core

@@ -1,0 +1,112 @@
+// DynamicCapacityController: the end-to-end pipeline of the paper.
+//
+// Each TE round:
+//   1. Map every link's SNR to the highest feasible ladder rate (with a
+//      safety margin).
+//   2. Links whose SNR no longer supports the configured rate FLAP DOWN to
+//      the feasible rate (possibly 0) — the paper's "link flap instead of
+//      link failure" (Section 2.2).
+//   3. Links with headroom become variable links; Algorithm 1 builds the
+//      augmented topology with the configured penalty policy.
+//   4. An UNMODIFIED TE engine routes the demands on the augmented view.
+//   5. The output is translated into capacity upgrades + physical routing;
+//      an optional consolidation pass minimizes the number of activated
+//      upgrades among cost-equal solutions (recovers the Fig. 7 example's
+//      "only one link is increased").
+//   6. A consistent-update transition plan is produced against the previous
+//      round's routing (Section 4.2 (ii)).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "core/augment.hpp"
+#include "core/hysteresis.hpp"
+#include "core/translate.hpp"
+#include "optical/modulation.hpp"
+#include "te/algorithm.hpp"
+#include "te/consistent_update.hpp"
+
+namespace rwc::core {
+
+/// An SNR-forced capacity reduction (from > to; to == 0 means link down).
+struct LinkFlap {
+  graph::EdgeId edge;
+  util::Gbps from{0.0};
+  util::Gbps to{0.0};
+};
+
+struct ControllerOptions {
+  /// Safety margin subtracted from the SNR before the ladder lookup.
+  util::Db snr_margin{0.5};
+  AugmentOptions augment;
+  /// Greedy post-pass dropping upgrades that do not improve throughput.
+  bool consolidate = true;
+  /// Automatically restore a degraded link toward its nominal (provisioned)
+  /// rate as soon as the SNR allows, without waiting for TE to need it.
+  /// Upgrades beyond nominal always remain TE-driven.
+  bool restore_to_nominal = true;
+  /// Optional dampening of capacity INCREASES (reductions always pass):
+  /// suppresses flapping when SNR hovers around a ladder threshold.
+  std::optional<HysteresisParams> hysteresis;
+  /// Flows that must not be disturbed at all (Section 4.2 (i)): their
+  /// capacity is carved out of the topology and their links are barred from
+  /// changing capacity. The flows themselves are invisible to the TE run
+  /// and do not appear in the round's physical assignment.
+  std::vector<ProtectedFlow> protected_flows;
+  /// Penalty policy; defaults to TrafficProportionalPenalty.
+  std::shared_ptr<const PenaltyPolicy> penalty;
+};
+
+class DynamicCapacityController {
+ public:
+  /// `physical` carries the nominal configured capacities (e.g. 100 Gbps
+  /// everywhere). The engine reference must outlive the controller.
+  DynamicCapacityController(graph::Graph physical,
+                            optical::ModulationTable table,
+                            const te::TeAlgorithm& engine,
+                            ControllerOptions options = ControllerOptions{});
+
+  struct RoundReport {
+    std::vector<LinkFlap> reductions;
+    /// SNR-recovery restorations toward the nominal rate (from < to).
+    std::vector<LinkFlap> restorations;
+    ReconfigurationPlan plan;
+    util::Gbps total_routed{0.0};
+    double total_penalty = 0.0;
+    te::UpdatePlan transition;
+    bool transition_valid = false;
+  };
+
+  /// Runs one TE round. `link_snr` is indexed by physical edge id.
+  RoundReport run_round(std::span<const util::Db> link_snr,
+                        const te::TrafficMatrix& demands);
+
+  const graph::Graph& physical_topology() const { return physical_; }
+  /// Physical topology with the currently configured capacities.
+  graph::Graph current_topology() const;
+  util::Gbps configured_capacity(graph::EdgeId edge) const;
+  const te::FlowAssignment& last_assignment() const {
+    return last_assignment_;
+  }
+  const optical::ModulationTable& table() const { return table_; }
+  const ControllerOptions& options() const { return options_; }
+
+ private:
+  /// One augment -> solve -> translate evaluation against `current`.
+  ReconfigurationPlan evaluate(const graph::Graph& current,
+                               std::span<const VariableLink> variable_links,
+                               const te::TrafficMatrix& demands) const;
+
+  graph::Graph physical_;
+  optical::ModulationTable table_;
+  const te::TeAlgorithm& engine_;
+  ControllerOptions options_;
+  std::vector<util::Gbps> configured_;
+  std::optional<HysteresisFilter> hysteresis_;
+  te::FlowAssignment last_assignment_;
+  std::vector<double> last_traffic_;
+};
+
+}  // namespace rwc::core

@@ -1,0 +1,156 @@
+#include "core/fixed_charge.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace rwc::core {
+
+using util::Gbps;
+
+namespace {
+
+/// Throughput with the given subset of variable links activated.
+double evaluate_subset(const graph::Graph& base,
+                       std::span<const VariableLink> variable_links,
+                       std::uint32_t mask, const te::TeAlgorithm& engine,
+                       const te::TrafficMatrix& demands) {
+  graph::Graph upgraded = base;
+  for (std::size_t i = 0; i < variable_links.size(); ++i)
+    if (mask & (1u << i))
+      upgraded.edge(variable_links[i].edge).capacity =
+          variable_links[i].feasible_capacity;
+  return engine.solve(upgraded, demands).total_routed.value;
+}
+
+double subset_cost(std::span<const double> activation_cost,
+                   std::uint32_t mask) {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < activation_cost.size(); ++i)
+    if (mask & (1u << i)) cost += activation_cost[i];
+  return cost;
+}
+
+std::vector<VariableLink> subset_links(
+    std::span<const VariableLink> variable_links, std::uint32_t mask) {
+  std::vector<VariableLink> chosen;
+  for (std::size_t i = 0; i < variable_links.size(); ++i)
+    if (mask & (1u << i)) chosen.push_back(variable_links[i]);
+  return chosen;
+}
+
+FixedChargeResult solve_exact(const graph::Graph& base,
+                              std::span<const VariableLink> variable_links,
+                              std::span<const double> activation_cost,
+                              const te::TeAlgorithm& engine,
+                              const te::TrafficMatrix& demands,
+                              const FixedChargeOptions& options) {
+  const auto n = variable_links.size();
+  const std::uint32_t subsets = 1u << n;
+
+  // Target throughput: everything activated.
+  const double best_throughput = evaluate_subset(
+      base, variable_links, subsets - 1, engine, demands);
+
+  // Enumerate subsets in ascending activation cost; the first one achieving
+  // the target throughput is lexicographically optimal.
+  std::vector<std::uint32_t> order(subsets);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double ca = subset_cost(activation_cost, a);
+    const double cb = subset_cost(activation_cost, b);
+    if (ca != cb) return ca < cb;
+    return a < b;  // deterministic tie-break: prefer smaller subsets first
+  });
+
+  FixedChargeResult result;
+  result.exact = true;
+  for (std::uint32_t mask : order) {
+    const double routed =
+        evaluate_subset(base, variable_links, mask, engine, demands);
+    if (routed + options.throughput_epsilon >= best_throughput) {
+      result.activated = subset_links(variable_links, mask);
+      result.routed = Gbps{routed};
+      result.activation_cost = subset_cost(activation_cost, mask);
+      return result;
+    }
+  }
+  // Unreachable: the full set achieves its own throughput.
+  RWC_CHECK_MSG(false, "fixed-charge enumeration found no subset");
+  return result;
+}
+
+FixedChargeResult solve_greedy(const graph::Graph& base,
+                               std::span<const VariableLink> variable_links,
+                               std::span<const double> activation_cost,
+                               const te::TeAlgorithm& engine,
+                               const te::TrafficMatrix& demands,
+                               const FixedChargeOptions& options) {
+  std::vector<bool> active(variable_links.size(), true);
+  auto mask_of = [&]() {
+    std::uint32_t mask = 0;
+    for (std::size_t i = 0; i < active.size(); ++i)
+      if (active[i]) mask |= 1u << i;
+    return mask;
+  };
+  double current =
+      evaluate_subset(base, variable_links, mask_of(), engine, demands);
+
+  // Drop the most expensive activation whose removal is throughput-free;
+  // repeat until no drop survives.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    std::vector<std::size_t> by_cost;
+    for (std::size_t i = 0; i < active.size(); ++i)
+      if (active[i]) by_cost.push_back(i);
+    std::sort(by_cost.begin(), by_cost.end(),
+              [&](std::size_t a, std::size_t b) {
+                return activation_cost[a] > activation_cost[b];
+              });
+    for (std::size_t candidate : by_cost) {
+      active[candidate] = false;
+      const double routed =
+          evaluate_subset(base, variable_links, mask_of(), engine, demands);
+      if (routed + options.throughput_epsilon >= current) {
+        current = std::max(current, routed);
+        progressed = true;
+        break;
+      }
+      active[candidate] = true;
+    }
+  }
+
+  FixedChargeResult result;
+  result.exact = false;
+  result.activated = subset_links(variable_links, mask_of());
+  result.routed = Gbps{current};
+  result.activation_cost = subset_cost(activation_cost, mask_of());
+  return result;
+}
+
+}  // namespace
+
+FixedChargeResult solve_fixed_charge(
+    const graph::Graph& base, std::span<const VariableLink> variable_links,
+    std::span<const double> activation_cost, const te::TeAlgorithm& engine,
+    const te::TrafficMatrix& demands, const FixedChargeOptions& options) {
+  RWC_EXPECTS(activation_cost.size() == variable_links.size());
+  RWC_EXPECTS(variable_links.size() < 31);
+  for (double cost : activation_cost) RWC_EXPECTS(cost >= 0.0);
+
+  if (variable_links.empty()) {
+    FixedChargeResult result;
+    result.exact = true;
+    result.routed = engine.solve(base, demands).total_routed;
+    return result;
+  }
+  if (variable_links.size() <= options.exact_limit)
+    return solve_exact(base, variable_links, activation_cost, engine,
+                       demands, options);
+  return solve_greedy(base, variable_links, activation_cost, engine, demands,
+                      options);
+}
+
+}  // namespace rwc::core

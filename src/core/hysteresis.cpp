@@ -1,0 +1,49 @@
+#include "core/hysteresis.hpp"
+
+#include "util/check.hpp"
+
+namespace rwc::core {
+
+using util::Gbps;
+
+HysteresisFilter::HysteresisFilter(std::size_t link_count,
+                                   HysteresisParams params)
+    : params_(params),
+      candidate_(link_count, Gbps{0.0}),
+      streak_(link_count, 0) {
+  RWC_EXPECTS(params_.up_hold_rounds >= 1);
+  RWC_EXPECTS(params_.extra_up_margin.value >= 0.0);
+}
+
+Gbps HysteresisFilter::filter(std::size_t link, Gbps raw_feasible,
+                              Gbps raw_with_extra, Gbps configured) {
+  RWC_EXPECTS(link < candidate_.size());
+  RWC_EXPECTS(raw_with_extra <= raw_feasible);
+
+  // Reductions are never dampened.
+  if (raw_feasible < configured) {
+    candidate_[link] = Gbps{0.0};
+    streak_[link] = 0;
+    return raw_feasible;
+  }
+
+  // Upgrade side: the candidate must clear the extra margin...
+  const Gbps candidate = raw_with_extra;
+  if (candidate <= configured) {
+    candidate_[link] = Gbps{0.0};
+    streak_[link] = 0;
+    return configured;
+  }
+  // ...and hold for up_hold_rounds consecutive rounds. A round where the
+  // candidate changes (even upward) restarts the streak at 1.
+  if (candidate == candidate_[link]) {
+    ++streak_[link];
+  } else {
+    candidate_[link] = candidate;
+    streak_[link] = 1;
+  }
+  if (streak_[link] >= params_.up_hold_rounds) return candidate;
+  return configured;
+}
+
+}  // namespace rwc::core

@@ -1,0 +1,48 @@
+// Hysteresis on the SNR -> capacity decision.
+//
+// A link whose SNR hovers around a ladder threshold would otherwise flap up
+// and down every telemetry tick — each transition costing a reconfiguration
+// (68 s today, 35 ms hitless) and TE churn. The filter is asymmetric, like
+// production dampening: capacity REDUCTIONS pass through immediately (they
+// are correctness — the signal cannot sustain the rate), while capacity
+// INCREASES require the higher rate to have been continuously feasible,
+// with extra margin, for a configurable number of rounds.
+#pragma once
+
+#include <vector>
+
+#include "optical/modulation.hpp"
+#include "util/units.hpp"
+
+namespace rwc::core {
+
+struct HysteresisParams {
+  /// Extra SNR margin (on top of the controller's base margin) a HIGHER
+  /// rate must clear before it is even considered.
+  util::Db extra_up_margin{0.5};
+  /// Consecutive rounds the higher rate must stay feasible before the
+  /// filter exposes it.
+  int up_hold_rounds = 3;
+};
+
+/// Per-link state machine applying the dampening rule above.
+class HysteresisFilter {
+ public:
+  HysteresisFilter(std::size_t link_count, HysteresisParams params);
+
+  /// Filters one link's raw feasible capacity for this round.
+  /// `raw_feasible` is the ladder rate at the base margin; `raw_with_extra`
+  /// the rate at base + extra margin; `configured` the currently configured
+  /// rate. Call exactly once per link per round.
+  util::Gbps filter(std::size_t link, util::Gbps raw_feasible,
+                    util::Gbps raw_with_extra, util::Gbps configured);
+
+  const HysteresisParams& params() const { return params_; }
+
+ private:
+  HysteresisParams params_;
+  std::vector<util::Gbps> candidate_;  // rate being held for promotion
+  std::vector<int> streak_;            // rounds the candidate has held
+};
+
+}  // namespace rwc::core

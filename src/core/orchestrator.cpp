@@ -1,0 +1,130 @@
+#include "core/orchestrator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace rwc::core {
+
+using graph::EdgeId;
+using util::Seconds;
+
+DeviceArray make_device_array(const graph::Graph& topology,
+                              const optical::ModulationTable& table,
+                              std::uint64_t seed, util::Db initial_snr) {
+  DeviceArray devices;
+  devices.reserve(topology.edge_count());
+  for (EdgeId edge : topology.edge_ids()) {
+    bvt::BvtDevice device(table, seed ^ (0xD3u + static_cast<std::uint64_t>(
+                                                     edge.value) *
+                                                     0x9E3779B9u));
+    device.mdio_write(bvt::Register::kControl,
+                      bvt::control::kLaserEnable | bvt::control::kTxEnable);
+    device.set_link_snr(initial_snr);
+    devices.push_back(std::move(device));
+  }
+  return devices;
+}
+
+ExecutionReport ReconfigurationOrchestrator::execute(
+    const graph::Graph& topology_after, const te::FlowAssignment& before,
+    const ReconfigurationPlan& plan, DeviceArray& devices) const {
+  RWC_EXPECTS(devices.size() == topology_after.edge_count());
+
+  ExecutionReport report;
+  te::FlowAssignment previous = before;
+  previous.edge_load_gbps.resize(topology_after.edge_count(), 0.0);
+  report.transition = te::plan_transition(topology_after, previous,
+                                          plan.physical_assignment);
+
+  const std::set<std::int32_t> reconfigured = [&] {
+    std::set<std::int32_t> edges;
+    for (const CapacityChange& change : plan.upgrades)
+      edges.insert(change.edge.value);
+    return edges;
+  }();
+
+  Seconds now = 0.0;
+  auto emit = [&](OrchestratorEvent::Kind kind, EdgeId edge,
+                  std::string description) {
+    report.timeline.push_back(
+        OrchestratorEvent{now, kind, edge, std::move(description)});
+  };
+
+  // Phase 1: drain — all REMOVE steps, reconfigured links first so their
+  // modulation change starts as early as possible.
+  std::vector<const te::UpdateStep*> removes;
+  std::vector<const te::UpdateStep*> adds;
+  for (const te::UpdateStep& step : report.transition.steps)
+    (step.kind == te::UpdateStep::Kind::kRemove ? removes : adds)
+        .push_back(&step);
+  std::stable_sort(removes.begin(), removes.end(),
+                   [&](const te::UpdateStep* a, const te::UpdateStep* b) {
+                     auto touches = [&](const te::UpdateStep* s) {
+                       for (EdgeId e : s->path.edges)
+                         if (reconfigured.contains(e.value)) return true;
+                       return false;
+                     };
+                     return touches(a) && !touches(b);
+                   });
+  for (const te::UpdateStep* step : removes) {
+    std::ostringstream os;
+    os << "drain " << step->volume << " from "
+       << graph::path_to_string(topology_after, step->path);
+    emit(OrchestratorEvent::Kind::kDrainStep, EdgeId{}, os.str());
+    now += options_.routing_step_latency;
+  }
+
+  // Phase 2: modulation changes, in parallel. Each device samples its own
+  // downtime; the phase ends when the slowest lock completes.
+  const Seconds phase2_start = now;
+  Seconds phase2_end = now;
+  for (const CapacityChange& change : plan.upgrades) {
+    auto& device = devices[static_cast<std::size_t>(change.edge.value)];
+    emit(OrchestratorEvent::Kind::kReconfigureStart, change.edge,
+         "reconfigure to " +
+             util::format_double(change.to.value, 0) + "G");
+    const auto result =
+        device.change_modulation(change.to, options_.procedure);
+    const Seconds done_at = phase2_start + result.downtime;
+    phase2_end = std::max(phase2_end, done_at);
+    // Traffic that was on the link before the change is parked while the
+    // modulation switches.
+    const double previous_load =
+        previous.edge_load_gbps[static_cast<std::size_t>(change.edge.value)];
+    report.parked_gbps_seconds += previous_load * result.downtime;
+    const Seconds saved_now = now;
+    now = done_at;
+    if (result.success) {
+      emit(OrchestratorEvent::Kind::kReconfigureDone, change.edge,
+           "locked at " + util::format_double(change.to.value, 0) + "G");
+    } else {
+      report.success = false;
+      emit(OrchestratorEvent::Kind::kReconfigureFailed, change.edge,
+           "carrier failed to lock");
+    }
+    now = saved_now;
+  }
+  now = phase2_end;
+
+  // Phase 3: restore — ADD steps onto the new capacities.
+  for (const te::UpdateStep* step : adds) {
+    std::ostringstream os;
+    os << "restore " << step->volume << " onto "
+       << graph::path_to_string(topology_after, step->path);
+    emit(OrchestratorEvent::Kind::kRestoreStep, EdgeId{}, os.str());
+    now += options_.routing_step_latency;
+  }
+
+  std::stable_sort(report.timeline.begin(), report.timeline.end(),
+                   [](const OrchestratorEvent& a, const OrchestratorEvent& b) {
+                     return a.at < b.at;
+                   });
+  report.makespan = now;
+  return report;
+}
+
+}  // namespace rwc::core

@@ -1,0 +1,9 @@
+#include "core/penalty.hpp"
+
+namespace rwc::core {
+
+double PenaltyPolicy::real_penalty(const graph::Graph&, graph::EdgeId) const {
+  return 0.0;
+}
+
+}  // namespace rwc::core

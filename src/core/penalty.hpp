@@ -1,0 +1,101 @@
+// Penalty policies for fake (capacity-upgrade) links — Section 4.2: "We
+// suggest using the current link traffic as a penalty function, but the TE
+// operator can set the penalty values arbitrarily."
+//
+// Penalties are per unit of flow routed over the fake link; they are what a
+// min-cost TE engine trades against throughput when deciding whether a
+// capacity change is worth the traffic disruption it causes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "util/units.hpp"
+
+namespace rwc::core {
+
+class PenaltyPolicy {
+ public:
+  virtual ~PenaltyPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Penalty per Gbps routed on the fake link of `edge`.
+  /// `current_traffic_gbps` is the traffic the link carries now (what a
+  /// non-hitless reconfiguration would disrupt).
+  virtual double upgrade_penalty(const graph::Graph& base,
+                                 graph::EdgeId edge, util::Gbps headroom,
+                                 double current_traffic_gbps) const = 0;
+
+  /// Penalty on real links; Algorithm 1 sets these to zero.
+  virtual double real_penalty(const graph::Graph& base,
+                              graph::EdgeId edge) const;
+};
+
+/// Upgrades are free: maximally aggressive, maximal churn.
+class ZeroPenalty final : public PenaltyPolicy {
+ public:
+  std::string name() const override { return "zero"; }
+  double upgrade_penalty(const graph::Graph&, graph::EdgeId, util::Gbps,
+                         double) const override {
+    return 0.0;
+  }
+};
+
+/// Constant penalty per unit flow (the Fig. 7 example uses 100).
+class FixedPenalty final : public PenaltyPolicy {
+ public:
+  explicit FixedPenalty(double value) : value_(value) {}
+  std::string name() const override { return "fixed"; }
+  double upgrade_penalty(const graph::Graph&, graph::EdgeId, util::Gbps,
+                         double) const override {
+    return value_;
+  }
+
+ private:
+  double value_;
+};
+
+/// The paper's suggested default: penalty proportional to the traffic the
+/// reconfiguration would disrupt (plus a small floor so a zero-traffic link
+/// still prefers no-change solutions on ties).
+class TrafficProportionalPenalty final : public PenaltyPolicy {
+ public:
+  explicit TrafficProportionalPenalty(double scale = 1.0, double floor = 1e-3)
+      : scale_(scale), floor_(floor) {}
+  std::string name() const override { return "traffic-proportional"; }
+  double upgrade_penalty(const graph::Graph&, graph::EdgeId, util::Gbps,
+                         double current_traffic_gbps) const override {
+    return floor_ + scale_ * current_traffic_gbps;
+  }
+
+ private:
+  double scale_;
+  double floor_;
+};
+
+/// Wraps another policy and scales its penalty by a per-priority factor —
+/// "adjusting the penalty according to the traffic priority class".
+class PriorityScaledPenalty final : public PenaltyPolicy {
+ public:
+  PriorityScaledPenalty(std::shared_ptr<const PenaltyPolicy> inner,
+                        double scale)
+      : inner_(std::move(inner)), scale_(scale) {}
+  std::string name() const override {
+    return inner_->name() + "+priority-scaled";
+  }
+  double upgrade_penalty(const graph::Graph& base, graph::EdgeId edge,
+                         util::Gbps headroom,
+                         double current_traffic_gbps) const override {
+    return scale_ *
+           inner_->upgrade_penalty(base, edge, headroom,
+                                   current_traffic_gbps);
+  }
+
+ private:
+  std::shared_ptr<const PenaltyPolicy> inner_;
+  double scale_;
+};
+
+}  // namespace rwc::core

@@ -1,0 +1,101 @@
+#include "core/translate.hpp"
+
+#include <algorithm>
+
+#include "flow/network.hpp"
+#include "util/check.hpp"
+
+namespace rwc::core {
+
+using graph::EdgeId;
+using util::Gbps;
+
+ReconfigurationPlan translate_assignment(
+    const graph::Graph& base, const AugmentedTopology& augmented,
+    std::span<const VariableLink> variable_links,
+    const te::FlowAssignment& augmented_assignment) {
+  RWC_EXPECTS(augmented.base_edge_count == base.edge_count());
+
+  ReconfigurationPlan plan;
+  plan.physical_assignment.routings.reserve(
+      augmented_assignment.routings.size());
+
+  // Per-base-edge traffic that used upgraded headroom.
+  std::vector<double> upgrade_traffic(base.edge_count(), 0.0);
+  std::vector<double> penalty_paid(base.edge_count(), 0.0);
+
+  for (const auto& routing : augmented_assignment.routings) {
+    te::FlowAssignment::DemandRouting physical_routing;
+    physical_routing.demand = routing.demand;
+    for (const auto& [aug_path, volume] : routing.paths) {
+      graph::Path physical_path;
+      for (EdgeId aug_edge : aug_path.edges) {
+        const AugmentedEdgeInfo& info = augmented.info(aug_edge);
+        const double cost = augmented.graph.edge(aug_edge).cost;
+        switch (info.kind) {
+          case AugmentedEdgeKind::kReal:
+            physical_path.edges.push_back(info.base_edge);
+            physical_path.weight += base.edge(info.base_edge).weight;
+            break;
+          case AugmentedEdgeKind::kFake:
+            physical_path.edges.push_back(info.base_edge);
+            physical_path.weight += base.edge(info.base_edge).weight;
+            upgrade_traffic[static_cast<std::size_t>(info.base_edge.value)] +=
+                volume.value;
+            penalty_paid[static_cast<std::size_t>(info.base_edge.value)] +=
+                volume.value * cost;
+            break;
+          case AugmentedEdgeKind::kGadgetEntryFake:
+            upgrade_traffic[static_cast<std::size_t>(info.base_edge.value)] +=
+                volume.value;
+            penalty_paid[static_cast<std::size_t>(info.base_edge.value)] +=
+                volume.value * cost;
+            break;
+          case AugmentedEdgeKind::kGadgetBody:
+            // The body carries the merged flow: this is where the physical
+            // link appears in the projected path.
+            physical_path.edges.push_back(info.base_edge);
+            physical_path.weight += base.edge(info.base_edge).weight;
+            break;
+          case AugmentedEdgeKind::kGadgetEntryReal:
+          case AugmentedEdgeKind::kGadgetExit:
+            break;  // plumbing only
+        }
+      }
+      physical_routing.paths.emplace_back(std::move(physical_path), volume);
+    }
+    plan.physical_assignment.routings.push_back(std::move(physical_routing));
+  }
+
+  for (const VariableLink& link : variable_links) {
+    const auto i = static_cast<std::size_t>(link.edge.value);
+    if (upgrade_traffic[i] <= flow::kFlowEps) continue;
+    CapacityChange change;
+    change.edge = link.edge;
+    change.from = base.edge(link.edge).capacity;
+    change.to = link.feasible_capacity;
+    change.upgrade_traffic = Gbps{upgrade_traffic[i]};
+    change.penalty_paid = penalty_paid[i];
+    plan.upgrades.push_back(change);
+    plan.total_penalty += change.penalty_paid;
+  }
+  std::sort(plan.upgrades.begin(), plan.upgrades.end(),
+            [](const CapacityChange& a, const CapacityChange& b) {
+              return a.edge < b.edge;
+            });
+
+  // Edge loads of the physical assignment are computed against the upgraded
+  // topology (loads may legitimately exceed pre-upgrade capacities).
+  graph::Graph upgraded = base;
+  for (const CapacityChange& change : plan.upgrades)
+    upgraded.edge(change.edge).capacity = change.to;
+  te::finalize_assignment(upgraded, plan.physical_assignment);
+  return plan;
+}
+
+void apply_plan(graph::Graph& topology, const ReconfigurationPlan& plan) {
+  for (const CapacityChange& change : plan.upgrades)
+    topology.edge(change.edge).capacity = change.to;
+}
+
+}  // namespace rwc::core

@@ -1,0 +1,47 @@
+// Theorem 1, step 3: translate the TE engine's output on the augmented
+// topology into (a) which physical link capacities to change and (b) the
+// flow-paths of the current demands on the physical topology.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/augment.hpp"
+#include "te/demand.hpp"
+
+namespace rwc::core {
+
+/// One capacity change the TE run decided on.
+struct CapacityChange {
+  graph::EdgeId edge;            // base edge
+  util::Gbps from{0.0};
+  util::Gbps to{0.0};
+  /// Traffic the TE routed over the upgraded headroom.
+  util::Gbps upgrade_traffic{0.0};
+  /// Penalty the engine paid for it (upgrade_traffic * per-unit penalty).
+  double penalty_paid = 0.0;
+
+  bool is_upgrade() const { return to > from; }
+};
+
+struct ReconfigurationPlan {
+  std::vector<CapacityChange> upgrades;
+  /// The demands' routing projected onto the physical topology (fake/gadget
+  /// edges merged back into their base links).
+  te::FlowAssignment physical_assignment;
+  double total_penalty = 0.0;
+};
+
+/// Projects an assignment computed on `augmented` back onto the base
+/// topology and extracts the capacity changes. `base` must be the graph the
+/// augmentation was built from.
+ReconfigurationPlan translate_assignment(
+    const graph::Graph& base, const AugmentedTopology& augmented,
+    std::span<const VariableLink> variable_links,
+    const te::FlowAssignment& augmented_assignment);
+
+/// Applies the plan's upgrades to `topology` (sets each upgraded edge's
+/// capacity to the target rate).
+void apply_plan(graph::Graph& topology, const ReconfigurationPlan& plan);
+
+}  // namespace rwc::core

@@ -1,0 +1,7 @@
+// Library identification for rwc_core.
+namespace rwc::core {
+
+/// Version string of the core subsystem (matches the top-level project).
+const char* version() { return "1.0.0"; }
+
+}  // namespace rwc::core

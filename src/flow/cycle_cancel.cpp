@@ -1,0 +1,77 @@
+#include "flow/cycle_cancel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "flow/maxflow.hpp"
+#include "util/check.hpp"
+
+namespace rwc::flow {
+
+std::optional<std::vector<int>> find_negative_cycle(
+    const ResidualNetwork& net, double tolerance) {
+  const auto n = net.node_count();
+  if (n == 0) return std::nullopt;
+  // Bellman-Ford from a virtual super-source (all distances start at 0).
+  std::vector<double> dist(n, 0.0);
+  std::vector<int> parent_arc(n, -1);
+  int updated_node = -1;
+  for (std::size_t round = 0; round < n; ++round) {
+    updated_node = -1;
+    for (std::size_t arc = 0; arc < net.arc_count(); ++arc) {
+      if (net.residual(static_cast<int>(arc)) <= kFlowEps) continue;
+      const int from = net.source(static_cast<int>(arc));
+      const int to = net.target(static_cast<int>(arc));
+      const double candidate =
+          dist[static_cast<std::size_t>(from)] + net.cost(static_cast<int>(arc));
+      if (candidate < dist[static_cast<std::size_t>(to)] - tolerance) {
+        dist[static_cast<std::size_t>(to)] = candidate;
+        parent_arc[static_cast<std::size_t>(to)] = static_cast<int>(arc);
+        updated_node = to;
+      }
+    }
+    if (updated_node == -1) return std::nullopt;
+  }
+
+  // A node updated in round n lies on or reaches a negative cycle; walk back
+  // n steps to land inside the cycle, then collect it.
+  int node = updated_node;
+  for (std::size_t i = 0; i < n; ++i)
+    node = net.source(parent_arc[static_cast<std::size_t>(node)]);
+  std::vector<int> cycle;
+  int current = node;
+  do {
+    const int arc = parent_arc[static_cast<std::size_t>(current)];
+    RWC_CHECK(arc >= 0);
+    cycle.push_back(arc);
+    current = net.source(arc);
+  } while (current != node);
+  std::reverse(cycle.begin(), cycle.end());
+  return cycle;
+}
+
+double cancel_negative_cycles(ResidualNetwork& net, double tolerance) {
+  double saved = 0.0;
+  while (auto cycle = find_negative_cycle(net, tolerance)) {
+    double bottleneck = std::numeric_limits<double>::infinity();
+    double cycle_cost = 0.0;
+    for (int arc : *cycle) {
+      bottleneck = std::min(bottleneck, net.residual(arc));
+      cycle_cost += net.cost(arc);
+    }
+    RWC_CHECK(bottleneck > kFlowEps);
+    RWC_CHECK(cycle_cost < 0.0);
+    for (int arc : *cycle) net.push(arc, bottleneck);
+    saved += -cycle_cost * bottleneck;
+  }
+  return saved;
+}
+
+double min_cost_max_flow_by_cancelling(ResidualNetwork& net, int source,
+                                       int sink) {
+  const double flow = max_flow_dinic(net, source, sink);
+  cancel_negative_cycles(net);
+  return flow;
+}
+
+}  // namespace rwc::flow

@@ -1,0 +1,29 @@
+// Negative-cycle detection and cycle-cancelling:
+//  - an independent optimality check for the SSP solver (a min-cost flow is
+//    optimal iff the residual network has no negative-cost cycle), and
+//  - a standalone min-cost-max-flow solver used to cross-validate results.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flow/network.hpp"
+
+namespace rwc::flow {
+
+/// Finds a negative-cost cycle of positive residual capacity; nullopt when
+/// none exists. Returned as the arc sequence around the cycle.
+std::optional<std::vector<int>> find_negative_cycle(
+    const ResidualNetwork& net, double tolerance = 1e-7);
+
+/// Cancels negative cycles until none remain (the flow value is preserved).
+/// Returns the total cost reduction achieved. Intended for small/medium
+/// networks (verification and cross-checks).
+double cancel_negative_cycles(ResidualNetwork& net, double tolerance = 1e-7);
+
+/// Max flow (Dinic) followed by cycle cancelling: an SSP-independent
+/// min-cost max-flow used in tests.
+double min_cost_max_flow_by_cancelling(ResidualNetwork& net, int source,
+                                       int sink);
+
+}  // namespace rwc::flow

@@ -1,0 +1,31 @@
+// Decomposes an s-t flow into path flows (plus cancelled cycles). The
+// abstraction's translation step uses this to hand the TE controller concrete
+// flow-paths for the current demands (Theorem 1, step 3b).
+#pragma once
+
+#include <vector>
+
+#include "flow/network.hpp"
+
+namespace rwc::flow {
+
+/// One flow-carrying path: forward arc indices from source to sink.
+struct PathFlow {
+  std::vector<int> arcs;
+  double amount = 0.0;
+};
+
+struct Decomposition {
+  std::vector<PathFlow> paths;
+  /// Flow removed because it circulated on cycles (0 for min-cost solutions
+  /// with strictly positive costs).
+  double cancelled_cycle_flow = 0.0;
+};
+
+/// Decomposes the current flow in `net` (read-only; works on a copy of the
+/// per-arc flow values) into source->sink paths. The sum of path amounts
+/// equals the net flow out of `source`.
+Decomposition decompose_flow(const ResidualNetwork& net, int source,
+                             int sink);
+
+}  // namespace rwc::flow

@@ -1,0 +1,50 @@
+#include "flow/disjoint.hpp"
+
+#include <algorithm>
+
+#include "flow/decompose.hpp"
+#include "flow/mincost.hpp"
+#include "flow/network.hpp"
+#include "util/check.hpp"
+
+namespace rwc::flow {
+using graph::Edge;
+using graph::EdgeId;
+using graph::Graph;
+using graph::NodeId;
+using graph::Path;
+
+std::optional<std::pair<Path, Path>> edge_disjoint_pair(const Graph& graph,
+                                                        NodeId source,
+                                                        NodeId target) {
+  RWC_EXPECTS(source != target);
+  // Unit capacity per edge, cost = weight: a min-cost flow of value 2 is a
+  // minimum-total-weight pair of edge-disjoint paths.
+  ResidualNetwork net(graph.node_count());
+  for (EdgeId e : graph.edge_ids()) {
+    const Edge& edge = graph.edge(e);
+    net.add_arc(edge.src.value, edge.dst.value, 1.0, edge.weight);
+  }
+  const auto result =
+      min_cost_max_flow(net, source.value, target.value, 2.0);
+  if (result.flow < 2.0 - kFlowEps) return std::nullopt;
+
+  const auto decomposition =
+      decompose_flow(net, source.value, target.value);
+  RWC_CHECK(decomposition.paths.size() == 2);
+
+  std::pair<Path, Path> pair;
+  Path* outputs[2] = {&pair.first, &pair.second};
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (int arc : decomposition.paths[p].arcs) {
+      const EdgeId edge{arc / 2};
+      outputs[p]->edges.push_back(edge);
+      outputs[p]->weight += graph.edge(edge).weight;
+    }
+  }
+  if (pair.second.weight < pair.first.weight)
+    std::swap(pair.first, pair.second);
+  return pair;
+}
+
+}  // namespace rwc::flow

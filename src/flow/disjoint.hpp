@@ -1,0 +1,20 @@
+// Minimum-total-weight pair of edge-disjoint paths (Suurballe's problem),
+// solved as a min-cost flow of value 2 with unit edge capacities. Used for
+// 1+1 protected services: a primary and a backup that no single link
+// failure can take down together.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "graph/graph.hpp"
+
+namespace rwc::flow {
+
+/// Two edge-disjoint source->target paths minimizing total weight, or
+/// nullopt when the graph has no two edge-disjoint paths between them.
+/// The pair is ordered: first is the shorter (primary) path.
+std::optional<std::pair<graph::Path, graph::Path>> edge_disjoint_pair(
+    const graph::Graph& graph, graph::NodeId source, graph::NodeId target);
+
+}  // namespace rwc::flow

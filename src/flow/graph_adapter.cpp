@@ -1,0 +1,24 @@
+#include "flow/graph_adapter.hpp"
+
+namespace rwc::flow {
+
+NetworkView make_network(const graph::Graph& graph, std::size_t extra_nodes) {
+  NetworkView view(graph.node_count() + extra_nodes);
+  view.arc_of_edge.reserve(graph.edge_count());
+  for (graph::EdgeId id : graph.edge_ids()) {
+    const graph::Edge& e = graph.edge(id);
+    view.arc_of_edge.push_back(
+        view.net.add_arc(e.src.value, e.dst.value, e.capacity.value, e.cost));
+  }
+  return view;
+}
+
+std::vector<double> edge_flows(const graph::Graph& graph,
+                               const NetworkView& view) {
+  std::vector<double> flows(graph.edge_count(), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    flows[i] = view.net.flow(view.arc_of_edge[i]);
+  return flows;
+}
+
+}  // namespace rwc::flow

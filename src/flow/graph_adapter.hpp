@@ -1,0 +1,37 @@
+// Bridges rwc::graph::Graph topologies to ResidualNetwork solver instances,
+// preserving the EdgeId <-> arc mapping so solver results can be read back
+// onto graph edges.
+#pragma once
+
+#include <vector>
+
+#include "flow/network.hpp"
+#include "graph/graph.hpp"
+
+namespace rwc::flow {
+
+/// A solver network plus the edge->arc index mapping. Graph node ids map
+/// one-to-one onto network node indices; extra nodes (super source/sink) may
+/// be appended after the graph's nodes.
+struct NetworkView {
+  ResidualNetwork net;
+  std::vector<int> arc_of_edge;  // forward arc per graph EdgeId
+
+  explicit NetworkView(std::size_t node_count) : net(node_count) {}
+
+  double edge_flow(graph::EdgeId id) const {
+    return net.flow(arc_of_edge[static_cast<std::size_t>(id.value)]);
+  }
+};
+
+/// Builds a network with one arc per graph edge (capacity and cost taken
+/// from the edge attributes) and `extra_nodes` appended nodes for super
+/// source/sink constructions.
+NetworkView make_network(const graph::Graph& graph,
+                         std::size_t extra_nodes = 0);
+
+/// Per-edge flows after a solver run, indexed by EdgeId.
+std::vector<double> edge_flows(const graph::Graph& graph,
+                               const NetworkView& view);
+
+}  // namespace rwc::flow

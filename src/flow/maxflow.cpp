@@ -1,0 +1,113 @@
+#include "flow/maxflow.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace rwc::flow {
+
+namespace {
+
+/// BFS level graph; returns true when the sink is reachable.
+bool build_levels(const ResidualNetwork& net, int source, int sink,
+                  std::vector<int>& level) {
+  level.assign(net.node_count(), -1);
+  std::queue<int> frontier;
+  level[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop();
+    for (int arc : net.arcs_from(node)) {
+      if (net.residual(arc) <= kFlowEps) continue;
+      const int next = net.target(arc);
+      if (level[static_cast<std::size_t>(next)] != -1) continue;
+      level[static_cast<std::size_t>(next)] =
+          level[static_cast<std::size_t>(node)] + 1;
+      frontier.push(next);
+    }
+  }
+  return level[static_cast<std::size_t>(sink)] != -1;
+}
+
+/// DFS blocking-flow augmentation with the "current arc" optimization.
+double augment(ResidualNetwork& net, const std::vector<int>& level,
+               std::vector<std::size_t>& next_arc, int node, int sink,
+               double limit) {
+  if (node == sink) return limit;
+  auto arcs = net.arcs_from(node);
+  for (auto& i = next_arc[static_cast<std::size_t>(node)]; i < arcs.size();
+       ++i) {
+    const int arc = arcs[i];
+    if (net.residual(arc) <= kFlowEps) continue;
+    const int next = net.target(arc);
+    if (level[static_cast<std::size_t>(next)] !=
+        level[static_cast<std::size_t>(node)] + 1)
+      continue;
+    const double pushed =
+        augment(net, level, next_arc, next, sink,
+                std::min(limit, net.residual(arc)));
+    if (pushed > kFlowEps) {
+      net.push(arc, pushed);
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double max_flow_dinic(ResidualNetwork& net, int source, int sink) {
+  RWC_EXPECTS(source != sink);
+  double total = 0.0;
+  std::vector<int> level;
+  while (build_levels(net, source, sink, level)) {
+    std::vector<std::size_t> next_arc(net.node_count(), 0);
+    while (true) {
+      const double pushed =
+          augment(net, level, next_arc, source, sink,
+                  std::numeric_limits<double>::infinity());
+      if (pushed <= kFlowEps) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::vector<bool> min_cut_source_side(const ResidualNetwork& net,
+                                      int source) {
+  std::vector<bool> side(net.node_count(), false);
+  std::queue<int> frontier;
+  side[static_cast<std::size_t>(source)] = true;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int node = frontier.front();
+    frontier.pop();
+    for (int arc : net.arcs_from(node)) {
+      if (net.residual(arc) <= kFlowEps) continue;
+      const int next = net.target(arc);
+      if (!side[static_cast<std::size_t>(next)]) {
+        side[static_cast<std::size_t>(next)] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  return side;
+}
+
+double cut_capacity(const ResidualNetwork& net,
+                    const std::vector<bool>& source_side) {
+  RWC_EXPECTS(source_side.size() == net.node_count());
+  double total = 0.0;
+  for (std::size_t arc = 0; arc < net.arc_count(); arc += 2) {
+    const int from = net.source(static_cast<int>(arc));
+    const int to = net.target(static_cast<int>(arc));
+    if (source_side[static_cast<std::size_t>(from)] &&
+        !source_side[static_cast<std::size_t>(to)])
+      total += net.initial_capacity(static_cast<int>(arc));
+  }
+  return total;
+}
+
+}  // namespace rwc::flow

@@ -1,0 +1,23 @@
+// Dinic's max-flow and min-cut extraction.
+#pragma once
+
+#include <vector>
+
+#include "flow/network.hpp"
+
+namespace rwc::flow {
+
+/// Computes a maximum s-t flow in `net` (mutating residuals) and returns its
+/// value. Requires s != t.
+double max_flow_dinic(ResidualNetwork& net, int source, int sink);
+
+/// After a max-flow run, the source side of a minimum cut: nodes reachable
+/// from `source` in the residual network.
+std::vector<bool> min_cut_source_side(const ResidualNetwork& net, int source);
+
+/// Capacity of the cut separating `source_side` (sum of initial capacities of
+/// forward arcs crossing out of the set).
+double cut_capacity(const ResidualNetwork& net,
+                    const std::vector<bool>& source_side);
+
+}  // namespace rwc::flow

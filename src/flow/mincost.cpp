@@ -1,0 +1,141 @@
+#include "flow/mincost.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rwc::flow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Bellman-Ford distances from `source` over positive-residual arcs; used to
+/// initialize potentials when negative costs are present.
+std::vector<double> bellman_ford(const ResidualNetwork& net, int source) {
+  std::vector<double> dist(net.node_count(), kInf);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  const auto n = net.node_count();
+  for (std::size_t round = 0; round + 1 < n || round == 0; ++round) {
+    bool changed = false;
+    for (std::size_t arc = 0; arc < net.arc_count(); ++arc) {
+      if (net.residual(static_cast<int>(arc)) <= kFlowEps) continue;
+      const int from = net.source(static_cast<int>(arc));
+      const int to = net.target(static_cast<int>(arc));
+      const double from_dist = dist[static_cast<std::size_t>(from)];
+      if (from_dist == kInf) continue;
+      const double candidate = from_dist + net.cost(static_cast<int>(arc));
+      if (candidate < dist[static_cast<std::size_t>(to)] - 1e-12) {
+        dist[static_cast<std::size_t>(to)] = candidate;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+struct DijkstraResult {
+  std::vector<double> distance;
+  std::vector<int> parent_arc;
+  bool reached_sink = false;
+};
+
+/// Dijkstra over reduced costs cost(arc) + pot[src] - pot[dst] (>= 0).
+DijkstraResult dijkstra_reduced(const ResidualNetwork& net, int source,
+                                int sink,
+                                const std::vector<double>& potential) {
+  DijkstraResult result;
+  result.distance.assign(net.node_count(), kInf);
+  result.parent_arc.assign(net.node_count(), -1);
+  result.distance[static_cast<std::size_t>(source)] = 0.0;
+
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [dist, node] = heap.top();
+    heap.pop();
+    if (dist > result.distance[static_cast<std::size_t>(node)] + 1e-12)
+      continue;
+    for (int arc : net.arcs_from(node)) {
+      if (net.residual(arc) <= kFlowEps) continue;
+      const int next = net.target(arc);
+      if (potential[static_cast<std::size_t>(next)] == kInf) continue;
+      double reduced = net.cost(arc) +
+                       potential[static_cast<std::size_t>(node)] -
+                       potential[static_cast<std::size_t>(next)];
+      // Clamp tiny negative values from floating-point drift.
+      if (reduced < 0.0) {
+        RWC_CHECK_MSG(reduced > -1e-6, "negative reduced cost in SSP");
+        reduced = 0.0;
+      }
+      const double candidate = dist + reduced;
+      if (candidate <
+          result.distance[static_cast<std::size_t>(next)] - 1e-12) {
+        result.distance[static_cast<std::size_t>(next)] = candidate;
+        result.parent_arc[static_cast<std::size_t>(next)] = arc;
+        heap.emplace(candidate, next);
+      }
+    }
+  }
+  result.reached_sink =
+      result.distance[static_cast<std::size_t>(sink)] != kInf;
+  return result;
+}
+
+}  // namespace
+
+MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
+                                    int sink, double flow_limit) {
+  RWC_EXPECTS(source != sink);
+  RWC_EXPECTS(flow_limit >= 0.0);
+
+  // Potentials: zero when all costs are non-negative, else Bellman-Ford.
+  bool has_negative = false;
+  for (std::size_t arc = 0; arc < net.arc_count(); arc += 2)
+    if (net.cost(static_cast<int>(arc)) < 0.0 &&
+        net.residual(static_cast<int>(arc)) > kFlowEps)
+      has_negative = true;
+  std::vector<double> potential(net.node_count(), 0.0);
+  if (has_negative) {
+    potential = bellman_ford(net, source);
+    // Unreachable nodes keep an infinite potential; dijkstra skips them.
+  }
+
+  MinCostFlowResult result;
+  while (result.flow + kFlowEps < flow_limit) {
+    const auto sp = dijkstra_reduced(net, source, sink, potential);
+    if (!sp.reached_sink) break;
+
+    // Update potentials with the new distances.
+    for (std::size_t node = 0; node < net.node_count(); ++node) {
+      if (sp.distance[node] == kInf || potential[node] == kInf) continue;
+      potential[node] += sp.distance[node];
+    }
+
+    // Bottleneck along the shortest path.
+    double bottleneck = flow_limit - result.flow;
+    for (int node = sink; node != source;
+         node = net.source(sp.parent_arc[static_cast<std::size_t>(node)])) {
+      const int arc = sp.parent_arc[static_cast<std::size_t>(node)];
+      bottleneck = std::min(bottleneck, net.residual(arc));
+    }
+    if (bottleneck <= kFlowEps) break;
+
+    double path_cost = 0.0;
+    for (int node = sink; node != source;
+         node = net.source(sp.parent_arc[static_cast<std::size_t>(node)])) {
+      const int arc = sp.parent_arc[static_cast<std::size_t>(node)];
+      path_cost += net.cost(arc);
+      net.push(arc, bottleneck);
+    }
+    result.flow += bottleneck;
+    result.cost += bottleneck * path_cost;
+  }
+  return result;
+}
+
+}  // namespace rwc::flow

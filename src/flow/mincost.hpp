@@ -1,0 +1,25 @@
+// Min-cost flow: successive shortest paths with Johnson potentials.
+// This is the solver Theorem 1's reduction targets — min-cost max-flow on
+// the augmented topology G'.
+#pragma once
+
+#include <limits>
+
+#include "flow/network.hpp"
+
+namespace rwc::flow {
+
+struct MinCostFlowResult {
+  double flow = 0.0;
+  double cost = 0.0;
+};
+
+/// Computes a minimum-cost maximum flow from source to sink (mutating
+/// residuals). When `flow_limit` is finite, stops once that much flow is
+/// routed (min-cost flow of a given value). Costs may be negative as long as
+/// the initial network has no negative-cost cycle of positive capacity.
+MinCostFlowResult min_cost_max_flow(
+    ResidualNetwork& net, int source, int sink,
+    double flow_limit = std::numeric_limits<double>::infinity());
+
+}  // namespace rwc::flow

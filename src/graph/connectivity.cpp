@@ -1,0 +1,70 @@
+#include "graph/connectivity.hpp"
+
+#include <queue>
+
+namespace rwc::graph {
+
+std::vector<bool> reachable_from(
+    const Graph& graph, NodeId source,
+    const std::function<bool(EdgeId)>& usable) {
+  std::vector<bool> seen(graph.node_count(), false);
+  if (graph.node_count() == 0) return seen;
+  std::queue<NodeId> frontier;
+  seen[static_cast<std::size_t>(source.value)] = true;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop();
+    for (EdgeId id : graph.out_edges(node)) {
+      if (!usable(id)) continue;
+      const NodeId next = graph.edge(id).dst;
+      auto reached = seen[static_cast<std::size_t>(next.value)];
+      if (!reached) {
+        seen[static_cast<std::size_t>(next.value)] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<bool> reachable_from(const Graph& graph, NodeId source) {
+  return reachable_from(graph, source, [](EdgeId) { return true; });
+}
+
+bool is_strongly_connected(const Graph& graph) {
+  if (graph.node_count() == 0) return true;
+  for (NodeId node : graph.node_ids()) {
+    const auto seen = reachable_from(graph, node);
+    for (bool reached : seen)
+      if (!reached) return false;
+  }
+  return true;
+}
+
+bool is_weakly_connected(const Graph& graph) {
+  if (graph.node_count() == 0) return true;
+  // BFS over the undirected view via both adjacency lists.
+  std::vector<bool> seen(graph.node_count(), false);
+  std::queue<NodeId> frontier;
+  seen[0] = true;
+  frontier.push(NodeId{0});
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId node = frontier.front();
+    frontier.pop();
+    auto visit = [&](NodeId next) {
+      auto reached = seen[static_cast<std::size_t>(next.value)];
+      if (!reached) {
+        seen[static_cast<std::size_t>(next.value)] = true;
+        frontier.push(next);
+        ++visited;
+      }
+    };
+    for (EdgeId id : graph.out_edges(node)) visit(graph.edge(id).dst);
+    for (EdgeId id : graph.in_edges(node)) visit(graph.edge(id).src);
+  }
+  return visited == graph.node_count();
+}
+
+}  // namespace rwc::graph

@@ -1,0 +1,27 @@
+// Reachability and connectivity queries (used for topology validation and
+// for availability accounting when links fail).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rwc::graph {
+
+/// Nodes reachable from `source` following directed edges that pass
+/// `usable`. Result is indexed by node id.
+std::vector<bool> reachable_from(
+    const Graph& graph, NodeId source,
+    const std::function<bool(EdgeId)>& usable);
+
+/// Nodes reachable from `source` using all edges.
+std::vector<bool> reachable_from(const Graph& graph, NodeId source);
+
+/// True when every node can reach every other node (directed edges treated
+/// as given; an empty graph is connected).
+bool is_strongly_connected(const Graph& graph);
+
+/// True when the underlying undirected graph is connected.
+bool is_weakly_connected(const Graph& graph);
+
+}  // namespace rwc::graph

@@ -1,0 +1,37 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+
+namespace rwc::graph {
+
+ShortestPathTree dijkstra_by_weight(const Graph& graph, NodeId source) {
+  return dijkstra(
+      graph, source, [&](EdgeId id) { return graph.edge(id).weight; },
+      [](EdgeId) { return true; });
+}
+
+Path extract_path(const Graph& graph, const ShortestPathTree& tree,
+                  NodeId target) {
+  Path path;
+  if (!tree.reached(target)) {
+    path.weight = ShortestPathTree::kUnreachable;
+    return path;
+  }
+  path.weight = tree.distance[static_cast<std::size_t>(target.value)];
+  NodeId node = target;
+  while (true) {
+    const EdgeId parent =
+        tree.parent_edge[static_cast<std::size_t>(node.value)];
+    if (!parent.valid()) break;  // reached the source
+    path.edges.push_back(parent);
+    node = graph.edge(parent).src;
+  }
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+Path shortest_path(const Graph& graph, NodeId source, NodeId target) {
+  return extract_path(graph, dijkstra_by_weight(graph, source), target);
+}
+
+}  // namespace rwc::graph

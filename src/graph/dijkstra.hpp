@@ -1,0 +1,75 @@
+// Single-source shortest paths with pluggable edge weights and filters.
+// Used by CSPF TE, Yen's k-shortest paths, and SWAN path precomputation.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+
+namespace rwc::graph {
+
+/// Result of a Dijkstra run: distance and predecessor edge per node.
+struct ShortestPathTree {
+  static constexpr double kUnreachable =
+      std::numeric_limits<double>::infinity();
+
+  std::vector<double> distance;     // indexed by node id
+  std::vector<EdgeId> parent_edge;  // invalid at source / unreachable nodes
+
+  bool reached(NodeId node) const {
+    return distance[static_cast<std::size_t>(node.value)] != kUnreachable;
+  }
+};
+
+/// Dijkstra with caller-supplied weight and usability predicates.
+/// `weight(edge)` must be >= 0 for usable edges.
+template <typename WeightFn, typename UsableFn>
+ShortestPathTree dijkstra(const Graph& graph, NodeId source, WeightFn weight,
+                          UsableFn usable) {
+  ShortestPathTree tree;
+  tree.distance.assign(graph.node_count(), ShortestPathTree::kUnreachable);
+  tree.parent_edge.assign(graph.node_count(), EdgeId{});
+  tree.distance[static_cast<std::size_t>(source.value)] = 0.0;
+
+  using Entry = std::pair<double, NodeId>;
+  auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [dist, node] = heap.top();
+    heap.pop();
+    if (dist > tree.distance[static_cast<std::size_t>(node.value)]) continue;
+    for (EdgeId id : graph.out_edges(node)) {
+      if (!usable(id)) continue;
+      const double w = weight(id);
+      RWC_CHECK_MSG(w >= 0.0, "negative edge weight in dijkstra");
+      const NodeId next = graph.edge(id).dst;
+      const double candidate = dist + w;
+      auto& best = tree.distance[static_cast<std::size_t>(next.value)];
+      if (candidate < best) {
+        best = candidate;
+        tree.parent_edge[static_cast<std::size_t>(next.value)] = id;
+        heap.emplace(candidate, next);
+      }
+    }
+  }
+  return tree;
+}
+
+/// Dijkstra over the graph's `weight` attribute, all edges usable.
+ShortestPathTree dijkstra_by_weight(const Graph& graph, NodeId source);
+
+/// Reconstructs the path from the tree's source to `target`; empty Path with
+/// weight = infinity when unreachable (or target == source).
+Path extract_path(const Graph& graph, const ShortestPathTree& tree,
+                  NodeId target);
+
+/// Convenience: shortest path by the graph's weight attribute.
+Path shortest_path(const Graph& graph, NodeId source, NodeId target);
+
+}  // namespace rwc::graph

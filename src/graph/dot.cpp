@@ -1,0 +1,26 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace rwc::graph {
+
+std::string to_dot(const Graph& graph, const std::string& name) {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  for (NodeId node : graph.node_ids())
+    os << "  \"" << graph.node_name(node) << "\";\n";
+  for (EdgeId id : graph.edge_ids()) {
+    const Edge& e = graph.edge(id);
+    os << "  \"" << graph.node_name(e.src) << "\" -> \""
+       << graph.node_name(e.dst) << "\" [label=\""
+       << util::format_double(e.capacity.value, 0) << "G";
+    if (e.cost != 0.0) os << ", " << util::format_double(e.cost, 0);
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rwc::graph

@@ -1,0 +1,14 @@
+// Graphviz DOT export for debugging topologies and augmented views.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rwc::graph {
+
+/// Renders the graph in DOT syntax. Edge labels show capacity and, when
+/// non-zero, the cost ("<capacity>, <cost>" like the paper's Figure 7b).
+std::string to_dot(const Graph& graph, const std::string& name = "rwc");
+
+}  // namespace rwc::graph

@@ -1,0 +1,135 @@
+#include "graph/graph.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace rwc::graph {
+
+NodeId Graph::add_node(std::string name) {
+  const NodeId id{static_cast<std::int32_t>(node_names_.size())};
+  if (name.empty()) name = "n" + std::to_string(id.value);
+  node_names_.push_back(std::move(name));
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return id;
+}
+
+EdgeId Graph::add_edge(NodeId src, NodeId dst, util::Gbps capacity,
+                       double cost, double weight) {
+  check_node(src);
+  check_node(dst);
+  RWC_EXPECTS(capacity.value >= 0.0);
+  const EdgeId id{static_cast<std::int32_t>(edges_.size())};
+  edges_.push_back(Edge{src, dst, capacity, cost, weight});
+  out_edges_[static_cast<std::size_t>(src.value)].push_back(id);
+  in_edges_[static_cast<std::size_t>(dst.value)].push_back(id);
+  return id;
+}
+
+std::pair<EdgeId, EdgeId> Graph::add_bidirectional(NodeId a, NodeId b,
+                                                   util::Gbps capacity,
+                                                   double cost,
+                                                   double weight) {
+  return {add_edge(a, b, capacity, cost, weight),
+          add_edge(b, a, capacity, cost, weight)};
+}
+
+const Edge& Graph::edge(EdgeId id) const {
+  RWC_EXPECTS(id.valid() &&
+              static_cast<std::size_t>(id.value) < edges_.size());
+  return edges_[static_cast<std::size_t>(id.value)];
+}
+
+Edge& Graph::edge(EdgeId id) {
+  RWC_EXPECTS(id.valid() &&
+              static_cast<std::size_t>(id.value) < edges_.size());
+  return edges_[static_cast<std::size_t>(id.value)];
+}
+
+std::span<const EdgeId> Graph::out_edges(NodeId node) const {
+  check_node(node);
+  return out_edges_[static_cast<std::size_t>(node.value)];
+}
+
+std::span<const EdgeId> Graph::in_edges(NodeId node) const {
+  check_node(node);
+  return in_edges_[static_cast<std::size_t>(node.value)];
+}
+
+const std::string& Graph::node_name(NodeId id) const {
+  check_node(id);
+  return node_names_[static_cast<std::size_t>(id.value)];
+}
+
+std::optional<NodeId> Graph::find_node(std::string_view name) const {
+  for (std::size_t i = 0; i < node_names_.size(); ++i)
+    if (node_names_[i] == name) return NodeId{static_cast<std::int32_t>(i)};
+  return std::nullopt;
+}
+
+std::vector<NodeId> Graph::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i)
+    ids.push_back(NodeId{static_cast<std::int32_t>(i)});
+  return ids;
+}
+
+std::vector<EdgeId> Graph::edge_ids() const {
+  std::vector<EdgeId> ids;
+  ids.reserve(edge_count());
+  for (std::size_t i = 0; i < edge_count(); ++i)
+    ids.push_back(EdgeId{static_cast<std::int32_t>(i)});
+  return ids;
+}
+
+std::optional<EdgeId> Graph::find_edge(NodeId src, NodeId dst) const {
+  for (EdgeId id : out_edges(src))
+    if (edge(id).dst == dst) return id;
+  return std::nullopt;
+}
+
+util::Gbps Graph::total_capacity() const {
+  util::Gbps total{0.0};
+  for (const Edge& e : edges_) total += e.capacity;
+  return total;
+}
+
+void Graph::check_node(NodeId id) const {
+  RWC_EXPECTS(id.valid() &&
+              static_cast<std::size_t>(id.value) < node_names_.size());
+}
+
+std::vector<NodeId> path_nodes(const Graph& graph, const Path& path) {
+  std::vector<NodeId> nodes;
+  if (path.empty()) return nodes;
+  nodes.reserve(path.edges.size() + 1);
+  nodes.push_back(graph.edge(path.edges.front()).src);
+  for (EdgeId id : path.edges) {
+    RWC_EXPECTS(graph.edge(id).src == nodes.back());
+    nodes.push_back(graph.edge(id).dst);
+  }
+  return nodes;
+}
+
+std::string path_to_string(const Graph& graph, const Path& path) {
+  if (path.empty()) return "(empty)";
+  std::ostringstream os;
+  const auto nodes = path_nodes(graph, path);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << graph.node_name(nodes[i]);
+  }
+  return os.str();
+}
+
+util::Gbps path_bottleneck(const Graph& graph, const Path& path) {
+  util::Gbps bottleneck{std::numeric_limits<double>::infinity()};
+  for (EdgeId id : path.edges)
+    bottleneck = std::min(bottleneck, graph.edge(id).capacity);
+  return bottleneck;
+}
+
+}  // namespace rwc::graph

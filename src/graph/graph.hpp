@@ -1,0 +1,114 @@
+// Directed multigraph used for IP topologies and their augmented views.
+//
+// Edges carry the three attributes the paper's abstraction manipulates:
+//   capacity — link rate in Gbps,
+//   cost     — per-unit-flow penalty seen by min-cost TE (Algorithm 1's P'),
+//   weight   — routing metric (hop count / latency) for shortest-path TE.
+// Node and edge ids are strong int wrappers to prevent index mix-ups.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace rwc::graph {
+
+struct NodeId {
+  std::int32_t value = -1;
+  constexpr bool valid() const { return value >= 0; }
+  constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+struct EdgeId {
+  std::int32_t value = -1;
+  constexpr bool valid() const { return value >= 0; }
+  constexpr auto operator<=>(const EdgeId&) const = default;
+};
+
+/// One directed edge. Plain data; Graph owns the adjacency indexes.
+struct Edge {
+  NodeId src;
+  NodeId dst;
+  util::Gbps capacity{0.0};
+  double cost = 0.0;
+  double weight = 1.0;
+};
+
+/// Directed multigraph with named nodes. Mutation is append-only (nodes and
+/// edges are never removed; callers build filtered copies instead), which
+/// keeps ids stable across the augmentation/translation round-trip.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Adds a node; name may be empty (a "n<i>" name is synthesized).
+  NodeId add_node(std::string name = {});
+
+  /// Adds a directed edge. Requires valid endpoints and capacity >= 0.
+  EdgeId add_edge(NodeId src, NodeId dst, util::Gbps capacity,
+                  double cost = 0.0, double weight = 1.0);
+
+  /// Adds a pair of opposite directed edges (a bidirectional link).
+  std::pair<EdgeId, EdgeId> add_bidirectional(NodeId a, NodeId b,
+                                              util::Gbps capacity,
+                                              double cost = 0.0,
+                                              double weight = 1.0);
+
+  std::size_t node_count() const { return node_names_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  const Edge& edge(EdgeId id) const;
+  Edge& edge(EdgeId id);
+
+  std::span<const EdgeId> out_edges(NodeId node) const;
+  std::span<const EdgeId> in_edges(NodeId node) const;
+
+  const std::string& node_name(NodeId id) const;
+  /// Looks a node up by name; nullopt when absent.
+  std::optional<NodeId> find_node(std::string_view name) const;
+
+  /// All node ids, 0..node_count-1.
+  std::vector<NodeId> node_ids() const;
+  /// All edge ids, 0..edge_count-1.
+  std::vector<EdgeId> edge_ids() const;
+
+  /// Finds an edge src->dst (the first one, if parallel edges exist).
+  std::optional<EdgeId> find_edge(NodeId src, NodeId dst) const;
+
+  /// Sum of all edge capacities.
+  util::Gbps total_capacity() const;
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::vector<std::string> node_names_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+};
+
+/// A path as an edge sequence plus its total routing weight.
+struct Path {
+  std::vector<EdgeId> edges;
+  double weight = 0.0;
+
+  bool empty() const { return edges.empty(); }
+};
+
+/// Node sequence of a path (src of first edge, then successive dsts).
+std::vector<NodeId> path_nodes(const Graph& graph, const Path& path);
+
+/// Human-readable "A -> B -> C" rendering.
+std::string path_to_string(const Graph& graph, const Path& path);
+
+/// Minimum capacity along the path's edges; infinite for an empty path.
+util::Gbps path_bottleneck(const Graph& graph, const Path& path);
+
+}  // namespace rwc::graph

@@ -1,0 +1,106 @@
+#include "graph/ksp.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/dijkstra.hpp"
+#include "util/check.hpp"
+
+namespace rwc::graph {
+
+namespace {
+
+/// Shortest path avoiding a set of edges and nodes.
+Path constrained_shortest_path(const Graph& graph, NodeId source,
+                               NodeId target,
+                               const std::set<EdgeId>& banned_edges,
+                               const std::vector<bool>& banned_nodes) {
+  auto usable = [&](EdgeId id) {
+    const Edge& e = graph.edge(id);
+    if (banned_nodes[static_cast<std::size_t>(e.src.value)]) return false;
+    if (banned_nodes[static_cast<std::size_t>(e.dst.value)]) return false;
+    return !banned_edges.contains(id);
+  };
+  auto weight = [&](EdgeId id) { return graph.edge(id).weight; };
+  return extract_path(graph, dijkstra(graph, source, weight, usable), target);
+}
+
+bool same_edges(const Path& a, const Path& b) { return a.edges == b.edges; }
+
+}  // namespace
+
+std::vector<Path> k_shortest_paths(const Graph& graph, NodeId source,
+                                   NodeId target, std::size_t k) {
+  RWC_EXPECTS(k >= 1);
+  RWC_EXPECTS(source != target);
+
+  std::vector<Path> result;
+  Path first = shortest_path(graph, source, target);
+  if (first.empty()) return result;
+  result.push_back(std::move(first));
+
+  // Candidate pool ordered by weight; ties broken on edge sequence for
+  // determinism.
+  auto cmp = [](const Path& a, const Path& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    return a.edges < b.edges;
+  };
+  std::vector<Path> candidates;
+
+  while (result.size() < k) {
+    const Path& previous = result.back();
+    const auto prev_nodes = path_nodes(graph, previous);
+
+    for (std::size_t spur_index = 0; spur_index + 1 < prev_nodes.size();
+         ++spur_index) {
+      const NodeId spur_node = prev_nodes[spur_index];
+
+      // Root = previous path up to (excluding) the spur edge.
+      Path root;
+      for (std::size_t i = 0; i < spur_index; ++i) {
+        root.edges.push_back(previous.edges[i]);
+        root.weight += graph.edge(previous.edges[i]).weight;
+      }
+
+      // Ban the next edge of every accepted path sharing this root.
+      std::set<EdgeId> banned_edges;
+      for (const Path& accepted : result) {
+        if (accepted.edges.size() <= spur_index) continue;
+        if (!std::equal(root.edges.begin(), root.edges.end(),
+                        accepted.edges.begin()))
+          continue;
+        banned_edges.insert(accepted.edges[spur_index]);
+      }
+
+      // Ban root nodes (except the spur node) to keep paths loopless.
+      std::vector<bool> banned_nodes(graph.node_count(), false);
+      for (std::size_t i = 0; i < spur_index; ++i)
+        banned_nodes[static_cast<std::size_t>(prev_nodes[i].value)] = true;
+
+      Path spur = constrained_shortest_path(graph, spur_node, target,
+                                            banned_edges, banned_nodes);
+      if (spur.empty() && spur_node != target) continue;
+
+      Path total = root;
+      total.weight += spur.weight;
+      total.edges.insert(total.edges.end(), spur.edges.begin(),
+                         spur.edges.end());
+      if (total.edges.empty()) continue;
+
+      const bool duplicate =
+          std::any_of(candidates.begin(), candidates.end(),
+                      [&](const Path& c) { return same_edges(c, total); }) ||
+          std::any_of(result.begin(), result.end(),
+                      [&](const Path& r) { return same_edges(r, total); });
+      if (!duplicate) candidates.push_back(std::move(total));
+    }
+
+    if (candidates.empty()) break;
+    const auto best = std::min_element(candidates.begin(), candidates.end(), cmp);
+    result.push_back(*best);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+}  // namespace rwc::graph

@@ -1,0 +1,18 @@
+// Yen's algorithm for the k shortest loopless paths, by edge weight.
+// SWAN-style TE preinstalls the k shortest tunnels per demand pair; the
+// augmentation layer relies on fake links participating here like any edge.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rwc::graph {
+
+/// Up to k shortest loopless paths from source to target ordered by weight.
+/// Fewer are returned when the graph does not contain k distinct paths.
+std::vector<Path> k_shortest_paths(const Graph& graph, NodeId source,
+                                   NodeId target, std::size_t k);
+
+}  // namespace rwc::graph

@@ -1,0 +1,332 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rwc::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kPivotEps = 1e-8;
+
+/// Dense simplex tableau. Row 0..m-1 are constraints; the objective is kept
+/// as a separate reduced-cost vector updated by pivoting.
+class Tableau {
+ public:
+  Tableau(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        cells_(static_cast<std::size_t>(rows) * cols, 0.0),
+        rhs_(rows, 0.0), basis_(rows, -1) {}
+
+  double& at(int r, int c) {
+    return cells_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  double at(int r, int c) const {
+    return cells_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  double& rhs(int r) { return rhs_[static_cast<std::size_t>(r)]; }
+  double rhs(int r) const { return rhs_[static_cast<std::size_t>(r)]; }
+  int& basis(int r) { return basis_[static_cast<std::size_t>(r)]; }
+  int basis(int r) const { return basis_[static_cast<std::size_t>(r)]; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Pivot on (pivot_row, pivot_col): normalize the row and eliminate the
+  /// column from all other rows and from the reduced costs.
+  void pivot(int pivot_row, int pivot_col, std::vector<double>& reduced,
+             double& objective_value) {
+    const double pivot_value = at(pivot_row, pivot_col);
+    RWC_CHECK(std::abs(pivot_value) > kPivotEps);
+    const double inv = 1.0 / pivot_value;
+    for (int c = 0; c < cols_; ++c) at(pivot_row, c) *= inv;
+    rhs(pivot_row) *= inv;
+    at(pivot_row, pivot_col) = 1.0;  // exact
+
+    for (int r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = at(r, pivot_col);
+      if (std::abs(factor) < kEps) {
+        at(r, pivot_col) = 0.0;
+        continue;
+      }
+      for (int c = 0; c < cols_; ++c)
+        at(r, c) -= factor * at(pivot_row, c);
+      at(r, pivot_col) = 0.0;  // exact
+      rhs(r) -= factor * rhs(pivot_row);
+    }
+    const double factor = reduced[static_cast<std::size_t>(pivot_col)];
+    if (std::abs(factor) > 0.0) {
+      for (int c = 0; c < cols_; ++c)
+        reduced[static_cast<std::size_t>(c)] -= factor * at(pivot_row, c);
+      reduced[static_cast<std::size_t>(pivot_col)] = 0.0;
+      objective_value -= factor * rhs(pivot_row);
+    }
+    basis(pivot_row) = pivot_col;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> cells_;
+  std::vector<double> rhs_;
+  std::vector<int> basis_;
+};
+
+enum class IterationOutcome { kOptimal, kUnbounded, kIterationLimit };
+
+/// Runs simplex iterations minimizing the objective encoded in `reduced`.
+/// `allowed_cols` marks columns eligible to enter the basis.
+IterationOutcome iterate(Tableau& tableau, std::vector<double>& reduced,
+                         double& objective_value,
+                         const std::vector<bool>& allowed_cols,
+                         int iteration_limit) {
+  const int bland_after = iteration_limit / 2;
+  for (int iteration = 0; iteration < iteration_limit; ++iteration) {
+    const bool use_bland = iteration >= bland_after;
+
+    // Entering column: most negative reduced cost (Dantzig) or first
+    // negative (Bland, anti-cycling).
+    int entering = -1;
+    double best = -kEps;
+    for (int c = 0; c < tableau.cols(); ++c) {
+      if (!allowed_cols[static_cast<std::size_t>(c)]) continue;
+      const double rc = reduced[static_cast<std::size_t>(c)];
+      if (rc < best) {
+        entering = c;
+        best = rc;
+        if (use_bland) break;
+      }
+    }
+    if (entering < 0) return IterationOutcome::kOptimal;
+
+    // Ratio test.
+    int leaving = -1;
+    double best_ratio = 0.0;
+    for (int r = 0; r < tableau.rows(); ++r) {
+      const double coeff = tableau.at(r, entering);
+      if (coeff <= kPivotEps) continue;
+      const double ratio = tableau.rhs(r) / coeff;
+      if (leaving < 0 || ratio < best_ratio - kEps ||
+          (use_bland && ratio < best_ratio + kEps &&
+           tableau.basis(r) < tableau.basis(leaving))) {
+        leaving = r;
+        best_ratio = ratio;
+      }
+    }
+    if (leaving < 0) return IterationOutcome::kUnbounded;
+
+    tableau.pivot(leaving, entering, reduced, objective_value);
+  }
+  return IterationOutcome::kIterationLimit;
+}
+
+}  // namespace
+
+const char* to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+int LpProblem::add_variable(double objective_coefficient, double upper_bound,
+                            std::string name) {
+  RWC_EXPECTS(upper_bound >= 0.0);
+  const int index = variable_count();
+  objective_.push_back(objective_coefficient);
+  upper_bounds_.push_back(upper_bound);
+  if (name.empty()) name = "x" + std::to_string(index);
+  names_.push_back(std::move(name));
+  return index;
+}
+
+void LpProblem::add_constraint(std::vector<Term> terms, Relation relation,
+                               double rhs) {
+  for (const Term& t : terms)
+    RWC_EXPECTS(t.variable >= 0 && t.variable < variable_count());
+  rows_.push_back(Row{std::move(terms), relation, rhs});
+}
+
+const std::string& LpProblem::variable_name(int v) const {
+  RWC_EXPECTS(v >= 0 && v < variable_count());
+  return names_[static_cast<std::size_t>(v)];
+}
+
+LpSolution LpProblem::solve() const {
+  const int n = variable_count();
+
+  // Materialize rows, lowering finite upper bounds to x_j <= ub.
+  std::vector<Row> rows = rows_;
+  for (int v = 0; v < n; ++v) {
+    const double ub = upper_bounds_[static_cast<std::size_t>(v)];
+    if (std::isfinite(ub))
+      rows.push_back(Row{{Term{v, 1.0}}, Relation::kLessEqual, ub});
+  }
+  const int m = static_cast<int>(rows.size());
+
+  // Column layout: [structural n] [slack/surplus per row] [artificial per
+  // row as needed].
+  int slack_count = 0;
+  for (const Row& row : rows)
+    if (row.relation != Relation::kEqual) ++slack_count;
+
+  // Normalize rhs >= 0 and decide which rows need artificials.
+  struct RowPlan {
+    double sign = 1.0;           // row multiplier to make rhs >= 0
+    int slack_col = -1;          // slack/surplus column
+    double slack_coeff = 0.0;    // +1 slack, -1 surplus (after sign flip)
+    int artificial_col = -1;
+  };
+  std::vector<RowPlan> plan(static_cast<std::size_t>(m));
+  int next_col = n;
+  for (int r = 0; r < m; ++r) {
+    Relation rel = rows[static_cast<std::size_t>(r)].relation;
+    double rhs = rows[static_cast<std::size_t>(r)].rhs;
+    double sign = 1.0;
+    if (rhs < 0.0) {
+      sign = -1.0;
+      rhs = -rhs;
+      if (rel == Relation::kLessEqual)
+        rel = Relation::kGreaterEqual;
+      else if (rel == Relation::kGreaterEqual)
+        rel = Relation::kLessEqual;
+    }
+    auto& p = plan[static_cast<std::size_t>(r)];
+    p.sign = sign;
+    if (rel == Relation::kLessEqual) {
+      p.slack_col = next_col++;
+      p.slack_coeff = 1.0;
+    } else if (rel == Relation::kGreaterEqual) {
+      p.slack_col = next_col++;
+      p.slack_coeff = -1.0;
+    }
+  }
+  int artificial_start = next_col;
+  for (int r = 0; r < m; ++r) {
+    auto& p = plan[static_cast<std::size_t>(r)];
+    // <= rows start basic on their slack; >= and = rows need an artificial.
+    if (p.slack_coeff != 1.0) p.artificial_col = next_col++;
+  }
+  const int total_cols = next_col;
+
+  Tableau tableau(m, total_cols);
+  for (int r = 0; r < m; ++r) {
+    const Row& row = rows[static_cast<std::size_t>(r)];
+    const auto& p = plan[static_cast<std::size_t>(r)];
+    for (const Term& t : row.terms)
+      tableau.at(r, t.variable) += p.sign * t.coefficient;
+    tableau.rhs(r) = p.sign * row.rhs;
+    if (p.slack_col >= 0) tableau.at(r, p.slack_col) = p.slack_coeff;
+    if (p.artificial_col >= 0) tableau.at(r, p.artificial_col) = 1.0;
+    tableau.basis(r) = p.artificial_col >= 0 ? p.artificial_col : p.slack_col;
+  }
+
+  const int iteration_limit = 200 * (m + total_cols) + 2000;
+
+  // ---- Phase 1: minimize the sum of artificials. ----
+  bool has_artificials = artificial_start < total_cols;
+  if (has_artificials) {
+    std::vector<double> reduced(static_cast<std::size_t>(total_cols), 0.0);
+    double phase1_value = 0.0;
+    // Objective: sum of artificial columns; express in terms of non-basics
+    // by subtracting basic (artificial) rows.
+    for (int c = artificial_start; c < total_cols; ++c)
+      reduced[static_cast<std::size_t>(c)] = 1.0;
+    for (int r = 0; r < m; ++r) {
+      const int b = tableau.basis(r);
+      if (b >= artificial_start) {
+        for (int c = 0; c < total_cols; ++c)
+          reduced[static_cast<std::size_t>(c)] -= tableau.at(r, c);
+        phase1_value += tableau.rhs(r);
+      }
+    }
+    std::vector<bool> allowed(static_cast<std::size_t>(total_cols), true);
+    const auto outcome =
+        iterate(tableau, reduced, phase1_value, allowed, iteration_limit);
+    if (outcome == IterationOutcome::kIterationLimit)
+      return LpSolution{LpStatus::kIterationLimit, 0.0, {}};
+    // Phase-1 objective is bounded below by 0, so kUnbounded cannot happen.
+    // Recompute the artificial sum from the tableau (robust to the sign
+    // convention of the incremental tracker).
+    double artificial_sum = 0.0;
+    for (int r = 0; r < m; ++r)
+      if (tableau.basis(r) >= artificial_start)
+        artificial_sum += std::max(0.0, tableau.rhs(r));
+    if (artificial_sum > 1e-6)
+      return LpSolution{LpStatus::kInfeasible, 0.0, {}};
+
+    // Drive any residual artificial out of the basis (degenerate rows).
+    for (int r = 0; r < m; ++r) {
+      if (tableau.basis(r) < artificial_start) continue;
+      int replacement = -1;
+      for (int c = 0; c < artificial_start; ++c) {
+        if (std::abs(tableau.at(r, c)) > kPivotEps) {
+          replacement = c;
+          break;
+        }
+      }
+      if (replacement >= 0) {
+        double dummy = 0.0;
+        std::vector<double> zero(static_cast<std::size_t>(total_cols), 0.0);
+        tableau.pivot(r, replacement, zero, dummy);
+      }
+      // Otherwise the row is all-zero over structural columns (redundant
+      // constraint); the artificial stays basic at value ~0, harmless.
+    }
+  }
+
+  // ---- Phase 2: original objective over structural + slack columns. ----
+  const double obj_sign = sense_ == Sense::kMinimize ? 1.0 : -1.0;
+  std::vector<double> reduced(static_cast<std::size_t>(total_cols), 0.0);
+  double objective_value = 0.0;
+  for (int v = 0; v < n; ++v)
+    reduced[static_cast<std::size_t>(v)] =
+        obj_sign * objective_[static_cast<std::size_t>(v)];
+  for (int r = 0; r < m; ++r) {
+    const int b = tableau.basis(r);
+    const double cb = reduced[static_cast<std::size_t>(b)];
+    if (std::abs(cb) < kEps) continue;
+    for (int c = 0; c < total_cols; ++c)
+      reduced[static_cast<std::size_t>(c)] -= cb * tableau.at(r, c);
+    reduced[static_cast<std::size_t>(b)] = 0.0;
+    objective_value -= cb * tableau.rhs(r);
+  }
+  std::vector<bool> allowed(static_cast<std::size_t>(total_cols), true);
+  for (int c = artificial_start; c < total_cols; ++c)
+    allowed[static_cast<std::size_t>(c)] = false;
+  const auto outcome =
+      iterate(tableau, reduced, objective_value, allowed, iteration_limit);
+  if (outcome == IterationOutcome::kIterationLimit)
+    return LpSolution{LpStatus::kIterationLimit, 0.0, {}};
+  if (outcome == IterationOutcome::kUnbounded)
+    return LpSolution{LpStatus::kUnbounded, 0.0, {}};
+
+  LpSolution solution;
+  solution.status = LpStatus::kOptimal;
+  solution.values.assign(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    const int b = tableau.basis(r);
+    if (b >= 0 && b < n)
+      solution.values[static_cast<std::size_t>(b)] =
+          std::max(0.0, tableau.rhs(r));
+  }
+  // Recompute the objective from the primal values (robust to the sign
+  // convention of the incremental tracker used during pivoting).
+  solution.objective = 0.0;
+  for (int v = 0; v < n; ++v)
+    solution.objective += objective_[static_cast<std::size_t>(v)] *
+                          solution.values[static_cast<std::size_t>(v)];
+  return solution;
+}
+
+}  // namespace rwc::lp

@@ -1,0 +1,105 @@
+#include "mgmt/config_model.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace rwc::mgmt {
+
+NetworkConfig snapshot(const core::DynamicCapacityController& controller,
+                       const std::string& engine_name) {
+  NetworkConfig config;
+  config.engine = engine_name;
+  const core::ControllerOptions& options = controller.options();
+  config.snr_margin_db = options.snr_margin.value;
+  config.consolidate = options.consolidate;
+  config.restore_to_nominal = options.restore_to_nominal;
+  if (options.hysteresis.has_value()) {
+    config.hysteresis_enabled = true;
+    config.hysteresis_extra_margin_db =
+        options.hysteresis->extra_up_margin.value;
+    config.hysteresis_hold_rounds = options.hysteresis->up_hold_rounds;
+  }
+  const graph::Graph& topology = controller.physical_topology();
+  for (graph::EdgeId edge : topology.edge_ids()) {
+    LinkEntry entry;
+    entry.name = topology.node_name(topology.edge(edge).src) + "->" +
+                 topology.node_name(topology.edge(edge).dst);
+    entry.nominal_gbps = topology.edge(edge).capacity.value;
+    entry.configured_gbps = controller.configured_capacity(edge).value;
+    config.links.push_back(std::move(entry));
+  }
+  return config;
+}
+
+std::string to_text(const NetworkConfig& config) {
+  std::ostringstream os;
+  os << "controller/engine " << config.engine << '\n';
+  os << "controller/snr-margin-db "
+     << util::format_double(config.snr_margin_db, 4) << '\n';
+  os << "controller/consolidate " << (config.consolidate ? 1 : 0) << '\n';
+  os << "controller/restore-to-nominal "
+     << (config.restore_to_nominal ? 1 : 0) << '\n';
+  os << "controller/hysteresis/enabled "
+     << (config.hysteresis_enabled ? 1 : 0) << '\n';
+  os << "controller/hysteresis/extra-margin-db "
+     << util::format_double(config.hysteresis_extra_margin_db, 4) << '\n';
+  os << "controller/hysteresis/hold-rounds " << config.hysteresis_hold_rounds
+     << '\n';
+  os << "links/count " << config.links.size() << '\n';
+  for (std::size_t i = 0; i < config.links.size(); ++i) {
+    const LinkEntry& link = config.links[i];
+    os << "links/" << i << "/name " << link.name << '\n';
+    os << "links/" << i << "/nominal-gbps "
+       << util::format_double(link.nominal_gbps, 2) << '\n';
+    os << "links/" << i << "/configured-gbps "
+       << util::format_double(link.configured_gbps, 2) << '\n';
+  }
+  return os.str();
+}
+
+NetworkConfig from_text(const std::string& text) {
+  std::map<std::string, std::string> leafs;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto space = line.find(' ');
+    RWC_CHECK_MSG(space != std::string::npos && space > 0,
+                  "config text: malformed line: " + line);
+    leafs[line.substr(0, space)] = line.substr(space + 1);
+  }
+  auto require = [&](const std::string& path) -> const std::string& {
+    const auto it = leafs.find(path);
+    RWC_CHECK_MSG(it != leafs.end(), "config text: missing leaf " + path);
+    return it->second;
+  };
+
+  NetworkConfig config;
+  config.engine = require("controller/engine");
+  config.snr_margin_db = std::stod(require("controller/snr-margin-db"));
+  config.consolidate = require("controller/consolidate") == "1";
+  config.restore_to_nominal =
+      require("controller/restore-to-nominal") == "1";
+  config.hysteresis_enabled =
+      require("controller/hysteresis/enabled") == "1";
+  config.hysteresis_extra_margin_db =
+      std::stod(require("controller/hysteresis/extra-margin-db"));
+  config.hysteresis_hold_rounds =
+      std::stoi(require("controller/hysteresis/hold-rounds"));
+  const auto count =
+      static_cast<std::size_t>(std::stoul(require("links/count")));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string prefix = "links/" + std::to_string(i) + "/";
+    LinkEntry entry;
+    entry.name = require(prefix + "name");
+    entry.nominal_gbps = std::stod(require(prefix + "nominal-gbps"));
+    entry.configured_gbps = std::stod(require(prefix + "configured-gbps"));
+    config.links.push_back(std::move(entry));
+  }
+  return config;
+}
+
+}  // namespace rwc::mgmt

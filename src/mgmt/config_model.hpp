@@ -1,0 +1,49 @@
+// Management-plane data model for the dynamic-capacity controller.
+//
+// Filer et al. (the paper's optical-backbone reference) name YANG/NETCONF
+// and SNMP as the starting points for a standard interface between the
+// optical layer and the WAN controller. This module provides both sides in
+// miniature:
+//   - a YANG-flavoured configuration/state snapshot with a deterministic
+//     "path value" text encoding (config_model),
+//   - an SNMP-lite, OID-addressed read-only MIB view (mib.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+
+namespace rwc::mgmt {
+
+/// Per-link configuration and state leafs.
+struct LinkEntry {
+  std::string name;             // "<src>-><dst>"
+  double nominal_gbps = 0.0;    // provisioned rate (config)
+  double configured_gbps = 0.0; // currently running rate (state)
+};
+
+/// The controller's management view.
+struct NetworkConfig {
+  std::string engine;
+  double snr_margin_db = 0.0;
+  bool consolidate = true;
+  bool restore_to_nominal = true;
+  bool hysteresis_enabled = false;
+  double hysteresis_extra_margin_db = 0.0;
+  int hysteresis_hold_rounds = 0;
+  std::vector<LinkEntry> links;
+};
+
+/// Snapshot of a live controller.
+NetworkConfig snapshot(const core::DynamicCapacityController& controller,
+                       const std::string& engine_name);
+
+/// Deterministic YANG-ish text encoding: one "path value" line per leaf,
+/// e.g. `controller/snr-margin-db 0.5` and `links/3/configured-gbps 150`.
+std::string to_text(const NetworkConfig& config);
+
+/// Parses to_text output; throws util::CheckError on malformed input.
+NetworkConfig from_text(const std::string& text);
+
+}  // namespace rwc::mgmt

@@ -1,0 +1,82 @@
+#include "mgmt/mib.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace rwc::mgmt {
+
+std::string to_string(const Oid& oid) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < oid.size(); ++i) {
+    if (i > 0) os << '.';
+    os << oid[i];
+  }
+  return os.str();
+}
+
+MibView::MibView(const core::DynamicCapacityController& controller,
+                 const core::DeviceArray* devices)
+    : controller_(controller), devices_(devices) {
+  if (devices_ != nullptr)
+    RWC_EXPECTS(devices_->size() ==
+                controller_.physical_topology().edge_count());
+}
+
+std::vector<std::pair<Oid, MibValue>> MibView::snapshot() const {
+  std::vector<std::pair<Oid, MibValue>> entries;
+  auto emit = [&](std::initializer_list<int> suffix, MibValue value) {
+    Oid oid = kRwcEnterpriseArc;
+    oid.insert(oid.end(), suffix.begin(), suffix.end());
+    entries.emplace_back(std::move(oid), std::move(value));
+  };
+
+  const graph::Graph& topology = controller_.physical_topology();
+  emit({1, 1, 0}, MibValue::of(static_cast<long long>(topology.edge_count())));
+  for (graph::EdgeId edge : topology.edge_ids()) {
+    const int i = edge.value;
+    emit({1, 2, i, 1},
+         MibValue::of(topology.node_name(topology.edge(edge).src) + "->" +
+                      topology.node_name(topology.edge(edge).dst)));
+    emit({1, 2, i, 2},
+         MibValue::of(static_cast<long long>(
+             topology.edge(edge).capacity.value)));
+    emit({1, 2, i, 3},
+         MibValue::of(static_cast<long long>(
+             controller_.configured_capacity(edge).value)));
+    if (devices_ != nullptr) {
+      const auto& device = (*devices_)[static_cast<std::size_t>(i)];
+      emit({1, 2, i, 4},
+           MibValue::of(static_cast<long long>(
+               device.mdio_read(bvt::Register::kSnrCentiDb))));
+      emit({1, 2, i, 5},
+           MibValue::of(static_cast<long long>(
+               device.mdio_read(bvt::Register::kStatus))));
+      emit({1, 2, i, 6},
+           MibValue::of(static_cast<long long>(device.reconfig_count())));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+std::optional<MibValue> MibView::get(const Oid& oid) const {
+  for (auto& [candidate, value] : snapshot())
+    if (candidate == oid) return value;
+  return std::nullopt;
+}
+
+std::vector<std::pair<Oid, MibValue>> MibView::walk(const Oid& prefix) const {
+  std::vector<std::pair<Oid, MibValue>> result;
+  for (auto& entry : snapshot()) {
+    const Oid& oid = entry.first;
+    if (oid.size() < prefix.size()) continue;
+    if (std::equal(prefix.begin(), prefix.end(), oid.begin()))
+      result.push_back(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace rwc::mgmt

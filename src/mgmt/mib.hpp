@@ -1,0 +1,67 @@
+// SNMP-lite read-only MIB over the controller and (optionally) the per-link
+// BVT devices: OID-addressed GET and lexicographic WALK, the way a
+// monitoring system would poll the optical layer.
+//
+// OID layout under the rwc enterprise arc {1,3,6,1,4,1,53535}:
+//   .1.1.0          link count                    (int)
+//   .1.2.<i>.1      link name                     (string)
+//   .1.2.<i>.2      nominal rate, Gbps            (int)
+//   .1.2.<i>.3      configured rate, Gbps         (int)
+//   .1.2.<i>.4      device SNR, centi-dB          (int; devices only)
+//   .1.2.<i>.5      device status bits            (int; devices only)
+//   .1.2.<i>.6      device reconfig count         (int; devices only)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/orchestrator.hpp"
+
+namespace rwc::mgmt {
+
+using Oid = std::vector<int>;
+
+/// Renders "1.3.6.1.4.1.53535...." dotted form.
+std::string to_string(const Oid& oid);
+
+struct MibValue {
+  enum class Kind { kInteger, kString };
+  Kind kind = Kind::kInteger;
+  long long integer = 0;
+  std::string text;
+
+  static MibValue of(long long value) {
+    return MibValue{Kind::kInteger, value, {}};
+  }
+  static MibValue of(std::string value) {
+    return MibValue{Kind::kString, 0, std::move(value)};
+  }
+};
+
+inline const Oid kRwcEnterpriseArc = {1, 3, 6, 1, 4, 1, 53535};
+
+class MibView {
+ public:
+  /// `devices` may be null (controller-only view); when provided it must be
+  /// indexed like the controller's physical edges.
+  explicit MibView(const core::DynamicCapacityController& controller,
+                   const core::DeviceArray* devices = nullptr);
+
+  /// Exact-match GET; nullopt for unknown OIDs.
+  std::optional<MibValue> get(const Oid& oid) const;
+
+  /// All registered (oid, value) pairs under `prefix`, in lexicographic OID
+  /// order (SNMP walk semantics).
+  std::vector<std::pair<Oid, MibValue>> walk(const Oid& prefix) const;
+
+ private:
+  std::vector<std::pair<Oid, MibValue>> snapshot() const;
+
+  const core::DynamicCapacityController& controller_;
+  const core::DeviceArray* devices_;
+};
+
+}  // namespace rwc::mgmt

@@ -1,0 +1,57 @@
+#include "optical/ber.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace rwc::optical {
+
+double q_function(double x) { return 0.5 * std::erfc(x / std::numbers::sqrt2); }
+
+namespace {
+
+/// Union-bound BER for square M-QAM with Gray mapping at symbol SNR (linear).
+double qam_ber(int constellation_size, double snr_linear) {
+  const double m = constellation_size;
+  const double k = std::log2(m);
+  if (constellation_size == 2)  // BPSK
+    return q_function(std::sqrt(2.0 * snr_linear));
+  if (constellation_size == 4)  // QPSK
+    return q_function(std::sqrt(snr_linear));
+  // Square/cross M-QAM approximation.
+  const double scale = 4.0 / k * (1.0 - 1.0 / std::sqrt(m));
+  return scale * q_function(std::sqrt(3.0 * snr_linear / (m - 1.0)));
+}
+
+/// Maps bits/symbol (per polarization tributary) to constellation size.
+int constellation_for_bits(double bits) {
+  return static_cast<int>(std::lround(std::pow(2.0, bits)));
+}
+
+}  // namespace
+
+double approx_ber(const ModulationFormat& format, util::Db snr) {
+  RWC_EXPECTS(format.bits_per_symbol > 0.0);
+  const double snr_linear = util::db_to_linear(snr);
+  const double bits = format.bits_per_symbol;
+  const double lower_bits = std::floor(bits);
+  const double upper_bits = std::ceil(bits);
+  if (lower_bits == upper_bits)
+    return qam_ber(constellation_for_bits(bits), snr_linear);
+  // Time-hybrid format: a fraction `t` of symbols use the denser format.
+  const double t = bits - lower_bits;
+  const double lower = qam_ber(constellation_for_bits(lower_bits), snr_linear);
+  const double upper = qam_ber(constellation_for_bits(upper_bits), snr_linear);
+  return (1.0 - t) * lower + t * upper;
+}
+
+double expected_evm(util::Db snr) {
+  return 1.0 / std::sqrt(util::db_to_linear(snr));
+}
+
+bool format_viable(const ModulationFormat& format, util::Db snr) {
+  return approx_ber(format, snr) <= kFecBerLimit;
+}
+
+}  // namespace rwc::optical

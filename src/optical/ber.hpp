@@ -1,0 +1,33 @@
+// Textbook bit-error-rate and EVM approximations for coherent QAM formats.
+// Used by the BVT simulator to validate that a requested modulation is
+// actually viable at the link's SNR (pre-FEC BER below the FEC limit) and to
+// annotate constellation diagrams (Figure 5).
+#pragma once
+
+#include "optical/modulation.hpp"
+#include "util/units.hpp"
+
+namespace rwc::optical {
+
+/// Gaussian tail probability Q(x) = P(N(0,1) > x).
+double q_function(double x);
+
+/// Approximate pre-FEC BER of a square/cross M-QAM constellation at symbol
+/// SNR `snr` (Es/N0). Uses the standard nearest-neighbour union bound with
+/// Gray mapping; hybrid (fractional bits/symbol) formats interpolate
+/// geometrically between the bracketing integer formats.
+double approx_ber(const ModulationFormat& format, util::Db snr);
+
+/// Error vector magnitude (RMS, as a fraction of RMS symbol power) expected
+/// at symbol SNR `snr`: EVM = 1/sqrt(SNR_linear).
+double expected_evm(util::Db snr);
+
+/// Soft-decision FEC limit used for the viability check; chosen so every
+/// ladder rate is viable exactly down to its published SNR threshold
+/// (modern SD-FEC engines correct pre-FEC BER up to ~2.4e-2).
+inline constexpr double kFecBerLimit = 2.4e-2;
+
+/// True when the format's pre-FEC BER at `snr` clears the FEC limit.
+bool format_viable(const ModulationFormat& format, util::Db snr);
+
+}  // namespace rwc::optical

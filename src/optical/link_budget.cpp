@@ -1,0 +1,56 @@
+#include "optical/link_budget.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rwc::optical {
+
+using util::Db;
+using util::Gbps;
+
+namespace {
+/// 10 log10 of (reference bandwidth 12.5 GHz) in the OSNR convention.
+constexpr double kReferenceBandwidthGhz = 12.5;
+constexpr double kOsnrConstantDb = 58.0;
+}  // namespace
+
+Db estimate_osnr(const LinkBudget& budget) {
+  RWC_EXPECTS(budget.span_count >= 1);
+  RWC_EXPECTS(budget.span.length_km > 0.0);
+  RWC_EXPECTS(budget.span.attenuation_db_per_km > 0.0);
+  const double span_loss_db =
+      budget.span.length_km * budget.span.attenuation_db_per_km;
+  return Db{kOsnrConstantDb + budget.launch_power_dbm - span_loss_db -
+            budget.span.amplifier_noise_figure_db -
+            10.0 * std::log10(static_cast<double>(budget.span_count))};
+}
+
+Db osnr_to_snr(Db osnr, double symbol_rate_gbaud) {
+  RWC_EXPECTS(symbol_rate_gbaud > 0.0);
+  return osnr -
+         Db{10.0 * std::log10(symbol_rate_gbaud / kReferenceBandwidthGhz)};
+}
+
+Db estimate_snr(const LinkBudget& budget) {
+  return osnr_to_snr(estimate_osnr(budget), budget.symbol_rate_gbaud);
+}
+
+Gbps feasible_capacity(const LinkBudget& budget,
+                       const ModulationTable& table, Db margin) {
+  return table.feasible_capacity(estimate_snr(budget), margin);
+}
+
+int max_reach_spans(LinkBudget budget, Db required_snr, Db margin) {
+  // SNR decreases monotonically in span count: walk until violation.
+  // (Closed form exists; the walk keeps the one formula authoritative.)
+  int spans = 0;
+  for (budget.span_count = 1; budget.span_count <= 10000;
+       ++budget.span_count) {
+    if (estimate_snr(budget) - margin < required_snr) break;
+    spans = budget.span_count;
+  }
+  return spans;
+}
+
+}  // namespace rwc::optical

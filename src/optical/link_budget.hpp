@@ -1,0 +1,57 @@
+// First-order optical link budget for an amplified WAN span chain.
+//
+// Gives the SNR model physical grounding: the paper's thresholds are
+// "specific to our hardware, fiber length, fiber type, and wavelength"; this
+// module lets a user derive a clear-sky SNR (and hence the feasible ladder
+// rate and maximum reach) from route parameters instead of guessing.
+//
+// Standard engineering approximations:
+//   OSNR[dB/0.1nm] = 58 + P_launch[dBm] - L_span[dB] - NF[dB]
+//                    - 10 log10(N_spans)
+//   SNR = OSNR - 10 log10(R_s / 12.5 GHz)      (per-symbol SNR at rate R_s)
+// (58 dB folds h*nu*B_ref at 1550 nm; EDFA-only line, identical spans.)
+#pragma once
+
+#include "optical/modulation.hpp"
+#include "util/units.hpp"
+
+namespace rwc::optical {
+
+struct SpanParams {
+  double length_km = 80.0;
+  double attenuation_db_per_km = 0.22;
+  /// EDFA noise figure compensating this span.
+  double amplifier_noise_figure_db = 5.0;
+};
+
+struct LinkBudget {
+  int span_count = 1;
+  SpanParams span;
+  double launch_power_dbm = 0.0;
+  double symbol_rate_gbaud = 32.0;
+
+  double total_length_km() const {
+    return span.length_km * span_count;
+  }
+};
+
+/// OSNR (0.1 nm reference bandwidth) delivered at the receiver.
+util::Db estimate_osnr(const LinkBudget& budget);
+
+/// Converts OSNR to per-symbol SNR at the given symbol rate.
+util::Db osnr_to_snr(util::Db osnr, double symbol_rate_gbaud);
+
+/// Clear-sky per-symbol SNR of the link.
+util::Db estimate_snr(const LinkBudget& budget);
+
+/// Highest ladder rate the budget supports (with margin), or 0 Gbps.
+util::Gbps feasible_capacity(const LinkBudget& budget,
+                             const ModulationTable& table,
+                             util::Db margin = util::Db{0.0});
+
+/// Maximum number of identical spans before `required_snr` (plus margin) is
+/// violated; 0 when even one span is infeasible.
+int max_reach_spans(LinkBudget budget, util::Db required_snr,
+                    util::Db margin = util::Db{0.0});
+
+}  // namespace rwc::optical

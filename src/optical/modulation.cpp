@@ -1,0 +1,73 @@
+#include "optical/modulation.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rwc::optical {
+
+using util::Db;
+using util::Gbps;
+
+ModulationTable::ModulationTable(std::vector<ModulationFormat> formats)
+    : formats_(std::move(formats)) {
+  RWC_EXPECTS(!formats_.empty());
+  std::sort(formats_.begin(), formats_.end(),
+            [](const ModulationFormat& a, const ModulationFormat& b) {
+              return a.capacity < b.capacity;
+            });
+  for (std::size_t i = 1; i < formats_.size(); ++i) {
+    RWC_EXPECTS(formats_[i].capacity > formats_[i - 1].capacity);
+    RWC_EXPECTS(formats_[i].min_snr > formats_[i - 1].min_snr);
+  }
+}
+
+ModulationTable ModulationTable::standard() {
+  using namespace util::literals;
+  return ModulationTable({
+      {"DP-BPSK", 50_Gbps, 3.0_dB, 1.0},
+      {"DP-QPSK", 100_Gbps, 6.5_dB, 2.0},
+      {"DP-QPSK/8QAM hybrid", 125_Gbps, 8.2_dB, 2.5},
+      {"DP-8QAM", 150_Gbps, 9.8_dB, 3.0},
+      {"DP-8QAM/16QAM hybrid", 175_Gbps, 11.4_dB, 3.5},
+      {"DP-16QAM", 200_Gbps, 13.0_dB, 4.0},
+  });
+}
+
+std::optional<ModulationFormat> ModulationTable::best_for_snr(
+    Db snr, Db margin) const {
+  const Db effective = snr - margin;
+  std::optional<ModulationFormat> best;
+  for (const ModulationFormat& f : formats_) {
+    if (f.min_snr <= effective)
+      best = f;
+    else
+      break;
+  }
+  return best;
+}
+
+Gbps ModulationTable::feasible_capacity(Db snr, Db margin) const {
+  const auto best = best_for_snr(snr, margin);
+  return best ? best->capacity : Gbps{0.0};
+}
+
+Db ModulationTable::threshold_for(Gbps capacity) const {
+  return format_for(capacity).min_snr;
+}
+
+const ModulationFormat& ModulationTable::format_for(Gbps capacity) const {
+  for (const ModulationFormat& f : formats_)
+    if (f.capacity == capacity) return f;
+  RWC_CHECK_MSG(false, "capacity not on the modulation ladder");
+  // Unreachable; RWC_CHECK_MSG throws.
+  return formats_.front();
+}
+
+bool ModulationTable::has_rate(Gbps capacity) const {
+  return std::any_of(
+      formats_.begin(), formats_.end(),
+      [&](const ModulationFormat& f) { return f.capacity == capacity; });
+}
+
+}  // namespace rwc::optical

@@ -1,0 +1,67 @@
+// The modulation ladder: which line rate a wavelength can carry at a given
+// SNR. The paper's anchors: 100 Gbps requires 6.5 dB; 3.0 dB still supports
+// 50 Gbps; the hardware ladder is {100, 125, 150, 175, 200} Gbps (plus the
+// 50 Gbps fallback used for availability). Thresholds between the anchors
+// follow the flex-rate transceiver pattern (QPSK / 8QAM / 16QAM plus
+// time-hybrid half-steps); the paper notes thresholds are hardware-specific,
+// so ours are representative, not vendor-exact.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace rwc::optical {
+
+/// One entry of the modulation ladder.
+struct ModulationFormat {
+  std::string name;
+  util::Gbps capacity{0.0};
+  util::Db min_snr{0.0};          // lowest SNR at which this format is viable
+  double bits_per_symbol = 0.0;    // fractional for time-hybrid formats
+};
+
+/// Ordered modulation ladder (ascending capacity) with SNR lookups.
+class ModulationTable {
+ public:
+  /// Builds a table from formats; they are sorted by capacity. Requires
+  /// thresholds to be strictly increasing with capacity.
+  explicit ModulationTable(std::vector<ModulationFormat> formats);
+
+  /// The ladder used throughout the paper's analysis:
+  ///   50 G @ 3.0 dB, 100 G @ 6.5 dB, 125 G @ 8.2 dB, 150 G @ 9.8 dB,
+  ///   175 G @ 11.4 dB, 200 G @ 13.0 dB.
+  static ModulationTable standard();
+
+  std::span<const ModulationFormat> formats() const { return formats_; }
+
+  /// Highest format whose threshold is <= snr - margin; nullopt when even
+  /// the lowest format is infeasible (link down).
+  std::optional<ModulationFormat> best_for_snr(
+      util::Db snr, util::Db margin = util::Db{0.0}) const;
+
+  /// Capacity of best_for_snr, or 0 Gbps when the link cannot run at all.
+  util::Gbps feasible_capacity(util::Db snr,
+                               util::Db margin = util::Db{0.0}) const;
+
+  /// SNR threshold of the format with exactly this capacity; throws
+  /// util::CheckError when the ladder has no such rate.
+  util::Db threshold_for(util::Gbps capacity) const;
+
+  /// Format with exactly this capacity; throws when absent.
+  const ModulationFormat& format_for(util::Gbps capacity) const;
+
+  /// True when `capacity` is a rate on this ladder.
+  bool has_rate(util::Gbps capacity) const;
+
+  util::Gbps max_capacity() const { return formats_.back().capacity; }
+  util::Gbps min_capacity() const { return formats_.front().capacity; }
+
+ private:
+  std::vector<ModulationFormat> formats_;
+};
+
+}  // namespace rwc::optical

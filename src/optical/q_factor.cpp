@@ -1,0 +1,36 @@
+#include "optical/q_factor.hpp"
+
+#include <cmath>
+
+#include "optical/ber.hpp"
+#include "util/check.hpp"
+
+namespace rwc::optical {
+
+double ber_from_q(double q) { return q_function(q); }
+
+double q_from_ber(double ber) {
+  RWC_EXPECTS(ber > 0.0 && ber < 0.5);
+  // Invert Q(q) = ber by bisection: Q is strictly decreasing on [0, 40].
+  double lo = 0.0;
+  double hi = 40.0;
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (q_function(mid) > ber)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+util::Db q_squared_db(double q) {
+  RWC_EXPECTS(q > 0.0);
+  return util::Db{20.0 * std::log10(q)};
+}
+
+double q_from_q_squared_db(util::Db q2) {
+  return std::pow(10.0, q2.value / 20.0);
+}
+
+}  // namespace rwc::optical

@@ -1,0 +1,24 @@
+// Q-factor conversions. Operational optical telemetry (e.g. the Microsoft
+// backbone studies the paper builds on) is often reported as Q² in dB rather
+// than SNR; these helpers convert between Q, Q²(dB) and pre-FEC BER for
+// binary-decision channels:  BER = Q(q) = 0.5 erfc(q / sqrt(2)).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace rwc::optical {
+
+/// BER for a given linear Q factor.
+double ber_from_q(double q);
+
+/// Linear Q factor for a given BER (inverse of ber_from_q); requires
+/// 0 < ber < 0.5.
+double q_from_ber(double ber);
+
+/// Q² expressed in dB: 20 log10(q).
+util::Db q_squared_db(double q);
+
+/// Linear Q from a Q²(dB) value.
+double q_from_q_squared_db(util::Db q2);
+
+}  // namespace rwc::optical

@@ -1,0 +1,7 @@
+// Library identification for rwc_optical.
+namespace rwc::optical {
+
+/// Version string of the optical subsystem (matches the top-level project).
+const char* version() { return "1.0.0"; }
+
+}  // namespace rwc::optical

@@ -1,0 +1,31 @@
+#include "sim/event.hpp"
+
+#include "util/check.hpp"
+
+namespace rwc::sim {
+
+void EventQueue::schedule(util::Seconds time, Callback callback) {
+  RWC_EXPECTS(time >= now_);
+  heap_.push(Item{time, next_sequence_++, std::move(callback)});
+}
+
+void EventQueue::schedule_in(util::Seconds delay, Callback callback) {
+  RWC_EXPECTS(delay >= 0.0);
+  schedule(now_ + delay, std::move(callback));
+}
+
+std::size_t EventQueue::run_until(util::Seconds horizon) {
+  std::size_t processed = 0;
+  while (!heap_.empty() && heap_.top().time <= horizon) {
+    // Copy out before pop: the callback may schedule new events.
+    Item item = heap_.top();
+    heap_.pop();
+    now_ = item.time;
+    item.callback(now_);
+    ++processed;
+  }
+  now_ = std::max(now_, horizon);
+  return processed;
+}
+
+}  // namespace rwc::sim

@@ -1,0 +1,49 @@
+// Minimal discrete-event core: a time-ordered queue of callbacks with
+// stable FIFO ordering for simultaneous events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace rwc::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(util::Seconds now)>;
+
+  /// Schedules `callback` at absolute time `time` (>= now).
+  void schedule(util::Seconds time, Callback callback);
+
+  /// Schedules `callback` `delay` seconds from now.
+  void schedule_in(util::Seconds delay, Callback callback);
+
+  bool empty() const { return heap_.empty(); }
+  util::Seconds now() const { return now_; }
+
+  /// Processes events with time <= horizon (advancing now()); returns the
+  /// number of events executed. Events may schedule further events.
+  std::size_t run_until(util::Seconds horizon);
+
+ private:
+  struct Item {
+    util::Seconds time;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  util::Seconds now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace rwc::sim

@@ -1,0 +1,94 @@
+// Discrete-event WAN simulator: drives SNR telemetry, a capacity policy and
+// a TE engine over a time horizon, accounting delivered traffic,
+// availability, failures/flaps and reconfiguration downtime.
+//
+// Policies:
+//   kStatic           — today's networks: fixed rate, binary up/down on the
+//                       rate's SNR threshold.
+//   kStaticAggressive — fixed HIGHER rate chosen at provisioning time (the
+//                       Section 2.1 strawman that trades failures for rate).
+//   kDynamic          — the paper's proposal with laser-cycling BVTs (~68 s
+//                       per change).
+//   kDynamicHitless   — the paper's proposal with efficient reconfiguration
+//                       (~35 ms per change).
+#pragma once
+
+#include <cstdint>
+
+#include "bvt/latency.hpp"
+#include "graph/graph.hpp"
+#include "sim/event.hpp"
+#include "te/algorithm.hpp"
+#include "telemetry/snr_model.hpp"
+
+namespace rwc::sim {
+
+enum class CapacityPolicy {
+  kStatic,
+  kStaticAggressive,
+  kDynamic,
+  kDynamicHitless,
+};
+
+const char* to_string(CapacityPolicy policy);
+
+struct SimulationConfig {
+  util::Seconds horizon = 3.0 * util::kDay;
+  util::Seconds te_interval = 15.0 * util::kMinute;
+  util::Db snr_margin{0.5};
+  CapacityPolicy policy = CapacityPolicy::kDynamic;
+  /// Rate for the static policies (must be on the ladder).
+  util::Gbps static_capacity{100.0};
+  /// Scale demands by the diurnal curve.
+  bool diurnal = true;
+  /// Dynamic policies only: execute every round's plan through per-link BVT
+  /// devices and the reconfiguration orchestrator (register-level fidelity;
+  /// lock failures become link outages) instead of the analytic
+  /// latency-sampling account.
+  bool device_backed = false;
+  telemetry::SnrModelParams snr_model;
+  bvt::LatencyModelParams latency;
+  std::uint64_t seed = 1;
+};
+
+struct SimulationMetrics {
+  double offered_gbps_hours = 0.0;
+  double delivered_gbps_hours = 0.0;
+  /// Mean over ticks of the fraction of links with non-zero capacity.
+  double availability = 0.0;
+  std::size_t link_failures = 0;  // capacity transitions to 0
+  std::size_t link_flaps = 0;     // reductions to a non-zero rate
+  std::size_t upgrades = 0;       // TE-driven capacity increases
+  std::size_t restorations = 0;   // SNR-recovery restorations to nominal
+  /// Device-backed mode: modulation changes whose carrier failed to lock.
+  std::size_t lock_failures = 0;
+  double reconfig_downtime_hours = 0.0;
+  std::size_t te_rounds = 0;
+
+  double delivered_fraction() const {
+    return offered_gbps_hours > 0.0
+               ? delivered_gbps_hours / offered_gbps_hours
+               : 0.0;
+  }
+};
+
+class WanSimulator {
+ public:
+  /// `topology` must be built from bidirectional pairs (edges 2k, 2k+1 form
+  /// one physical link). The engine must outlive the simulator.
+  WanSimulator(graph::Graph topology, const te::TeAlgorithm& engine,
+               SimulationConfig config);
+
+  /// Runs the simulation against `base_demands` (scaled by the diurnal curve
+  /// when enabled).
+  SimulationMetrics run(const te::TrafficMatrix& base_demands);
+
+  const graph::Graph& topology() const { return topology_; }
+
+ private:
+  graph::Graph topology_;
+  const te::TeAlgorithm& engine_;
+  SimulationConfig config_;
+};
+
+}  // namespace rwc::sim

@@ -1,0 +1,200 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rwc::sim {
+
+using graph::Graph;
+using graph::NodeId;
+using util::Gbps;
+
+namespace {
+
+/// Adds named nodes and the given undirected links.
+Graph build(const std::vector<std::string>& names,
+            const std::vector<std::pair<int, int>>& links, Gbps capacity) {
+  Graph g;
+  std::vector<NodeId> nodes;
+  nodes.reserve(names.size());
+  for (const std::string& name : names) nodes.push_back(g.add_node(name));
+  for (const auto& [a, b] : links)
+    g.add_bidirectional(nodes[static_cast<std::size_t>(a)],
+                        nodes[static_cast<std::size_t>(b)], capacity);
+  return g;
+}
+
+}  // namespace
+
+Graph fig7_square(Gbps capacity) {
+  return build({"A", "B", "C", "D"}, {{0, 1}, {2, 3}, {0, 2}, {1, 3}},
+               capacity);
+}
+
+Graph abilene(Gbps capacity) {
+  // Nodes: 0 SEA, 1 SNV, 2 LAX, 3 DEN, 4 KSC, 5 HOU, 6 CHI, 7 IND, 8 ATL,
+  //        9 WDC, 10 NYC
+  return build(
+      {"SEA", "SNV", "LAX", "DEN", "KSC", "HOU", "CHI", "IND", "ATL", "WDC",
+       "NYC"},
+      {{0, 1},   // SEA-SNV
+       {0, 3},   // SEA-DEN
+       {1, 2},   // SNV-LAX
+       {1, 3},   // SNV-DEN
+       {2, 5},   // LAX-HOU
+       {3, 4},   // DEN-KSC
+       {4, 5},   // KSC-HOU
+       {4, 7},   // KSC-IND
+       {5, 8},   // HOU-ATL
+       {6, 7},   // CHI-IND
+       {6, 10},  // CHI-NYC
+       {7, 8},   // IND-ATL
+       {8, 9},   // ATL-WDC
+       {9, 10}},  // WDC-NYC
+      capacity);
+}
+
+Graph us_wan24(Gbps capacity) {
+  // A denser continental backbone in the style of large provider WANs.
+  return build(
+      {"SEA", "PDX", "SFO", "SJC", "LAX", "SAN", "PHX", "LAS", "SLC", "DEN",
+       "ABQ", "DFW", "HOU", "SAT", "MCI", "MSP", "ORD", "STL", "MEM", "ATL",
+       "MIA", "CLT", "IAD", "NYC"},
+      {
+          {0, 1},  {0, 8},   {0, 16},  // SEA-PDX, SEA-SLC, SEA-ORD
+          {1, 2},  {2, 3},   {2, 8},   // PDX-SFO, SFO-SJC, SFO-SLC
+          {3, 4},  {3, 7},            // SJC-LAX, SJC-LAS
+          {4, 5},  {4, 6},   {4, 11},  // LAX-SAN, LAX-PHX, LAX-DFW
+          {5, 6},                      // SAN-PHX
+          {6, 10}, {6, 7},             // PHX-ABQ, PHX-LAS
+          {7, 8},                      // LAS-SLC
+          {8, 9},                      // SLC-DEN
+          {9, 10}, {9, 14},  {9, 15},  // DEN-ABQ, DEN-MCI, DEN-MSP
+          {10, 11},                    // ABQ-DFW
+          {11, 12}, {11, 13}, {11, 18},  // DFW-HOU, DFW-SAT, DFW-MEM
+          {12, 13}, {12, 19},            // HOU-SAT, HOU-ATL
+          {14, 15}, {14, 16}, {14, 17},  // MCI-MSP, MCI-ORD, MCI-STL
+          {15, 16},                      // MSP-ORD
+          {16, 17}, {16, 23},            // ORD-STL, ORD-NYC
+          {17, 18},                      // STL-MEM
+          {18, 19},                      // MEM-ATL
+          {19, 20}, {19, 21},            // ATL-MIA, ATL-CLT
+          {20, 21},                      // MIA-CLT
+          {21, 22},                      // CLT-IAD
+          {22, 23},                      // IAD-NYC
+          {16, 22},                      // ORD-IAD
+          {9, 11},                       // DEN-DFW
+          {2, 4},                        // SFO-LAX
+          {19, 22},                      // ATL-IAD
+      },
+      capacity);
+}
+
+Graph europe22(Gbps capacity) {
+  // GEANT-flavoured European backbone.
+  return build(
+      {"LIS", "MAD", "POR", "LON", "PAR", "BRU", "AMS", "LUX", "GVA", "MIL",
+       "ROM", "VIE", "PRG", "BER", "HAM", "CPH", "OSL", "STO", "HEL", "WAW",
+       "BUD", "ATH"},
+      {
+          {0, 1},   // LIS-MAD
+          {0, 2},   // LIS-POR
+          {1, 2},   // MAD-POR (ring closure via Porto)
+          {1, 4},   // MAD-PAR
+          {1, 9},   // MAD-MIL
+          {3, 4},   // LON-PAR
+          {3, 6},   // LON-AMS
+          {3, 16},  // LON-OSL
+          {4, 5},   // PAR-BRU
+          {4, 8},   // PAR-GVA
+          {5, 6},   // BRU-AMS
+          {5, 7},   // BRU-LUX
+          {6, 14},  // AMS-HAM
+          {6, 13},  // AMS-BER
+          {7, 13},  // LUX-BER
+          {8, 9},   // GVA-MIL
+          {8, 11},  // GVA-VIE
+          {9, 10},  // MIL-ROM
+          {10, 21}, // ROM-ATH
+          {11, 12}, // VIE-PRG
+          {11, 20}, // VIE-BUD
+          {11, 9},  // VIE-MIL
+          {12, 13}, // PRG-BER
+          {12, 19}, // PRG-WAW
+          {13, 14}, // BER-HAM
+          {13, 19}, // BER-WAW
+          {14, 15}, // HAM-CPH
+          {15, 16}, // CPH-OSL
+          {15, 17}, // CPH-STO
+          {16, 17}, // OSL-STO
+          {17, 18}, // STO-HEL
+          {18, 19}, // HEL-WAW
+          {19, 20}, // WAW-BUD
+          {20, 21}, // BUD-ATH
+          {4, 3},   // PAR-LON second pair (express)
+          {9, 21},  // MIL-ATH
+      },
+      capacity);
+}
+
+Graph waxman(int nodes, util::Rng& rng, double alpha, double beta,
+             Gbps capacity) {
+  RWC_EXPECTS(nodes >= 2);
+  RWC_EXPECTS(alpha > 0.0 && beta > 0.0);
+  struct Point {
+    double x, y;
+  };
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i)
+    points.push_back({rng.uniform(), rng.uniform()});
+
+  Graph g;
+  for (int i = 0; i < nodes; ++i) g.add_node("w" + std::to_string(i));
+
+  auto distance = [&](int a, int b) {
+    const double dx = points[static_cast<std::size_t>(a)].x -
+                      points[static_cast<std::size_t>(b)].x;
+    const double dy = points[static_cast<std::size_t>(a)].y -
+                      points[static_cast<std::size_t>(b)].y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+
+  std::vector<std::vector<bool>> linked(
+      static_cast<std::size_t>(nodes),
+      std::vector<bool>(static_cast<std::size_t>(nodes), false));
+  auto connect = [&](int a, int b) {
+    if (linked[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)])
+      return;
+    linked[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = true;
+    linked[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = true;
+    g.add_bidirectional(NodeId{a}, NodeId{b}, capacity);
+  };
+
+  // Random spanning tree first (guarantees connectivity).
+  std::vector<int> order(static_cast<std::size_t>(nodes));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  for (int i = 1; i < nodes; ++i) {
+    const int prev = order[static_cast<std::size_t>(
+        rng.uniform_int(0, i - 1))];
+    connect(order[static_cast<std::size_t>(i)], prev);
+  }
+  // Waxman extra edges.
+  const double scale = std::numbers::sqrt2 * beta;
+  for (int a = 0; a < nodes; ++a)
+    for (int b = a + 1; b < nodes; ++b)
+      if (rng.bernoulli(
+              std::min(1.0, alpha * std::exp(-distance(a, b) / scale))))
+        connect(a, b);
+  return g;
+}
+
+std::size_t link_count(const Graph& graph) { return graph.edge_count() / 2; }
+
+}  // namespace rwc::sim

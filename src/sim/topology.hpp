@@ -1,0 +1,37 @@
+// Built-in WAN topologies: the paper's Fig. 7 square, an Abilene-like 11
+// node US research backbone, a 24-node continental WAN, and Waxman random
+// graphs for scaling studies. All links are bidirectional pairs of directed
+// edges at a configurable base rate (default 100 Gbps, the paper's fleet).
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::sim {
+
+/// Fig. 7: square A,B,C,D with links A-B, C-D, A-C, B-D.
+graph::Graph fig7_square(util::Gbps capacity = util::Gbps{100.0});
+
+/// Abilene-like 11-node / 14-link US topology.
+graph::Graph abilene(util::Gbps capacity = util::Gbps{100.0});
+
+/// Synthetic 24-node / 43-link North-American backbone.
+graph::Graph us_wan24(util::Gbps capacity = util::Gbps{100.0});
+
+/// GEANT-like 22-node / 36-link European research backbone.
+graph::Graph europe22(util::Gbps capacity = util::Gbps{100.0});
+
+/// Waxman random topology over `nodes` points in the unit square: an edge
+/// u-v appears with probability alpha * exp(-dist/(beta * sqrt(2))); a
+/// random spanning tree guarantees connectivity.
+graph::Graph waxman(int nodes, util::Rng& rng, double alpha = 0.4,
+                    double beta = 0.35,
+                    util::Gbps capacity = util::Gbps{100.0});
+
+/// Number of undirected links (edge pairs) in a topology built by the
+/// helpers above (edge_count / 2).
+std::size_t link_count(const graph::Graph& graph);
+
+}  // namespace rwc::sim

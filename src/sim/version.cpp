@@ -1,0 +1,7 @@
+// Library identification for rwc_sim.
+namespace rwc::sim {
+
+/// Version string of the sim subsystem (matches the top-level project).
+const char* version() { return "1.0.0"; }
+
+}  // namespace rwc::sim

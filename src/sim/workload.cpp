@@ -1,0 +1,65 @@
+#include "sim/workload.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rwc::sim {
+
+using util::Gbps;
+
+te::TrafficMatrix gravity_matrix(const graph::Graph& graph,
+                                 const GravityParams& params,
+                                 util::Rng& rng) {
+  RWC_EXPECTS(params.total.value >= 0.0);
+  RWC_EXPECTS(params.sparsity >= 0.0 && params.sparsity < 1.0);
+  const std::size_t n = graph.node_count();
+  RWC_EXPECTS(n >= 2);
+
+  std::vector<double> mass(n, 1.0);
+  if (params.mass_log_sigma > 0.0)
+    for (double& m : mass) m = rng.lognormal(0.0, params.mass_log_sigma);
+
+  te::TrafficMatrix demands;
+  double weight_sum = 0.0;
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (params.sparsity > 0.0 && rng.bernoulli(params.sparsity)) continue;
+      const double w = mass[i] * mass[j];
+      weights.push_back(w);
+      weight_sum += w;
+      demands.push_back(te::Demand{
+          graph::NodeId{static_cast<std::int32_t>(i)},
+          graph::NodeId{static_cast<std::int32_t>(j)},
+          Gbps{0.0},
+          params.priority,
+      });
+    }
+  }
+  RWC_CHECK(weight_sum > 0.0);
+  for (std::size_t k = 0; k < demands.size(); ++k)
+    demands[k].volume = Gbps{params.total.value * weights[k] / weight_sum};
+  return demands;
+}
+
+te::TrafficMatrix scale_matrix(const te::TrafficMatrix& base, double factor) {
+  RWC_EXPECTS(factor >= 0.0);
+  te::TrafficMatrix scaled = base;
+  for (te::Demand& d : scaled) d.volume = d.volume * factor;
+  return scaled;
+}
+
+double diurnal_factor(util::Seconds t, double trough, double peak_hour) {
+  RWC_EXPECTS(trough >= 0.0 && trough <= 1.0);
+  const double hour = std::fmod(t / util::kHour, 24.0);
+  const double phase =
+      2.0 * std::numbers::pi * (hour - peak_hour) / 24.0;
+  // cos(phase) = 1 at the peak hour.
+  return trough + (1.0 - trough) * 0.5 * (1.0 + std::cos(phase));
+}
+
+}  // namespace rwc::sim

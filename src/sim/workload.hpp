@@ -1,0 +1,34 @@
+// Traffic workload generation: gravity-model demand matrices (the standard
+// WAN assumption) with diurnal modulation and uniform scaling for sweeps.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "te/demand.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::sim {
+
+struct GravityParams {
+  /// Sum of all demand volumes.
+  util::Gbps total{1000.0};
+  /// Spread of node masses (log-normal sigma); 0 = uniform masses.
+  double mass_log_sigma = 0.6;
+  /// Fraction of node pairs with no demand at all.
+  double sparsity = 0.0;
+  /// Priority assigned to all demands.
+  int priority = 0;
+};
+
+/// Gravity demand matrix: volume(i->j) proportional to mass_i * mass_j.
+te::TrafficMatrix gravity_matrix(const graph::Graph& graph,
+                                 const GravityParams& params, util::Rng& rng);
+
+/// Uniformly scales all volumes by `factor`.
+te::TrafficMatrix scale_matrix(const te::TrafficMatrix& base, double factor);
+
+/// Diurnal multiplier in [trough, 1]: sinusoid with a 24 h period peaking at
+/// `peak_hour` local time.
+double diurnal_factor(util::Seconds t, double trough = 0.5,
+                      double peak_hour = 20.0);
+
+}  // namespace rwc::sim

@@ -1,0 +1,27 @@
+// The TE engine interface. Theorem 1's promise is that engines implementing
+// this interface run UNMODIFIED on augmented topologies: they receive a
+// Graph whose edges carry <capacity, cost, weight> and a TrafficMatrix, and
+// return a FlowAssignment. Nothing here knows about SNR or fake links.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "te/demand.hpp"
+
+namespace rwc::te {
+
+class TeAlgorithm {
+ public:
+  virtual ~TeAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Routes as much of `demands` as possible subject to edge capacities,
+  /// preferring low-cost edges (engines differ in how strictly).
+  virtual FlowAssignment solve(const graph::Graph& graph,
+                               const TrafficMatrix& demands) const = 0;
+};
+
+}  // namespace rwc::te

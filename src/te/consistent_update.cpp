@@ -1,0 +1,115 @@
+#include "te/consistent_update.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace rwc::te {
+
+using util::Gbps;
+
+namespace {
+
+/// Key identifying a (demand, path) pair across assignments.
+using PathKey = std::pair<std::size_t, std::vector<graph::EdgeId>>;
+
+std::map<PathKey, double> path_volumes(const FlowAssignment& assignment) {
+  std::map<PathKey, double> volumes;
+  for (std::size_t d = 0; d < assignment.routings.size(); ++d)
+    for (const auto& [path, volume] : assignment.routings[d].paths)
+      volumes[{d, path.edges}] += volume.value;
+  return volumes;
+}
+
+graph::Path make_path(const graph::Graph& graph,
+                      const std::vector<graph::EdgeId>& edges) {
+  graph::Path path;
+  path.edges = edges;
+  for (graph::EdgeId edge : edges) path.weight += graph.edge(edge).weight;
+  return path;
+}
+
+}  // namespace
+
+UpdatePlan plan_transition(const graph::Graph& graph,
+                           const FlowAssignment& before,
+                           const FlowAssignment& after) {
+  const auto old_volumes = path_volumes(before);
+  const auto new_volumes = path_volumes(after);
+
+  UpdatePlan plan;
+  // Removals / shrink-downs first.
+  for (const auto& [key, old_volume] : old_volumes) {
+    const auto it = new_volumes.find(key);
+    const double new_volume = it == new_volumes.end() ? 0.0 : it->second;
+    if (new_volume < old_volume - 1e-9)
+      plan.steps.push_back(UpdateStep{UpdateStep::Kind::kRemove, key.first,
+                                      make_path(graph, key.second),
+                                      Gbps{old_volume - new_volume}});
+  }
+  // Then additions / grow-ups.
+  for (const auto& [key, new_volume] : new_volumes) {
+    const auto it = old_volumes.find(key);
+    const double old_volume = it == old_volumes.end() ? 0.0 : it->second;
+    if (new_volume > old_volume + 1e-9)
+      plan.steps.push_back(UpdateStep{UpdateStep::Kind::kAdd, key.first,
+                                      make_path(graph, key.second),
+                                      Gbps{new_volume - old_volume}});
+  }
+
+  // Replay to record peak loads.
+  std::vector<double> load = before.edge_load_gbps;
+  load.resize(graph.edge_count(), 0.0);
+  plan.peak_edge_load_gbps = load;
+  for (const UpdateStep& step : plan.steps) {
+    const double sign = step.kind == UpdateStep::Kind::kRemove ? -1.0 : 1.0;
+    for (graph::EdgeId edge : step.path.edges) {
+      auto& l = load[static_cast<std::size_t>(edge.value)];
+      l += sign * step.volume.value;
+      plan.peak_edge_load_gbps[static_cast<std::size_t>(edge.value)] =
+          std::max(plan.peak_edge_load_gbps[static_cast<std::size_t>(edge.value)],
+                   l);
+    }
+  }
+  return plan;
+}
+
+bool validate_transition(const graph::Graph& graph,
+                         const FlowAssignment& before, const UpdatePlan& plan,
+                         std::string* violation) {
+  std::vector<double> load = before.edge_load_gbps;
+  load.resize(graph.edge_count(), 0.0);
+  constexpr double kTolerance = 1e-6;
+
+  auto check = [&](std::size_t step_index) {
+    for (graph::EdgeId edge : graph.edge_ids()) {
+      const auto i = static_cast<std::size_t>(edge.value);
+      if (load[i] > graph.edge(edge).capacity.value + kTolerance) {
+        if (violation != nullptr) {
+          std::ostringstream os;
+          os << "edge " << graph.node_name(graph.edge(edge).src) << "->"
+             << graph.node_name(graph.edge(edge).dst) << " overloaded ("
+             << load[i] << " > " << graph.edge(edge).capacity.value
+             << " Gbps) after step " << step_index;
+          *violation = os.str();
+        }
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!check(0)) return false;
+  for (std::size_t s = 0; s < plan.steps.size(); ++s) {
+    const UpdateStep& step = plan.steps[s];
+    const double sign = step.kind == UpdateStep::Kind::kRemove ? -1.0 : 1.0;
+    for (graph::EdgeId edge : step.path.edges)
+      load[static_cast<std::size_t>(edge.value)] += sign * step.volume.value;
+    if (!check(s + 1)) return false;
+  }
+  return true;
+}
+
+}  // namespace rwc::te

@@ -1,0 +1,49 @@
+// Consistent network updates (Section 4.2 (ii)): transition from an old
+// flow assignment to a new one through ordered steps such that no edge is
+// ever loaded beyond its capacity at any intermediate point. Used by the
+// controller to drain traffic off links whose capacity is about to change.
+//
+// The planner uses the classic two-phase rule: removals (and shrink-downs)
+// first, then additions — valid whenever both endpoints assignments are
+// individually feasible and capacities do not shrink mid-transition. When a
+// capacity does shrink (a link flap to a lower rate), removals on that edge
+// are ordered before everything else.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "te/demand.hpp"
+
+namespace rwc::te {
+
+/// One step of a transition plan.
+struct UpdateStep {
+  enum class Kind { kRemove, kAdd };
+  Kind kind = Kind::kRemove;
+  std::size_t demand_index = 0;
+  graph::Path path;
+  util::Gbps volume{0.0};
+};
+
+struct UpdatePlan {
+  std::vector<UpdateStep> steps;
+  /// Peak per-edge load observed across all intermediate states.
+  std::vector<double> peak_edge_load_gbps;
+};
+
+/// Plans a transition from `before` to `after` on `graph` (whose edge
+/// capacities are the ones that hold DURING the transition — pass the
+/// minimum of old and new capacity for links being reconfigured).
+UpdatePlan plan_transition(const graph::Graph& graph,
+                           const FlowAssignment& before,
+                           const FlowAssignment& after);
+
+/// Replays the plan and verifies no intermediate state exceeds capacities.
+/// Returns false (and fills `violation` when non-null) on overload.
+bool validate_transition(const graph::Graph& graph,
+                         const FlowAssignment& before, const UpdatePlan& plan,
+                         std::string* violation = nullptr);
+
+}  // namespace rwc::te

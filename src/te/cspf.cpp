@@ -1,0 +1,85 @@
+#include "te/cspf.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "flow/network.hpp"
+#include "graph/dijkstra.hpp"
+#include "util/check.hpp"
+
+namespace rwc::te {
+
+using util::Gbps;
+
+FlowAssignment CspfTe::solve(const graph::Graph& graph,
+                             const TrafficMatrix& demands) const {
+  FlowAssignment result;
+  result.routings.resize(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i)
+    result.routings[i].demand = demands[i];
+
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return demands[a].priority > demands[b].priority;
+                   });
+
+  std::vector<double> remaining(graph.edge_count());
+  for (graph::EdgeId edge : graph.edge_ids())
+    remaining[static_cast<std::size_t>(edge.value)] =
+        graph.edge(edge).capacity.value;
+
+  // Cost participates as a small weight perturbation so that among
+  // equal-weight paths the cheaper one wins without distorting the metric.
+  double max_cost = 0.0;
+  for (graph::EdgeId edge : graph.edge_ids())
+    max_cost = std::max(max_cost, graph.edge(edge).cost);
+  const double cost_scale =
+      max_cost > 0.0
+          ? 1e-6 / (max_cost * static_cast<double>(graph.edge_count() + 1))
+          : 0.0;
+
+  for (std::size_t index : order) {
+    const Demand& demand = demands[index];
+    if (demand.volume.value <= flow::kFlowEps) continue;
+    RWC_EXPECTS(demand.src != demand.dst);
+    auto& routing = result.routings[index];
+
+    double left = demand.volume.value;
+    // Guard against pathological loops: at most one iteration per edge per
+    // chunk is ever useful.
+    std::size_t iterations = 0;
+    const std::size_t max_iterations = 4 * (graph.edge_count() + 16);
+    while (left > flow::kFlowEps && iterations++ < max_iterations) {
+      const double want =
+          chunk_.value > 0.0 ? std::min(chunk_.value, left) : left;
+      auto usable = [&](graph::EdgeId edge) {
+        return remaining[static_cast<std::size_t>(edge.value)] >
+               flow::kFlowEps;
+      };
+      auto weight = [&](graph::EdgeId edge) {
+        return graph.edge(edge).weight +
+               cost_scale * graph.edge(edge).cost;
+      };
+      const auto tree =
+          graph::dijkstra(graph, demand.src, weight, usable);
+      graph::Path path = graph::extract_path(graph, tree, demand.dst);
+      if (path.empty()) break;
+
+      double bottleneck = want;
+      for (graph::EdgeId edge : path.edges)
+        bottleneck = std::min(
+            bottleneck, remaining[static_cast<std::size_t>(edge.value)]);
+      if (bottleneck <= flow::kFlowEps) break;
+      for (graph::EdgeId edge : path.edges)
+        remaining[static_cast<std::size_t>(edge.value)] -= bottleneck;
+      left -= bottleneck;
+      routing.paths.emplace_back(std::move(path), Gbps{bottleneck});
+    }
+  }
+  finalize_assignment(graph, result);
+  return result;
+}
+
+}  // namespace rwc::te

@@ -1,0 +1,27 @@
+// MPLS-TE-style CSPF (constrained shortest path first): each demand is
+// placed greedily on the shortest-weight path with enough headroom, splitting
+// into chunks when no single path fits. Cost-aware tie-breaking: among
+// shortest paths the engine prefers lower total edge cost, which is what
+// lets it cooperate with the augmentation's penalties.
+#pragma once
+
+#include "te/algorithm.hpp"
+
+namespace rwc::te {
+
+class CspfTe final : public TeAlgorithm {
+ public:
+  /// `chunk` is the granularity of splitting when a demand does not fit on
+  /// one path (0 = route whatever the bottleneck allows per iteration).
+  explicit CspfTe(util::Gbps chunk = util::Gbps{0.0}) : chunk_(chunk) {}
+
+  std::string name() const override { return "cspf"; }
+
+  FlowAssignment solve(const graph::Graph& graph,
+                       const TrafficMatrix& demands) const override;
+
+ private:
+  util::Gbps chunk_;
+};
+
+}  // namespace rwc::te

@@ -1,0 +1,75 @@
+#include "te/demand.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rwc::te {
+
+using util::Gbps;
+
+Gbps total_demand(const TrafficMatrix& demands) {
+  Gbps total{0.0};
+  for (const Demand& d : demands) total += d.volume;
+  return total;
+}
+
+void finalize_assignment(const graph::Graph& graph,
+                         FlowAssignment& assignment) {
+  assignment.edge_load_gbps.assign(graph.edge_count(), 0.0);
+  assignment.total_routed = Gbps{0.0};
+  assignment.total_cost = 0.0;
+  for (auto& routing : assignment.routings) {
+    routing.routed = Gbps{0.0};
+    for (const auto& [path, volume] : routing.paths) {
+      routing.routed += volume;
+      for (graph::EdgeId edge : path.edges)
+        assignment.edge_load_gbps[static_cast<std::size_t>(edge.value)] +=
+            volume.value;
+    }
+    assignment.total_routed += routing.routed;
+  }
+  for (graph::EdgeId edge : graph.edge_ids())
+    assignment.total_cost +=
+        assignment.edge_load_gbps[static_cast<std::size_t>(edge.value)] *
+        graph.edge(edge).cost;
+}
+
+void validate_assignment(const graph::Graph& graph,
+                         const FlowAssignment& assignment,
+                         double tolerance) {
+  RWC_EXPECTS(assignment.edge_load_gbps.size() == graph.edge_count());
+  // Edge loads within capacity and consistent with the path volumes.
+  std::vector<double> recomputed(graph.edge_count(), 0.0);
+  for (const auto& routing : assignment.routings) {
+    double routed = 0.0;
+    for (const auto& [path, volume] : routing.paths) {
+      RWC_CHECK_MSG(volume.value >= -tolerance, "negative path volume");
+      routed += volume.value;
+      // Path endpoints must match the demand.
+      if (!path.empty()) {
+        const auto nodes = graph::path_nodes(graph, path);
+        RWC_CHECK_MSG(nodes.front() == routing.demand.src &&
+                          nodes.back() == routing.demand.dst,
+                      "path endpoints do not match demand");
+      }
+      for (graph::EdgeId edge : path.edges)
+        recomputed[static_cast<std::size_t>(edge.value)] += volume.value;
+    }
+    RWC_CHECK_MSG(std::abs(routed - routing.routed.value) <
+                      tolerance + 1e-9 * std::abs(routed),
+                  "routed volume mismatch");
+    RWC_CHECK_MSG(routed <= routing.demand.volume.value + tolerance,
+                  "demand over-served");
+  }
+  for (graph::EdgeId edge : graph.edge_ids()) {
+    const auto i = static_cast<std::size_t>(edge.value);
+    RWC_CHECK_MSG(std::abs(recomputed[i] - assignment.edge_load_gbps[i]) <
+                      tolerance + 1e-9 * recomputed[i],
+                  "edge load mismatch");
+    RWC_CHECK_MSG(recomputed[i] <= graph.edge(edge).capacity.value + tolerance,
+                  "edge over capacity");
+  }
+}
+
+}  // namespace rwc::te

@@ -1,0 +1,56 @@
+// Traffic demands and flow assignments — the interface between TE engines
+// and everything else. TE engines see only a Graph and a TrafficMatrix;
+// they are deliberately unaware of dynamic capacities (Section 4's point).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/units.hpp"
+
+namespace rwc::te {
+
+/// One src->dst traffic demand. Higher priority is served first by greedy
+/// engines and never starved by the LP engine's lexicographic passes.
+struct Demand {
+  graph::NodeId src;
+  graph::NodeId dst;
+  util::Gbps volume{0.0};
+  int priority = 0;
+};
+
+using TrafficMatrix = std::vector<Demand>;
+
+/// Total offered volume.
+util::Gbps total_demand(const TrafficMatrix& demands);
+
+/// The routing a TE engine produced.
+struct FlowAssignment {
+  struct DemandRouting {
+    Demand demand;
+    /// Paths carrying this demand and the volume on each.
+    std::vector<std::pair<graph::Path, util::Gbps>> paths;
+    util::Gbps routed{0.0};
+  };
+
+  std::vector<DemandRouting> routings;   // one per input demand, same order
+  std::vector<double> edge_load_gbps;    // indexed by EdgeId
+  util::Gbps total_routed{0.0};
+  /// Sum over edges of load * edge cost (the penalty the engine paid).
+  double total_cost = 0.0;
+};
+
+/// Recomputes edge loads / totals from the per-demand paths; validates that
+/// no edge is loaded beyond capacity (within tolerance) and that path
+/// volumes sum to the routed amounts. Throws util::CheckError on violations.
+void validate_assignment(const graph::Graph& graph,
+                         const FlowAssignment& assignment,
+                         double tolerance = 1e-6);
+
+/// Builds edge loads and totals from routings (helper for engines).
+void finalize_assignment(const graph::Graph& graph,
+                         FlowAssignment& assignment);
+
+}  // namespace rwc::te

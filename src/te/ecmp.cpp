@@ -1,0 +1,58 @@
+#include "te/ecmp.hpp"
+
+#include <algorithm>
+
+#include "flow/network.hpp"
+#include "graph/ksp.hpp"
+#include "util/check.hpp"
+
+namespace rwc::te {
+
+using util::Gbps;
+
+FlowAssignment EcmpTe::solve(const graph::Graph& graph,
+                             const TrafficMatrix& demands) const {
+  RWC_EXPECTS(max_paths_ >= 1);
+  FlowAssignment result;
+  result.routings.resize(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i)
+    result.routings[i].demand = demands[i];
+
+  std::vector<double> remaining(graph.edge_count());
+  for (graph::EdgeId edge : graph.edge_ids())
+    remaining[static_cast<std::size_t>(edge.value)] =
+        graph.edge(edge).capacity.value;
+
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    const Demand& demand = demands[d];
+    if (demand.volume.value <= flow::kFlowEps) continue;
+    RWC_EXPECTS(demand.src != demand.dst);
+
+    // Equal-cost shortest paths (within epsilon of the best weight).
+    auto paths =
+        graph::k_shortest_paths(graph, demand.src, demand.dst, max_paths_);
+    if (paths.empty()) continue;
+    const double best_weight = paths.front().weight;
+    std::erase_if(paths, [&](const graph::Path& p) {
+      return p.weight > best_weight + 1e-9;
+    });
+
+    // Oblivious equal split; excess over a path's spare capacity is lost.
+    const double share =
+        demand.volume.value / static_cast<double>(paths.size());
+    for (graph::Path& path : paths) {
+      double spare = share;
+      for (graph::EdgeId edge : path.edges)
+        spare = std::min(spare,
+                         remaining[static_cast<std::size_t>(edge.value)]);
+      if (spare <= flow::kFlowEps) continue;
+      for (graph::EdgeId edge : path.edges)
+        remaining[static_cast<std::size_t>(edge.value)] -= spare;
+      result.routings[d].paths.emplace_back(std::move(path), Gbps{spare});
+    }
+  }
+  finalize_assignment(graph, result);
+  return result;
+}
+
+}  // namespace rwc::te

@@ -1,0 +1,26 @@
+// ECMP baseline: each demand splits equally over its equal-weight shortest
+// paths, oblivious to load — the distributed-routing behaviour WAN TE
+// systems replaced. Included as the "before" baseline in comparisons: it is
+// cost- and load-oblivious, so it neither exploits fake links deliberately
+// nor avoids penalties; traffic exceeding a path's share is simply dropped.
+#pragma once
+
+#include "te/algorithm.hpp"
+
+namespace rwc::te {
+
+class EcmpTe final : public TeAlgorithm {
+ public:
+  /// `max_paths` caps how many equal-cost paths a demand spreads over.
+  explicit EcmpTe(std::size_t max_paths = 4) : max_paths_(max_paths) {}
+
+  std::string name() const override { return "ecmp"; }
+
+  FlowAssignment solve(const graph::Graph& graph,
+                       const TrafficMatrix& demands) const override;
+
+ private:
+  std::size_t max_paths_;
+};
+
+}  // namespace rwc::te

@@ -1,0 +1,24 @@
+// Exact multi-commodity-flow TE via an edge-based LP: one flow variable per
+// (commodity, edge), conservation at every interior node, shared edge
+// capacities. Lexicographic like SWAN: maximize throughput per priority
+// class (high to low), then minimize total edge cost.
+//
+// This is the optimality REFERENCE for the other engines: unlike the
+// path-based SWAN LP it is not limited to k preinstalled tunnels, so its
+// throughput upper-bounds every engine here. Dense-simplex sized: use on
+// small instances (the tests) — variables = commodities x edges.
+#pragma once
+
+#include "te/algorithm.hpp"
+
+namespace rwc::te {
+
+class McfLpTe final : public TeAlgorithm {
+ public:
+  std::string name() const override { return "mcf-lp"; }
+
+  FlowAssignment solve(const graph::Graph& graph,
+                       const TrafficMatrix& demands) const override;
+};
+
+}  // namespace rwc::te

@@ -1,0 +1,72 @@
+#include "te/mcf_te.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "flow/decompose.hpp"
+#include "flow/mincost.hpp"
+#include "flow/network.hpp"
+#include "util/check.hpp"
+
+namespace rwc::te {
+
+using util::Gbps;
+
+FlowAssignment McfTe::solve(const graph::Graph& graph,
+                            const TrafficMatrix& demands) const {
+  FlowAssignment result;
+  result.routings.resize(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i)
+    result.routings[i].demand = demands[i];
+
+  // Serve demands by priority (desc), then input order.
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return demands[a].priority > demands[b].priority;
+                   });
+
+  std::vector<double> remaining(graph.edge_count());
+  for (graph::EdgeId edge : graph.edge_ids())
+    remaining[static_cast<std::size_t>(edge.value)] =
+        graph.edge(edge).capacity.value;
+
+  for (std::size_t index : order) {
+    const Demand& demand = demands[index];
+    RWC_EXPECTS(demand.volume.value >= 0.0);
+    if (demand.volume.value <= flow::kFlowEps) continue;
+    RWC_EXPECTS(demand.src != demand.dst);
+
+    // Fresh network against the remaining capacities.
+    flow::ResidualNetwork net(graph.node_count());
+    std::vector<int> arc_of_edge(graph.edge_count());
+    for (graph::EdgeId edge : graph.edge_ids()) {
+      const graph::Edge& e = graph.edge(edge);
+      arc_of_edge[static_cast<std::size_t>(edge.value)] = net.add_arc(
+          e.src.value, e.dst.value,
+          remaining[static_cast<std::size_t>(edge.value)], e.cost);
+    }
+    min_cost_max_flow(net, demand.src.value, demand.dst.value,
+                      demand.volume.value);
+
+    // Arc index order matches edge id order: arc 2*i is edge i.
+    const auto decomposition =
+        flow::decompose_flow(net, demand.src.value, demand.dst.value);
+    auto& routing = result.routings[index];
+    for (const flow::PathFlow& pf : decomposition.paths) {
+      graph::Path path;
+      for (int arc : pf.arcs) {
+        const graph::EdgeId edge{arc / 2};
+        path.edges.push_back(edge);
+        path.weight += graph.edge(edge).weight;
+        remaining[static_cast<std::size_t>(edge.value)] -= pf.amount;
+      }
+      routing.paths.emplace_back(std::move(path), Gbps{pf.amount});
+    }
+  }
+  finalize_assignment(graph, result);
+  return result;
+}
+
+}  // namespace rwc::te

@@ -1,0 +1,20 @@
+// Min-cost-flow TE: demands are routed sequentially (priority order, then
+// input order) as min-cost flows on a shared residual network. This is the
+// engine the augmentation theorem directly targets: on an augmented topology
+// the min-cost route maximizes throughput while minimizing activation
+// penalty for each demand in turn.
+#pragma once
+
+#include "te/algorithm.hpp"
+
+namespace rwc::te {
+
+class McfTe final : public TeAlgorithm {
+ public:
+  std::string name() const override { return "mcf"; }
+
+  FlowAssignment solve(const graph::Graph& graph,
+                       const TrafficMatrix& demands) const override;
+};
+
+}  // namespace rwc::te

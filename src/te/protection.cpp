@@ -1,0 +1,93 @@
+#include "te/protection.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "flow/disjoint.hpp"
+#include "flow/network.hpp"
+#include "util/check.hpp"
+
+namespace rwc::te {
+
+ProtectionPlan plan_protection(const graph::Graph& graph,
+                               const TrafficMatrix& demands) {
+  ProtectionPlan plan;
+  plan.reserved_gbps.assign(graph.edge_count(), 0.0);
+
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return demands[a].priority > demands[b].priority;
+                   });
+
+  // Working copy whose weights are the originals but whose edges drop out
+  // once their spare capacity cannot host the candidate volume.
+  for (std::size_t index : order) {
+    const Demand& demand = demands[index];
+    RWC_EXPECTS(demand.volume.value >= 0.0);
+    if (demand.volume.value <= flow::kFlowEps) continue;
+
+    // Filtered copy containing only edges with enough spare capacity for
+    // this volume (edge_disjoint_pair uses unit capacities internally, so
+    // usability is encoded by edge presence); original_of maps back.
+    std::vector<bool> usable(graph.edge_count(), false);
+    for (graph::EdgeId e : graph.edge_ids()) {
+      const double spare =
+          graph.edge(e).capacity.value -
+          plan.reserved_gbps[static_cast<std::size_t>(e.value)];
+      usable[static_cast<std::size_t>(e.value)] =
+          spare + flow::kFlowEps >= demand.volume.value;
+    }
+    graph::Graph filtered;
+    for (graph::NodeId node : graph.node_ids())
+      filtered.add_node(graph.node_name(node));
+    std::vector<graph::EdgeId> original_of;
+    for (graph::EdgeId e : graph.edge_ids()) {
+      if (!usable[static_cast<std::size_t>(e.value)]) continue;
+      const graph::Edge& edge = graph.edge(e);
+      filtered.add_edge(edge.src, edge.dst, edge.capacity, edge.cost,
+                        edge.weight);
+      original_of.push_back(e);
+    }
+
+    const auto pair =
+        flow::edge_disjoint_pair(filtered, demand.src, demand.dst);
+    if (!pair.has_value()) {
+      plan.unprotected.push_back(demand);
+      continue;
+    }
+
+    auto remap = [&](const graph::Path& path) {
+      graph::Path mapped;
+      mapped.weight = path.weight;
+      for (graph::EdgeId e : path.edges)
+        mapped.edges.push_back(
+            original_of[static_cast<std::size_t>(e.value)]);
+      return mapped;
+    };
+    ProtectedService service;
+    service.demand = demand;
+    service.primary = remap(pair->first);
+    service.backup = remap(pair->second);
+    for (const graph::Path* path : {&service.primary, &service.backup})
+      for (graph::EdgeId e : path->edges)
+        plan.reserved_gbps[static_cast<std::size_t>(e.value)] +=
+            demand.volume.value;
+    plan.services.push_back(std::move(service));
+  }
+  return plan;
+}
+
+bool survives_any_single_failure(const ProtectionPlan& plan) {
+  for (const ProtectedService& service : plan.services) {
+    std::set<graph::EdgeId> primary(service.primary.edges.begin(),
+                                    service.primary.edges.end());
+    for (graph::EdgeId e : service.backup.edges)
+      if (primary.contains(e)) return false;
+  }
+  return true;
+}
+
+}  // namespace rwc::te

@@ -1,0 +1,42 @@
+// 1+1 path protection for flows that must not be disturbed (Section 4.2
+// (i)): each protected demand gets a primary and an edge-disjoint backup
+// path, both with reserved capacity, so no single link failure (or capacity
+// reconfiguration) interrupts it. The reserved paths are then hidden from
+// the TE optimization via core::carve_out_protected.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "te/demand.hpp"
+
+namespace rwc::te {
+
+/// A protected service: primary plus edge-disjoint backup, both reserved.
+struct ProtectedService {
+  Demand demand;
+  graph::Path primary;
+  graph::Path backup;
+};
+
+struct ProtectionPlan {
+  std::vector<ProtectedService> services;
+  /// Demands that could not be protected (no disjoint pair with enough
+  /// spare capacity), in input order.
+  std::vector<Demand> unprotected;
+  /// Capacity reserved per edge (primary + backup reservations).
+  std::vector<double> reserved_gbps;
+};
+
+/// Greedily plans 1+1 protection for `demands` on `graph`, reserving each
+/// service's volume on BOTH paths. Demands are served in priority order;
+/// a demand is protected only if a disjoint pair exists whose every edge has
+/// enough spare capacity.
+ProtectionPlan plan_protection(const graph::Graph& graph,
+                               const TrafficMatrix& demands);
+
+/// True when no single edge removal disconnects both paths of any service.
+bool survives_any_single_failure(const ProtectionPlan& plan);
+
+}  // namespace rwc::te

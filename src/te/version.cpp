@@ -1,0 +1,7 @@
+// Library identification for rwc_te.
+namespace rwc::te {
+
+/// Version string of the te subsystem (matches the top-level project).
+const char* version() { return "1.0.0"; }
+
+}  // namespace rwc::te

@@ -1,0 +1,84 @@
+#include "telemetry/analysis.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rwc::telemetry {
+
+using util::Db;
+using util::Gbps;
+
+LinkSnrStats analyze_link(const SnrTrace& trace,
+                          const optical::ModulationTable& table,
+                          double hdr_coverage) {
+  RWC_EXPECTS(trace.size() > 0);
+  LinkSnrStats stats;
+  std::vector<double> samples(trace.samples_db.begin(),
+                              trace.samples_db.end());
+  const auto summary = util::summarize(samples);
+  stats.min_snr = Db{summary.min};
+  stats.max_snr = Db{summary.max};
+  stats.range_db = summary.max - summary.min;
+  stats.hdr = util::highest_density_region(samples, hdr_coverage);
+  stats.hdr_width_db = stats.hdr.width();
+  stats.hdr_lower = Db{stats.hdr.lo};
+  stats.feasible_capacity = table.feasible_capacity(stats.hdr_lower);
+  return stats;
+}
+
+std::vector<FailureEpisode> failure_episodes(const SnrTrace& trace,
+                                             Db threshold) {
+  std::vector<FailureEpisode> episodes;
+  bool in_episode = false;
+  FailureEpisode current;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Db snr = trace.at(i);
+    if (snr < threshold) {
+      if (!in_episode) {
+        in_episode = true;
+        current = FailureEpisode{i, 0, snr};
+      }
+      ++current.length;
+      current.lowest_snr = std::min(current.lowest_snr, snr);
+    } else if (in_episode) {
+      episodes.push_back(current);
+      in_episode = false;
+    }
+  }
+  if (in_episode) episodes.push_back(current);
+  return episodes;
+}
+
+std::vector<std::size_t> failures_per_capacity(
+    const SnrTrace& trace, const optical::ModulationTable& table) {
+  std::vector<std::size_t> counts;
+  counts.reserve(table.formats().size());
+  for (const auto& format : table.formats())
+    counts.push_back(failure_episodes(trace, format.min_snr).size());
+  return counts;
+}
+
+FleetCapacityReport analyze_fleet(const SnrFleetGenerator& fleet,
+                                  const optical::ModulationTable& table,
+                                  Gbps current_static_capacity,
+                                  double hdr_coverage) {
+  FleetCapacityReport report;
+  const int links = fleet.link_count();
+  report.range_db.reserve(static_cast<std::size_t>(links));
+  report.hdr_width_db.reserve(static_cast<std::size_t>(links));
+  report.feasible_gbps.reserve(static_cast<std::size_t>(links));
+  for (int link = 0; link < links; ++link) {
+    const SnrTrace trace = fleet.generate_trace(link);
+    const LinkSnrStats stats = analyze_link(trace, table, hdr_coverage);
+    report.range_db.push_back(stats.range_db);
+    report.hdr_width_db.push_back(stats.hdr_width_db);
+    report.feasible_gbps.push_back(stats.feasible_capacity.value);
+    report.total_feasible += stats.feasible_capacity;
+    if (stats.feasible_capacity > current_static_capacity)
+      report.total_gain += stats.feasible_capacity - current_static_capacity;
+  }
+  return report;
+}
+
+}  // namespace rwc::telemetry

@@ -1,0 +1,68 @@
+// The paper's Section 2 analyses over SNR traces: variation statistics
+// (range, highest-density region), feasible-capacity estimation, and
+// hypothetical failure counting at each modulation ladder rate.
+#pragma once
+
+#include <vector>
+
+#include "optical/modulation.hpp"
+#include "telemetry/snr_model.hpp"
+#include "util/stats.hpp"
+
+namespace rwc::telemetry {
+
+/// Per-link SNR variation and capacity statistics (Fig. 2a / 2b inputs).
+struct LinkSnrStats {
+  util::Db min_snr{0.0};
+  util::Db max_snr{0.0};
+  double range_db = 0.0;            // max - min
+  util::Interval hdr;               // highest density region (95% default)
+  double hdr_width_db = 0.0;
+  util::Db hdr_lower{0.0};          // lower edge of the HDR
+  util::Gbps feasible_capacity{0.0};  // ladder rate at the HDR lower edge
+};
+
+/// Analyzes one link's trace. The feasible capacity follows the paper: the
+/// highest ladder rate whose threshold lies at or below the lower SNR limit
+/// of the link's highest density region.
+LinkSnrStats analyze_link(const SnrTrace& trace,
+                          const optical::ModulationTable& table,
+                          double hdr_coverage = 0.95);
+
+/// A maximal run of consecutive samples below a threshold.
+struct FailureEpisode {
+  std::size_t start_index = 0;
+  std::size_t length = 0;  // in samples
+  util::Db lowest_snr{0.0};
+
+  util::Seconds duration(const SnrTrace& trace) const {
+    return static_cast<double>(length) * trace.interval;
+  }
+};
+
+/// Failure episodes the link would experience when operated at a capacity
+/// requiring `threshold` SNR.
+std::vector<FailureEpisode> failure_episodes(const SnrTrace& trace,
+                                             util::Db threshold);
+
+/// Episode count per ladder rate (Fig. 3a row for one link).
+std::vector<std::size_t> failures_per_capacity(
+    const SnrTrace& trace, const optical::ModulationTable& table);
+
+/// Fleet-wide aggregation (streams one link at a time; memory O(links), not
+/// O(links * samples)).
+struct FleetCapacityReport {
+  std::vector<double> range_db;       // per link
+  std::vector<double> hdr_width_db;   // per link
+  std::vector<double> feasible_gbps;  // per link
+  util::Gbps total_feasible{0.0};
+  /// Sum of positive per-link gains over the current static capacity.
+  util::Gbps total_gain{0.0};
+};
+
+FleetCapacityReport analyze_fleet(const SnrFleetGenerator& fleet,
+                                  const optical::ModulationTable& table,
+                                  util::Gbps current_static_capacity,
+                                  double hdr_coverage = 0.95);
+
+}  // namespace rwc::telemetry

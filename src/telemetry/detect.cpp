@@ -1,0 +1,77 @@
+#include "telemetry/detect.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rwc::telemetry {
+
+using util::Db;
+
+SnrAnomalyDetector::SnrAnomalyDetector(DetectorParams params)
+    : params_(params) {
+  RWC_EXPECTS(params_.slack_db >= 0.0);
+  RWC_EXPECTS(params_.threshold_db > 0.0);
+  RWC_EXPECTS(params_.baseline_alpha > 0.0 && params_.baseline_alpha <= 1.0);
+}
+
+std::optional<DetectedEvent> SnrAnomalyDetector::add(Db snr) {
+  const std::size_t here = index_++;
+  if (!primed_) {
+    baseline_ = snr.value;
+    primed_ = true;
+    return std::nullopt;
+  }
+
+  const double deviation = snr.value - baseline_;
+  cusum_low_ = std::max(0.0, cusum_low_ - deviation - params_.slack_db);
+  cusum_high_ = std::max(0.0, cusum_high_ + deviation - params_.slack_db);
+
+  const bool fired_low = cusum_low_ > params_.threshold_db;
+  const bool fired_high = cusum_high_ > params_.threshold_db;
+
+  if (!in_anomaly_) {
+    if (fired_low || fired_high) {
+      in_anomaly_ = true;
+      current_ = DetectedEvent{};
+      current_.start_index = here;
+      current_.deepest = snr;
+      current_.downward = fired_low;
+    } else {
+      // Healthy: let the baseline drift with the signal.
+      baseline_ += params_.baseline_alpha * deviation;
+    }
+    return std::nullopt;
+  }
+
+  // Inside an episode: track the extremum; end when the signal returns to
+  // the (frozen) baseline band.
+  current_.deepest = std::min(current_.deepest, snr);
+  const bool recovered = std::abs(deviation) <= params_.slack_db;
+  if (!recovered) return std::nullopt;
+
+  in_anomaly_ = false;
+  cusum_low_ = 0.0;
+  cusum_high_ = 0.0;
+  current_.end_index = here;
+  return current_;
+}
+
+std::optional<DetectedEvent> SnrAnomalyDetector::finish() {
+  if (!in_anomaly_) return std::nullopt;
+  in_anomaly_ = false;
+  current_.end_index = index_;
+  return current_;
+}
+
+std::vector<DetectedEvent> detect_events(const SnrTrace& trace,
+                                         DetectorParams params) {
+  SnrAnomalyDetector detector(params);
+  std::vector<DetectedEvent> events;
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    if (auto event = detector.add(trace.at(i))) events.push_back(*event);
+  if (auto event = detector.finish()) events.push_back(*event);
+  return events;
+}
+
+}  // namespace rwc::telemetry

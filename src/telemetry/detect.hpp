@@ -1,0 +1,71 @@
+// Online SNR anomaly detection.
+//
+// The controller needs a trigger: re-running TE every 15 minutes on a quiet
+// network is wasted churn, but a dip must be caught within a sample or two.
+// A two-sided CUSUM detector over the SNR stream fires on sustained shifts
+// away from a slowly-adapting baseline while ignoring sample jitter; the
+// detected episodes can be compared against the generator's ground-truth
+// event plan in tests.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "telemetry/snr_model.hpp"
+#include "util/units.hpp"
+
+namespace rwc::telemetry {
+
+struct DetectorParams {
+  /// Allowed slack around the baseline before deviations accumulate, in dB
+  /// (CUSUM "k", typically ~0.5 sigma of jitter... set for SNR scales).
+  double slack_db = 0.5;
+  /// Accumulated deviation (dB-samples) that fires the detector ("h").
+  double threshold_db = 3.0;
+  /// EWMA factor for the baseline while the signal is healthy.
+  double baseline_alpha = 0.02;
+};
+
+/// One detected anomaly episode.
+struct DetectedEvent {
+  std::size_t start_index = 0;  // first sample of the episode
+  std::size_t end_index = 0;    // first healthy sample after it (exclusive)
+  util::Db deepest{0.0};        // lowest SNR seen during the episode
+  bool downward = true;         // dip (true) or recovery/improvement (false)
+};
+
+/// Streaming two-sided CUSUM detector.
+class SnrAnomalyDetector {
+ public:
+  explicit SnrAnomalyDetector(DetectorParams params = {});
+
+  /// Feeds one sample; returns the completed episode when one ENDS at this
+  /// sample (detectors report on recovery so the episode has an extent).
+  std::optional<DetectedEvent> add(util::Db snr);
+
+  /// True while inside an un-ended anomaly episode.
+  bool in_anomaly() const { return in_anomaly_; }
+  /// Current adaptive baseline.
+  util::Db baseline() const { return util::Db{baseline_}; }
+  std::size_t samples_seen() const { return index_; }
+
+  /// Flushes an in-progress episode (e.g. at end of trace).
+  std::optional<DetectedEvent> finish();
+
+ private:
+  DetectorParams params_;
+  std::size_t index_ = 0;
+  double baseline_ = 0.0;
+  bool primed_ = false;
+  double cusum_low_ = 0.0;   // accumulates downward deviations
+  double cusum_high_ = 0.0;  // accumulates upward deviations
+  bool in_anomaly_ = false;
+  DetectedEvent current_;
+};
+
+/// Convenience: all episodes in a trace (including a trailing open one).
+std::vector<DetectedEvent> detect_events(const SnrTrace& trace,
+                                         DetectorParams params = {});
+
+}  // namespace rwc::telemetry

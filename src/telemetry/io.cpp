@@ -1,0 +1,71 @@
+#include "telemetry/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace rwc::telemetry {
+
+void write_trace_csv(const SnrTrace& trace, std::ostream& os) {
+  // max_digits10 keeps the float samples bit-exact across a round-trip.
+  os << std::setprecision(std::numeric_limits<float>::max_digits10);
+  os << "interval_seconds,"
+     << std::setprecision(std::numeric_limits<double>::max_digits10)
+     << trace.interval
+     << std::setprecision(std::numeric_limits<float>::max_digits10) << '\n';
+  os << "snr_db\n";
+  for (float s : trace.samples_db) os << s << '\n';
+}
+
+std::string trace_to_csv(const SnrTrace& trace) {
+  std::ostringstream os;
+  write_trace_csv(trace, os);
+  return os.str();
+}
+
+SnrTrace read_trace_csv(std::istream& is) {
+  SnrTrace trace;
+  std::string line;
+  RWC_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+                "trace csv: missing header");
+  const auto comma = line.find(',');
+  RWC_CHECK_MSG(comma != std::string::npos &&
+                    line.substr(0, comma) == "interval_seconds",
+                "trace csv: bad interval header");
+  trace.interval = std::stod(line.substr(comma + 1));
+  RWC_CHECK_MSG(trace.interval > 0.0, "trace csv: non-positive interval");
+  RWC_CHECK_MSG(static_cast<bool>(std::getline(is, line)) &&
+                    line == "snr_db",
+                "trace csv: missing column header");
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::size_t consumed = 0;
+    const float value = std::stof(line, &consumed);
+    RWC_CHECK_MSG(consumed == line.size(), "trace csv: malformed sample");
+    trace.samples_db.push_back(value);
+  }
+  return trace;
+}
+
+SnrTrace trace_from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  return read_trace_csv(is);
+}
+
+void save_trace_csv(const SnrTrace& trace, const std::string& path) {
+  std::ofstream os(path);
+  RWC_CHECK_MSG(os.good(), "cannot open trace file for writing: " + path);
+  write_trace_csv(trace, os);
+  RWC_CHECK_MSG(os.good(), "error writing trace file: " + path);
+}
+
+SnrTrace load_trace_csv(const std::string& path) {
+  std::ifstream is(path);
+  RWC_CHECK_MSG(is.good(), "cannot open trace file: " + path);
+  return read_trace_csv(is);
+}
+
+}  // namespace rwc::telemetry

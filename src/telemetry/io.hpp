@@ -1,0 +1,27 @@
+// CSV import/export of SNR traces, so real telemetry can replace the
+// synthetic generator without touching any analysis or control code.
+//
+// Format: header "interval_seconds,<value>" then one "snr_db" sample per
+// line in time order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/snr_model.hpp"
+
+namespace rwc::telemetry {
+
+/// Serializes a trace to CSV.
+void write_trace_csv(const SnrTrace& trace, std::ostream& os);
+std::string trace_to_csv(const SnrTrace& trace);
+
+/// Parses a trace from CSV; throws util::CheckError on malformed input.
+SnrTrace read_trace_csv(std::istream& is);
+SnrTrace trace_from_csv(const std::string& csv);
+
+/// File helpers (throw util::CheckError when the file cannot be opened).
+void save_trace_csv(const SnrTrace& trace, const std::string& path);
+SnrTrace load_trace_csv(const std::string& path);
+
+}  // namespace rwc::telemetry

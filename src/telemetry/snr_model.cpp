@@ -1,0 +1,206 @@
+#include "telemetry/snr_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace rwc::telemetry {
+
+using util::Db;
+using util::Rng;
+using util::Seconds;
+
+namespace {
+
+constexpr double kYear = 365.0 * util::kDay;
+
+/// Draws a Poisson-process event schedule over [0, duration).
+template <typename MakeEvent>
+void draw_events(Rng& rng, double rate_per_year, Seconds duration,
+                 std::vector<SnrEvent>& out, MakeEvent make_event) {
+  if (rate_per_year <= 0.0) return;
+  const double mean_gap = kYear / rate_per_year;
+  Seconds t = rng.exponential(mean_gap);
+  while (t < duration) {
+    out.push_back(make_event(t));
+    t += rng.exponential(mean_gap);
+  }
+}
+
+Seconds hours(double h) { return h * util::kHour; }
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kShallowDip:
+      return "shallow-dip";
+    case EventKind::kDeepDip:
+      return "deep-dip";
+    case EventKind::kFiberCut:
+      return "fiber-cut";
+  }
+  return "unknown";
+}
+
+SnrFleetGenerator::SnrFleetGenerator(FleetParams params, std::uint64_t seed)
+    : params_(std::move(params)), seed_(seed) {
+  RWC_EXPECTS(params_.fiber_count >= 1);
+  RWC_EXPECTS(params_.wavelengths_per_fiber >= 1);
+  RWC_EXPECTS(params_.duration > 0.0);
+  RWC_EXPECTS(params_.interval > 0.0);
+}
+
+FiberPlan SnrFleetGenerator::fiber_plan(int fiber) const {
+  RWC_EXPECTS(fiber >= 0 && fiber < params_.fiber_count);
+  const SnrModelParams& m = params_.model;
+  Rng rng = Rng(seed_).fork(0x0F1BE000u + static_cast<std::uint64_t>(fiber));
+
+  FiberPlan plan;
+  plan.baseline = Db{std::clamp(
+      rng.normal(m.fiber_baseline_mean.value, m.fiber_baseline_sigma.value),
+      m.fiber_baseline_min.value, m.fiber_baseline_max.value)};
+
+  draw_events(rng, m.fiber_shallow_rate_per_year, params_.duration,
+              plan.events, [&](Seconds t) {
+                return SnrEvent{
+                    t,
+                    hours(std::max(0.1, rng.lognormal_from_moments(
+                                            m.shallow_duration_mean_hours,
+                                            m.shallow_duration_sd_hours))),
+                    Db{rng.lognormal(std::log(m.shallow_depth_median_db),
+                                     m.shallow_depth_log_sigma)},
+                    EventKind::kShallowDip};
+              });
+  draw_events(rng, m.fiber_deep_rate_per_year, params_.duration, plan.events,
+              [&](Seconds t) {
+                return SnrEvent{
+                    t,
+                    hours(std::max(0.25, rng.lognormal_from_moments(
+                                             m.deep_duration_mean_hours,
+                                             m.deep_duration_sd_hours))),
+                    Db{rng.lognormal(std::log(m.deep_depth_median_db),
+                                     m.deep_depth_log_sigma)},
+                    EventKind::kDeepDip};
+              });
+  draw_events(rng, m.fiber_cut_rate_per_year, params_.duration, plan.events,
+              [&](Seconds t) {
+                return SnrEvent{
+                    t,
+                    hours(std::max(0.5, rng.lognormal_from_moments(
+                                            m.cut_duration_mean_hours,
+                                            m.cut_duration_sd_hours))),
+                    Db{1000.0},  // loss of light: below any threshold
+                    EventKind::kFiberCut};
+              });
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const SnrEvent& a, const SnrEvent& b) {
+              return a.start < b.start;
+            });
+  return plan;
+}
+
+SnrTrace SnrFleetGenerator::generate_trace(int fiber, int lambda) const {
+  RWC_EXPECTS(lambda >= 0 && lambda < params_.wavelengths_per_fiber);
+  const SnrModelParams& m = params_.model;
+  const FiberPlan plan = fiber_plan(fiber);
+  Rng rng = Rng(seed_).fork(0x7A3B0000u +
+                            static_cast<std::uint64_t>(fiber) * 4096u +
+                            static_cast<std::uint64_t>(lambda));
+
+  // Per-wavelength statics.
+  const double baseline =
+      plan.baseline.value + rng.normal(0.0, m.lambda_offset_sigma.value);
+  double jitter_sigma = rng.lognormal(std::log(m.jitter_sigma_median_db),
+                                      m.jitter_sigma_log_sigma);
+  if (rng.bernoulli(m.noisy_lambda_fraction))
+    jitter_sigma *= m.noisy_jitter_multiplier;
+  const double drift_amplitude = rng.exponential(m.drift_amplitude_mean_db);
+  const Seconds drift_period =
+      rng.uniform(m.drift_period_min, m.drift_period_max);
+  const double drift_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+
+  // Merge fiber events (per-wavelength depth realization) with
+  // wavelength-local events (transceiver-side dips).
+  struct ActiveEvent {
+    std::size_t start_index;
+    std::size_t end_index;  // exclusive
+    double depth_db;
+  };
+  const auto n_samples = static_cast<std::size_t>(
+      std::floor(params_.duration / params_.interval));
+  std::vector<ActiveEvent> events;
+  auto materialize = [&](const SnrEvent& e, double depth) {
+    const auto start = static_cast<std::size_t>(
+        std::max(0.0, std::floor(e.start / params_.interval)));
+    auto end = static_cast<std::size_t>(
+        std::ceil((e.start + e.duration) / params_.interval));
+    end = std::min(end, n_samples);
+    if (start < end) events.push_back(ActiveEvent{start, end, depth});
+  };
+  for (const SnrEvent& e : plan.events) {
+    const double lambda_scale =
+        rng.lognormal(0.0, m.event_depth_lambda_log_sigma);
+    materialize(e, e.depth.value * lambda_scale);
+  }
+  std::vector<SnrEvent> local;
+  draw_events(rng, m.lambda_shallow_rate_per_year, params_.duration, local,
+              [&](Seconds t) {
+                return SnrEvent{
+                    t,
+                    hours(std::max(0.1, rng.lognormal_from_moments(
+                                            m.shallow_duration_mean_hours,
+                                            m.shallow_duration_sd_hours))),
+                    Db{rng.lognormal(std::log(m.shallow_depth_median_db),
+                                     m.shallow_depth_log_sigma)},
+                    EventKind::kShallowDip};
+              });
+  draw_events(rng, m.lambda_deep_rate_per_year, params_.duration, local,
+              [&](Seconds t) {
+                return SnrEvent{
+                    t,
+                    hours(std::max(0.25, rng.lognormal_from_moments(
+                                             m.deep_duration_mean_hours,
+                                             m.deep_duration_sd_hours))),
+                    Db{rng.lognormal(std::log(m.deep_depth_median_db),
+                                     m.deep_depth_log_sigma)},
+                    EventKind::kDeepDip};
+              });
+  for (const SnrEvent& e : local) materialize(e, e.depth.value);
+
+  // Difference array of active event depth, then prefix-sum while sampling.
+  std::vector<double> depth_delta(n_samples + 1, 0.0);
+  for (const ActiveEvent& e : events) {
+    depth_delta[e.start_index] += e.depth_db;
+    depth_delta[e.end_index] -= e.depth_db;
+  }
+
+  SnrTrace trace;
+  trace.interval = params_.interval;
+  trace.samples_db.resize(n_samples);
+  const double two_pi = 2.0 * std::numbers::pi;
+  double active_depth = 0.0;
+  for (std::size_t i = 0; i < n_samples; ++i) {
+    active_depth += depth_delta[i];
+    const double t = static_cast<double>(i) * params_.interval;
+    const double drift =
+        drift_amplitude * std::sin(two_pi * t / drift_period + drift_phase);
+    double snr = baseline + drift + rng.normal(0.0, jitter_sigma) -
+                 active_depth;
+    // Receiver reporting floor: a dead link reads as noise-floor SNR.
+    if (snr < m.noise_floor.value)
+      snr = m.noise_floor.value + std::abs(rng.normal(0.0, 0.05));
+    trace.samples_db[i] = static_cast<float>(snr);
+  }
+  return trace;
+}
+
+SnrTrace SnrFleetGenerator::generate_trace(int link_index) const {
+  RWC_EXPECTS(link_index >= 0 && link_index < link_count());
+  return generate_trace(link_index / params_.wavelengths_per_fiber,
+                        link_index % params_.wavelengths_per_fiber);
+}
+
+}  // namespace rwc::telemetry

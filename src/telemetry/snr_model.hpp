@@ -1,0 +1,148 @@
+// Stochastic SNR model for WAN optical links.
+//
+// Substitutes for the paper's proprietary telemetry (2000+ links sampled
+// every 15 minutes for 2.5 years). The process is:
+//
+//   snr(t) = fiber_baseline + lambda_offset + seasonal_drift(t)
+//            + jitter(t) - sum(active event depths)
+//
+// with three event classes:
+//   shallow dips  — amplifier aging, maintenance wiggle (small depth, common)
+//   deep dips     — hardware failures, botched maintenance (large depth)
+//   fiber cuts    — loss of light: SNR collapses to the noise floor
+// Fiber-level events hit every wavelength of the cable (with per-wavelength
+// depth variation), which reproduces the correlated dips of Figure 1.
+//
+// Default parameters are calibrated against the paper's published population
+// statistics (see DESIGN.md section 6); calibration tests assert them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace rwc::telemetry {
+
+/// What caused an SNR-degrading event (used for ground-truth joins in
+/// tests; the analyses themselves only look at samples, like the paper).
+enum class EventKind { kShallowDip, kDeepDip, kFiberCut };
+
+const char* to_string(EventKind kind);
+
+/// One SNR-degrading event on a fiber or a single wavelength.
+struct SnrEvent {
+  util::Seconds start = 0.0;
+  util::Seconds duration = 0.0;
+  util::Db depth{0.0};  // nominal depth; per-wavelength realizations vary
+  EventKind kind = EventKind::kShallowDip;
+};
+
+/// Tunable parameters of the SNR process. Rates are per year.
+struct SnrModelParams {
+  // Population of clear-sky SNR across fibers / wavelengths.
+  util::Db fiber_baseline_mean{13.2};
+  util::Db fiber_baseline_sigma{1.0};
+  util::Db fiber_baseline_min{8.5};
+  util::Db fiber_baseline_max{17.5};
+  util::Db lambda_offset_sigma{0.5};
+
+  // Fast per-sample jitter: per-wavelength sigma is lognormal so a tail of
+  // links is "noisy" (drives the HDR-width distribution of Fig. 2a).
+  double jitter_sigma_median_db = 0.22;
+  double jitter_sigma_log_sigma = 0.5;
+  double noisy_lambda_fraction = 0.05;
+  double noisy_jitter_multiplier = 3.0;
+
+  // Slow seasonal drift.
+  double drift_amplitude_mean_db = 0.30;  // exponential
+  util::Seconds drift_period_min = 60.0 * util::kDay;
+  util::Seconds drift_period_max = 240.0 * util::kDay;
+
+  // Shallow dips.
+  double fiber_shallow_rate_per_year = 4.0;
+  double lambda_shallow_rate_per_year = 2.0;
+  double shallow_depth_median_db = 1.3;
+  double shallow_depth_log_sigma = 0.6;
+  double shallow_duration_mean_hours = 2.0;
+  double shallow_duration_sd_hours = 2.0;
+
+  // Deep dips.
+  double fiber_deep_rate_per_year = 0.8;
+  double lambda_deep_rate_per_year = 0.4;
+  double deep_depth_median_db = 12.0;
+  double deep_depth_log_sigma = 0.5;
+  double deep_duration_mean_hours = 6.0;
+  double deep_duration_sd_hours = 5.0;
+
+  // Fiber cuts (loss of light).
+  double fiber_cut_rate_per_year = 0.15;
+  double cut_duration_mean_hours = 14.0;
+  double cut_duration_sd_hours = 8.0;
+
+  // Per-wavelength multiplicative variation of a fiber event's depth.
+  double event_depth_lambda_log_sigma = 0.2;
+
+  // Receiver noise floor: reported SNR never drops below ~this.
+  util::Db noise_floor{0.2};
+};
+
+/// A sampled SNR time series for one link (wavelength).
+struct SnrTrace {
+  util::Seconds interval = 15.0 * util::kMinute;
+  std::vector<float> samples_db;
+
+  std::size_t size() const { return samples_db.size(); }
+  util::Db at(std::size_t i) const {
+    return util::Db{static_cast<double>(samples_db[i])};
+  }
+  util::Seconds duration() const {
+    return interval * static_cast<double>(samples_db.size());
+  }
+};
+
+/// Deterministic per-fiber event plan shared by all wavelengths of a cable.
+struct FiberPlan {
+  util::Db baseline{0.0};
+  std::vector<SnrEvent> events;
+};
+
+/// Generates SNR traces for a fleet of fibers, each carrying a fixed number
+/// of wavelengths (= IP links). Deterministic per (fiber, lambda): trace
+/// generation is pure given the seed, so a 2000-link fleet can be analyzed
+/// streaming one link at a time.
+class SnrFleetGenerator {
+ public:
+  struct FleetParams {
+    int fiber_count = 50;
+    int wavelengths_per_fiber = 40;
+    util::Seconds duration = 2.5 * 365.0 * util::kDay;
+    util::Seconds interval = 15.0 * util::kMinute;
+    SnrModelParams model;
+  };
+
+  SnrFleetGenerator(FleetParams params, std::uint64_t seed);
+
+  int fiber_count() const { return params_.fiber_count; }
+  int wavelengths_per_fiber() const { return params_.wavelengths_per_fiber; }
+  int link_count() const {
+    return params_.fiber_count * params_.wavelengths_per_fiber;
+  }
+  const FleetParams& params() const { return params_; }
+
+  /// The event plan of one fiber (same result on every call).
+  FiberPlan fiber_plan(int fiber) const;
+
+  /// The SNR trace of wavelength `lambda` on `fiber`.
+  SnrTrace generate_trace(int fiber, int lambda) const;
+
+  /// Convenience: trace for a flat link index in [0, link_count).
+  SnrTrace generate_trace(int link_index) const;
+
+ private:
+  FleetParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rwc::telemetry

@@ -1,0 +1,40 @@
+#include "telemetry/streaming.hpp"
+
+#include "util/check.hpp"
+
+namespace rwc::telemetry {
+
+using util::Db;
+
+StreamingLinkAnalyzer::StreamingLinkAnalyzer(double coverage)
+    : coverage_(coverage),
+      lower_((1.0 - coverage) / 2.0),
+      upper_((1.0 + coverage) / 2.0) {
+  RWC_EXPECTS(coverage > 0.0 && coverage < 1.0);
+}
+
+void StreamingLinkAnalyzer::add(Db snr) {
+  summary_.add(snr.value);
+  lower_.add(snr.value);
+  upper_.add(snr.value);
+}
+
+void StreamingLinkAnalyzer::add(const SnrTrace& trace) {
+  for (float s : trace.samples_db) add(Db{static_cast<double>(s)});
+}
+
+LinkSnrStats StreamingLinkAnalyzer::stats(
+    const optical::ModulationTable& table) const {
+  RWC_EXPECTS(count() > 0);
+  LinkSnrStats stats;
+  stats.min_snr = Db{summary_.min()};
+  stats.max_snr = Db{summary_.max()};
+  stats.range_db = summary_.max() - summary_.min();
+  stats.hdr = util::Interval{lower_.value(), upper_.value()};
+  stats.hdr_width_db = stats.hdr.width();
+  stats.hdr_lower = Db{stats.hdr.lo};
+  stats.feasible_capacity = table.feasible_capacity(stats.hdr_lower);
+  return stats;
+}
+
+}  // namespace rwc::telemetry

@@ -1,0 +1,39 @@
+// O(1)-memory per-link SNR analysis for production telemetry pipelines.
+//
+// analyze_link (analysis.hpp) buffers a link's full history to compute the
+// exact minimal-width HDR; at 2.5 years x 15 minutes x thousands of links
+// that is gigabytes. The streaming analyzer instead keeps Welford moments
+// plus two P-square quantile sketches and reports the CENTRAL
+// ((1-coverage)/2, (1+coverage)/2) interval — an upper bound on the
+// minimal-width HDR that coincides with it for symmetric sample
+// distributions (the common case for stable links).
+#pragma once
+
+#include "optical/modulation.hpp"
+#include "telemetry/analysis.hpp"
+#include "util/p2_quantile.hpp"
+
+namespace rwc::telemetry {
+
+class StreamingLinkAnalyzer {
+ public:
+  explicit StreamingLinkAnalyzer(double coverage = 0.95);
+
+  /// Feeds one SNR sample.
+  void add(util::Db snr);
+  /// Feeds a whole trace.
+  void add(const SnrTrace& trace);
+
+  std::size_t count() const { return summary_.count(); }
+
+  /// Current statistics. `hdr` holds the central interval approximation.
+  LinkSnrStats stats(const optical::ModulationTable& table) const;
+
+ private:
+  double coverage_;
+  util::StreamingSummary summary_;
+  util::P2Quantile lower_;
+  util::P2Quantile upper_;
+};
+
+}  // namespace rwc::telemetry

@@ -1,0 +1,7 @@
+// Library identification for rwc_telemetry.
+namespace rwc::telemetry {
+
+/// Version string of the telemetry subsystem (matches the top-level project).
+const char* version() { return "1.0.0"; }
+
+}  // namespace rwc::telemetry

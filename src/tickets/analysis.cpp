@@ -1,0 +1,64 @@
+#include "tickets/analysis.hpp"
+
+#include "util/check.hpp"
+
+namespace rwc::tickets {
+
+namespace {
+
+std::size_t cause_index(RootCause cause) {
+  for (std::size_t i = 0; i < 5; ++i)
+    if (kAllRootCauses[i] == cause) return i;
+  RWC_CHECK_MSG(false, "unknown root cause");
+  return 0;
+}
+
+}  // namespace
+
+double RootCauseBreakdown::event_share(RootCause cause) const {
+  if (total_events == 0) return 0.0;
+  return static_cast<double>(event_count[cause_index(cause)]) /
+         static_cast<double>(total_events);
+}
+
+double RootCauseBreakdown::duration_share(RootCause cause) const {
+  if (total_duration <= 0.0) return 0.0;
+  return total_duration_hours[cause_index(cause)] / total_duration;
+}
+
+RootCauseBreakdown breakdown_by_cause(
+    std::span<const FailureTicket> tickets) {
+  RootCauseBreakdown breakdown;
+  for (const FailureTicket& ticket : tickets) {
+    const std::size_t index = cause_index(ticket.cause);
+    const double hours = ticket.outage_duration / util::kHour;
+    ++breakdown.event_count[index];
+    breakdown.total_duration_hours[index] += hours;
+    ++breakdown.total_events;
+    breakdown.total_duration += hours;
+  }
+  return breakdown;
+}
+
+OpportunityReport opportunity_report(std::span<const FailureTicket> tickets,
+                                     const optical::ModulationTable& table) {
+  OpportunityReport report;
+  if (tickets.empty()) return report;
+  const util::Db fallback_threshold = table.formats().front().min_snr;
+  std::size_t non_cut = 0;
+  std::size_t recoverable = 0;
+  for (const FailureTicket& ticket : tickets) {
+    report.lowest_snr_db.push_back(ticket.lowest_snr.value);
+    if (ticket.cause != RootCause::kFiberCut) ++non_cut;
+    if (ticket.lowest_snr >= fallback_threshold) {
+      ++recoverable;
+      report.recoverable_outage_hours += ticket.outage_duration / util::kHour;
+    }
+  }
+  const auto n = static_cast<double>(tickets.size());
+  report.non_cut_event_fraction = static_cast<double>(non_cut) / n;
+  report.recoverable_event_fraction = static_cast<double>(recoverable) / n;
+  return report;
+}
+
+}  // namespace rwc::tickets

@@ -1,0 +1,43 @@
+// Root-cause analysis over a ticket log: the aggregation behind Fig. 4.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "optical/modulation.hpp"
+#include "tickets/ticket.hpp"
+
+namespace rwc::tickets {
+
+/// Per-root-cause aggregates (indexed in kAllRootCauses order).
+struct RootCauseBreakdown {
+  std::array<std::size_t, 5> event_count{};
+  std::array<double, 5> total_duration_hours{};
+  std::size_t total_events = 0;
+  double total_duration = 0.0;  // hours
+
+  double event_share(RootCause cause) const;
+  double duration_share(RootCause cause) const;
+};
+
+RootCauseBreakdown breakdown_by_cause(std::span<const FailureTicket> tickets);
+
+/// The paper's availability opportunity metrics.
+struct OpportunityReport {
+  /// Fraction of events that are NOT fiber cuts (paper: > 90%).
+  double non_cut_event_fraction = 0.0;
+  /// Fraction of events with lowest SNR >= the 50 Gbps threshold
+  /// (paper: ~25% — these failures become 50 Gbps link flaps instead).
+  double recoverable_event_fraction = 0.0;
+  /// Outage hours that dynamic capacity would converts into degraded-rate
+  /// operation at 50 Gbps.
+  double recoverable_outage_hours = 0.0;
+  /// Per-event lowest SNR values (input of the Fig. 4c CDF).
+  std::vector<double> lowest_snr_db;
+};
+
+OpportunityReport opportunity_report(std::span<const FailureTicket> tickets,
+                                     const optical::ModulationTable& table);
+
+}  // namespace rwc::tickets

@@ -1,0 +1,59 @@
+#include "tickets/generator.hpp"
+
+#include <algorithm>
+#include <span>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace rwc::tickets {
+
+using util::Rng;
+
+std::vector<FailureTicket> generate_tickets(const TicketModelParams& params,
+                                            std::uint64_t seed) {
+  RWC_EXPECTS(params.event_count > 0);
+  RWC_EXPECTS(params.observation_window > 0.0);
+  Rng rng(seed);
+
+  std::vector<FailureTicket> tickets;
+  tickets.reserve(static_cast<std::size_t>(params.event_count));
+  for (int i = 0; i < params.event_count; ++i) {
+    FailureTicket ticket;
+    ticket.id = i + 1;
+    ticket.opened_at = rng.uniform(0.0, params.observation_window);
+
+    const std::size_t cause_index =
+        rng.pick_weighted(std::span<const double>(params.event_share, 5));
+    ticket.cause = kAllRootCauses[cause_index];
+
+    ticket.outage_duration =
+        std::max(0.25, rng.lognormal_from_moments(
+                           params.mean_duration_hours[cause_index],
+                           params.duration_sd_hours[cause_index])) *
+        util::kHour;
+
+    if (rng.bernoulli(params.recoverable_probability[cause_index])) {
+      ticket.lowest_snr = util::Db{rng.uniform(
+          params.recoverable_snr_lo.value, params.recoverable_snr_hi.value)};
+    } else if (ticket.cause == RootCause::kFiberCut ||
+               rng.bernoulli(params.loss_of_light_fraction)) {
+      ticket.lowest_snr = util::Db{params.noise_floor.value +
+                                   std::abs(rng.normal(0.0, 0.05))};
+    } else {
+      ticket.lowest_snr = util::Db{rng.uniform(
+          params.noise_floor.value + 0.1, params.recoverable_snr_lo.value)};
+    }
+
+    ticket.affected_link =
+        "link-" + std::to_string(rng.uniform_int(1, 2000));
+    tickets.push_back(std::move(ticket));
+  }
+  std::sort(tickets.begin(), tickets.end(),
+            [](const FailureTicket& a, const FailureTicket& b) {
+              return a.opened_at < b.opened_at;
+            });
+  return tickets;
+}
+
+}  // namespace rwc::tickets

@@ -1,0 +1,46 @@
+// Synthetic failure-ticket generator, calibrated to the paper's published
+// category mix (Fig. 4a/4b) and SNR-at-failure distribution (Fig. 4c):
+//   events:   maintenance-coincident 25%, fiber cuts 5%, hardware ~30%,
+//             human error ~15%, undocumented ~25%
+//   duration: maintenance-coincident ~20%, fiber cuts ~10% of total outage
+//   SNR:      ~25% of failures keep lowest SNR >= 3.0 dB (50 Gbps viable)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tickets/ticket.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::tickets {
+
+struct TicketModelParams {
+  int event_count = 250;
+  util::Seconds observation_window = 7.0 * 30.0 * util::kDay;  // seven months
+
+  /// Event-share per root cause, in kAllRootCauses order.
+  double event_share[5] = {0.25, 0.05, 0.30, 0.15, 0.25};
+  /// Mean outage duration (hours) per root cause, chosen so the duration
+  /// shares land near the paper's Fig. 4a.
+  double mean_duration_hours[5] = {4.0, 10.0, 5.0, 4.0, 5.6};
+  double duration_sd_hours[5] = {3.5, 7.0, 4.5, 3.0, 5.0};
+
+  /// Probability that a failure of this cause retains SNR >= 3 dB
+  /// (degradation rather than loss of light).
+  double recoverable_probability[5] = {0.40, 0.0, 0.30, 0.25, 0.15};
+
+  /// SNR range for recoverable failures: [3.0 dB, just under the 100 G
+  /// threshold). Non-recoverable failures draw SNR in [floor, 3.0).
+  util::Db recoverable_snr_lo{3.0};
+  util::Db recoverable_snr_hi{6.3};
+  util::Db noise_floor{0.2};
+  /// Among non-recoverable failures, the fraction reading the bare noise
+  /// floor (complete loss of light) vs. a partial value in (floor, 3.0 dB).
+  double loss_of_light_fraction = 0.55;
+};
+
+/// Generates a deterministic ticket log for the observation window.
+std::vector<FailureTicket> generate_tickets(const TicketModelParams& params,
+                                            std::uint64_t seed);
+
+}  // namespace rwc::tickets

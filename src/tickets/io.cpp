@@ -1,0 +1,88 @@
+#include "tickets/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rwc::tickets {
+
+namespace {
+constexpr const char* kHeader =
+    "id,opened_at_seconds,outage_hours,cause,lowest_snr_db,link";
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+}  // namespace
+
+RootCause root_cause_from_string(const std::string& name) {
+  for (RootCause cause : kAllRootCauses)
+    if (name == to_string(cause)) return cause;
+  RWC_CHECK_MSG(false, "unknown root cause: " + name);
+  return RootCause::kUndocumented;
+}
+
+void write_tickets_csv(std::span<const FailureTicket> tickets,
+                       std::ostream& os) {
+  os << kHeader << '\n';
+  for (const FailureTicket& t : tickets)
+    os << t.id << ',' << t.opened_at << ','
+       << t.outage_duration / util::kHour << ',' << to_string(t.cause) << ','
+       << t.lowest_snr.value << ',' << t.affected_link << '\n';
+}
+
+std::string tickets_to_csv(std::span<const FailureTicket> tickets) {
+  std::ostringstream os;
+  write_tickets_csv(tickets, os);
+  return os.str();
+}
+
+std::vector<FailureTicket> read_tickets_csv(std::istream& is) {
+  std::string line;
+  RWC_CHECK_MSG(static_cast<bool>(std::getline(is, line)) && line == kHeader,
+                "tickets csv: bad header");
+  std::vector<FailureTicket> tickets;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    RWC_CHECK_MSG(cells.size() == 6, "tickets csv: bad column count");
+    FailureTicket ticket;
+    ticket.id = std::stoi(cells[0]);
+    ticket.opened_at = std::stod(cells[1]);
+    ticket.outage_duration = std::stod(cells[2]) * util::kHour;
+    ticket.cause = root_cause_from_string(cells[3]);
+    ticket.lowest_snr = util::Db{std::stod(cells[4])};
+    ticket.affected_link = cells[5];
+    RWC_CHECK_MSG(ticket.outage_duration >= 0.0,
+                  "tickets csv: negative duration");
+    tickets.push_back(std::move(ticket));
+  }
+  return tickets;
+}
+
+std::vector<FailureTicket> tickets_from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  return read_tickets_csv(is);
+}
+
+void save_tickets_csv(std::span<const FailureTicket> tickets,
+                      const std::string& path) {
+  std::ofstream os(path);
+  RWC_CHECK_MSG(os.good(), "cannot open tickets file for writing: " + path);
+  write_tickets_csv(tickets, os);
+  RWC_CHECK_MSG(os.good(), "error writing tickets file: " + path);
+}
+
+std::vector<FailureTicket> load_tickets_csv(const std::string& path) {
+  std::ifstream is(path);
+  RWC_CHECK_MSG(is.good(), "cannot open tickets file: " + path);
+  return read_tickets_csv(is);
+}
+
+}  // namespace rwc::tickets

@@ -1,0 +1,32 @@
+// CSV import/export of failure-ticket logs, so operators can replay their
+// own ticket data through the Fig. 4 analyses and examples/failure_replay.
+//
+// Columns: id,opened_at_seconds,outage_hours,cause,lowest_snr_db,link
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tickets/ticket.hpp"
+
+namespace rwc::tickets {
+
+void write_tickets_csv(std::span<const FailureTicket> tickets,
+                       std::ostream& os);
+std::string tickets_to_csv(std::span<const FailureTicket> tickets);
+
+/// Parses a log; throws util::CheckError on malformed input (including an
+/// unknown cause name).
+std::vector<FailureTicket> read_tickets_csv(std::istream& is);
+std::vector<FailureTicket> tickets_from_csv(const std::string& csv);
+
+void save_tickets_csv(std::span<const FailureTicket> tickets,
+                      const std::string& path);
+std::vector<FailureTicket> load_tickets_csv(const std::string& path);
+
+/// Inverse of to_string(RootCause); throws on unknown names.
+RootCause root_cause_from_string(const std::string& name);
+
+}  // namespace rwc::tickets

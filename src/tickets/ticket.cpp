@@ -1,0 +1,21 @@
+#include "tickets/ticket.hpp"
+
+namespace rwc::tickets {
+
+const char* to_string(RootCause cause) {
+  switch (cause) {
+    case RootCause::kMaintenanceCoincident:
+      return "maintenance-coincident";
+    case RootCause::kFiberCut:
+      return "fiber-cut";
+    case RootCause::kHardwareFailure:
+      return "hardware-failure";
+    case RootCause::kHumanError:
+      return "human-error";
+    case RootCause::kUndocumented:
+      return "undocumented";
+  }
+  return "unknown";
+}
+
+}  // namespace rwc::tickets

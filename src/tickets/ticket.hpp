@@ -1,0 +1,41 @@
+// Failure-ticket model for unplanned WAN outage events (paper Section 2.2:
+// 250 events over seven months, manually categorized by field operators).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace rwc::tickets {
+
+/// Root-cause categories from the paper's manual ticket analysis.
+enum class RootCause {
+  kMaintenanceCoincident,  // unplanned event during scheduled maintenance
+  kFiberCut,               // accidental fiber break
+  kHardwareFailure,        // amplifier / transponder / OXC failure
+  kHumanError,             // mis-operation outside maintenance windows
+  kUndocumented,           // action not logged (known not to be a cut)
+};
+
+inline constexpr RootCause kAllRootCauses[] = {
+    RootCause::kMaintenanceCoincident, RootCause::kFiberCut,
+    RootCause::kHardwareFailure, RootCause::kHumanError,
+    RootCause::kUndocumented,
+};
+
+const char* to_string(RootCause cause);
+
+/// One unplanned failure ticket.
+struct FailureTicket {
+  int id = 0;
+  util::Seconds opened_at = 0.0;
+  util::Seconds outage_duration = 0.0;
+  RootCause cause = RootCause::kUndocumented;
+  /// Lowest SNR observed on the affected link during the outage. Fiber cuts
+  /// read the receiver noise floor; degradations retain partial signal.
+  util::Db lowest_snr{0.0};
+  std::string affected_link;
+};
+
+}  // namespace rwc::tickets

@@ -1,0 +1,7 @@
+// Library identification for rwc_tickets.
+namespace rwc::tickets {
+
+/// Version string of the tickets subsystem (matches the top-level project).
+const char* version() { return "1.0.0"; }
+
+}  // namespace rwc::tickets

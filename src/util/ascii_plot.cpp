@@ -1,0 +1,112 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rwc::util {
+
+PlotCanvas::PlotCanvas(std::size_t width, std::size_t height, double x_lo,
+                       double x_hi, double y_lo, double y_hi)
+    : width_(width),
+      height_(height),
+      x_lo_(x_lo),
+      x_hi_(x_hi),
+      y_lo_(y_lo),
+      y_hi_(y_hi),
+      grid_(height, std::string(width, ' ')) {
+  RWC_EXPECTS(width >= 2 && height >= 2);
+  RWC_EXPECTS(x_lo < x_hi && y_lo < y_hi);
+}
+
+void PlotCanvas::point(double x, double y, char mark) {
+  const double fx = (x - x_lo_) / (x_hi_ - x_lo_);
+  const double fy = (y - y_lo_) / (y_hi_ - y_lo_);
+  if (fx < 0.0 || fx > 1.0 || fy < 0.0 || fy > 1.0) return;
+  auto col = static_cast<std::size_t>(fx * static_cast<double>(width_ - 1));
+  auto row = height_ - 1 -
+             static_cast<std::size_t>(fy * static_cast<double>(height_ - 1));
+  grid_[row][col] = mark;
+}
+
+void PlotCanvas::line(std::span<const std::pair<double, double>> points,
+                      char mark) {
+  if (points.empty()) return;
+  // Dense interpolation between consecutive vertices; cheap and adequate for
+  // terminal resolution.
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const auto [x0, y0] = points[i];
+    const auto [x1, y1] = points[i + 1];
+    const int steps = static_cast<int>(width_) * 2;
+    for (int s = 0; s <= steps; ++s) {
+      const double t = static_cast<double>(s) / steps;
+      point(x0 + t * (x1 - x0), y0 + t * (y1 - y0), mark);
+    }
+  }
+  point(points.back().first, points.back().second, mark);
+}
+
+std::string PlotCanvas::render(const std::string& x_label,
+                               const std::string& y_label) const {
+  std::ostringstream os;
+  os << y_label << " (" << format_double(y_lo_) << " .. "
+     << format_double(y_hi_) << ")\n";
+  for (const auto& row : grid_) os << '|' << row << '\n';
+  os << '+' << std::string(width_, '-') << '\n';
+  os << ' ' << format_double(x_lo_) << std::string(width_ > 24 ? width_ - 16 : 1, ' ')
+     << format_double(x_hi_) << "  " << x_label << '\n';
+  return os.str();
+}
+
+std::string plot_cdfs(
+    std::span<const std::pair<std::string, const EmpiricalCdf*>> series,
+    std::size_t width, std::size_t height, const std::string& x_label) {
+  RWC_EXPECTS(!series.empty());
+  double x_lo = series.front().second->min();
+  double x_hi = series.front().second->max();
+  for (const auto& [name, cdf] : series) {
+    x_lo = std::min(x_lo, cdf->min());
+    x_hi = std::max(x_hi, cdf->max());
+  }
+  if (x_hi <= x_lo) x_hi = x_lo + 1.0;
+  PlotCanvas canvas(width, height, x_lo, x_hi, 0.0, 1.0);
+  static constexpr char kMarks[] = {'*', 'o', '+', 'x', '#', '@'};
+  std::ostringstream legend;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char mark = kMarks[s % sizeof kMarks];
+    const auto& cdf = *series[s].second;
+    std::vector<std::pair<double, double>> pts;
+    const int samples = static_cast<int>(width) * 2;
+    for (int i = 0; i <= samples; ++i) {
+      const double x = x_lo + (x_hi - x_lo) * i / samples;
+      pts.emplace_back(x, cdf.fraction_at_or_below(x));
+    }
+    canvas.line(pts, mark);
+    legend << "  [" << mark << "] " << series[s].first << '\n';
+  }
+  return canvas.render(x_label, "CDF") + legend.str();
+}
+
+std::string plot_series(std::span<const double> values, std::size_t width,
+                        std::size_t height, const std::string& x_label,
+                        const std::string& y_label) {
+  RWC_EXPECTS(!values.empty());
+  const auto summary = summarize(values);
+  double lo = summary.min;
+  double hi = summary.max;
+  if (hi <= lo) hi = lo + 1.0;
+  PlotCanvas canvas(width, height, 0.0,
+                    static_cast<double>(values.size() - 1) + 1e-9, lo, hi);
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    pts.emplace_back(static_cast<double>(i), values[i]);
+  canvas.line(pts);
+  return canvas.render(x_label, y_label);
+}
+
+}  // namespace rwc::util

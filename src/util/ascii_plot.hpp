@@ -1,0 +1,52 @@
+// ASCII renderings of the paper's figures: CDF curves, time series, and
+// scatter plots (constellation diagrams). Benches print these so the shape of
+// each reproduced figure is visible in plain terminal output.
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rwc::util {
+
+class EmpiricalCdf;
+
+/// Character canvas with data-space axes; plot primitives clamp to range.
+class PlotCanvas {
+ public:
+  PlotCanvas(std::size_t width, std::size_t height, double x_lo, double x_hi,
+             double y_lo, double y_hi);
+
+  /// Plots a single point with the glyph `mark`.
+  void point(double x, double y, char mark = '*');
+  /// Plots a polyline through the given (x, y) vertices.
+  void line(std::span<const std::pair<double, double>> points,
+            char mark = '*');
+
+  /// Renders with a simple axis frame and min/max labels.
+  std::string render(const std::string& x_label,
+                     const std::string& y_label) const;
+
+  double x_lo() const { return x_lo_; }
+  double x_hi() const { return x_hi_; }
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  double x_lo_, x_hi_, y_lo_, y_hi_;
+  std::vector<std::string> grid_;  // grid_[row][col], row 0 = top
+};
+
+/// Renders one or more CDFs over a shared x-range. Each series gets its own
+/// glyph and a legend line.
+std::string plot_cdfs(
+    std::span<const std::pair<std::string, const EmpiricalCdf*>> series,
+    std::size_t width, std::size_t height, const std::string& x_label);
+
+/// Renders y-values against their index (time series).
+std::string plot_series(std::span<const double> values, std::size_t width,
+                        std::size_t height, const std::string& x_label,
+                        const std::string& y_label);
+
+}  // namespace rwc::util

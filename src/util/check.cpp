@@ -1,0 +1,15 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace rwc::util {
+
+void throw_check_failure(const char* kind, const char* expr, const char* file,
+                         int line, const std::string& detail) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!detail.empty()) os << " (" << detail << ')';
+  throw CheckError(os.str());
+}
+
+}  // namespace rwc::util

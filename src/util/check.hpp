@@ -1,0 +1,55 @@
+// Lightweight contract checking (precondition / postcondition / invariant).
+//
+// Violations throw rwc::util::CheckError so callers and tests can observe
+// them; they are programming errors, not recoverable runtime conditions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rwc::util {
+
+/// Thrown when a RWC_CHECK / RWC_EXPECTS / RWC_ENSURES condition fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Builds the failure message and throws CheckError. Out-of-line so the
+/// throwing path stays cold in callers.
+[[noreturn]] void throw_check_failure(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& detail = {});
+
+}  // namespace rwc::util
+
+/// General invariant check.
+#define RWC_CHECK(expr)                                                     \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::rwc::util::throw_check_failure("check", #expr, __FILE__, __LINE__); \
+  } while (false)
+
+/// Invariant check with an explanatory detail message.
+#define RWC_CHECK_MSG(expr, detail)                                   \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::rwc::util::throw_check_failure("check", #expr, __FILE__,      \
+                                       __LINE__, (detail));           \
+  } while (false)
+
+/// Function precondition (Core Guidelines I.5/I.6).
+#define RWC_EXPECTS(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::rwc::util::throw_check_failure("precondition", #expr, __FILE__,  \
+                                       __LINE__);                         \
+  } while (false)
+
+/// Function postcondition (Core Guidelines I.7/I.8).
+#define RWC_ENSURES(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::rwc::util::throw_check_failure("postcondition", #expr, __FILE__, \
+                                       __LINE__);                         \
+  } while (false)

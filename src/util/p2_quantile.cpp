@@ -1,0 +1,107 @@
+#include "util/p2_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rwc::util {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  RWC_EXPECTS(p > 0.0 && p < 1.0);
+  desired_increment_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double value) {
+  if (count_ < 5) {
+    heights_[count_++] = value;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i)
+        positions_[i] = static_cast<double>(i + 1);
+      desired_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+    }
+    return;
+  }
+  ++count_;
+
+  // Locate the cell containing the new observation; clamp extremes.
+  std::size_t cell;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    cell = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && value >= heights_[cell + 1]) ++cell;
+  }
+
+  for (std::size_t i = cell + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i)
+    desired_[i] += desired_increment_[i];
+
+  // Adjust the three interior markers with parabolic (or linear) steps.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double gap = desired_[i] - positions_[i];
+    const double forward = positions_[i + 1] - positions_[i];
+    const double backward = positions_[i - 1] - positions_[i];
+    if ((gap >= 1.0 && forward > 1.0) || (gap <= -1.0 && backward < -1.0)) {
+      const double direction = gap >= 1.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction.
+      const double qi = heights_[i];
+      const double parabolic =
+          qi + direction / (positions_[i + 1] - positions_[i - 1]) *
+                   ((positions_[i] - positions_[i - 1] + direction) *
+                        (heights_[i + 1] - qi) / forward +
+                    (positions_[i + 1] - positions_[i] - direction) *
+                        (qi - heights_[i - 1]) / (-backward));
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        // Linear fallback.
+        const auto j = static_cast<std::size_t>(
+            static_cast<double>(i) + direction);
+        heights_[i] = qi + direction * (heights_[j] - qi) /
+                               (positions_[j] - positions_[i]);
+      }
+      positions_[i] += direction;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact on the buffered prefix.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + count_);
+    const double position = p_ * static_cast<double>(count_ - 1);
+    const auto lower = static_cast<std::size_t>(position);
+    const double weight = position - static_cast<double>(lower);
+    if (lower + 1 >= count_) return sorted[count_ - 1];
+    return sorted[lower] * (1.0 - weight) + sorted[lower + 1] * weight;
+  }
+  return heights_[2];
+}
+
+void StreamingSummary::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double StreamingSummary::stddev() const {
+  if (count_ == 0) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_));
+}
+
+}  // namespace rwc::util

@@ -1,0 +1,57 @@
+// P-square (P²) streaming quantile estimation (Jain & Chlamtac, 1985).
+//
+// Telemetry pipelines cannot afford to buffer 2.5 years of 15-minute samples
+// per link just to compute percentile-based statistics; P² maintains a
+// five-marker parabolic approximation of one quantile in O(1) memory per
+// quantile. telemetry::analyze_link_streaming builds an approximate HDR
+// from two P² estimators.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace rwc::util {
+
+/// Streaming estimator of a single quantile p (0 < p < 1).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p);
+
+  /// Feeds one observation.
+  void add(double value);
+
+  /// Current estimate. Exact while fewer than 5 observations were added;
+  /// NaN-free: returns 0 when empty.
+  double value() const;
+
+  std::size_t count() const { return count_; }
+  double quantile() const { return p_; }
+
+ private:
+  double p_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};           // marker heights q_i
+  std::array<double, 5> positions_{};         // actual positions n_i
+  std::array<double, 5> desired_{};           // desired positions n'_i
+  std::array<double, 5> desired_increment_{};  // dn'_i
+};
+
+/// Streaming summary: count / mean / variance (Welford) plus extrema.
+class StreamingSummary {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rwc::util

@@ -1,0 +1,145 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace rwc::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  RWC_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RWC_EXPECTS(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) draw = next_u64();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+bool Rng::bernoulli(double p) {
+  RWC_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  RWC_EXPECTS(stddev >= 0.0);
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+double Rng::lognormal(double mu_log, double sigma_log) {
+  return std::exp(normal(mu_log, sigma_log));
+}
+
+double Rng::lognormal_from_moments(double mean, double stddev) {
+  RWC_EXPECTS(mean > 0.0 && stddev >= 0.0);
+  const double cv2 = (stddev / mean) * (stddev / mean);
+  const double sigma2 = std::log1p(cv2);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return lognormal(mu, std::sqrt(sigma2));
+}
+
+double Rng::exponential(double mean) {
+  RWC_EXPECTS(mean > 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+double Rng::pareto(double scale, double shape) {
+  RWC_EXPECTS(scale > 0.0 && shape > 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return scale * std::pow(u, -1.0 / shape);
+}
+
+int Rng::poisson(double mean) {
+  RWC_EXPECTS(mean >= 0.0);
+  const double limit = std::exp(-mean);
+  int count = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+std::size_t Rng::pick_weighted(std::span<const double> weights) {
+  RWC_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    RWC_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  RWC_EXPECTS(total > 0.0);
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: land on last positive weight
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix our state with the stream id through splitmix64 for a decorrelated
+  // child; const state copy keeps the parent sequence untouched.
+  std::uint64_t s = state_[0] ^ rotl(state_[2], 13) ^ (stream * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(s));
+}
+
+}  // namespace rwc::util

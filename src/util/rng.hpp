@@ -1,0 +1,70 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in librwc takes an explicit Rng (or a seed) so
+// that benches and tests are reproducible across runs and platforms. We own
+// both the engine (xoshiro256++) and the distribution transforms, because the
+// standard library's distribution implementations differ across standard
+// libraries and would make calibration tests platform-dependent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rwc::util {
+
+/// splitmix64 step; used for seeding and for deriving substreams.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic pseudo-random generator (xoshiro256++ engine) with its own
+/// distribution transforms. Cheap to copy; fork() derives independent
+/// substreams so that adding a consumer does not perturb existing ones.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// UniformRandomBitGenerator interface (for std::shuffle etc.).
+  std::uint64_t operator()() { return next_u64(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+  /// Normal via Box-Muller (cached second variate).
+  double normal(double mean, double stddev);
+  /// Log-normal: exp(N(mu_log, sigma_log)).
+  double lognormal(double mu_log, double sigma_log);
+  /// Log-normal parameterized by the mean/stddev of the *resulting* variable.
+  double lognormal_from_moments(double mean, double stddev);
+  /// Exponential with the given mean. Requires mean > 0.
+  double exponential(double mean);
+  /// Pareto (type I): scale * U^(-1/shape). Requires scale, shape > 0.
+  double pareto(double scale, double shape);
+  /// Poisson (Knuth's method; suitable for small means).
+  int poisson(double mean);
+
+  /// Index drawn proportionally to non-negative weights (at least one > 0).
+  std::size_t pick_weighted(std::span<const double> weights);
+
+  /// Derive a statistically independent substream keyed by `stream`.
+  Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace rwc::util

@@ -1,0 +1,41 @@
+// Plain-text table and CSV emission used by the bench binaries to print
+// paper-style rows.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rwc::util {
+
+/// Column-aligned text table. Rows are strings; numeric helpers format with a
+/// fixed precision so bench output is stable and diff-able.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Renders as CSV (no quoting of cells; callers keep cells comma-free).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string format_double(double value, int precision = 2);
+
+/// Formats a fraction (0..1) as a percentage string like "82.5%".
+std::string format_percent(double fraction, int precision = 1);
+
+}  // namespace rwc::util

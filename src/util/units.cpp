@@ -1,0 +1,25 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace rwc::util {
+
+double db_to_linear(Db db) { return std::pow(10.0, db.value / 10.0); }
+
+Db linear_to_db(double linear) {
+  RWC_EXPECTS(linear > 0.0);
+  return Db{10.0 * std::log10(linear)};
+}
+
+std::ostream& operator<<(std::ostream& os, Db db) {
+  return os << db.value << " dB";
+}
+
+std::ostream& operator<<(std::ostream& os, Gbps gbps) {
+  return os << gbps.value << " Gbps";
+}
+
+}  // namespace rwc::util

@@ -1,0 +1,90 @@
+// Strong quantity types for the two units this library constantly mixes:
+// optical signal quality (dB) and link capacity (Gbps). Keeping them as
+// distinct types prevents the classic cross-layer bug of feeding a capacity
+// where a signal-to-noise ratio is expected.
+//
+// Simulation time is kept as plain double seconds (alias Seconds) with named
+// constants; the discrete-event core does arithmetic-heavy scheduling where a
+// wrapper would be friction without a matching safety payoff.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+
+namespace rwc::util {
+
+/// Signal-to-noise ratio (or any optical power ratio) in decibel.
+struct Db {
+  double value = 0.0;
+
+  constexpr auto operator<=>(const Db&) const = default;
+
+  constexpr Db operator+(Db other) const { return Db{value + other.value}; }
+  constexpr Db operator-(Db other) const { return Db{value - other.value}; }
+  constexpr Db operator-() const { return Db{-value}; }
+  constexpr Db& operator+=(Db other) {
+    value += other.value;
+    return *this;
+  }
+  constexpr Db& operator-=(Db other) {
+    value -= other.value;
+    return *this;
+  }
+  constexpr Db operator*(double k) const { return Db{value * k}; }
+};
+
+constexpr Db operator*(double k, Db db) { return Db{k * db.value}; }
+
+/// Converts a dB ratio to linear scale (10^(dB/10)).
+double db_to_linear(Db db);
+/// Converts a linear ratio to dB (10*log10(x)); requires x > 0.
+Db linear_to_db(double linear);
+
+std::ostream& operator<<(std::ostream& os, Db db);
+
+/// Link/flow capacity in gigabit per second.
+struct Gbps {
+  double value = 0.0;
+
+  constexpr auto operator<=>(const Gbps&) const = default;
+
+  constexpr Gbps operator+(Gbps other) const { return Gbps{value + other.value}; }
+  constexpr Gbps operator-(Gbps other) const { return Gbps{value - other.value}; }
+  constexpr Gbps operator-() const { return Gbps{-value}; }
+  constexpr Gbps& operator+=(Gbps other) {
+    value += other.value;
+    return *this;
+  }
+  constexpr Gbps& operator-=(Gbps other) {
+    value -= other.value;
+    return *this;
+  }
+  constexpr Gbps operator*(double k) const { return Gbps{value * k}; }
+  constexpr double operator/(Gbps other) const { return value / other.value; }
+};
+
+constexpr Gbps operator*(double k, Gbps g) { return Gbps{k * g.value}; }
+
+std::ostream& operator<<(std::ostream& os, Gbps gbps);
+
+inline namespace literals {
+constexpr Db operator""_dB(long double v) { return Db{static_cast<double>(v)}; }
+constexpr Db operator""_dB(unsigned long long v) {
+  return Db{static_cast<double>(v)};
+}
+constexpr Gbps operator""_Gbps(long double v) {
+  return Gbps{static_cast<double>(v)};
+}
+constexpr Gbps operator""_Gbps(unsigned long long v) {
+  return Gbps{static_cast<double>(v)};
+}
+}  // namespace literals
+
+/// Simulation time in seconds.
+using Seconds = double;
+
+constexpr Seconds kMinute = 60.0;
+constexpr Seconds kHour = 3600.0;
+constexpr Seconds kDay = 86400.0;
+
+}  // namespace rwc::util

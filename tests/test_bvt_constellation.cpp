@@ -1,0 +1,123 @@
+// Tests for constellation generation, EVM measurement and rendering
+// (Fig. 5's QPSK / 8QAM / 16QAM diagrams).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "bvt/constellation.hpp"
+#include "optical/ber.hpp"
+#include "util/check.hpp"
+
+namespace rwc::bvt {
+namespace {
+
+using util::Db;
+
+TEST(Constellation, SizesAndUnitPower) {
+  for (int points : {2, 4, 8, 16}) {
+    const auto ideal = ideal_constellation(points);
+    EXPECT_EQ(ideal.size(), static_cast<std::size_t>(points));
+    double power = 0.0;
+    for (const IqPoint& p : ideal) power += p.i * p.i + p.q * p.q;
+    EXPECT_NEAR(power / points, 1.0, 1e-12);
+    // All points distinct.
+    std::set<std::pair<double, double>> distinct;
+    for (const IqPoint& p : ideal) distinct.insert({p.i, p.q});
+    EXPECT_EQ(distinct.size(), ideal.size());
+  }
+}
+
+TEST(Constellation, UnsupportedSizeThrows) {
+  EXPECT_THROW(ideal_constellation(32), util::CheckError);
+  EXPECT_THROW(ideal_constellation(3), util::CheckError);
+}
+
+TEST(Constellation, Star8QamHasTwoRings) {
+  const auto ideal = ideal_constellation(8);
+  std::set<long> radii;
+  for (const IqPoint& p : ideal)
+    radii.insert(std::lround(std::sqrt(p.i * p.i + p.q * p.q) * 1000.0));
+  EXPECT_EQ(radii.size(), 2u);
+}
+
+TEST(Constellation, SampleCountAndDeterminism) {
+  util::Rng rng_a(5);
+  util::Rng rng_b(5);
+  const auto a = sample_constellation(16, Db{15.0}, 500, rng_a);
+  const auto b = sample_constellation(16, Db{15.0}, 500, rng_b);
+  ASSERT_EQ(a.size(), 500u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].i, b[i].i);
+    EXPECT_EQ(a[i].q, b[i].q);
+  }
+}
+
+TEST(Constellation, HighSnrSamplesHugIdealPoints) {
+  util::Rng rng(6);
+  const auto ideal = ideal_constellation(4);
+  const auto received = sample_constellation(4, Db{30.0}, 1000, rng);
+  for (const IqPoint& r : received) {
+    double best = 1e9;
+    for (const IqPoint& p : ideal) {
+      const double d = std::hypot(r.i - p.i, r.q - p.q);
+      best = std::min(best, d);
+    }
+    EXPECT_LT(best, 0.2);
+  }
+}
+
+class EvmSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EvmSweep, MeasuredEvmTracksTheory) {
+  const double snr_db = GetParam();
+  util::Rng rng(77);
+  const auto ideal = ideal_constellation(4);
+  // QPSK decisions are essentially error-free at these SNRs, so the
+  // nearest-point EVM matches the theoretical 1/sqrt(SNR).
+  const auto received =
+      sample_constellation(4, Db{snr_db}, 20000, rng);
+  const double measured = measure_evm(received, ideal);
+  const double expected = optical::expected_evm(Db{snr_db});
+  EXPECT_NEAR(measured, expected, expected * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Snrs, EvmSweep,
+                         ::testing::Values(12.0, 15.0, 18.0, 21.0, 24.0));
+
+TEST(Evm, IncreasesAsSnrDrops) {
+  util::Rng rng(8);
+  const auto ideal = ideal_constellation(16);
+  const auto clean = sample_constellation(16, Db{25.0}, 5000, rng);
+  const auto noisy = sample_constellation(16, Db{14.0}, 5000, rng);
+  EXPECT_LT(measure_evm(clean, ideal), measure_evm(noisy, ideal));
+}
+
+TEST(Evm, RejectsEmptyInput) {
+  const auto ideal = ideal_constellation(4);
+  EXPECT_THROW(measure_evm({}, ideal), util::CheckError);
+}
+
+TEST(Render, ProducesGridWithDensityGlyphs) {
+  util::Rng rng(9);
+  const auto received = sample_constellation(16, Db{18.0}, 4000, rng);
+  const std::string art = render_constellation(received, 33);
+  EXPECT_NE(art.find('+'), std::string::npos);
+  EXPECT_NE(art.find('|'), std::string::npos);
+  // Dense cells use the darker glyphs.
+  EXPECT_TRUE(art.find('@') != std::string::npos ||
+              art.find('#') != std::string::npos);
+  // 33 rows + 2 border rows.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(art.begin(), art.end(), '\n')),
+            35u);
+}
+
+TEST(Render, RejectsTinyGrid) {
+  util::Rng rng(9);
+  const auto received = sample_constellation(4, Db{18.0}, 100, rng);
+  EXPECT_THROW(render_constellation(received, 4), util::CheckError);
+}
+
+}  // namespace
+}  // namespace rwc::bvt

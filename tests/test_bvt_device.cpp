@@ -1,0 +1,159 @@
+// Tests for the BVT register file and reconfiguration state machine.
+#include <gtest/gtest.h>
+
+#include "bvt/device.hpp"
+#include "util/check.hpp"
+
+namespace rwc::bvt {
+namespace {
+
+using util::Db;
+using util::Gbps;
+using namespace util::literals;
+
+BvtDevice make_device(Db snr = 15.0_dB) {
+  BvtDevice device(optical::ModulationTable::standard(), 7);
+  device.mdio_write(Register::kControl,
+                    control::kLaserEnable | control::kTxEnable);
+  device.set_link_snr(snr);
+  return device;
+}
+
+TEST(BvtDevice, IdentifiesItself) {
+  BvtDevice device(optical::ModulationTable::standard(), 1);
+  EXPECT_EQ(device.mdio_read(Register::kDeviceId), kBvtDeviceId);
+}
+
+TEST(BvtDevice, DefaultsTo100G) {
+  BvtDevice device(optical::ModulationTable::standard(), 1);
+  EXPECT_EQ(device.mdio_read(Register::kActiveRateGbps), 100);
+  EXPECT_EQ(device.active_format().capacity, 100_Gbps);
+}
+
+TEST(BvtDevice, LaserOffMeansNoCarrier) {
+  BvtDevice device(optical::ModulationTable::standard(), 1);
+  device.set_link_snr(15.0_dB);
+  EXPECT_FALSE(device.laser_on());
+  EXPECT_FALSE(device.carrier_locked());
+  EXPECT_EQ(device.active_capacity(), 0_Gbps);
+}
+
+TEST(BvtDevice, LocksWhenLaserOnAndSnrSufficient) {
+  BvtDevice device = make_device(15.0_dB);
+  EXPECT_TRUE(device.laser_on());
+  EXPECT_TRUE(device.carrier_locked());
+  EXPECT_EQ(device.active_capacity(), 100_Gbps);
+  const auto status = device.mdio_read(Register::kStatus);
+  EXPECT_TRUE(status & status::kLaserOn);
+  EXPECT_TRUE(status & status::kCarrierLocked);
+  EXPECT_FALSE(status & status::kFault);
+}
+
+TEST(BvtDevice, SnrRegisterReportsCentiDb) {
+  BvtDevice device = make_device(Db{12.34});
+  EXPECT_EQ(device.mdio_read(Register::kSnrCentiDb), 1234);
+}
+
+TEST(BvtDevice, RawRegisterReconfiguration) {
+  BvtDevice device = make_device(20.0_dB);
+  // Select the 200 G entry (index 5 on the standard ladder) and apply.
+  device.mdio_write(Register::kModulationSelect, 5);
+  EXPECT_EQ(device.mdio_read(Register::kModulationActive), 1);  // 100 G yet
+  device.mdio_write(Register::kControl,
+                    control::kLaserEnable | control::kTxEnable |
+                        control::kApplyConfig);
+  EXPECT_EQ(device.mdio_read(Register::kModulationActive), 5);
+  EXPECT_EQ(device.mdio_read(Register::kActiveRateGbps), 200);
+  EXPECT_TRUE(device.carrier_locked());
+  EXPECT_EQ(device.reconfig_count(), 1u);
+}
+
+TEST(BvtDevice, SelectRejectsBadIndex) {
+  BvtDevice device = make_device();
+  EXPECT_THROW(device.mdio_write(Register::kModulationSelect, 17),
+               util::CheckError);
+}
+
+TEST(BvtDevice, ChangeModulationSuccessAndReport) {
+  BvtDevice device = make_device(20.0_dB);
+  const auto report =
+      device.change_modulation(200_Gbps, Procedure::kEfficient);
+  EXPECT_TRUE(report.success);
+  EXPECT_EQ(report.from, 100_Gbps);
+  EXPECT_EQ(report.to, 200_Gbps);
+  EXPECT_GT(report.downtime, 0.0);
+  EXPECT_LT(report.downtime, 1.0);  // efficient: tens of milliseconds
+  EXPECT_EQ(device.active_capacity(), 200_Gbps);
+}
+
+TEST(BvtDevice, StandardProcedureTakesMuchLonger) {
+  BvtDevice device = make_device(20.0_dB);
+  const auto report =
+      device.change_modulation(150_Gbps, Procedure::kStandard);
+  EXPECT_TRUE(report.success);
+  EXPECT_GT(report.downtime, 10.0);  // laser warm-up dominates
+  EXPECT_TRUE(device.laser_on());    // back on after the cycle
+}
+
+TEST(BvtDevice, ChangeToInfeasibleRateFails) {
+  BvtDevice device = make_device(8.0_dB);  // supports <= 100 G
+  const auto report =
+      device.change_modulation(200_Gbps, Procedure::kEfficient);
+  EXPECT_FALSE(report.success);
+  EXPECT_FALSE(device.carrier_locked());
+  EXPECT_EQ(device.active_capacity(), 0_Gbps);
+  EXPECT_TRUE(device.mdio_read(Register::kStatus) & status::kFault);
+  // Recovering: drop back to a feasible rate.
+  const auto recovery =
+      device.change_modulation(100_Gbps, Procedure::kEfficient);
+  EXPECT_TRUE(recovery.success);
+  EXPECT_EQ(device.active_capacity(), 100_Gbps);
+}
+
+TEST(BvtDevice, SnrDropBreaksLock) {
+  BvtDevice device = make_device(20.0_dB);
+  ASSERT_TRUE(device.change_modulation(200_Gbps, Procedure::kEfficient)
+                  .success);
+  device.set_link_snr(9.0_dB);  // below the 200 G threshold
+  EXPECT_FALSE(device.carrier_locked());
+  EXPECT_EQ(device.active_capacity(), 0_Gbps);
+  device.set_link_snr(20.0_dB);
+  EXPECT_TRUE(device.carrier_locked());
+}
+
+TEST(BvtDevice, ChangeRejectsOffLadderRate) {
+  BvtDevice device = make_device();
+  EXPECT_THROW(device.change_modulation(Gbps{42.0}, Procedure::kEfficient),
+               util::CheckError);
+}
+
+TEST(BvtDevice, PowerOnWarmupSemantics) {
+  BvtDevice device = make_device(15.0_dB);
+  device.power_off();
+  const auto warmup = device.power_on();
+  EXPECT_GT(warmup, 1.0);
+  EXPECT_TRUE(device.laser_on());
+  EXPECT_EQ(device.power_on(), 0.0);
+}
+
+TEST(BvtDevice, ReconfigCounterAndLastDuration) {
+  BvtDevice device = make_device(20.0_dB);
+  EXPECT_EQ(device.mdio_read(Register::kReconfigCount), 0);
+  device.change_modulation(150_Gbps, Procedure::kEfficient);
+  device.change_modulation(200_Gbps, Procedure::kEfficient);
+  EXPECT_EQ(device.mdio_read(Register::kReconfigCount), 2);
+  // Efficient changes are tens of ms -> register reads a small ms value.
+  const auto ms = device.mdio_read(Register::kLastReconfigMs);
+  EXPECT_GT(ms, 0);
+  EXPECT_LT(ms, 1000);
+}
+
+TEST(BvtDevice, WritesToReadOnlyRegistersIgnored) {
+  BvtDevice device = make_device();
+  const auto before = device.mdio_read(Register::kSnrCentiDb);
+  device.mdio_write(Register::kSnrCentiDb, 9999);
+  EXPECT_EQ(device.mdio_read(Register::kSnrCentiDb), before);
+}
+
+}  // namespace
+}  // namespace rwc::bvt

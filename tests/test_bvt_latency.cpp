@@ -1,0 +1,79 @@
+// Calibration tests for the reconfiguration latency model (Fig. 6b):
+// ~68 s mean with laser power-cycling, ~35 ms without.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bvt/latency.hpp"
+#include "util/stats.hpp"
+
+namespace rwc::bvt {
+namespace {
+
+std::vector<double> sample(Procedure procedure, int n, std::uint64_t seed) {
+  const LatencyModel model;
+  util::Rng rng(seed);
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    samples.push_back(model.sample_downtime(procedure, rng));
+  return samples;
+}
+
+TEST(Latency, StandardMeanNear68Seconds) {
+  const auto samples = sample(Procedure::kStandard, 5000, 42);
+  const auto summary = util::summarize(samples);
+  EXPECT_NEAR(summary.mean, 68.0, 6.0);
+  EXPECT_GT(summary.min, 1.0);
+}
+
+TEST(Latency, EfficientMeanNear35Milliseconds) {
+  const auto samples = sample(Procedure::kEfficient, 5000, 42);
+  const auto summary = util::summarize(samples);
+  EXPECT_NEAR(summary.mean, 0.035, 0.008);
+  EXPECT_GT(summary.min, 0.0);
+}
+
+TEST(Latency, EfficientIsOrdersOfMagnitudeFaster) {
+  const auto standard = util::summarize(sample(Procedure::kStandard, 2000, 1));
+  const auto efficient =
+      util::summarize(sample(Procedure::kEfficient, 2000, 1));
+  EXPECT_GT(standard.mean / efficient.mean, 500.0);
+  // Even the best standard change is slower than the worst efficient one.
+  EXPECT_GT(standard.min, efficient.max);
+}
+
+TEST(Latency, SamplesAreAlwaysPositive) {
+  for (Procedure procedure :
+       {Procedure::kStandard, Procedure::kEfficient})
+    for (double s : sample(procedure, 1000, 3)) EXPECT_GT(s, 0.0);
+}
+
+TEST(Latency, DistributionHasSpreadNotConstant) {
+  const auto samples = sample(Procedure::kStandard, 2000, 9);
+  const auto summary = util::summarize(samples);
+  EXPECT_GT(summary.stddev, 5.0);
+  EXPECT_LT(summary.stddev, 50.0);
+}
+
+TEST(Latency, ProcedureNames) {
+  EXPECT_STREQ(to_string(Procedure::kStandard), "standard");
+  EXPECT_STREQ(to_string(Procedure::kEfficient), "efficient");
+}
+
+class LatencySeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatencySeedSweep, MeansStableAcrossSeeds) {
+  const auto standard =
+      util::summarize(sample(Procedure::kStandard, 3000, GetParam()));
+  const auto efficient =
+      util::summarize(sample(Procedure::kEfficient, 3000, GetParam()));
+  EXPECT_NEAR(standard.mean, 68.0, 8.0);
+  EXPECT_NEAR(efficient.mean, 0.035, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatencySeedSweep,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace rwc::bvt

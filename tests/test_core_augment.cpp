@@ -1,0 +1,211 @@
+// Tests for Algorithm 1 (graph augmentation), penalty policies, the Fig. 8
+// gadget and the protected-flow carve-out.
+#include <gtest/gtest.h>
+
+#include "core/augment.hpp"
+#include "graph/dijkstra.hpp"
+#include "sim/topology.hpp"
+#include "util/check.hpp"
+
+namespace rwc::core {
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+using util::Gbps;
+using namespace util::literals;
+
+TEST(Penalty, Policies) {
+  graph::Graph g = sim::fig7_square();
+  const EdgeId e{0};
+  EXPECT_EQ(ZeroPenalty{}.upgrade_penalty(g, e, 100_Gbps, 50.0), 0.0);
+  EXPECT_EQ(FixedPenalty{7.5}.upgrade_penalty(g, e, 100_Gbps, 50.0), 7.5);
+  const TrafficProportionalPenalty traffic(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(traffic.upgrade_penalty(g, e, 100_Gbps, 50.0), 100.5);
+  const PriorityScaledPenalty scaled(
+      std::make_shared<FixedPenalty>(10.0), 3.0);
+  EXPECT_DOUBLE_EQ(scaled.upgrade_penalty(g, e, 100_Gbps, 0.0), 30.0);
+  EXPECT_EQ(ZeroPenalty{}.real_penalty(g, e), 0.0);
+  EXPECT_NE(scaled.name().find("priority-scaled"), std::string::npos);
+}
+
+TEST(Augment, PlainModeAddsOneFakeEdgePerVariableLink) {
+  graph::Graph base = sim::fig7_square();
+  const EdgeId ab = *base.find_edge(*base.find_node("A"),
+                                    *base.find_node("B"));
+  const std::vector<VariableLink> variable = {{ab, 200_Gbps}};
+  const FixedPenalty penalty(100.0);
+  const auto augmented = augment_topology(base, variable, penalty);
+
+  EXPECT_EQ(augmented.graph.node_count(), base.node_count());
+  EXPECT_EQ(augmented.graph.edge_count(), base.edge_count() + 1);
+  EXPECT_EQ(augmented.base_edge_count, base.edge_count());
+
+  // Real edges keep their slots and attributes.
+  for (EdgeId e : base.edge_ids()) {
+    EXPECT_EQ(augmented.info(e).kind, AugmentedEdgeKind::kReal);
+    EXPECT_EQ(augmented.info(e).base_edge, e);
+    EXPECT_EQ(augmented.graph.edge(e).capacity, base.edge(e).capacity);
+    EXPECT_EQ(augmented.graph.edge(e).cost, 0.0);  // Algorithm 1: P'(e) = 0
+  }
+  // The fake edge: headroom capacity, penalty cost, same endpoints.
+  const EdgeId fake = augmented.fake_edge_of[static_cast<std::size_t>(ab.value)];
+  ASSERT_TRUE(fake.valid());
+  EXPECT_EQ(augmented.info(fake).kind, AugmentedEdgeKind::kFake);
+  EXPECT_EQ(augmented.info(fake).base_edge, ab);
+  EXPECT_EQ(augmented.graph.edge(fake).capacity, 100_Gbps);
+  EXPECT_EQ(augmented.graph.edge(fake).cost, 100.0);
+  EXPECT_EQ(augmented.graph.edge(fake).src, base.edge(ab).src);
+  EXPECT_EQ(augmented.graph.edge(fake).dst, base.edge(ab).dst);
+}
+
+TEST(Augment, NoVariableLinksIsIdentity) {
+  graph::Graph base = sim::abilene();
+  const auto augmented = augment_topology(base, {}, ZeroPenalty{});
+  EXPECT_EQ(augmented.graph.edge_count(), base.edge_count());
+  EXPECT_EQ(augmented.graph.node_count(), base.node_count());
+  for (EdgeId e : base.edge_ids())
+    EXPECT_FALSE(
+        augmented.fake_edge_of[static_cast<std::size_t>(e.value)].valid());
+}
+
+TEST(Augment, PenaltyUsesCurrentTraffic) {
+  graph::Graph base = sim::fig7_square();
+  const EdgeId ab{0};
+  std::vector<double> traffic(base.edge_count(), 0.0);
+  traffic[0] = 60.0;
+  const TrafficProportionalPenalty penalty(1.0, 0.0);
+  const auto augmented = augment_topology(
+      base, std::vector<VariableLink>{{ab, 200_Gbps}}, penalty, traffic);
+  const EdgeId fake = augmented.fake_edge_of[0];
+  EXPECT_DOUBLE_EQ(augmented.graph.edge(fake).cost, 60.0);
+}
+
+TEST(Augment, UnitWeightsOption) {
+  graph::Graph base = sim::fig7_square();
+  for (EdgeId e : base.edge_ids()) base.edge(e).weight = 7.0;
+  AugmentOptions options;
+  options.unit_weights = true;
+  const auto augmented =
+      augment_topology(base, std::vector<VariableLink>{{EdgeId{0}, 200_Gbps}},
+                       ZeroPenalty{}, {}, options);
+  for (EdgeId e : augmented.graph.edge_ids())
+    EXPECT_EQ(augmented.graph.edge(e).weight, 1.0);
+}
+
+TEST(Augment, RejectsInvalidVariableLinks) {
+  graph::Graph base = sim::fig7_square();
+  const ZeroPenalty penalty;
+  // Feasible below configured.
+  EXPECT_THROW(augment_topology(
+                   base, std::vector<VariableLink>{{EdgeId{0}, 50_Gbps}},
+                   penalty),
+               util::CheckError);
+  // Duplicate edges.
+  EXPECT_THROW(
+      augment_topology(base,
+                       std::vector<VariableLink>{{EdgeId{0}, 200_Gbps},
+                                                 {EdgeId{0}, 150_Gbps}},
+                       penalty),
+      util::CheckError);
+  // Out of range edge.
+  EXPECT_THROW(augment_topology(
+                   base, std::vector<VariableLink>{{EdgeId{99}, 200_Gbps}},
+                   penalty),
+               util::CheckError);
+  // Wrong traffic vector size.
+  const std::vector<double> bad_traffic(3, 0.0);
+  EXPECT_THROW(augment_topology(
+                   base, std::vector<VariableLink>{{EdgeId{0}, 200_Gbps}},
+                   penalty, bad_traffic),
+               util::CheckError);
+}
+
+TEST(Augment, GadgetStructureMatchesFig8) {
+  graph::Graph base = sim::fig7_square();
+  const EdgeId ab{0};
+  AugmentOptions options;
+  options.unsplittable_gadget = true;
+  const auto augmented = augment_topology(
+      base, std::vector<VariableLink>{{ab, 200_Gbps}}, FixedPenalty{100.0},
+      {}, options);
+
+  // Two new nodes (A', B') and three extra edges.
+  EXPECT_EQ(augmented.graph.node_count(), base.node_count() + 2);
+  EXPECT_EQ(augmented.graph.edge_count(), base.edge_count() + 3);
+
+  // Slot 0 is the entry at the configured rate.
+  EXPECT_EQ(augmented.info(ab).kind, AugmentedEdgeKind::kGadgetEntryReal);
+  EXPECT_EQ(augmented.graph.edge(ab).capacity, 100_Gbps);
+  EXPECT_EQ(augmented.graph.edge(ab).cost, 0.0);
+
+  // The fake entry carries the full upgraded rate at the penalty.
+  const EdgeId fake = augmented.fake_edge_of[0];
+  EXPECT_EQ(augmented.info(fake).kind, AugmentedEdgeKind::kGadgetEntryFake);
+  EXPECT_EQ(augmented.graph.edge(fake).capacity, 200_Gbps);
+  EXPECT_EQ(augmented.graph.edge(fake).cost, 100.0);
+
+  // Both entries land on the same A'; body and exit at full rate, cost 0.
+  const auto entry_node = augmented.graph.edge(ab).dst;
+  EXPECT_EQ(augmented.graph.edge(fake).dst, entry_node);
+  const EdgeId body{fake.value + 1};
+  const EdgeId exit{fake.value + 2};
+  EXPECT_EQ(augmented.info(body).kind, AugmentedEdgeKind::kGadgetBody);
+  EXPECT_EQ(augmented.info(exit).kind, AugmentedEdgeKind::kGadgetExit);
+  EXPECT_EQ(augmented.graph.edge(body).src, entry_node);
+  EXPECT_EQ(augmented.graph.edge(body).capacity, 200_Gbps);
+  EXPECT_EQ(augmented.graph.edge(exit).dst, base.edge(ab).dst);
+  EXPECT_EQ(augmented.graph.edge(exit).capacity, 200_Gbps);
+
+  // End-to-end reachability through the gadget is preserved.
+  const auto path = graph::shortest_path(
+      augmented.graph, base.edge(ab).src, base.edge(ab).dst);
+  EXPECT_FALSE(path.empty());
+}
+
+TEST(Augment, GadgetPreservesPathWeight) {
+  graph::Graph base = sim::fig7_square();
+  for (EdgeId e : base.edge_ids()) base.edge(e).weight = 3.0;
+  AugmentOptions options;
+  options.unsplittable_gadget = true;
+  const auto augmented = augment_topology(
+      base, std::vector<VariableLink>{{EdgeId{0}, 200_Gbps}}, ZeroPenalty{},
+      {}, options);
+  // A -> B through the gadget still weighs 3 (entry 0 + body 3 + exit 0).
+  const auto path = graph::shortest_path(
+      augmented.graph, base.edge(EdgeId{0}).src, base.edge(EdgeId{0}).dst);
+  EXPECT_DOUBLE_EQ(path.weight, 3.0);
+}
+
+TEST(CarveOut, SubtractsCapacityAndFreezesLinks) {
+  graph::Graph base = sim::fig7_square();
+  const auto nA = *base.find_node("A");
+  const auto nB = *base.find_node("B");
+  const EdgeId ab = *base.find_edge(nA, nB);
+  graph::Path path;
+  path.edges = {ab};
+  const std::vector<ProtectedFlow> protected_flows = {{path, 40_Gbps}};
+  std::vector<VariableLink> variable = {{ab, 200_Gbps},
+                                        {EdgeId{2}, 150_Gbps}};
+  const graph::Graph reduced =
+      carve_out_protected(base, protected_flows, variable);
+  EXPECT_EQ(reduced.edge(ab).capacity, 60_Gbps);
+  // The protected link dropped out of the variable set; the other stayed.
+  ASSERT_EQ(variable.size(), 1u);
+  EXPECT_EQ(variable[0].edge, EdgeId{2});
+  // Other edges untouched.
+  EXPECT_EQ(reduced.edge(EdgeId{3}).capacity, 100_Gbps);
+}
+
+TEST(CarveOut, RejectsOverCommittedProtection) {
+  graph::Graph base = sim::fig7_square();
+  graph::Path path;
+  path.edges = {EdgeId{0}};
+  const std::vector<ProtectedFlow> protected_flows = {{path, 140_Gbps}};
+  std::vector<VariableLink> variable;
+  EXPECT_THROW(carve_out_protected(base, protected_flows, variable),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace rwc::core

@@ -1,0 +1,138 @@
+// Cross-cutting property sweeps: every combination of augmentation options
+// (unit weights x gadget) with every penalty policy must preserve the core
+// guarantees on random instances — full translation round-trip validity and
+// at-least-static throughput.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/controller.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::core {
+namespace {
+
+using util::Db;
+using util::Gbps;
+
+std::shared_ptr<const PenaltyPolicy> make_policy(int index) {
+  switch (index) {
+    case 0:
+      return std::make_shared<ZeroPenalty>();
+    case 1:
+      return std::make_shared<FixedPenalty>(10.0);
+    default:
+      return std::make_shared<TrafficProportionalPenalty>();
+  }
+}
+
+class CombinedOptionsSweep
+    : public ::testing::TestWithParam<std::tuple<bool, bool, int>> {};
+
+TEST_P(CombinedOptionsSweep, RoundTripInvariantsHold) {
+  const auto [unit_weights, gadget, policy_index] = GetParam();
+
+  util::Rng rng(static_cast<std::uint64_t>(policy_index) * 977 +
+                (unit_weights ? 31 : 0) + (gadget ? 101 : 0));
+  graph::Graph base = sim::waxman(8, rng);
+
+  te::McfTe engine;
+  ControllerOptions options;
+  options.snr_margin = Db{0.5};
+  options.augment.unit_weights = unit_weights;
+  options.augment.unsplittable_gadget = gadget;
+  options.penalty = make_policy(policy_index);
+  DynamicCapacityController controller(
+      base, optical::ModulationTable::standard(), engine, options);
+
+  sim::GravityParams gravity;
+  gravity.total = Gbps{base.total_capacity().value};
+  const te::TrafficMatrix demands = sim::gravity_matrix(base, gravity, rng);
+  const auto static_routed =
+      engine.solve(base, demands).total_routed.value;
+
+  // Heterogeneous SNR: a mix of headroom, just-enough and degraded fibers.
+  std::vector<Db> snr(base.edge_count());
+  for (std::size_t e = 0; e < snr.size(); ++e)
+    snr[e] = Db{rng.uniform(5.0, 20.0)};
+  // Both directions of a fiber see the same SNR.
+  for (std::size_t e = 0; e + 1 < snr.size(); e += 2) snr[e + 1] = snr[e];
+
+  for (int round = 0; round < 3; ++round) {
+    const auto report = controller.run_round(snr, demands);
+    // 1. Physical assignment valid on the current topology.
+    te::validate_assignment(controller.current_topology(),
+                            report.plan.physical_assignment);
+    // 2. Penalty accounting is non-negative and zero for ZeroPenalty.
+    EXPECT_GE(report.total_penalty, -1e-9);
+    if (policy_index == 0) {
+      EXPECT_NEAR(report.total_penalty, 0.0, 1e-9);
+    }
+    // 3. Upgrade targets are ladder rates above the previous rate.
+    for (const auto& change : report.plan.upgrades) {
+      EXPECT_TRUE(controller.table().has_rate(change.to));
+      EXPECT_GT(change.to, change.from);
+      EXPECT_GT(change.upgrade_traffic.value, 0.0);
+    }
+  }
+
+  // 4. With upgrades available, dynamic never routes less than static on
+  // the degraded-but-upgradable topology (same SNR limits apply to both:
+  // compare against the SNR-limited static capacities).
+  graph::Graph snr_limited = base;
+  for (graph::EdgeId e : base.edge_ids()) {
+    const Gbps feasible = controller.table().feasible_capacity(
+        snr[static_cast<std::size_t>(e.value)], Db{0.5});
+    snr_limited.edge(e).capacity =
+        std::min(base.edge(e).capacity, feasible);
+  }
+  const double limited_static =
+      engine.solve(snr_limited, demands).total_routed.value;
+  const auto final_report = controller.run_round(snr, demands);
+  EXPECT_GE(final_report.total_routed.value, limited_static - 1e-5);
+  (void)static_routed;
+}
+
+std::string combined_case_name(
+    const ::testing::TestParamInfo<std::tuple<bool, bool, int>>& info) {
+  static const char* policies[] = {"zero", "fixed", "traffic"};
+  return std::string(std::get<0>(info.param) ? "unitw_" : "natw_") +
+         (std::get<1>(info.param) ? "gadget_" : "plain_") +
+         policies[std::get<2>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, CombinedOptionsSweep,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Range(0, 3)),
+    combined_case_name);
+
+TEST(ControllerDeterminism, IdenticalRunsProduceIdenticalPlans) {
+  const graph::Graph base = sim::abilene();
+  te::McfTe engine;
+  util::Rng rng(404);
+  sim::GravityParams gravity;
+  gravity.total = Gbps{2000.0};
+  const auto demands = sim::gravity_matrix(base, gravity, rng);
+  const std::vector<Db> snr(base.edge_count(), Db{15.0});
+
+  auto run = [&]() {
+    DynamicCapacityController controller(
+        base, optical::ModulationTable::standard(), engine,
+        ControllerOptions{});
+    const auto report = controller.run_round(snr, demands);
+    return std::pair{report.total_routed.value,
+                     report.plan.upgrades.size()};
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace rwc::core

@@ -1,0 +1,129 @@
+// Tests for the hysteresis filter and its controller integration.
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "core/hysteresis.hpp"
+#include "te/mcf_te.hpp"
+#include "util/check.hpp"
+
+namespace rwc::core {
+namespace {
+
+using util::Db;
+using util::Gbps;
+using namespace util::literals;
+
+TEST(Hysteresis, ReductionsPassImmediately) {
+  HysteresisFilter filter(1, HysteresisParams{});
+  const Gbps filtered = filter.filter(0, 50_Gbps, 50_Gbps, 100_Gbps);
+  EXPECT_EQ(filtered, 50_Gbps);
+}
+
+TEST(Hysteresis, UpgradeHeldForHoldRounds) {
+  HysteresisParams params;
+  params.up_hold_rounds = 3;
+  HysteresisFilter filter(1, params);
+  // Rounds 1 and 2: still configured rate; round 3: promoted.
+  EXPECT_EQ(filter.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 100_Gbps);
+  EXPECT_EQ(filter.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 100_Gbps);
+  EXPECT_EQ(filter.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 200_Gbps);
+}
+
+TEST(Hysteresis, StreakResetsOnDip) {
+  HysteresisParams params;
+  params.up_hold_rounds = 2;
+  HysteresisFilter filter(1, params);
+  EXPECT_EQ(filter.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 100_Gbps);
+  // Dip back to the configured rate: streak resets.
+  EXPECT_EQ(filter.filter(0, 100_Gbps, 100_Gbps, 100_Gbps), 100_Gbps);
+  EXPECT_EQ(filter.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 100_Gbps);
+  EXPECT_EQ(filter.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 200_Gbps);
+}
+
+TEST(Hysteresis, ExtraMarginGatesTheCandidate) {
+  // Raw feasible says 200 G but the extra-margin lookup only reaches
+  // 175 G: the filter must hold at the margin-cleared rate.
+  HysteresisParams params;
+  params.up_hold_rounds = 1;
+  HysteresisFilter filter(1, params);
+  EXPECT_EQ(filter.filter(0, 200_Gbps, 175_Gbps, 100_Gbps), 175_Gbps);
+}
+
+TEST(Hysteresis, CandidateChangeRestartsStreak) {
+  HysteresisParams params;
+  params.up_hold_rounds = 2;
+  HysteresisFilter filter(1, params);
+  EXPECT_EQ(filter.filter(0, 175_Gbps, 175_Gbps, 100_Gbps), 100_Gbps);
+  // Candidate jumps to 200: new streak.
+  EXPECT_EQ(filter.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 100_Gbps);
+  EXPECT_EQ(filter.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 200_Gbps);
+}
+
+TEST(Hysteresis, ValidatesInputs) {
+  EXPECT_THROW(HysteresisFilter(1, HysteresisParams{Db{-1.0}, 1}),
+               util::CheckError);
+  EXPECT_THROW(HysteresisFilter(1, HysteresisParams{Db{0.5}, 0}),
+               util::CheckError);
+  HysteresisFilter filter(2, HysteresisParams{});
+  EXPECT_THROW(filter.filter(2, 100_Gbps, 100_Gbps, 100_Gbps),
+               util::CheckError);
+}
+
+TEST(HysteresisController, SuppressesThresholdFlapping) {
+  // SNR oscillates +-0.3 dB around the 200 G threshold (13.0 dB). Without
+  // hysteresis the link re-upgrades every other round; with it the link
+  // settles at 175 G and stays.
+  graph::Graph base;
+  const auto a = base.add_node("A");
+  const auto b = base.add_node("B");
+  base.add_edge(a, b, 100_Gbps);
+  te::McfTe engine;
+  const te::TrafficMatrix demands = {{a, b, 200_Gbps, 0}};
+
+  auto count_changes = [&](core::ControllerOptions options) {
+    options.snr_margin = 0_dB;
+    DynamicCapacityController controller(
+        base, optical::ModulationTable::standard(), engine, options);
+    std::size_t changes = 0;
+    for (int round = 0; round < 20; ++round) {
+      const double snr = 13.1 + (round % 2 == 0 ? 0.2 : -0.3);
+      const std::vector<Db> link_snr = {Db{snr}};
+      const auto report = controller.run_round(link_snr, demands);
+      changes += report.plan.upgrades.size() + report.reductions.size() +
+                 report.restorations.size();
+    }
+    return changes;
+  };
+
+  ControllerOptions plain;
+  ControllerOptions damped;
+  damped.hysteresis = HysteresisParams{Db{0.5}, 3};
+  const std::size_t plain_changes = count_changes(plain);
+  const std::size_t damped_changes = count_changes(damped);
+  EXPECT_GT(plain_changes, 10u);  // flaps nearly every round
+  EXPECT_LE(damped_changes, 3u);  // settles quickly
+}
+
+TEST(HysteresisController, StillUpgradesOnCleanSignal) {
+  graph::Graph base;
+  const auto a = base.add_node("A");
+  const auto b = base.add_node("B");
+  base.add_edge(a, b, 100_Gbps);
+  te::McfTe engine;
+  ControllerOptions options;
+  options.snr_margin = 0_dB;
+  options.hysteresis = HysteresisParams{Db{0.5}, 2};
+  DynamicCapacityController controller(
+      base, optical::ModulationTable::standard(), engine, options);
+  const te::TrafficMatrix demands = {{a, b, 200_Gbps, 0}};
+  const std::vector<Db> snr = {20.0_dB};
+  // Round 1: held. Round 2: upgraded.
+  auto r1 = controller.run_round(snr, demands);
+  EXPECT_TRUE(r1.plan.upgrades.empty());
+  auto r2 = controller.run_round(snr, demands);
+  ASSERT_EQ(r2.plan.upgrades.size(), 1u);
+  EXPECT_EQ(r2.plan.upgrades[0].to, 200_Gbps);
+}
+
+}  // namespace
+}  // namespace rwc::core

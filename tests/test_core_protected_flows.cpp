@@ -1,0 +1,126 @@
+// Tests for Section 4.2 (i) end-to-end: protected flows are invisible to
+// the TE run, their capacity is reserved, and their links never change
+// capacity.
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "sim/topology.hpp"
+#include "te/mcf_te.hpp"
+#include "util/check.hpp"
+
+namespace rwc::core {
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+using util::Db;
+using util::Gbps;
+using namespace util::literals;
+
+struct Fixture {
+  graph::Graph base = sim::fig7_square();
+  NodeId a = *base.find_node("A");
+  NodeId b = *base.find_node("B");
+  NodeId c = *base.find_node("C");
+  NodeId d = *base.find_node("D");
+  EdgeId ab = *base.find_edge(a, b);
+  te::McfTe engine;
+
+  ProtectedFlow protect_ab(double volume) {
+    ProtectedFlow flow;
+    flow.path.edges = {ab};
+    flow.volume = Gbps{volume};
+    return flow;
+  }
+};
+
+TEST(ProtectedFlows, CapacityIsReservedFromTe) {
+  Fixture fx;
+  ControllerOptions options;
+  options.snr_margin = 0_dB;
+  options.protected_flows = {fx.protect_ab(60.0)};
+  DynamicCapacityController controller(
+      fx.base, optical::ModulationTable::standard(), fx.engine, options);
+  // No headroom anywhere: TE sees only 40 G on A-B (plus the detour).
+  const std::vector<Db> snr(fx.base.edge_count(), 7.0_dB);
+  const te::TrafficMatrix demands = {{fx.a, fx.b, 200_Gbps, 0}};
+  const auto report = controller.run_round(snr, demands);
+  // 40 G direct remainder + 100 G via A-C-D-B = 140 G.
+  EXPECT_NEAR(report.total_routed.value, 140.0, 1e-5);
+}
+
+TEST(ProtectedFlows, ProtectedLinksNeverUpgrade) {
+  Fixture fx;
+  ControllerOptions options;
+  options.snr_margin = 0_dB;
+  options.protected_flows = {fx.protect_ab(50.0)};
+  DynamicCapacityController controller(
+      fx.base, optical::ModulationTable::standard(), fx.engine, options);
+  // Plenty of SNR everywhere: every link except A->B may upgrade.
+  const std::vector<Db> snr(fx.base.edge_count(), 20.0_dB);
+  const te::TrafficMatrix demands = {{fx.a, fx.b, 250_Gbps, 0}};
+  const auto report = controller.run_round(snr, demands);
+  for (const auto& change : report.plan.upgrades)
+    EXPECT_NE(change.edge, fx.ab)
+        << "a protected link changed capacity";
+  EXPECT_FALSE(report.plan.upgrades.empty());
+  // Demand above the unprotected fabric is only partially served.
+  EXPECT_LT(report.total_routed.value, 250.0 + 1e-6);
+  EXPECT_GT(report.total_routed.value, 150.0);
+}
+
+TEST(ProtectedFlows, UnprotectedRunIsStrictlyLessConstrained) {
+  Fixture fx;
+  const std::vector<Db> snr(fx.base.edge_count(), 7.0_dB);
+  const te::TrafficMatrix demands = {{fx.a, fx.b, 200_Gbps, 0}};
+
+  ControllerOptions plain;
+  plain.snr_margin = 0_dB;
+  DynamicCapacityController unconstrained(
+      fx.base, optical::ModulationTable::standard(), fx.engine, plain);
+  ControllerOptions shielded = plain;
+  shielded.protected_flows = {fx.protect_ab(60.0)};
+  DynamicCapacityController constrained(
+      fx.base, optical::ModulationTable::standard(), fx.engine, shielded);
+
+  const double free_routed =
+      unconstrained.run_round(snr, demands).total_routed.value;
+  const double shielded_routed =
+      constrained.run_round(snr, demands).total_routed.value;
+  EXPECT_GT(free_routed, shielded_routed);
+  EXPECT_NEAR(free_routed - shielded_routed, 60.0, 1e-5);
+}
+
+TEST(ProtectedFlows, OverCommittedProtectionIsRejected) {
+  Fixture fx;
+  ControllerOptions options;
+  options.snr_margin = 0_dB;
+  options.protected_flows = {fx.protect_ab(150.0)};  // above 100 G
+  DynamicCapacityController controller(
+      fx.base, optical::ModulationTable::standard(), fx.engine, options);
+  const std::vector<Db> snr(fx.base.edge_count(), 7.0_dB);
+  EXPECT_THROW(controller.run_round(snr, {}), util::CheckError);
+}
+
+TEST(ProtectedFlows, MultiHopProtectionFreezesWholePath) {
+  Fixture fx;
+  ProtectedFlow detour;
+  detour.path.edges = {*fx.base.find_edge(fx.a, fx.c),
+                       *fx.base.find_edge(fx.c, fx.d),
+                       *fx.base.find_edge(fx.d, fx.b)};
+  detour.volume = 30_Gbps;
+  ControllerOptions options;
+  options.snr_margin = 0_dB;
+  options.protected_flows = {detour};
+  DynamicCapacityController controller(
+      fx.base, optical::ModulationTable::standard(), fx.engine, options);
+  const std::vector<Db> snr(fx.base.edge_count(), 20.0_dB);
+  const te::TrafficMatrix demands = {{fx.a, fx.b, 300_Gbps, 0}};
+  const auto report = controller.run_round(snr, demands);
+  for (const auto& change : report.plan.upgrades)
+    for (EdgeId frozen : detour.path.edges)
+      EXPECT_NE(change.edge, frozen);
+}
+
+}  // namespace
+}  // namespace rwc::core

@@ -1,0 +1,207 @@
+// Property tests for Theorem 1: solving min-cost max-flow on the augmented
+// topology G' is equivalent to solving max-flow on G with variable
+// capacities — the flow value matches the fully-upgraded topology, the cost
+// is optimal (no negative residual cycle; LP cross-check), and translation
+// reproduces the same value on the physical topology.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/augment.hpp"
+#include "core/translate.hpp"
+#include "flow/cycle_cancel.hpp"
+#include "flow/graph_adapter.hpp"
+#include "flow/maxflow.hpp"
+#include "flow/mincost.hpp"
+#include "lp/simplex.hpp"
+#include "sim/topology.hpp"
+#include "te/mcf_te.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::core {
+namespace {
+
+using graph::EdgeId;
+using util::Gbps;
+
+struct Instance {
+  graph::Graph base;
+  std::vector<VariableLink> variable;
+  int source = 0;
+  int sink = 0;
+};
+
+Instance random_instance(std::uint64_t seed, bool integral = true) {
+  util::Rng rng(seed);
+  Instance instance;
+  instance.base = sim::waxman(8, rng);
+  for (EdgeId e : instance.base.edge_ids()) {
+    const double cap = integral ? std::floor(rng.uniform(1.0, 9.0))
+                                : rng.uniform(1.0, 9.0);
+    instance.base.edge(e).capacity = Gbps{cap};
+  }
+  // ~40% of edges can upgrade by a random headroom.
+  for (EdgeId e : instance.base.edge_ids()) {
+    if (!rng.bernoulli(0.4)) continue;
+    const double extra = integral ? std::floor(rng.uniform(1.0, 8.0))
+                                  : rng.uniform(1.0, 8.0);
+    instance.variable.push_back(
+        {e, instance.base.edge(e).capacity + Gbps{extra}});
+  }
+  instance.source = 0;
+  instance.sink = static_cast<int>(instance.base.node_count()) - 1;
+  return instance;
+}
+
+graph::Graph fully_upgraded(const Instance& instance) {
+  graph::Graph upgraded = instance.base;
+  for (const VariableLink& link : instance.variable)
+    upgraded.edge(link.edge).capacity = link.feasible_capacity;
+  return upgraded;
+}
+
+class TheoremSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TheoremSweep, AugmentedValueEqualsUpgradedMaxFlow) {
+  const auto instance =
+      random_instance(static_cast<std::uint64_t>(GetParam()) * 11 + 1);
+  const auto augmented = augment_topology(instance.base, instance.variable,
+                                          FixedPenalty{3.0});
+
+  auto augmented_view = flow::make_network(augmented.graph);
+  const auto augmented_result = flow::min_cost_max_flow(
+      augmented_view.net, instance.source, instance.sink);
+
+  auto upgraded_view = flow::make_network(fully_upgraded(instance));
+  const double upgraded_flow =
+      flow::max_flow_dinic(upgraded_view.net, instance.source, instance.sink);
+
+  EXPECT_NEAR(augmented_result.flow, upgraded_flow, 1e-6);
+  // Optimality certificate: no negative-cost residual cycle remains.
+  EXPECT_FALSE(flow::find_negative_cycle(augmented_view.net).has_value());
+}
+
+TEST_P(TheoremSweep, CostIsLpOptimal) {
+  const auto instance =
+      random_instance(static_cast<std::uint64_t>(GetParam()) * 11 + 1);
+  const auto augmented = augment_topology(instance.base, instance.variable,
+                                          FixedPenalty{3.0});
+  auto view = flow::make_network(augmented.graph);
+  const auto result =
+      flow::min_cost_max_flow(view.net, instance.source, instance.sink);
+
+  // LP: min cost s.t. conservation + capacity + flow value fixed.
+  const graph::Graph& g = augmented.graph;
+  lp::LpProblem problem(lp::Sense::kMinimize);
+  for (EdgeId e : g.edge_ids())
+    problem.add_variable(g.edge(e).cost, g.edge(e).capacity.value);
+  for (graph::NodeId node : g.node_ids()) {
+    if (node.value == instance.source || node.value == instance.sink)
+      continue;
+    std::vector<lp::Term> terms;
+    for (EdgeId e : g.out_edges(node)) terms.push_back({e.value, 1.0});
+    for (EdgeId e : g.in_edges(node)) terms.push_back({e.value, -1.0});
+    if (!terms.empty())
+      problem.add_constraint(std::move(terms), lp::Relation::kEqual, 0.0);
+  }
+  std::vector<lp::Term> value_terms;
+  for (EdgeId e : g.out_edges(graph::NodeId{instance.source}))
+    value_terms.push_back({e.value, 1.0});
+  for (EdgeId e : g.in_edges(graph::NodeId{instance.source}))
+    value_terms.push_back({e.value, -1.0});
+  problem.add_constraint(std::move(value_terms), lp::Relation::kEqual,
+                         result.flow);
+  const auto lp_solution = problem.solve();
+  ASSERT_TRUE(lp_solution.optimal());
+  EXPECT_NEAR(lp_solution.objective, result.cost, 1e-5);
+}
+
+TEST_P(TheoremSweep, TranslationPreservesValueAndRespectsUpgrades) {
+  const auto instance =
+      random_instance(static_cast<std::uint64_t>(GetParam()) * 11 + 1);
+  const auto augmented = augment_topology(instance.base, instance.variable,
+                                          FixedPenalty{3.0});
+  // Drive through the TE interface (single demand = pure max-flow).
+  auto upgraded_view = flow::make_network(fully_upgraded(instance));
+  const double upgraded_flow =
+      flow::max_flow_dinic(upgraded_view.net, instance.source, instance.sink);
+
+  const te::TrafficMatrix demands = {
+      {graph::NodeId{instance.source}, graph::NodeId{instance.sink},
+       Gbps{1e9}, 0}};
+  const auto assignment = te::McfTe{}.solve(augmented.graph, demands);
+  EXPECT_NEAR(assignment.total_routed.value, upgraded_flow, 1e-6);
+
+  const auto plan = translate_assignment(instance.base, augmented,
+                                         instance.variable, assignment);
+  EXPECT_NEAR(plan.physical_assignment.total_routed.value, upgraded_flow,
+              1e-6);
+  // Physical loads never exceed the upgraded capacity of any link, and
+  // only links in the variable set get upgraded.
+  graph::Graph upgraded = instance.base;
+  apply_plan(upgraded, plan);
+  for (EdgeId e : instance.base.edge_ids()) {
+    EXPECT_LE(
+        plan.physical_assignment.edge_load_gbps[static_cast<std::size_t>(
+            e.value)],
+        upgraded.edge(e).capacity.value + 1e-6);
+  }
+  for (const CapacityChange& change : plan.upgrades) {
+    const bool in_variable_set =
+        std::any_of(instance.variable.begin(), instance.variable.end(),
+                    [&](const VariableLink& link) {
+                      return link.edge == change.edge &&
+                             link.feasible_capacity == change.to;
+                    });
+    EXPECT_TRUE(in_variable_set);
+    EXPECT_GT(change.upgrade_traffic.value, 0.0);
+  }
+}
+
+TEST_P(TheoremSweep, GadgetModePreservesTheoremValue) {
+  const auto instance =
+      random_instance(static_cast<std::uint64_t>(GetParam()) * 11 + 1);
+  AugmentOptions options;
+  options.unsplittable_gadget = true;
+  const auto augmented = augment_topology(
+      instance.base, instance.variable, FixedPenalty{3.0}, {}, options);
+  auto augmented_view = flow::make_network(augmented.graph);
+  const auto result = flow::min_cost_max_flow(
+      augmented_view.net, instance.source, instance.sink);
+  auto upgraded_view = flow::make_network(fully_upgraded(instance));
+  const double upgraded_flow =
+      flow::max_flow_dinic(upgraded_view.net, instance.source, instance.sink);
+  EXPECT_NEAR(result.flow, upgraded_flow, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremSweep, ::testing::Range(1, 21));
+
+TEST(Theorem, ZeroPenaltyCostIsZero) {
+  const auto instance = random_instance(99);
+  const auto augmented =
+      augment_topology(instance.base, instance.variable, ZeroPenalty{});
+  auto view = flow::make_network(augmented.graph);
+  const auto result =
+      flow::min_cost_max_flow(view.net, instance.source, instance.sink);
+  EXPECT_NEAR(result.cost, 0.0, 1e-9);
+}
+
+TEST(Theorem, PenaltyNeverExceedsHeadroomTraffic) {
+  // With unit penalties the total cost is exactly the traffic carried on
+  // fake links, which is bounded by the total added headroom.
+  const auto instance = random_instance(123);
+  const auto augmented =
+      augment_topology(instance.base, instance.variable, FixedPenalty{1.0});
+  auto view = flow::make_network(augmented.graph);
+  const auto result =
+      flow::min_cost_max_flow(view.net, instance.source, instance.sink);
+  double total_headroom = 0.0;
+  for (const VariableLink& link : instance.variable)
+    total_headroom += (link.feasible_capacity -
+                       instance.base.edge(link.edge).capacity)
+                          .value;
+  EXPECT_LE(result.cost, total_headroom + 1e-6);
+}
+
+}  // namespace
+}  // namespace rwc::core

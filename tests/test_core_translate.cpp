@@ -1,0 +1,166 @@
+// Tests for the translation step (Theorem 1, step 3): augmented TE output
+// -> capacity changes + physical routing. Includes the paper's Fig. 7 and
+// Fig. 8 walk-throughs.
+#include <gtest/gtest.h>
+
+#include "core/augment.hpp"
+#include "core/translate.hpp"
+#include "sim/topology.hpp"
+#include "te/mcf_te.hpp"
+
+namespace rwc::core {
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+using util::Gbps;
+using namespace util::literals;
+
+/// One 100 G link that could run at 200 G.
+struct SingleLinkFixture {
+  graph::Graph base;
+  EdgeId ab;
+  NodeId a, b;
+
+  SingleLinkFixture() {
+    a = base.add_node("A");
+    b = base.add_node("B");
+    ab = base.add_edge(a, b, 100_Gbps);
+  }
+};
+
+TEST(Translate, UpgradeExtractedWhenFakeEdgeCarriesFlow) {
+  SingleLinkFixture fx;
+  const std::vector<VariableLink> variable = {{fx.ab, 200_Gbps}};
+  const auto augmented =
+      augment_topology(fx.base, variable, FixedPenalty{2.0});
+  const te::TrafficMatrix demands = {{fx.a, fx.b, 150_Gbps, 0}};
+  const auto assignment = te::McfTe{}.solve(augmented.graph, demands);
+  EXPECT_NEAR(assignment.total_routed.value, 150.0, 1e-6);
+
+  const auto plan =
+      translate_assignment(fx.base, augmented, variable, assignment);
+  ASSERT_EQ(plan.upgrades.size(), 1u);
+  const CapacityChange& change = plan.upgrades[0];
+  EXPECT_EQ(change.edge, fx.ab);
+  EXPECT_EQ(change.from, 100_Gbps);
+  EXPECT_EQ(change.to, 200_Gbps);
+  EXPECT_TRUE(change.is_upgrade());
+  EXPECT_NEAR(change.upgrade_traffic.value, 50.0, 1e-6);
+  EXPECT_NEAR(change.penalty_paid, 100.0, 1e-6);  // 50 Gbps * 2.0
+  EXPECT_NEAR(plan.total_penalty, 100.0, 1e-6);
+
+  // The physical assignment's paths all live on the base edge.
+  EXPECT_NEAR(plan.physical_assignment.total_routed.value, 150.0, 1e-6);
+  for (const auto& [path, volume] :
+       plan.physical_assignment.routings[0].paths)
+    for (EdgeId e : path.edges) EXPECT_EQ(e, fx.ab);
+  EXPECT_NEAR(plan.physical_assignment.edge_load_gbps[0], 150.0, 1e-6);
+}
+
+TEST(Translate, NoUpgradeWhenDemandFitsCurrentCapacity) {
+  SingleLinkFixture fx;
+  const std::vector<VariableLink> variable = {{fx.ab, 200_Gbps}};
+  const auto augmented =
+      augment_topology(fx.base, variable, FixedPenalty{2.0});
+  const te::TrafficMatrix demands = {{fx.a, fx.b, 80_Gbps, 0}};
+  const auto assignment = te::McfTe{}.solve(augmented.graph, demands);
+  const auto plan =
+      translate_assignment(fx.base, augmented, variable, assignment);
+  EXPECT_TRUE(plan.upgrades.empty());
+  EXPECT_DOUBLE_EQ(plan.total_penalty, 0.0);
+  EXPECT_NEAR(plan.physical_assignment.total_routed.value, 80.0, 1e-6);
+}
+
+TEST(Translate, GadgetPathsProjectToSinglePhysicalEdge) {
+  SingleLinkFixture fx;
+  const std::vector<VariableLink> variable = {{fx.ab, 200_Gbps}};
+  AugmentOptions options;
+  options.unsplittable_gadget = true;
+  const auto augmented = augment_topology(fx.base, variable,
+                                          FixedPenalty{2.0}, {}, options);
+  const te::TrafficMatrix demands = {{fx.a, fx.b, 150_Gbps, 0}};
+  const auto assignment = te::McfTe{}.solve(augmented.graph, demands);
+  EXPECT_NEAR(assignment.total_routed.value, 150.0, 1e-6);
+  const auto plan =
+      translate_assignment(fx.base, augmented, variable, assignment);
+  ASSERT_EQ(plan.upgrades.size(), 1u);
+  EXPECT_EQ(plan.upgrades[0].to, 200_Gbps);
+  // Every projected path is exactly [ab]: gadget plumbing disappears.
+  for (const auto& [path, volume] :
+       plan.physical_assignment.routings[0].paths) {
+    ASSERT_EQ(path.edges.size(), 1u);
+    EXPECT_EQ(path.edges[0], fx.ab);
+  }
+  EXPECT_NEAR(plan.physical_assignment.total_routed.value, 150.0, 1e-6);
+}
+
+TEST(Translate, Fig8UnsplittableFullRateSinglePath) {
+  // With the gadget, a single unsplittable 200 G flow can cross the link on
+  // ONE augmented path (the paper's Fig. 8 point). Plain-mode augmentation
+  // cannot do this (it needs two parallel edges).
+  SingleLinkFixture fx;
+  const std::vector<VariableLink> variable = {{fx.ab, 200_Gbps}};
+  AugmentOptions options;
+  options.unsplittable_gadget = true;
+  const auto augmented = augment_topology(fx.base, variable,
+                                          FixedPenalty{2.0}, {}, options);
+  // The fake entry edge alone must admit the full 200 G.
+  const EdgeId fake = augmented.fake_edge_of[0];
+  const graph::Path single{{fake, EdgeId{fake.value + 1},
+                            EdgeId{fake.value + 2}},
+                           0.0};
+  EXPECT_EQ(graph::path_bottleneck(augmented.graph, single), 200_Gbps);
+
+  // Plain mode: no single augmented path carries 200 G.
+  const auto plain = augment_topology(fx.base, variable, FixedPenalty{2.0});
+  for (EdgeId e : plain.graph.edge_ids())
+    EXPECT_LT(plain.graph.edge(e).capacity.value, 200.0);
+}
+
+TEST(Translate, ApplyPlanUpdatesTopology) {
+  SingleLinkFixture fx;
+  ReconfigurationPlan plan;
+  CapacityChange change;
+  change.edge = fx.ab;
+  change.from = 100_Gbps;
+  change.to = 175_Gbps;
+  plan.upgrades.push_back(change);
+  graph::Graph topology = fx.base;
+  apply_plan(topology, plan);
+  EXPECT_EQ(topology.edge(fx.ab).capacity, 175_Gbps);
+}
+
+TEST(Translate, Fig7PenaltyMinimizingUpgrade) {
+  // Paper Fig. 7: square topology, demands A->B and C->D grow from 100 to
+  // 125 Gbps; links (A,B) and (C,D) can double; penalty 100 per unit on the
+  // fake links. A cost-optimal solution exists that activates only ONE fake
+  // link; the min-cost engine must not pay more penalty than that solution
+  // (25 Gbps of upgraded traffic).
+  graph::Graph base = sim::fig7_square();
+  const NodeId a = *base.find_node("A");
+  const NodeId b = *base.find_node("B");
+  const NodeId c = *base.find_node("C");
+  const NodeId d = *base.find_node("D");
+  const EdgeId ab = *base.find_edge(a, b);
+  const EdgeId cd = *base.find_edge(c, d);
+  const std::vector<VariableLink> variable = {{ab, 200_Gbps},
+                                              {cd, 200_Gbps}};
+  const auto augmented =
+      augment_topology(base, variable, FixedPenalty{100.0});
+  const te::TrafficMatrix demands = {{a, b, 125_Gbps, 0},
+                                     {c, d, 125_Gbps, 0}};
+  const auto assignment = te::McfTe{}.solve(augmented.graph, demands);
+  const auto plan =
+      translate_assignment(base, augmented, variable, assignment);
+  // Full demand served.
+  EXPECT_NEAR(plan.physical_assignment.total_routed.value, 250.0, 1e-5);
+  // Cost no worse than the one-upgrade solution: 50 Gbps of extra traffic
+  // on upgraded capacity is the optimum (25 via each demand's reroute or
+  // 50 through one link); penalty <= 50 * 100.
+  EXPECT_LE(plan.total_penalty, 5000.0 + 1e-5);
+  EXPECT_GE(plan.upgrades.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rwc::core

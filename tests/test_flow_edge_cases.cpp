@@ -1,0 +1,125 @@
+// Edge-case and failure-injection tests for the flow solvers.
+#include <gtest/gtest.h>
+
+#include "flow/cycle_cancel.hpp"
+#include "flow/decompose.hpp"
+#include "flow/graph_adapter.hpp"
+#include "flow/maxflow.hpp"
+#include "flow/mincost.hpp"
+#include "util/check.hpp"
+
+namespace rwc::flow {
+namespace {
+
+TEST(FlowEdgeCases, ParallelArcsAddCapacity) {
+  ResidualNetwork net(2);
+  net.add_arc(0, 1, 3.0);
+  net.add_arc(0, 1, 4.0);
+  net.add_arc(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(max_flow_dinic(net, 0, 1), 12.0);
+}
+
+TEST(FlowEdgeCases, ParallelArcsWithDifferentCostsFillCheapestFirst) {
+  ResidualNetwork net(2);
+  const int pricey = net.add_arc(0, 1, 10.0, 5.0);
+  const int cheap = net.add_arc(0, 1, 10.0, 1.0);
+  const auto result = min_cost_max_flow(net, 0, 1, 12.0);
+  EXPECT_DOUBLE_EQ(result.flow, 12.0);
+  EXPECT_DOUBLE_EQ(net.flow(cheap), 10.0);
+  EXPECT_DOUBLE_EQ(net.flow(pricey), 2.0);
+  EXPECT_DOUBLE_EQ(result.cost, 10.0 * 1.0 + 2.0 * 5.0);
+}
+
+TEST(FlowEdgeCases, SelfLoopArcCarriesNothingToSink) {
+  ResidualNetwork net(2);
+  net.add_arc(0, 0, 100.0);
+  net.add_arc(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(max_flow_dinic(net, 0, 1), 2.0);
+}
+
+TEST(FlowEdgeCases, BackAndForthArcsDoNotInflateFlow) {
+  ResidualNetwork net(3);
+  net.add_arc(0, 1, 5.0);
+  net.add_arc(1, 0, 5.0);  // reverse direction physical arc
+  net.add_arc(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(max_flow_dinic(net, 0, 2), 3.0);
+}
+
+TEST(FlowEdgeCases, ZeroFlowLimitRoutesNothing) {
+  ResidualNetwork net(2);
+  net.add_arc(0, 1, 5.0, 1.0);
+  const auto result = min_cost_max_flow(net, 0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(result.flow, 0.0);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+}
+
+TEST(FlowEdgeCases, ResetRestoresFullCapacity) {
+  ResidualNetwork net(2);
+  net.add_arc(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(max_flow_dinic(net, 0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(max_flow_dinic(net, 0, 1), 0.0);  // saturated
+  net.reset();
+  EXPECT_DOUBLE_EQ(max_flow_dinic(net, 0, 1), 5.0);
+}
+
+TEST(FlowEdgeCases, FractionalCapacitiesStayConsistent) {
+  ResidualNetwork net(3);
+  net.add_arc(0, 1, 0.125);
+  net.add_arc(1, 2, 0.0625);
+  const double flow = max_flow_dinic(net, 0, 2);
+  EXPECT_NEAR(flow, 0.0625, 1e-12);
+  const auto decomposition = decompose_flow(net, 0, 2);
+  ASSERT_EQ(decomposition.paths.size(), 1u);
+  EXPECT_NEAR(decomposition.paths[0].amount, 0.0625, 1e-12);
+}
+
+TEST(FlowEdgeCases, SameSourceSinkRejected) {
+  ResidualNetwork net(2);
+  net.add_arc(0, 1, 5.0);
+  EXPECT_THROW(max_flow_dinic(net, 1, 1), util::CheckError);
+  EXPECT_THROW(min_cost_max_flow(net, 0, 0), util::CheckError);
+  EXPECT_THROW(decompose_flow(net, 1, 1), util::CheckError);
+}
+
+TEST(FlowEdgeCases, InvalidArcEndpointsRejected) {
+  ResidualNetwork net(2);
+  EXPECT_THROW(net.add_arc(0, 2, 1.0), util::CheckError);
+  EXPECT_THROW(net.add_arc(-1, 1, 1.0), util::CheckError);
+  EXPECT_THROW(net.add_arc(0, 1, -1.0), util::CheckError);
+}
+
+TEST(FlowEdgeCases, NegativeCycleSolverOnEmptyNetwork) {
+  ResidualNetwork net(3);
+  EXPECT_FALSE(find_negative_cycle(net).has_value());
+  EXPECT_DOUBLE_EQ(cancel_negative_cycles(net), 0.0);
+}
+
+TEST(FlowEdgeCases, MinCutOnSaturatedSingleArc) {
+  ResidualNetwork net(2);
+  net.add_arc(0, 1, 7.0);
+  max_flow_dinic(net, 0, 1);
+  const auto side = min_cut_source_side(net, 0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[1]);
+  EXPECT_DOUBLE_EQ(cut_capacity(net, side), 7.0);
+}
+
+TEST(FlowEdgeCases, DecomposePrefersNoCyclesWhenNoneExist) {
+  // A dag with two junctions: decomposition covers all flow exactly once.
+  ResidualNetwork net(5);
+  net.add_arc(0, 1, 4.0);
+  net.add_arc(0, 2, 4.0);
+  net.add_arc(1, 3, 4.0);
+  net.add_arc(2, 3, 4.0);
+  net.add_arc(3, 4, 6.0);
+  const double flow = max_flow_dinic(net, 0, 4);
+  EXPECT_DOUBLE_EQ(flow, 6.0);
+  const auto decomposition = decompose_flow(net, 0, 4);
+  EXPECT_DOUBLE_EQ(decomposition.cancelled_cycle_flow, 0.0);
+  double total = 0.0;
+  for (const auto& pf : decomposition.paths) total += pf.amount;
+  EXPECT_NEAR(total, 6.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rwc::flow

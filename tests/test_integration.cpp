@@ -1,0 +1,143 @@
+// End-to-end integration: telemetry -> controller -> TE engine over many
+// rounds, parameterized over all four unmodified TE engines (the crux of
+// Theorem 1's "engines stay unmodified" claim).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/controller.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/b4.hpp"
+#include "te/cspf.hpp"
+#include "te/ecmp.hpp"
+#include "te/mcf_te.hpp"
+#include "te/swan.hpp"
+#include "telemetry/snr_model.hpp"
+#include "util/rng.hpp"
+
+namespace rwc {
+namespace {
+
+using util::Db;
+using util::Gbps;
+
+std::shared_ptr<te::TeAlgorithm> make_engine(int index) {
+  switch (index) {
+    case 0:
+      return std::make_shared<te::McfTe>();
+    case 1:
+      return std::make_shared<te::CspfTe>();
+    case 2:
+      return std::make_shared<te::SwanTe>();
+    case 3:
+      return std::make_shared<te::B4Te>();
+    default:
+      return std::make_shared<te::EcmpTe>();
+  }
+}
+
+class EndToEndSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EndToEndSweep, TelemetryDrivenRoundsKeepInvariants) {
+  const auto engine = make_engine(GetParam());
+  const graph::Graph base = sim::abilene();
+
+  // Telemetry for every directed edge over a 1-day horizon.
+  telemetry::SnrFleetGenerator::FleetParams fleet_params;
+  fleet_params.fiber_count = static_cast<int>(base.edge_count() / 2);
+  fleet_params.wavelengths_per_fiber = 2;
+  fleet_params.duration = 1.0 * util::kDay;
+  fleet_params.interval = 1.0 * util::kHour;
+  // Make dips frequent enough to exercise flaps within a day.
+  fleet_params.model.fiber_deep_rate_per_year = 40.0;
+  fleet_params.model.fiber_shallow_rate_per_year = 60.0;
+  telemetry::SnrFleetGenerator fleet(fleet_params, 777);
+
+  std::vector<telemetry::SnrTrace> traces;
+  for (std::size_t e = 0; e < base.edge_count(); ++e)
+    traces.push_back(fleet.generate_trace(static_cast<int>(e / 2),
+                                          static_cast<int>(e % 2)));
+
+  core::DynamicCapacityController controller(
+      base, optical::ModulationTable::standard(), *engine,
+      core::ControllerOptions{});
+
+  util::Rng rng(99);
+  sim::GravityParams gravity;
+  gravity.total = Gbps{1500.0};
+  const te::TrafficMatrix demands = sim::gravity_matrix(base, gravity, rng);
+
+  double best_routed = 0.0;
+  std::size_t total_upgrades = 0;
+  std::size_t total_reductions = 0;
+  for (std::size_t tick = 0; tick < 24; ++tick) {
+    std::vector<Db> snr(base.edge_count());
+    for (std::size_t e = 0; e < base.edge_count(); ++e)
+      snr[e] = traces[e].at(tick);
+    const auto report = controller.run_round(snr, demands);
+
+    // Invariants every round, for every engine:
+    // 1. The physical assignment is valid on the post-round topology.
+    te::validate_assignment(controller.current_topology(),
+                            report.plan.physical_assignment);
+    // 2. Configured capacities are ladder rates (or zero).
+    for (graph::EdgeId e : base.edge_ids()) {
+      const Gbps cap = controller.configured_capacity(e);
+      EXPECT_TRUE(cap.value == 0.0 ||
+                  controller.table().has_rate(cap))
+          << "edge " << e.value << " at " << cap.value;
+    }
+    // 3. Upgrades only to rates the SNR supports (with margin).
+    for (const auto& change : report.plan.upgrades) {
+      const Gbps feasible = controller.table().feasible_capacity(
+          snr[static_cast<std::size_t>(change.edge.value)], Db{0.5});
+      EXPECT_LE(change.to.value, feasible.value + 1e-9);
+    }
+    best_routed = std::max(best_routed, report.total_routed.value);
+    total_upgrades += report.plan.upgrades.size();
+    total_reductions += report.reductions.size();
+  }
+  // The run must have exercised the interesting paths. (ECMP is oblivious:
+  // it only lands on fake links when they happen to sit on shortest paths,
+  // so the upgrade expectation applies to the TE engines only.)
+  EXPECT_GT(best_routed, 0.0) << engine->name();
+  if (engine->name() != "ecmp") {
+    EXPECT_GT(total_upgrades, 0u);
+  }
+  EXPECT_GT(total_reductions, 0u) << engine->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EndToEndSweep, ::testing::Range(0, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return make_engine(info.param)->name();
+                         });
+
+TEST(EndToEnd, DynamicServesMoreThanStaticTopologyAcrossEngines) {
+  // Same demands, same SNR: a controller with dynamic capacity must route
+  // at least as much as the same engine on the frozen 100 G topology.
+  const graph::Graph base = sim::abilene();
+  util::Rng rng(5);
+  sim::GravityParams gravity;
+  gravity.total = Gbps{2500.0};
+  const te::TrafficMatrix demands = sim::gravity_matrix(base, gravity, rng);
+  const std::vector<Db> snr(base.edge_count(), Db{20.0});
+
+  for (int i = 0; i < 4; ++i) {
+    const auto engine = make_engine(i);
+    core::DynamicCapacityController controller(
+        base, optical::ModulationTable::standard(), *engine,
+        core::ControllerOptions{});
+    const auto report = controller.run_round(snr, demands);
+    const auto static_assignment = engine->solve(base, demands);
+    EXPECT_GE(report.total_routed.value,
+              static_assignment.total_routed.value - 1e-5)
+        << engine->name();
+    EXPECT_GT(report.total_routed.value,
+              static_assignment.total_routed.value * 1.05)
+        << engine->name() << " should gain substantially at 20 dB SNR";
+  }
+}
+
+}  // namespace
+}  // namespace rwc

@@ -1,0 +1,122 @@
+// Tests for Yen's k-shortest-paths.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/dijkstra.hpp"
+#include "graph/ksp.hpp"
+#include "sim/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::graph {
+namespace {
+
+using namespace util::literals;
+
+Graph ladder() {
+  // Classic KSP example with several distinct path lengths.
+  Graph g;
+  const NodeId c = g.add_node("C");
+  const NodeId d = g.add_node("D");
+  const NodeId e = g.add_node("E");
+  const NodeId f = g.add_node("F");
+  const NodeId gg = g.add_node("G");
+  const NodeId h = g.add_node("H");
+  g.add_edge(c, d, 100_Gbps, 0.0, 3.0);
+  g.add_edge(c, e, 100_Gbps, 0.0, 2.0);
+  g.add_edge(d, f, 100_Gbps, 0.0, 4.0);
+  g.add_edge(e, d, 100_Gbps, 0.0, 1.0);
+  g.add_edge(e, f, 100_Gbps, 0.0, 2.0);
+  g.add_edge(e, gg, 100_Gbps, 0.0, 3.0);
+  g.add_edge(f, gg, 100_Gbps, 0.0, 2.0);
+  g.add_edge(f, h, 100_Gbps, 0.0, 1.0);
+  g.add_edge(gg, h, 100_Gbps, 0.0, 2.0);
+  return g;
+}
+
+TEST(Ksp, MatchesKnownYenExample) {
+  Graph g = ladder();
+  const NodeId c = *g.find_node("C");
+  const NodeId h = *g.find_node("H");
+  const auto paths = k_shortest_paths(g, c, h, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(paths[0].weight, 5.0);  // C-E-F-H
+  EXPECT_DOUBLE_EQ(paths[1].weight, 7.0);  // C-E-G-H
+  EXPECT_DOUBLE_EQ(paths[2].weight, 8.0);  // C-D-F-H / C-E-F-G-H / C-E-D-F-H
+  EXPECT_EQ(path_to_string(g, paths[0]), "C -> E -> F -> H");
+  EXPECT_EQ(path_to_string(g, paths[1]), "C -> E -> G -> H");
+}
+
+TEST(Ksp, FirstPathEqualsDijkstra) {
+  Graph g = sim::abilene();
+  const NodeId src = *g.find_node("SEA");
+  const NodeId dst = *g.find_node("NYC");
+  const auto paths = k_shortest_paths(g, src, dst, 4);
+  ASSERT_FALSE(paths.empty());
+  const Path direct = shortest_path(g, src, dst);
+  EXPECT_DOUBLE_EQ(paths[0].weight, direct.weight);
+}
+
+TEST(Ksp, ReturnsFewerWhenGraphHasFewerPaths) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_edge(a, b, 1_Gbps);
+  const auto paths = k_shortest_paths(g, a, b, 10);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(Ksp, EmptyWhenUnreachable) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  g.add_node("b");
+  const auto paths = k_shortest_paths(g, a, NodeId{1}, 3);
+  EXPECT_TRUE(paths.empty());
+}
+
+TEST(Ksp, RejectsSelfLoopQueryAndZeroK) {
+  Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  g.add_edge(a, b, 1_Gbps);
+  EXPECT_THROW(k_shortest_paths(g, a, a, 3), util::CheckError);
+  EXPECT_THROW(k_shortest_paths(g, a, b, 0), util::CheckError);
+}
+
+class KspPropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KspPropertySweep, SortedLooplessDistinctAndValid) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  Graph g = sim::waxman(10, rng);
+  for (EdgeId e : g.edge_ids()) g.edge(e).weight = rng.uniform(0.5, 4.0);
+
+  const NodeId src{0};
+  const NodeId dst{9};
+  const auto paths = k_shortest_paths(g, src, dst, 6);
+  ASSERT_FALSE(paths.empty());
+
+  std::set<std::vector<EdgeId>> seen;
+  double previous = 0.0;
+  for (const Path& p : paths) {
+    // Valid contiguous path src -> dst.
+    const auto nodes = path_nodes(g, p);
+    EXPECT_EQ(nodes.front(), src);
+    EXPECT_EQ(nodes.back(), dst);
+    // Loopless: all nodes distinct.
+    std::set<std::int32_t> distinct;
+    for (NodeId n : nodes) EXPECT_TRUE(distinct.insert(n.value).second);
+    // Weight consistent with its edges.
+    double w = 0.0;
+    for (EdgeId e : p.edges) w += g.edge(e).weight;
+    EXPECT_NEAR(w, p.weight, 1e-9);
+    // Sorted ascending, all distinct.
+    EXPECT_GE(p.weight, previous - 1e-9);
+    previous = p.weight;
+    EXPECT_TRUE(seen.insert(p.edges).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KspPropertySweep, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace rwc::graph

@@ -1,0 +1,199 @@
+// Tests for the two-phase simplex LP solver, including a cross-check against
+// the combinatorial min-cost-flow solver on random networks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/graph_adapter.hpp"
+#include "flow/maxflow.hpp"
+#include "flow/mincost.hpp"
+#include "lp/simplex.hpp"
+#include "sim/topology.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::lp {
+namespace {
+
+TEST(Simplex, SimpleMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> x=4, y=0, obj 12.
+  LpProblem problem(Sense::kMaximize);
+  const int x = problem.add_variable(3.0);
+  const int y = problem.add_variable(2.0);
+  problem.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 4.0);
+  problem.add_constraint({{x, 1.0}, {y, 3.0}}, Relation::kLessEqual, 6.0);
+  const auto solution = problem.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 12.0, 1e-9);
+  EXPECT_NEAR(solution.values[static_cast<std::size_t>(x)], 4.0, 1e-9);
+  EXPECT_NEAR(solution.values[static_cast<std::size_t>(y)], 0.0, 1e-9);
+}
+
+TEST(Simplex, MinimizationWithGreaterEqual) {
+  // min 2x + 3y s.t. x + y >= 10, x <= 6 -> x=6, y=4, obj 24.
+  LpProblem problem(Sense::kMinimize);
+  const int x = problem.add_variable(2.0, 6.0);
+  const int y = problem.add_variable(3.0);
+  problem.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 10.0);
+  const auto solution = problem.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 24.0, 1e-8);
+  EXPECT_NEAR(solution.values[static_cast<std::size_t>(x)], 6.0, 1e-8);
+  EXPECT_NEAR(solution.values[static_cast<std::size_t>(y)], 4.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + y s.t. x + 2y = 8, x - y = 2 -> x=4, y=2, obj 6.
+  LpProblem problem(Sense::kMinimize);
+  const int x = problem.add_variable(1.0);
+  const int y = problem.add_variable(1.0);
+  problem.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kEqual, 8.0);
+  problem.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEqual, 2.0);
+  const auto solution = problem.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 6.0, 1e-8);
+  EXPECT_NEAR(solution.values[static_cast<std::size_t>(x)], 4.0, 1e-8);
+  EXPECT_NEAR(solution.values[static_cast<std::size_t>(y)], 2.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LpProblem problem(Sense::kMinimize);
+  const int x = problem.add_variable(1.0);
+  problem.add_constraint({{x, 1.0}}, Relation::kLessEqual, 1.0);
+  problem.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);
+  EXPECT_EQ(problem.solve().status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LpProblem problem(Sense::kMaximize);
+  const int x = problem.add_variable(1.0);
+  problem.add_constraint({{x, -1.0}}, Relation::kLessEqual, 0.0);
+  EXPECT_EQ(problem.solve().status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -2 with min x + y -> y >= x + 2 -> x=0, y=2.
+  LpProblem problem(Sense::kMinimize);
+  const int x = problem.add_variable(1.0);
+  const int y = problem.add_variable(1.0);
+  problem.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kLessEqual, -2.0);
+  const auto solution = problem.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 2.0, 1e-8);
+}
+
+TEST(Simplex, UpperBoundsBecomeConstraints) {
+  LpProblem problem(Sense::kMaximize);
+  (void)problem.add_variable(1.0, 2.5);
+  const auto solution = problem.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 2.5, 1e-9);
+}
+
+TEST(Simplex, DuplicateTermsAccumulate) {
+  // max x with (0.5x + 0.5x) <= 3.
+  LpProblem problem(Sense::kMaximize);
+  const int x = problem.add_variable(1.0);
+  problem.add_constraint({{x, 0.5}, {x, 0.5}}, Relation::kLessEqual, 3.0);
+  const auto solution = problem.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemStillTerminates) {
+  // Multiple redundant constraints intersecting at the optimum.
+  LpProblem problem(Sense::kMaximize);
+  const int x = problem.add_variable(1.0);
+  const int y = problem.add_variable(1.0);
+  problem.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 1.0);
+  problem.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 1.0);
+  problem.add_constraint({{x, 2.0}, {y, 2.0}}, Relation::kLessEqual, 2.0);
+  problem.add_constraint({{x, 1.0}}, Relation::kLessEqual, 1.0);
+  const auto solution = problem.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 1.0, 1e-8);
+}
+
+TEST(Simplex, RedundantEqualityRows) {
+  LpProblem problem(Sense::kMinimize);
+  const int x = problem.add_variable(1.0);
+  const int y = problem.add_variable(2.0);
+  problem.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 4.0);
+  problem.add_constraint({{x, 2.0}, {y, 2.0}}, Relation::kEqual, 8.0);
+  const auto solution = problem.solve();
+  ASSERT_TRUE(solution.optimal());
+  EXPECT_NEAR(solution.objective, 4.0, 1e-8);  // all on x
+}
+
+TEST(Simplex, VariableNames) {
+  LpProblem problem;
+  const int a = problem.add_variable(1.0, 1.0, "alpha");
+  const int b = problem.add_variable(1.0);
+  EXPECT_EQ(problem.variable_name(a), "alpha");
+  EXPECT_EQ(problem.variable_name(b), "x1");
+}
+
+/// Formulates s-t max-flow as an LP over edge variables and compares with
+/// Dinic; then min-cost at fixed flow against the SSP solver.
+class LpFlowCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpFlowCrossCheck, MaxFlowAndMinCostAgreeWithCombinatorial) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 11);
+  graph::Graph g = sim::waxman(8, rng);
+  for (graph::EdgeId e : g.edge_ids()) {
+    g.edge(e).capacity = util::Gbps{std::floor(rng.uniform(1.0, 8.0))};
+    g.edge(e).cost = std::floor(rng.uniform(0.0, 4.0));
+  }
+  const int source = 0;
+  const int sink = static_cast<int>(g.node_count()) - 1;
+
+  // Combinatorial reference.
+  auto view = flow::make_network(g);
+  const auto reference = flow::min_cost_max_flow(view.net, source, sink);
+
+  // LP 1: maximize net outflow of the source.
+  LpProblem max_problem(Sense::kMaximize);
+  for (graph::EdgeId e : g.edge_ids()) {
+    const bool from_source = g.edge(e).src.value == source;
+    const bool into_source = g.edge(e).dst.value == source;
+    max_problem.add_variable(from_source ? 1.0 : (into_source ? -1.0 : 0.0),
+                             g.edge(e).capacity.value);
+  }
+  // Conservation at interior nodes.
+  auto add_conservation = [&](LpProblem& problem) {
+    for (graph::NodeId node : g.node_ids()) {
+      if (node.value == source || node.value == sink) continue;
+      std::vector<Term> terms;
+      for (graph::EdgeId e : g.out_edges(node))
+        terms.push_back({e.value, 1.0});
+      for (graph::EdgeId e : g.in_edges(node))
+        terms.push_back({e.value, -1.0});
+      if (!terms.empty())
+        problem.add_constraint(std::move(terms), Relation::kEqual, 0.0);
+    }
+  };
+  add_conservation(max_problem);
+  const auto max_solution = max_problem.solve();
+  ASSERT_TRUE(max_solution.optimal());
+  EXPECT_NEAR(max_solution.objective, reference.flow, 1e-6);
+
+  // LP 2: minimize cost at that flow value.
+  LpProblem cost_problem(Sense::kMinimize);
+  std::vector<Term> source_terms;
+  for (graph::EdgeId e : g.edge_ids()) {
+    cost_problem.add_variable(g.edge(e).cost, g.edge(e).capacity.value);
+    if (g.edge(e).src.value == source) source_terms.push_back({e.value, 1.0});
+    if (g.edge(e).dst.value == source)
+      source_terms.push_back({e.value, -1.0});
+  }
+  add_conservation(cost_problem);
+  cost_problem.add_constraint(std::move(source_terms), Relation::kEqual,
+                              reference.flow);
+  const auto cost_solution = cost_problem.solve();
+  ASSERT_TRUE(cost_solution.optimal());
+  EXPECT_NEAR(cost_solution.objective, reference.cost, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpFlowCrossCheck, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace rwc::lp

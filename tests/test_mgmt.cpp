@@ -1,0 +1,166 @@
+// Tests for the management-plane data model and the SNMP-lite MIB view.
+#include <gtest/gtest.h>
+
+#include "mgmt/config_model.hpp"
+#include "mgmt/mib.hpp"
+#include "sim/topology.hpp"
+#include "te/mcf_te.hpp"
+#include "util/check.hpp"
+
+namespace rwc::mgmt {
+namespace {
+
+using util::Db;
+using util::Gbps;
+using namespace util::literals;
+
+struct Fixture {
+  graph::Graph base = sim::fig7_square();
+  te::McfTe engine;
+  core::ControllerOptions options;
+
+  core::DynamicCapacityController make_controller() {
+    return core::DynamicCapacityController(
+        base, optical::ModulationTable::standard(), engine, options);
+  }
+};
+
+TEST(ConfigModel, SnapshotReflectsControllerState) {
+  Fixture fx;
+  fx.options.snr_margin = 0.75_dB;
+  fx.options.hysteresis = core::HysteresisParams{0.5_dB, 4};
+  auto controller = fx.make_controller();
+  const auto config = snapshot(controller, "mcf");
+  EXPECT_EQ(config.engine, "mcf");
+  EXPECT_DOUBLE_EQ(config.snr_margin_db, 0.75);
+  EXPECT_TRUE(config.hysteresis_enabled);
+  EXPECT_EQ(config.hysteresis_hold_rounds, 4);
+  ASSERT_EQ(config.links.size(), fx.base.edge_count());
+  EXPECT_EQ(config.links[0].name, "A->B");
+  EXPECT_DOUBLE_EQ(config.links[0].nominal_gbps, 100.0);
+  EXPECT_DOUBLE_EQ(config.links[0].configured_gbps, 100.0);
+}
+
+TEST(ConfigModel, SnapshotTracksRuntimeCapacityChanges) {
+  Fixture fx;
+  fx.options.snr_margin = 0.0_dB;
+  auto controller = fx.make_controller();
+  // Flap one fiber down to 50 G.
+  std::vector<Db> snr(fx.base.edge_count(), 20.0_dB);
+  snr[0] = 4.0_dB;
+  controller.run_round(snr, {});
+  const auto config = snapshot(controller, "mcf");
+  EXPECT_DOUBLE_EQ(config.links[0].configured_gbps, 50.0);
+  EXPECT_DOUBLE_EQ(config.links[0].nominal_gbps, 100.0);
+}
+
+TEST(ConfigModel, TextRoundTrip) {
+  Fixture fx;
+  fx.options.hysteresis = core::HysteresisParams{0.25_dB, 2};
+  auto controller = fx.make_controller();
+  const auto config = snapshot(controller, "swan");
+  const std::string text = to_text(config);
+  const auto parsed = from_text(text);
+  EXPECT_EQ(parsed.engine, config.engine);
+  EXPECT_DOUBLE_EQ(parsed.snr_margin_db, config.snr_margin_db);
+  EXPECT_EQ(parsed.consolidate, config.consolidate);
+  EXPECT_EQ(parsed.hysteresis_enabled, config.hysteresis_enabled);
+  EXPECT_DOUBLE_EQ(parsed.hysteresis_extra_margin_db,
+                   config.hysteresis_extra_margin_db);
+  ASSERT_EQ(parsed.links.size(), config.links.size());
+  for (std::size_t i = 0; i < config.links.size(); ++i) {
+    EXPECT_EQ(parsed.links[i].name, config.links[i].name);
+    EXPECT_DOUBLE_EQ(parsed.links[i].configured_gbps,
+                     config.links[i].configured_gbps);
+  }
+}
+
+TEST(ConfigModel, TextEncodingIsDeterministicAndPathShaped) {
+  Fixture fx;
+  auto controller = fx.make_controller();
+  const auto config = snapshot(controller, "mcf");
+  const std::string a = to_text(config);
+  const std::string b = to_text(config);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("controller/engine mcf"), std::string::npos);
+  EXPECT_NE(a.find("links/0/configured-gbps"), std::string::npos);
+}
+
+TEST(ConfigModel, FromTextRejectsMalformedInput) {
+  EXPECT_THROW(from_text("no-value-line\n"), util::CheckError);
+  EXPECT_THROW(from_text("controller/engine mcf\n"), util::CheckError);
+}
+
+TEST(Mib, OidToString) {
+  EXPECT_EQ(to_string({1, 3, 6}), "1.3.6");
+  EXPECT_EQ(to_string(kRwcEnterpriseArc), "1.3.6.1.4.1.53535");
+}
+
+TEST(Mib, GetScalarsAndTable) {
+  Fixture fx;
+  auto controller = fx.make_controller();
+  const MibView mib(controller);
+
+  Oid count_oid = kRwcEnterpriseArc;
+  count_oid.insert(count_oid.end(), {1, 1, 0});
+  const auto count = mib.get(count_oid);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(count->integer,
+            static_cast<long long>(fx.base.edge_count()));
+
+  Oid name_oid = kRwcEnterpriseArc;
+  name_oid.insert(name_oid.end(), {1, 2, 0, 1});
+  const auto name = mib.get(name_oid);
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->kind, MibValue::Kind::kString);
+  EXPECT_EQ(name->text, "A->B");
+
+  Oid bogus = kRwcEnterpriseArc;
+  bogus.insert(bogus.end(), {9, 9, 9});
+  EXPECT_FALSE(mib.get(bogus).has_value());
+}
+
+TEST(Mib, WalkIsSortedAndPrefixScoped) {
+  Fixture fx;
+  auto controller = fx.make_controller();
+  const MibView mib(controller);
+  const auto everything = mib.walk(kRwcEnterpriseArc);
+  // 1 scalar + 3 columns per link (no devices attached).
+  EXPECT_EQ(everything.size(), 1 + 3 * fx.base.edge_count());
+  for (std::size_t i = 1; i < everything.size(); ++i)
+    EXPECT_LT(everything[i - 1].first, everything[i].first);
+
+  Oid link0 = kRwcEnterpriseArc;
+  link0.insert(link0.end(), {1, 2, 0});
+  EXPECT_EQ(mib.walk(link0).size(), 3u);
+}
+
+TEST(Mib, DeviceColumnsAppearWithDeviceArray) {
+  Fixture fx;
+  auto controller = fx.make_controller();
+  auto devices = core::make_device_array(
+      fx.base, optical::ModulationTable::standard(), 3, 14.3_dB);
+  const MibView mib(controller, &devices);
+  Oid snr_oid = kRwcEnterpriseArc;
+  snr_oid.insert(snr_oid.end(), {1, 2, 2, 4});
+  const auto snr = mib.get(snr_oid);
+  ASSERT_TRUE(snr.has_value());
+  EXPECT_EQ(snr->integer, 1430);  // centi-dB
+  Oid status_oid = kRwcEnterpriseArc;
+  status_oid.insert(status_oid.end(), {1, 2, 2, 5});
+  const auto status = mib.get(status_oid);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->integer & bvt::status::kLaserOn);
+  EXPECT_EQ(mib.walk(kRwcEnterpriseArc).size(),
+            1 + 6 * fx.base.edge_count());
+}
+
+TEST(Mib, RejectsMismatchedDeviceArray) {
+  Fixture fx;
+  auto controller = fx.make_controller();
+  core::DeviceArray devices;  // wrong size
+  EXPECT_THROW(MibView(controller, &devices), util::CheckError);
+}
+
+}  // namespace
+}  // namespace rwc::mgmt

@@ -1,0 +1,111 @@
+// Tests for the optical link-budget model.
+#include <gtest/gtest.h>
+
+#include "optical/link_budget.hpp"
+#include "util/check.hpp"
+
+namespace rwc::optical {
+namespace {
+
+using util::Db;
+using namespace util::literals;
+
+TEST(LinkBudget, KnownOsnrExample) {
+  // 10 spans of 80 km @ 0.22 dB/km, NF 5 dB, 0 dBm launch:
+  // OSNR = 58 + 0 - 17.6 - 5 - 10 = 25.4 dB.
+  LinkBudget budget;
+  budget.span_count = 10;
+  EXPECT_NEAR(estimate_osnr(budget).value, 25.4, 1e-9);
+}
+
+TEST(LinkBudget, OsnrToSnrAtSymbolRate) {
+  // 32 GBd: 10 log10(32/12.5) = 4.082 dB penalty.
+  EXPECT_NEAR(osnr_to_snr(Db{25.4}, 32.0).value, 25.4 - 4.0824, 1e-3);
+  // At the reference bandwidth the conversion is the identity.
+  EXPECT_NEAR(osnr_to_snr(Db{20.0}, 12.5).value, 20.0, 1e-12);
+}
+
+TEST(LinkBudget, SnrDecreasesWithSpans) {
+  LinkBudget budget;
+  double previous = 1e9;
+  for (int spans = 1; spans <= 40; spans *= 2) {
+    budget.span_count = spans;
+    const double snr = estimate_snr(budget).value;
+    EXPECT_LT(snr, previous);
+    previous = snr;
+  }
+  // Doubling the span count costs exactly 3.01 dB.
+  budget.span_count = 10;
+  const double ten = estimate_snr(budget).value;
+  budget.span_count = 20;
+  EXPECT_NEAR(ten - estimate_snr(budget).value, 3.0103, 1e-3);
+}
+
+TEST(LinkBudget, LongerSpansCostMore) {
+  LinkBudget short_spans;
+  short_spans.span.length_km = 60.0;
+  LinkBudget long_spans;
+  long_spans.span.length_km = 100.0;
+  EXPECT_GT(estimate_snr(short_spans).value,
+            estimate_snr(long_spans).value);
+}
+
+TEST(LinkBudget, FeasibleCapacityFollowsTheLadder) {
+  const auto table = ModulationTable::standard();
+  // Short metro link: plenty of SNR for 200 G.
+  LinkBudget metro;
+  metro.span_count = 3;
+  EXPECT_EQ(feasible_capacity(metro, table), 200_Gbps);
+  // A long haul: degrades down the ladder.
+  LinkBudget haul;
+  haul.span_count = 80;
+  EXPECT_LT(feasible_capacity(haul, table), 200_Gbps);
+  EXPECT_GT(feasible_capacity(haul, table), 0_Gbps);
+}
+
+TEST(LinkBudget, MaxReachMatchesDirectEvaluation) {
+  LinkBudget budget;
+  const auto table = ModulationTable::standard();
+  const Db threshold = table.threshold_for(200_Gbps);
+  const int reach = max_reach_spans(budget, threshold);
+  ASSERT_GT(reach, 0);
+  budget.span_count = reach;
+  EXPECT_GE(estimate_snr(budget), threshold);
+  budget.span_count = reach + 1;
+  EXPECT_LT(estimate_snr(budget), threshold);
+}
+
+TEST(LinkBudget, ReachShrinksWithRequiredSnrAndMargin) {
+  const LinkBudget budget;
+  const int reach_100 = max_reach_spans(budget, Db{6.5});
+  const int reach_200 = max_reach_spans(budget, Db{13.0});
+  EXPECT_GT(reach_100, reach_200);
+  EXPECT_GE(reach_200, 1);
+  EXPECT_LE(max_reach_spans(budget, Db{13.0}, Db{2.0}), reach_200);
+}
+
+TEST(LinkBudget, ImpossibleReachIsZero) {
+  LinkBudget budget;
+  budget.launch_power_dbm = -20.0;  // hopeless
+  EXPECT_EQ(max_reach_spans(budget, Db{25.0}), 0);
+}
+
+TEST(LinkBudget, ValidatesInputs) {
+  LinkBudget budget;
+  budget.span_count = 0;
+  EXPECT_THROW(estimate_osnr(budget), util::CheckError);
+  budget.span_count = 1;
+  budget.span.length_km = 0.0;
+  EXPECT_THROW(estimate_osnr(budget), util::CheckError);
+  EXPECT_THROW(osnr_to_snr(Db{20.0}, 0.0), util::CheckError);
+}
+
+TEST(LinkBudget, TotalLength) {
+  LinkBudget budget;
+  budget.span_count = 12;
+  budget.span.length_km = 75.0;
+  EXPECT_DOUBLE_EQ(budget.total_length_km(), 900.0);
+}
+
+}  // namespace
+}  // namespace rwc::optical

@@ -1,0 +1,145 @@
+// Tests for edge-disjoint path pairs and the 1+1 protection planner.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flow/disjoint.hpp"
+#include "sim/topology.hpp"
+#include "te/protection.hpp"
+#include "util/rng.hpp"
+
+namespace rwc {
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+using util::Gbps;
+using namespace util::literals;
+
+TEST(DisjointPair, FindsTwoDisjointPathsOnTheSquare) {
+  const graph::Graph g = sim::fig7_square();
+  const auto a = *g.find_node("A");
+  const auto b = *g.find_node("B");
+  const auto pair = flow::edge_disjoint_pair(g, a, b);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_LE(pair->first.weight, pair->second.weight);
+  // Disjoint edge sets.
+  std::set<EdgeId> first(pair->first.edges.begin(), pair->first.edges.end());
+  for (EdgeId e : pair->second.edges) EXPECT_FALSE(first.contains(e));
+  // Valid endpoints.
+  EXPECT_EQ(graph::path_nodes(g, pair->first).front(), a);
+  EXPECT_EQ(graph::path_nodes(g, pair->first).back(), b);
+  EXPECT_EQ(graph::path_nodes(g, pair->second).back(), b);
+}
+
+TEST(DisjointPair, NoneWhenOnlyOnePathExists) {
+  graph::Graph g;
+  const auto a = g.add_node("a");
+  const auto m = g.add_node("m");
+  const auto b = g.add_node("b");
+  g.add_edge(a, m, 100_Gbps);
+  g.add_edge(m, b, 100_Gbps);
+  EXPECT_FALSE(flow::edge_disjoint_pair(g, a, b).has_value());
+}
+
+TEST(DisjointPair, MinimizesTotalWeight) {
+  // The classic Suurballe trap: the shortest path greedily blocks the only
+  // disjoint partner; the min-cost-flow formulation avoids it.
+  graph::Graph g;
+  const auto s = g.add_node("s");
+  const auto u = g.add_node("u");
+  const auto v = g.add_node("v");
+  const auto t = g.add_node("t");
+  g.add_edge(s, u, 1_Gbps, 0.0, 1.0);
+  g.add_edge(u, t, 1_Gbps, 0.0, 1.0);
+  g.add_edge(s, v, 1_Gbps, 0.0, 4.0);
+  g.add_edge(v, t, 1_Gbps, 0.0, 4.0);
+  g.add_edge(u, v, 1_Gbps, 0.0, 1.0);
+  const auto pair = flow::edge_disjoint_pair(g, s, t);
+  ASSERT_TRUE(pair.has_value());
+  // Optimal total = (s-u-t) + (s-v-t) = 2 + 8 = 10.
+  EXPECT_NEAR(pair->first.weight + pair->second.weight, 10.0, 1e-9);
+}
+
+TEST(DisjointPair, RandomGraphsAlwaysDisjointAndValid) {
+  for (int seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 71);
+    const graph::Graph g = sim::waxman(12, rng);
+    const auto pair =
+        flow::edge_disjoint_pair(g, NodeId{0}, NodeId{11});
+    if (!pair.has_value()) continue;  // sparse instance: fine
+    std::set<EdgeId> first(pair->first.edges.begin(),
+                           pair->first.edges.end());
+    for (EdgeId e : pair->second.edges) EXPECT_FALSE(first.contains(e));
+    // Both are contiguous s->t paths (path_nodes throws otherwise).
+    EXPECT_EQ(graph::path_nodes(g, pair->first).back(), (NodeId{11}));
+    EXPECT_EQ(graph::path_nodes(g, pair->second).back(), (NodeId{11}));
+  }
+}
+
+TEST(Protection, PlansDisjointServicesWithinCapacity) {
+  const graph::Graph g = sim::abilene();
+  const te::TrafficMatrix demands = {
+      {*g.find_node("SEA"), *g.find_node("NYC"), 40_Gbps, 1},
+      {*g.find_node("LAX"), *g.find_node("ATL"), 30_Gbps, 0},
+  };
+  const auto plan = te::plan_protection(g, demands);
+  EXPECT_EQ(plan.services.size(), 2u);
+  EXPECT_TRUE(plan.unprotected.empty());
+  EXPECT_TRUE(te::survives_any_single_failure(plan));
+  // Reservations: volume on every edge of both paths, never over capacity.
+  for (graph::EdgeId e : g.edge_ids())
+    EXPECT_LE(plan.reserved_gbps[static_cast<std::size_t>(e.value)],
+              g.edge(e).capacity.value + 1e-9);
+}
+
+TEST(Protection, ReservationsAccumulateAcrossServices) {
+  graph::Graph g = sim::fig7_square();
+  const auto a = *g.find_node("A");
+  const auto b = *g.find_node("B");
+  const te::TrafficMatrix demands = {{a, b, 30_Gbps, 0}, {a, b, 20_Gbps, 0}};
+  const auto plan = te::plan_protection(g, demands);
+  EXPECT_EQ(plan.services.size(), 2u);
+  double reserved = 0.0;
+  for (double r : plan.reserved_gbps) reserved += r;
+  // Each service reserves volume on primary + backup (>= 2 edges each).
+  EXPECT_GE(reserved, 2.0 * (30.0 + 20.0) - 1e-9);
+}
+
+TEST(Protection, RefusesWhenNoCapacityRemains) {
+  graph::Graph g = sim::fig7_square();
+  const auto a = *g.find_node("A");
+  const auto b = *g.find_node("B");
+  // First service eats most of every path; second cannot fit disjointly.
+  const te::TrafficMatrix demands = {{a, b, 90_Gbps, 1}, {a, b, 50_Gbps, 0}};
+  const auto plan = te::plan_protection(g, demands);
+  EXPECT_EQ(plan.services.size(), 1u);
+  ASSERT_EQ(plan.unprotected.size(), 1u);
+  EXPECT_EQ(plan.unprotected[0].volume, 50_Gbps);
+}
+
+TEST(Protection, PriorityOrderDecidesWhoGetsProtected) {
+  graph::Graph g = sim::fig7_square();
+  const auto a = *g.find_node("A");
+  const auto b = *g.find_node("B");
+  // Low priority listed first; high priority must still win the capacity.
+  const te::TrafficMatrix demands = {{a, b, 90_Gbps, 0}, {a, b, 90_Gbps, 7}};
+  const auto plan = te::plan_protection(g, demands);
+  ASSERT_EQ(plan.services.size(), 1u);
+  EXPECT_EQ(plan.services[0].demand.priority, 7);
+}
+
+TEST(Protection, BackupSurvivesPrimaryLinkFailure) {
+  const graph::Graph g = sim::abilene();
+  const te::TrafficMatrix demands = {
+      {*g.find_node("SEA"), *g.find_node("NYC"), 50_Gbps, 0}};
+  const auto plan = te::plan_protection(g, demands);
+  ASSERT_EQ(plan.services.size(), 1u);
+  const auto& service = plan.services[0];
+  // Remove each primary edge in turn; the backup never uses it.
+  for (graph::EdgeId failed : service.primary.edges)
+    for (graph::EdgeId e : service.backup.edges) EXPECT_NE(e, failed);
+}
+
+}  // namespace
+}  // namespace rwc

@@ -1,0 +1,122 @@
+// Tests for the device-backed simulator mode and the Q-factor conversions.
+#include <gtest/gtest.h>
+
+#include "optical/q_factor.hpp"
+#include "util/check.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "util/rng.hpp"
+
+namespace rwc {
+namespace {
+
+using util::Gbps;
+
+TEST(DeviceBackedSim, RunsAndKeepsMetricsConsistent) {
+  const graph::Graph g = sim::abilene();
+  te::McfTe engine;
+  sim::SimulationConfig config;
+  config.horizon = 8.0 * util::kHour;
+  config.te_interval = 30.0 * util::kMinute;
+  config.policy = sim::CapacityPolicy::kDynamicHitless;
+  config.device_backed = true;
+  config.seed = 5;
+  config.diurnal = false;
+  sim::WanSimulator simulator(g, engine, config);
+
+  util::Rng rng(9);
+  sim::GravityParams gravity;
+  gravity.total = Gbps{2000.0};
+  const auto metrics = simulator.run(sim::gravity_matrix(g, gravity, rng));
+  EXPECT_EQ(metrics.te_rounds, 16u);
+  EXPECT_GT(metrics.delivered_gbps_hours, 0.0);
+  EXPECT_LE(metrics.delivered_gbps_hours, metrics.offered_gbps_hours + 1e-6);
+  EXPECT_GT(metrics.upgrades, 0u);
+  // The controller's margin keeps devices lockable: no failures expected
+  // on a healthy fleet.
+  EXPECT_EQ(metrics.lock_failures, 0u);
+}
+
+TEST(DeviceBackedSim, CloseToAnalyticAccountOnSameSeed) {
+  const graph::Graph g = sim::abilene();
+  te::McfTe engine;
+  util::Rng rng(11);
+  sim::GravityParams gravity;
+  gravity.total = Gbps{2200.0};
+  const auto demands = sim::gravity_matrix(g, gravity, rng);
+
+  sim::SimulationConfig analytic;
+  analytic.horizon = 8.0 * util::kHour;
+  analytic.te_interval = 30.0 * util::kMinute;
+  analytic.policy = sim::CapacityPolicy::kDynamicHitless;
+  analytic.seed = 21;
+  analytic.diurnal = false;
+  auto device = analytic;
+  device.device_backed = true;
+
+  const auto analytic_metrics =
+      sim::WanSimulator(g, engine, analytic).run(demands);
+  const auto device_metrics =
+      sim::WanSimulator(g, engine, device).run(demands);
+  // Identical TE decisions (same controller seed path), so routed traffic
+  // agrees to within the small downtime-model differences.
+  EXPECT_EQ(analytic_metrics.upgrades, device_metrics.upgrades);
+  EXPECT_NEAR(device_metrics.delivered_gbps_hours,
+              analytic_metrics.delivered_gbps_hours,
+              0.02 * analytic_metrics.delivered_gbps_hours);
+}
+
+TEST(DeviceBackedSim, StandardProcedureCostsMoreDowntime) {
+  const graph::Graph g = sim::abilene();
+  te::McfTe engine;
+  util::Rng rng(13);
+  sim::GravityParams gravity;
+  gravity.total = Gbps{2400.0};
+  const auto demands = sim::gravity_matrix(g, gravity, rng);
+
+  sim::SimulationConfig hitless;
+  hitless.horizon = 8.0 * util::kHour;
+  hitless.te_interval = 30.0 * util::kMinute;
+  hitless.policy = sim::CapacityPolicy::kDynamicHitless;
+  hitless.device_backed = true;
+  hitless.seed = 31;
+  hitless.diurnal = false;
+  auto standard = hitless;
+  standard.policy = sim::CapacityPolicy::kDynamic;
+
+  const auto hitless_metrics =
+      sim::WanSimulator(g, engine, hitless).run(demands);
+  const auto standard_metrics =
+      sim::WanSimulator(g, engine, standard).run(demands);
+  EXPECT_GT(standard_metrics.reconfig_downtime_hours,
+            hitless_metrics.reconfig_downtime_hours);
+  EXPECT_GE(hitless_metrics.delivered_gbps_hours,
+            standard_metrics.delivered_gbps_hours - 1e-9);
+}
+
+TEST(QFactor, BerRoundTrip) {
+  for (double q : {2.0, 4.0, 6.0, 7.0}) {
+    const double ber = optical::ber_from_q(q);
+    EXPECT_GT(ber, 0.0);
+    EXPECT_NEAR(optical::q_from_ber(ber), q, 1e-6);
+  }
+}
+
+TEST(QFactor, KnownAnchors) {
+  // Q = 6 -> BER ~ 1e-9 (the classic rule of thumb).
+  EXPECT_NEAR(optical::ber_from_q(6.0), 1e-9, 2e-10);
+  // Q² of 15.56 dB corresponds to Q = 6.
+  EXPECT_NEAR(optical::q_squared_db(6.0).value, 15.563, 1e-3);
+  EXPECT_NEAR(optical::q_from_q_squared_db(util::Db{15.563}), 6.0, 1e-3);
+}
+
+TEST(QFactor, Validation) {
+  EXPECT_THROW(optical::q_from_ber(0.0), util::CheckError);
+  EXPECT_THROW(optical::q_from_ber(0.6), util::CheckError);
+  EXPECT_THROW(optical::q_squared_db(0.0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace rwc

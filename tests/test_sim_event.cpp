@@ -1,0 +1,83 @@
+// Tests for the discrete-event queue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hpp"
+#include "util/check.hpp"
+
+namespace rwc::sim {
+namespace {
+
+TEST(EventQueue, ProcessesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&](util::Seconds) { order.push_back(3); });
+  queue.schedule(1.0, [&](util::Seconds) { order.push_back(1); });
+  queue.schedule(2.0, [&](util::Seconds) { order.push_back(2); });
+  EXPECT_EQ(queue.run_until(10.0), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 10.0);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    queue.schedule(1.0, [&order, i](util::Seconds) { order.push_back(i); });
+  queue.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HorizonIsInclusive) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(5.0, [&](util::Seconds) { ++fired; });
+  queue.schedule(5.0001, [&](util::Seconds) { ++fired; });
+  queue.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  queue.run_until(6.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CallbacksSeeEventTime) {
+  EventQueue queue;
+  util::Seconds seen = -1.0;
+  queue.schedule(7.5, [&](util::Seconds now) { seen = now; });
+  queue.run_until(100.0);
+  EXPECT_EQ(seen, 7.5);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  int chain = 0;
+  std::function<void(util::Seconds)> step = [&](util::Seconds) {
+    if (++chain < 5) queue.schedule_in(1.0, step);
+  };
+  queue.schedule(0.0, step);
+  queue.run_until(10.0);
+  EXPECT_EQ(chain, 5);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, ScheduleInPastThrows) {
+  EventQueue queue;
+  queue.schedule(1.0, [](util::Seconds) {});
+  queue.run_until(5.0);
+  EXPECT_THROW(queue.schedule(4.0, [](util::Seconds) {}), util::CheckError);
+  EXPECT_THROW(queue.schedule_in(-1.0, [](util::Seconds) {}),
+               util::CheckError);
+}
+
+TEST(EventQueue, RunUntilLeavesFutureEventsQueued) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&](util::Seconds) { ++fired; });
+  queue.schedule(9.0, [&](util::Seconds) { ++fired; });
+  queue.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(queue.empty());
+}
+
+}  // namespace
+}  // namespace rwc::sim

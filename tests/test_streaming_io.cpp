@@ -1,0 +1,139 @@
+// Tests for the streaming link analyzer and the trace / ticket CSV IO.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "telemetry/analysis.hpp"
+#include "telemetry/io.hpp"
+#include "telemetry/streaming.hpp"
+#include "tickets/generator.hpp"
+#include "tickets/io.hpp"
+#include "util/check.hpp"
+
+namespace rwc {
+namespace {
+
+using util::Db;
+using namespace util::literals;
+
+telemetry::SnrTrace small_trace() {
+  telemetry::SnrFleetGenerator::FleetParams params;
+  params.fiber_count = 1;
+  params.wavelengths_per_fiber = 1;
+  params.duration = 60.0 * util::kDay;
+  telemetry::SnrFleetGenerator fleet(params, 77);
+  return fleet.generate_trace(0, 0);
+}
+
+TEST(Streaming, MatchesExactAnalysisOnStableLink) {
+  const auto table = optical::ModulationTable::standard();
+  const auto trace = small_trace();
+
+  telemetry::StreamingLinkAnalyzer analyzer;
+  analyzer.add(trace);
+  const auto streaming = analyzer.stats(table);
+  const auto exact = telemetry::analyze_link(trace, table);
+
+  EXPECT_EQ(analyzer.count(), trace.size());
+  EXPECT_EQ(streaming.min_snr, exact.min_snr);
+  EXPECT_EQ(streaming.max_snr, exact.max_snr);
+  EXPECT_NEAR(streaming.range_db, exact.range_db, 1e-9);
+  // The central interval upper-bounds the minimal-width HDR but should be
+  // close for a roughly symmetric stable link.
+  EXPECT_GE(streaming.hdr_width_db, exact.hdr_width_db - 0.15);
+  EXPECT_NEAR(streaming.hdr_width_db, exact.hdr_width_db, 0.6);
+  // The ladder decision normally agrees (quantile error < one rung).
+  EXPECT_NEAR(streaming.feasible_capacity.value,
+              exact.feasible_capacity.value, 25.0);
+}
+
+TEST(Streaming, RequiresData) {
+  telemetry::StreamingLinkAnalyzer analyzer;
+  EXPECT_THROW(analyzer.stats(optical::ModulationTable::standard()),
+               util::CheckError);
+}
+
+TEST(Streaming, RejectsDegenerateCoverage) {
+  EXPECT_THROW(telemetry::StreamingLinkAnalyzer(0.0), util::CheckError);
+  EXPECT_THROW(telemetry::StreamingLinkAnalyzer(1.0), util::CheckError);
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  const auto trace = small_trace();
+  const std::string csv = telemetry::trace_to_csv(trace);
+  const auto parsed = telemetry::trace_from_csv(csv);
+  EXPECT_EQ(parsed.interval, trace.interval);
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_FLOAT_EQ(parsed.samples_db[i], trace.samples_db[i]);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto trace = small_trace();
+  const std::string path = "/tmp/rwc_trace_io_test.csv";
+  telemetry::save_trace_csv(trace, path);
+  const auto loaded = telemetry::load_trace_csv(path);
+  EXPECT_EQ(loaded.size(), trace.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  EXPECT_THROW(telemetry::trace_from_csv(""), util::CheckError);
+  EXPECT_THROW(telemetry::trace_from_csv("bogus,1\nsnr_db\n1.0\n"),
+               util::CheckError);
+  EXPECT_THROW(telemetry::trace_from_csv(
+                   "interval_seconds,900\nwrong_column\n1.0\n"),
+               util::CheckError);
+  EXPECT_THROW(
+      telemetry::trace_from_csv("interval_seconds,900\nsnr_db\n1.0x\n"),
+      util::CheckError);
+  EXPECT_THROW(telemetry::load_trace_csv("/nonexistent/dir/file.csv"),
+               util::CheckError);
+}
+
+TEST(TicketIo, CsvRoundTrip) {
+  const auto tickets =
+      tickets::generate_tickets(tickets::TicketModelParams{}, 5);
+  const std::string csv = tickets::tickets_to_csv(tickets);
+  const auto parsed = tickets::tickets_from_csv(csv);
+  ASSERT_EQ(parsed.size(), tickets.size());
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(parsed[i].id, tickets[i].id);
+    EXPECT_EQ(parsed[i].cause, tickets[i].cause);
+    EXPECT_NEAR(parsed[i].outage_duration, tickets[i].outage_duration, 1.0);
+    EXPECT_NEAR(parsed[i].lowest_snr.value, tickets[i].lowest_snr.value,
+                1e-4);
+    EXPECT_EQ(parsed[i].affected_link, tickets[i].affected_link);
+  }
+}
+
+TEST(TicketIo, RootCauseNamesRoundTrip) {
+  for (tickets::RootCause cause : tickets::kAllRootCauses)
+    EXPECT_EQ(tickets::root_cause_from_string(tickets::to_string(cause)),
+              cause);
+  EXPECT_THROW(tickets::root_cause_from_string("alien-invasion"),
+               util::CheckError);
+}
+
+TEST(TicketIo, RejectsMalformedInput) {
+  EXPECT_THROW(tickets::tickets_from_csv("wrong header\n"),
+               util::CheckError);
+  EXPECT_THROW(
+      tickets::tickets_from_csv(
+          "id,opened_at_seconds,outage_hours,cause,lowest_snr_db,link\n"
+          "1,0,5\n"),
+      util::CheckError);
+}
+
+TEST(TicketIo, FileRoundTrip) {
+  const auto tickets =
+      tickets::generate_tickets(tickets::TicketModelParams{}, 6);
+  const std::string path = "/tmp/rwc_tickets_io_test.csv";
+  tickets::save_tickets_csv(tickets, path);
+  const auto loaded = tickets::load_tickets_csv(path);
+  EXPECT_EQ(loaded.size(), tickets.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rwc

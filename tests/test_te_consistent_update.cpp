@@ -1,0 +1,135 @@
+// Tests for the consistent-update transition planner (Section 4.2 (ii)).
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.hpp"
+#include "sim/topology.hpp"
+#include "te/consistent_update.hpp"
+
+namespace rwc::te {
+namespace {
+
+using util::Gbps;
+using namespace util::literals;
+
+FlowAssignment assignment_on_path(const graph::Graph& g,
+                                  const std::string& src,
+                                  const std::string& dst,
+                                  const graph::Path& path, Gbps volume) {
+  FlowAssignment a;
+  FlowAssignment::DemandRouting routing;
+  routing.demand = Demand{*g.find_node(src), *g.find_node(dst), volume, 0};
+  routing.paths.emplace_back(path, volume);
+  a.routings.push_back(std::move(routing));
+  finalize_assignment(g, a);
+  return a;
+}
+
+TEST(ConsistentUpdate, EmptyTransitionHasNoSteps) {
+  graph::Graph g = sim::fig7_square();
+  const auto a = assignment_on_path(
+      g, "A", "B",
+      graph::shortest_path(g, *g.find_node("A"), *g.find_node("B")),
+      50_Gbps);
+  const auto plan = plan_transition(g, a, a);
+  EXPECT_TRUE(plan.steps.empty());
+  EXPECT_TRUE(validate_transition(g, a, plan));
+}
+
+TEST(ConsistentUpdate, RemovalsPrecedeAdditions) {
+  graph::Graph g = sim::fig7_square();
+  const auto nA = *g.find_node("A");
+  const auto nB = *g.find_node("B");
+  const graph::Path direct = graph::shortest_path(g, nA, nB);
+  // Indirect path A-C-D-B.
+  graph::Path indirect;
+  indirect.edges = {*g.find_edge(nA, *g.find_node("C")),
+                    *g.find_edge(*g.find_node("C"), *g.find_node("D")),
+                    *g.find_edge(*g.find_node("D"), nB)};
+  const auto before = assignment_on_path(g, "A", "B", direct, 80_Gbps);
+  const auto after = assignment_on_path(g, "A", "B", indirect, 80_Gbps);
+  const auto plan = plan_transition(g, before, after);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_EQ(plan.steps[0].kind, UpdateStep::Kind::kRemove);
+  EXPECT_EQ(plan.steps[1].kind, UpdateStep::Kind::kAdd);
+  EXPECT_TRUE(validate_transition(g, before, plan));
+}
+
+TEST(ConsistentUpdate, VolumeDeltaOnSamePath) {
+  graph::Graph g = sim::fig7_square();
+  const graph::Path direct =
+      graph::shortest_path(g, *g.find_node("A"), *g.find_node("B"));
+  const auto before = assignment_on_path(g, "A", "B", direct, 80_Gbps);
+  const auto after = assignment_on_path(g, "A", "B", direct, 30_Gbps);
+  const auto plan = plan_transition(g, before, after);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].kind, UpdateStep::Kind::kRemove);
+  EXPECT_NEAR(plan.steps[0].volume.value, 50.0, 1e-9);
+  EXPECT_TRUE(validate_transition(g, before, plan));
+}
+
+TEST(ConsistentUpdate, DetectsOverloadWhenCapacityShrinks) {
+  graph::Graph g = sim::fig7_square();
+  const graph::Path direct =
+      graph::shortest_path(g, *g.find_node("A"), *g.find_node("B"));
+  const auto before = assignment_on_path(g, "A", "B", direct, 80_Gbps);
+  const auto after = assignment_on_path(g, "A", "B", direct, 80_Gbps);
+  // The A-B link flaps down to 50 G: the old state itself violates it.
+  graph::Graph shrunk = g;
+  shrunk.edge(direct.edges[0]).capacity = 50_Gbps;
+  const auto plan = plan_transition(shrunk, before, after);
+  std::string violation;
+  EXPECT_FALSE(validate_transition(shrunk, before, plan, &violation));
+  EXPECT_NE(violation.find("overloaded"), std::string::npos);
+}
+
+TEST(ConsistentUpdate, PeakLoadTracksIntermediateStates) {
+  graph::Graph g = sim::fig7_square();
+  const auto nA = *g.find_node("A");
+  const auto nB = *g.find_node("B");
+  const graph::Path direct = graph::shortest_path(g, nA, nB);
+  const auto before = assignment_on_path(g, "A", "B", direct, 60_Gbps);
+  const auto after = assignment_on_path(g, "A", "B", direct, 90_Gbps);
+  const auto plan = plan_transition(g, before, after);
+  const auto ab = direct.edges[0];
+  EXPECT_NEAR(
+      plan.peak_edge_load_gbps[static_cast<std::size_t>(ab.value)], 90.0,
+      1e-9);
+  EXPECT_TRUE(validate_transition(g, before, plan));
+}
+
+TEST(ConsistentUpdate, MultiDemandSwapStaysFeasible) {
+  // Two demands swap their paths; the remove-then-add order keeps every
+  // intermediate state under capacity.
+  graph::Graph g = sim::fig7_square();
+  const auto nA = *g.find_node("A");
+  const auto nB = *g.find_node("B");
+  const auto nC = *g.find_node("C");
+  const auto nD = *g.find_node("D");
+  graph::Path top;
+  top.edges = {*g.find_edge(nA, nB)};
+  graph::Path around;
+  around.edges = {*g.find_edge(nA, nC), *g.find_edge(nC, nD),
+                  *g.find_edge(nD, nB)};
+
+  auto build = [&](const graph::Path& p0, const graph::Path& p1) {
+    FlowAssignment a;
+    FlowAssignment::DemandRouting r0;
+    r0.demand = Demand{nA, nB, 70_Gbps, 0};
+    r0.paths.emplace_back(p0, 70_Gbps);
+    FlowAssignment::DemandRouting r1;
+    r1.demand = Demand{nA, nB, 70_Gbps, 0};
+    r1.paths.emplace_back(p1, 70_Gbps);
+    a.routings.push_back(std::move(r0));
+    a.routings.push_back(std::move(r1));
+    finalize_assignment(g, a);
+    return a;
+  };
+  const auto before = build(top, around);
+  const auto after = build(around, top);
+  const auto plan = plan_transition(g, before, after);
+  EXPECT_EQ(plan.steps.size(), 4u);
+  EXPECT_TRUE(validate_transition(g, before, plan));
+}
+
+}  // namespace
+}  // namespace rwc::te

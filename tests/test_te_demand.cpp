@@ -1,0 +1,93 @@
+// Tests for demands, assignment finalization and validation.
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.hpp"
+#include "sim/topology.hpp"
+#include "te/demand.hpp"
+#include "util/check.hpp"
+
+namespace rwc::te {
+namespace {
+
+using util::Gbps;
+using namespace util::literals;
+
+TEST(Demand, TotalDemandSums) {
+  TrafficMatrix demands;
+  demands.push_back({graph::NodeId{0}, graph::NodeId{1}, 10_Gbps, 0});
+  demands.push_back({graph::NodeId{1}, graph::NodeId{0}, 5.5_Gbps, 1});
+  EXPECT_EQ(total_demand(demands), 15.5_Gbps);
+  EXPECT_EQ(total_demand({}), 0_Gbps);
+}
+
+FlowAssignment one_path_assignment(const graph::Graph& g, Gbps volume) {
+  const auto a = *g.find_node("A");
+  const auto b = *g.find_node("B");
+  FlowAssignment assignment;
+  FlowAssignment::DemandRouting routing;
+  routing.demand = Demand{a, b, volume, 0};
+  routing.paths.emplace_back(graph::shortest_path(g, a, b), volume);
+  assignment.routings.push_back(std::move(routing));
+  return assignment;
+}
+
+TEST(Assignment, FinalizeComputesLoadsAndTotals) {
+  graph::Graph g = sim::fig7_square();
+  auto assignment = one_path_assignment(g, 60_Gbps);
+  finalize_assignment(g, assignment);
+  EXPECT_EQ(assignment.total_routed, 60_Gbps);
+  EXPECT_EQ(assignment.routings[0].routed, 60_Gbps);
+  double loaded = 0.0;
+  for (double l : assignment.edge_load_gbps) loaded += l;
+  EXPECT_NEAR(loaded, 60.0, 1e-9);  // single-hop path
+  EXPECT_DOUBLE_EQ(assignment.total_cost, 0.0);
+}
+
+TEST(Assignment, FinalizeAccumulatesCost) {
+  graph::Graph g = sim::fig7_square();
+  for (graph::EdgeId e : g.edge_ids()) g.edge(e).cost = 2.0;
+  auto assignment = one_path_assignment(g, 10_Gbps);
+  finalize_assignment(g, assignment);
+  EXPECT_NEAR(assignment.total_cost, 20.0, 1e-9);
+}
+
+TEST(Assignment, ValidatePassesForLegalAssignment) {
+  graph::Graph g = sim::fig7_square();
+  auto assignment = one_path_assignment(g, 100_Gbps);
+  finalize_assignment(g, assignment);
+  EXPECT_NO_THROW(validate_assignment(g, assignment));
+}
+
+TEST(Assignment, ValidateCatchesOverload) {
+  graph::Graph g = sim::fig7_square();
+  auto assignment = one_path_assignment(g, 150_Gbps);  // over the 100 G link
+  finalize_assignment(g, assignment);
+  EXPECT_THROW(validate_assignment(g, assignment), util::CheckError);
+}
+
+TEST(Assignment, ValidateCatchesOverservedDemand) {
+  graph::Graph g = sim::fig7_square();
+  auto assignment = one_path_assignment(g, 50_Gbps);
+  assignment.routings[0].demand.volume = 30_Gbps;  // less than routed
+  finalize_assignment(g, assignment);
+  EXPECT_THROW(validate_assignment(g, assignment), util::CheckError);
+}
+
+TEST(Assignment, ValidateCatchesWrongEndpoints) {
+  graph::Graph g = sim::fig7_square();
+  auto assignment = one_path_assignment(g, 10_Gbps);
+  assignment.routings[0].demand.dst = *g.find_node("C");  // path goes to B
+  finalize_assignment(g, assignment);
+  EXPECT_THROW(validate_assignment(g, assignment), util::CheckError);
+}
+
+TEST(Assignment, ValidateCatchesTamperedLoads) {
+  graph::Graph g = sim::fig7_square();
+  auto assignment = one_path_assignment(g, 10_Gbps);
+  finalize_assignment(g, assignment);
+  assignment.edge_load_gbps[0] += 5.0;
+  EXPECT_THROW(validate_assignment(g, assignment), util::CheckError);
+}
+
+}  // namespace
+}  // namespace rwc::te

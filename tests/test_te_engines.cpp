@@ -1,0 +1,227 @@
+// Tests for the four TE engines: known-instance behaviour plus a
+// parameterized property sweep (every engine must produce a valid,
+// capacity-respecting assignment on random topologies and demands).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/b4.hpp"
+#include "te/cspf.hpp"
+#include "te/mcf_te.hpp"
+#include "te/swan.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::te {
+namespace {
+
+using util::Gbps;
+using namespace util::literals;
+
+std::vector<std::shared_ptr<TeAlgorithm>> all_engines() {
+  return {std::make_shared<McfTe>(), std::make_shared<CspfTe>(),
+          std::make_shared<SwanTe>(), std::make_shared<B4Te>()};
+}
+
+Demand demand(const graph::Graph& g, const std::string& src,
+              const std::string& dst, Gbps volume, int priority = 0) {
+  return Demand{*g.find_node(src), *g.find_node(dst), volume, priority};
+}
+
+TEST(Engines, Names) {
+  EXPECT_EQ(McfTe{}.name(), "mcf");
+  EXPECT_EQ(CspfTe{}.name(), "cspf");
+  EXPECT_EQ(SwanTe{}.name(), "swan");
+  EXPECT_EQ(B4Te{}.name(), "b4");
+}
+
+TEST(Engines, SingleDemandDirectLink) {
+  graph::Graph g = sim::fig7_square();
+  const TrafficMatrix demands = {demand(g, "A", "B", 80_Gbps)};
+  for (const auto& engine : all_engines()) {
+    const auto assignment = engine->solve(g, demands);
+    EXPECT_NEAR(assignment.total_routed.value, 80.0, 1e-6)
+        << engine->name();
+    validate_assignment(g, assignment);
+  }
+}
+
+TEST(Engines, SplitsAcrossPathsWhenDirectLinkFull) {
+  // 150 G from A to B: 100 direct + 50 via A-C-D-B.
+  graph::Graph g = sim::fig7_square();
+  const TrafficMatrix demands = {demand(g, "A", "B", 150_Gbps)};
+  for (const auto& engine : all_engines()) {
+    const auto assignment = engine->solve(g, demands);
+    EXPECT_NEAR(assignment.total_routed.value, 150.0, 1e-5)
+        << engine->name();
+    EXPECT_GE(assignment.routings[0].paths.size(), 2u) << engine->name();
+    validate_assignment(g, assignment);
+  }
+}
+
+TEST(Engines, RoutesNothingWhenDisconnected) {
+  graph::Graph g;
+  const auto a = g.add_node("A");
+  g.add_node("B");
+  (void)a;
+  const TrafficMatrix demands = {
+      Demand{graph::NodeId{0}, graph::NodeId{1}, 10_Gbps, 0}};
+  for (const auto& engine : all_engines()) {
+    const auto assignment = engine->solve(g, demands);
+    EXPECT_EQ(assignment.total_routed, 0_Gbps) << engine->name();
+  }
+}
+
+TEST(Engines, HighPriorityWinsContention) {
+  // Two demands compete for the same 100 G bottleneck; the high-priority
+  // one must get (nearly) everything it asked for.
+  graph::Graph g = sim::fig7_square();
+  // Restrict to a single bottleneck path: remove capacity elsewhere.
+  for (graph::EdgeId e : g.edge_ids())
+    if (g.edge(e).src != *g.find_node("A") &&
+        g.edge(e).dst != *g.find_node("B"))
+      g.edge(e).capacity = 0_Gbps;
+  const TrafficMatrix demands = {
+      demand(g, "A", "B", 80_Gbps, /*priority=*/0),
+      demand(g, "A", "B", 80_Gbps, /*priority=*/5),
+  };
+  for (const auto& engine : all_engines()) {
+    const auto assignment = engine->solve(g, demands);
+    EXPECT_NEAR(assignment.routings[1].routed.value, 80.0, 1e-5)
+        << engine->name();
+    EXPECT_LE(assignment.routings[0].routed.value, 20.0 + 1e-5)
+        << engine->name();
+    validate_assignment(g, assignment);
+  }
+}
+
+TEST(Engines, McfPrefersCheaperEdges) {
+  // Equal-weight alternatives, one expensive: min-cost TE avoids it.
+  graph::Graph g = sim::fig7_square();
+  const auto a = *g.find_node("A");
+  const auto b = *g.find_node("B");
+  const auto ab = *g.find_edge(a, b);
+  g.edge(ab).cost = 10.0;
+  const TrafficMatrix demands = {demand(g, "A", "B", 50_Gbps)};
+  const auto assignment = McfTe{}.solve(g, demands);
+  EXPECT_NEAR(assignment.total_routed.value, 50.0, 1e-6);
+  EXPECT_NEAR(
+      assignment.edge_load_gbps[static_cast<std::size_t>(ab.value)], 0.0,
+      1e-6);
+}
+
+TEST(Engines, SwanLexicographicCostMinimization) {
+  // SWAN must first max throughput, then choose the cheap 2-hop route over
+  // the expensive direct one.
+  graph::Graph g = sim::fig7_square();
+  const auto a = *g.find_node("A");
+  const auto b = *g.find_node("B");
+  g.edge(*g.find_edge(a, b)).cost = 100.0;
+  const TrafficMatrix demands = {demand(g, "A", "B", 60_Gbps)};
+  const auto assignment = SwanTe{}.solve(g, demands);
+  EXPECT_NEAR(assignment.total_routed.value, 60.0, 1e-5);
+  EXPECT_NEAR(assignment.total_cost, 0.0, 1e-3);
+}
+
+TEST(Engines, SwanMaxMinFairnessSharesBottleneck) {
+  SwanTe::Options options;
+  options.max_min_fairness = true;
+  SwanTe fair(options);
+  graph::Graph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  g.add_edge(a, b, 90_Gbps);
+  const TrafficMatrix demands = {
+      Demand{a, b, 60_Gbps, 0},
+      Demand{a, b, 60_Gbps, 0},
+  };
+  const auto assignment = fair.solve(g, demands);
+  EXPECT_NEAR(assignment.total_routed.value, 90.0, 1e-4);
+  EXPECT_NEAR(assignment.routings[0].routed.value, 45.0, 1.0);
+  EXPECT_NEAR(assignment.routings[1].routed.value, 45.0, 1.0);
+}
+
+TEST(Engines, B4ProgressiveFillingIsFair) {
+  graph::Graph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  g.add_edge(a, b, 90_Gbps);
+  const TrafficMatrix demands = {
+      Demand{a, b, 60_Gbps, 0},
+      Demand{a, b, 60_Gbps, 0},
+  };
+  const auto assignment = B4Te{}.solve(g, demands);
+  EXPECT_NEAR(assignment.total_routed.value, 90.0, 1e-6);
+  EXPECT_NEAR(assignment.routings[0].routed.value, 45.0, 1.5);
+  EXPECT_NEAR(assignment.routings[1].routed.value, 45.0, 1.5);
+}
+
+TEST(Engines, CspfChunkingSplitsLargeDemand) {
+  CspfTe chunked(25_Gbps);
+  graph::Graph g = sim::fig7_square();
+  const TrafficMatrix demands = {demand(g, "A", "B", 100_Gbps)};
+  const auto assignment = chunked.solve(g, demands);
+  EXPECT_NEAR(assignment.total_routed.value, 100.0, 1e-6);
+  EXPECT_GE(assignment.routings[0].paths.size(), 4u);
+  validate_assignment(g, assignment);
+}
+
+TEST(Engines, ZeroVolumeDemandIsIgnored) {
+  graph::Graph g = sim::fig7_square();
+  const TrafficMatrix demands = {demand(g, "A", "B", 0_Gbps)};
+  for (const auto& engine : all_engines()) {
+    const auto assignment = engine->solve(g, demands);
+    EXPECT_EQ(assignment.total_routed, 0_Gbps) << engine->name();
+    EXPECT_TRUE(assignment.routings[0].paths.empty()) << engine->name();
+  }
+}
+
+// ---- Property sweep over engines x random instances ----------------------
+
+struct SweepCase {
+  std::string engine;
+  int seed;
+};
+
+class EngineRandomSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EngineRandomSweep, ValidAssignmentOnRandomInstance) {
+  const auto [engine_index, seed] = GetParam();
+  const auto engine = all_engines()[static_cast<std::size_t>(engine_index)];
+
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 101 + 7);
+  graph::Graph g = sim::waxman(9, rng);
+  for (graph::EdgeId e : g.edge_ids())
+    g.edge(e).capacity = util::Gbps{rng.uniform(20.0, 120.0)};
+
+  sim::GravityParams params;
+  params.total = util::Gbps{rng.uniform(100.0, 600.0)};
+  TrafficMatrix demands = sim::gravity_matrix(g, params, rng);
+  // Mix in priorities.
+  for (std::size_t i = 0; i < demands.size(); i += 3)
+    demands[i].priority = 1;
+
+  const auto assignment = engine->solve(g, demands);
+  // Core safety property: never overload, never over-serve.
+  validate_assignment(g, assignment);
+  EXPECT_LE(assignment.total_routed.value,
+            total_demand(demands).value + 1e-6);
+  EXPECT_GT(assignment.total_routed.value, 0.0);
+}
+
+std::string sweep_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  static const char* names[] = {"mcf", "cspf", "swan", "b4"};
+  return std::string(names[std::get<0>(info.param)]) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesBySeed, EngineRandomSweep,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(1, 7)),
+    sweep_case_name);
+
+}  // namespace
+}  // namespace rwc::te

@@ -1,0 +1,155 @@
+// Tests for the exact edge-based MCF LP engine and the ECMP baseline.
+#include <gtest/gtest.h>
+
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/b4.hpp"
+#include "te/ecmp.hpp"
+#include "te/mcf_lp.hpp"
+#include "te/mcf_te.hpp"
+#include "te/swan.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::te {
+namespace {
+
+using util::Gbps;
+using namespace util::literals;
+
+TEST(McfLp, SingleDemandEqualsMaxFlow) {
+  graph::Graph g = sim::fig7_square();
+  const auto a = *g.find_node("A");
+  const auto b = *g.find_node("B");
+  // Max flow A->B on the square is 200 (direct + around).
+  const TrafficMatrix demands = {{a, b, Gbps{1000.0}, 0}};
+  const auto assignment = McfLpTe{}.solve(g, demands);
+  EXPECT_NEAR(assignment.total_routed.value, 200.0, 1e-5);
+  validate_assignment(g, assignment);
+}
+
+TEST(McfLp, ServesBothCompetingDemandsOptimally) {
+  // A->B and C->D at 125 each on the square with upgraded AB/CD: total 250.
+  graph::Graph g = sim::fig7_square();
+  const auto a = *g.find_node("A");
+  const auto b = *g.find_node("B");
+  const auto c = *g.find_node("C");
+  const auto d = *g.find_node("D");
+  g.edge(*g.find_edge(a, b)).capacity = 200_Gbps;
+  const TrafficMatrix demands = {{a, b, 125_Gbps, 0}, {c, d, 125_Gbps, 0}};
+  const auto assignment = McfLpTe{}.solve(g, demands);
+  EXPECT_NEAR(assignment.total_routed.value, 250.0, 1e-5);
+  validate_assignment(g, assignment);
+}
+
+TEST(McfLp, RespectsPriorityClasses) {
+  graph::Graph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  g.add_edge(a, b, 100_Gbps);
+  const TrafficMatrix demands = {{a, b, 80_Gbps, 0}, {a, b, 80_Gbps, 5}};
+  const auto assignment = McfLpTe{}.solve(g, demands);
+  EXPECT_NEAR(assignment.routings[1].routed.value, 80.0, 1e-5);
+  EXPECT_NEAR(assignment.routings[0].routed.value, 20.0, 1e-5);
+}
+
+TEST(McfLp, MinimizesCostAtFixedThroughput) {
+  graph::Graph g = sim::fig7_square();
+  const auto a = *g.find_node("A");
+  const auto b = *g.find_node("B");
+  g.edge(*g.find_edge(a, b)).cost = 50.0;  // make the direct link pricey
+  const TrafficMatrix demands = {{a, b, 60_Gbps, 0}};
+  const auto assignment = McfLpTe{}.solve(g, demands);
+  EXPECT_NEAR(assignment.total_routed.value, 60.0, 1e-5);
+  EXPECT_NEAR(assignment.total_cost, 0.0, 1e-3);  // all via A-C-D-B
+}
+
+TEST(McfLp, UpperBoundsEveryOtherEngine) {
+  // The exact LP is the throughput reference: no engine may beat it.
+  for (int seed = 1; seed <= 6; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 53);
+    graph::Graph g = sim::waxman(6, rng);
+    for (graph::EdgeId e : g.edge_ids())
+      g.edge(e).capacity = Gbps{rng.uniform(20.0, 100.0)};
+    sim::GravityParams params;
+    params.total = Gbps{rng.uniform(150.0, 500.0)};
+    params.sparsity = 0.6;
+    const TrafficMatrix demands = sim::gravity_matrix(g, params, rng);
+
+    const double exact =
+        McfLpTe{}.solve(g, demands).total_routed.value;
+    for (const auto* engine :
+         std::initializer_list<const TeAlgorithm*>{
+             new McfTe{}, new SwanTe{}, new B4Te{}, new EcmpTe{}}) {
+      const double routed = engine->solve(g, demands).total_routed.value;
+      EXPECT_LE(routed, exact + 1e-4)
+          << engine->name() << " beat the exact LP at seed " << seed;
+      delete engine;
+    }
+  }
+}
+
+TEST(Ecmp, SplitsEquallyAcrossEqualCostPaths) {
+  // Two disjoint equal-weight 2-hop paths: a 100 G demand splits 50/50.
+  graph::Graph g;
+  const auto s = g.add_node("s");
+  const auto m1 = g.add_node("m1");
+  const auto m2 = g.add_node("m2");
+  const auto t = g.add_node("t");
+  g.add_edge(s, m1, 100_Gbps);
+  g.add_edge(m1, t, 100_Gbps);
+  g.add_edge(s, m2, 100_Gbps);
+  g.add_edge(m2, t, 100_Gbps);
+  const TrafficMatrix demands = {{s, t, 100_Gbps, 0}};
+  const auto assignment = EcmpTe{}.solve(g, demands);
+  ASSERT_EQ(assignment.routings[0].paths.size(), 2u);
+  EXPECT_NEAR(assignment.routings[0].paths[0].second.value, 50.0, 1e-9);
+  EXPECT_NEAR(assignment.routings[0].paths[1].second.value, 50.0, 1e-9);
+  validate_assignment(g, assignment);
+}
+
+TEST(Ecmp, DoesNotUseLongerPaths) {
+  // One short path and one longer path: ECMP only uses the short one and
+  // drops the overflow (it is oblivious).
+  graph::Graph g;
+  const auto s = g.add_node("s");
+  const auto m = g.add_node("m");
+  const auto t = g.add_node("t");
+  g.add_edge(s, t, 100_Gbps, 0.0, 1.0);
+  g.add_edge(s, m, 100_Gbps, 0.0, 1.0);
+  g.add_edge(m, t, 100_Gbps, 0.0, 1.0);
+  const TrafficMatrix demands = {{s, t, 150_Gbps, 0}};
+  const auto assignment = EcmpTe{}.solve(g, demands);
+  EXPECT_NEAR(assignment.total_routed.value, 100.0, 1e-9);
+  EXPECT_EQ(assignment.routings[0].paths.size(), 1u);
+}
+
+TEST(Ecmp, ObliviousToCostsUnlikeTheTeEngines) {
+  // An expensive direct edge: ECMP still uses it (weight-only decision).
+  graph::Graph g = sim::fig7_square();
+  const auto a = *g.find_node("A");
+  const auto b = *g.find_node("B");
+  const auto ab = *g.find_edge(a, b);
+  g.edge(ab).cost = 1000.0;
+  const TrafficMatrix demands = {{a, b, 50_Gbps, 0}};
+  const auto ecmp = EcmpTe{}.solve(g, demands);
+  EXPECT_GT(ecmp.edge_load_gbps[static_cast<std::size_t>(ab.value)], 1.0);
+  const auto mcf = McfTe{}.solve(g, demands);
+  EXPECT_NEAR(mcf.edge_load_gbps[static_cast<std::size_t>(ab.value)], 0.0,
+              1e-9);
+}
+
+TEST(Ecmp, ValidAssignmentOnRandomInstances) {
+  for (int seed = 1; seed <= 6; ++seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed));
+    graph::Graph g = sim::waxman(10, rng);
+    sim::GravityParams params;
+    params.total = Gbps{600.0};
+    const TrafficMatrix demands = sim::gravity_matrix(g, params, rng);
+    const auto assignment = EcmpTe{}.solve(g, demands);
+    validate_assignment(g, assignment);
+    EXPECT_GT(assignment.total_routed.value, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rwc::te

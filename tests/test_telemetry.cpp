@@ -1,0 +1,224 @@
+// Tests for SNR trace generation and the Section 2 analyses (deterministic
+// structural cases; fleet-level calibration lives in
+// test_telemetry_calibration.cpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "telemetry/analysis.hpp"
+#include "telemetry/snr_model.hpp"
+#include "util/check.hpp"
+
+namespace rwc::telemetry {
+namespace {
+
+using util::Db;
+using util::Gbps;
+using namespace util::literals;
+
+SnrFleetGenerator::FleetParams small_params() {
+  SnrFleetGenerator::FleetParams params;
+  params.fiber_count = 3;
+  params.wavelengths_per_fiber = 4;
+  params.duration = 30.0 * util::kDay;
+  params.interval = 15.0 * util::kMinute;
+  return params;
+}
+
+TEST(SnrFleet, TraceShapeMatchesParams) {
+  SnrFleetGenerator fleet(small_params(), 42);
+  EXPECT_EQ(fleet.link_count(), 12);
+  const SnrTrace trace = fleet.generate_trace(0, 0);
+  EXPECT_EQ(trace.size(),
+            static_cast<std::size_t>(30.0 * util::kDay /
+                                     (15.0 * util::kMinute)));
+  EXPECT_EQ(trace.interval, 15.0 * util::kMinute);
+  EXPECT_NEAR(trace.duration(), 30.0 * util::kDay, 1.0);
+}
+
+TEST(SnrFleet, DeterministicPerLinkAndSeed) {
+  SnrFleetGenerator a(small_params(), 42);
+  SnrFleetGenerator b(small_params(), 42);
+  const SnrTrace ta = a.generate_trace(1, 2);
+  const SnrTrace tb = b.generate_trace(1, 2);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i)
+    EXPECT_EQ(ta.samples_db[i], tb.samples_db[i]);
+
+  SnrFleetGenerator c(small_params(), 43);
+  const SnrTrace tc = c.generate_trace(1, 2);
+  int equal = 0;
+  for (std::size_t i = 0; i < ta.size(); ++i)
+    if (ta.samples_db[i] == tc.samples_db[i]) ++equal;
+  EXPECT_LT(static_cast<double>(equal), 0.1 * static_cast<double>(ta.size()));
+}
+
+TEST(SnrFleet, FlatIndexMatchesFiberLambda) {
+  SnrFleetGenerator fleet(small_params(), 7);
+  const SnrTrace direct = fleet.generate_trace(2, 3);
+  const SnrTrace flat = fleet.generate_trace(2 * 4 + 3);
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_EQ(direct.samples_db[i], flat.samples_db[i]);
+}
+
+TEST(SnrFleet, SamplesRespectNoiseFloor) {
+  auto params = small_params();
+  params.model.fiber_cut_rate_per_year = 50.0;  // force cuts
+  SnrFleetGenerator fleet(params, 11);
+  for (int link = 0; link < fleet.link_count(); ++link) {
+    const SnrTrace trace = fleet.generate_trace(link);
+    for (float s : trace.samples_db)
+      EXPECT_GE(s, static_cast<float>(params.model.noise_floor.value) - 1e-4f);
+  }
+}
+
+TEST(SnrFleet, FiberPlanSharedAcrossWavelengths) {
+  // A deep fiber-level event must appear in every wavelength of the fiber.
+  auto params = small_params();
+  params.model.fiber_deep_rate_per_year = 20.0;
+  params.model.fiber_shallow_rate_per_year = 0.0;
+  params.model.lambda_shallow_rate_per_year = 0.0;
+  params.model.lambda_deep_rate_per_year = 0.0;
+  params.model.fiber_cut_rate_per_year = 0.0;
+  SnrFleetGenerator fleet(params, 5);
+  const FiberPlan plan = fleet.fiber_plan(0);
+  ASSERT_FALSE(plan.events.empty());
+  // Pick a mid-event sample index for the first long-enough event.
+  const SnrEvent* event = nullptr;
+  for (const SnrEvent& e : plan.events)
+    if (e.duration >= 2.0 * params.interval) {
+      event = &e;
+      break;
+    }
+  ASSERT_NE(event, nullptr);
+  const auto index = static_cast<std::size_t>(
+      (event->start + event->duration / 2) / params.interval);
+  for (int lambda = 0; lambda < params.wavelengths_per_fiber; ++lambda) {
+    const SnrTrace trace = fleet.generate_trace(0, lambda);
+    ASSERT_GT(trace.size(), index);
+    // During a deep dip the SNR must be well below the clear-sky baseline.
+    EXPECT_LT(trace.at(index).value, plan.baseline.value - 3.0);
+  }
+}
+
+TEST(SnrFleet, RejectsOutOfRangeIndices) {
+  SnrFleetGenerator fleet(small_params(), 1);
+  EXPECT_THROW(fleet.generate_trace(3, 0), util::CheckError);
+  EXPECT_THROW(fleet.generate_trace(0, 4), util::CheckError);
+  EXPECT_THROW(fleet.generate_trace(12), util::CheckError);
+  EXPECT_THROW(fleet.fiber_plan(-1), util::CheckError);
+}
+
+TEST(EventKind, Names) {
+  EXPECT_STREQ(to_string(EventKind::kShallowDip), "shallow-dip");
+  EXPECT_STREQ(to_string(EventKind::kDeepDip), "deep-dip");
+  EXPECT_STREQ(to_string(EventKind::kFiberCut), "fiber-cut");
+}
+
+// ---- Analyses on hand-constructed traces --------------------------------
+
+SnrTrace constant_trace(double db, std::size_t n) {
+  SnrTrace trace;
+  trace.samples_db.assign(n, static_cast<float>(db));
+  return trace;
+}
+
+TEST(Analysis, ConstantTraceStats) {
+  const auto table = optical::ModulationTable::standard();
+  const SnrTrace trace = constant_trace(14.0, 1000);
+  const LinkSnrStats stats = analyze_link(trace, table);
+  EXPECT_NEAR(stats.range_db, 0.0, 1e-6);
+  EXPECT_NEAR(stats.hdr_width_db, 0.0, 1e-6);
+  EXPECT_EQ(stats.feasible_capacity, 200_Gbps);
+}
+
+TEST(Analysis, DipWidensRangeNotHdr) {
+  // 2% of samples dip by 10 dB: range sees it, the 95% HDR does not.
+  SnrTrace trace = constant_trace(14.0, 1000);
+  for (std::size_t i = 0; i < 20; ++i) trace.samples_db[i * 50] = 4.0f;
+  const auto table = optical::ModulationTable::standard();
+  const LinkSnrStats stats = analyze_link(trace, table);
+  EXPECT_NEAR(stats.range_db, 10.0, 1e-6);
+  EXPECT_LT(stats.hdr_width_db, 0.5);
+  EXPECT_EQ(stats.feasible_capacity, 200_Gbps);
+}
+
+TEST(Analysis, HdrLowerBoundDrivesFeasibleCapacity) {
+  // Half the samples at 12 dB, half at 14 dB: HDR spans both, so the
+  // feasible capacity must use the 12 dB lower edge -> 175 G (not 200 G).
+  SnrTrace trace;
+  for (int i = 0; i < 500; ++i) {
+    trace.samples_db.push_back(12.0f);
+    trace.samples_db.push_back(14.0f);
+  }
+  const auto table = optical::ModulationTable::standard();
+  const LinkSnrStats stats = analyze_link(trace, table);
+  EXPECT_NEAR(stats.hdr_lower.value, 12.0, 1e-6);
+  EXPECT_EQ(stats.feasible_capacity, 175_Gbps);
+}
+
+TEST(Analysis, FailureEpisodesAreMaximalRuns) {
+  SnrTrace trace = constant_trace(10.0, 100);
+  // Two below-threshold runs: [10,12) and [50,55).
+  for (std::size_t i = 10; i < 12; ++i) trace.samples_db[i] = 5.0f;
+  for (std::size_t i = 50; i < 55; ++i) trace.samples_db[i] = 2.0f;
+  const auto episodes = failure_episodes(trace, 6.5_dB);
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].start_index, 10u);
+  EXPECT_EQ(episodes[0].length, 2u);
+  EXPECT_NEAR(episodes[0].lowest_snr.value, 5.0, 1e-6);
+  EXPECT_EQ(episodes[1].start_index, 50u);
+  EXPECT_EQ(episodes[1].length, 5u);
+  EXPECT_NEAR(episodes[1].lowest_snr.value, 2.0, 1e-6);
+  EXPECT_NEAR(episodes[1].duration(trace), 5.0 * 15.0 * util::kMinute, 1e-6);
+}
+
+TEST(Analysis, EpisodeAtTraceEndIsClosed) {
+  SnrTrace trace = constant_trace(10.0, 20);
+  trace.samples_db[19] = 1.0f;
+  const auto episodes = failure_episodes(trace, 6.5_dB);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].start_index, 19u);
+  EXPECT_EQ(episodes[0].length, 1u);
+}
+
+TEST(Analysis, DowntimeGrowsWithConfiguredCapacity) {
+  // Episode COUNTS are not monotone in the threshold (adjacent dips merge
+  // into one long episode at a higher threshold), but total time below
+  // threshold is.
+  SnrFleetGenerator fleet(small_params(), 21);
+  const auto table = optical::ModulationTable::standard();
+  for (int link = 0; link < fleet.link_count(); ++link) {
+    const SnrTrace trace = fleet.generate_trace(link);
+    std::size_t previous_samples = 0;
+    for (const auto& format : table.formats()) {
+      std::size_t below = 0;
+      for (const auto& episode : failure_episodes(trace, format.min_snr))
+        below += episode.length;
+      EXPECT_GE(below, previous_samples)
+          << "at " << format.name << " on link " << link;
+      previous_samples = below;
+    }
+    const auto counts = failures_per_capacity(trace, table);
+    ASSERT_EQ(counts.size(), table.formats().size());
+  }
+}
+
+TEST(Analysis, FleetReportAggregates) {
+  SnrFleetGenerator fleet(small_params(), 33);
+  const auto table = optical::ModulationTable::standard();
+  const auto report = analyze_fleet(fleet, table, 100_Gbps);
+  ASSERT_EQ(report.range_db.size(), 12u);
+  ASSERT_EQ(report.feasible_gbps.size(), 12u);
+  double expected_total = 0.0;
+  double expected_gain = 0.0;
+  for (double f : report.feasible_gbps) {
+    expected_total += f;
+    expected_gain += std::max(0.0, f - 100.0);
+  }
+  EXPECT_NEAR(report.total_feasible.value, expected_total, 1e-6);
+  EXPECT_NEAR(report.total_gain.value, expected_gain, 1e-6);
+}
+
+}  // namespace
+}  // namespace rwc::telemetry

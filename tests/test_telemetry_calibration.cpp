@@ -1,0 +1,139 @@
+// Fleet-level calibration tests: the synthetic SNR model must reproduce the
+// paper's published population statistics (DESIGN.md section 6) within
+// tolerances. A scaled-down fleet (shorter horizon, fewer fibers) keeps the
+// test fast while preserving the distributional targets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "telemetry/analysis.hpp"
+#include "telemetry/snr_model.hpp"
+#include "util/stats.hpp"
+
+namespace rwc::telemetry {
+namespace {
+
+using util::Gbps;
+using namespace util::literals;
+
+/// 240 links for a full 2.5-year horizon (the statistics that depend on the
+/// observation length — range, failure counts — need the real horizon).
+const SnrFleetGenerator& calibration_fleet() {
+  static const SnrFleetGenerator fleet = [] {
+    SnrFleetGenerator::FleetParams params;
+    params.fiber_count = 6;
+    params.wavelengths_per_fiber = 40;
+    params.duration = 2.5 * 365.0 * util::kDay;
+    params.interval = 15.0 * util::kMinute;
+    return SnrFleetGenerator(params, 20170701);
+  }();
+  return fleet;
+}
+
+const FleetCapacityReport& calibration_report() {
+  static const FleetCapacityReport report = analyze_fleet(
+      calibration_fleet(), optical::ModulationTable::standard(), 100_Gbps);
+  return report;
+}
+
+TEST(Calibration, HdrWidthBelow2DbForAbout83Percent) {
+  const auto& report = calibration_report();
+  const auto narrow = std::count_if(report.hdr_width_db.begin(),
+                                    report.hdr_width_db.end(),
+                                    [](double w) { return w < 2.0; });
+  const double fraction =
+      static_cast<double>(narrow) / report.hdr_width_db.size();
+  // Paper: 83%.
+  EXPECT_NEAR(fraction, 0.83, 0.10);
+}
+
+TEST(Calibration, SnrRangeIsWide) {
+  const auto& report = calibration_report();
+  const auto summary = util::summarize(report.range_db);
+  // Paper: dramatic but infrequent changes; average range near 12 dB.
+  EXPECT_NEAR(summary.mean, 12.0, 4.0);
+  EXPECT_GT(summary.max, summary.mean);
+}
+
+TEST(Calibration, RangeFarExceedsHdrWidth) {
+  const auto& report = calibration_report();
+  const double mean_range = util::summarize(report.range_db).mean;
+  const double mean_hdr = util::summarize(report.hdr_width_db).mean;
+  EXPECT_GT(mean_range, 3.0 * mean_hdr);
+}
+
+TEST(Calibration, MostLinksFeasibleAt175OrMore) {
+  const auto& report = calibration_report();
+  const auto high = std::count_if(report.feasible_gbps.begin(),
+                                  report.feasible_gbps.end(),
+                                  [](double f) { return f >= 175.0; });
+  const double fraction =
+      static_cast<double>(high) / report.feasible_gbps.size();
+  // Paper: 80% of links can run at 175 Gbps or higher.
+  EXPECT_NEAR(fraction, 0.80, 0.12);
+}
+
+TEST(Calibration, AggregateGainScalesTo145TbpsAt2000Links) {
+  const auto& report = calibration_report();
+  const double mean_gain_per_link =
+      report.total_gain.value / static_cast<double>(report.feasible_gbps.size());
+  const double projected_tbps = mean_gain_per_link * 2000.0 / 1000.0;
+  // Paper: 145 Tbps over ~2000 links (i.e. ~72.5 Gbps per link).
+  EXPECT_NEAR(projected_tbps, 145.0, 30.0);
+}
+
+TEST(Calibration, DeepDipsAreRareButPresent) {
+  // Failure episodes at the 100 G threshold must exist but be infrequent
+  // (a handful over 2.5 years for most links).
+  const auto& fleet = calibration_fleet();
+  const auto table = optical::ModulationTable::standard();
+  std::size_t links_with_failures = 0;
+  std::vector<double> counts;
+  for (int link = 0; link < fleet.link_count(); link += 10) {
+    const auto episodes =
+        failure_episodes(fleet.generate_trace(link), 6.5_dB);
+    counts.push_back(static_cast<double>(episodes.size()));
+    if (!episodes.empty()) ++links_with_failures;
+  }
+  EXPECT_GT(links_with_failures, counts.size() / 2);
+  EXPECT_LT(util::summarize(counts).mean, 25.0);
+}
+
+TEST(Calibration, FailureDurationsLastHours) {
+  // Fig. 3b: failure events last several hours on average.
+  const auto& fleet = calibration_fleet();
+  std::vector<double> durations_hours;
+  for (int link = 0; link < fleet.link_count(); link += 5) {
+    const SnrTrace trace = fleet.generate_trace(link);
+    for (const auto& episode : failure_episodes(trace, 6.5_dB))
+      durations_hours.push_back(episode.duration(trace) / util::kHour);
+  }
+  ASSERT_FALSE(durations_hours.empty());
+  const auto summary = util::summarize(durations_hours);
+  EXPECT_GT(summary.mean, 1.0);
+  EXPECT_LT(summary.mean, 24.0);
+}
+
+TEST(Calibration, SomeFailuresRetainUsableSnr) {
+  // Fig. 4c: a meaningful share of 100 G failures keep SNR >= 3 dB.
+  const auto& fleet = calibration_fleet();
+  std::size_t total = 0;
+  std::size_t recoverable = 0;
+  for (int link = 0; link < fleet.link_count(); link += 3) {
+    const SnrTrace trace = fleet.generate_trace(link);
+    for (const auto& episode : failure_episodes(trace, 6.5_dB)) {
+      ++total;
+      if (episode.lowest_snr >= 3.0_dB) ++recoverable;
+    }
+  }
+  ASSERT_GT(total, 20u);
+  const double fraction =
+      static_cast<double>(recoverable) / static_cast<double>(total);
+  // Paper: ~25% (we accept a generous band; the ticket model pins it
+  // tighter in test_tickets.cpp).
+  EXPECT_GT(fraction, 0.08);
+  EXPECT_LT(fraction, 0.55);
+}
+
+}  // namespace
+}  // namespace rwc::telemetry

@@ -1,0 +1,167 @@
+// Tests for the CUSUM SNR anomaly detector, including recall against the
+// generator's ground-truth event plan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "telemetry/detect.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::telemetry {
+namespace {
+
+using util::Db;
+
+SnrTrace synthetic(double baseline, double jitter_sigma, std::size_t n,
+                   std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  SnrTrace trace;
+  trace.samples_db.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    trace.samples_db.push_back(
+        static_cast<float>(baseline + rng.normal(0.0, jitter_sigma)));
+  return trace;
+}
+
+void inject_dip(SnrTrace& trace, std::size_t start, std::size_t length,
+                double depth) {
+  for (std::size_t i = start; i < start + length && i < trace.size(); ++i)
+    trace.samples_db[i] -= static_cast<float>(depth);
+}
+
+TEST(Detector, QuietTraceFiresNothing) {
+  const SnrTrace trace = synthetic(14.0, 0.2, 4000);
+  const auto events = detect_events(trace);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Detector, CatchesASingleDeepDip) {
+  SnrTrace trace = synthetic(14.0, 0.2, 2000);
+  inject_dip(trace, 800, 40, 6.0);
+  const auto events = detect_events(trace);
+  ASSERT_EQ(events.size(), 1u);
+  const DetectedEvent& event = events[0];
+  EXPECT_TRUE(event.downward);
+  // Located within a few samples of the injection.
+  EXPECT_NEAR(static_cast<double>(event.start_index), 800.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(event.end_index), 840.0, 5.0);
+  EXPECT_NEAR(event.deepest.value, 8.0, 1.0);
+}
+
+TEST(Detector, CatchesMultipleSeparatedDips) {
+  SnrTrace trace = synthetic(13.0, 0.25, 6000, 3);
+  inject_dip(trace, 1000, 30, 4.0);
+  inject_dip(trace, 3000, 60, 8.0);
+  inject_dip(trace, 5000, 20, 5.0);
+  const auto events = detect_events(trace);
+  EXPECT_EQ(events.size(), 3u);
+}
+
+TEST(Detector, IgnoresJitterButCatchesShallowSustainedShift) {
+  // A 1.5 dB sustained drop is invisible per sample at sigma 0.3 but must
+  // accumulate into a detection.
+  SnrTrace trace = synthetic(12.0, 0.3, 3000, 7);
+  inject_dip(trace, 1500, 200, 1.5);
+  const auto events = detect_events(trace);
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_TRUE(events[0].downward);
+  EXPECT_NEAR(static_cast<double>(events[0].start_index), 1500.0, 30.0);
+}
+
+TEST(Detector, UpwardShiftDetectedAsNonDip) {
+  SnrTrace trace = synthetic(10.0, 0.2, 2000, 9);
+  for (std::size_t i = 1000; i < 1100; ++i)
+    trace.samples_db[i] += 4.0f;
+  const auto events = detect_events(trace);
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_FALSE(events[0].downward);
+}
+
+TEST(Detector, OpenEpisodeFlushedAtTraceEnd) {
+  SnrTrace trace = synthetic(14.0, 0.2, 1000, 11);
+  inject_dip(trace, 900, 100, 6.0);  // dip runs to the end
+  const auto events = detect_events(trace);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].end_index, trace.size());
+}
+
+TEST(Detector, BaselineAdaptsToSlowDrift) {
+  // A 3 dB drift over 4000 samples is slow enough for the EWMA baseline:
+  // no anomaly should fire.
+  util::Rng rng(13);
+  SnrTrace trace;
+  for (std::size_t i = 0; i < 4000; ++i)
+    trace.samples_db.push_back(static_cast<float>(
+        14.0 - 3.0 * static_cast<double>(i) / 4000.0 +
+        rng.normal(0.0, 0.2)));
+  const auto events = detect_events(trace);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Detector, RecallAgainstGroundTruthFiberEvents) {
+  // Generate a fleet trace and check every long deep ground-truth event is
+  // matched by a detection overlapping it.
+  SnrFleetGenerator::FleetParams params;
+  params.fiber_count = 1;
+  params.wavelengths_per_fiber = 1;
+  params.duration = 365.0 * util::kDay;
+  params.model.fiber_deep_rate_per_year = 10.0;
+  params.model.fiber_shallow_rate_per_year = 0.0;
+  params.model.lambda_shallow_rate_per_year = 0.0;
+  params.model.lambda_deep_rate_per_year = 0.0;
+  params.model.fiber_cut_rate_per_year = 0.0;
+  params.model.noisy_lambda_fraction = 0.0;
+  const SnrFleetGenerator fleet(params, 99);
+  const FiberPlan plan = fleet.fiber_plan(0);
+  const SnrTrace trace = fleet.generate_trace(0, 0);
+  const auto events = detect_events(trace);
+
+  std::size_t matched = 0;
+  std::size_t eligible = 0;
+  for (const SnrEvent& truth : plan.events) {
+    if (truth.duration < 4.0 * trace.interval) continue;  // sub-resolution
+    ++eligible;
+    const auto start =
+        static_cast<std::size_t>(truth.start / trace.interval);
+    const auto end = static_cast<std::size_t>(
+        (truth.start + truth.duration) / trace.interval);
+    for (const DetectedEvent& detection : events) {
+      if (detection.start_index <= end + 2 &&
+          detection.end_index + 2 >= start) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(eligible, 3u);
+  EXPECT_EQ(matched, eligible) << "missed ground-truth deep dips";
+}
+
+TEST(Detector, StreamingInterfaceStateIsConsistent) {
+  SnrAnomalyDetector detector;
+  EXPECT_FALSE(detector.in_anomaly());
+  for (int i = 0; i < 100; ++i) detector.add(Db{14.0});
+  EXPECT_FALSE(detector.in_anomaly());
+  EXPECT_NEAR(detector.baseline().value, 14.0, 1e-9);
+  for (int i = 0; i < 10; ++i) detector.add(Db{6.0});
+  EXPECT_TRUE(detector.in_anomaly());
+  // Recovery ends the episode.
+  std::optional<DetectedEvent> completed;
+  for (int i = 0; i < 5 && !completed; ++i) completed = detector.add(Db{14.0});
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_FALSE(detector.in_anomaly());
+  EXPECT_NEAR(completed->deepest.value, 6.0, 1e-6);
+}
+
+TEST(Detector, ValidatesParams) {
+  EXPECT_THROW(SnrAnomalyDetector(DetectorParams{-1.0, 3.0, 0.1}),
+               util::CheckError);
+  EXPECT_THROW(SnrAnomalyDetector(DetectorParams{0.5, 0.0, 0.1}),
+               util::CheckError);
+  EXPECT_THROW(SnrAnomalyDetector(DetectorParams{0.5, 3.0, 0.0}),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace rwc::telemetry

@@ -1,0 +1,157 @@
+// Tests for the failure-ticket generator and the Fig. 4 analyses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tickets/analysis.hpp"
+#include "tickets/generator.hpp"
+#include "util/stats.hpp"
+
+namespace rwc::tickets {
+namespace {
+
+using util::Db;
+using namespace util::literals;
+
+const std::vector<FailureTicket>& default_tickets() {
+  static const std::vector<FailureTicket> tickets =
+      generate_tickets(TicketModelParams{}, 20171130);
+  return tickets;
+}
+
+TEST(Tickets, GeneratesRequestedCountSorted) {
+  const auto& tickets = default_tickets();
+  EXPECT_EQ(tickets.size(), 250u);
+  for (std::size_t i = 1; i < tickets.size(); ++i)
+    EXPECT_LE(tickets[i - 1].opened_at, tickets[i].opened_at);
+  for (const auto& t : tickets) {
+    EXPECT_GE(t.opened_at, 0.0);
+    EXPECT_LE(t.opened_at, TicketModelParams{}.observation_window);
+    EXPECT_GT(t.outage_duration, 0.0);
+    EXPECT_GE(t.lowest_snr.value, 0.0);
+    EXPECT_FALSE(t.affected_link.empty());
+  }
+}
+
+TEST(Tickets, DeterministicForSeed) {
+  const auto a = generate_tickets(TicketModelParams{}, 7);
+  const auto b = generate_tickets(TicketModelParams{}, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cause, b[i].cause);
+    EXPECT_EQ(a[i].outage_duration, b[i].outage_duration);
+    EXPECT_EQ(a[i].lowest_snr, b[i].lowest_snr);
+  }
+}
+
+TEST(Tickets, EventSharesMatchPaperFig4b) {
+  // Use a larger population for tighter statistics.
+  TicketModelParams params;
+  params.event_count = 5000;
+  const auto tickets = generate_tickets(params, 99);
+  const auto breakdown = breakdown_by_cause(tickets);
+  EXPECT_NEAR(breakdown.event_share(RootCause::kMaintenanceCoincident), 0.25,
+              0.03);
+  EXPECT_NEAR(breakdown.event_share(RootCause::kFiberCut), 0.05, 0.015);
+  EXPECT_NEAR(breakdown.event_share(RootCause::kHardwareFailure), 0.30, 0.03);
+  EXPECT_NEAR(breakdown.event_share(RootCause::kHumanError), 0.15, 0.03);
+  EXPECT_NEAR(breakdown.event_share(RootCause::kUndocumented), 0.25, 0.03);
+}
+
+TEST(Tickets, DurationSharesMatchPaperFig4a) {
+  TicketModelParams params;
+  params.event_count = 5000;
+  const auto tickets = generate_tickets(params, 99);
+  const auto breakdown = breakdown_by_cause(tickets);
+  // Paper: ~20% of outage time from maintenance-coincident events, ~10%
+  // from fiber cuts (cuts are few but long).
+  EXPECT_NEAR(breakdown.duration_share(RootCause::kMaintenanceCoincident),
+              0.20, 0.05);
+  EXPECT_NEAR(breakdown.duration_share(RootCause::kFiberCut), 0.10, 0.04);
+  // Cut events are disproportionately long.
+  EXPECT_GT(breakdown.duration_share(RootCause::kFiberCut),
+            breakdown.event_share(RootCause::kFiberCut));
+}
+
+TEST(Tickets, BreakdownTotalsConsistent) {
+  const auto& tickets = default_tickets();
+  const auto breakdown = breakdown_by_cause(tickets);
+  std::size_t events = 0;
+  double hours = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    events += breakdown.event_count[i];
+    hours += breakdown.total_duration_hours[i];
+  }
+  EXPECT_EQ(events, tickets.size());
+  EXPECT_NEAR(hours, breakdown.total_duration, 1e-9);
+  double share = 0.0;
+  for (RootCause cause : kAllRootCauses) share += breakdown.event_share(cause);
+  EXPECT_NEAR(share, 1.0, 1e-9);
+}
+
+TEST(Tickets, OpportunityMatchesPaperSection22) {
+  TicketModelParams params;
+  params.event_count = 5000;
+  const auto tickets = generate_tickets(params, 1234);
+  const auto report =
+      opportunity_report(tickets, optical::ModulationTable::standard());
+  // Paper: over 90% of failure events are not fiber cuts.
+  EXPECT_GT(report.non_cut_event_fraction, 0.90);
+  // Paper: ~25% of failures keep SNR >= 3 dB (recoverable at 50 Gbps).
+  EXPECT_NEAR(report.recoverable_event_fraction, 0.25, 0.05);
+  EXPECT_GT(report.recoverable_outage_hours, 0.0);
+  EXPECT_EQ(report.lowest_snr_db.size(), tickets.size());
+}
+
+TEST(Tickets, FiberCutsReadNoiseFloor) {
+  const auto& tickets = default_tickets();
+  for (const auto& t : tickets) {
+    if (t.cause == RootCause::kFiberCut) {
+      EXPECT_LT(t.lowest_snr.value, 1.0);
+    }
+  }
+}
+
+TEST(Tickets, RecoverableSnrStaysBelow100GThreshold) {
+  // Every ticket is a *failure* at 100 G, so the lowest SNR must be below
+  // the 6.5 dB threshold.
+  for (const auto& t : default_tickets())
+    EXPECT_LT(t.lowest_snr.value, 6.5);
+}
+
+TEST(Analysis, HandBuiltTicketsExactShares) {
+  std::vector<FailureTicket> tickets(4);
+  tickets[0].cause = RootCause::kFiberCut;
+  tickets[0].outage_duration = 10.0 * util::kHour;
+  tickets[1].cause = RootCause::kHumanError;
+  tickets[1].outage_duration = 5.0 * util::kHour;
+  tickets[2].cause = RootCause::kHumanError;
+  tickets[2].outage_duration = 3.0 * util::kHour;
+  tickets[3].cause = RootCause::kUndocumented;
+  tickets[3].outage_duration = 2.0 * util::kHour;
+  const auto breakdown = breakdown_by_cause(tickets);
+  EXPECT_DOUBLE_EQ(breakdown.event_share(RootCause::kHumanError), 0.5);
+  EXPECT_DOUBLE_EQ(breakdown.duration_share(RootCause::kFiberCut), 0.5);
+  EXPECT_DOUBLE_EQ(breakdown.event_share(RootCause::kHardwareFailure), 0.0);
+}
+
+TEST(Analysis, EmptyTicketLog) {
+  const auto breakdown = breakdown_by_cause({});
+  EXPECT_EQ(breakdown.total_events, 0u);
+  EXPECT_DOUBLE_EQ(breakdown.event_share(RootCause::kFiberCut), 0.0);
+  const auto report =
+      opportunity_report({}, optical::ModulationTable::standard());
+  EXPECT_DOUBLE_EQ(report.recoverable_event_fraction, 0.0);
+}
+
+TEST(RootCause, Names) {
+  EXPECT_STREQ(to_string(RootCause::kMaintenanceCoincident),
+               "maintenance-coincident");
+  EXPECT_STREQ(to_string(RootCause::kFiberCut), "fiber-cut");
+  EXPECT_STREQ(to_string(RootCause::kHardwareFailure), "hardware-failure");
+  EXPECT_STREQ(to_string(RootCause::kHumanError), "human-error");
+  EXPECT_STREQ(to_string(RootCause::kUndocumented), "undocumented");
+}
+
+}  // namespace
+}  // namespace rwc::tickets

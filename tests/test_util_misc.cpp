@@ -1,0 +1,117 @@
+// Tests for units, contract macros, text tables and ASCII plots.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ascii_plot.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace rwc::util {
+namespace {
+
+using namespace util::literals;
+
+TEST(Units, DbArithmeticAndComparison) {
+  const Db a{3.0};
+  const Db b{4.5};
+  EXPECT_EQ((a + b).value, 7.5);
+  EXPECT_EQ((b - a).value, 1.5);
+  EXPECT_LT(a, b);
+  EXPECT_EQ((2.0 * a).value, 6.0);
+  EXPECT_EQ((-a).value, -3.0);
+}
+
+TEST(Units, DbLinearRoundTrip) {
+  for (double v : {-10.0, 0.0, 3.0, 6.5, 13.0}) {
+    const double linear = db_to_linear(Db{v});
+    EXPECT_NEAR(linear_to_db(linear).value, v, 1e-9);
+  }
+  EXPECT_NEAR(db_to_linear(Db{10.0}), 10.0, 1e-9);
+  EXPECT_NEAR(db_to_linear(Db{3.0}), 1.9952623, 1e-6);
+}
+
+TEST(Units, LinearToDbRejectsNonPositive) {
+  EXPECT_THROW(linear_to_db(0.0), CheckError);
+  EXPECT_THROW(linear_to_db(-1.0), CheckError);
+}
+
+TEST(Units, GbpsLiteralsAndStreaming) {
+  const Gbps g = 100_Gbps;
+  EXPECT_EQ(g.value, 100.0);
+  EXPECT_EQ((12.5_dB).value, 12.5);
+  std::ostringstream os;
+  os << g << " / " << 6.5_dB;
+  EXPECT_EQ(os.str(), "100 Gbps / 6.5 dB");
+}
+
+TEST(Check, MacrosThrowWithContext) {
+  try {
+    RWC_CHECK_MSG(1 == 2, "math broke");
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+  }
+  EXPECT_THROW(RWC_EXPECTS(false), CheckError);
+  EXPECT_THROW(RWC_ENSURES(false), CheckError);
+  EXPECT_NO_THROW(RWC_CHECK(true));
+}
+
+TEST(TextTable, AlignmentAndCsv) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22.5"});
+  EXPECT_EQ(table.rows(), 2u);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(table.to_csv(), "name,value\nalpha,1\nb,22.5\n");
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), CheckError);
+}
+
+TEST(Format, DoubleAndPercent) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_percent(0.825, 1), "82.5%");
+}
+
+TEST(AsciiPlot, CdfPlotRendersAllSeries) {
+  EmpiricalCdf a({1.0, 2.0, 3.0});
+  EmpiricalCdf b({2.0, 4.0, 8.0});
+  const std::vector<std::pair<std::string, const EmpiricalCdf*>> series = {
+      {"first", &a}, {"second", &b}};
+  const std::string plot = plot_cdfs(series, 40, 10, "value");
+  EXPECT_NE(plot.find("first"), std::string::npos);
+  EXPECT_NE(plot.find("second"), std::string::npos);
+  EXPECT_NE(plot.find("CDF"), std::string::npos);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, SeriesPlotHasAxes) {
+  const std::vector<double> values = {1.0, 5.0, 2.0, 8.0, 3.0};
+  const std::string plot = plot_series(values, 30, 8, "t", "y");
+  EXPECT_NE(plot.find('|'), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, CanvasClampsOutOfRangePoints) {
+  PlotCanvas canvas(20, 10, 0.0, 1.0, 0.0, 1.0);
+  canvas.point(5.0, 5.0);   // silently dropped
+  canvas.point(0.5, 0.5);
+  const std::string out = canvas.render("x", "y");
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rwc::util

@@ -1,0 +1,115 @@
+// Tests for the P-square streaming quantile estimator and Welford summary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/p2_quantile.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rwc::util {
+namespace {
+
+TEST(P2Quantile, ExactOnSmallPrefix) {
+  P2Quantile median(0.5);
+  median.add(3.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(1.0);
+  EXPECT_DOUBLE_EQ(median.value(), 2.0);
+  median.add(5.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+}
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile q(0.9);
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+  EXPECT_EQ(q.count(), 0u);
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantiles) {
+  EXPECT_THROW(P2Quantile(0.0), CheckError);
+  EXPECT_THROW(P2Quantile(1.0), CheckError);
+}
+
+class P2AccuracySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2AccuracySweep, TracksExactQuantileOnNormalData) {
+  const double p = GetParam();
+  Rng rng(42);
+  P2Quantile estimator(p);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    estimator.add(v);
+    samples.push_back(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double exact = percentile_sorted(samples, p);
+  EXPECT_NEAR(estimator.value(), exact, 0.1) << "quantile " << p;
+  EXPECT_EQ(estimator.count(), samples.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2AccuracySweep,
+                         ::testing::Values(0.025, 0.1, 0.5, 0.9, 0.975));
+
+TEST(P2Quantile, HandlesSkewedData) {
+  Rng rng(7);
+  P2Quantile q95(0.95);
+  std::vector<double> samples;
+  for (int i = 0; i < 30000; ++i) {
+    const double v = rng.lognormal(0.0, 1.0);
+    q95.add(v);
+    samples.push_back(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double exact = percentile_sorted(samples, 0.95);
+  EXPECT_NEAR(q95.value() / exact, 1.0, 0.08);
+}
+
+TEST(P2Quantile, MonotoneQuantilesStayOrdered) {
+  Rng rng(9);
+  P2Quantile lo(0.1);
+  P2Quantile mid(0.5);
+  P2Quantile hi(0.9);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(0.0, 100.0);
+    lo.add(v);
+    mid.add(v);
+    hi.add(v);
+  }
+  EXPECT_LT(lo.value(), mid.value());
+  EXPECT_LT(mid.value(), hi.value());
+}
+
+TEST(StreamingSummary, MatchesBatchSummary) {
+  Rng rng(11);
+  StreamingSummary streaming;
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.normal(-3.0, 7.0);
+    streaming.add(v);
+    samples.push_back(v);
+  }
+  const Summary batch = summarize(samples);
+  EXPECT_EQ(streaming.count(), batch.count);
+  EXPECT_NEAR(streaming.mean(), batch.mean, 1e-9);
+  EXPECT_NEAR(streaming.stddev(), batch.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(streaming.min(), batch.min);
+  EXPECT_DOUBLE_EQ(streaming.max(), batch.max);
+}
+
+TEST(StreamingSummary, EmptyAndSingle) {
+  StreamingSummary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace rwc::util

@@ -1,0 +1,199 @@
+// Unit and property tests for the deterministic RNG and its distribution
+// transforms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace rwc::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 9.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 9.25);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValuesInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(rng.uniform_int(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(3, 2), CheckError);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.normal(2.0, 3.0));
+  const Summary s = summarize(samples);
+  EXPECT_NEAR(s.mean, 2.0, 0.05);
+  EXPECT_NEAR(s.stddev, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMoments) {
+  Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.exponential(4.0));
+  const Summary s = summarize(samples);
+  EXPECT_NEAR(s.mean, 4.0, 0.1);
+  EXPECT_GE(s.min, 0.0);
+}
+
+TEST(Rng, LognormalFromMomentsMatchesRequestedMoments) {
+  Rng rng(19);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i)
+    samples.push_back(rng.lognormal_from_moments(10.0, 3.0));
+  const Summary s = summarize(samples);
+  EXPECT_NEAR(s.mean, 10.0, 0.15);
+  EXPECT_NEAR(s.stddev, 3.0, 0.2);
+  EXPECT_GT(s.min, 0.0);
+}
+
+TEST(Rng, PoissonMeanAndNonNegative) {
+  Rng rng(23);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i)
+    samples.push_back(static_cast<double>(rng.poisson(3.5)));
+  const Summary s = summarize(samples);
+  EXPECT_NEAR(s.mean, 3.5, 0.1);
+  EXPECT_GE(s.min, 0.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsAlwaysZero) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, PickWeightedHonorsWeights) {
+  Rng rng(37);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.pick_weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(Rng, PickWeightedRejectsAllZero) {
+  Rng rng(37);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.pick_weighted(weights), CheckError);
+}
+
+TEST(Rng, ForkStreamsAreDecorrelatedAndDeterministic) {
+  Rng base(99);
+  Rng child1 = base.fork(1);
+  Rng child2 = base.fork(2);
+  Rng child1_again = Rng(99).fork(1);
+  int equal12 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = child1.next_u64();
+    const auto b = child2.next_u64();
+    EXPECT_EQ(a, child1_again.next_u64());
+    if (a == b) ++equal12;
+  }
+  EXPECT_LT(equal12, 3);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.fork(7);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+// Property sweep: distribution sanity across seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanNearHalf) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, NormalSymmetry) {
+  Rng rng(GetParam());
+  int positive = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.normal(0.0, 1.0) > 0.0) ++positive;
+  EXPECT_NEAR(static_cast<double>(positive) / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1u, 2u, 42u, 1234567u,
+                                           0xDEADBEEFu));
+
+}  // namespace
+}  // namespace rwc::util
