@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_snr_timeseries.dir/fig1_snr_timeseries.cpp.o"
+  "CMakeFiles/fig1_snr_timeseries.dir/fig1_snr_timeseries.cpp.o.d"
+  "fig1_snr_timeseries"
+  "fig1_snr_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_snr_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_snr_variation.dir/fig2a_snr_variation.cpp.o"
+  "CMakeFiles/fig2a_snr_variation.dir/fig2a_snr_variation.cpp.o.d"
+  "fig2a_snr_variation"
+  "fig2a_snr_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_snr_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

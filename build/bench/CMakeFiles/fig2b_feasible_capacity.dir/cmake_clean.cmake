@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_feasible_capacity.dir/fig2b_feasible_capacity.cpp.o"
+  "CMakeFiles/fig2b_feasible_capacity.dir/fig2b_feasible_capacity.cpp.o.d"
+  "fig2b_feasible_capacity"
+  "fig2b_feasible_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_feasible_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

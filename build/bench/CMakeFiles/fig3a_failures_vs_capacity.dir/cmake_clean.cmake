@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_failures_vs_capacity.dir/fig3a_failures_vs_capacity.cpp.o"
+  "CMakeFiles/fig3a_failures_vs_capacity.dir/fig3a_failures_vs_capacity.cpp.o.d"
+  "fig3a_failures_vs_capacity"
+  "fig3a_failures_vs_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_failures_vs_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_failure_durations.dir/fig3b_failure_durations.cpp.o"
+  "CMakeFiles/fig3b_failure_durations.dir/fig3b_failure_durations.cpp.o.d"
+  "fig3b_failure_durations"
+  "fig3b_failure_durations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_failure_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

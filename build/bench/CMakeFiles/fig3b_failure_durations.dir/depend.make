@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3b_failure_durations.
+# This may be replaced when dependencies are built.

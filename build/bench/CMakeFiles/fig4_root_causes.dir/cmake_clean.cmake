@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_root_causes.dir/fig4_root_causes.cpp.o"
+  "CMakeFiles/fig4_root_causes.dir/fig4_root_causes.cpp.o.d"
+  "fig4_root_causes"
+  "fig4_root_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_root_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

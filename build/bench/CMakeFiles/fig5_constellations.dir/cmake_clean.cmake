@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_constellations.dir/fig5_constellations.cpp.o"
+  "CMakeFiles/fig5_constellations.dir/fig5_constellations.cpp.o.d"
+  "fig5_constellations"
+  "fig5_constellations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_constellations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

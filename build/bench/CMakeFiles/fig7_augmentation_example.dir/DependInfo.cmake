@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_augmentation_example.cpp" "bench/CMakeFiles/fig7_augmentation_example.dir/fig7_augmentation_example.cpp.o" "gcc" "bench/CMakeFiles/fig7_augmentation_example.dir/fig7_augmentation_example.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rwc_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_tickets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_bvt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_augmentation_example.dir/fig7_augmentation_example.cpp.o"
+  "CMakeFiles/fig7_augmentation_example.dir/fig7_augmentation_example.cpp.o.d"
+  "fig7_augmentation_example"
+  "fig7_augmentation_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_augmentation_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

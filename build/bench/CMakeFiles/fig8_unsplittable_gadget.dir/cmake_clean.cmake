@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_unsplittable_gadget.dir/fig8_unsplittable_gadget.cpp.o"
+  "CMakeFiles/fig8_unsplittable_gadget.dir/fig8_unsplittable_gadget.cpp.o.d"
+  "fig8_unsplittable_gadget"
+  "fig8_unsplittable_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_unsplittable_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_availability_gain.dir/sim_availability_gain.cpp.o"
+  "CMakeFiles/sim_availability_gain.dir/sim_availability_gain.cpp.o.d"
+  "sim_availability_gain"
+  "sim_availability_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_availability_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_reconfig_downtime.dir/sim_reconfig_downtime.cpp.o"
+  "CMakeFiles/sim_reconfig_downtime.dir/sim_reconfig_downtime.cpp.o.d"
+  "sim_reconfig_downtime"
+  "sim_reconfig_downtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_reconfig_downtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

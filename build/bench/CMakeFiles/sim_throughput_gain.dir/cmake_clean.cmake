@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_throughput_gain.dir/sim_throughput_gain.cpp.o"
+  "CMakeFiles/sim_throughput_gain.dir/sim_throughput_gain.cpp.o.d"
+  "sim_throughput_gain"
+  "sim_throughput_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_throughput_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

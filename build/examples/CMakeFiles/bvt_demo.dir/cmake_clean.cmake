@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bvt_demo.dir/bvt_demo.cpp.o"
+  "CMakeFiles/bvt_demo.dir/bvt_demo.cpp.o.d"
+  "bvt_demo"
+  "bvt_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bvt_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

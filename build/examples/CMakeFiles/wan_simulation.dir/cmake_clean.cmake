@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_simulation.dir/wan_simulation.cpp.o"
+  "CMakeFiles/wan_simulation.dir/wan_simulation.cpp.o.d"
+  "wan_simulation"
+  "wan_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

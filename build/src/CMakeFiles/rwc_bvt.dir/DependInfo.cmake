@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bvt/constellation.cpp" "src/CMakeFiles/rwc_bvt.dir/bvt/constellation.cpp.o" "gcc" "src/CMakeFiles/rwc_bvt.dir/bvt/constellation.cpp.o.d"
+  "/root/repo/src/bvt/device.cpp" "src/CMakeFiles/rwc_bvt.dir/bvt/device.cpp.o" "gcc" "src/CMakeFiles/rwc_bvt.dir/bvt/device.cpp.o.d"
+  "/root/repo/src/bvt/latency.cpp" "src/CMakeFiles/rwc_bvt.dir/bvt/latency.cpp.o" "gcc" "src/CMakeFiles/rwc_bvt.dir/bvt/latency.cpp.o.d"
+  "/root/repo/src/bvt/version.cpp" "src/CMakeFiles/rwc_bvt.dir/bvt/version.cpp.o" "gcc" "src/CMakeFiles/rwc_bvt.dir/bvt/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rwc_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+src/CMakeFiles/rwc_bvt.dir/bvt/version.cpp.o: \
+ /root/repo/src/bvt/version.cpp /usr/include/stdc-predef.h

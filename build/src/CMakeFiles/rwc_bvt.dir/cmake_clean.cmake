@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwc_bvt.dir/bvt/constellation.cpp.o"
+  "CMakeFiles/rwc_bvt.dir/bvt/constellation.cpp.o.d"
+  "CMakeFiles/rwc_bvt.dir/bvt/device.cpp.o"
+  "CMakeFiles/rwc_bvt.dir/bvt/device.cpp.o.d"
+  "CMakeFiles/rwc_bvt.dir/bvt/latency.cpp.o"
+  "CMakeFiles/rwc_bvt.dir/bvt/latency.cpp.o.d"
+  "CMakeFiles/rwc_bvt.dir/bvt/version.cpp.o"
+  "CMakeFiles/rwc_bvt.dir/bvt/version.cpp.o.d"
+  "librwc_bvt.a"
+  "librwc_bvt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwc_bvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/augment.cpp" "src/CMakeFiles/rwc_core.dir/core/augment.cpp.o" "gcc" "src/CMakeFiles/rwc_core.dir/core/augment.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/CMakeFiles/rwc_core.dir/core/controller.cpp.o" "gcc" "src/CMakeFiles/rwc_core.dir/core/controller.cpp.o.d"
+  "/root/repo/src/core/fixed_charge.cpp" "src/CMakeFiles/rwc_core.dir/core/fixed_charge.cpp.o" "gcc" "src/CMakeFiles/rwc_core.dir/core/fixed_charge.cpp.o.d"
+  "/root/repo/src/core/hysteresis.cpp" "src/CMakeFiles/rwc_core.dir/core/hysteresis.cpp.o" "gcc" "src/CMakeFiles/rwc_core.dir/core/hysteresis.cpp.o.d"
+  "/root/repo/src/core/orchestrator.cpp" "src/CMakeFiles/rwc_core.dir/core/orchestrator.cpp.o" "gcc" "src/CMakeFiles/rwc_core.dir/core/orchestrator.cpp.o.d"
+  "/root/repo/src/core/penalty.cpp" "src/CMakeFiles/rwc_core.dir/core/penalty.cpp.o" "gcc" "src/CMakeFiles/rwc_core.dir/core/penalty.cpp.o.d"
+  "/root/repo/src/core/translate.cpp" "src/CMakeFiles/rwc_core.dir/core/translate.cpp.o" "gcc" "src/CMakeFiles/rwc_core.dir/core/translate.cpp.o.d"
+  "/root/repo/src/core/version.cpp" "src/CMakeFiles/rwc_core.dir/core/version.cpp.o" "gcc" "src/CMakeFiles/rwc_core.dir/core/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rwc_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_bvt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

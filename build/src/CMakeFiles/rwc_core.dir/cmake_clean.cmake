@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwc_core.dir/core/augment.cpp.o"
+  "CMakeFiles/rwc_core.dir/core/augment.cpp.o.d"
+  "CMakeFiles/rwc_core.dir/core/controller.cpp.o"
+  "CMakeFiles/rwc_core.dir/core/controller.cpp.o.d"
+  "CMakeFiles/rwc_core.dir/core/fixed_charge.cpp.o"
+  "CMakeFiles/rwc_core.dir/core/fixed_charge.cpp.o.d"
+  "CMakeFiles/rwc_core.dir/core/hysteresis.cpp.o"
+  "CMakeFiles/rwc_core.dir/core/hysteresis.cpp.o.d"
+  "CMakeFiles/rwc_core.dir/core/orchestrator.cpp.o"
+  "CMakeFiles/rwc_core.dir/core/orchestrator.cpp.o.d"
+  "CMakeFiles/rwc_core.dir/core/penalty.cpp.o"
+  "CMakeFiles/rwc_core.dir/core/penalty.cpp.o.d"
+  "CMakeFiles/rwc_core.dir/core/translate.cpp.o"
+  "CMakeFiles/rwc_core.dir/core/translate.cpp.o.d"
+  "CMakeFiles/rwc_core.dir/core/version.cpp.o"
+  "CMakeFiles/rwc_core.dir/core/version.cpp.o.d"
+  "librwc_core.a"
+  "librwc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

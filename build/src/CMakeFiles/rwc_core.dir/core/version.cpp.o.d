@@ -1,0 +1,2 @@
+src/CMakeFiles/rwc_core.dir/core/version.cpp.o: \
+ /root/repo/src/core/version.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/cycle_cancel.cpp" "src/CMakeFiles/rwc_flow.dir/flow/cycle_cancel.cpp.o" "gcc" "src/CMakeFiles/rwc_flow.dir/flow/cycle_cancel.cpp.o.d"
+  "/root/repo/src/flow/decompose.cpp" "src/CMakeFiles/rwc_flow.dir/flow/decompose.cpp.o" "gcc" "src/CMakeFiles/rwc_flow.dir/flow/decompose.cpp.o.d"
+  "/root/repo/src/flow/disjoint.cpp" "src/CMakeFiles/rwc_flow.dir/flow/disjoint.cpp.o" "gcc" "src/CMakeFiles/rwc_flow.dir/flow/disjoint.cpp.o.d"
+  "/root/repo/src/flow/graph_adapter.cpp" "src/CMakeFiles/rwc_flow.dir/flow/graph_adapter.cpp.o" "gcc" "src/CMakeFiles/rwc_flow.dir/flow/graph_adapter.cpp.o.d"
+  "/root/repo/src/flow/maxflow.cpp" "src/CMakeFiles/rwc_flow.dir/flow/maxflow.cpp.o" "gcc" "src/CMakeFiles/rwc_flow.dir/flow/maxflow.cpp.o.d"
+  "/root/repo/src/flow/mincost.cpp" "src/CMakeFiles/rwc_flow.dir/flow/mincost.cpp.o" "gcc" "src/CMakeFiles/rwc_flow.dir/flow/mincost.cpp.o.d"
+  "/root/repo/src/flow/network.cpp" "src/CMakeFiles/rwc_flow.dir/flow/network.cpp.o" "gcc" "src/CMakeFiles/rwc_flow.dir/flow/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwc_flow.dir/flow/cycle_cancel.cpp.o"
+  "CMakeFiles/rwc_flow.dir/flow/cycle_cancel.cpp.o.d"
+  "CMakeFiles/rwc_flow.dir/flow/decompose.cpp.o"
+  "CMakeFiles/rwc_flow.dir/flow/decompose.cpp.o.d"
+  "CMakeFiles/rwc_flow.dir/flow/disjoint.cpp.o"
+  "CMakeFiles/rwc_flow.dir/flow/disjoint.cpp.o.d"
+  "CMakeFiles/rwc_flow.dir/flow/graph_adapter.cpp.o"
+  "CMakeFiles/rwc_flow.dir/flow/graph_adapter.cpp.o.d"
+  "CMakeFiles/rwc_flow.dir/flow/maxflow.cpp.o"
+  "CMakeFiles/rwc_flow.dir/flow/maxflow.cpp.o.d"
+  "CMakeFiles/rwc_flow.dir/flow/mincost.cpp.o"
+  "CMakeFiles/rwc_flow.dir/flow/mincost.cpp.o.d"
+  "CMakeFiles/rwc_flow.dir/flow/network.cpp.o"
+  "CMakeFiles/rwc_flow.dir/flow/network.cpp.o.d"
+  "librwc_flow.a"
+  "librwc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

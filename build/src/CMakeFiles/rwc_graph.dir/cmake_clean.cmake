@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwc_graph.dir/graph/connectivity.cpp.o"
+  "CMakeFiles/rwc_graph.dir/graph/connectivity.cpp.o.d"
+  "CMakeFiles/rwc_graph.dir/graph/dijkstra.cpp.o"
+  "CMakeFiles/rwc_graph.dir/graph/dijkstra.cpp.o.d"
+  "CMakeFiles/rwc_graph.dir/graph/dot.cpp.o"
+  "CMakeFiles/rwc_graph.dir/graph/dot.cpp.o.d"
+  "CMakeFiles/rwc_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/rwc_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/rwc_graph.dir/graph/ksp.cpp.o"
+  "CMakeFiles/rwc_graph.dir/graph/ksp.cpp.o.d"
+  "librwc_graph.a"
+  "librwc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

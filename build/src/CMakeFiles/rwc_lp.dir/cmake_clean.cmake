@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwc_lp.dir/lp/simplex.cpp.o"
+  "CMakeFiles/rwc_lp.dir/lp/simplex.cpp.o.d"
+  "librwc_lp.a"
+  "librwc_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwc_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mgmt/config_model.cpp" "src/CMakeFiles/rwc_mgmt.dir/mgmt/config_model.cpp.o" "gcc" "src/CMakeFiles/rwc_mgmt.dir/mgmt/config_model.cpp.o.d"
+  "/root/repo/src/mgmt/mib.cpp" "src/CMakeFiles/rwc_mgmt.dir/mgmt/mib.cpp.o" "gcc" "src/CMakeFiles/rwc_mgmt.dir/mgmt/mib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rwc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_bvt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwc_mgmt.dir/mgmt/config_model.cpp.o"
+  "CMakeFiles/rwc_mgmt.dir/mgmt/config_model.cpp.o.d"
+  "CMakeFiles/rwc_mgmt.dir/mgmt/mib.cpp.o"
+  "CMakeFiles/rwc_mgmt.dir/mgmt/mib.cpp.o.d"
+  "librwc_mgmt.a"
+  "librwc_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwc_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optical/ber.cpp" "src/CMakeFiles/rwc_optical.dir/optical/ber.cpp.o" "gcc" "src/CMakeFiles/rwc_optical.dir/optical/ber.cpp.o.d"
+  "/root/repo/src/optical/link_budget.cpp" "src/CMakeFiles/rwc_optical.dir/optical/link_budget.cpp.o" "gcc" "src/CMakeFiles/rwc_optical.dir/optical/link_budget.cpp.o.d"
+  "/root/repo/src/optical/modulation.cpp" "src/CMakeFiles/rwc_optical.dir/optical/modulation.cpp.o" "gcc" "src/CMakeFiles/rwc_optical.dir/optical/modulation.cpp.o.d"
+  "/root/repo/src/optical/q_factor.cpp" "src/CMakeFiles/rwc_optical.dir/optical/q_factor.cpp.o" "gcc" "src/CMakeFiles/rwc_optical.dir/optical/q_factor.cpp.o.d"
+  "/root/repo/src/optical/version.cpp" "src/CMakeFiles/rwc_optical.dir/optical/version.cpp.o" "gcc" "src/CMakeFiles/rwc_optical.dir/optical/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwc_optical.dir/optical/ber.cpp.o"
+  "CMakeFiles/rwc_optical.dir/optical/ber.cpp.o.d"
+  "CMakeFiles/rwc_optical.dir/optical/link_budget.cpp.o"
+  "CMakeFiles/rwc_optical.dir/optical/link_budget.cpp.o.d"
+  "CMakeFiles/rwc_optical.dir/optical/modulation.cpp.o"
+  "CMakeFiles/rwc_optical.dir/optical/modulation.cpp.o.d"
+  "CMakeFiles/rwc_optical.dir/optical/q_factor.cpp.o"
+  "CMakeFiles/rwc_optical.dir/optical/q_factor.cpp.o.d"
+  "CMakeFiles/rwc_optical.dir/optical/version.cpp.o"
+  "CMakeFiles/rwc_optical.dir/optical/version.cpp.o.d"
+  "librwc_optical.a"
+  "librwc_optical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwc_optical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librwc_optical.a"
+)

@@ -1,0 +1,2 @@
+src/CMakeFiles/rwc_optical.dir/optical/version.cpp.o: \
+ /root/repo/src/optical/version.cpp /usr/include/stdc-predef.h

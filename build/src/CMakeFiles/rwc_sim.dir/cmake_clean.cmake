@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwc_sim.dir/sim/event.cpp.o"
+  "CMakeFiles/rwc_sim.dir/sim/event.cpp.o.d"
+  "CMakeFiles/rwc_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/rwc_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/rwc_sim.dir/sim/topology.cpp.o"
+  "CMakeFiles/rwc_sim.dir/sim/topology.cpp.o.d"
+  "CMakeFiles/rwc_sim.dir/sim/version.cpp.o"
+  "CMakeFiles/rwc_sim.dir/sim/version.cpp.o.d"
+  "CMakeFiles/rwc_sim.dir/sim/workload.cpp.o"
+  "CMakeFiles/rwc_sim.dir/sim/workload.cpp.o.d"
+  "librwc_sim.a"
+  "librwc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/rwc_sim.dir/sim/version.cpp.o: \
+ /root/repo/src/sim/version.cpp /usr/include/stdc-predef.h

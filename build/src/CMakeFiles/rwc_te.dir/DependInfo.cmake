@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/te/b4.cpp" "src/CMakeFiles/rwc_te.dir/te/b4.cpp.o" "gcc" "src/CMakeFiles/rwc_te.dir/te/b4.cpp.o.d"
+  "/root/repo/src/te/consistent_update.cpp" "src/CMakeFiles/rwc_te.dir/te/consistent_update.cpp.o" "gcc" "src/CMakeFiles/rwc_te.dir/te/consistent_update.cpp.o.d"
+  "/root/repo/src/te/cspf.cpp" "src/CMakeFiles/rwc_te.dir/te/cspf.cpp.o" "gcc" "src/CMakeFiles/rwc_te.dir/te/cspf.cpp.o.d"
+  "/root/repo/src/te/demand.cpp" "src/CMakeFiles/rwc_te.dir/te/demand.cpp.o" "gcc" "src/CMakeFiles/rwc_te.dir/te/demand.cpp.o.d"
+  "/root/repo/src/te/ecmp.cpp" "src/CMakeFiles/rwc_te.dir/te/ecmp.cpp.o" "gcc" "src/CMakeFiles/rwc_te.dir/te/ecmp.cpp.o.d"
+  "/root/repo/src/te/mcf_lp.cpp" "src/CMakeFiles/rwc_te.dir/te/mcf_lp.cpp.o" "gcc" "src/CMakeFiles/rwc_te.dir/te/mcf_lp.cpp.o.d"
+  "/root/repo/src/te/mcf_te.cpp" "src/CMakeFiles/rwc_te.dir/te/mcf_te.cpp.o" "gcc" "src/CMakeFiles/rwc_te.dir/te/mcf_te.cpp.o.d"
+  "/root/repo/src/te/protection.cpp" "src/CMakeFiles/rwc_te.dir/te/protection.cpp.o" "gcc" "src/CMakeFiles/rwc_te.dir/te/protection.cpp.o.d"
+  "/root/repo/src/te/swan.cpp" "src/CMakeFiles/rwc_te.dir/te/swan.cpp.o" "gcc" "src/CMakeFiles/rwc_te.dir/te/swan.cpp.o.d"
+  "/root/repo/src/te/version.cpp" "src/CMakeFiles/rwc_te.dir/te/version.cpp.o" "gcc" "src/CMakeFiles/rwc_te.dir/te/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rwc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwc_te.dir/te/b4.cpp.o"
+  "CMakeFiles/rwc_te.dir/te/b4.cpp.o.d"
+  "CMakeFiles/rwc_te.dir/te/consistent_update.cpp.o"
+  "CMakeFiles/rwc_te.dir/te/consistent_update.cpp.o.d"
+  "CMakeFiles/rwc_te.dir/te/cspf.cpp.o"
+  "CMakeFiles/rwc_te.dir/te/cspf.cpp.o.d"
+  "CMakeFiles/rwc_te.dir/te/demand.cpp.o"
+  "CMakeFiles/rwc_te.dir/te/demand.cpp.o.d"
+  "CMakeFiles/rwc_te.dir/te/ecmp.cpp.o"
+  "CMakeFiles/rwc_te.dir/te/ecmp.cpp.o.d"
+  "CMakeFiles/rwc_te.dir/te/mcf_lp.cpp.o"
+  "CMakeFiles/rwc_te.dir/te/mcf_lp.cpp.o.d"
+  "CMakeFiles/rwc_te.dir/te/mcf_te.cpp.o"
+  "CMakeFiles/rwc_te.dir/te/mcf_te.cpp.o.d"
+  "CMakeFiles/rwc_te.dir/te/protection.cpp.o"
+  "CMakeFiles/rwc_te.dir/te/protection.cpp.o.d"
+  "CMakeFiles/rwc_te.dir/te/swan.cpp.o"
+  "CMakeFiles/rwc_te.dir/te/swan.cpp.o.d"
+  "CMakeFiles/rwc_te.dir/te/version.cpp.o"
+  "CMakeFiles/rwc_te.dir/te/version.cpp.o.d"
+  "librwc_te.a"
+  "librwc_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwc_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/rwc_te.dir/te/version.cpp.o: /root/repo/src/te/version.cpp \
+ /usr/include/stdc-predef.h

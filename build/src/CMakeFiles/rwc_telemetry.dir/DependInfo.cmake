@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/analysis.cpp" "src/CMakeFiles/rwc_telemetry.dir/telemetry/analysis.cpp.o" "gcc" "src/CMakeFiles/rwc_telemetry.dir/telemetry/analysis.cpp.o.d"
+  "/root/repo/src/telemetry/detect.cpp" "src/CMakeFiles/rwc_telemetry.dir/telemetry/detect.cpp.o" "gcc" "src/CMakeFiles/rwc_telemetry.dir/telemetry/detect.cpp.o.d"
+  "/root/repo/src/telemetry/io.cpp" "src/CMakeFiles/rwc_telemetry.dir/telemetry/io.cpp.o" "gcc" "src/CMakeFiles/rwc_telemetry.dir/telemetry/io.cpp.o.d"
+  "/root/repo/src/telemetry/snr_model.cpp" "src/CMakeFiles/rwc_telemetry.dir/telemetry/snr_model.cpp.o" "gcc" "src/CMakeFiles/rwc_telemetry.dir/telemetry/snr_model.cpp.o.d"
+  "/root/repo/src/telemetry/streaming.cpp" "src/CMakeFiles/rwc_telemetry.dir/telemetry/streaming.cpp.o" "gcc" "src/CMakeFiles/rwc_telemetry.dir/telemetry/streaming.cpp.o.d"
+  "/root/repo/src/telemetry/version.cpp" "src/CMakeFiles/rwc_telemetry.dir/telemetry/version.cpp.o" "gcc" "src/CMakeFiles/rwc_telemetry.dir/telemetry/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rwc_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

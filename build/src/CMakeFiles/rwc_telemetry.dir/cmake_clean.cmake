@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwc_telemetry.dir/telemetry/analysis.cpp.o"
+  "CMakeFiles/rwc_telemetry.dir/telemetry/analysis.cpp.o.d"
+  "CMakeFiles/rwc_telemetry.dir/telemetry/detect.cpp.o"
+  "CMakeFiles/rwc_telemetry.dir/telemetry/detect.cpp.o.d"
+  "CMakeFiles/rwc_telemetry.dir/telemetry/io.cpp.o"
+  "CMakeFiles/rwc_telemetry.dir/telemetry/io.cpp.o.d"
+  "CMakeFiles/rwc_telemetry.dir/telemetry/snr_model.cpp.o"
+  "CMakeFiles/rwc_telemetry.dir/telemetry/snr_model.cpp.o.d"
+  "CMakeFiles/rwc_telemetry.dir/telemetry/streaming.cpp.o"
+  "CMakeFiles/rwc_telemetry.dir/telemetry/streaming.cpp.o.d"
+  "CMakeFiles/rwc_telemetry.dir/telemetry/version.cpp.o"
+  "CMakeFiles/rwc_telemetry.dir/telemetry/version.cpp.o.d"
+  "librwc_telemetry.a"
+  "librwc_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwc_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/rwc_telemetry.dir/telemetry/version.cpp.o: \
+ /root/repo/src/telemetry/version.cpp /usr/include/stdc-predef.h

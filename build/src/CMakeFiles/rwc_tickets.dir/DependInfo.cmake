@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tickets/analysis.cpp" "src/CMakeFiles/rwc_tickets.dir/tickets/analysis.cpp.o" "gcc" "src/CMakeFiles/rwc_tickets.dir/tickets/analysis.cpp.o.d"
+  "/root/repo/src/tickets/generator.cpp" "src/CMakeFiles/rwc_tickets.dir/tickets/generator.cpp.o" "gcc" "src/CMakeFiles/rwc_tickets.dir/tickets/generator.cpp.o.d"
+  "/root/repo/src/tickets/io.cpp" "src/CMakeFiles/rwc_tickets.dir/tickets/io.cpp.o" "gcc" "src/CMakeFiles/rwc_tickets.dir/tickets/io.cpp.o.d"
+  "/root/repo/src/tickets/ticket.cpp" "src/CMakeFiles/rwc_tickets.dir/tickets/ticket.cpp.o" "gcc" "src/CMakeFiles/rwc_tickets.dir/tickets/ticket.cpp.o.d"
+  "/root/repo/src/tickets/version.cpp" "src/CMakeFiles/rwc_tickets.dir/tickets/version.cpp.o" "gcc" "src/CMakeFiles/rwc_tickets.dir/tickets/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rwc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwc_tickets.dir/tickets/analysis.cpp.o"
+  "CMakeFiles/rwc_tickets.dir/tickets/analysis.cpp.o.d"
+  "CMakeFiles/rwc_tickets.dir/tickets/generator.cpp.o"
+  "CMakeFiles/rwc_tickets.dir/tickets/generator.cpp.o.d"
+  "CMakeFiles/rwc_tickets.dir/tickets/io.cpp.o"
+  "CMakeFiles/rwc_tickets.dir/tickets/io.cpp.o.d"
+  "CMakeFiles/rwc_tickets.dir/tickets/ticket.cpp.o"
+  "CMakeFiles/rwc_tickets.dir/tickets/ticket.cpp.o.d"
+  "CMakeFiles/rwc_tickets.dir/tickets/version.cpp.o"
+  "CMakeFiles/rwc_tickets.dir/tickets/version.cpp.o.d"
+  "librwc_tickets.a"
+  "librwc_tickets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwc_tickets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/CMakeFiles/rwc_tickets.dir/tickets/version.cpp.o: \
+ /root/repo/src/tickets/version.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwc_util.dir/util/ascii_plot.cpp.o"
+  "CMakeFiles/rwc_util.dir/util/ascii_plot.cpp.o.d"
+  "CMakeFiles/rwc_util.dir/util/check.cpp.o"
+  "CMakeFiles/rwc_util.dir/util/check.cpp.o.d"
+  "CMakeFiles/rwc_util.dir/util/p2_quantile.cpp.o"
+  "CMakeFiles/rwc_util.dir/util/p2_quantile.cpp.o.d"
+  "CMakeFiles/rwc_util.dir/util/rng.cpp.o"
+  "CMakeFiles/rwc_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/rwc_util.dir/util/stats.cpp.o"
+  "CMakeFiles/rwc_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/rwc_util.dir/util/table.cpp.o"
+  "CMakeFiles/rwc_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/rwc_util.dir/util/units.cpp.o"
+  "CMakeFiles/rwc_util.dir/util/units.cpp.o.d"
+  "librwc_util.a"
+  "librwc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bvt_constellation.cpp" "tests/CMakeFiles/rwc_tests.dir/test_bvt_constellation.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_bvt_constellation.cpp.o.d"
+  "/root/repo/tests/test_bvt_device.cpp" "tests/CMakeFiles/rwc_tests.dir/test_bvt_device.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_bvt_device.cpp.o.d"
+  "/root/repo/tests/test_bvt_latency.cpp" "tests/CMakeFiles/rwc_tests.dir/test_bvt_latency.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_bvt_latency.cpp.o.d"
+  "/root/repo/tests/test_core_augment.cpp" "tests/CMakeFiles/rwc_tests.dir/test_core_augment.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_core_augment.cpp.o.d"
+  "/root/repo/tests/test_core_combined_options.cpp" "tests/CMakeFiles/rwc_tests.dir/test_core_combined_options.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_core_combined_options.cpp.o.d"
+  "/root/repo/tests/test_core_controller.cpp" "tests/CMakeFiles/rwc_tests.dir/test_core_controller.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_core_controller.cpp.o.d"
+  "/root/repo/tests/test_core_fixed_charge.cpp" "tests/CMakeFiles/rwc_tests.dir/test_core_fixed_charge.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_core_fixed_charge.cpp.o.d"
+  "/root/repo/tests/test_core_hysteresis.cpp" "tests/CMakeFiles/rwc_tests.dir/test_core_hysteresis.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_core_hysteresis.cpp.o.d"
+  "/root/repo/tests/test_core_orchestrator.cpp" "tests/CMakeFiles/rwc_tests.dir/test_core_orchestrator.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_core_orchestrator.cpp.o.d"
+  "/root/repo/tests/test_core_protected_flows.cpp" "tests/CMakeFiles/rwc_tests.dir/test_core_protected_flows.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_core_protected_flows.cpp.o.d"
+  "/root/repo/tests/test_core_theorem.cpp" "tests/CMakeFiles/rwc_tests.dir/test_core_theorem.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_core_theorem.cpp.o.d"
+  "/root/repo/tests/test_core_translate.cpp" "tests/CMakeFiles/rwc_tests.dir/test_core_translate.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_core_translate.cpp.o.d"
+  "/root/repo/tests/test_flow_edge_cases.cpp" "tests/CMakeFiles/rwc_tests.dir/test_flow_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_flow_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_flow_maxflow.cpp" "tests/CMakeFiles/rwc_tests.dir/test_flow_maxflow.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_flow_maxflow.cpp.o.d"
+  "/root/repo/tests/test_flow_mincost.cpp" "tests/CMakeFiles/rwc_tests.dir/test_flow_mincost.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_flow_mincost.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/rwc_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rwc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ksp.cpp" "tests/CMakeFiles/rwc_tests.dir/test_ksp.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_ksp.cpp.o.d"
+  "/root/repo/tests/test_lp.cpp" "tests/CMakeFiles/rwc_tests.dir/test_lp.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_lp.cpp.o.d"
+  "/root/repo/tests/test_mgmt.cpp" "tests/CMakeFiles/rwc_tests.dir/test_mgmt.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_mgmt.cpp.o.d"
+  "/root/repo/tests/test_optical.cpp" "tests/CMakeFiles/rwc_tests.dir/test_optical.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_optical.cpp.o.d"
+  "/root/repo/tests/test_optical_link_budget.cpp" "tests/CMakeFiles/rwc_tests.dir/test_optical_link_budget.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_optical_link_budget.cpp.o.d"
+  "/root/repo/tests/test_protection.cpp" "tests/CMakeFiles/rwc_tests.dir/test_protection.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_protection.cpp.o.d"
+  "/root/repo/tests/test_sim_device_backed.cpp" "tests/CMakeFiles/rwc_tests.dir/test_sim_device_backed.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_sim_device_backed.cpp.o.d"
+  "/root/repo/tests/test_sim_event.cpp" "tests/CMakeFiles/rwc_tests.dir/test_sim_event.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_sim_event.cpp.o.d"
+  "/root/repo/tests/test_sim_simulator.cpp" "tests/CMakeFiles/rwc_tests.dir/test_sim_simulator.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_sim_simulator.cpp.o.d"
+  "/root/repo/tests/test_sim_topology_workload.cpp" "tests/CMakeFiles/rwc_tests.dir/test_sim_topology_workload.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_sim_topology_workload.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/rwc_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_streaming_io.cpp" "tests/CMakeFiles/rwc_tests.dir/test_streaming_io.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_streaming_io.cpp.o.d"
+  "/root/repo/tests/test_te_consistent_update.cpp" "tests/CMakeFiles/rwc_tests.dir/test_te_consistent_update.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_te_consistent_update.cpp.o.d"
+  "/root/repo/tests/test_te_demand.cpp" "tests/CMakeFiles/rwc_tests.dir/test_te_demand.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_te_demand.cpp.o.d"
+  "/root/repo/tests/test_te_engines.cpp" "tests/CMakeFiles/rwc_tests.dir/test_te_engines.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_te_engines.cpp.o.d"
+  "/root/repo/tests/test_te_mcf_lp_ecmp.cpp" "tests/CMakeFiles/rwc_tests.dir/test_te_mcf_lp_ecmp.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_te_mcf_lp_ecmp.cpp.o.d"
+  "/root/repo/tests/test_telemetry.cpp" "tests/CMakeFiles/rwc_tests.dir/test_telemetry.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_telemetry.cpp.o.d"
+  "/root/repo/tests/test_telemetry_calibration.cpp" "tests/CMakeFiles/rwc_tests.dir/test_telemetry_calibration.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_telemetry_calibration.cpp.o.d"
+  "/root/repo/tests/test_telemetry_detect.cpp" "tests/CMakeFiles/rwc_tests.dir/test_telemetry_detect.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_telemetry_detect.cpp.o.d"
+  "/root/repo/tests/test_tickets.cpp" "tests/CMakeFiles/rwc_tests.dir/test_tickets.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_tickets.cpp.o.d"
+  "/root/repo/tests/test_umbrella_topologies.cpp" "tests/CMakeFiles/rwc_tests.dir/test_umbrella_topologies.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_umbrella_topologies.cpp.o.d"
+  "/root/repo/tests/test_util_misc.cpp" "tests/CMakeFiles/rwc_tests.dir/test_util_misc.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_util_misc.cpp.o.d"
+  "/root/repo/tests/test_util_p2.cpp" "tests/CMakeFiles/rwc_tests.dir/test_util_p2.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_util_p2.cpp.o.d"
+  "/root/repo/tests/test_util_rng.cpp" "tests/CMakeFiles/rwc_tests.dir/test_util_rng.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_util_rng.cpp.o.d"
+  "/root/repo/tests/test_util_stats.cpp" "tests/CMakeFiles/rwc_tests.dir/test_util_stats.cpp.o" "gcc" "tests/CMakeFiles/rwc_tests.dir/test_util_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rwc_mgmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_tickets.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_bvt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rwc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
