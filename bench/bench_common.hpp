@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
 #include "telemetry/snr_model.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/stats.hpp"
@@ -37,5 +39,55 @@ inline int fibers_from_args(int argc, char** argv, int fallback = 50) {
 inline void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
 }
+
+/// Removes "--json <path>" from (argc, argv) and returns the path ("" when
+/// the flag is absent), so positional arguments like the fiber count keep
+/// working regardless of flag position.
+inline std::string strip_json_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int in = 1; in < argc; ++in) {
+    if (std::string(argv[in]) == "--json" && in + 1 < argc) {
+      path = argv[++in];
+      continue;
+    }
+    argv[out++] = argv[in];
+  }
+  argc = out;
+  return path;
+}
+
+/// RAII `--json <path>` support for bench binaries: strips the flag on
+/// construction, and on scope exit dumps the global obs::Registry (every
+/// metric the bench touched, per the docs/OBSERVABILITY.md contract) as
+/// JSON to the requested path. Declare first in main():
+///
+///   int main(int argc, char** argv) {
+///     rwc::bench::JsonExportGuard json_guard(argc, argv);
+///     ...
+///   }
+class JsonExportGuard {
+ public:
+  JsonExportGuard(int& argc, char** argv)
+      : path_(strip_json_flag(argc, argv)) {}
+  JsonExportGuard(const JsonExportGuard&) = delete;
+  JsonExportGuard& operator=(const JsonExportGuard&) = delete;
+
+  ~JsonExportGuard() {
+    if (path_.empty()) return;
+    try {
+      obs::write_json_file(obs::Registry::global(), path_);
+    } catch (const std::exception& e) {
+      // Never throw from a destructor: a bad path (typo, missing directory)
+      // must not abort the bench after it already ran.
+      std::fprintf(stderr, "--json: %s\n", e.what());
+    }
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 }  // namespace rwc::bench

@@ -8,6 +8,7 @@
 
 int main(int argc, char** argv) {
   using namespace rwc;
+  bench::JsonExportGuard json_guard(argc, argv);
   bench::print_header(
       "Figure 1: SNR of 40 wavelengths on one WAN fiber (2.5 years)");
 

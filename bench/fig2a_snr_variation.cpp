@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace rwc;
+  bench::JsonExportGuard json_guard(argc, argv);
   const int fibers = bench::fibers_from_args(argc, argv);
   bench::print_header("Figure 2a: CDF of SNR variation (" +
                       std::to_string(fibers * 40) + " links, 2.5 years)");

@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace rwc;
+  bench::JsonExportGuard json_guard(argc, argv);
   const int fibers = bench::fibers_from_args(argc, argv);
   const int links = fibers * 40;
   bench::print_header("Figure 2b: feasible capacity CDF (" +

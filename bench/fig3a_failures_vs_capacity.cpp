@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace rwc;
+  bench::JsonExportGuard json_guard(argc, argv);
   bench::print_header(
       "Figure 3a: failures vs configured capacity (high-quality fiber)");
   (void)argc;

@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace rwc;
+  bench::JsonExportGuard json_guard(argc, argv);
   const int fibers = bench::fibers_from_args(argc, argv, 12);
   bench::print_header("Figure 3b: failure durations vs capacity (" +
                       std::to_string(fibers * 40) + " links)");

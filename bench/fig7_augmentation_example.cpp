@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace rwc;
+  bench::JsonExportGuard json_guard(argc, argv);
   using namespace util::literals;
   (void)argc;
   (void)argv;

@@ -3,6 +3,7 @@
 // layer adds negligible cost on top of the TE solve itself.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/augment.hpp"
 #include "core/translate.hpp"
 #include "flow/graph_adapter.hpp"
@@ -176,4 +177,15 @@ BENCHMARK(BM_SimplexDense)->Arg(50)->Arg(100)->Arg(200);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN with `--json <path>` support: after the benchmark
+// run, the solver/TE metrics the runs accumulated in the global
+// obs::Registry (flow.*, lp.*, te.* — see docs/OBSERVABILITY.md) are dumped
+// as machine-readable JSON for perf-trajectory tracking.
+int main(int argc, char** argv) {
+  rwc::bench::JsonExportGuard json_guard(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

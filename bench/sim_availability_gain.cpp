@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace rwc;
+  bench::JsonExportGuard json_guard(argc, argv);
   (void)argc;
   (void)argv;
   bench::print_header("Availability gain: failures become flaps");

@@ -17,6 +17,7 @@
 
 int main(int argc, char** argv) {
   using namespace rwc;
+  bench::JsonExportGuard json_guard(argc, argv);
   (void)argc;
   (void)argv;
   bench::print_header("Throughput gain of dynamic link capacities");

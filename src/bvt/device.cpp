@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.hpp"
 #include "optical/ber.hpp"
 #include "util/check.hpp"
 
@@ -148,6 +149,22 @@ ReconfigReport BvtDevice::change_modulation(Gbps target,
   update_lock();
   report.success = carrier_locked_;
   if (!report.success) fault_ = true;
+
+  // Per-procedure downtime distribution — the §3.1 68 s vs 35 ms split
+  // (docs/OBSERVABILITY.md: bvt.reconfig.*).
+  static auto& changes =
+      obs::Registry::global().counter("bvt.reconfig.count");
+  static auto& lock_failures =
+      obs::Registry::global().counter("bvt.reconfig.lock_failures");
+  static auto& standard_downtime = obs::Registry::global().histogram(
+      "bvt.reconfig.standard_downtime_seconds");
+  static auto& efficient_downtime = obs::Registry::global().histogram(
+      "bvt.reconfig.efficient_downtime_seconds");
+  changes.add();
+  if (!report.success) lock_failures.add();
+  (procedure == Procedure::kStandard ? standard_downtime
+                                     : efficient_downtime)
+      .observe(report.downtime);
   return report;
 }
 

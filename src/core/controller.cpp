@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "flow/network.hpp"
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 
 namespace rwc::core {
@@ -10,6 +11,66 @@ namespace rwc::core {
 using graph::EdgeId;
 using util::Db;
 using util::Gbps;
+
+namespace {
+
+/// Handles into the global registry for the controller's stats contract
+/// (docs/OBSERVABILITY.md: controller.*). Looked up once per process.
+struct ControllerMetrics {
+  obs::Counter& rounds;
+  obs::Counter& reductions;
+  obs::Counter& restorations;
+  obs::Counter& upgrades;
+  obs::Counter& evaluations;
+  obs::Gauge& variable_links;
+  obs::Histogram& round_seconds;
+  obs::Histogram& augment_seconds;
+  obs::Histogram& solve_seconds;
+  obs::Histogram& translate_seconds;
+  obs::Histogram& consolidate_seconds;
+  obs::Histogram& transition_seconds;
+
+  static ControllerMetrics& instance() {
+    static auto& registry = obs::Registry::global();
+    static ControllerMetrics metrics{
+        registry.counter("controller.rounds"),
+        registry.counter("controller.reductions"),
+        registry.counter("controller.restorations"),
+        registry.counter("controller.upgrades"),
+        registry.counter("controller.evaluations"),
+        registry.gauge("controller.variable_links"),
+        registry.histogram("controller.round.seconds"),
+        registry.histogram("controller.round.augment.seconds"),
+        registry.histogram("controller.round.solve.seconds"),
+        registry.histogram("controller.round.translate.seconds"),
+        registry.histogram("controller.round.consolidate.seconds"),
+        registry.histogram("controller.round.transition.seconds"),
+    };
+    return metrics;
+  }
+};
+
+/// Counters whose per-round deltas surface in RoundStats.
+struct SolverCounters {
+  std::uint64_t mincost_runs;
+  std::uint64_t mincost_paths;
+  std::uint64_t simplex_solves;
+  std::uint64_t simplex_iterations;
+
+  static SolverCounters read() {
+    static auto& registry = obs::Registry::global();
+    static auto& mincost_runs = registry.counter("flow.mincost.runs");
+    static auto& mincost_paths = registry.counter("flow.mincost.paths");
+    static auto& simplex_solves = registry.counter("lp.simplex.solves");
+    static auto& simplex_iterations =
+        registry.counter("lp.simplex.iterations");
+    return SolverCounters{mincost_runs.value(), mincost_paths.value(),
+                          simplex_solves.value(),
+                          simplex_iterations.value()};
+  }
+};
+
+}  // namespace
 
 DynamicCapacityController::DynamicCapacityController(
     graph::Graph physical, optical::ModulationTable table,
@@ -50,13 +111,24 @@ Gbps DynamicCapacityController::configured_capacity(EdgeId edge) const {
 ReconfigurationPlan DynamicCapacityController::evaluate(
     const graph::Graph& current,
     std::span<const VariableLink> variable_links,
-    const te::TrafficMatrix& demands) const {
+    const te::TrafficMatrix& demands, RoundStats& stats) const {
+  ++stats.evaluations;
+  obs::StopWatch watch;
   const AugmentedTopology augmented =
       augment_topology(current, variable_links, *options_.penalty,
                        last_traffic_, options_.augment);
+  stats.augment_seconds += watch.seconds();
+
+  watch.restart();
   const te::FlowAssignment assignment =
       engine_.solve(augmented.graph, demands);
-  return translate_assignment(current, augmented, variable_links, assignment);
+  stats.solve_seconds += watch.seconds();
+
+  watch.restart();
+  ReconfigurationPlan plan =
+      translate_assignment(current, augmented, variable_links, assignment);
+  stats.translate_seconds += watch.seconds();
+  return plan;
 }
 
 DynamicCapacityController::RoundReport
@@ -64,111 +136,153 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
                                      const te::TrafficMatrix& demands) {
   RWC_EXPECTS(link_snr.size() == physical_.edge_count());
   RoundReport report;
+  const SolverCounters counters_before = SolverCounters::read();
+  std::size_t variable_link_count = 0;
+  {
+    // Nested trace of the round: the span closes into
+    // controller.round.seconds when the pipeline scope ends, before the
+    // stats flush below reads total_seconds.
+    obs::Span round_span("controller.round", &report.stats.total_seconds);
 
-  // Step 1-2: feasible rates; flap down links whose SNR degraded.
-  std::vector<Gbps> feasible(physical_.edge_count());
-  for (EdgeId edge : physical_.edge_ids()) {
-    const auto i = static_cast<std::size_t>(edge.value);
-    feasible[i] =
-        table_.feasible_capacity(link_snr[i], options_.snr_margin);
-    if (hysteresis_.has_value()) {
-      const Gbps with_extra = table_.feasible_capacity(
-          link_snr[i],
-          options_.snr_margin + options_.hysteresis->extra_up_margin);
-      feasible[i] =
-          hysteresis_->filter(i, feasible[i], with_extra, configured_[i]);
-    }
-    if (feasible[i] < configured_[i]) {
-      report.reductions.push_back(LinkFlap{edge, configured_[i], feasible[i]});
-      configured_[i] = feasible[i];
-    }
-  }
-
-  // Restoration: degraded links come back toward their nominal rate as
-  // soon as the SNR allows (an operational repair, not a TE decision).
-  if (options_.restore_to_nominal) {
+    // Step 1-2: feasible rates; flap down links whose SNR degraded.
+    std::vector<Gbps> feasible(physical_.edge_count());
     for (EdgeId edge : physical_.edge_ids()) {
       const auto i = static_cast<std::size_t>(edge.value);
-      const Gbps target = std::min(physical_.edge(edge).capacity, feasible[i]);
-      if (target > configured_[i]) {
-        report.restorations.push_back(
-            LinkFlap{edge, configured_[i], target});
-        configured_[i] = target;
+      feasible[i] =
+          table_.feasible_capacity(link_snr[i], options_.snr_margin);
+      if (hysteresis_.has_value()) {
+        const Gbps with_extra = table_.feasible_capacity(
+            link_snr[i],
+            options_.snr_margin + options_.hysteresis->extra_up_margin);
+        feasible[i] =
+            hysteresis_->filter(i, feasible[i], with_extra, configured_[i]);
+      }
+      if (feasible[i] < configured_[i]) {
+        report.reductions.push_back(
+            LinkFlap{edge, configured_[i], feasible[i]});
+        configured_[i] = feasible[i];
       }
     }
-  }
 
-  // Step 3: variable links (headroom above the configured rate).
-  std::vector<VariableLink> variable_links;
-  for (EdgeId edge : physical_.edge_ids()) {
-    const auto i = static_cast<std::size_t>(edge.value);
-    if (feasible[i] > configured_[i])
-      variable_links.push_back(VariableLink{edge, feasible[i]});
-  }
-
-  // Steps 4-5: augment, solve with the unmodified engine, translate.
-  // Protected flows (Section 4.2 (i)) are carved out first: their capacity
-  // disappears from the topology and their links leave the variable set.
-  graph::Graph current = current_topology();
-  if (!options_.protected_flows.empty())
-    current = carve_out_protected(current, options_.protected_flows,
-                                  variable_links);
-  report.plan = evaluate(current, variable_links, demands);
-
-  // Consolidation: drop upgrades whose removal does not hurt throughput or
-  // penalty (fewest activations among cost-equal optima).
-  if (options_.consolidate && !report.plan.upgrades.empty()) {
-    // Try cheapest-traffic upgrades first: they are the likeliest to be
-    // gratuitous tie-break artifacts.
-    auto by_traffic = report.plan.upgrades;
-    std::sort(by_traffic.begin(), by_traffic.end(),
-              [](const CapacityChange& a, const CapacityChange& b) {
-                return a.upgrade_traffic < b.upgrade_traffic;
-              });
-    for (const CapacityChange& candidate : by_traffic) {
-      if (report.plan.upgrades.size() <= 1) break;
-      std::vector<VariableLink> reduced = variable_links;
-      std::erase_if(reduced, [&](const VariableLink& link) {
-        const bool still_upgraded =
-            std::any_of(report.plan.upgrades.begin(),
-                        report.plan.upgrades.end(),
-                        [&](const CapacityChange& u) {
-                          return u.edge == link.edge;
-                        });
-        // Keep only links that are still part of the plan, minus the
-        // candidate being tested.
-        return !still_upgraded || link.edge == candidate.edge;
-      });
-      ReconfigurationPlan trial = evaluate(current, reduced, demands);
-      const double before_routed =
-          report.plan.physical_assignment.total_routed.value;
-      if (trial.physical_assignment.total_routed.value >=
-              before_routed - 1e-6 &&
-          trial.total_penalty <= report.plan.total_penalty + 1e-6 &&
-          trial.upgrades.size() < report.plan.upgrades.size()) {
-        report.plan = std::move(trial);
+    // Restoration: degraded links come back toward their nominal rate as
+    // soon as the SNR allows (an operational repair, not a TE decision).
+    if (options_.restore_to_nominal) {
+      for (EdgeId edge : physical_.edge_ids()) {
+        const auto i = static_cast<std::size_t>(edge.value);
+        const Gbps target =
+            std::min(physical_.edge(edge).capacity, feasible[i]);
+        if (target > configured_[i]) {
+          report.restorations.push_back(
+              LinkFlap{edge, configured_[i], target});
+          configured_[i] = target;
+        }
       }
     }
+
+    // Step 3: variable links (headroom above the configured rate).
+    std::vector<VariableLink> variable_links;
+    for (EdgeId edge : physical_.edge_ids()) {
+      const auto i = static_cast<std::size_t>(edge.value);
+      if (feasible[i] > configured_[i])
+        variable_links.push_back(VariableLink{edge, feasible[i]});
+    }
+    variable_link_count = variable_links.size();
+
+    // Steps 4-5: augment, solve with the unmodified engine, translate.
+    // Protected flows (Section 4.2 (i)) are carved out first: their
+    // capacity disappears from the topology and their links leave the
+    // variable set.
+    graph::Graph current = current_topology();
+    if (!options_.protected_flows.empty())
+      current = carve_out_protected(current, options_.protected_flows,
+                                    variable_links);
+    report.plan = evaluate(current, variable_links, demands, report.stats);
+
+    // Consolidation: drop upgrades whose removal does not hurt throughput
+    // or penalty (fewest activations among cost-equal optima).
+    if (options_.consolidate && !report.plan.upgrades.empty()) {
+      obs::StopWatch consolidate_watch;
+      // Try cheapest-traffic upgrades first: they are the likeliest to be
+      // gratuitous tie-break artifacts.
+      auto by_traffic = report.plan.upgrades;
+      std::sort(by_traffic.begin(), by_traffic.end(),
+                [](const CapacityChange& a, const CapacityChange& b) {
+                  return a.upgrade_traffic < b.upgrade_traffic;
+                });
+      for (const CapacityChange& candidate : by_traffic) {
+        if (report.plan.upgrades.size() <= 1) break;
+        std::vector<VariableLink> reduced = variable_links;
+        std::erase_if(reduced, [&](const VariableLink& link) {
+          const bool still_upgraded =
+              std::any_of(report.plan.upgrades.begin(),
+                          report.plan.upgrades.end(),
+                          [&](const CapacityChange& u) {
+                            return u.edge == link.edge;
+                          });
+          // Keep only links that are still part of the plan, minus the
+          // candidate being tested.
+          return !still_upgraded || link.edge == candidate.edge;
+        });
+        ReconfigurationPlan trial =
+            evaluate(current, reduced, demands, report.stats);
+        const double before_routed =
+            report.plan.physical_assignment.total_routed.value;
+        if (trial.physical_assignment.total_routed.value >=
+                before_routed - 1e-6 &&
+            trial.total_penalty <= report.plan.total_penalty + 1e-6 &&
+            trial.upgrades.size() < report.plan.upgrades.size()) {
+          report.plan = std::move(trial);
+        }
+      }
+      report.stats.consolidate_seconds = consolidate_watch.seconds();
+    }
+
+    // Step 6: apply upgrades and plan the consistent transition.
+    for (const CapacityChange& change : report.plan.upgrades)
+      configured_[static_cast<std::size_t>(change.edge.value)] = change.to;
+
+    obs::StopWatch transition_watch;
+    graph::Graph upgraded = current_topology();
+    te::FlowAssignment previous = last_assignment_;
+    previous.edge_load_gbps.resize(upgraded.edge_count(), 0.0);
+    report.transition = te::plan_transition(
+        upgraded, previous, report.plan.physical_assignment);
+    report.transition_valid =
+        te::validate_transition(upgraded, previous, report.transition);
+    report.stats.transition_seconds = transition_watch.seconds();
+
+    report.total_routed = report.plan.physical_assignment.total_routed;
+    report.total_penalty = report.plan.total_penalty;
+
+    last_assignment_ = report.plan.physical_assignment;
+    last_traffic_ = last_assignment_.edge_load_gbps;
+    last_traffic_.resize(physical_.edge_count(), 0.0);
   }
 
-  // Step 6: apply upgrades and plan the consistent transition.
-  for (const CapacityChange& change : report.plan.upgrades)
-    configured_[static_cast<std::size_t>(change.edge.value)] = change.to;
+  // Stats flush: solver-counter deltas into the report, stage timings and
+  // round counters into the global registry (docs/OBSERVABILITY.md).
+  const SolverCounters counters_after = SolverCounters::read();
+  report.stats.mincost_runs =
+      counters_after.mincost_runs - counters_before.mincost_runs;
+  report.stats.mincost_paths =
+      counters_after.mincost_paths - counters_before.mincost_paths;
+  report.stats.simplex_solves =
+      counters_after.simplex_solves - counters_before.simplex_solves;
+  report.stats.simplex_iterations = counters_after.simplex_iterations -
+                                    counters_before.simplex_iterations;
 
-  graph::Graph upgraded = current_topology();
-  te::FlowAssignment previous = last_assignment_;
-  previous.edge_load_gbps.resize(upgraded.edge_count(), 0.0);
-  report.transition = te::plan_transition(
-      upgraded, previous, report.plan.physical_assignment);
-  report.transition_valid =
-      te::validate_transition(upgraded, previous, report.transition);
-
-  report.total_routed = report.plan.physical_assignment.total_routed;
-  report.total_penalty = report.plan.total_penalty;
-
-  last_assignment_ = report.plan.physical_assignment;
-  last_traffic_ = last_assignment_.edge_load_gbps;
-  last_traffic_.resize(physical_.edge_count(), 0.0);
+  auto& metrics = ControllerMetrics::instance();
+  metrics.rounds.add();
+  metrics.reductions.add(report.reductions.size());
+  metrics.restorations.add(report.restorations.size());
+  metrics.upgrades.add(report.plan.upgrades.size());
+  metrics.evaluations.add(report.stats.evaluations);
+  metrics.variable_links.set(static_cast<double>(variable_link_count));
+  metrics.augment_seconds.observe(report.stats.augment_seconds);
+  metrics.solve_seconds.observe(report.stats.solve_seconds);
+  metrics.translate_seconds.observe(report.stats.translate_seconds);
+  metrics.consolidate_seconds.observe(report.stats.consolidate_seconds);
+  metrics.transition_seconds.observe(report.stats.transition_seconds);
   return report;
 }
 

@@ -24,6 +24,7 @@
 #include "core/augment.hpp"
 #include "core/hysteresis.hpp"
 #include "core/translate.hpp"
+#include "obs/registry.hpp"
 #include "optical/modulation.hpp"
 #include "te/algorithm.hpp"
 #include "te/consistent_update.hpp"
@@ -68,15 +69,59 @@ class DynamicCapacityController {
                             const te::TeAlgorithm& engine,
                             ControllerOptions options = ControllerOptions{});
 
+  /// Per-round performance statistics, filled by every run_round call.
+  ///
+  /// Stage timings are wall-clock seconds. The augment/solve/translate
+  /// buckets sum over EVERY evaluation of the round, including the
+  /// re-evaluations the consolidation pass performs; `consolidate_seconds`
+  /// additionally covers the whole consolidation pass (so it overlaps the
+  /// per-stage buckets — the stage buckets answer "where does solver time
+  /// go", consolidate answers "what does the post-pass cost on top").
+  /// The same values are recorded into the global `obs::Registry` under the
+  /// `controller.round.*` histograms; names and units are contractual —
+  /// see docs/OBSERVABILITY.md.
+  struct RoundStats {
+    /// Algorithm-1 topology augmentation time (all evaluations).
+    double augment_seconds = 0.0;
+    /// TE engine solve time on the augmented graph (all evaluations).
+    double solve_seconds = 0.0;
+    /// Assignment-to-plan translation time (all evaluations).
+    double translate_seconds = 0.0;
+    /// Consolidation post-pass, including its nested evaluations.
+    double consolidate_seconds = 0.0;
+    /// Consistent-update transition planning + validation time.
+    double transition_seconds = 0.0;
+    /// End-to-end run_round wall time.
+    double total_seconds = 0.0;
+    /// Augment->solve->translate passes (1 + accepted/tried consolidations).
+    std::uint64_t evaluations = 0;
+    /// Solver work observed during this round (deltas of the global
+    /// registry counters; which ones move depends on the TE engine).
+    std::uint64_t mincost_runs = 0;       ///< flow.mincost.runs delta
+    std::uint64_t mincost_paths = 0;      ///< flow.mincost.paths delta
+    std::uint64_t simplex_solves = 0;     ///< lp.simplex.solves delta
+    std::uint64_t simplex_iterations = 0; ///< lp.simplex.iterations delta
+  };
+
+  /// Everything one TE round decided and how it went (the paper's §4
+  /// pipeline output plus the observability stats contract).
   struct RoundReport {
+    /// SNR-forced capacity reductions applied this round (walk / crawl).
     std::vector<LinkFlap> reductions;
     /// SNR-recovery restorations toward the nominal rate (from < to).
     std::vector<LinkFlap> restorations;
+    /// Capacity upgrades + physical routing chosen by the TE engine.
     ReconfigurationPlan plan;
+    /// Total demand volume routed on the physical topology.
     util::Gbps total_routed{0.0};
+    /// Total penalty paid on fake links (upgrade disruption proxy).
     double total_penalty = 0.0;
+    /// Consistent-update steps from the previous round's routing.
     te::UpdatePlan transition;
+    /// Whether the transition plan passed validation.
     bool transition_valid = false;
+    /// Per-stage timings and solver counters for this round.
+    RoundStats stats;
   };
 
   /// Runs one TE round. `link_snr` is indexed by physical edge id.
@@ -95,9 +140,11 @@ class DynamicCapacityController {
 
  private:
   /// One augment -> solve -> translate evaluation against `current`.
+  /// Stage wall-times and the evaluation count accumulate into `stats`.
   ReconfigurationPlan evaluate(const graph::Graph& current,
                                std::span<const VariableLink> variable_links,
-                               const te::TrafficMatrix& demands) const;
+                               const te::TrafficMatrix& demands,
+                               RoundStats& stats) const;
 
   graph::Graph physical_;
   optical::ModulationTable table_;

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 
@@ -33,6 +34,9 @@ ExecutionReport ReconfigurationOrchestrator::execute(
     const graph::Graph& topology_after, const te::FlowAssignment& before,
     const ReconfigurationPlan& plan, DeviceArray& devices) const {
   RWC_EXPECTS(devices.size() == topology_after.edge_count());
+  // Wall-clock execute span; the simulated-time results (makespan, parked
+  // traffic) flush at the end (docs/OBSERVABILITY.md: orchestrator.*).
+  obs::Span execute_span("orchestrator.execute");
 
   ExecutionReport report;
   te::FlowAssignment previous = before;
@@ -124,6 +128,20 @@ ExecutionReport ReconfigurationOrchestrator::execute(
                      return a.at < b.at;
                    });
   report.makespan = now;
+
+  static auto& registry = obs::Registry::global();
+  static auto& executions = registry.counter("orchestrator.executions");
+  static auto& drain_steps = registry.counter("orchestrator.drain_steps");
+  static auto& restore_steps =
+      registry.counter("orchestrator.restore_steps");
+  static auto& makespan_seconds =
+      registry.histogram("orchestrator.makespan_seconds");
+  static auto& parked = registry.gauge("orchestrator.parked_gbps_seconds");
+  executions.add();
+  drain_steps.add(removes.size());
+  restore_steps.add(adds.size());
+  makespan_seconds.observe(report.makespan);
+  parked.add(report.parked_gbps_seconds);
   return report;
 }
 

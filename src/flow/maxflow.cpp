@@ -3,6 +3,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace rwc::flow {
@@ -61,8 +62,11 @@ double augment(ResidualNetwork& net, const std::vector<int>& level,
 double max_flow_dinic(ResidualNetwork& net, int source, int sink) {
   RWC_EXPECTS(source != sink);
   double total = 0.0;
+  std::uint64_t phase_count = 0;
+  std::uint64_t augmentation_count = 0;
   std::vector<int> level;
   while (build_levels(net, source, sink, level)) {
+    ++phase_count;
     std::vector<std::size_t> next_arc(net.node_count(), 0);
     while (true) {
       const double pushed =
@@ -70,8 +74,19 @@ double max_flow_dinic(ResidualNetwork& net, int source, int sink) {
                   std::numeric_limits<double>::infinity());
       if (pushed <= kFlowEps) break;
       total += pushed;
+      ++augmentation_count;
     }
   }
+
+  // One registry flush per solve (docs/OBSERVABILITY.md: flow.maxflow.*).
+  static auto& runs = obs::Registry::global().counter("flow.maxflow.runs");
+  static auto& phases =
+      obs::Registry::global().counter("flow.maxflow.phases");
+  static auto& augmentations =
+      obs::Registry::global().counter("flow.maxflow.augmentations");
+  runs.add();
+  phases.add(phase_count);
+  augmentations.add(augmentation_count);
   return total;
 }
 

@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace rwc::flow {
@@ -106,6 +107,7 @@ MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
   }
 
   MinCostFlowResult result;
+  std::uint64_t augmenting_paths = 0;
   while (result.flow + kFlowEps < flow_limit) {
     const auto sp = dijkstra_reduced(net, source, sink, potential);
     if (!sp.reached_sink) break;
@@ -134,7 +136,15 @@ MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
     }
     result.flow += bottleneck;
     result.cost += bottleneck * path_cost;
+    ++augmenting_paths;
   }
+
+  // One registry flush per solve keeps the augmenting loop atomic-free
+  // (docs/OBSERVABILITY.md: flow.mincost.*).
+  static auto& runs = obs::Registry::global().counter("flow.mincost.runs");
+  static auto& paths = obs::Registry::global().counter("flow.mincost.paths");
+  runs.add();
+  paths.add(augmenting_paths);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace rwc::lp {
@@ -78,13 +79,16 @@ class Tableau {
 enum class IterationOutcome { kOptimal, kUnbounded, kIterationLimit };
 
 /// Runs simplex iterations minimizing the objective encoded in `reduced`.
-/// `allowed_cols` marks columns eligible to enter the basis.
+/// `allowed_cols` marks columns eligible to enter the basis. Pivot count is
+/// accumulated into `iterations_done` for the solver counters.
 IterationOutcome iterate(Tableau& tableau, std::vector<double>& reduced,
                          double& objective_value,
                          const std::vector<bool>& allowed_cols,
-                         int iteration_limit) {
+                         int iteration_limit,
+                         std::uint64_t& iterations_done) {
   const int bland_after = iteration_limit / 2;
-  for (int iteration = 0; iteration < iteration_limit; ++iteration) {
+  for (int iteration = 0; iteration < iteration_limit;
+       ++iteration, ++iterations_done) {
     const bool use_bland = iteration >= bland_after;
 
     // Entering column: most negative reduced cost (Dantzig) or first
@@ -163,6 +167,21 @@ const std::string& LpProblem::variable_name(int v) const {
 }
 
 LpSolution LpProblem::solve() const {
+  // Pivot counter flushed to the registry on every exit path
+  // (docs/OBSERVABILITY.md: lp.simplex.*).
+  std::uint64_t iterations = 0;
+  struct CounterFlush {
+    const std::uint64_t& iterations;
+    ~CounterFlush() {
+      static auto& solves =
+          obs::Registry::global().counter("lp.simplex.solves");
+      static auto& pivots =
+          obs::Registry::global().counter("lp.simplex.iterations");
+      solves.add();
+      pivots.add(iterations);
+    }
+  } flush{iterations};
+
   const int n = variable_count();
 
   // Materialize rows, lowering finite upper bounds to x_j <= ub.
@@ -251,8 +270,8 @@ LpSolution LpProblem::solve() const {
       }
     }
     std::vector<bool> allowed(static_cast<std::size_t>(total_cols), true);
-    const auto outcome =
-        iterate(tableau, reduced, phase1_value, allowed, iteration_limit);
+    const auto outcome = iterate(tableau, reduced, phase1_value, allowed,
+                                 iteration_limit, iterations);
     if (outcome == IterationOutcome::kIterationLimit)
       return LpSolution{LpStatus::kIterationLimit, 0.0, {}};
     // Phase-1 objective is bounded below by 0, so kUnbounded cannot happen.
@@ -304,8 +323,8 @@ LpSolution LpProblem::solve() const {
   std::vector<bool> allowed(static_cast<std::size_t>(total_cols), true);
   for (int c = artificial_start; c < total_cols; ++c)
     allowed[static_cast<std::size_t>(c)] = false;
-  const auto outcome =
-      iterate(tableau, reduced, objective_value, allowed, iteration_limit);
+  const auto outcome = iterate(tableau, reduced, objective_value, allowed,
+                               iteration_limit, iterations);
   if (outcome == IterationOutcome::kIterationLimit)
     return LpSolution{LpStatus::kIterationLimit, 0.0, {}};
   if (outcome == IterationOutcome::kUnbounded)

@@ -1,0 +1,312 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace rwc::obs {
+
+namespace {
+
+/// Shortest round-trippable formatting; JSON has no Infinity/NaN literals,
+/// so non-finite values (possible only through Gauge::set) are clamped to 0.
+std::string number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  // Prefer the shortest representation that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[32];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == value) return candidate;
+  }
+  return buffer;
+}
+
+void json_histogram(std::ostringstream& os, const HistogramSnapshot& h) {
+  os << "{\"count\": " << h.count << ", \"sum\": " << number(h.sum)
+     << ", \"min\": " << number(h.min) << ", \"max\": " << number(h.max)
+     << ", \"mean\": " << number(h.mean) << ", \"p50\": " << number(h.p50)
+     << ", \"p90\": " << number(h.p90) << ", \"p99\": " << number(h.p99)
+     << ", \"buckets\": [";
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"le\": ";
+    if (std::isinf(h.buckets[i].first))
+      os << "\"inf\"";
+    else
+      os << number(h.buckets[i].first);
+    os << ", \"count\": " << h.buckets[i].second << "}";
+  }
+  os << "]}";
+}
+
+// ---- Minimal recursive-descent parser for the dump_json schema ----------
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_whitespace();
+    RWC_CHECK_MSG(pos_ < text_.size() && text_[pos_] == c,
+                  std::string("expected '") + c + "' in metrics JSON");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      // dump_json never emits escapes in names, but tolerate \" anyway.
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out += text_[pos_++];
+    }
+    expect('"');
+    return out;
+  }
+
+  double value_number() {
+    skip_whitespace();
+    // "inf" appears (quoted) as the overflow bucket bound.
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      const std::string word = string();
+      RWC_CHECK_MSG(word == "inf", "unexpected string where number expected");
+      return std::numeric_limits<double>::infinity();
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E'))
+      ++pos_;
+    RWC_CHECK_MSG(pos_ > start, "expected number in metrics JSON");
+    double parsed = 0.0;
+    const auto result = std::from_chars(text_.data() + start,
+                                        text_.data() + pos_, parsed);
+    RWC_CHECK_MSG(result.ec == std::errc{}, "bad number in metrics JSON");
+    return parsed;
+  }
+
+  std::uint64_t value_uint() {
+    const double v = value_number();
+    RWC_CHECK_MSG(v >= 0.0, "expected unsigned value in metrics JSON");
+    return static_cast<std::uint64_t>(v);
+  }
+
+  void finish() {
+    skip_whitespace();
+    RWC_CHECK_MSG(pos_ == text_.size(), "trailing data in metrics JSON");
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+HistogramSnapshot parse_histogram(JsonReader& reader) {
+  HistogramSnapshot h;
+  reader.expect('{');
+  if (!reader.consume('}')) {
+    do {
+      const std::string key = reader.string();
+      reader.expect(':');
+      if (key == "count") {
+        h.count = reader.value_uint();
+      } else if (key == "sum") {
+        h.sum = reader.value_number();
+      } else if (key == "min") {
+        h.min = reader.value_number();
+      } else if (key == "max") {
+        h.max = reader.value_number();
+      } else if (key == "mean") {
+        h.mean = reader.value_number();
+      } else if (key == "p50") {
+        h.p50 = reader.value_number();
+      } else if (key == "p90") {
+        h.p90 = reader.value_number();
+      } else if (key == "p99") {
+        h.p99 = reader.value_number();
+      } else if (key == "buckets") {
+        reader.expect('[');
+        if (!reader.consume(']')) {
+          do {
+            reader.expect('{');
+            double le = 0.0;
+            std::uint64_t count = 0;
+            do {
+              const std::string field = reader.string();
+              reader.expect(':');
+              if (field == "le")
+                le = reader.value_number();
+              else if (field == "count")
+                count = reader.value_uint();
+              else
+                RWC_CHECK_MSG(false, "unknown bucket field: " + field);
+            } while (reader.consume(','));
+            reader.expect('}');
+            h.buckets.emplace_back(le, count);
+          } while (reader.consume(','));
+          reader.expect(']');
+        }
+      } else {
+        RWC_CHECK_MSG(false, "unknown histogram field: " + key);
+      }
+    } while (reader.consume(','));
+    reader.expect('}');
+  }
+  return h;
+}
+
+}  // namespace
+
+Snapshot snapshot(const Registry& registry) {
+  Snapshot snap;
+  for (const auto& [name, counter] : registry.counters())
+    snap.counters.emplace(name, counter->value());
+  for (const auto& [name, gauge] : registry.gauges())
+    snap.gauges.emplace(name, gauge->value());
+  for (const auto& [name, histogram] : registry.histograms()) {
+    HistogramSnapshot h;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.min = histogram->min();
+    h.max = histogram->max();
+    h.mean = histogram->mean();
+    if (h.count > 0) {
+      h.p50 = histogram->quantile(0.5);
+      h.p90 = histogram->quantile(0.9);
+      h.p99 = histogram->quantile(0.99);
+    }
+    const auto bounds = histogram->upper_bounds();
+    h.buckets.reserve(bounds.size() + 1);
+    for (std::size_t i = 0; i < bounds.size(); ++i)
+      h.buckets.emplace_back(bounds[i], histogram->bucket_count(i));
+    h.buckets.emplace_back(std::numeric_limits<double>::infinity(),
+                           histogram->bucket_count(bounds.size()));
+    snap.histograms.emplace(name, std::move(h));
+  }
+  return snap;
+}
+
+std::string dump_table(const Registry& registry) {
+  const Snapshot snap = snapshot(registry);
+  std::ostringstream os;
+  if (!snap.counters.empty()) {
+    util::TextTable table({"counter", "value"});
+    for (const auto& [name, value] : snap.counters)
+      table.add_row({name, std::to_string(value)});
+    os << table.to_string() << "\n";
+  }
+  if (!snap.gauges.empty()) {
+    util::TextTable table({"gauge", "value"});
+    for (const auto& [name, value] : snap.gauges)
+      table.add_row({name, util::format_double(value, 3)});
+    os << table.to_string() << "\n";
+  }
+  if (!snap.histograms.empty()) {
+    util::TextTable table(
+        {"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, h] : snap.histograms)
+      table.add_row({name, std::to_string(h.count),
+                     util::format_double(h.mean, 6),
+                     util::format_double(h.p50, 6),
+                     util::format_double(h.p90, 6),
+                     util::format_double(h.p99, 6),
+                     util::format_double(h.max, 6)});
+    os << table.to_string();
+  }
+  return os.str();
+}
+
+std::string dump_json(const Snapshot& snap) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << name
+       << "\": " << number(value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : snap.histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+    json_histogram(os, histogram);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string dump_json(const Registry& registry) {
+  return dump_json(snapshot(registry));
+}
+
+void write_json_file(const Registry& registry, const std::string& path) {
+  std::ofstream out(path);
+  RWC_CHECK_MSG(out.good(), "cannot open metrics JSON file: " + path);
+  out << dump_json(registry);
+  out.flush();
+  RWC_CHECK_MSG(out.good(), "failed writing metrics JSON file: " + path);
+}
+
+Snapshot parse_json(const std::string& json) {
+  Snapshot snap;
+  JsonReader reader(json);
+  reader.expect('{');
+  do {
+    const std::string section = reader.string();
+    reader.expect(':');
+    reader.expect('{');
+    if (reader.consume('}')) continue;
+    do {
+      const std::string name = reader.string();
+      reader.expect(':');
+      if (section == "counters")
+        snap.counters.emplace(name, reader.value_uint());
+      else if (section == "gauges")
+        snap.gauges.emplace(name, reader.value_number());
+      else if (section == "histograms")
+        snap.histograms.emplace(name, parse_histogram(reader));
+      else
+        RWC_CHECK_MSG(false, "unknown metrics JSON section: " + section);
+    } while (reader.consume(','));
+    reader.expect('}');
+  } while (reader.consume(','));
+  reader.expect('}');
+  reader.finish();
+  return snap;
+}
+
+}  // namespace rwc::obs

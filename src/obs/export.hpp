@@ -1,0 +1,76 @@
+// Exporters for the observability registry (rwc::obs).
+//
+// Two formats over the same data:
+//   dump_table — human-readable aligned text (bench stdout, debugging);
+//   dump_json  — machine-readable JSON for BENCH_*.json perf trajectories
+//                (the `--json <path>` flag of every bench binary).
+//
+// The JSON schema is part of the stats contract (docs/OBSERVABILITY.md):
+//
+//   {
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": <number>, ... },
+//     "histograms": { "<name>": { "count": <uint>, "sum": <number>,
+//                                 "min": ..., "max": ..., "mean": ...,
+//                                 "p50": ..., "p90": ..., "p99": ...,
+//                                 "buckets": [ { "le": <number>|"inf",
+//                                                "count": <uint> }, ... ] },
+//                     ... }
+//   }
+//
+// parse_json reads exactly this schema back (round-trip tested), so later
+// tooling can diff perf trajectories across commits without a JSON library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace rwc::obs {
+
+/// Point-in-time copy of one histogram as exported to JSON.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  /// (upper bound, count) per bucket; the final entry is the overflow
+  /// bucket with an infinite upper bound.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+};
+
+/// Point-in-time copy of a whole registry.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Copies the registry's current values.
+Snapshot snapshot(const Registry& registry);
+
+/// Renders the registry as aligned text tables (one per instrument kind).
+std::string dump_table(const Registry& registry);
+
+/// Renders the registry (or a snapshot of one) as the JSON schema above.
+/// Output is deterministic: keys are name-sorted, numbers use shortest
+/// round-trippable formatting.
+std::string dump_json(const Registry& registry);
+std::string dump_json(const Snapshot& snapshot);
+
+/// Writes dump_json(registry) to `path` (throws util CheckError on IO
+/// failure).
+void write_json_file(const Registry& registry, const std::string& path);
+
+/// Parses a dump_json document back into a Snapshot. Accepts exactly the
+/// schema emitted by dump_json; throws util CheckError on malformed input.
+Snapshot parse_json(const std::string& json);
+
+}  // namespace rwc::obs

@@ -1,0 +1,98 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rwc::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  RWC_EXPECTS(!bounds_.empty());
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    RWC_EXPECTS(std::isfinite(bounds_[i]));
+    if (i > 0) RWC_EXPECTS(bounds_[i] > bounds_[i - 1]);
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::default_latency_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    b.reserve(33);
+    for (int k = 0; k <= 32; ++k)
+      b.push_back(std::pow(10.0, -6.0 + static_cast<double>(k) / 4.0));
+    return b;
+  }();
+  return bounds;
+}
+
+void Histogram::observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, value);
+  detail::atomic_extreme(min_, value, std::less<double>{});
+  detail::atomic_extreme(max_, value, std::greater<double>{});
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t index) const {
+  RWC_EXPECTS(index <= bounds_.size());
+  return buckets_[index].load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  RWC_EXPECTS(q > 0.0 && q < 1.0);
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const auto in_bucket = static_cast<double>(
+        buckets_[i].load(std::memory_order_relaxed));
+    if (cumulative + in_bucket < target || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate inside bucket i. Lower edge: previous bound (or 0 for the
+    // first bucket); upper edge: this bound (or the observed max for the
+    // overflow bucket).
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const double upper = i == bounds_.size() ? max() : bounds_[i];
+    const double fraction = (target - cumulative) / in_bucket;
+    const double estimate = lower + fraction * (upper - lower);
+    return std::clamp(estimate, min(), max());
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+}  // namespace rwc::obs

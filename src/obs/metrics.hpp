@@ -1,0 +1,138 @@
+// Metric primitives of the observability layer (rwc::obs).
+//
+// Three instrument kinds, matching the stats contract in
+// docs/OBSERVABILITY.md:
+//   Counter   — monotonically increasing event count (uint64).
+//   Gauge     — last-written floating-point value (also usable as an
+//               accumulating sum via add()).
+//   Histogram — fixed-bucket latency/size distribution with streaming
+//               count/sum/min/max and interpolated quantile estimates.
+//
+// All mutation paths are lock-free (relaxed atomics); instruments are
+// created through obs::Registry, which guarantees pointer stability, so hot
+// paths cache a reference once and touch only atomics afterwards.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace rwc::obs {
+
+namespace detail {
+
+/// Atomic add for doubles via compare-exchange (portable pre-P0020 path).
+inline void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed))
+    ;
+}
+
+/// Atomic min/max update via compare-exchange.
+template <typename Compare>
+void atomic_extreme(std::atomic<double>& target, double value,
+                    Compare better) noexcept {
+  double expected = target.load(std::memory_order_relaxed);
+  while (better(value, expected) &&
+         !target.compare_exchange_weak(expected, value,
+                                       std::memory_order_relaxed))
+    ;
+}
+
+}  // namespace detail
+
+/// Monotonic event counter. add() is wait-free; value() is a relaxed read.
+class Counter {
+ public:
+  /// Increments by `n` (default 1).
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Current value.
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Zeroes the counter (used by Registry::reset_values; handles stay valid).
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value instrument. set() overwrites; add() accumulates — a gauge used
+/// only through add() behaves as a floating-point sum (documented per metric
+/// in docs/OBSERVABILITY.md).
+class Gauge {
+ public:
+  /// Overwrites the value.
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  /// Adds `delta` to the value.
+  void add(double delta) noexcept { detail::atomic_add(value_, delta); }
+  /// Current value.
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with streaming summary statistics.
+///
+/// Buckets are defined by a sorted list of upper bounds; one implicit
+/// overflow bucket catches everything above the last bound. Observations
+/// additionally update count/sum/min/max, so mean() is exact and quantile()
+/// can clamp its bucket interpolation to the observed range.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty, strictly increasing and finite.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// The default latency bucket layout of the stats contract: 33 upper
+  /// bounds 10^(-6 + k/4) seconds for k = 0..32 (1 us to 100 s, four
+  /// buckets per decade), plus the implicit overflow bucket.
+  static const std::vector<double>& default_latency_bounds();
+
+  /// Records one observation (wait-free except for min/max CAS).
+  void observe(double value) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// Exact mean of all observations; 0 when empty.
+  double mean() const noexcept;
+  /// Smallest / largest observation; 0 when empty.
+  double min() const noexcept;
+  double max() const noexcept;
+
+  /// Quantile estimate (0 < q < 1) by linear interpolation inside the
+  /// bucket containing the q-th observation, clamped to [min, max].
+  /// Resolution is one bucket width; 0 when empty.
+  double quantile(double q) const;
+
+  /// The configured upper bounds (excluding the overflow bucket).
+  std::span<const double> upper_bounds() const { return bounds_; }
+  /// Count in bucket `index`; `index == upper_bounds().size()` addresses the
+  /// overflow bucket.
+  std::uint64_t bucket_count(std::size_t index) const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace rwc::obs

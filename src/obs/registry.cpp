@@ -1,0 +1,86 @@
+#include "obs/registry.hpp"
+
+#include "util/check.hpp"
+
+namespace rwc::obs {
+
+namespace {
+
+/// Finds `name` in `map` or inserts a value constructed by `make`.
+template <typename Map, typename Make>
+auto& find_or_create(Map& map, std::string_view name, Make make) {
+  auto it = map.find(name);
+  if (it == map.end())
+    it = map.emplace(std::string(name), make()).first;
+  return *it->second;
+}
+
+template <typename Instrument, typename Map>
+std::vector<std::pair<std::string, const Instrument*>> sorted_view(
+    const Map& map) {
+  std::vector<std::pair<std::string, const Instrument*>> view;
+  view.reserve(map.size());
+  for (const auto& [name, instrument] : map)
+    view.emplace_back(name, instrument.get());
+  return view;  // std::map iteration is already name-sorted
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  RWC_EXPECTS(!name.empty());
+  std::lock_guard lock(mutex_);
+  return find_or_create(counters_, name,
+                        [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  RWC_EXPECTS(!name.empty());
+  std::lock_guard lock(mutex_);
+  return find_or_create(gauges_, name,
+                        [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return histogram(name, Histogram::default_latency_bounds());
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds) {
+  RWC_EXPECTS(!name.empty());
+  std::lock_guard lock(mutex_);
+  return find_or_create(histograms_, name, [&] {
+    return std::make_unique<Histogram>(std::move(upper_bounds));
+  });
+}
+
+void Registry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::counters()
+    const {
+  std::lock_guard lock(mutex_);
+  return sorted_view<Counter>(counters_);
+}
+
+std::vector<std::pair<std::string, const Gauge*>> Registry::gauges() const {
+  std::lock_guard lock(mutex_);
+  return sorted_view<Gauge>(gauges_);
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
+    const {
+  std::lock_guard lock(mutex_);
+  return sorted_view<Histogram>(histograms_);
+}
+
+}  // namespace rwc::obs

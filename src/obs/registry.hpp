@@ -1,0 +1,70 @@
+// Registry of named metrics (rwc::obs).
+//
+// The registry owns every Counter / Gauge / Histogram and hands out stable
+// references: instruments are never destroyed or moved once created, so hot
+// paths look a metric up once (typically into a function-local static) and
+// afterwards touch only the instrument's atomics. reset_values() zeroes the
+// values but keeps every registration alive, so cached references survive
+// resets — this is what lets tests and benches start from a clean slate
+// without invalidating instrumented code.
+//
+// Metric names are dotted lowercase paths ("flow.mincost.runs"); the full
+// contract — every name, unit and bucket layout — lives in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rwc::obs {
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry all built-in instrumentation records into.
+  static Registry& global();
+
+  /// Returns the counter named `name`, creating it on first use. The
+  /// reference stays valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+
+  /// Returns the gauge named `name`, creating it on first use.
+  Gauge& gauge(std::string_view name);
+
+  /// Returns the histogram named `name`, creating it on first use with the
+  /// default latency bucket layout (Histogram::default_latency_bounds).
+  Histogram& histogram(std::string_view name);
+
+  /// Returns the histogram named `name`, creating it with `upper_bounds` on
+  /// first use. When the histogram already exists, the bounds argument is
+  /// ignored (first registration wins).
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+
+  /// Zeroes every metric value. Registrations (and therefore references
+  /// previously returned) remain valid.
+  void reset_values();
+
+  /// Name-sorted views for exporters. The pointers stay valid for the
+  /// registry's lifetime; values they expose are live.
+  std::vector<std::pair<std::string, const Counter*>> counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace rwc::obs

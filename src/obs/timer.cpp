@@ -1,0 +1,42 @@
+#include "obs/timer.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rwc::obs {
+
+namespace {
+
+/// Per-thread stack of open span paths (full dotted paths, innermost last).
+std::vector<std::string>& span_stack() {
+  thread_local std::vector<std::string> stack;
+  return stack;
+}
+
+}  // namespace
+
+Span::Span(std::string_view name, double* accumulate_seconds)
+    : accumulate_(accumulate_seconds) {
+  RWC_EXPECTS(!name.empty());
+  auto& stack = span_stack();
+  if (stack.empty()) {
+    path_ = std::string(name);
+  } else {
+    path_ = stack.back();
+    path_ += '.';
+    path_ += name;
+  }
+  stack.push_back(path_);
+}
+
+Span::~Span() {
+  const double elapsed = watch_.seconds();
+  auto& stack = span_stack();
+  // Scoping guarantees LIFO destruction; the top entry is this span.
+  if (!stack.empty() && stack.back() == path_) stack.pop_back();
+  Registry::global().histogram(path_ + ".seconds").observe(elapsed);
+  if (accumulate_ != nullptr) *accumulate_ += elapsed;
+}
+
+}  // namespace rwc::obs

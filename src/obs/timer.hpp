@@ -1,0 +1,86 @@
+// RAII wall-clock timing for the observability layer (rwc::obs).
+//
+// Two levels of API:
+//   ScopedTimer — zero-lookup hot-path timer recording into a Histogram
+//                 reference the caller obtained (and cached) beforehand.
+//   Span        — nested tracing: spans opened while another span is alive
+//                 on the same thread record under a dotted path joined from
+//                 the enclosing span names, "<a>.<b>.seconds". The
+//                 controller round is traced this way (see
+//                 docs/OBSERVABILITY.md, "Tracing").
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/registry.hpp"
+
+namespace rwc::obs {
+
+/// Monotonic wall-clock stopwatch.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Records the lifetime of the scope into `histogram` (seconds). When
+/// `accumulate_seconds` is non-null the elapsed time is also added there —
+/// used to fill per-round stat structs alongside the global histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram,
+                       double* accumulate_seconds = nullptr)
+      : histogram_(histogram), accumulate_(accumulate_seconds) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const double elapsed = watch_.seconds();
+    histogram_.observe(elapsed);
+    if (accumulate_ != nullptr) *accumulate_ += elapsed;
+  }
+
+ private:
+  Histogram& histogram_;
+  double* accumulate_;
+  StopWatch watch_;
+};
+
+/// Nested tracing span. On destruction, records its lifetime (seconds) into
+/// the global registry's histogram named by the dotted join of all enclosing
+/// span names plus ".seconds": a `Span("solve")` inside a
+/// `Span("controller.round")` records into "controller.round.solve.seconds".
+///
+/// The span stack is per-thread; spans must be destroyed in LIFO order
+/// (guaranteed by scoping). Prefer ScopedTimer in per-iteration hot loops —
+/// a Span pays one registry lookup when it closes.
+class Span {
+ public:
+  explicit Span(std::string_view name, double* accumulate_seconds = nullptr);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// The full dotted path of the span ("controller.round.solve").
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  double* accumulate_;
+  StopWatch watch_;
+};
+
+}  // namespace rwc::obs

@@ -1,0 +1,7 @@
+// Library identification for rwc_obs.
+namespace rwc::obs {
+
+/// Version string of the obs subsystem (matches the top-level project).
+const char* version() { return "1.0.0"; }
+
+}  // namespace rwc::obs

@@ -13,6 +13,12 @@
 #include "util/table.hpp"
 #include "util/units.hpp"
 
+// obs — observability (metrics registry, tracing, exporters)
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+
 // graph — topologies and path algorithms
 #include "graph/connectivity.hpp"
 #include "graph/dijkstra.hpp"

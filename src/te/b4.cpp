@@ -7,6 +7,7 @@
 
 #include "flow/network.hpp"
 #include "graph/ksp.hpp"
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 
 namespace rwc::te {
@@ -16,6 +17,12 @@ using util::Gbps;
 FlowAssignment B4Te::solve(const graph::Graph& graph,
                            const TrafficMatrix& demands) const {
   RWC_EXPECTS(options_.quantum.value > 0.0);
+  static auto& solves = obs::Registry::global().counter("te.b4.solves");
+  static auto& seconds =
+      obs::Registry::global().histogram("te.b4.solve_seconds");
+  solves.add();
+  obs::ScopedTimer timer(seconds);
+
   FlowAssignment result;
   result.routings.resize(demands.size());
   for (std::size_t i = 0; i < demands.size(); ++i)

@@ -6,6 +6,7 @@
 #include "flow/decompose.hpp"
 #include "flow/mincost.hpp"
 #include "flow/network.hpp"
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 
 namespace rwc::te {
@@ -14,6 +15,12 @@ using util::Gbps;
 
 FlowAssignment McfTe::solve(const graph::Graph& graph,
                             const TrafficMatrix& demands) const {
+  static auto& solves = obs::Registry::global().counter("te.mcf.solves");
+  static auto& seconds =
+      obs::Registry::global().histogram("te.mcf.solve_seconds");
+  solves.add();
+  obs::ScopedTimer timer(seconds);
+
   FlowAssignment result;
   result.routings.resize(demands.size());
   for (std::size_t i = 0; i < demands.size(); ++i)

@@ -7,6 +7,7 @@
 #include "flow/network.hpp"
 #include "graph/ksp.hpp"
 #include "lp/simplex.hpp"
+#include "obs/timer.hpp"
 #include "util/check.hpp"
 
 namespace rwc::te {
@@ -79,6 +80,12 @@ void add_shared_constraints(lp::LpProblem& problem, const graph::Graph& graph,
 
 FlowAssignment SwanTe::solve(const graph::Graph& graph,
                              const TrafficMatrix& demands) const {
+  static auto& solves = obs::Registry::global().counter("te.swan.solves");
+  static auto& seconds =
+      obs::Registry::global().histogram("te.swan.solve_seconds");
+  solves.add();
+  obs::ScopedTimer timer(seconds);
+
   FlowAssignment result;
   result.routings.resize(demands.size());
   for (std::size_t i = 0; i < demands.size(); ++i)
