@@ -5,12 +5,15 @@
 
 #include "bench_common.hpp"
 #include "core/augment.hpp"
+#include "core/controller.hpp"
 #include "core/translate.hpp"
+#include "exec/thread_pool.hpp"
 #include "flow/graph_adapter.hpp"
 #include "flow/maxflow.hpp"
 #include "flow/mincost.hpp"
 #include "graph/ksp.hpp"
 #include "lp/simplex.hpp"
+#include "sim/simulator.hpp"
 #include "sim/topology.hpp"
 #include "sim/workload.hpp"
 #include "te/mcf_te.hpp"
@@ -24,7 +27,9 @@ namespace {
 using namespace rwc;
 
 graph::Graph make_topology(int nodes, std::uint64_t seed) {
-  util::Rng rng(seed);
+  // Stream 0 of a seed is bit-identical to Rng(seed), so the topologies
+  // match the pre-split benchmarks exactly.
+  util::Rng rng = util::Rng::stream(seed, 0);
   return sim::waxman(nodes, rng);
 }
 
@@ -155,6 +160,129 @@ void BM_AnalyzeLinkStreaming(benchmark::State& state) {
   state.SetLabel(std::to_string(trace.size()) + " samples");
 }
 BENCHMARK(BM_AnalyzeLinkStreaming)->Arg(30)->Arg(180)->Arg(912);
+
+// Controller-round setup shared by the pool-sweep and warm-start variants:
+// a loaded Waxman WAN with SNR headroom everywhere, so every round has
+// variable links, upgrades and a real consolidation pass.
+struct ControllerRoundFixture {
+  graph::Graph g;
+  te::TrafficMatrix demands;
+  std::vector<util::Db> snr;
+
+  explicit ControllerRoundFixture(int nodes) : g(make_topology(nodes, 6)) {
+    util::Rng rng = util::Rng::stream(7, 0);
+    sim::GravityParams gravity;
+    gravity.total = util::Gbps{g.total_capacity().value / 2.0};
+    gravity.sparsity = 0.9;
+    demands = sim::gravity_matrix(g, gravity, rng);
+    snr.assign(g.edge_count(), util::Db{20.0});
+  }
+};
+
+// Full controller round (augment -> solve -> translate -> consolidate) at
+// pool sizes 1..8. Warm starts off so the timing isolates the speculative-
+// wave consolidation scaling; the chosen plan is identical at every size.
+void BM_ControllerRound(benchmark::State& state) {
+  const ControllerRoundFixture fixture(static_cast<int>(state.range(0)));
+  te::McfTe::Options engine_options;
+  engine_options.warm_start = false;
+  const te::McfTe engine(engine_options);
+  exec::ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  core::ControllerOptions options;
+  options.pool = &pool;
+  std::uint64_t evaluations = 0;
+  for (auto _ : state) {
+    core::DynamicCapacityController controller(
+        fixture.g, optical::ModulationTable::standard(), engine, options);
+    const auto report = controller.run_round(fixture.snr, fixture.demands);
+    evaluations = report.stats.evaluations;
+    benchmark::DoNotOptimize(report.total_routed.value);
+  }
+  state.SetLabel(std::to_string(state.range(1)) + " threads, " +
+                 std::to_string(evaluations) + " evals");
+}
+BENCHMARK(BM_ControllerRound)
+    ->Args({50, 1})
+    ->Args({50, 2})
+    ->Args({50, 4})
+    ->Args({50, 8})
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->Args({100, 4})
+    ->Args({100, 8});
+
+// Warm-started vs cold min-cost solves across repeated controller rounds at
+// pool size 1: the engine (and its replay cache) persists across
+// iterations, so every round after the first hits recorded augmenting-path
+// sequences. Identical plans either way; only the time differs.
+// Consolidation is off so the rounds exercise the steady-state re-solve
+// path the warm start targets (recurring per-demand networks); trial
+// evaluations during consolidation each build one-shot networks that no
+// bounded cache can usefully retain (docs/CONCURRENCY.md, "Warm starts").
+void BM_ControllerRoundWarm(benchmark::State& state) {
+  const ControllerRoundFixture fixture(static_cast<int>(state.range(0)));
+  te::McfTe::Options engine_options;
+  engine_options.warm_start = state.range(1) != 0;
+  const te::McfTe engine(engine_options);
+  exec::ThreadPool pool(1);
+  core::ControllerOptions options;
+  options.pool = &pool;
+  options.consolidate = false;
+  {
+    // Untimed warm-up round: populates the engine's replay cache with this
+    // round's augmenting-path recordings (steady-state controller rounds
+    // re-solve recurring networks). A no-op for the cold arm.
+    core::DynamicCapacityController controller(
+        fixture.g, optical::ModulationTable::standard(), engine, options);
+    benchmark::DoNotOptimize(
+        controller.run_round(fixture.snr, fixture.demands).total_routed);
+  }
+  for (auto _ : state) {
+    core::DynamicCapacityController controller(
+        fixture.g, optical::ModulationTable::standard(), engine, options);
+    benchmark::DoNotOptimize(
+        controller.run_round(fixture.snr, fixture.demands).total_routed);
+  }
+  state.SetLabel(state.range(1) != 0 ? "warm" : "cold");
+}
+BENCHMARK(BM_ControllerRoundWarm)
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Args({100, 0})
+    ->Args({100, 1});
+
+// Four-policy simulator sweep through sim::run_scenarios at pool sizes
+// 1..8. Scenario results are positionally ordered and identical at every
+// pool size.
+void BM_ScenarioSweep(benchmark::State& state) {
+  const graph::Graph topology = sim::abilene();
+  util::Rng rng = util::Rng::stream(42, 1);
+  sim::GravityParams gravity;
+  gravity.total = util::Gbps{topology.total_capacity().value / 2.0};
+  const auto demands = sim::gravity_matrix(topology, gravity, rng);
+  const te::McfTe engine;
+  std::vector<sim::Scenario> scenarios;
+  for (sim::CapacityPolicy policy :
+       {sim::CapacityPolicy::kStatic, sim::CapacityPolicy::kStaticAggressive,
+        sim::CapacityPolicy::kDynamic,
+        sim::CapacityPolicy::kDynamicHitless}) {
+    sim::SimulationConfig config;
+    config.horizon = 6.0 * util::kHour;
+    config.te_interval = 30.0 * util::kMinute;
+    config.policy = policy;
+    config.seed = 1701;
+    scenarios.push_back({sim::to_string(policy), config});
+  }
+  exec::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto results =
+        sim::run_scenarios(topology, engine, demands, scenarios, &pool);
+    benchmark::DoNotOptimize(results.front().metrics.delivered_gbps_hours);
+  }
+  state.SetLabel(std::to_string(scenarios.size()) + " scenarios, " +
+                 std::to_string(state.range(0)) + " threads");
+}
+BENCHMARK(BM_ScenarioSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_SimplexDense(benchmark::State& state) {
   // Random feasible LP: n variables, n/2 constraints.

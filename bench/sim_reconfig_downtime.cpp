@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   // Per-change downtime distribution, directly.
   const bvt::LatencyModel latency;
-  util::Rng rng(3);
+  util::Rng rng = util::Rng::stream(3, 0);  // == Rng(3)
   util::TextTable per_change({"procedure", "mean", "p99"});
   for (bvt::Procedure procedure :
        {bvt::Procedure::kStandard, bvt::Procedure::kEfficient}) {
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
                         "downtime h", "delivered", "lost vs hitless"});
   const double fabric = topology.total_capacity().value / 2.0;
   for (double scale : {1.0, 1.5, 2.0}) {
-    util::Rng demand_rng(11);
+    util::Rng demand_rng = util::Rng::stream(11, 0);  // == Rng(11)
     sim::GravityParams gravity;
     gravity.total = util::Gbps{fabric * scale};
     const auto demands = sim::gravity_matrix(topology, gravity, demand_rng);

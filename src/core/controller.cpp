@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
 #include "flow/network.hpp"
 #include "obs/timer.hpp"
 #include "util/check.hpp"
@@ -70,6 +72,16 @@ struct SolverCounters {
   }
 };
 
+/// Folds the stage timings and evaluation count of one candidate trial
+/// into the round's stats. Only the fields evaluate() touches.
+void merge_eval_stats(DynamicCapacityController::RoundStats& into,
+                      const DynamicCapacityController::RoundStats& from) {
+  into.augment_seconds += from.augment_seconds;
+  into.solve_seconds += from.solve_seconds;
+  into.translate_seconds += from.translate_seconds;
+  into.evaluations += from.evaluations;
+}
+
 }  // namespace
 
 DynamicCapacityController::DynamicCapacityController(
@@ -129,6 +141,90 @@ ReconfigurationPlan DynamicCapacityController::evaluate(
       translate_assignment(current, augmented, variable_links, assignment);
   stats.translate_seconds += watch.seconds();
   return plan;
+}
+
+void DynamicCapacityController::consolidate(
+    exec::ThreadPool& pool, const graph::Graph& current,
+    std::span<const VariableLink> variable_links,
+    const te::TrafficMatrix& demands, RoundReport& report) const {
+  // Try cheapest-traffic upgrades first: they are the likeliest to be
+  // gratuitous tie-break artifacts.
+  auto by_traffic = report.plan.upgrades;
+  std::sort(by_traffic.begin(), by_traffic.end(),
+            [](const CapacityChange& a, const CapacityChange& b) {
+              return a.upgrade_traffic < b.upgrade_traffic;
+            });
+
+  // Variable-link set for testing the removal of `candidate` against the
+  // current plan: links still upgraded by the plan, minus the candidate.
+  const auto reduced_links = [&](const CapacityChange& candidate) {
+    std::vector<VariableLink> reduced(variable_links.begin(),
+                                      variable_links.end());
+    std::erase_if(reduced, [&](const VariableLink& link) {
+      const bool still_upgraded = std::any_of(
+          report.plan.upgrades.begin(), report.plan.upgrades.end(),
+          [&](const CapacityChange& u) { return u.edge == link.edge; });
+      return !still_upgraded || link.edge == candidate.edge;
+    });
+    return reduced;
+  };
+  const auto accept = [&](const ReconfigurationPlan& trial) {
+    const double before_routed =
+        report.plan.physical_assignment.total_routed.value;
+    return trial.physical_assignment.total_routed.value >=
+               before_routed - 1e-6 &&
+           trial.total_penalty <= report.plan.total_penalty + 1e-6 &&
+           trial.upgrades.size() < report.plan.upgrades.size();
+  };
+
+  if (pool.thread_count() <= 1) {
+    for (const CapacityChange& candidate : by_traffic) {
+      if (report.plan.upgrades.size() <= 1) break;
+      ReconfigurationPlan trial =
+          evaluate(current, reduced_links(candidate), demands, report.stats);
+      if (accept(trial)) report.plan = std::move(trial);
+    }
+    return;
+  }
+
+  // Speculative waves. A window of upcoming candidates is evaluated
+  // concurrently against the frozen current plan, then scanned IN
+  // CANDIDATE ORDER for the first acceptance. In the serial loop, every
+  // rejection before the first acceptance was evaluated against that same
+  // plan, so the scan reproduces the serial decision sequence exactly;
+  // trials past the acceptance point were computed against a stale plan
+  // and are discarded (a later wave re-evaluates them against the updated
+  // plan). The window bounds that speculative waste to window-1
+  // evaluations per acceptance — two chunks per worker keeps every thread
+  // busy without over-speculating past likely acceptances. The only
+  // observable difference from serial is that RoundStats counts the
+  // discarded speculative evaluations as work performed.
+  const std::size_t window = pool.thread_count() * 2;
+  std::size_t next = 0;
+  while (next < by_traffic.size() && report.plan.upgrades.size() > 1) {
+    const std::size_t wave = std::min(window, by_traffic.size() - next);
+    std::vector<ReconfigurationPlan> trials(wave);
+    std::vector<RoundStats> trial_stats(wave);
+    exec::parallel_for(pool, wave, [&](std::size_t i) {
+      trials[i] = evaluate(current, reduced_links(by_traffic[next + i]),
+                           demands, trial_stats[i]);
+    });
+    std::size_t accepted = wave;
+    for (std::size_t i = 0; i < wave; ++i) {
+      if (accept(trials[i])) {
+        accepted = i;
+        break;
+      }
+    }
+    for (const RoundStats& s : trial_stats)
+      merge_eval_stats(report.stats, s);
+    if (accepted == wave) {
+      next += wave;  // whole window rejected; move on to the next one
+      continue;
+    }
+    report.plan = std::move(trials[accepted]);
+    next += accepted + 1;
+  }
 }
 
 DynamicCapacityController::RoundReport
@@ -202,38 +298,10 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
     // or penalty (fewest activations among cost-equal optima).
     if (options_.consolidate && !report.plan.upgrades.empty()) {
       obs::StopWatch consolidate_watch;
-      // Try cheapest-traffic upgrades first: they are the likeliest to be
-      // gratuitous tie-break artifacts.
-      auto by_traffic = report.plan.upgrades;
-      std::sort(by_traffic.begin(), by_traffic.end(),
-                [](const CapacityChange& a, const CapacityChange& b) {
-                  return a.upgrade_traffic < b.upgrade_traffic;
-                });
-      for (const CapacityChange& candidate : by_traffic) {
-        if (report.plan.upgrades.size() <= 1) break;
-        std::vector<VariableLink> reduced = variable_links;
-        std::erase_if(reduced, [&](const VariableLink& link) {
-          const bool still_upgraded =
-              std::any_of(report.plan.upgrades.begin(),
-                          report.plan.upgrades.end(),
-                          [&](const CapacityChange& u) {
-                            return u.edge == link.edge;
-                          });
-          // Keep only links that are still part of the plan, minus the
-          // candidate being tested.
-          return !still_upgraded || link.edge == candidate.edge;
-        });
-        ReconfigurationPlan trial =
-            evaluate(current, reduced, demands, report.stats);
-        const double before_routed =
-            report.plan.physical_assignment.total_routed.value;
-        if (trial.physical_assignment.total_routed.value >=
-                before_routed - 1e-6 &&
-            trial.total_penalty <= report.plan.total_penalty + 1e-6 &&
-            trial.upgrades.size() < report.plan.upgrades.size()) {
-          report.plan = std::move(trial);
-        }
-      }
+      exec::ThreadPool& pool = options_.pool != nullptr
+                                   ? *options_.pool
+                                   : exec::ThreadPool::global();
+      consolidate(pool, current, variable_links, demands, report);
       report.stats.consolidate_seconds = consolidate_watch.seconds();
     }
 

@@ -29,6 +29,10 @@
 #include "te/algorithm.hpp"
 #include "te/consistent_update.hpp"
 
+namespace rwc::exec {
+class ThreadPool;
+}
+
 namespace rwc::core {
 
 /// An SNR-forced capacity reduction (from > to; to == 0 means link down).
@@ -58,6 +62,13 @@ struct ControllerOptions {
   std::vector<ProtectedFlow> protected_flows;
   /// Penalty policy; defaults to TrafficProportionalPenalty.
   std::shared_ptr<const PenaltyPolicy> penalty;
+  /// Thread pool for the consolidation pass's candidate evaluations;
+  /// nullptr selects exec::ThreadPool::global(). The chosen plan is
+  /// identical at every pool size (speculative waves replicate the serial
+  /// acceptance sequence — docs/CONCURRENCY.md); only RoundStats work
+  /// counters may include discarded speculative evaluations at sizes >= 2.
+  /// Requires the TE engine's solve() to be safe to call concurrently.
+  exec::ThreadPool* pool = nullptr;
 };
 
 class DynamicCapacityController {
@@ -145,6 +156,16 @@ class DynamicCapacityController {
                                std::span<const VariableLink> variable_links,
                                const te::TrafficMatrix& demands,
                                RoundStats& stats) const;
+
+  /// Consolidation post-pass on report.plan: drops upgrades whose removal
+  /// does not hurt throughput or penalty. Serial at pool sizes <= 1; at
+  /// larger sizes the remaining candidates are evaluated in speculative
+  /// waves whose in-order acceptance scan reproduces the serial decision
+  /// sequence bit-for-bit.
+  void consolidate(exec::ThreadPool& pool, const graph::Graph& current,
+                   std::span<const VariableLink> variable_links,
+                   const te::TrafficMatrix& demands,
+                   RoundReport& report) const;
 
   graph::Graph physical_;
   optical::ModulationTable table_;

@@ -1,0 +1,101 @@
+// Deterministic parallel algorithms on top of exec::ThreadPool.
+//
+// parallel_for / parallel_map split an index range into chunks, run the
+// chunks on the pool, and (for parallel_map) reduce results in index order.
+// The determinism contract (docs/CONCURRENCY.md):
+//
+//   * Work is assigned by index: task i always computes element i, whatever
+//     thread runs it and in whatever order chunks complete.
+//   * Results land in pre-sized slots, so the reduction order — and
+//     therefore every floating-point rounding — matches the serial loop.
+//   * Exceptions are re-thrown in index order: the caller always sees the
+//     exception the serial loop would have seen first.
+//
+// Consequently outputs are bit-identical for every pool size, including 0
+// (inline serial). Re-entrant calls from a worker thread of the same pool
+// run inline, so nested parallelism cannot deadlock.
+#pragma once
+
+#include <exception>
+#include <latch>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "util/check.hpp"
+
+namespace rwc::exec {
+
+namespace detail {
+
+/// Chunk bounds: splits [0, n) into roughly `pieces` contiguous chunks.
+inline std::vector<std::pair<std::size_t, std::size_t>> chunk_range(
+    std::size_t n, std::size_t pieces) {
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  if (n == 0) return chunks;
+  if (pieces == 0) pieces = 1;
+  if (pieces > n) pieces = n;
+  const std::size_t base = n / pieces;
+  const std::size_t extra = n % pieces;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < pieces; ++c) {
+    const std::size_t size = base + (c < extra ? 1 : 0);
+    chunks.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return chunks;
+}
+
+}  // namespace detail
+
+/// Runs body(i) for every i in [0, n). Body must be safe to call from
+/// multiple threads for distinct i and must not touch shared mutable state
+/// (that is what makes the result order-independent). Blocks until all
+/// iterations finished; rethrows the lowest-index exception.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t n, Body&& body) {
+  if (n == 0) return;
+  // Serial pool, single iteration, or re-entry from one of our own
+  // workers: run inline. Inline execution is the semantic baseline the
+  // parallel path must reproduce bit-identically.
+  if (pool.thread_count() <= 1 || n == 1 || pool.on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // A few chunks per worker amortizes queue traffic while leaving enough
+  // slack for stealing to balance uneven chunk costs.
+  const auto chunks =
+      detail::chunk_range(n, pool.thread_count() * 4);
+  std::vector<std::exception_ptr> errors(chunks.size());
+  std::latch done(static_cast<std::ptrdiff_t>(chunks.size()));
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    pool.submit([&, c] {
+      const auto [begin, end] = chunks[c];
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+  for (const std::exception_ptr& error : errors)
+    if (error != nullptr) std::rethrow_exception(error);
+}
+
+/// Computes fn(i) for every i in [0, n) and returns the results in index
+/// order. T must be default-constructible; fn is called exactly once per
+/// index. Deterministic, order-preserving reduction: element i of the
+/// returned vector is always fn(i).
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using T = decltype(fn(std::size_t{0}));
+  std::vector<T> results(n);
+  parallel_for(pool, n, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace rwc::exec

@@ -1,0 +1,167 @@
+#include "exec/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "util/check.hpp"
+
+namespace rwc::exec {
+
+namespace {
+
+/// Handles into the global registry (docs/OBSERVABILITY.md: exec.*).
+struct PoolMetrics {
+  obs::Counter& tasks;
+  obs::Counter& steals;
+  obs::Gauge& threads;
+  obs::Gauge& utilization;
+
+  static PoolMetrics& instance() {
+    static auto& registry = obs::Registry::global();
+    static PoolMetrics metrics{
+        registry.counter("exec.tasks"),
+        registry.counter("exec.steals"),
+        registry.gauge("exec.pool.threads"),
+        registry.gauge("exec.pool_utilization"),
+    };
+    return metrics;
+  }
+};
+
+/// The pool (if any) whose worker loop the current thread is running.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+/// Workers currently executing a task, across all pools. Feeds the
+/// exec.pool_utilization gauge (active / configured threads).
+std::atomic<std::size_t> active_workers{0};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(wake_mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  RWC_EXPECTS(task != nullptr);
+  if (workers_.empty()) {
+    // Serial pool: run inline. Keeps submit() usable at size 0.
+    PoolMetrics::instance().tasks.add();
+    task();
+    return;
+  }
+  {
+    std::lock_guard lock(wake_mutex_);
+    RWC_CHECK_MSG(!stopping_, "submit on a stopping ThreadPool");
+    auto& queue = *queues_[next_queue_];
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    std::lock_guard queue_lock(queue.mutex);
+    queue.tasks.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() const {
+  return current_worker_pool == this;
+}
+
+bool ThreadPool::try_pop_own(std::size_t self, std::function<void()>& task) {
+  auto& queue = *queues_[self];
+  std::lock_guard lock(queue.mutex);
+  if (queue.tasks.empty()) return false;
+  task = std::move(queue.tasks.back());  // LIFO: newest, cache-warm
+  queue.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t self, std::function<void()>& task) {
+  const std::size_t n = queues_.size();
+  for (std::size_t offset = 1; offset < n; ++offset) {
+    auto& victim = *queues_[(self + offset) % n];
+    std::lock_guard lock(victim.mutex);
+    if (victim.tasks.empty()) continue;
+    task = std::move(victim.tasks.front());  // FIFO: oldest first
+    victim.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  current_worker_pool = this;
+  auto& metrics = PoolMetrics::instance();
+  const double configured = static_cast<double>(queues_.size());
+  for (;;) {
+    std::function<void()> task;
+    bool stolen = false;
+    if (!try_pop_own(self, task)) stolen = try_steal(self, task);
+    if (task == nullptr) {
+      std::unique_lock lock(wake_mutex_);
+      wake_.wait(lock, [&] {
+        if (stopping_) return true;
+        // Re-check queues under the wake mutex: a submit that raced with
+        // our scans has already notified, so we must not sleep past it.
+        for (const auto& queue : queues_) {
+          std::lock_guard queue_lock(queue->mutex);
+          if (!queue->tasks.empty()) return true;
+        }
+        return false;
+      });
+      if (stopping_) {
+        // Drain: only exit once every queue is empty, so no submitted
+        // task is dropped on shutdown.
+        bool any = false;
+        for (const auto& queue : queues_) {
+          std::lock_guard queue_lock(queue->mutex);
+          any = any || !queue->tasks.empty();
+        }
+        if (!any) return;
+      }
+      continue;
+    }
+
+    metrics.tasks.add();
+    if (stolen) metrics.steals.add();
+    const auto active = active_workers.fetch_add(1) + 1;
+    metrics.utilization.set(static_cast<double>(active) / configured);
+    task();
+    active_workers.fetch_sub(1);
+  }
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  static const std::size_t count = [] {
+    if (const char* env = std::getenv("RWC_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 0) return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw > 0 ? hw : 1);
+  }();
+  return count;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_thread_count());
+  PoolMetrics::instance().threads.set(
+      static_cast<double>(pool.thread_count()));
+  return pool;
+}
+
+}  // namespace rwc::exec

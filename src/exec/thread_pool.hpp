@@ -1,0 +1,82 @@
+// Fixed-size work-stealing thread pool (rwc::exec).
+//
+// The execution layer for every parallel hot path in librwc: controller
+// consolidation candidates, simulator scenario sweeps and per-link telemetry
+// analysis all fan out through one ThreadPool. Design goals, in order:
+//
+//   1. Determinism. The pool only *schedules*; it never changes results.
+//      parallel_for / parallel_map (parallel.hpp) assign work by index and
+//      reduce in index order, so outputs are bit-identical to a serial run
+//      regardless of pool size or steal interleaving (the full contract
+//      lives in docs/CONCURRENCY.md).
+//   2. No nested deadlock. A worker thread that re-enters parallel code
+//      runs it inline instead of blocking on its own pool.
+//   3. Observability. Task and steal counts stream into the global
+//      obs::Registry (exec.tasks, exec.steals, exec.pool_utilization — see
+//      docs/OBSERVABILITY.md).
+//
+// Work stealing: each worker owns a deque; submitted tasks are distributed
+// round-robin; a worker pops LIFO from its own deque (cache-warm) and
+// steals FIFO from its victims (oldest first, classic Blumofe-Leiserson
+// order) when its own deque runs dry.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rwc::exec {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. 0 is allowed and means "no workers": all
+  /// work submitted through parallel_for / parallel_map runs inline on the
+  /// calling thread (the pool is then a pure pass-through).
+  explicit ThreadPool(std::size_t threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Submits one task. Tasks must not block on other tasks of the same
+  /// pool (parallel.hpp's helpers never do; they run inline on re-entry).
+  void submit(std::function<void()> task);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// The process-wide default pool. Sized from the RWC_THREADS environment
+  /// variable when set (0 = serial), else std::thread::hardware_concurrency.
+  /// Created on first use.
+  static ThreadPool& global();
+
+  /// Number of threads global() will be (or was) created with. Reads
+  /// RWC_THREADS once.
+  static std::size_t default_thread_count();
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop_own(std::size_t self, std::function<void()>& task);
+  bool try_steal(std::size_t self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::size_t next_queue_ = 0;  // round-robin submit cursor (under wake_mutex_)
+  bool stopping_ = false;       // under wake_mutex_
+};
+
+}  // namespace rwc::exec

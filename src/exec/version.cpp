@@ -1,0 +1,7 @@
+// Library identification for rwc_exec.
+namespace rwc::exec {
+
+/// Version string of the exec subsystem (matches the top-level project).
+const char* version() { return "1.0.0"; }
+
+}  // namespace rwc::exec

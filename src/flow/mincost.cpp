@@ -1,6 +1,7 @@
 #include "flow/mincost.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <queue>
 #include <vector>
 
@@ -87,65 +88,209 @@ DijkstraResult dijkstra_reduced(const ResidualNetwork& net, int source,
   return result;
 }
 
+/// Word-at-a-time mixer (murmur3-finalizer style). The fingerprint runs
+/// once per warm-capable solve over every arc, so it must cost one
+/// multiply chain per 64-bit word, not one per byte.
+inline std::uint64_t mix64(std::uint64_t hash, std::uint64_t value) {
+  value *= 0xff51afd7ed558ccdULL;
+  value ^= value >> 33;
+  hash = (hash ^ value) * 0x2545f4914f6cdd1dULL;
+  return hash ^ (hash >> 29);
+}
+
 }  // namespace
 
+std::uint64_t network_fingerprint(const ResidualNetwork& net, int source,
+                                  int sink) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  hash = mix64(hash, net.node_count());
+  hash = mix64(hash, net.arc_count());
+  hash = mix64(hash, static_cast<std::uint64_t>(source));
+  hash = mix64(hash, static_cast<std::uint64_t>(sink));
+  for (std::size_t arc = 0; arc < net.arc_count(); ++arc) {
+    const int a = static_cast<int>(arc);
+    hash = mix64(hash, static_cast<std::uint64_t>(net.target(a)));
+    hash = mix64(hash, std::bit_cast<std::uint64_t>(net.residual(a)));
+    hash = mix64(hash, std::bit_cast<std::uint64_t>(net.cost(a)));
+  }
+  // Reserve 0 as the "no recording" sentinel.
+  return hash == 0 ? 1 : hash;
+}
+
 MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
-                                    int sink, double flow_limit) {
+                                    int sink, double flow_limit,
+                                    MinCostWarmStart* warm) {
   RWC_EXPECTS(source != sink);
   RWC_EXPECTS(flow_limit >= 0.0);
 
-  // Potentials: zero when all costs are non-negative, else Bellman-Ford.
-  bool has_negative = false;
-  for (std::size_t arc = 0; arc < net.arc_count(); arc += 2)
-    if (net.cost(static_cast<int>(arc)) < 0.0 &&
-        net.residual(static_cast<int>(arc)) > kFlowEps)
-      has_negative = true;
-  std::vector<double> potential(net.node_count(), 0.0);
-  if (has_negative) {
-    potential = bellman_ford(net, source);
-    // Unreachable nodes keep an infinite potential; dijkstra skips them.
-  }
+  // One registry flush per solve keeps the augmenting loop atomic-free
+  // (docs/OBSERVABILITY.md: flow.mincost.*, solver.warm_*).
+  static auto& runs = obs::Registry::global().counter("flow.mincost.runs");
+  static auto& paths = obs::Registry::global().counter("flow.mincost.paths");
+  static auto& warm_hits =
+      obs::Registry::global().counter("solver.warm_starts");
+  static auto& warm_misses =
+      obs::Registry::global().counter("solver.warm_misses");
 
   MinCostFlowResult result;
   std::uint64_t augmenting_paths = 0;
-  while (result.flow + kFlowEps < flow_limit) {
-    const auto sp = dijkstra_reduced(net, source, sink, potential);
-    if (!sp.reached_sink) break;
+  std::vector<double> potential;
+  const bool recording = warm != nullptr;
+  bool replay_complete = false;  // replay alone satisfied this solve
+  bool resumed = false;          // replay done, continue live from potentials
 
-    // Update potentials with the new distances.
-    for (std::size_t node = 0; node < net.node_count(); ++node) {
-      if (sp.distance[node] == kInf || potential[node] == kInf) continue;
-      potential[node] += sp.distance[node];
+  if (warm != nullptr) {
+    const std::uint64_t fingerprint = network_fingerprint(net, source, sink);
+    if (!warm->empty() && warm->fingerprint == fingerprint) {
+      warm_hits.add();
+      // Replay: push the recorded augmenting paths. The sequence is
+      // limit-independent (see header), so only the truncation of the
+      // final push depends on flow_limit.
+      bool limit_bound = false;
+      for (const MinCostWarmStart::Augmentation& aug : warm->augmentations) {
+        if (!(result.flow + kFlowEps < flow_limit)) {
+          limit_bound = true;
+          break;
+        }
+        const double amount =
+            std::min(aug.bottleneck, flow_limit - result.flow);
+        if (amount <= kFlowEps) {
+          // Mirrors the cold solve's `bottleneck <= eps` break when the
+          // remaining limit (not the residuals) is the binding term.
+          limit_bound = true;
+          break;
+        }
+        for (int arc : aug.arcs) net.push(arc, amount);
+        result.flow += amount;
+        result.cost += amount * aug.path_cost;
+        ++augmenting_paths;
+        if (amount < aug.bottleneck) {  // limit truncated this push
+          limit_bound = true;
+          break;
+        }
+      }
+      if (limit_bound || warm->exhausted) {
+        replay_complete = true;
+      } else {
+        // The recording ended on its own flow limit; resume live SSP from
+        // the recorded potentials to route the remainder (and extend the
+        // recording for next time).
+        potential = warm->final_potential;
+        resumed = true;
+      }
+    } else {
+      warm_misses.add();
+      warm->fingerprint = fingerprint;
+      warm->augmentations.clear();
+      warm->exhausted = false;
+      warm->final_potential.clear();
     }
-
-    // Bottleneck along the shortest path.
-    double bottleneck = flow_limit - result.flow;
-    for (int node = sink; node != source;
-         node = net.source(sp.parent_arc[static_cast<std::size_t>(node)])) {
-      const int arc = sp.parent_arc[static_cast<std::size_t>(node)];
-      bottleneck = std::min(bottleneck, net.residual(arc));
-    }
-    if (bottleneck <= kFlowEps) break;
-
-    double path_cost = 0.0;
-    for (int node = sink; node != source;
-         node = net.source(sp.parent_arc[static_cast<std::size_t>(node)])) {
-      const int arc = sp.parent_arc[static_cast<std::size_t>(node)];
-      path_cost += net.cost(arc);
-      net.push(arc, bottleneck);
-    }
-    result.flow += bottleneck;
-    result.cost += bottleneck * path_cost;
-    ++augmenting_paths;
   }
 
-  // One registry flush per solve keeps the augmenting loop atomic-free
-  // (docs/OBSERVABILITY.md: flow.mincost.*).
-  static auto& runs = obs::Registry::global().counter("flow.mincost.runs");
-  static auto& paths = obs::Registry::global().counter("flow.mincost.paths");
+  if (!replay_complete) {
+    if (!resumed) {
+      // Potentials: zero when all costs are non-negative, else Bellman-Ford.
+      bool has_negative = false;
+      for (std::size_t arc = 0; arc < net.arc_count(); arc += 2)
+        if (net.cost(static_cast<int>(arc)) < 0.0 &&
+            net.residual(static_cast<int>(arc)) > kFlowEps)
+          has_negative = true;
+      potential.assign(net.node_count(), 0.0);
+      if (has_negative) {
+        potential = bellman_ford(net, source);
+        // Unreachable nodes keep an infinite potential; dijkstra skips them.
+      }
+    }
+
+    bool exhausted = false;
+    while (result.flow + kFlowEps < flow_limit) {
+      const auto sp = dijkstra_reduced(net, source, sink, potential);
+      if (!sp.reached_sink) {
+        exhausted = true;
+        break;
+      }
+
+      // Update potentials with the new distances.
+      for (std::size_t node = 0; node < net.node_count(); ++node) {
+        if (sp.distance[node] == kInf || potential[node] == kInf) continue;
+        potential[node] += sp.distance[node];
+      }
+
+      // Bottleneck along the shortest path. The residual-only minimum is
+      // tracked separately: it is what a warm-start recording must store
+      // (the flow limit of a future replay may differ).
+      double residual_bottleneck = kInf;
+      for (int node = sink; node != source;
+           node = net.source(sp.parent_arc[static_cast<std::size_t>(node)])) {
+        const int arc = sp.parent_arc[static_cast<std::size_t>(node)];
+        residual_bottleneck = std::min(residual_bottleneck, net.residual(arc));
+      }
+      const double bottleneck =
+          std::min(flow_limit - result.flow, residual_bottleneck);
+      if (bottleneck <= kFlowEps) {
+        exhausted = residual_bottleneck <= kFlowEps;
+        break;
+      }
+
+      MinCostWarmStart::Augmentation aug;
+      double path_cost = 0.0;
+      for (int node = sink; node != source;
+           node = net.source(sp.parent_arc[static_cast<std::size_t>(node)])) {
+        const int arc = sp.parent_arc[static_cast<std::size_t>(node)];
+        path_cost += net.cost(arc);
+        net.push(arc, bottleneck);
+        if (recording) aug.arcs.push_back(arc);
+      }
+      result.flow += bottleneck;
+      result.cost += bottleneck * path_cost;
+      ++augmenting_paths;
+      if (recording) {
+        aug.bottleneck = residual_bottleneck;
+        aug.path_cost = path_cost;
+        warm->augmentations.push_back(std::move(aug));
+      }
+    }
+    if (recording) {
+      warm->exhausted = exhausted;
+      warm->final_potential = std::move(potential);
+    }
+  }
+
   runs.add();
   paths.add(augmenting_paths);
   return result;
+}
+
+WarmStartCache::WarmStartCache(std::size_t max_entries)
+    : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+std::shared_ptr<const MinCostWarmStart> WarmStartCache::find(
+    std::uint64_t fingerprint) const {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(fingerprint);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+void WarmStartCache::store(
+    std::shared_ptr<const MinCostWarmStart> recording) {
+  RWC_EXPECTS(recording != nullptr && !recording->empty());
+  std::lock_guard lock(mutex_);
+  const std::uint64_t key = recording->fingerprint;
+  const auto [it, inserted] = entries_.insert_or_assign(key,
+                                                        std::move(recording));
+  (void)it;
+  if (inserted) insertion_order_.push_back(key);
+  while (entries_.size() > max_entries_ && !insertion_order_.empty()) {
+    entries_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+  }
+  // hits/misses are counted at the solver (solver.warm_*); the cache only
+  // tracks occupancy.
+}
+
+std::size_t WarmStartCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
 }
 
 }  // namespace rwc::flow

@@ -1,9 +1,27 @@
 // Min-cost flow: successive shortest paths with Johnson potentials.
 // This is the solver Theorem 1's reduction targets — min-cost max-flow on
 // the augmented topology G'.
+//
+// Warm starts: a solve can record its augmenting-path sequence into a
+// MinCostWarmStart; a later solve on a bit-identical initial network (same
+// arcs, capacities, costs, terminals — verified by fingerprint) replays the
+// recording instead of re-running Bellman-Ford and one Dijkstra per path.
+// Replay is EXACT, not approximate: the augmenting-path sequence of the SSP
+// algorithm depends only on the initial network, never on `flow_limit`
+// (the limit only truncates the final augmentation and stops the loop), so
+// the replayed result is bit-identical to the cold solve — including for a
+// different flow_limit, where replay truncates or resumes live SSP from the
+// recorded potentials. On any fingerprint mismatch the solver falls back to
+// a cold solve and re-records. See docs/CONCURRENCY.md ("Warm starts").
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "flow/network.hpp"
 
@@ -14,12 +32,78 @@ struct MinCostFlowResult {
   double cost = 0.0;
 };
 
+/// Fingerprint of a solve's inputs: node/arc structure, initial residuals,
+/// costs and terminals, hashed over exact bit patterns. Two equal
+/// fingerprints mean the solver inputs are bit-identical for all practical
+/// purposes (64-bit collisions are vanishingly unlikely; a collision could
+/// only replay a recording whose first infeasible push trips the
+/// ResidualNetwork push contract rather than silently corrupting results).
+std::uint64_t network_fingerprint(const ResidualNetwork& net, int source,
+                                  int sink);
+
+/// Recording of one solve's augmenting-path sequence, replayable on a
+/// network with the same fingerprint. Value-semantic and cheap to copy
+/// relative to the solve it replaces.
+struct MinCostWarmStart {
+  std::uint64_t fingerprint = 0;
+
+  struct Augmentation {
+    /// Arcs of the path in the solver's traversal order (sink -> source).
+    std::vector<int> arcs;
+    /// Min residual along the path at this point, ignoring the flow limit.
+    double bottleneck = 0.0;
+    /// Sum of arc costs (accumulated in traversal order).
+    double path_cost = 0.0;
+  };
+  std::vector<Augmentation> augmentations;
+  /// True when the recorded solve ended because the sink became
+  /// unreachable (or the path saturated): the sequence is complete for any
+  /// flow limit. False when it ended on its own limit; a replay asking for
+  /// more flow resumes live SSP from `final_potential`.
+  bool exhausted = false;
+  /// Johnson potentials after the recorded solve's last Dijkstra.
+  std::vector<double> final_potential;
+
+  bool empty() const { return fingerprint == 0; }
+};
+
 /// Computes a minimum-cost maximum flow from source to sink (mutating
 /// residuals). When `flow_limit` is finite, stops once that much flow is
 /// routed (min-cost flow of a given value). Costs may be negative as long as
 /// the initial network has no negative-cost cycle of positive capacity.
+///
+/// When `warm` is non-null: if it holds a recording matching this network,
+/// the solve replays it (bit-identical result, counted under
+/// solver.warm_starts); otherwise the solve runs cold and overwrites *warm
+/// with a fresh recording for next time.
 MinCostFlowResult min_cost_max_flow(
     ResidualNetwork& net, int source, int sink,
-    double flow_limit = std::numeric_limits<double>::infinity());
+    double flow_limit = std::numeric_limits<double>::infinity(),
+    MinCostWarmStart* warm = nullptr);
+
+/// Thread-safe fingerprint-keyed store of warm-start recordings with FIFO
+/// eviction. Shared by repeated solves (e.g. one per TE demand per round);
+/// safe under concurrent solvers because replay output is bit-identical to
+/// a cold solve — a lost or duplicated store changes timing, never results.
+class WarmStartCache {
+ public:
+  explicit WarmStartCache(std::size_t max_entries = 512);
+
+  /// The recording for `fingerprint`, or nullptr.
+  std::shared_ptr<const MinCostWarmStart> find(
+      std::uint64_t fingerprint) const;
+
+  /// Stores (or refreshes) the recording under its own fingerprint.
+  void store(std::shared_ptr<const MinCostWarmStart> recording);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t max_entries_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const MinCostWarmStart>>
+      entries_;
+  std::deque<std::uint64_t> insertion_order_;  // FIFO eviction queue
+};
 
 }  // namespace rwc::flow

@@ -1,0 +1,89 @@
+// Cross-round cache of shortest-path computations (rwc::graph).
+//
+// K-shortest-path precomputation (SWAN tunnels, Yen's algorithm) is pure in
+// the graph's *routing structure* — node/edge layout and edge weights — and
+// independent of capacities. Controller rounds and scenario sweeps solve on
+// graphs whose structure recurs across rounds while capacities churn, so
+// the cache keys every entry on a topology version counter plus a weight
+// fingerprint of the graph and answers repeat queries without re-running
+// Yen. Results are by definition bit-identical to recomputation (entries
+// ARE previous results), so caching can never change outputs — only time.
+//
+// Invalidation:
+//   * note_topology_change()        — version bump; drops everything. For
+//     structural edits (nodes/edges added) or weight changes.
+//   * note_capacity_change(edge)    — drops entries whose cached paths
+//     traverse `edge`. Weight-only consumers (SWAN tunnel precomputation)
+//     do not need this; it exists for consumers that cache capacity-derived
+//     data (e.g. bottlenecks) alongside paths. A capacity transition
+//     through zero changes edge *usability* for capacity-filtered
+//     consumers, which should bump the version instead.
+//
+// Thread-safe: lookups/inserts take a mutex; on a miss the KSP computation
+// runs outside the lock, so concurrent solvers only serialize on map
+// access. Hit/miss/invalidation counts stream into the global registry
+// (cache.path.* — docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rwc::graph {
+
+class PathCache {
+ public:
+  /// `max_entries` bounds memory; oldest insertions are evicted first.
+  explicit PathCache(std::size_t max_entries = 4096);
+
+  /// Fingerprint of the routing-relevant structure: node count and every
+  /// edge's (src, dst, weight) in id order. Capacity is deliberately
+  /// excluded — shortest paths by weight do not depend on it.
+  static std::uint64_t weight_fingerprint(const Graph& graph);
+
+  /// k_shortest_paths through the cache: returns the cached result when
+  /// (version, graph fingerprint, source, target, k) was computed before,
+  /// else computes and stores it. Always identical to calling
+  /// graph::k_shortest_paths directly.
+  std::vector<Path> k_shortest(const Graph& graph, NodeId source,
+                               NodeId target, std::size_t k);
+
+  /// Structural or weight change: bumps the version, dropping every entry.
+  void note_topology_change();
+
+  /// Capacity change on `edge` (of a graph with `fingerprint`): drops the
+  /// entries of that graph whose cached paths traverse the edge.
+  void note_capacity_change(std::uint64_t fingerprint, EdgeId edge);
+
+  /// Current topology version (starts at 1).
+  std::uint64_t version() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Key {
+    std::uint64_t fingerprint = 0;
+    std::int32_t source = -1;
+    std::int32_t target = -1;
+    std::size_t k = 0;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    std::vector<Path> paths;
+    std::vector<EdgeId> edges_used;  // sorted, deduplicated
+  };
+
+  void evict_to_capacity_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t max_entries_;
+  std::uint64_t version_ = 1;
+  std::map<Key, Entry> entries_;
+  std::deque<Key> insertion_order_;  // FIFO eviction queue
+};
+
+}  // namespace rwc::graph

@@ -19,12 +19,17 @@
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
 
+// exec — work-stealing thread pool and deterministic parallel loops
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+
 // graph — topologies and path algorithms
 #include "graph/connectivity.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/dot.hpp"
 #include "graph/graph.hpp"
 #include "graph/ksp.hpp"
+#include "graph/path_cache.hpp"
 
 // flow — max-flow / min-cost-flow solvers
 #include "flow/cycle_cancel.hpp"

@@ -5,6 +5,8 @@
 
 #include "core/controller.hpp"
 #include "core/orchestrator.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
 #include "sim/workload.hpp"
 #include "util/check.hpp"
 
@@ -50,11 +52,14 @@ SimulationMetrics WanSimulator::run(const te::TrafficMatrix& base_demands) {
   fleet_params.interval = config_.te_interval;
   fleet_params.model = config_.snr_model;
   telemetry::SnrFleetGenerator fleet(fleet_params, config_.seed);
-  std::vector<telemetry::SnrTrace> traces;
-  traces.reserve(edges);
-  for (std::size_t e = 0; e < edges; ++e)
-    traces.push_back(fleet.generate_trace(static_cast<int>(e / 2),
-                                          static_cast<int>(e % 2)));
+  // Traces are pure per (fiber, lambda), so the fleet can be generated in
+  // parallel with results landing in edge order — identical to the serial
+  // loop at every pool size.
+  const std::vector<telemetry::SnrTrace> traces = exec::parallel_map(
+      exec::ThreadPool::global(), edges, [&](std::size_t e) {
+        return fleet.generate_trace(static_cast<int>(e / 2),
+                                    static_cast<int>(e % 2));
+      });
 
   const bool dynamic = config_.policy == CapacityPolicy::kDynamic ||
                        config_.policy == CapacityPolicy::kDynamicHitless;
@@ -233,6 +238,21 @@ SimulationMetrics WanSimulator::run(const te::TrafficMatrix& base_demands) {
   if (metrics.te_rounds > 0)
     metrics.availability /= static_cast<double>(metrics.te_rounds);
   return metrics;
+}
+
+std::vector<ScenarioResult> run_scenarios(const graph::Graph& topology,
+                                          const te::TeAlgorithm& engine,
+                                          const te::TrafficMatrix& base_demands,
+                                          std::span<const Scenario> scenarios,
+                                          exec::ThreadPool* pool) {
+  exec::ThreadPool& effective =
+      pool != nullptr ? *pool : exec::ThreadPool::global();
+  return exec::parallel_map(
+      effective, scenarios.size(), [&](std::size_t i) {
+        WanSimulator simulator(topology, engine, scenarios[i].config);
+        return ScenarioResult{scenarios[i].name,
+                              simulator.run(base_demands)};
+      });
 }
 
 }  // namespace rwc::sim

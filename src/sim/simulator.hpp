@@ -14,12 +14,19 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "bvt/latency.hpp"
 #include "graph/graph.hpp"
 #include "sim/event.hpp"
 #include "te/algorithm.hpp"
 #include "telemetry/snr_model.hpp"
+
+namespace rwc::exec {
+class ThreadPool;
+}
 
 namespace rwc::sim {
 
@@ -90,5 +97,28 @@ class WanSimulator {
   const te::TeAlgorithm& engine_;
   SimulationConfig config_;
 };
+
+/// One simulation configuration in a sweep (e.g. one policy arm).
+struct Scenario {
+  std::string name;
+  SimulationConfig config;
+};
+
+struct ScenarioResult {
+  std::string name;
+  SimulationMetrics metrics;
+};
+
+/// Runs every scenario against the shared topology/engine/demands,
+/// distributing whole scenarios over `pool` (nullptr selects
+/// exec::ThreadPool::global()). Each scenario's simulation is
+/// self-contained, so results are positionally ordered and bit-identical
+/// at every pool size. The engine's solve() must be safe to call
+/// concurrently (both built-in engines are).
+std::vector<ScenarioResult> run_scenarios(const graph::Graph& topology,
+                                          const te::TeAlgorithm& engine,
+                                          const te::TrafficMatrix& base_demands,
+                                          std::span<const Scenario> scenarios,
+                                          exec::ThreadPool* pool = nullptr);
 
 }  // namespace rwc::sim

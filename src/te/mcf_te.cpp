@@ -54,8 +54,28 @@ FlowAssignment McfTe::solve(const graph::Graph& graph,
           e.src.value, e.dst.value,
           remaining[static_cast<std::size_t>(edge.value)], e.cost);
     }
-    min_cost_max_flow(net, demand.src.value, demand.dst.value,
-                      demand.volume.value);
+    if (options_.warm_start) {
+      // Exact record/replay keyed by the network fingerprint; replay is
+      // bit-identical to the cold solve (see flow/mincost.hpp).
+      const std::uint64_t fingerprint = flow::network_fingerprint(
+          net, demand.src.value, demand.dst.value);
+      const auto cached = warm_cache_.find(fingerprint);
+      flow::MinCostWarmStart warm;
+      if (cached != nullptr) warm = *cached;
+      min_cost_max_flow(net, demand.src.value, demand.dst.value,
+                        demand.volume.value, &warm);
+      // Re-store only when the recording is new or was extended by a
+      // resumed solve; a pure replay leaves it unchanged.
+      if (cached == nullptr ||
+          warm.augmentations.size() != cached->augmentations.size() ||
+          warm.exhausted != cached->exhausted) {
+        warm_cache_.store(
+            std::make_shared<flow::MinCostWarmStart>(std::move(warm)));
+      }
+    } else {
+      min_cost_max_flow(net, demand.src.value, demand.dst.value,
+                        demand.volume.value);
+    }
 
     // Arc index order matches edge id order: arc 2*i is edge i.
     const auto decomposition =

@@ -3,18 +3,48 @@
 // engine the augmentation theorem directly targets: on an augmented topology
 // the min-cost route maximizes throughput while minimizing activation
 // penalty for each demand in turn.
+//
+// Warm starts: every per-demand solve is keyed by an exact fingerprint of
+// its residual network (capacities after earlier demands, costs,
+// terminals). Across controller rounds where little changed — the common
+// steady state — most per-demand networks recur bit-identically and the
+// min-cost solver replays its recorded augmenting paths instead of running
+// Dijkstra per path. Replay is exact, so results are bit-identical to cold
+// solves; on any change the fingerprint misses and the solve runs cold
+// (docs/CONCURRENCY.md, "Warm starts"). Safe under concurrent solve()
+// calls: the cache is thread-safe and only affects timing, never results.
 #pragma once
 
+#include "flow/mincost.hpp"
 #include "te/algorithm.hpp"
 
 namespace rwc::te {
 
 class McfTe final : public TeAlgorithm {
  public:
+  struct Options {
+    /// Record/replay per-demand min-cost solves (exact; on by default).
+    bool warm_start = true;
+    /// Max recordings kept (FIFO); ~one per (demand, topology state). Must
+    /// cover a full round's demand count or cyclic FIFO thrash turns every
+    /// repeat solve into a miss (docs/CONCURRENCY.md, "Warm starts").
+    std::size_t warm_cache_entries = 8192;
+  };
+
+  McfTe() : McfTe(Options{}) {}
+  explicit McfTe(Options options)
+      : options_(options), warm_cache_(options.warm_cache_entries) {}
+
   std::string name() const override { return "mcf"; }
 
   FlowAssignment solve(const graph::Graph& graph,
                        const TrafficMatrix& demands) const override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  mutable flow::WarmStartCache warm_cache_;
 };
 
 }  // namespace rwc::te

@@ -32,14 +32,17 @@ struct LpShape {
 };
 
 LpShape build_shape(const graph::Graph& graph, const TrafficMatrix& demands,
-                    std::size_t k) {
+                    std::size_t k, graph::PathCache* path_cache) {
   LpShape shape;
   shape.by_demand.resize(demands.size());
   for (std::size_t d = 0; d < demands.size(); ++d) {
     if (demands[d].volume.value <= flow::kFlowEps) continue;
     RWC_EXPECTS(demands[d].src != demands[d].dst);
     const auto paths =
-        graph::k_shortest_paths(graph, demands[d].src, demands[d].dst, k);
+        path_cache != nullptr
+            ? path_cache->k_shortest(graph, demands[d].src, demands[d].dst, k)
+            : graph::k_shortest_paths(graph, demands[d].src, demands[d].dst,
+                                      k);
     for (const graph::Path& path : paths) {
       PathVariable variable{d, path, 0.0};
       for (graph::EdgeId edge : path.edges)
@@ -92,7 +95,8 @@ FlowAssignment SwanTe::solve(const graph::Graph& graph,
     result.routings[i].demand = demands[i];
 
   const LpShape shape =
-      build_shape(graph, demands, options_.paths_per_demand);
+      build_shape(graph, demands, options_.paths_per_demand,
+                  options_.use_path_cache ? &path_cache_ : nullptr);
   const int n_vars = static_cast<int>(shape.variables.size());
   if (n_vars == 0) {
     finalize_assignment(graph, result);

@@ -6,6 +6,7 @@
 // max-min fairness within a class via iterative LP water-filling.
 #pragma once
 
+#include "graph/path_cache.hpp"
 #include "te/algorithm.hpp"
 
 namespace rwc::te {
@@ -17,6 +18,11 @@ class SwanTe final : public TeAlgorithm {
     bool max_min_fairness = false;
     /// Relative slack when fixing the throughput between the two passes.
     double throughput_slack = 1e-9;
+    /// Reuse tunnel (k-shortest-path) precomputation across solves on
+    /// structurally identical graphs via graph::PathCache. Tunnels depend
+    /// only on weights, never capacities, so cached results are identical
+    /// to recomputation; the cache only saves time (docs/CONCURRENCY.md).
+    bool use_path_cache = true;
   };
 
   SwanTe() : options_{} {}
@@ -29,6 +35,8 @@ class SwanTe final : public TeAlgorithm {
 
  private:
   Options options_;
+  /// Tunnel precomputation cache; thread-safe, shared across solves.
+  mutable graph::PathCache path_cache_;
 };
 
 }  // namespace rwc::te

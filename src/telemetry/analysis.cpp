@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace rwc::telemetry {
@@ -64,13 +66,19 @@ FleetCapacityReport analyze_fleet(const SnrFleetGenerator& fleet,
                                   Gbps current_static_capacity,
                                   double hdr_coverage) {
   FleetCapacityReport report;
-  const int links = fleet.link_count();
-  report.range_db.reserve(static_cast<std::size_t>(links));
-  report.hdr_width_db.reserve(static_cast<std::size_t>(links));
-  report.feasible_gbps.reserve(static_cast<std::size_t>(links));
-  for (int link = 0; link < links; ++link) {
-    const SnrTrace trace = fleet.generate_trace(link);
-    const LinkSnrStats stats = analyze_link(trace, table, hdr_coverage);
+  const auto links = static_cast<std::size_t>(fleet.link_count());
+  // Trace generation + per-link analysis is pure per link index, so it
+  // fans out over the pool; the reduction below runs serially in link
+  // order, keeping the report bit-identical at every pool size.
+  const std::vector<LinkSnrStats> per_link = exec::parallel_map(
+      exec::ThreadPool::global(), links, [&](std::size_t link) {
+        const SnrTrace trace = fleet.generate_trace(static_cast<int>(link));
+        return analyze_link(trace, table, hdr_coverage);
+      });
+  report.range_db.reserve(links);
+  report.hdr_width_db.reserve(links);
+  report.feasible_gbps.reserve(links);
+  for (const LinkSnrStats& stats : per_link) {
     report.range_db.push_back(stats.range_db);
     report.hdr_width_db.push_back(stats.hdr_width_db);
     report.feasible_gbps.push_back(stats.feasible_capacity.value);

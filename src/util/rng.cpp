@@ -135,6 +135,15 @@ std::size_t Rng::pick_weighted(std::span<const double> weights) {
   return weights.size() - 1;  // numerical edge: land on last positive weight
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  if (stream_id == 0) return Rng(seed);
+  // Mix the stream id through splitmix64 before combining: consecutive ids
+  // must land on decorrelated seeds.
+  std::uint64_t s = stream_id * 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t mixed = splitmix64(s);
+  return Rng(seed ^ mixed);
+}
+
 Rng Rng::fork(std::uint64_t stream) const {
   // Mix our state with the stream id through splitmix64 for a decorrelated
   // child; const state copy keeps the parent sequence untouched.

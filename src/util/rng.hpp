@@ -61,6 +61,15 @@ class Rng {
   /// Derive a statistically independent substream keyed by `stream`.
   Rng fork(std::uint64_t stream) const;
 
+  /// Splittable construction: the generator for stream `stream_id` of the
+  /// family rooted at `seed`. Unlike fork(), the derivation is a pure
+  /// function of (seed, stream_id) — independent of any generator state or
+  /// call order — which is what makes per-task RNGs deterministic under any
+  /// thread-pool size (docs/CONCURRENCY.md). Stream 0 is the root stream:
+  /// `Rng::stream(seed, 0)` is bit-identical to `Rng(seed)`, so call sites
+  /// migrate without perturbing existing outputs.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;

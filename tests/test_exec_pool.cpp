@@ -1,0 +1,150 @@
+// Tests for the exec work-stealing pool and the deterministic parallel
+// loop helpers (exec/thread_pool.hpp, exec/parallel.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/registry.hpp"
+
+namespace rwc::exec {
+namespace {
+
+TEST(ThreadPool, ZeroThreadsRunsSubmittedTasksInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);  // no workers: submit executes on the calling thread
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  // Destructor drains the queues; after scope exit all tasks ran.
+  while (count.load() < 100) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DrainsPendingTasksOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) pool.submit([&] { ++count; });
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, OnWorkerThreadIsVisibleOnlyInsideTasks) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_worker_thread());
+  std::atomic<bool> seen{false};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    seen = pool.on_worker_thread();
+    done = true;
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_TRUE(seen.load());
+}
+
+TEST(ThreadPool, GlobalPoolIsCreatedOnce) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelMap, ResultsAreInIndexOrderAtEveryPoolSize) {
+  const auto serial = [](std::size_t i) {
+    return std::sin(static_cast<double>(i)) * 1e6;
+  };
+  ThreadPool serial_pool(0);
+  const std::vector<double> expected = parallel_map(serial_pool, 1000, serial);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    const std::vector<double> got = parallel_map(pool, 1000, serial);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      ASSERT_EQ(got[i], expected[i]) << "bitwise mismatch at " << i;
+  }
+}
+
+TEST(ParallelFor, RethrowsLowestIndexException) {
+  // Indices 100 and 700 both throw; the serial loop would hit 100 first, so
+  // the parallel run must surface exactly that one at any pool size.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    try {
+      parallel_for(pool, 1000, [](std::size_t i) {
+        if (i == 100) throw std::runtime_error("first");
+        if (i == 700) throw std::runtime_error("second");
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "first");
+    }
+  }
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  parallel_for(pool, 8, [&](std::size_t) {
+    // Re-entry from a worker: must run inline rather than blocking the
+    // worker on its own pool.
+    parallel_for(pool, 8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelFor, RecordsTaskMetrics) {
+  auto& tasks = obs::Registry::global().counter("exec.tasks");
+  const std::uint64_t before = tasks.value();
+  ThreadPool pool(2);
+  parallel_for(pool, 64, [](std::size_t) {});
+  EXPECT_GT(tasks.value(), before);
+}
+
+TEST(ChunkRange, PartitionsWithoutGapsOrOverlap) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    for (std::size_t pieces : {1u, 3u, 8u, 2000u}) {
+      const auto chunks = detail::chunk_range(n, pieces);
+      std::size_t covered = 0;
+      std::size_t expected_begin = 0;
+      for (const auto& [begin, end] : chunks) {
+        ASSERT_EQ(begin, expected_begin);
+        ASSERT_LT(begin, end);  // no empty chunks
+        covered += end - begin;
+        expected_begin = end;
+      }
+      ASSERT_EQ(covered, n);
+      ASSERT_LE(chunks.size(), std::min(n, pieces));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rwc::exec

@@ -1,0 +1,191 @@
+// Warm-started min-cost flow: the replay path must be bit-identical to the
+// cold solve — same objective, same per-arc flows — for any flow limit,
+// and fall back to a cold solve on any network change.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "flow/mincost.hpp"
+#include "flow/network.hpp"
+#include "graph/graph.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::flow {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A mid-size random network with varied costs, fresh on every call.
+ResidualNetwork make_network(std::uint64_t seed, int nodes = 24,
+                             double arc_probability = 0.3) {
+  util::Rng rng(seed);
+  ResidualNetwork net(static_cast<std::size_t>(nodes));
+  for (int u = 0; u < nodes; ++u)
+    for (int v = 0; v < nodes; ++v) {
+      if (u == v || !rng.bernoulli(arc_probability)) continue;
+      net.add_arc(u, v, rng.uniform(5.0, 50.0), rng.uniform(0.1, 4.0));
+    }
+  return net;
+}
+
+std::vector<double> arc_flows(const ResidualNetwork& net) {
+  std::vector<double> flows;
+  for (int arc = 0; arc < static_cast<int>(net.arc_count()); arc += 2)
+    flows.push_back(net.flow(arc));
+  return flows;
+}
+
+void expect_bit_identical(const ResidualNetwork& a, const ResidualNetwork& b,
+                          const MinCostFlowResult& ra,
+                          const MinCostFlowResult& rb) {
+  EXPECT_EQ(ra.flow, rb.flow);
+  EXPECT_EQ(ra.cost, rb.cost);
+  const auto fa = arc_flows(a);
+  const auto fb = arc_flows(b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i)
+    ASSERT_EQ(fa[i], fb[i]) << "arc pair " << i;
+}
+
+TEST(MinCostWarm, ReplayMatchesColdBitwise) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    ResidualNetwork cold_net = make_network(seed);
+    const auto cold = min_cost_max_flow(cold_net, 0, 23);
+
+    ResidualNetwork record_net = make_network(seed);
+    MinCostWarmStart warm;
+    const auto recorded = min_cost_max_flow(record_net, 0, 23, kInf, &warm);
+    expect_bit_identical(cold_net, record_net, cold, recorded);
+    EXPECT_FALSE(warm.empty());
+    EXPECT_TRUE(warm.exhausted);
+
+    ResidualNetwork replay_net = make_network(seed);
+    const auto replayed = min_cost_max_flow(replay_net, 0, 23, kInf, &warm);
+    expect_bit_identical(cold_net, replay_net, cold, replayed);
+  }
+}
+
+TEST(MinCostWarm, ReplayIsExactForSmallerFlowLimit) {
+  // Record without a limit, replay with one: the recording truncates
+  // exactly where the cold limited solve would have stopped.
+  ResidualNetwork record_net = make_network(3);
+  MinCostWarmStart warm;
+  min_cost_max_flow(record_net, 0, 23, kInf, &warm);
+
+  for (double limit : {0.0, 7.5, 31.25, 60.0}) {
+    ResidualNetwork cold_net = make_network(3);
+    const auto cold = min_cost_max_flow(cold_net, 0, 23, limit);
+
+    ResidualNetwork replay_net = make_network(3);
+    MinCostWarmStart replay_warm = warm;  // keep the original intact
+    const auto replayed =
+        min_cost_max_flow(replay_net, 0, 23, limit, &replay_warm);
+    expect_bit_identical(cold_net, replay_net, cold, replayed);
+  }
+}
+
+TEST(MinCostWarm, ResumesLiveWhenRecordingHitItsOwnLimit) {
+  // Record WITH a limit, then ask for more: replay must exhaust the
+  // recording and resume live SSP from the stored potentials, matching the
+  // unlimited cold solve bit for bit.
+  ResidualNetwork record_net = make_network(9);
+  MinCostWarmStart warm;
+  min_cost_max_flow(record_net, 0, 23, 10.0, &warm);
+  EXPECT_FALSE(warm.exhausted);
+
+  ResidualNetwork cold_net = make_network(9);
+  const auto cold = min_cost_max_flow(cold_net, 0, 23);
+
+  ResidualNetwork resume_net = make_network(9);
+  const auto resumed = min_cost_max_flow(resume_net, 0, 23, kInf, &warm);
+  expect_bit_identical(cold_net, resume_net, cold, resumed);
+  // The resumed solve extended the recording to completion.
+  EXPECT_TRUE(warm.exhausted);
+}
+
+TEST(MinCostWarm, FingerprintMismatchFallsBackToColdSolve) {
+  ResidualNetwork record_net = make_network(5);
+  MinCostWarmStart warm;
+  min_cost_max_flow(record_net, 0, 23, kInf, &warm);
+
+  // Different network (different seed): must ignore the stale recording,
+  // solve cold and re-record.
+  ResidualNetwork other_cold = make_network(6);
+  const auto cold = min_cost_max_flow(other_cold, 0, 23);
+  ResidualNetwork other_warm = make_network(6);
+  const std::uint64_t old_fingerprint = warm.fingerprint;
+  const auto result = min_cost_max_flow(other_warm, 0, 23, kInf, &warm);
+  expect_bit_identical(other_cold, other_warm, cold, result);
+  EXPECT_NE(warm.fingerprint, old_fingerprint);
+}
+
+TEST(MinCostWarm, FingerprintSeparatesNetworksAndTerminals) {
+  ResidualNetwork a = make_network(11);
+  ResidualNetwork b = make_network(12);
+  EXPECT_EQ(network_fingerprint(a, 0, 23), network_fingerprint(a, 0, 23));
+  EXPECT_NE(network_fingerprint(a, 0, 23), network_fingerprint(b, 0, 23));
+  EXPECT_NE(network_fingerprint(a, 0, 23), network_fingerprint(a, 1, 23));
+  EXPECT_NE(network_fingerprint(a, 0, 23), network_fingerprint(a, 0, 22));
+}
+
+TEST(WarmStartCache, StoresFindsAndEvictsFifo) {
+  WarmStartCache cache(2);
+  auto make = [](std::uint64_t fingerprint) {
+    auto recording = std::make_shared<MinCostWarmStart>();
+    recording->fingerprint = fingerprint;
+    return recording;
+  };
+  cache.store(make(1));
+  cache.store(make(2));
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.find(1), nullptr);
+  cache.store(make(3));  // evicts fingerprint 1 (oldest)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(1), nullptr);
+  ASSERT_NE(cache.find(2), nullptr);
+  ASSERT_NE(cache.find(3), nullptr);
+  EXPECT_EQ(cache.find(3)->fingerprint, 3u);
+}
+
+TEST(McfTeWarm, WarmAndColdEnginesProduceIdenticalAssignments) {
+  // End-to-end: the warm-started engine must route every demand exactly
+  // like the cold engine, across repeated solves that hit the cache.
+  util::Rng topo_rng = util::Rng::stream(17, 0);
+  const graph::Graph g = sim::waxman(16, topo_rng);
+  util::Rng demand_rng = util::Rng::stream(17, 1);
+  sim::GravityParams gravity;
+  gravity.total = util::Gbps{g.total_capacity().value / 3.0};
+  gravity.sparsity = 0.85;
+  const te::TrafficMatrix demands = sim::gravity_matrix(g, gravity,
+                                                        demand_rng);
+
+  te::McfTe::Options cold_options;
+  cold_options.warm_start = false;
+  const te::McfTe cold_engine(cold_options);
+  const te::McfTe warm_engine;  // warm_start defaults on
+
+  const auto cold = cold_engine.solve(g, demands);
+  for (int round = 0; round < 3; ++round) {
+    const auto warm = warm_engine.solve(g, demands);
+    ASSERT_EQ(warm.total_routed.value, cold.total_routed.value);
+    ASSERT_EQ(warm.edge_load_gbps, cold.edge_load_gbps);
+    ASSERT_EQ(warm.routings.size(), cold.routings.size());
+    for (std::size_t d = 0; d < warm.routings.size(); ++d) {
+      ASSERT_EQ(warm.routings[d].paths.size(), cold.routings[d].paths.size());
+      for (std::size_t p = 0; p < warm.routings[d].paths.size(); ++p) {
+        EXPECT_EQ(warm.routings[d].paths[p].second.value,
+                  cold.routings[d].paths[p].second.value);
+        EXPECT_EQ(warm.routings[d].paths[p].first.edges,
+                  cold.routings[d].paths[p].first.edges);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rwc::flow

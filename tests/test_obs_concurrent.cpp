@@ -1,0 +1,84 @@
+// Cross-thread stress for the observability layer: instruments record from
+// many pool workers at once, registry lookups race with recordings, and the
+// per-thread span stack keeps nesting paths isolated between threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+
+namespace rwc::obs {
+namespace {
+
+TEST(ObsConcurrent, CountersSumExactlyUnderContention) {
+  auto& counter = Registry::global().counter("test.obs.stress.counter");
+  const std::uint64_t before = counter.value();
+  exec::ThreadPool pool(8);
+  constexpr std::size_t kIncrements = 20000;
+  exec::parallel_for(pool, kIncrements, [&](std::size_t) { counter.add(); });
+  EXPECT_EQ(counter.value(), before + kIncrements);
+}
+
+TEST(ObsConcurrent, HistogramCountAndSumStayConsistent) {
+  auto& histogram =
+      Registry::global().histogram("test.obs.stress.histogram");
+  const std::uint64_t count_before = histogram.count();
+  const double sum_before = histogram.sum();
+  exec::ThreadPool pool(8);
+  constexpr std::size_t kObservations = 10000;
+  exec::parallel_for(pool, kObservations,
+                     [&](std::size_t) { histogram.observe(1.0); });
+  EXPECT_EQ(histogram.count(), count_before + kObservations);
+  EXPECT_NEAR(histogram.sum(), sum_before + static_cast<double>(kObservations),
+              1e-6);
+}
+
+TEST(ObsConcurrent, RegistryLookupsRaceSafelyWithRecordings) {
+  // Concurrent first-time registrations of distinct names, repeated lookups
+  // of one shared name, and recordings — all through the same registry.
+  exec::ThreadPool pool(8);
+  auto& shared = Registry::global().counter("test.obs.stress.shared");
+  const std::uint64_t before = shared.value();
+  exec::parallel_for(pool, 512, [&](std::size_t i) {
+    auto& unique = Registry::global().counter(
+        "test.obs.stress.unique." + std::to_string(i % 64));
+    unique.add();
+    Registry::global().counter("test.obs.stress.shared").add();
+  });
+  EXPECT_EQ(shared.value(), before + 512);
+  std::uint64_t unique_total = 0;
+  for (int i = 0; i < 64; ++i)
+    unique_total += Registry::global()
+                        .counter("test.obs.stress.unique." +
+                                 std::to_string(i))
+                        .value();
+  EXPECT_EQ(unique_total, 512u);
+}
+
+TEST(ObsConcurrent, SpanStacksAreThreadLocal) {
+  // Each worker nests its own spans; the dotted path must reflect only the
+  // worker's own stack, never a sibling thread's. A cross-thread leak would
+  // produce paths like "a.a" or mismatched accumulations.
+  exec::ThreadPool pool(8);
+  std::atomic<int> bad_paths{0};
+  exec::parallel_for(pool, 256, [&](std::size_t i) {
+    const std::string outer_name =
+        "test.span.t" + std::to_string(i % 8);
+    double outer_seconds = 0.0;
+    {
+      Span outer(outer_name, &outer_seconds);
+      if (outer.path() != outer_name) ++bad_paths;
+      Span inner("leaf");
+      if (inner.path() != outer_name + ".leaf") ++bad_paths;
+    }
+    if (outer_seconds <= 0.0) ++bad_paths;
+  });
+  EXPECT_EQ(bad_paths.load(), 0);
+}
+
+}  // namespace
+}  // namespace rwc::obs

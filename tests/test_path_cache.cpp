@@ -1,0 +1,132 @@
+// graph::PathCache: cached k-shortest-path results must equal direct
+// computation, invalidate correctly, and stay bounded.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/ksp.hpp"
+#include "graph/path_cache.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/swan.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::graph {
+namespace {
+
+Graph make_graph(std::uint64_t seed, int nodes = 12) {
+  util::Rng rng = util::Rng::stream(seed, 0);
+  return rwc::sim::waxman(nodes, rng);
+}
+
+void expect_same_paths(const std::vector<Path>& a,
+                       const std::vector<Path>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].edges, b[i].edges);
+    EXPECT_EQ(a[i].weight, b[i].weight);
+  }
+}
+
+TEST(PathCache, HitReturnsExactlyTheDirectResult) {
+  const Graph g = make_graph(1);
+  PathCache cache;
+  const NodeId src{0};
+  const NodeId dst{11};
+  const auto direct = k_shortest_paths(g, src, dst, 4);
+  const auto miss = cache.k_shortest(g, src, dst, 4);  // computes
+  const auto hit = cache.k_shortest(g, src, dst, 4);   // cached
+  expect_same_paths(direct, miss);
+  expect_same_paths(direct, hit);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PathCache, DistinguishesQueryAndGraph) {
+  const Graph a = make_graph(1);
+  const Graph b = make_graph(2);
+  PathCache cache;
+  cache.k_shortest(a, NodeId{0}, NodeId{11}, 4);
+  cache.k_shortest(a, NodeId{0}, NodeId{11}, 2);  // different k
+  cache.k_shortest(a, NodeId{1}, NodeId{11}, 4);  // different source
+  cache.k_shortest(b, NodeId{0}, NodeId{11}, 4);  // different graph
+  EXPECT_EQ(cache.size(), 4u);
+  expect_same_paths(cache.k_shortest(b, NodeId{0}, NodeId{11}, 4),
+                    k_shortest_paths(b, NodeId{0}, NodeId{11}, 4));
+}
+
+TEST(PathCache, WeightFingerprintIgnoresCapacityOnly) {
+  Graph g = make_graph(3);
+  const std::uint64_t base = PathCache::weight_fingerprint(g);
+  g.edge(EdgeId{0}).capacity = util::Gbps{12345.0};
+  EXPECT_EQ(PathCache::weight_fingerprint(g), base)
+      << "capacity must not affect the routing fingerprint";
+  g.edge(EdgeId{0}).weight += 1.0;
+  EXPECT_NE(PathCache::weight_fingerprint(g), base);
+}
+
+TEST(PathCache, TopologyChangeDropsEverything) {
+  const Graph g = make_graph(4);
+  PathCache cache;
+  cache.k_shortest(g, NodeId{0}, NodeId{11}, 4);
+  cache.k_shortest(g, NodeId{1}, NodeId{11}, 4);
+  const std::uint64_t version = cache.version();
+  cache.note_topology_change();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.version(), version + 1);
+}
+
+TEST(PathCache, CapacityChangeDropsOnlyTraversingEntries) {
+  const Graph g = make_graph(5);
+  PathCache cache;
+  const auto paths = cache.k_shortest(g, NodeId{0}, NodeId{11}, 2);
+  ASSERT_FALSE(paths.empty());
+  ASSERT_FALSE(paths.front().edges.empty());
+  const EdgeId used = paths.front().edges.front();
+
+  // A second entry that cannot traverse `used`: find an edge absent from
+  // every cached path of some other query.
+  cache.k_shortest(g, NodeId{1}, NodeId{2}, 1);
+  const std::size_t before = cache.size();
+
+  cache.note_capacity_change(PathCache::weight_fingerprint(g), used);
+  EXPECT_LT(cache.size(), before);
+
+  // Recomputation after invalidation still matches direct results.
+  expect_same_paths(cache.k_shortest(g, NodeId{0}, NodeId{11}, 2),
+                    k_shortest_paths(g, NodeId{0}, NodeId{11}, 2));
+}
+
+TEST(PathCache, EvictsOldestBeyondCapacity) {
+  const Graph g = make_graph(6);
+  PathCache cache(2);
+  cache.k_shortest(g, NodeId{0}, NodeId{11}, 1);
+  cache.k_shortest(g, NodeId{1}, NodeId{11}, 1);
+  cache.k_shortest(g, NodeId{2}, NodeId{11}, 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SwanPathCache, CachedEngineMatchesUncachedEngine) {
+  const Graph g = make_graph(7);
+  util::Rng rng = util::Rng::stream(7, 1);
+  rwc::sim::GravityParams gravity;
+  gravity.total = util::Gbps{g.total_capacity().value / 3.0};
+  gravity.sparsity = 0.9;
+  const auto demands = rwc::sim::gravity_matrix(g, gravity, rng);
+
+  rwc::te::SwanTe::Options uncached_options;
+  uncached_options.use_path_cache = false;
+  const rwc::te::SwanTe uncached(uncached_options);
+  const rwc::te::SwanTe cached;  // use_path_cache defaults on
+
+  const auto expected = uncached.solve(g, demands);
+  for (int round = 0; round < 3; ++round) {
+    const auto got = cached.solve(g, demands);
+    ASSERT_EQ(got.total_routed.value, expected.total_routed.value);
+    ASSERT_EQ(got.total_cost, expected.total_cost);
+    ASSERT_EQ(got.edge_load_gbps, expected.edge_load_gbps);
+  }
+}
+
+}  // namespace
+}  // namespace rwc::graph
