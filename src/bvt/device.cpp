@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/registry.hpp"
 #include "obs/registry.hpp"
 #include "optical/ber.hpp"
 #include "util/check.hpp"
@@ -126,25 +127,46 @@ ReconfigReport BvtDevice::change_modulation(Gbps target,
   for (std::size_t i = 0; i < formats.size(); ++i)
     if (formats[i].capacity == target) target_index = i;
 
+  // Fault injection (docs/FAULTS.md, site bvt.reconfig): the change may
+  // abort mid-laser-transition (fail), take extra time (stall), or
+  // complete with the old constellation still active (stale).
+  const fault::Action fault_action = fault::next("bvt.reconfig");
+  const bool aborted = fault_action.kind == fault::Kind::kFail;
+  // A stale apply: the DSP acks the procedure but the modulation change
+  // never takes — active state (constellation, rate) stays at the old
+  // format while the driver believes the sequence completed.
+  const std::uint16_t apply_bit =
+      fault_action.kind == fault::Kind::kStale
+          ? 0
+          : static_cast<std::uint16_t>(control::kApplyConfig);
+
   // Register sequence a driver would issue.
   const std::uint16_t base_control =
       static_cast<std::uint16_t>(control::kTxEnable | control::kLaserEnable);
   mdio_write(Register::kModulationSelect,
              static_cast<std::uint16_t>(target_index));
-  if (procedure == Procedure::kStandard) {
+  if (aborted) {
+    // Mid-laser-transition abort: the laser went down for the power-cycle
+    // bracket and the procedure died before the apply — the laser stays
+    // off, nothing was applied, the carrier is unlocked.
+    mdio_write(Register::kControl,
+               static_cast<std::uint16_t>(control::kTxEnable));
+  } else if (procedure == Procedure::kStandard) {
     // Laser power-cycle bracket around the apply.
     mdio_write(Register::kControl,
                static_cast<std::uint16_t>(control::kTxEnable));  // laser off
     mdio_write(Register::kControl,
-               static_cast<std::uint16_t>(base_control | control::kApplyConfig));
+               static_cast<std::uint16_t>(base_control | apply_bit));
   } else {
     mdio_write(Register::kControl,
                static_cast<std::uint16_t>(base_control | control::kHitlessMode |
-                                          control::kApplyConfig));
+                                          apply_bit));
     mdio_write(Register::kControl, base_control);  // clear hitless latch
   }
 
   report.downtime = latency_.sample_downtime(procedure, rng_);
+  if (fault_action.kind == fault::Kind::kStall)
+    report.downtime += std::max(fault_action.magnitude, 0.0);
   last_reconfig_ = report.downtime;
   update_lock();
   report.success = carrier_locked_;

@@ -1,9 +1,12 @@
 #include "core/controller.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
+#include "fault/registry.hpp"
 #include "flow/network.hpp"
 #include "obs/timer.hpp"
 #include "util/check.hpp"
@@ -99,6 +102,7 @@ DynamicCapacityController::DynamicCapacityController(
   if (options_.hysteresis.has_value())
     hysteresis_.emplace(physical_.edge_count(), *options_.hysteresis);
   last_traffic_.assign(physical_.edge_count(), 0.0);
+  last_snr_.assign(physical_.edge_count(), Db{0.0});
 }
 
 graph::Graph DynamicCapacityController::current_topology() const {
@@ -241,14 +245,47 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
     obs::Span round_span("controller.round", &report.stats.total_seconds);
 
     // Step 1-2: feasible rates; flap down links whose SNR degraded.
+    static auto& snr_clamped =
+        obs::Registry::global().counter("controller.snr_clamped");
     std::vector<Gbps> feasible(physical_.edge_count());
     for (EdgeId edge : physical_.edge_ids()) {
       const auto i = static_cast<std::size_t>(edge.value);
+      double snr_db = link_snr[i].value;
+      // Fault injection (docs/FAULTS.md, site core.snr): this link's
+      // telemetry arrives stale (previous round's reading), corrupted
+      // (nan/garbage), or not at all (drop -> loss of light). Keyed by
+      // edge id, so injections are pool-size independent.
+      switch (fault::at("core.snr", static_cast<std::uint64_t>(
+                                        static_cast<std::uint32_t>(edge.value)))
+                  .kind) {
+        case fault::Kind::kStale:
+          snr_db = last_snr_[i].value;
+          break;
+        case fault::Kind::kNan:
+          snr_db = std::numeric_limits<double>::quiet_NaN();
+          break;
+        case fault::Kind::kGarbage:
+          snr_db = -1e9;
+          break;
+        case fault::Kind::kDrop:
+          snr_db = 0.0;
+          break;
+        default:
+          break;
+      }
+      // Telemetry guard: a non-finite or negative reading is a dead or
+      // lying receiver — treat it as 0 dB (no feasible rate) instead of
+      // letting NaN flow into the ladder lookup and capacity tables.
+      if (!(std::isfinite(snr_db) && snr_db >= 0.0)) {
+        snr_db = 0.0;
+        snr_clamped.add();
+      }
+      last_snr_[i] = Db{snr_db};
       feasible[i] =
-          table_.feasible_capacity(link_snr[i], options_.snr_margin);
+          table_.feasible_capacity(Db{snr_db}, options_.snr_margin);
       if (hysteresis_.has_value()) {
         const Gbps with_extra = table_.feasible_capacity(
-            link_snr[i],
+            Db{snr_db},
             options_.snr_margin + options_.hysteresis->extra_up_margin);
         feasible[i] =
             hysteresis_->filter(i, feasible[i], with_extra, configured_[i]);

@@ -175,6 +175,9 @@ class DynamicCapacityController {
   std::optional<HysteresisFilter> hysteresis_;
   te::FlowAssignment last_assignment_;
   std::vector<double> last_traffic_;
+  /// Previous round's sanitized per-link SNR; what a stale telemetry fault
+  /// (site core.snr) replays. 0 dB before the first round.
+  std::vector<util::Db> last_snr_;
 };
 
 }  // namespace rwc::core

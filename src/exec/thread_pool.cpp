@@ -1,10 +1,12 @@
 #include "exec/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
+#include "fault/registry.hpp"
 #include "obs/registry.hpp"
 #include "util/check.hpp"
 
@@ -91,6 +93,15 @@ bool ThreadPool::try_pop_own(std::size_t self, std::function<void()>& task) {
 }
 
 bool ThreadPool::try_steal(std::size_t self, std::function<void()>& task) {
+  // Fault injection (docs/FAULTS.md, site exec.steal): delay this worker at
+  // the steal boundary. Shifts which tasks get stolen and in what
+  // interleaving — scheduling noise that the determinism contract
+  // (docs/CONCURRENCY.md) must absorb without changing any result.
+  if (const fault::Action action = fault::next("exec.steal");
+      action.kind == fault::Kind::kDelay && action.magnitude > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(action.magnitude));
+  }
   const std::size_t n = queues_.size();
   for (std::size_t offset = 1; offset < n; ++offset) {
     auto& victim = *queues_[(self + offset) % n];

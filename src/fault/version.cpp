@@ -1,0 +1,7 @@
+// Library identification for rwc_fault.
+namespace rwc::fault {
+
+/// Version string of the fault subsystem (matches the top-level project).
+const char* version() { return "1.0.0"; }
+
+}  // namespace rwc::fault

@@ -5,6 +5,7 @@
 #include <queue>
 #include <vector>
 
+#include "fault/registry.hpp"
 #include "obs/registry.hpp"
 #include "util/check.hpp"
 
@@ -119,7 +120,8 @@ std::uint64_t network_fingerprint(const ResidualNetwork& net, int source,
 
 MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
                                     int sink, double flow_limit,
-                                    MinCostWarmStart* warm) {
+                                    MinCostWarmStart* warm,
+                                    std::uint64_t max_augmentations) {
   RWC_EXPECTS(source != sink);
   RWC_EXPECTS(flow_limit >= 0.0);
 
@@ -127,20 +129,37 @@ MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
   // (docs/OBSERVABILITY.md: flow.mincost.*, solver.warm_*).
   static auto& runs = obs::Registry::global().counter("flow.mincost.runs");
   static auto& paths = obs::Registry::global().counter("flow.mincost.paths");
+  static auto& budget_stops =
+      obs::Registry::global().counter("flow.mincost.budget_stops");
   static auto& warm_hits =
       obs::Registry::global().counter("solver.warm_starts");
   static auto& warm_misses =
       obs::Registry::global().counter("solver.warm_misses");
 
+  // The fingerprint doubles as the warm-start key and the deterministic
+  // fault key: it only depends on the solver inputs, never on scheduling,
+  // so injected budgets hit the same solves at every pool size.
+  const bool fault_armed = fault::Registry::global().armed();
+  std::uint64_t fingerprint = 0;
+  if (warm != nullptr || fault_armed)
+    fingerprint = network_fingerprint(net, source, sink);
+  std::uint64_t budget = max_augmentations;
+  if (fault_armed) {
+    const fault::Action action = fault::at("flow.mincost", fingerprint);
+    if (action.kind == fault::Kind::kBudget)
+      budget = std::min(
+          budget, static_cast<std::uint64_t>(std::max(action.magnitude, 0.0)));
+  }
+
   MinCostFlowResult result;
   std::uint64_t augmenting_paths = 0;
   std::vector<double> potential;
   const bool recording = warm != nullptr;
+  bool budget_exhausted = false;
   bool replay_complete = false;  // replay alone satisfied this solve
   bool resumed = false;          // replay done, continue live from potentials
 
   if (warm != nullptr) {
-    const std::uint64_t fingerprint = network_fingerprint(net, source, sink);
     if (!warm->empty() && warm->fingerprint == fingerprint) {
       warm_hits.add();
       // Replay: push the recorded augmenting paths. The sequence is
@@ -150,6 +169,13 @@ MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
       for (const MinCostWarmStart::Augmentation& aug : warm->augmentations) {
         if (!(result.flow + kFlowEps < flow_limit)) {
           limit_bound = true;
+          break;
+        }
+        if (augmenting_paths >= budget) {
+          // Checked after the flow limit, in the cold loop's order, so the
+          // budget binds at the same point and with the same status as it
+          // would on the cold solve — replays stay bit-identical.
+          budget_exhausted = true;
           break;
         }
         const double amount =
@@ -169,8 +195,16 @@ MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
           break;
         }
       }
-      if (limit_bound || warm->exhausted) {
+      // The cold loop re-checks the flow limit after its last push; mirror
+      // that so the reported status matches the cold solve's.
+      if (!budget_exhausted && !(result.flow + kFlowEps < flow_limit))
+        limit_bound = true;
+      if (budget_exhausted || limit_bound || warm->exhausted) {
         replay_complete = true;
+        if (warm->exhausted && !limit_bound && !budget_exhausted)
+          result.status = SolveStatus::kOptimal;
+        else if (!budget_exhausted)
+          result.status = SolveStatus::kFlowLimitReached;
       } else {
         // The recording ended on its own flow limit; resume live SSP from
         // the recorded potentials to route the remainder (and extend the
@@ -204,6 +238,10 @@ MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
 
     bool exhausted = false;
     while (result.flow + kFlowEps < flow_limit) {
+      if (augmenting_paths >= budget) {
+        budget_exhausted = true;
+        break;
+      }
       const auto sp = dijkstra_reduced(net, source, sink, potential);
       if (!sp.reached_sink) {
         exhausted = true;
@@ -250,12 +288,21 @@ MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
         warm->augmentations.push_back(std::move(aug));
       }
     }
+    result.status = exhausted ? SolveStatus::kOptimal
+                              : SolveStatus::kFlowLimitReached;
     if (recording) {
+      // A budget-truncated recording is stored non-exhausted: a later
+      // replay with a larger budget resumes live SSP from the potentials.
       warm->exhausted = exhausted;
       warm->final_potential = std::move(potential);
     }
   }
 
+  if (budget_exhausted) {
+    result.status = SolveStatus::kBudgetExhausted;
+    budget_stops.add();
+  }
+  result.augmenting_paths = augmenting_paths;
   runs.add();
   paths.add(augmenting_paths);
   return result;
@@ -266,6 +313,10 @@ WarmStartCache::WarmStartCache(std::size_t max_entries)
 
 std::shared_ptr<const MinCostWarmStart> WarmStartCache::find(
     std::uint64_t fingerprint) const {
+  // Forced miss under fault injection: the entry is treated as invalidated
+  // and the solver runs cold (then re-records). Safe mid-round because
+  // replay only ever changes timing, never results.
+  if (fault::at("cache.warm.find", fingerprint)) return nullptr;
   std::lock_guard lock(mutex_);
   const auto it = entries_.find(fingerprint);
   return it == entries_.end() ? nullptr : it->second;

@@ -27,9 +27,31 @@
 
 namespace rwc::flow {
 
+/// Why a min-cost solve stopped.
+enum class SolveStatus {
+  /// Sink unreachable (or path saturated): the flow is a true min-cost
+  /// max flow below the requested limit.
+  kOptimal,
+  /// The requested flow_limit was routed in full.
+  kFlowLimitReached,
+  /// The augmenting-path budget ran out first: the result is a valid
+  /// partial flow (every routed unit is min-cost), but more flow may have
+  /// been routable. Callers degrade gracefully by using the partial flow.
+  kBudgetExhausted,
+};
+
+/// Default augmenting-path budget: far beyond any real workload (the WAN
+/// rounds of bench/ run thousands of paths), but bounded, so adversarial
+/// inputs with pathological bottleneck patterns cannot spin the SSP loop
+/// unboundedly.
+inline constexpr std::uint64_t kDefaultMaxAugmentations = 1ull << 22;
+
 struct MinCostFlowResult {
   double flow = 0.0;
   double cost = 0.0;
+  SolveStatus status = SolveStatus::kOptimal;
+  /// Augmenting paths pushed (replayed + live) by this solve.
+  std::uint64_t augmenting_paths = 0;
 };
 
 /// Fingerprint of a solve's inputs: node/arc structure, initial residuals,
@@ -76,10 +98,19 @@ struct MinCostWarmStart {
 /// the solve replays it (bit-identical result, counted under
 /// solver.warm_starts); otherwise the solve runs cold and overwrites *warm
 /// with a fresh recording for next time.
+///
+/// `max_augmentations` bounds the augmenting-path count (replayed paths
+/// included); when it binds, the result carries
+/// SolveStatus::kBudgetExhausted and the flow routed so far. The budget
+/// binds identically on cold, replayed and resumed solves of the same
+/// network, so warm results stay bit-identical to cold ones. The
+/// `flow.mincost` fault site (docs/FAULTS.md) can clamp the budget further,
+/// keyed by the network fingerprint.
 MinCostFlowResult min_cost_max_flow(
     ResidualNetwork& net, int source, int sink,
     double flow_limit = std::numeric_limits<double>::infinity(),
-    MinCostWarmStart* warm = nullptr);
+    MinCostWarmStart* warm = nullptr,
+    std::uint64_t max_augmentations = kDefaultMaxAugmentations);
 
 /// Thread-safe fingerprint-keyed store of warm-start recordings with FIFO
 /// eviction. Shared by repeated solves (e.g. one per TE demand per round);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "fault/registry.hpp"
 #include "graph/ksp.hpp"
 #include "obs/registry.hpp"
 #include "util/check.hpp"
@@ -61,8 +62,25 @@ std::vector<Path> PathCache::k_shortest(const Graph& graph, NodeId source,
                                         NodeId target, std::size_t k) {
   auto& metrics = CacheMetrics::instance();
   const Key key{weight_fingerprint(graph), source.value, target.value, k};
+  // Fault injection: drop the entry before lookup (forced recompute).
+  // Results cannot change — entries ARE previous results — so this only
+  // exercises the miss path mid-round. Keyed deterministically by query.
+  const std::uint64_t fault_key =
+      key.fingerprint ^ (static_cast<std::uint64_t>(
+                             static_cast<std::uint32_t>(source.value))
+                         << 32) ^
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(target.value)) ^
+      (static_cast<std::uint64_t>(k) << 17);
+  const bool forced_miss =
+      static_cast<bool>(fault::at("cache.path.lookup", fault_key));
   {
     std::lock_guard lock(mutex_);
+    if (forced_miss) {
+      if (entries_.erase(key) > 0) {
+        std::erase(insertion_order_, key);
+        metrics.invalidations.add();
+      }
+    }
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       metrics.hits.add();

@@ -19,6 +19,10 @@
 #include "obs/registry.hpp"
 #include "obs/timer.hpp"
 
+// fault — deterministic fault injection (plans, sites, RWC_FAULTS)
+#include "fault/plan.hpp"
+#include "fault/registry.hpp"
+
 // exec — work-stealing thread pool and deterministic parallel loops
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"

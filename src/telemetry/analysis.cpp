@@ -1,9 +1,11 @@
 #include "telemetry/analysis.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace rwc::telemetry {
@@ -11,13 +13,24 @@ namespace rwc::telemetry {
 using util::Db;
 using util::Gbps;
 
+double sanitize_sample_db(double raw_db) {
+  if (std::isfinite(raw_db) && raw_db >= 0.0) [[likely]]
+    return raw_db;
+  static auto& clamped =
+      obs::Registry::global().counter("telemetry.samples_clamped");
+  clamped.add();
+  return 0.0;
+}
+
 LinkSnrStats analyze_link(const SnrTrace& trace,
                           const optical::ModulationTable& table,
                           double hdr_coverage) {
   RWC_EXPECTS(trace.size() > 0);
   LinkSnrStats stats;
-  std::vector<double> samples(trace.samples_db.begin(),
-                              trace.samples_db.end());
+  std::vector<double> samples;
+  samples.reserve(trace.size());
+  for (const float raw : trace.samples_db)
+    samples.push_back(sanitize_sample_db(static_cast<double>(raw)));
   const auto summary = util::summarize(samples);
   stats.min_snr = Db{summary.min};
   stats.max_snr = Db{summary.max};
@@ -35,7 +48,7 @@ std::vector<FailureEpisode> failure_episodes(const SnrTrace& trace,
   bool in_episode = false;
   FailureEpisode current;
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    const Db snr = trace.at(i);
+    const Db snr{sanitize_sample_db(trace.at(i).value)};
     if (snr < threshold) {
       if (!in_episode) {
         in_episode = true;

@@ -22,9 +22,18 @@ struct LinkSnrStats {
   util::Gbps feasible_capacity{0.0};  // ladder rate at the HDR lower edge
 };
 
+/// Clamps one raw SNR sample to the physically representable range:
+/// NaN/infinite and negative readings (telemetry corruption, loss-of-light
+/// garbage) become 0 dB — the receiver floor — instead of propagating into
+/// capacity tables. Every clamp is counted under the
+/// `telemetry.samples_clamped` obs counter.
+double sanitize_sample_db(double raw_db);
+
 /// Analyzes one link's trace. The feasible capacity follows the paper: the
 /// highest ladder rate whose threshold lies at or below the lower SNR limit
-/// of the link's highest density region.
+/// of the link's highest density region. Samples pass through
+/// sanitize_sample_db first, so corrupted telemetry degrades the estimate
+/// toward 0 dB instead of poisoning it with NaN.
 LinkSnrStats analyze_link(const SnrTrace& trace,
                           const optical::ModulationTable& table,
                           double hdr_coverage = 0.95);

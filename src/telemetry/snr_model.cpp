@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 
+#include "fault/registry.hpp"
 #include "util/check.hpp"
 
 namespace rwc::telemetry {
@@ -199,8 +201,38 @@ SnrTrace SnrFleetGenerator::generate_trace(int fiber, int lambda) const {
 
 SnrTrace SnrFleetGenerator::generate_trace(int link_index) const {
   RWC_EXPECTS(link_index >= 0 && link_index < link_count());
-  return generate_trace(link_index / params_.wavelengths_per_fiber,
-                        link_index % params_.wavelengths_per_fiber);
+  SnrTrace trace = generate_trace(link_index / params_.wavelengths_per_fiber,
+                                  link_index % params_.wavelengths_per_fiber);
+  // Fault injection (docs/FAULTS.md, site telemetry.trace): a sample that
+  // arrives corrupted (nan/garbage), duplicated, or not at all (drop).
+  // Keyed by link index, so the corruption is deterministic per link and
+  // identical at every pool size in analyze_fleet.
+  if (const fault::Action action = fault::at(
+          "telemetry.trace", static_cast<std::uint64_t>(link_index));
+      action && !trace.samples_db.empty()) {
+    const std::size_t index =
+        std::min(static_cast<std::size_t>(std::max(action.magnitude, 0.0)),
+                 trace.samples_db.size() - 1);
+    const auto at = trace.samples_db.begin() +
+                    static_cast<std::ptrdiff_t>(index);
+    switch (action.kind) {
+      case fault::Kind::kNan:
+        *at = std::numeric_limits<float>::quiet_NaN();
+        break;
+      case fault::Kind::kGarbage:
+        *at = -1e9f;
+        break;
+      case fault::Kind::kDuplicate:
+        trace.samples_db.insert(at, *at);
+        break;
+      case fault::Kind::kDrop:
+        trace.samples_db.erase(at);
+        break;
+      default:
+        break;  // other kinds do not apply to traces
+    }
+  }
+  return trace;
 }
 
 }  // namespace rwc::telemetry

@@ -1,0 +1,260 @@
+// Reusable invariant checks for the property harness (tests/prop/) and the
+// example-based suites (tests/test_determinism.cpp). Each check returns an
+// InvariantResult instead of asserting, so the shrinking runner
+// (tests/prop/shrink.hpp) can re-evaluate a property on halved fault plans
+// and the final gtest failure can carry the minimized reproduction.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/hysteresis.hpp"
+#include "graph/graph.hpp"
+#include "optical/modulation.hpp"
+#include "te/demand.hpp"
+
+namespace rwc::prop {
+
+/// Outcome of one invariant check: ok, or a human-readable violation.
+struct InvariantResult {
+  bool ok = true;
+  std::string detail;
+
+  static InvariantResult pass() { return {}; }
+  static InvariantResult fail(std::string detail) {
+    return {false, std::move(detail)};
+  }
+  explicit operator bool() const { return ok; }
+};
+
+/// First failing result of a sequence of checks (all-pass otherwise).
+inline InvariantResult all_of(std::initializer_list<InvariantResult> checks) {
+  for (const InvariantResult& check : checks)
+    if (!check.ok) return check;
+  return InvariantResult::pass();
+}
+
+/// No link may be configured above the ladder rate its observed SNR
+/// supports at the controller's margin. `configured` and `snr` are indexed
+/// by physical edge id; `snr` must be what the controller was shown (a
+/// stale-telemetry fault changes what "observed" means, so callers feed the
+/// per-round input, not ground truth).
+inline InvariantResult check_capacity_bound(
+    const optical::ModulationTable& table, std::span<const util::Db> snr,
+    util::Db margin, std::span<const util::Gbps> configured) {
+  if (configured.size() != snr.size())
+    return InvariantResult::fail("configured/snr size mismatch");
+  for (std::size_t i = 0; i < configured.size(); ++i) {
+    const double raw = snr[i].value;
+    const double observed =
+        (std::isfinite(raw) && raw >= 0.0) ? raw : 0.0;  // sanitize contract
+    const util::Gbps feasible =
+        table.feasible_capacity(util::Db{observed}, margin);
+    if (configured[i].value > feasible.value + 1e-9) {
+      std::ostringstream out;
+      out << "edge " << i << " configured " << configured[i].value
+          << " Gbps exceeds feasible " << feasible.value << " Gbps at snr "
+          << observed << " dB";
+      return InvariantResult::fail(out.str());
+    }
+  }
+  return InvariantResult::pass();
+}
+
+/// Flow conservation and capacity feasibility of an accepted assignment on
+/// the physical topology:
+///   * every path is contiguous src->dst for its demand, volumes >= 0;
+///   * per-demand path volumes sum to the routed amount;
+///   * per-edge load (recomputed from paths) stays within capacity
+///     (non-negative residual) and matches edge_load_gbps;
+///   * per-node net flow equals routed sources minus routed sinks.
+inline InvariantResult check_flow_conservation(const graph::Graph& graph,
+                                               const te::FlowAssignment& a,
+                                               double tolerance = 1e-6) {
+  std::vector<double> load(graph.edge_count(), 0.0);
+  std::vector<double> balance(graph.node_count(), 0.0);
+  for (std::size_t d = 0; d < a.routings.size(); ++d) {
+    const auto& routing = a.routings[d];
+    double routed = 0.0;
+    for (const auto& [path, volume] : routing.paths) {
+      if (volume.value < -tolerance)
+        return InvariantResult::fail("negative path volume on demand " +
+                                     std::to_string(d));
+      graph::NodeId at = routing.demand.src;
+      for (const graph::EdgeId edge : path.edges) {
+        if (!edge.valid() ||
+            static_cast<std::size_t>(edge.value) >= graph.edge_count())
+          return InvariantResult::fail("invalid edge id on demand " +
+                                       std::to_string(d));
+        if (graph.edge(edge).src != at)
+          return InvariantResult::fail("discontiguous path on demand " +
+                                       std::to_string(d));
+        load[static_cast<std::size_t>(edge.value)] += volume.value;
+        at = graph.edge(edge).dst;
+      }
+      if (!path.edges.empty() && at != routing.demand.dst)
+        return InvariantResult::fail("path misses destination on demand " +
+                                     std::to_string(d));
+      routed += volume.value;
+    }
+    if (std::abs(routed - routing.routed.value) > tolerance)
+      return InvariantResult::fail(
+          "path volumes do not sum to routed on demand " + std::to_string(d));
+    balance[static_cast<std::size_t>(routing.demand.src.value)] -= routed;
+    balance[static_cast<std::size_t>(routing.demand.dst.value)] += routed;
+  }
+  for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+    const graph::Edge& edge = graph.edge(graph::EdgeId{
+        static_cast<std::int32_t>(e)});
+    const double residual = edge.capacity.value - load[e];
+    if (residual < -tolerance) {
+      std::ostringstream out;
+      out << "edge " << e << " overloaded: " << load[e] << " Gbps on "
+          << edge.capacity.value << " Gbps capacity";
+      return InvariantResult::fail(out.str());
+    }
+    if (e < a.edge_load_gbps.size() &&
+        std::abs(a.edge_load_gbps[e] - load[e]) > tolerance)
+      return InvariantResult::fail("edge_load_gbps mismatch on edge " +
+                                   std::to_string(e));
+    balance[static_cast<std::size_t>(edge.src.value)] += load[e];
+    balance[static_cast<std::size_t>(edge.dst.value)] -= load[e];
+  }
+  // balance now holds (out - in) + routed_sink - routed_src per node: zero
+  // everywhere when flow is conserved at transit nodes and endpoints.
+  for (std::size_t n = 0; n < balance.size(); ++n)
+    if (std::abs(balance[n]) > tolerance * 10.0)
+      return InvariantResult::fail("flow not conserved at node " +
+                                   std::to_string(n) + " (imbalance " +
+                                   std::to_string(balance[n]) + " Gbps)");
+  return InvariantResult::pass();
+}
+
+/// The comparable fingerprint of one controller round: everything the
+/// pool-size determinism contract (docs/CONCURRENCY.md) promises is
+/// bit-identical across thread counts. Work counters (evaluations, stage
+/// seconds) are deliberately excluded — speculative waves may discard
+/// extra evaluations at pool sizes >= 2.
+struct RoundSignature {
+  std::vector<std::pair<std::int32_t, double>> upgrades;  // (edge, to)
+  double routed = 0.0;
+  double penalty = 0.0;
+  std::size_t reductions = 0;
+  std::size_t restorations = 0;
+  bool transition_valid = false;
+
+  friend bool operator==(const RoundSignature&,
+                         const RoundSignature&) = default;
+};
+
+inline RoundSignature signature_of(
+    const core::DynamicCapacityController::RoundReport& report) {
+  RoundSignature sig;
+  for (const auto& change : report.plan.upgrades)
+    sig.upgrades.emplace_back(change.edge.value, change.to.value);
+  sig.routed = report.total_routed.value;
+  sig.penalty = report.total_penalty;
+  sig.reductions = report.reductions.size();
+  sig.restorations = report.restorations.size();
+  sig.transition_valid = report.transition_valid;
+  return sig;
+}
+
+inline std::string to_string(const RoundSignature& sig) {
+  std::ostringstream out;
+  out << "routed=" << sig.routed << " penalty=" << sig.penalty
+      << " reductions=" << sig.reductions
+      << " restorations=" << sig.restorations
+      << " transition_valid=" << sig.transition_valid << " upgrades=[";
+  for (std::size_t i = 0; i < sig.upgrades.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << sig.upgrades[i].first << "->" << sig.upgrades[i].second;
+  }
+  out << "]";
+  return out.str();
+}
+
+/// Pool-size invariance: `got` must equal the serial-pool `expected`.
+inline InvariantResult check_signatures_equal(const RoundSignature& expected,
+                                              const RoundSignature& got,
+                                              const std::string& context) {
+  if (expected == got) return InvariantResult::pass();
+  return InvariantResult::fail(context + ": expected {" +
+                               to_string(expected) + "} got {" +
+                               to_string(got) + "}");
+}
+
+/// Model-based oracle for the hysteresis dwell contract: replays a
+/// per-round input sequence for ONE link through its own streak counter and
+/// checks each filtered output against core::HysteresisFilter semantics —
+/// reductions pass immediately; an INCREASE above the configured rate is
+/// only exposed after its rate has been continuously feasible (with the
+/// extra margin) for `up_hold_rounds` consecutive rounds. Never-faster-
+/// than-dwell is the contrapositive: any exposed increase implies a full
+/// streak, so two increases are at least `up_hold_rounds` rounds apart.
+struct HysteresisRound {
+  util::Gbps raw_feasible{0.0};    // ladder rate at the base margin
+  util::Gbps raw_with_extra{0.0};  // ladder rate at base + extra margin
+  util::Gbps configured{0.0};      // configured rate entering the round
+  util::Gbps output{0.0};          // what the filter returned
+};
+
+inline InvariantResult check_hysteresis_dwell(
+    std::span<const HysteresisRound> rounds, const core::HysteresisParams& p) {
+  double candidate = 0.0;  // rate being held for promotion
+  int streak = 0;
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const HysteresisRound& r = rounds[i];
+    std::ostringstream at;
+    at << "round " << i << " (feasible=" << r.raw_feasible.value
+       << " extra=" << r.raw_with_extra.value
+       << " configured=" << r.configured.value << " out=" << r.output.value
+       << "): ";
+    if (r.raw_feasible.value <= r.configured.value) {
+      // Reduction or hold: must pass through unchanged, and any promotion
+      // progress is void (the target rate was not continuously feasible).
+      if (r.output.value != r.raw_feasible.value)
+        return InvariantResult::fail(at.str() + "reduction was dampened");
+      candidate = 0.0;
+      streak = 0;
+      continue;
+    }
+    // An increase is on offer. Track the oracle's own streak on the
+    // extra-margin rate, exactly as the contract states it.
+    if (r.raw_with_extra.value > r.configured.value &&
+        r.raw_with_extra.value == candidate) {
+      ++streak;
+    } else if (r.raw_with_extra.value > r.configured.value) {
+      candidate = r.raw_with_extra.value;
+      streak = 1;
+    } else {
+      candidate = 0.0;
+      streak = 0;
+    }
+    if (r.output.value > r.configured.value) {
+      if (streak < p.up_hold_rounds)
+        return InvariantResult::fail(
+            at.str() + "increase exposed after " + std::to_string(streak) +
+            " rounds; dwell requires " + std::to_string(p.up_hold_rounds));
+      if (r.output.value != candidate)
+        return InvariantResult::fail(at.str() +
+                                     "exposed rate differs from the rate "
+                                     "that served the dwell");
+      // The streak keeps running: while the caller's configured rate lags
+      // the exposure, re-exposing every round is still dwell-compliant.
+    } else if (r.output.value != r.configured.value) {
+      return InvariantResult::fail(at.str() +
+                                   "output is neither the configured rate "
+                                   "nor a promoted increase");
+    }
+  }
+  return InvariantResult::pass();
+}
+
+}  // namespace rwc::prop

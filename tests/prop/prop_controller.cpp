@@ -1,0 +1,184 @@
+// Controller-round properties under fault injection (tests/prop/).
+//
+// Three fixed seeds (the `ctest -L prop` CI contract) drive randomized
+// topologies, demand matrices, SNR vectors and fault schedules. Violations
+// report the seed plus the halving-minimized plan spec (prop/shrink.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "exec/thread_pool.hpp"
+#include "fault/registry.hpp"
+#include "obs/registry.hpp"
+#include "optical/modulation.hpp"
+#include "prop/generators.hpp"
+#include "prop/invariants.hpp"
+#include "prop/shrink.hpp"
+#include "te/mcf_te.hpp"
+#include "util/check.hpp"
+
+namespace rwc {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {17, 29, 47};
+
+struct RoundFixture {
+  graph::Graph topology;
+  te::TrafficMatrix demands;
+  std::vector<util::Db> snr;
+};
+
+RoundFixture make_fixture(std::uint64_t seed) {
+  util::Rng rng = util::Rng::stream(seed, 100);
+  RoundFixture fixture;
+  fixture.topology = prop::random_topology(rng);
+  fixture.demands = prop::random_demands(fixture.topology, rng);
+  fixture.snr = prop::random_snr(fixture.topology.edge_count(), rng);
+  return fixture;
+}
+
+/// One controller round with `plan` armed; checks the capacity bound, flow
+/// conservation and non-negative residuals of the accepted plan. A
+/// CheckError escaping the round is itself a violation (faults must degrade
+/// gracefully, never throw through run_round).
+prop::InvariantResult round_invariants(const RoundFixture& fixture,
+                                       const fault::FaultPlan& plan) {
+  fault::ScopedPlan armed(plan);
+  try {
+    const te::McfTe engine;
+    core::DynamicCapacityController controller(
+        fixture.topology, optical::ModulationTable::standard(), engine,
+        core::ControllerOptions{});
+    const auto report = controller.run_round(fixture.snr, fixture.demands);
+    std::vector<util::Gbps> configured;
+    configured.reserve(fixture.topology.edge_count());
+    for (const graph::EdgeId edge : fixture.topology.edge_ids())
+      configured.push_back(controller.configured_capacity(edge));
+    return prop::all_of({
+        prop::check_capacity_bound(controller.table(), fixture.snr,
+                                   controller.options().snr_margin,
+                                   configured),
+        prop::check_flow_conservation(controller.current_topology(),
+                                      report.plan.physical_assignment),
+    });
+  } catch (const util::CheckError& error) {
+    return prop::InvariantResult::fail(std::string("CheckError escaped: ") +
+                                       error.what());
+  }
+}
+
+TEST(PropController, CapacityBoundAndConservationUnderDegradingFaults) {
+  // Vacuity guard: across all seeds and trials, injections must actually
+  // fire — a harness whose plans never match their sites tests nothing.
+  const std::uint64_t injected_before =
+      obs::Registry::global().counter("fault.injected").value();
+  for (const std::uint64_t seed : kSeeds) {
+    const RoundFixture fixture = make_fixture(seed);
+    util::Rng fault_rng = util::Rng::stream(seed, 200);
+    // Degrading faults (corrupt SNR, clamped solver budgets) AND
+    // timing-only faults, together, for several schedules per seed.
+    std::vector<prop::SiteProfile> profiles = prop::degrading_sites();
+    const auto& timing = prop::timing_sites();
+    profiles.insert(profiles.end(), timing.begin(), timing.end());
+    for (int trial = 0; trial < 3; ++trial) {
+      const fault::FaultPlan plan =
+          prop::random_fault_plan(profiles, fault_rng, seed);
+      prop::expect_property(seed, plan,
+                            [&](const fault::FaultPlan& candidate) {
+                              return round_invariants(fixture, candidate);
+                            });
+    }
+  }
+  EXPECT_GT(obs::Registry::global().counter("fault.injected").value(),
+            injected_before)
+      << "no generated injection ever fired — the property is vacuous";
+}
+
+/// Serial-pool round vs pools {1, 2, 8}, all under the same armed plan:
+/// the bit-identical signature contract must survive active faults.
+prop::InvariantResult pool_invariance(const RoundFixture& fixture,
+                                      const fault::FaultPlan& plan) {
+  fault::ScopedPlan armed(plan);
+  try {
+    const auto run = [&](exec::ThreadPool& pool) {
+      const te::McfTe engine;  // fresh per arm: every run starts cold
+      core::ControllerOptions options;
+      options.pool = &pool;
+      core::DynamicCapacityController controller(
+          fixture.topology, optical::ModulationTable::standard(), engine,
+          options);
+      return prop::signature_of(
+          controller.run_round(fixture.snr, fixture.demands));
+    };
+    exec::ThreadPool serial(0);
+    const prop::RoundSignature expected = run(serial);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+      exec::ThreadPool pool(threads);
+      const prop::InvariantResult check = prop::check_signatures_equal(
+          expected, run(pool), "pool size " + std::to_string(threads));
+      if (!check.ok) return check;
+    }
+    return prop::InvariantResult::pass();
+  } catch (const util::CheckError& error) {
+    return prop::InvariantResult::fail(std::string("CheckError escaped: ") +
+                                       error.what());
+  }
+}
+
+TEST(PropController, RoundsArePoolSizeInvariantWithFaultsActive) {
+  for (const std::uint64_t seed : kSeeds) {
+    const RoundFixture fixture = make_fixture(seed);
+    util::Rng fault_rng = util::Rng::stream(seed, 300);
+    std::vector<prop::SiteProfile> profiles = prop::degrading_sites();
+    const auto& timing = prop::timing_sites();
+    profiles.insert(profiles.end(), timing.begin(), timing.end());
+    const fault::FaultPlan plan =
+        prop::random_fault_plan(profiles, fault_rng, seed);
+    prop::expect_property(seed, plan,
+                          [&](const fault::FaultPlan& candidate) {
+                            return pool_invariance(fixture, candidate);
+                          });
+  }
+}
+
+TEST(PropController, HysteresisNeverOscillatesFasterThanDwell) {
+  const optical::ModulationTable table = optical::ModulationTable::standard();
+  const util::Db margin{0.5};
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng = util::Rng::stream(seed, 400);
+    core::HysteresisParams params;
+    params.up_hold_rounds = static_cast<int>(rng.uniform_int(1, 5));
+    params.extra_up_margin = util::Db{rng.uniform(0.0, 1.5)};
+    core::HysteresisFilter filter(1, params);
+    std::vector<prop::HysteresisRound> rounds;
+    util::Gbps configured{100.0};
+    double snr_db = rng.uniform(5.0, 15.0);
+    for (int i = 0; i < 200; ++i) {
+      snr_db = std::clamp(snr_db + rng.normal(0.0, 1.2), 0.0, 20.0);
+      prop::HysteresisRound round;
+      round.raw_feasible = table.feasible_capacity(util::Db{snr_db}, margin);
+      round.raw_with_extra = table.feasible_capacity(
+          util::Db{snr_db}, margin + params.extra_up_margin);
+      round.configured = configured;
+      round.output = filter.filter(0, round.raw_feasible,
+                                   round.raw_with_extra, configured);
+      rounds.push_back(round);
+      // The controller always applies reductions; it adopts an exposed
+      // increase only when TE asks for it — model that as a coin flip so
+      // the oracle sees both the adopting and the lagging caller.
+      if (round.output < configured || rng.bernoulli(0.5))
+        configured = round.output;
+    }
+    const prop::InvariantResult result =
+        prop::check_hysteresis_dwell(rounds, params);
+    EXPECT_TRUE(result.ok) << "seed=" << seed << " " << result.detail;
+  }
+}
+
+}  // namespace
+}  // namespace rwc

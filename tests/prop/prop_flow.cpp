@@ -1,0 +1,191 @@
+// Min-cost-flow properties under fault injection: warm-started solves stay
+// bit-identical to cold solves (including when a budget fault binds), the
+// budget degrades to a valid partial flow, and every solve conserves flow
+// at transit nodes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "fault/registry.hpp"
+#include "flow/mincost.hpp"
+#include "obs/registry.hpp"
+#include "flow/network.hpp"
+#include "prop/generators.hpp"
+#include "prop/invariants.hpp"
+#include "prop/shrink.hpp"
+#include "util/rng.hpp"
+
+namespace rwc {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {17, 29, 47};
+
+struct FlowFixture {
+  int nodes = 0;
+  struct Arc {
+    int src, dst;
+    double capacity, cost;
+  };
+  std::vector<Arc> arcs;
+  double flow_limit = std::numeric_limits<double>::infinity();
+
+  flow::ResidualNetwork build() const {
+    flow::ResidualNetwork net(static_cast<std::size_t>(nodes));
+    for (const Arc& arc : arcs)
+      net.add_arc(arc.src, arc.dst, arc.capacity, arc.cost);
+    return net;
+  }
+  int source() const { return 0; }
+  int sink() const { return nodes - 1; }
+};
+
+FlowFixture random_flow_fixture(util::Rng& rng) {
+  FlowFixture fixture;
+  fixture.nodes = static_cast<int>(rng.uniform_int(5, 9));
+  for (int src = 0; src < fixture.nodes; ++src)
+    for (int dst = 0; dst < fixture.nodes; ++dst)
+      if (src != dst && rng.bernoulli(0.45))
+        fixture.arcs.push_back({src, dst, rng.uniform(0.0, 8.0),
+                                rng.uniform(0.0, 4.0)});
+  if (rng.bernoulli(0.5)) fixture.flow_limit = rng.uniform(0.0, 12.0);
+  return fixture;
+}
+
+prop::InvariantResult same_result(const flow::MinCostFlowResult& cold,
+                                  const flow::MinCostFlowResult& warm) {
+  if (cold.flow == warm.flow && cold.cost == warm.cost &&
+      cold.status == warm.status &&
+      cold.augmenting_paths == warm.augmenting_paths)
+    return prop::InvariantResult::pass();
+  std::ostringstream out;
+  out << "warm != cold: flow " << warm.flow << " vs " << cold.flow
+      << ", cost " << warm.cost << " vs " << cold.cost << ", status "
+      << static_cast<int>(warm.status) << " vs "
+      << static_cast<int>(cold.status) << ", paths "
+      << warm.augmenting_paths << " vs " << cold.augmenting_paths;
+  return prop::InvariantResult::fail(out.str());
+}
+
+/// Transit-node conservation + non-negative residuals on the solved net.
+prop::InvariantResult check_network_conservation(
+    const flow::ResidualNetwork& net, int source, int sink) {
+  for (int node = 0; node < static_cast<int>(net.node_count()); ++node) {
+    if (node == source || node == sink) continue;
+    if (std::abs(net.net_outflow(node)) > 1e-6)
+      return prop::InvariantResult::fail(
+          "flow not conserved at transit node " + std::to_string(node));
+  }
+  for (int arc = 0; arc < static_cast<int>(net.arc_count()); ++arc)
+    if (net.residual(arc) < -flow::kFlowEps)
+      return prop::InvariantResult::fail("negative residual on arc " +
+                                         std::to_string(arc));
+  return prop::InvariantResult::pass();
+}
+
+/// Cold solve, recorded solve, replayed solve — all on the same network
+/// with `plan` armed. The three results and the two final residual states
+/// (cold vs replay) must be bit-identical, budget faults included.
+prop::InvariantResult warm_equals_cold(const FlowFixture& fixture,
+                                       const fault::FaultPlan& plan) {
+  fault::ScopedPlan armed(plan);
+  flow::ResidualNetwork cold_net = fixture.build();
+  const auto cold = flow::min_cost_max_flow(cold_net, fixture.source(),
+                                            fixture.sink(),
+                                            fixture.flow_limit);
+  flow::MinCostWarmStart recording;
+  flow::ResidualNetwork record_net = fixture.build();
+  const auto recorded = flow::min_cost_max_flow(
+      record_net, fixture.source(), fixture.sink(), fixture.flow_limit,
+      &recording);
+  flow::ResidualNetwork replay_net = fixture.build();
+  const auto replayed = flow::min_cost_max_flow(
+      replay_net, fixture.source(), fixture.sink(), fixture.flow_limit,
+      &recording);
+  if (const auto check = same_result(cold, recorded); !check.ok)
+    return prop::InvariantResult::fail("recording pass: " + check.detail);
+  if (const auto check = same_result(cold, replayed); !check.ok)
+    return prop::InvariantResult::fail("replay pass: " + check.detail);
+  for (int arc = 0; arc < static_cast<int>(cold_net.arc_count()); ++arc)
+    if (cold_net.residual(arc) != replay_net.residual(arc))
+      return prop::InvariantResult::fail(
+          "replayed residual state diverged on arc " + std::to_string(arc));
+  if (const auto check = check_network_conservation(
+          cold_net, fixture.source(), fixture.sink());
+      !check.ok)
+    return check;
+  return prop::InvariantResult::pass();
+}
+
+TEST(PropFlow, WarmStartsMatchColdSolvesUnderBudgetFaults) {
+  const std::vector<prop::SiteProfile> profiles = {
+      {"flow.mincost", false, {fault::Kind::kBudget}},
+      {"cache.warm.find", false, {fault::Kind::kInvalidate}},
+  };
+  const std::uint64_t injected_before =
+      obs::Registry::global().counter("fault.injected").value();
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng = util::Rng::stream(seed, 500);
+    for (int trial = 0; trial < 4; ++trial) {
+      const FlowFixture fixture = random_flow_fixture(rng);
+      const fault::FaultPlan plan =
+          prop::random_fault_plan(profiles, rng, seed);
+      prop::expect_property(seed, plan,
+                            [&](const fault::FaultPlan& candidate) {
+                              return warm_equals_cold(fixture, candidate);
+                            });
+    }
+  }
+  EXPECT_GT(obs::Registry::global().counter("fault.injected").value(),
+            injected_before)
+      << "no generated injection ever fired — the property is vacuous";
+}
+
+TEST(PropFlow, BudgetFaultsDegradeToValidPartialFlows) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng = util::Rng::stream(seed, 600);
+    for (int trial = 0; trial < 4; ++trial) {
+      const FlowFixture fixture = random_flow_fixture(rng);
+      // Unfaulted baseline for the budget comparison.
+      flow::ResidualNetwork free_net = fixture.build();
+      const auto unbounded = flow::min_cost_max_flow(
+          free_net, fixture.source(), fixture.sink(), fixture.flow_limit);
+      ASSERT_EQ(unbounded.status == flow::SolveStatus::kBudgetExhausted,
+                false);
+      const std::uint64_t budget =
+          static_cast<std::uint64_t>(rng.uniform_int(0, 6));
+      fault::FaultPlan plan;
+      plan.seed = seed;
+      plan.injections.push_back(
+          {"flow.mincost", 0, 1,
+           {fault::Kind::kBudget, static_cast<double>(budget)}});
+      prop::expect_property(
+          seed, plan, [&](const fault::FaultPlan& candidate) {
+            fault::ScopedPlan armed(candidate);
+            flow::ResidualNetwork net = fixture.build();
+            const auto result = flow::min_cost_max_flow(
+                net, fixture.source(), fixture.sink(), fixture.flow_limit);
+            if (result.augmenting_paths > budget)
+              return prop::InvariantResult::fail(
+                  "budget overrun: " +
+                  std::to_string(result.augmenting_paths) + " paths on a " +
+                  std::to_string(budget) + " budget");
+            if (result.flow > unbounded.flow + flow::kFlowEps)
+              return prop::InvariantResult::fail(
+                  "partial flow exceeds the unbounded optimum");
+            if (result.status != flow::SolveStatus::kBudgetExhausted &&
+                result.flow != unbounded.flow)
+              return prop::InvariantResult::fail(
+                  "non-exhausted status with less flow than the optimum");
+            return check_network_conservation(net, fixture.source(),
+                                              fixture.sink());
+          });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rwc

@@ -1,0 +1,72 @@
+// Property runner with fault-plan shrinking.
+//
+// A property is a callable FaultPlan -> InvariantResult that arms the plan
+// (fault::ScopedPlan), runs the system under test, and reports the first
+// violated invariant. On failure the runner minimizes the schedule by
+// halving (FaultPlan::first_half / second_half) until neither half still
+// reproduces the violation, then emits ONE gtest failure carrying the
+// generator seed and the minimized plan spec — everything needed to replay:
+//
+//   property violated: seed=29 plan="core.snr%2@1:nan" ...
+//   (re-run with RWC_FAULTS='core.snr%2@1:nan' or ScopedPlan on the spec)
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "fault/plan.hpp"
+#include "prop/invariants.hpp"
+
+namespace rwc::prop {
+
+using Property = std::function<InvariantResult(const fault::FaultPlan&)>;
+
+struct PropertyFailure {
+  fault::FaultPlan minimized;
+  InvariantResult result;  // the violation the minimized plan reproduces
+};
+
+/// Evaluates `property` under `plan`; on violation, bisects the schedule.
+/// Each round tries both halves; descent continues into the first half that
+/// still fails. A plan is minimal when it is a single injection or neither
+/// half reproduces any violation (the failure needs the combination).
+inline std::optional<PropertyFailure> minimize_failure(
+    const fault::FaultPlan& plan, const Property& property) {
+  InvariantResult result = property(plan);
+  if (result.ok) return std::nullopt;
+  fault::FaultPlan current = plan;
+  while (current.injections.size() > 1) {
+    bool narrowed = false;
+    for (fault::FaultPlan half : {current.first_half(),
+                                  current.second_half()}) {
+      InvariantResult half_result = property(half);
+      if (!half_result.ok) {
+        current = std::move(half);
+        result = std::move(half_result);
+        narrowed = true;
+        break;
+      }
+    }
+    if (!narrowed) break;
+  }
+  return PropertyFailure{std::move(current), std::move(result)};
+}
+
+/// gtest entry point: passes silently, or fails once with the seed, the
+/// minimized plan and the violated invariant.
+inline void expect_property(std::uint64_t seed, const fault::FaultPlan& plan,
+                            const Property& property) {
+  const auto failure = minimize_failure(plan, property);
+  if (!failure.has_value()) return;
+  ADD_FAILURE() << "property violated: seed=" << seed << " plan=\""
+                << failure->minimized.to_string() << "\"\n  "
+                << failure->result.detail
+                << "\n  (full schedule was \"" << plan.to_string() << "\")";
+}
+
+}  // namespace rwc::prop

@@ -59,6 +59,41 @@ TEST(Hysteresis, CandidateChangeRestartsStreak) {
   EXPECT_EQ(filter.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 200_Gbps);
 }
 
+TEST(Hysteresis, DwellExpiryEdgeExposesExactlyOnTheHoldRound) {
+  // Boundary of the dwell window: at up_hold_rounds = N the increase must
+  // stay hidden through round N-1 and appear exactly on round N — a dip on
+  // round N-1 restarts the full window, and a lagging caller (configured
+  // rate unchanged after exposure) keeps seeing the increase without a
+  // fresh dwell, which is still dwell-compliant (the rate never stopped
+  // being feasible).
+  HysteresisParams params;
+  params.up_hold_rounds = 4;
+  HysteresisFilter filter(1, params);
+  for (int round = 1; round < 4; ++round)
+    ASSERT_EQ(filter.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 100_Gbps)
+        << "round " << round;
+  EXPECT_EQ(filter.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 200_Gbps);
+  // Caller lags (configured stays 100): re-exposure needs no new dwell.
+  EXPECT_EQ(filter.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 200_Gbps);
+
+  // One dip at round N-1 discards the whole streak.
+  HysteresisFilter strict(1, params);
+  for (int round = 1; round < 4; ++round)
+    ASSERT_EQ(strict.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 100_Gbps);
+  ASSERT_EQ(strict.filter(0, 100_Gbps, 100_Gbps, 100_Gbps), 100_Gbps);
+  for (int round = 1; round < 4; ++round)
+    ASSERT_EQ(strict.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 100_Gbps)
+        << "post-dip round " << round;
+  EXPECT_EQ(strict.filter(0, 200_Gbps, 200_Gbps, 100_Gbps), 200_Gbps);
+}
+
+TEST(Hysteresis, MinimumHoldOfOneExposesImmediately) {
+  HysteresisParams params;
+  params.up_hold_rounds = 1;
+  HysteresisFilter filter(1, params);
+  EXPECT_EQ(filter.filter(0, 150_Gbps, 150_Gbps, 100_Gbps), 150_Gbps);
+}
+
 TEST(Hysteresis, ValidatesInputs) {
   EXPECT_THROW(HysteresisFilter(1, HysteresisParams{Db{-1.0}, 1}),
                util::CheckError);

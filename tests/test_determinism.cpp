@@ -1,14 +1,18 @@
 // Pool-size invariance: the parallel hot paths (speculative-wave
 // consolidation, scenario sweeps) must produce bit-identical results at
 // every pool size, including the serial pool that runs the original
-// pre-parallel code path.
+// pre-parallel code path. The signature extraction and comparison live in
+// tests/prop/invariants.hpp, shared with the property harness (which
+// re-checks the same contract under active fault plans).
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "core/controller.hpp"
 #include "exec/thread_pool.hpp"
 #include "optical/modulation.hpp"
+#include "prop/invariants.hpp"
 #include "sim/simulator.hpp"
 #include "sim/topology.hpp"
 #include "sim/workload.hpp"
@@ -20,12 +24,7 @@ namespace rwc {
 namespace {
 
 struct RoundOutcome {
-  std::vector<std::pair<std::int32_t, double>> upgrades;  // (edge, to)
-  double routed = 0.0;
-  double penalty = 0.0;
-  std::size_t reductions = 0;
-  std::size_t restorations = 0;
-  bool transition_valid = false;
+  prop::RoundSignature signature;
   std::uint64_t evaluations = 0;
 };
 
@@ -47,27 +46,15 @@ RoundOutcome run_controller_round(const te::TeAlgorithm& engine,
   core::DynamicCapacityController controller(
       g, optical::ModulationTable::standard(), engine, options);
   const auto report = controller.run_round(snr, demands);
-
-  RoundOutcome outcome;
-  for (const auto& change : report.plan.upgrades)
-    outcome.upgrades.emplace_back(change.edge.value, change.to.value);
-  outcome.routed = report.total_routed.value;
-  outcome.penalty = report.total_penalty;
-  outcome.reductions = report.reductions.size();
-  outcome.restorations = report.restorations.size();
-  outcome.transition_valid = report.transition_valid;
-  outcome.evaluations = report.stats.evaluations;
-  return outcome;
+  return {prop::signature_of(report), report.stats.evaluations};
 }
 
 void expect_same_outcome(const RoundOutcome& expected,
                          const RoundOutcome& got, std::size_t threads) {
-  EXPECT_EQ(got.upgrades, expected.upgrades) << threads << " threads";
-  EXPECT_EQ(got.routed, expected.routed) << threads << " threads";
-  EXPECT_EQ(got.penalty, expected.penalty) << threads << " threads";
-  EXPECT_EQ(got.reductions, expected.reductions);
-  EXPECT_EQ(got.restorations, expected.restorations);
-  EXPECT_EQ(got.transition_valid, expected.transition_valid);
+  const prop::InvariantResult check = prop::check_signatures_equal(
+      expected.signature, got.signature,
+      std::to_string(threads) + " threads");
+  EXPECT_TRUE(check.ok) << check.detail;
 }
 
 TEST(Determinism, ControllerRoundIsPoolSizeInvariantWithMcf) {

@@ -152,6 +152,45 @@ TEST(WarmStartCache, StoresFindsAndEvictsFifo) {
   EXPECT_EQ(cache.find(3)->fingerprint, 3u);
 }
 
+TEST(WarmStartCache, EvictionBoundaryRefreshesDoNotGrowOrEvict) {
+  WarmStartCache cache(2);
+  auto make = [](std::uint64_t fingerprint) {
+    auto recording = std::make_shared<MinCostWarmStart>();
+    recording->fingerprint = fingerprint;
+    return recording;
+  };
+  cache.store(make(1));
+  cache.store(make(2));  // exactly at capacity: nothing evicted yet
+  ASSERT_NE(cache.find(1), nullptr);
+  ASSERT_NE(cache.find(2), nullptr);
+
+  // Refreshing an existing key at the boundary replaces the recording in
+  // place — it must neither evict nor duplicate the FIFO slot.
+  auto refreshed = make(1);
+  refreshed->exhausted = true;
+  cache.store(std::move(refreshed));
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.find(1), nullptr);
+  EXPECT_TRUE(cache.find(1)->exhausted);
+  ASSERT_NE(cache.find(2), nullptr);
+
+  // The refresh must not have consumed key 1's FIFO position: the next
+  // insertion still evicts 1 (the oldest INSERTION), not 2.
+  cache.store(make(3));
+  EXPECT_EQ(cache.find(1), nullptr);
+  ASSERT_NE(cache.find(2), nullptr);
+  ASSERT_NE(cache.find(3), nullptr);
+}
+
+TEST(WarmStartCache, ZeroCapacityClampsToOneEntry) {
+  WarmStartCache cache(0);
+  auto recording = std::make_shared<MinCostWarmStart>();
+  recording->fingerprint = 9;
+  cache.store(std::move(recording));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.find(9), nullptr);
+}
+
 TEST(McfTeWarm, WarmAndColdEnginesProduceIdenticalAssignments) {
   // End-to-end: the warm-started engine must route every demand exactly
   // like the cold engine, across repeated solves that hit the cache.

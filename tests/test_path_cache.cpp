@@ -4,9 +4,14 @@
 
 #include <vector>
 
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+#include "fault/plan.hpp"
+#include "fault/registry.hpp"
 #include "graph/graph.hpp"
 #include "graph/ksp.hpp"
 #include "graph/path_cache.hpp"
+#include "obs/registry.hpp"
 #include "sim/topology.hpp"
 #include "sim/workload.hpp"
 #include "te/swan.hpp"
@@ -104,6 +109,39 @@ TEST(PathCache, EvictsOldestBeyondCapacity) {
   cache.k_shortest(g, NodeId{1}, NodeId{11}, 1);
   cache.k_shortest(g, NodeId{2}, NodeId{11}, 1);
   EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PathCache, ForcedInvalidationUnderConcurrentRoundsStaysCorrect) {
+  // The cache.path.lookup fault site force-invalidates entries mid-round
+  // while concurrent solvers query the shared cache. The contract
+  // (docs/FAULTS.md): an invalidation changes timing only — every query
+  // still returns exactly the direct Yen result.
+  const Graph g = make_graph(9, 14);
+  PathCache cache;
+  std::vector<std::vector<Path>> direct;
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  for (std::int32_t src = 0; src < 6; ++src)
+    for (std::int32_t dst = 8; dst < 14; ++dst) {
+      queries.emplace_back(NodeId{src}, NodeId{dst});
+      direct.push_back(k_shortest_paths(g, NodeId{src}, NodeId{dst}, 3));
+    }
+
+  static auto& invalidations =
+      rwc::obs::Registry::global().counter("cache.path.invalidations");
+  const std::uint64_t invalidations_before = invalidations.value();
+  rwc::fault::ScopedPlan armed(
+      rwc::fault::FaultPlan::parse("cache.path.lookup%3@0:invalidate"));
+  rwc::exec::ThreadPool pool(8);
+  for (int round = 0; round < 4; ++round) {
+    const auto results = rwc::exec::parallel_map(
+        pool, queries.size(), [&](std::size_t i) {
+          return cache.k_shortest(g, queries[i].first, queries[i].second, 3);
+        });
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      expect_same_paths(results[i], direct[i]);
+  }
+  // Vacuity guard: the schedule must actually have invalidated entries.
+  EXPECT_GT(invalidations.value(), invalidations_before);
 }
 
 TEST(SwanPathCache, CachedEngineMatchesUncachedEngine) {
