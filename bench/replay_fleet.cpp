@@ -1,0 +1,213 @@
+// Long-horizon streaming fleet replay (rwc::replay) with periodic
+// checkpoints: drives the dynamic-capacity control loop over a multi-day
+// horizon in bounded memory, rotating checkpoints into a scratch store,
+// and reports throughput plus checkpoint cost (docs/REPLAY.md).
+//
+//   replay_fleet [rounds] [--soak] [--json <path>]
+//
+// --soak turns the bench into a self-checking crash-recovery drill (the
+// nightly `ctest -L soak` job): it runs an uninterrupted reference, then
+// kills the run mid-horizon and resumes from the newest checkpoint, then
+// repeats the recovery with the newest checkpoint corrupted (via the
+// `replay.restore` fault site) so restore must fall back one file. Any
+// divergence from the reference signature chain exits non-zero.
+// RWC_SOAK_ROUNDS overrides the horizon for quick local drills.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "fault/registry.hpp"
+#include "obs/timer.hpp"
+#include "replay/checkpoint.hpp"
+#include "replay/driver.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using rwc::replay::CheckpointStore;
+using rwc::replay::Error;
+using rwc::replay::ReplayConfig;
+using rwc::replay::ReplayDriver;
+
+struct Fleet {
+  rwc::graph::Graph topology;
+  rwc::te::TrafficMatrix demands;
+};
+
+Fleet make_fleet() {
+  rwc::util::Rng topo_rng =
+      rwc::util::Rng::stream(rwc::bench::kFleetSeed, 0);
+  Fleet fleet{rwc::sim::waxman(12, topo_rng), {}};
+  rwc::util::Rng demand_rng =
+      rwc::util::Rng::stream(rwc::bench::kFleetSeed, 1);
+  rwc::sim::GravityParams gravity;
+  gravity.total =
+      rwc::util::Gbps{fleet.topology.total_capacity().value * 0.4};
+  fleet.demands =
+      rwc::sim::gravity_matrix(fleet.topology, gravity, demand_rng);
+  return fleet;
+}
+
+ReplayConfig make_config(std::uint64_t rounds) {
+  ReplayConfig config;
+  config.rounds = rounds;
+  config.seed = rwc::bench::kFleetSeed;
+  config.chunk_rounds = 96;  // one day per refill
+  // Several snapshots per horizon however short the run, so the soak
+  // drills always have an older file to fall back to (64 rounds = 16 h at
+  // the default 384-round horizon).
+  config.checkpoint_every = std::max<std::uint64_t>(1, rounds / 6);
+  return config;
+}
+
+/// Scratch checkpoint directory, removed on destruction.
+struct ScratchStore {
+  std::filesystem::path dir;
+  CheckpointStore store;
+  explicit ScratchStore(const std::string& tag)
+      : dir(std::filesystem::temp_directory_path() /
+            ("rwc-replay-fleet-" + tag + "-" +
+             std::to_string(static_cast<unsigned>(::getpid())))),
+        store((std::filesystem::remove_all(dir), dir), /*keep=*/3) {}
+  ~ScratchStore() { std::filesystem::remove_all(dir); }
+};
+
+int run_stream(std::uint64_t rounds) {
+  const Fleet fleet = make_fleet();
+  const rwc::te::McfTe engine;
+  const ReplayConfig config = make_config(rounds);
+  ScratchStore scratch("stream");
+
+  ReplayDriver driver(fleet.topology, engine, fleet.demands, config);
+  driver.attach_store(&scratch.store);
+
+  rwc::obs::StopWatch watch;
+  const rwc::sim::SimulationMetrics metrics = driver.run();
+  const double seconds = watch.seconds();
+
+  auto& registry = rwc::obs::Registry::global();
+  rwc::bench::print_header("Streaming fleet replay");
+  std::printf("%-28s %llu\n", "rounds",
+              static_cast<unsigned long long>(config.rounds));
+  std::printf("%-28s %.1f\n", "rounds/sec",
+              seconds > 0.0 ? static_cast<double>(config.rounds) / seconds
+                            : 0.0);
+  std::printf("%-28s %llu\n", "chunk refills",
+              static_cast<unsigned long long>(
+                  registry.counter("replay.chunk.refills").value()));
+  std::printf("%-28s %llu\n", "checkpoint writes",
+              static_cast<unsigned long long>(
+                  registry.counter("replay.checkpoint.writes").value()));
+  std::printf("%-28s %.1f\n", "checkpoint KiB total",
+              static_cast<double>(
+                  registry.counter("replay.checkpoint.bytes").value()) /
+                  1024.0);
+  std::printf("%-28s %.4f\n", "delivered fraction",
+              metrics.delivered_fraction());
+  std::printf("%-28s %.4f\n", "availability", metrics.availability);
+  std::printf("%-28s %.2f\n", "reconfig downtime (h)",
+              metrics.reconfig_downtime_hours);
+  return 0;
+}
+
+/// One recovery drill: kill at `kill_round`, restore from the store
+/// (optionally with the newest checkpoint corrupted first), finish, and
+/// compare against the reference chain.
+bool drill(const Fleet& fleet, const rwc::te::TeAlgorithm& engine,
+           const ReplayConfig& config, std::uint64_t reference_chain,
+           std::uint64_t kill_round, bool corrupt_newest,
+           const char* label) {
+  ScratchStore scratch(label);
+  {
+    ReplayDriver doomed(fleet.topology, engine, fleet.demands, config);
+    doomed.attach_store(&scratch.store);
+    doomed.run(kill_round);  // "crash": driver destroyed mid-horizon
+  }
+  ReplayDriver resumed(fleet.topology, engine, fleet.demands, config);
+  resumed.attach_store(&scratch.store);
+  Error error;
+  if (corrupt_newest) {
+    // The newest file arrives truncated exactly once; restore_latest must
+    // reject it and fall back to the previous checkpoint.
+    rwc::fault::ScopedPlan plan(
+        rwc::fault::FaultPlan::parse("replay.restore@0:drop"));
+    error = resumed.restore_latest(scratch.store);
+  } else {
+    error = resumed.restore_latest(scratch.store);
+  }
+  if (error != Error::kNone) {
+    std::fprintf(stderr, "%s: restore_latest failed: %s\n", label,
+                 rwc::replay::to_string(error));
+    return false;
+  }
+  const std::uint64_t resumed_from = resumed.round();
+  resumed.run();
+  const bool ok = resumed.signature_chain() == reference_chain;
+  std::printf("%-28s killed@%llu resumed@%llu chain %s\n", label,
+              static_cast<unsigned long long>(kill_round),
+              static_cast<unsigned long long>(resumed_from),
+              ok ? "MATCH" : "MISMATCH");
+  if (!ok)
+    std::fprintf(stderr,
+                 "%s: resumed chain %016llx != reference %016llx\n", label,
+                 static_cast<unsigned long long>(resumed.signature_chain()),
+                 static_cast<unsigned long long>(reference_chain));
+  return ok;
+}
+
+int run_soak(std::uint64_t rounds) {
+  if (const char* env = std::getenv("RWC_SOAK_ROUNDS")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) rounds = static_cast<std::uint64_t>(parsed);
+  }
+  const Fleet fleet = make_fleet();
+  const rwc::te::McfTe engine;
+  const ReplayConfig config = make_config(rounds);
+
+  rwc::bench::print_header("Replay soak: kill / restore / verify");
+  ReplayDriver reference(fleet.topology, engine, fleet.demands, config);
+  const rwc::sim::SimulationMetrics metrics = reference.run();
+  std::printf("%-28s %llu rounds, chain %016llx\n", "reference",
+              static_cast<unsigned long long>(config.rounds),
+              static_cast<unsigned long long>(reference.signature_chain()));
+
+  // Kill after the second checkpoint so both drills have a file to fall
+  // back to; the corrupt leg then proves the fallback is still exact.
+  const std::uint64_t kill_round =
+      std::min(config.rounds - 1, config.checkpoint_every * 2 + 17);
+  bool ok = drill(fleet, engine, config, reference.signature_chain(),
+                  kill_round, /*corrupt_newest=*/false, "kill-restore");
+  ok &= drill(fleet, engine, config, reference.signature_chain(),
+              kill_round, /*corrupt_newest=*/true, "corrupt-fallback");
+  std::printf("%-28s %.4f\n", "delivered fraction",
+              metrics.delivered_fraction());
+  std::printf("\nsoak: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rwc::bench::JsonExportGuard json_guard(argc, argv);
+  bool soak = false;
+  std::uint64_t rounds = 384;  // four days at 15-minute rounds
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--soak") {
+      soak = true;
+    } else if (const long long parsed = std::atoll(arg.c_str());
+               parsed > 0) {
+      rounds = static_cast<std::uint64_t>(parsed);
+    }
+  }
+  return soak ? run_soak(rounds) : run_stream(rounds);
+}

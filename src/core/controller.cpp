@@ -105,6 +105,30 @@ DynamicCapacityController::DynamicCapacityController(
   last_snr_.assign(physical_.edge_count(), Db{0.0});
 }
 
+DynamicCapacityController::PersistentState
+DynamicCapacityController::save_state() const {
+  PersistentState state;
+  state.configured = configured_;
+  if (hysteresis_.has_value()) state.hysteresis = hysteresis_->state();
+  state.last_assignment = last_assignment_;
+  state.last_traffic = last_traffic_;
+  state.last_snr = last_snr_;
+  return state;
+}
+
+void DynamicCapacityController::restore_state(PersistentState state) {
+  RWC_EXPECTS(state.configured.size() == physical_.edge_count());
+  RWC_EXPECTS(state.last_traffic.size() == physical_.edge_count());
+  RWC_EXPECTS(state.last_snr.size() == physical_.edge_count());
+  RWC_EXPECTS(state.hysteresis.has_value() == hysteresis_.has_value());
+  configured_ = std::move(state.configured);
+  if (hysteresis_.has_value())
+    hysteresis_->restore_state(std::move(*state.hysteresis));
+  last_assignment_ = std::move(state.last_assignment);
+  last_traffic_ = std::move(state.last_traffic);
+  last_snr_ = std::move(state.last_snr);
+}
+
 graph::Graph DynamicCapacityController::current_topology() const {
   graph::Graph current;
   for (graph::NodeId node : physical_.node_ids())

@@ -139,6 +139,23 @@ class DynamicCapacityController {
   RoundReport run_round(std::span<const util::Db> link_snr,
                         const te::TrafficMatrix& demands);
 
+  /// Everything that evolves across rounds, captured for checkpointing
+  /// (rwc::replay). A controller built with the same topology/table/options
+  /// and restored from this state produces bit-identical RoundReports for
+  /// the remaining rounds — docs/REPLAY.md states the contract.
+  struct PersistentState {
+    std::vector<util::Gbps> configured;
+    std::optional<HysteresisFilter::State> hysteresis;
+    te::FlowAssignment last_assignment;
+    std::vector<double> last_traffic;
+    std::vector<util::Db> last_snr;
+  };
+  PersistentState save_state() const;
+  /// Restores a captured state. Vector sizes must match this controller's
+  /// physical topology, and hysteresis presence must match the options the
+  /// controller was built with.
+  void restore_state(PersistentState state);
+
   const graph::Graph& physical_topology() const { return physical_; }
   /// Physical topology with the currently configured capacities.
   graph::Graph current_topology() const;

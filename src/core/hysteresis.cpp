@@ -15,6 +15,13 @@ HysteresisFilter::HysteresisFilter(std::size_t link_count,
   RWC_EXPECTS(params_.extra_up_margin.value >= 0.0);
 }
 
+void HysteresisFilter::restore_state(State state) {
+  RWC_EXPECTS(state.candidate.size() == candidate_.size());
+  RWC_EXPECTS(state.streak.size() == streak_.size());
+  candidate_ = std::move(state.candidate);
+  streak_ = std::move(state.streak);
+}
+
 Gbps HysteresisFilter::filter(std::size_t link, Gbps raw_feasible,
                               Gbps raw_with_extra, Gbps configured) {
   RWC_EXPECTS(link < candidate_.size());

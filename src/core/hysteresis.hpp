@@ -39,6 +39,18 @@ class HysteresisFilter {
 
   const HysteresisParams& params() const { return params_; }
 
+  /// Per-link dwell state, captured for checkpointing (rwc::replay): a
+  /// filter restored from it continues the promotion streaks exactly where
+  /// the capture left off.
+  struct State {
+    std::vector<util::Gbps> candidate;
+    std::vector<int> streak;
+  };
+  State state() const { return State{candidate_, streak_}; }
+  /// Restores a captured state; vector sizes must match the filter's
+  /// link count.
+  void restore_state(State state);
+
  private:
   HysteresisParams params_;
   std::vector<util::Gbps> candidate_;  // rate being held for promotion

@@ -344,4 +344,35 @@ std::size_t WarmStartCache::size() const {
   return entries_.size();
 }
 
+std::vector<std::shared_ptr<const MinCostWarmStart>>
+WarmStartCache::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::shared_ptr<const MinCostWarmStart>> out;
+  out.reserve(insertion_order_.size());
+  for (const std::uint64_t key : insertion_order_) {
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+void WarmStartCache::restore(
+    std::vector<std::shared_ptr<const MinCostWarmStart>> recordings) {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+  insertion_order_.clear();
+  for (auto& recording : recordings) {
+    if (recording == nullptr || recording->empty()) continue;
+    const std::uint64_t key = recording->fingerprint;
+    const auto [it, inserted] =
+        entries_.insert_or_assign(key, std::move(recording));
+    (void)it;
+    if (inserted) insertion_order_.push_back(key);
+    while (entries_.size() > max_entries_ && !insertion_order_.empty()) {
+      entries_.erase(insertion_order_.front());
+      insertion_order_.pop_front();
+    }
+  }
+}
+
 }  // namespace rwc::flow

@@ -129,6 +129,17 @@ class WarmStartCache {
 
   std::size_t size() const;
 
+  /// Every recording in FIFO-insertion order, for checkpointing
+  /// (rwc::replay). The shared_ptrs alias the live entries — cheap, and
+  /// safe because recordings are immutable once stored.
+  std::vector<std::shared_ptr<const MinCostWarmStart>> snapshot() const;
+
+  /// Replaces the cache contents with `recordings` (oldest first),
+  /// re-establishing the same FIFO eviction order. Empty recordings are
+  /// skipped; an empty vector restores the explicit cold-cache state.
+  void restore(
+      std::vector<std::shared_ptr<const MinCostWarmStart>> recordings);
+
  private:
   mutable std::mutex mutex_;
   std::size_t max_entries_;

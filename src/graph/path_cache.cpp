@@ -151,6 +151,44 @@ std::size_t PathCache::size() const {
   return entries_.size();
 }
 
+std::vector<PathCache::ExportedEntry> PathCache::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ExportedEntry> out;
+  out.reserve(insertion_order_.size());
+  for (const Key& key : insertion_order_) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) continue;
+    out.push_back(ExportedEntry{key.fingerprint, key.source, key.target,
+                                static_cast<std::uint64_t>(key.k),
+                                it->second.paths});
+  }
+  return out;
+}
+
+void PathCache::restore(std::span<const ExportedEntry> entries) {
+  std::lock_guard lock(mutex_);
+  ++version_;
+  entries_.clear();
+  insertion_order_.clear();
+  for (const ExportedEntry& exported : entries) {
+    const Key key{exported.fingerprint, exported.source, exported.target,
+                  static_cast<std::size_t>(exported.k)};
+    Entry entry;
+    entry.paths = exported.paths;
+    for (const Path& path : entry.paths)
+      entry.edges_used.insert(entry.edges_used.end(), path.edges.begin(),
+                              path.edges.end());
+    std::sort(entry.edges_used.begin(), entry.edges_used.end());
+    entry.edges_used.erase(
+        std::unique(entry.edges_used.begin(), entry.edges_used.end()),
+        entry.edges_used.end());
+    const auto [it, inserted] = entries_.insert_or_assign(key, std::move(entry));
+    (void)it;
+    if (inserted) insertion_order_.push_back(key);
+    evict_to_capacity_locked();
+  }
+}
+
 void PathCache::evict_to_capacity_locked() {
   while (entries_.size() > max_entries_ && !insertion_order_.empty()) {
     entries_.erase(insertion_order_.front());

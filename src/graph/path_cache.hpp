@@ -29,6 +29,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -63,6 +64,24 @@ class PathCache {
   std::uint64_t version() const;
 
   std::size_t size() const;
+
+  /// One cache entry in externalized form, for checkpointing (rwc::replay).
+  struct ExportedEntry {
+    std::uint64_t fingerprint = 0;
+    std::int32_t source = -1;
+    std::int32_t target = -1;
+    std::uint64_t k = 0;
+    std::vector<Path> paths;
+  };
+
+  /// Every entry in FIFO-insertion order.
+  std::vector<ExportedEntry> snapshot() const;
+
+  /// Replaces the contents with `entries` (oldest first), rebuilding the
+  /// traversed-edge index; an empty vector restores the explicit
+  /// cold-cache state. The version counter is bumped, like any other
+  /// wholesale content change.
+  void restore(std::span<const ExportedEntry> entries);
 
  private:
   struct Key {

@@ -1,0 +1,756 @@
+#include "replay/checkpoint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+
+#include "fault/registry.hpp"
+#include "obs/registry.hpp"
+#include "util/check.hpp"
+
+namespace rwc::replay {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'R', 'W', 'C', 'K', 'P', 'T',
+                                        '0', '1'};
+
+/// Section ids of format version 1. Ids are stable forever; a removed
+/// section's id is never reused.
+enum class SectionId : std::uint32_t {
+  kMeta = 1,
+  kController = 2,
+  kCursors = 3,
+  kRng = 4,
+  kWarmCache = 5,
+  kPathCache = 6,
+  kObs = 7,
+};
+
+/// Handles into the global registry (docs/OBSERVABILITY.md: replay.*).
+struct CheckpointMetrics {
+  obs::Counter& writes;
+  obs::Counter& bytes;
+  obs::Counter& rejected;
+  obs::Counter& fallbacks;
+
+  static CheckpointMetrics& instance() {
+    static auto& registry = obs::Registry::global();
+    static CheckpointMetrics metrics{
+        registry.counter("replay.checkpoint.writes"),
+        registry.counter("replay.checkpoint.bytes"),
+        registry.counter("replay.restore.rejected"),
+        registry.counter("replay.restore.fallbacks"),
+    };
+    return metrics;
+  }
+};
+
+/// Little-endian append-only serializer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value) { bytes_.push_back(std::byte{value}); }
+  void u32(std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8)
+      bytes_.push_back(std::byte{static_cast<std::uint8_t>(value >> shift)});
+  }
+  void u64(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8)
+      bytes_.push_back(std::byte{static_cast<std::uint8_t>(value >> shift)});
+  }
+  void i32(std::int32_t value) { u32(static_cast<std::uint32_t>(value)); }
+  void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+  void str(const std::string& value) {
+    u32(static_cast<std::uint32_t>(value.size()));
+    for (char c : value) bytes_.push_back(std::byte{static_cast<std::uint8_t>(c)});
+  }
+
+  const std::vector<std::byte>& bytes() const { return bytes_; }
+  std::vector<std::byte> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Bounds-checked little-endian reader: any overrun latches fail() and
+/// makes every subsequent read return zero, so payload parsers can run to
+/// completion and check once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    if (position_ + 1 > bytes_.size()) return fail_read();
+    return std::to_integer<std::uint8_t>(bytes_[position_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t value = 0;
+    if (position_ + 4 > bytes_.size()) return static_cast<std::uint32_t>(fail_read());
+    for (int shift = 0; shift < 32; shift += 8)
+      value |= static_cast<std::uint32_t>(
+                   std::to_integer<std::uint8_t>(bytes_[position_++]))
+               << shift;
+    return value;
+  }
+  std::uint64_t u64() {
+    std::uint64_t value = 0;
+    if (position_ + 8 > bytes_.size()) return fail_read();
+    for (int shift = 0; shift < 64; shift += 8)
+      value |= static_cast<std::uint64_t>(
+                   std::to_integer<std::uint8_t>(bytes_[position_++]))
+               << shift;
+    return value;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint32_t size = u32();
+    if (position_ + size > bytes_.size()) {
+      fail_read();
+      return {};
+    }
+    std::string value(size, '\0');
+    std::memcpy(value.data(), bytes_.data() + position_, size);
+    position_ += size;
+    return value;
+  }
+  /// Element-count sanity bound: a count that could not possibly fit in the
+  /// remaining payload (>= 1 byte per element) marks the payload malformed
+  /// without attempting a huge allocation.
+  bool fits(std::uint64_t count) {
+    if (count <= bytes_.size() - position_) return true;
+    failed_ = true;
+    return false;
+  }
+
+  bool failed() const { return failed_; }
+  bool exhausted() const { return position_ == bytes_.size(); }
+
+ private:
+  std::uint64_t fail_read() {
+    failed_ = true;
+    position_ = bytes_.size();
+    return 0;
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t position_ = 0;
+  bool failed_ = false;
+};
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void write_rng_state(ByteWriter& writer, const util::RngState& state) {
+  for (std::uint64_t word : state.engine) writer.u64(word);
+  writer.f64(state.cached_normal);
+  writer.u8(state.has_cached_normal ? 1 : 0);
+}
+
+util::RngState read_rng_state(ByteReader& reader) {
+  util::RngState state;
+  for (std::uint64_t& word : state.engine) word = reader.u64();
+  state.cached_normal = reader.f64();
+  state.has_cached_normal = reader.u8() != 0;
+  return state;
+}
+
+void write_path(ByteWriter& writer, const graph::Path& path) {
+  writer.u64(path.edges.size());
+  for (graph::EdgeId edge : path.edges) writer.i32(edge.value);
+  writer.f64(path.weight);
+}
+
+graph::Path read_path(ByteReader& reader) {
+  graph::Path path;
+  const std::uint64_t edges = reader.u64();
+  if (!reader.fits(edges)) return path;
+  path.edges.reserve(edges);
+  for (std::uint64_t i = 0; i < edges; ++i)
+    path.edges.push_back(graph::EdgeId{reader.i32()});
+  path.weight = reader.f64();
+  return path;
+}
+
+std::vector<std::byte> encode_meta(const Checkpoint& checkpoint) {
+  ByteWriter writer;
+  writer.u64(checkpoint.config_fingerprint);
+  writer.u64(checkpoint.round);
+  writer.u64(checkpoint.chunk_base_round);
+  writer.u64(checkpoint.signature_chain);
+  const sim::SimulationMetrics& m = checkpoint.metrics;
+  writer.f64(m.offered_gbps_hours);
+  writer.f64(m.delivered_gbps_hours);
+  writer.f64(m.availability);
+  writer.u64(m.link_failures);
+  writer.u64(m.link_flaps);
+  writer.u64(m.upgrades);
+  writer.u64(m.restorations);
+  writer.u64(m.lock_failures);
+  writer.f64(m.reconfig_downtime_hours);
+  writer.u64(m.te_rounds);
+  return writer.take();
+}
+
+bool decode_meta(std::span<const std::byte> payload, Checkpoint& out) {
+  ByteReader reader(payload);
+  out.config_fingerprint = reader.u64();
+  out.round = reader.u64();
+  out.chunk_base_round = reader.u64();
+  out.signature_chain = reader.u64();
+  sim::SimulationMetrics& m = out.metrics;
+  m.offered_gbps_hours = reader.f64();
+  m.delivered_gbps_hours = reader.f64();
+  m.availability = reader.f64();
+  m.link_failures = reader.u64();
+  m.link_flaps = reader.u64();
+  m.upgrades = reader.u64();
+  m.restorations = reader.u64();
+  m.lock_failures = reader.u64();
+  m.reconfig_downtime_hours = reader.f64();
+  m.te_rounds = reader.u64();
+  return !reader.failed() && reader.exhausted();
+}
+
+void write_assignment(ByteWriter& writer, const te::FlowAssignment& a) {
+  writer.u64(a.routings.size());
+  for (const auto& routing : a.routings) {
+    writer.i32(routing.demand.src.value);
+    writer.i32(routing.demand.dst.value);
+    writer.f64(routing.demand.volume.value);
+    writer.i32(routing.demand.priority);
+    writer.u64(routing.paths.size());
+    for (const auto& [path, volume] : routing.paths) {
+      write_path(writer, path);
+      writer.f64(volume.value);
+    }
+    writer.f64(routing.routed.value);
+  }
+  writer.u64(a.edge_load_gbps.size());
+  for (double load : a.edge_load_gbps) writer.f64(load);
+  writer.f64(a.total_routed.value);
+  writer.f64(a.total_cost);
+}
+
+te::FlowAssignment read_assignment(ByteReader& reader) {
+  te::FlowAssignment a;
+  const std::uint64_t routings = reader.u64();
+  if (!reader.fits(routings)) return a;
+  a.routings.reserve(routings);
+  for (std::uint64_t r = 0; r < routings && !reader.failed(); ++r) {
+    te::FlowAssignment::DemandRouting routing;
+    routing.demand.src = graph::NodeId{reader.i32()};
+    routing.demand.dst = graph::NodeId{reader.i32()};
+    routing.demand.volume = util::Gbps{reader.f64()};
+    routing.demand.priority = reader.i32();
+    const std::uint64_t paths = reader.u64();
+    if (!reader.fits(paths)) break;
+    routing.paths.reserve(paths);
+    for (std::uint64_t p = 0; p < paths && !reader.failed(); ++p) {
+      graph::Path path = read_path(reader);
+      const util::Gbps volume{reader.f64()};
+      routing.paths.emplace_back(std::move(path), volume);
+    }
+    routing.routed = util::Gbps{reader.f64()};
+    a.routings.push_back(std::move(routing));
+  }
+  const std::uint64_t loads = reader.u64();
+  if (!reader.fits(loads)) return a;
+  a.edge_load_gbps.reserve(loads);
+  for (std::uint64_t i = 0; i < loads; ++i)
+    a.edge_load_gbps.push_back(reader.f64());
+  a.total_routed = util::Gbps{reader.f64()};
+  a.total_cost = reader.f64();
+  return a;
+}
+
+std::vector<std::byte> encode_controller(const Checkpoint& checkpoint) {
+  ByteWriter writer;
+  const auto& state = checkpoint.controller;
+  writer.u64(state.configured.size());
+  for (util::Gbps rate : state.configured) writer.f64(rate.value);
+  writer.u8(state.hysteresis.has_value() ? 1 : 0);
+  if (state.hysteresis.has_value()) {
+    writer.u64(state.hysteresis->candidate.size());
+    for (util::Gbps rate : state.hysteresis->candidate) writer.f64(rate.value);
+    for (int streak : state.hysteresis->streak) writer.i32(streak);
+  }
+  write_assignment(writer, state.last_assignment);
+  writer.u64(state.last_traffic.size());
+  for (double traffic : state.last_traffic) writer.f64(traffic);
+  writer.u64(state.last_snr.size());
+  for (util::Db snr : state.last_snr) writer.f64(snr.value);
+  return writer.take();
+}
+
+bool decode_controller(std::span<const std::byte> payload, Checkpoint& out) {
+  ByteReader reader(payload);
+  auto& state = out.controller;
+  const std::uint64_t configured = reader.u64();
+  if (!reader.fits(configured)) return false;
+  state.configured.reserve(configured);
+  for (std::uint64_t i = 0; i < configured; ++i)
+    state.configured.push_back(util::Gbps{reader.f64()});
+  if (reader.u8() != 0) {
+    core::HysteresisFilter::State hysteresis;
+    const std::uint64_t links = reader.u64();
+    if (!reader.fits(links)) return false;
+    hysteresis.candidate.reserve(links);
+    for (std::uint64_t i = 0; i < links; ++i)
+      hysteresis.candidate.push_back(util::Gbps{reader.f64()});
+    hysteresis.streak.reserve(links);
+    for (std::uint64_t i = 0; i < links; ++i)
+      hysteresis.streak.push_back(reader.i32());
+    state.hysteresis = std::move(hysteresis);
+  }
+  state.last_assignment = read_assignment(reader);
+  const std::uint64_t traffic = reader.u64();
+  if (!reader.fits(traffic)) return false;
+  state.last_traffic.reserve(traffic);
+  for (std::uint64_t i = 0; i < traffic; ++i)
+    state.last_traffic.push_back(reader.f64());
+  const std::uint64_t snr = reader.u64();
+  if (!reader.fits(snr)) return false;
+  state.last_snr.reserve(snr);
+  for (std::uint64_t i = 0; i < snr; ++i)
+    state.last_snr.push_back(util::Db{reader.f64()});
+  return !reader.failed() && reader.exhausted();
+}
+
+std::vector<std::byte> encode_cursors(const Checkpoint& checkpoint) {
+  ByteWriter writer;
+  writer.u64(checkpoint.cursors.size());
+  for (const auto& cursor : checkpoint.cursors) {
+    writer.u64(cursor.position);
+    write_rng_state(writer, cursor.rng);
+  }
+  return writer.take();
+}
+
+bool decode_cursors(std::span<const std::byte> payload, Checkpoint& out) {
+  ByteReader reader(payload);
+  const std::uint64_t count = reader.u64();
+  if (!reader.fits(count)) return false;
+  out.cursors.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    telemetry::SnrTraceCursor::State state;
+    state.position = reader.u64();
+    state.rng = read_rng_state(reader);
+    out.cursors.push_back(state);
+  }
+  return !reader.failed() && reader.exhausted();
+}
+
+std::vector<std::byte> encode_rng(const Checkpoint& checkpoint) {
+  ByteWriter writer;
+  write_rng_state(writer, checkpoint.latency_rng);
+  return writer.take();
+}
+
+bool decode_rng(std::span<const std::byte> payload, Checkpoint& out) {
+  ByteReader reader(payload);
+  out.latency_rng = read_rng_state(reader);
+  return !reader.failed() && reader.exhausted();
+}
+
+std::vector<std::byte> encode_warm_cache(const Checkpoint& checkpoint) {
+  ByteWriter writer;
+  writer.u64(checkpoint.warm_recordings.size());
+  for (const auto& recording : checkpoint.warm_recordings) {
+    writer.u64(recording.fingerprint);
+    writer.u64(recording.augmentations.size());
+    for (const auto& aug : recording.augmentations) {
+      writer.u64(aug.arcs.size());
+      for (int arc : aug.arcs) writer.i32(arc);
+      writer.f64(aug.bottleneck);
+      writer.f64(aug.path_cost);
+    }
+    writer.u8(recording.exhausted ? 1 : 0);
+    writer.u64(recording.final_potential.size());
+    for (double potential : recording.final_potential) writer.f64(potential);
+  }
+  return writer.take();
+}
+
+bool decode_warm_cache(std::span<const std::byte> payload, Checkpoint& out) {
+  ByteReader reader(payload);
+  const std::uint64_t count = reader.u64();
+  if (!reader.fits(count)) return false;
+  out.warm_recordings.reserve(count);
+  for (std::uint64_t r = 0; r < count && !reader.failed(); ++r) {
+    flow::MinCostWarmStart recording;
+    recording.fingerprint = reader.u64();
+    const std::uint64_t augmentations = reader.u64();
+    if (!reader.fits(augmentations)) return false;
+    recording.augmentations.reserve(augmentations);
+    for (std::uint64_t a = 0; a < augmentations && !reader.failed(); ++a) {
+      flow::MinCostWarmStart::Augmentation aug;
+      const std::uint64_t arcs = reader.u64();
+      if (!reader.fits(arcs)) return false;
+      aug.arcs.reserve(arcs);
+      for (std::uint64_t i = 0; i < arcs; ++i) aug.arcs.push_back(reader.i32());
+      aug.bottleneck = reader.f64();
+      aug.path_cost = reader.f64();
+      recording.augmentations.push_back(std::move(aug));
+    }
+    recording.exhausted = reader.u8() != 0;
+    const std::uint64_t potentials = reader.u64();
+    if (!reader.fits(potentials)) return false;
+    recording.final_potential.reserve(potentials);
+    for (std::uint64_t i = 0; i < potentials; ++i)
+      recording.final_potential.push_back(reader.f64());
+    out.warm_recordings.push_back(std::move(recording));
+  }
+  return !reader.failed() && reader.exhausted();
+}
+
+std::vector<std::byte> encode_path_cache(const Checkpoint& checkpoint) {
+  ByteWriter writer;
+  writer.u64(checkpoint.path_entries.size());
+  for (const auto& entry : checkpoint.path_entries) {
+    writer.u64(entry.fingerprint);
+    writer.i32(entry.source);
+    writer.i32(entry.target);
+    writer.u64(entry.k);
+    writer.u64(entry.paths.size());
+    for (const graph::Path& path : entry.paths) write_path(writer, path);
+  }
+  return writer.take();
+}
+
+bool decode_path_cache(std::span<const std::byte> payload, Checkpoint& out) {
+  ByteReader reader(payload);
+  const std::uint64_t count = reader.u64();
+  if (!reader.fits(count)) return false;
+  out.path_entries.reserve(count);
+  for (std::uint64_t e = 0; e < count && !reader.failed(); ++e) {
+    graph::PathCache::ExportedEntry entry;
+    entry.fingerprint = reader.u64();
+    entry.source = reader.i32();
+    entry.target = reader.i32();
+    entry.k = reader.u64();
+    const std::uint64_t paths = reader.u64();
+    if (!reader.fits(paths)) return false;
+    entry.paths.reserve(paths);
+    for (std::uint64_t p = 0; p < paths && !reader.failed(); ++p)
+      entry.paths.push_back(read_path(reader));
+    out.path_entries.push_back(std::move(entry));
+  }
+  return !reader.failed() && reader.exhausted();
+}
+
+std::vector<std::byte> encode_obs(const Checkpoint& checkpoint) {
+  ByteWriter writer;
+  writer.u64(checkpoint.obs_counters.size());
+  for (const auto& [name, value] : checkpoint.obs_counters) {
+    writer.str(name);
+    writer.u64(value);
+  }
+  writer.u64(checkpoint.obs_gauges.size());
+  for (const auto& [name, value] : checkpoint.obs_gauges) {
+    writer.str(name);
+    writer.f64(value);
+  }
+  return writer.take();
+}
+
+bool decode_obs(std::span<const std::byte> payload, Checkpoint& out) {
+  ByteReader reader(payload);
+  const std::uint64_t counters = reader.u64();
+  if (!reader.fits(counters)) return false;
+  out.obs_counters.reserve(counters);
+  for (std::uint64_t i = 0; i < counters && !reader.failed(); ++i) {
+    std::string name = reader.str();
+    const std::uint64_t value = reader.u64();
+    out.obs_counters.emplace_back(std::move(name), value);
+  }
+  const std::uint64_t gauges = reader.u64();
+  if (!reader.fits(gauges)) return false;
+  out.obs_gauges.reserve(gauges);
+  for (std::uint64_t i = 0; i < gauges && !reader.failed(); ++i) {
+    std::string name = reader.str();
+    const double value = reader.f64();
+    out.obs_gauges.emplace_back(std::move(name), value);
+  }
+  return !reader.failed() && reader.exhausted();
+}
+
+void append_section(ByteWriter& writer, SectionId id,
+                    const std::vector<std::byte>& payload) {
+  writer.u32(static_cast<std::uint32_t>(id));
+  writer.u64(payload.size());
+  writer.u32(crc32(payload));
+  for (std::byte b : payload)
+    writer.u8(std::to_integer<std::uint8_t>(b));
+}
+
+}  // namespace
+
+const char* to_string(Error error) {
+  switch (error) {
+    case Error::kNone:
+      return "none";
+    case Error::kIo:
+      return "io";
+    case Error::kNotFound:
+      return "not-found";
+    case Error::kBadMagic:
+      return "bad-magic";
+    case Error::kBadVersion:
+      return "bad-version";
+    case Error::kTruncated:
+      return "truncated";
+    case Error::kCrcMismatch:
+      return "crc-mismatch";
+    case Error::kMalformed:
+      return "malformed";
+    case Error::kMissingSection:
+      return "missing-section";
+    case Error::kConfigMismatch:
+      return "config-mismatch";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32(std::span<const std::byte> bytes) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::byte b : bytes)
+    crc = (crc >> 8) ^ table[(crc ^ std::to_integer<std::uint32_t>(b)) & 0xFFu];
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::byte> encode(const Checkpoint& checkpoint) {
+  std::vector<std::pair<SectionId, std::vector<std::byte>>> sections;
+  sections.emplace_back(SectionId::kMeta, encode_meta(checkpoint));
+  sections.emplace_back(SectionId::kController, encode_controller(checkpoint));
+  sections.emplace_back(SectionId::kCursors, encode_cursors(checkpoint));
+  sections.emplace_back(SectionId::kRng, encode_rng(checkpoint));
+  if (checkpoint.caches_present) {
+    sections.emplace_back(SectionId::kWarmCache, encode_warm_cache(checkpoint));
+    sections.emplace_back(SectionId::kPathCache, encode_path_cache(checkpoint));
+  }
+  if (checkpoint.obs_present)
+    sections.emplace_back(SectionId::kObs, encode_obs(checkpoint));
+
+  ByteWriter writer;
+  for (char c : kMagic) writer.u8(static_cast<std::uint8_t>(c));
+  writer.u32(kFormatVersion);
+  writer.u32(static_cast<std::uint32_t>(sections.size()));
+  for (const auto& [id, payload] : sections)
+    append_section(writer, id, payload);
+  return writer.take();
+}
+
+Error decode(std::span<const std::byte> bytes, Checkpoint& out) {
+  out = Checkpoint{};
+  if (bytes.size() < kMagic.size()) return Error::kTruncated;
+  for (std::size_t i = 0; i < kMagic.size(); ++i)
+    if (std::to_integer<char>(bytes[i]) != kMagic[i]) return Error::kBadMagic;
+
+  ByteReader header(bytes.subspan(kMagic.size()));
+  const std::uint32_t version = header.u32();
+  if (header.failed()) return Error::kTruncated;
+  if (version != kFormatVersion) return Error::kBadVersion;
+  const std::uint32_t section_count = header.u32();
+  if (header.failed()) return Error::kTruncated;
+
+  std::size_t offset = kMagic.size() + 8;  // version + count
+  bool saw_meta = false, saw_controller = false, saw_cursors = false,
+       saw_rng = false;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    if (offset + 16 > bytes.size()) return Error::kTruncated;
+    ByteReader section_header(bytes.subspan(offset, 16));
+    const std::uint32_t id = section_header.u32();
+    const std::uint64_t length = section_header.u64();
+    const std::uint32_t expected_crc = section_header.u32();
+    offset += 16;
+    if (length > bytes.size() - offset) return Error::kTruncated;
+    const std::span<const std::byte> payload = bytes.subspan(offset, length);
+    offset += length;
+    if (crc32(payload) != expected_crc) return Error::kCrcMismatch;
+
+    bool ok = true;
+    switch (static_cast<SectionId>(id)) {
+      case SectionId::kMeta:
+        ok = decode_meta(payload, out);
+        saw_meta = true;
+        break;
+      case SectionId::kController:
+        ok = decode_controller(payload, out);
+        saw_controller = true;
+        break;
+      case SectionId::kCursors:
+        ok = decode_cursors(payload, out);
+        saw_cursors = true;
+        break;
+      case SectionId::kRng:
+        ok = decode_rng(payload, out);
+        saw_rng = true;
+        break;
+      case SectionId::kWarmCache:
+        ok = decode_warm_cache(payload, out);
+        out.caches_present = true;
+        break;
+      case SectionId::kPathCache:
+        ok = decode_path_cache(payload, out);
+        out.caches_present = true;
+        break;
+      case SectionId::kObs:
+        ok = decode_obs(payload, out);
+        out.obs_present = true;
+        break;
+      default:
+        // Unknown id within a known version: skip (forward compatibility).
+        break;
+    }
+    if (!ok) return Error::kMalformed;
+  }
+  if (offset != bytes.size()) return Error::kMalformed;
+  if (!saw_meta || !saw_controller || !saw_cursors || !saw_rng)
+    return Error::kMissingSection;
+  // Internal consistency the framing cannot express.
+  if (out.round < out.chunk_base_round) return Error::kMalformed;
+  if (out.controller.hysteresis.has_value() &&
+      out.controller.hysteresis->candidate.size() !=
+          out.controller.hysteresis->streak.size())
+    return Error::kMalformed;
+  return Error::kNone;
+}
+
+Error write_file(const std::filesystem::path& path,
+                 const Checkpoint& checkpoint) {
+  const std::vector<std::byte> bytes = encode(checkpoint);
+  // Temp-then-rename so a crash mid-write never leaves a half checkpoint
+  // under the final name (the decoder would reject one anyway, but the
+  // store should not have to skip it).
+  std::filesystem::path temp = path;
+  temp += ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return Error::kIo;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Error::kIo;
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) return Error::kIo;
+  auto& metrics = CheckpointMetrics::instance();
+  metrics.writes.add();
+  metrics.bytes.add(bytes.size());
+  return Error::kNone;
+}
+
+Error read_file(const std::filesystem::path& path, Checkpoint& out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Error::kIo;
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!in) return Error::kIo;
+  }
+
+  // Fault injection (docs/FAULTS.md, site replay.restore): corrupt the raw
+  // bytes after the read so the decoder's rejection paths are exercised
+  // end to end, exactly as a torn write or bit rot would.
+  if (const fault::Action action = fault::next("replay.restore")) {
+    if (action.kind == fault::Kind::kDrop && !bytes.empty()) {
+      std::size_t drop = action.magnitude > 0.0
+                             ? static_cast<std::size_t>(action.magnitude)
+                             : bytes.size() / 2;
+      drop = std::min(drop, bytes.size());
+      bytes.resize(bytes.size() - drop);
+    } else if (action.kind == fault::Kind::kGarbage && !bytes.empty()) {
+      const std::size_t index =
+          static_cast<std::size_t>(action.magnitude) % bytes.size();
+      bytes[index] ^= std::byte{0xA5};
+    }
+  }
+  return decode(bytes, out);
+}
+
+CheckpointStore::CheckpointStore(std::filesystem::path directory,
+                                 std::size_t keep)
+    : directory_(std::move(directory)), keep_(keep == 0 ? 1 : keep) {
+  std::filesystem::create_directories(directory_);
+}
+
+namespace {
+
+std::filesystem::path file_for_round(const std::filesystem::path& directory,
+                                     std::uint64_t round) {
+  // Zero-padded so lexicographic file order == round order.
+  std::string name = std::to_string(round);
+  name.insert(0, name.size() < 12 ? 12 - name.size() : 0, '0');
+  return directory / ("ckpt-" + name + ".bin");
+}
+
+}  // namespace
+
+Error CheckpointStore::write(const Checkpoint& checkpoint) {
+  const Error error =
+      write_file(file_for_round(directory_, checkpoint.round), checkpoint);
+  if (error != Error::kNone) return error;
+  std::vector<std::filesystem::path> existing = files();
+  while (existing.size() > keep_) {
+    std::error_code ec;
+    std::filesystem::remove(existing.front(), ec);
+    existing.erase(existing.begin());
+  }
+  return Error::kNone;
+}
+
+Error CheckpointStore::load_latest(std::uint64_t expected_fingerprint,
+                                   Checkpoint& out) const {
+  const std::vector<std::filesystem::path> candidates = files();
+  if (candidates.empty()) return Error::kNotFound;
+  auto& metrics = CheckpointMetrics::instance();
+  Error newest_error = Error::kNotFound;
+  bool first = true;
+  // Newest first; every rejected file is one deterministic fallback step.
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    Error error = read_file(*it, out);
+    if (error == Error::kNone && expected_fingerprint != 0 &&
+        out.config_fingerprint != expected_fingerprint)
+      error = Error::kConfigMismatch;
+    if (error == Error::kNone) return Error::kNone;
+    metrics.rejected.add();
+    metrics.fallbacks.add();
+    if (first) newest_error = error;
+    first = false;
+  }
+  return newest_error;
+}
+
+std::vector<std::filesystem::path> CheckpointStore::files() const {
+  std::vector<std::filesystem::path> out;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("ckpt-") && name.ends_with(".bin"))
+      out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rwc::replay

@@ -1,0 +1,171 @@
+// Streaming long-horizon fleet replay driver (rwc::replay).
+//
+// ReplayDriver re-runs the paper's dynamic-capacity control loop — SNR
+// telemetry -> DynamicCapacityController round -> analytic reconfiguration
+// accounting — over arbitrarily long synthetic fleet horizons in bounded
+// memory: instead of materializing multi-year SNR traces up front (the
+// WanSimulator approach, O(rounds * links) floats), it streams each link's
+// trace through an SnrTraceCursor in chunks of `chunk_rounds` samples.
+//
+// The driver is checkpointable between any two rounds: checkpoint()
+// captures the full deterministic state (see replay/checkpoint.hpp) and
+// restore() resumes BIT-IDENTICALLY — the remaining rounds produce the
+// same RoundReports, metrics and signature chain as the uninterrupted run,
+// at every thread-pool size, whether or not the engine caches were
+// persisted (caches only affect timing). tests/test_replay_driver.cpp
+// proves the contract; docs/REPLAY.md states it.
+//
+// Accounting matches WanSimulator's analytic dynamic-policy path exactly
+// (device_backed is out of scope for replay v1): each capacity change
+// samples a reconfiguration downtime from the latency model and charges
+// the traffic newly assigned to the changed link for the overlap with the
+// TE interval.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bvt/latency.hpp"
+#include "core/controller.hpp"
+#include "replay/checkpoint.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/snr_model.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::exec {
+class ThreadPool;
+}
+
+namespace rwc::replay {
+
+struct ReplayConfig {
+  /// Total TE rounds to drive (96 = one day at the default interval).
+  std::uint64_t rounds = 96;
+  util::Seconds te_interval = 15.0 * util::kMinute;
+  util::Db snr_margin{0.5};
+  /// Scale demands by the diurnal curve.
+  bool diurnal = true;
+  telemetry::SnrModelParams snr_model;
+  bvt::LatencyModelParams latency;
+  /// Reconfiguration procedure of the analytic account (kStandard mirrors
+  /// CapacityPolicy::kDynamic, kEfficient mirrors kDynamicHitless).
+  bvt::Procedure procedure = bvt::Procedure::kStandard;
+  std::uint64_t seed = 1;
+  /// SNR samples generated per streaming refill; bounds peak memory at
+  /// O(chunk_rounds * links) instead of O(rounds * links). Part of the
+  /// config fingerprint: chunk boundaries decide which cursor states a
+  /// checkpoint carries.
+  std::uint64_t chunk_rounds = 256;
+  /// Persist the TE engine's warm-start / path caches in checkpoints.
+  /// Either way restore is bit-identical — caches only change timing — so
+  /// this trades checkpoint size against post-restore warm-up.
+  bool checkpoint_caches = true;
+  /// Persist (and restore) the global obs counters/gauges. Off by default:
+  /// the registry is process-global, so restoring it rewinds metrics of
+  /// everything else in the process too. Histograms are reset on restore
+  /// (documented limitation, docs/REPLAY.md).
+  bool checkpoint_obs = false;
+  /// When non-zero and a store is attached, step() writes a checkpoint
+  /// every this many rounds.
+  std::uint64_t checkpoint_every = 0;
+  /// Controller-side dampening of capacity increases.
+  std::optional<core::HysteresisParams> hysteresis;
+  /// Pool for chunk generation and the controller's consolidation pass;
+  /// nullptr selects exec::ThreadPool::global(). Results are identical at
+  /// every pool size (docs/CONCURRENCY.md).
+  exec::ThreadPool* pool = nullptr;
+};
+
+class ReplayDriver {
+ public:
+  /// `topology` must be built from bidirectional pairs (edges 2k, 2k+1 form
+  /// one physical link; one fiber per pair, one wavelength per direction,
+  /// like WanSimulator). The engine must outlive the driver.
+  ReplayDriver(graph::Graph topology, const te::TeAlgorithm& engine,
+               te::TrafficMatrix base_demands, ReplayConfig config);
+
+  /// Hash of everything that determines the run's outputs: topology,
+  /// demands, seed, intervals, model parameters, chunking. Checkpoints
+  /// carry it; restore rejects a mismatch with Error::kConfigMismatch.
+  std::uint64_t config_fingerprint() const { return config_fingerprint_; }
+
+  std::uint64_t round() const { return round_; }
+  bool done() const { return round_ >= config_.rounds; }
+
+  /// Rolling digest folding every completed round's signature content
+  /// (upgrades, routed, penalty, reduction/restoration counts, transition
+  /// validity — the prop::RoundSignature fields). Two runs agree on every
+  /// round iff their chains agree.
+  std::uint64_t signature_chain() const { return signature_chain_; }
+
+  /// Cumulative metrics so far, with availability normalized to the mean
+  /// link-up fraction (WanSimulator convention).
+  sim::SimulationMetrics metrics() const;
+
+  /// Attaches a store for periodic checkpoints (config.checkpoint_every).
+  /// The store must outlive the driver; nullptr detaches.
+  void attach_store(CheckpointStore* store) { store_ = store; }
+
+  /// Runs one TE round and returns its report (for signature checks and
+  /// invariant harnesses). Precondition: !done().
+  core::DynamicCapacityController::RoundReport step();
+
+  /// Runs to completion; returns the final metrics().
+  sim::SimulationMetrics run();
+
+  /// Runs up to `max_rounds` further rounds; returns how many ran.
+  std::uint64_t run(std::uint64_t max_rounds);
+
+  /// Captures the full deterministic state between rounds.
+  Checkpoint checkpoint() const;
+
+  /// Rewinds (or fast-forwards) the driver to `checkpoint`. On any error
+  /// the driver is unchanged. kConfigMismatch when the checkpoint belongs
+  /// to a different configuration, kMalformed when its internal sizes
+  /// cannot apply to this topology.
+  Error restore(const Checkpoint& checkpoint);
+
+  /// Restores from the newest valid checkpoint in `store` (deterministic
+  /// fallback across corrupted files — replay.restore.fallbacks counts the
+  /// skips).
+  Error restore_latest(const CheckpointStore& store);
+
+ private:
+  void refill_chunk();
+  /// Captures the cursor states as the new chunk base and generates the
+  /// next chunk_len_ samples per edge (parallel over edges, deterministic).
+  void fill_chunk_from_cursors();
+  exec::ThreadPool& pool() const;
+
+  graph::Graph topology_;
+  const te::TeAlgorithm& engine_;
+  te::TrafficMatrix base_demands_;
+  ReplayConfig config_;
+  std::uint64_t config_fingerprint_ = 0;
+
+  optical::ModulationTable table_;
+  core::DynamicCapacityController controller_;
+  telemetry::SnrFleetGenerator fleet_;
+  bvt::LatencyModel latency_;
+  util::Rng latency_rng_;
+
+  /// One streaming cursor per physical edge (fiber e/2, wavelength e%2).
+  std::vector<telemetry::SnrTraceCursor> cursors_;
+  /// Cursor states captured at the last refill — what a checkpoint carries
+  /// (the in-flight chunk is regenerated from them on restore).
+  std::vector<telemetry::SnrTraceCursor::State> chunk_base_states_;
+  /// Per-edge SNR samples for rounds [chunk_base_round_, .. + chunk_len_).
+  std::vector<std::vector<float>> chunk_;
+  std::uint64_t chunk_base_round_ = 0;
+  std::uint64_t chunk_len_ = 0;
+
+  std::uint64_t round_ = 0;
+  std::uint64_t signature_chain_ = 0;
+  /// availability holds the running per-round sum until metrics() divides.
+  sim::SimulationMetrics metrics_;
+
+  CheckpointStore* store_ = nullptr;
+};
+
+}  // namespace rwc::replay

@@ -1,0 +1,7 @@
+// Library identification for rwc_replay.
+namespace rwc::replay {
+
+/// Version string of the replay subsystem (matches the top-level project).
+const char* version() { return "1.0.0"; }
+
+}  // namespace rwc::replay

@@ -42,6 +42,11 @@ class McfTe final : public TeAlgorithm {
 
   const Options& options() const { return options_; }
 
+  /// The engine's warm-start store, exposed for checkpointing
+  /// (rwc::replay persists or cold-resets it across restore). Mutating it
+  /// only changes solve timing, never results.
+  flow::WarmStartCache& warm_cache() const { return warm_cache_; }
+
  private:
   Options options_;
   mutable flow::WarmStartCache warm_cache_;

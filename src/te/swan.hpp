@@ -33,6 +33,11 @@ class SwanTe final : public TeAlgorithm {
   FlowAssignment solve(const graph::Graph& graph,
                        const TrafficMatrix& demands) const override;
 
+  /// The tunnel cache, exposed for checkpointing (rwc::replay persists or
+  /// cold-resets it across restore). Timing-only: cached entries are by
+  /// definition identical to recomputation.
+  graph::PathCache& path_cache() const { return path_cache_; }
+
  private:
   Options options_;
   /// Tunnel precomputation cache; thread-safe, shared across solves.

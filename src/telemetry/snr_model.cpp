@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <numbers>
 
 #include "fault/registry.hpp"
@@ -104,13 +105,15 @@ FiberPlan SnrFleetGenerator::fiber_plan(int fiber) const {
   return plan;
 }
 
-SnrTrace SnrFleetGenerator::generate_trace(int fiber, int lambda) const {
-  RWC_EXPECTS(lambda >= 0 && lambda < params_.wavelengths_per_fiber);
-  const SnrModelParams& m = params_.model;
-  const FiberPlan plan = fiber_plan(fiber);
-  Rng rng = Rng(seed_).fork(0x7A3B0000u +
-                            static_cast<std::uint64_t>(fiber) * 4096u +
-                            static_cast<std::uint64_t>(lambda));
+SnrTraceCursor::SnrTraceCursor(const SnrFleetGenerator& fleet, int fiber,
+                               int lambda) {
+  const SnrFleetGenerator::FleetParams& params = fleet.params();
+  RWC_EXPECTS(lambda >= 0 && lambda < params.wavelengths_per_fiber);
+  const SnrModelParams& m = params.model;
+  const FiberPlan plan = fleet.fiber_plan(fiber);
+  Rng rng = Rng(fleet.seed())
+                .fork(0x7A3B0000u + static_cast<std::uint64_t>(fiber) * 4096u +
+                      static_cast<std::uint64_t>(lambda));
 
   // Per-wavelength statics.
   const double baseline =
@@ -132,13 +135,13 @@ SnrTrace SnrFleetGenerator::generate_trace(int fiber, int lambda) const {
     double depth_db;
   };
   const auto n_samples = static_cast<std::size_t>(
-      std::floor(params_.duration / params_.interval));
+      std::floor(params.duration / params.interval));
   std::vector<ActiveEvent> events;
   auto materialize = [&](const SnrEvent& e, double depth) {
     const auto start = static_cast<std::size_t>(
-        std::max(0.0, std::floor(e.start / params_.interval)));
+        std::max(0.0, std::floor(e.start / params.interval)));
     auto end = static_cast<std::size_t>(
-        std::ceil((e.start + e.duration) / params_.interval));
+        std::ceil((e.start + e.duration) / params.interval));
     end = std::min(end, n_samples);
     if (start < end) events.push_back(ActiveEvent{start, end, depth});
   };
@@ -148,7 +151,7 @@ SnrTrace SnrFleetGenerator::generate_trace(int fiber, int lambda) const {
     materialize(e, e.depth.value * lambda_scale);
   }
   std::vector<SnrEvent> local;
-  draw_events(rng, m.lambda_shallow_rate_per_year, params_.duration, local,
+  draw_events(rng, m.lambda_shallow_rate_per_year, params.duration, local,
               [&](Seconds t) {
                 return SnrEvent{
                     t,
@@ -159,7 +162,7 @@ SnrTrace SnrFleetGenerator::generate_trace(int fiber, int lambda) const {
                                      m.shallow_depth_log_sigma)},
                     EventKind::kShallowDip};
               });
-  draw_events(rng, m.lambda_deep_rate_per_year, params_.duration, local,
+  draw_events(rng, m.lambda_deep_rate_per_year, params.duration, local,
               [&](Seconds t) {
                 return SnrEvent{
                     t,
@@ -172,30 +175,81 @@ SnrTrace SnrFleetGenerator::generate_trace(int fiber, int lambda) const {
               });
   for (const SnrEvent& e : local) materialize(e, e.depth.value);
 
-  // Difference array of active event depth, then prefix-sum while sampling.
-  std::vector<double> depth_delta(n_samples + 1, 0.0);
+  // Sparse difference array of active event depth. Per-index accumulation
+  // happens in the same (event, sign) order the dense array used, and
+  // sampling applies at most one summed delta per index — exactly the
+  // dense loop's `active_depth += depth_delta[i]` — so the produced
+  // samples are bit-identical to the former batch implementation.
+  std::map<std::size_t, double> delta_map;
   for (const ActiveEvent& e : events) {
-    depth_delta[e.start_index] += e.depth_db;
-    depth_delta[e.end_index] -= e.depth_db;
+    delta_map[e.start_index] += e.depth_db;
+    delta_map[e.end_index] -= e.depth_db;
   }
+  deltas_.reserve(delta_map.size());
+  for (const auto& [index, delta] : delta_map)
+    if (index < n_samples) deltas_.push_back(DepthDelta{index, delta});
 
+  interval_ = params.interval;
+  noise_floor_db_ = m.noise_floor.value;
+  baseline_db_ = baseline;
+  jitter_sigma_ = jitter_sigma;
+  drift_amplitude_ = drift_amplitude;
+  drift_period_ = drift_period;
+  drift_phase_ = drift_phase;
+  total_samples_ = n_samples;
+  rng_ = rng;
+}
+
+std::size_t SnrTraceCursor::next(std::span<float> out) {
+  const double two_pi = 2.0 * std::numbers::pi;
+  std::size_t produced = 0;
+  while (produced < out.size() && position_ < total_samples_) {
+    while (delta_cursor_ < deltas_.size() &&
+           deltas_[delta_cursor_].index == position_)
+      active_depth_ += deltas_[delta_cursor_++].delta_db;
+    const double t = static_cast<double>(position_) * interval_;
+    const double drift =
+        drift_amplitude_ *
+        std::sin(two_pi * t / drift_period_ + drift_phase_);
+    double snr = baseline_db_ + drift + rng_.normal(0.0, jitter_sigma_) -
+                 active_depth_;
+    // Receiver reporting floor: a dead link reads as noise-floor SNR.
+    if (snr < noise_floor_db_)
+      snr = noise_floor_db_ + std::abs(rng_.normal(0.0, 0.05));
+    out[produced++] = static_cast<float>(snr);
+    ++position_;
+  }
+  return produced;
+}
+
+SnrTraceCursor::State SnrTraceCursor::state() const {
+  return State{position_, rng_.state()};
+}
+
+void SnrTraceCursor::restore(const State& state) {
+  position_ = std::min(static_cast<std::size_t>(state.position),
+                       total_samples_);
+  rng_ = Rng::from_state(state.rng);
+  reseek();
+}
+
+void SnrTraceCursor::reseek() {
+  // Summing the sorted deltas below the position replays the exact
+  // addition sequence of sequential generation, so the re-derived depth is
+  // bit-identical to the captured cursor's.
+  delta_cursor_ = 0;
+  active_depth_ = 0.0;
+  while (delta_cursor_ < deltas_.size() &&
+         deltas_[delta_cursor_].index < position_)
+    active_depth_ += deltas_[delta_cursor_++].delta_db;
+}
+
+SnrTrace SnrFleetGenerator::generate_trace(int fiber, int lambda) const {
+  SnrTraceCursor cursor(*this, fiber, lambda);
   SnrTrace trace;
   trace.interval = params_.interval;
-  trace.samples_db.resize(n_samples);
-  const double two_pi = 2.0 * std::numbers::pi;
-  double active_depth = 0.0;
-  for (std::size_t i = 0; i < n_samples; ++i) {
-    active_depth += depth_delta[i];
-    const double t = static_cast<double>(i) * params_.interval;
-    const double drift =
-        drift_amplitude * std::sin(two_pi * t / drift_period + drift_phase);
-    double snr = baseline + drift + rng.normal(0.0, jitter_sigma) -
-                 active_depth;
-    // Receiver reporting floor: a dead link reads as noise-floor SNR.
-    if (snr < m.noise_floor.value)
-      snr = m.noise_floor.value + std::abs(rng.normal(0.0, 0.05));
-    trace.samples_db[i] = static_cast<float>(snr);
-  }
+  trace.samples_db.resize(cursor.total_samples());
+  cursor.next(trace.samples_db);
   return trace;
 }
 

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -130,11 +131,13 @@ class SnrFleetGenerator {
     return params_.fiber_count * params_.wavelengths_per_fiber;
   }
   const FleetParams& params() const { return params_; }
+  std::uint64_t seed() const { return seed_; }
 
   /// The event plan of one fiber (same result on every call).
   FiberPlan fiber_plan(int fiber) const;
 
-  /// The SNR trace of wavelength `lambda` on `fiber`.
+  /// The SNR trace of wavelength `lambda` on `fiber`. Equivalent to
+  /// draining an SnrTraceCursor in one call (it is implemented that way).
   SnrTrace generate_trace(int fiber, int lambda) const;
 
   /// Convenience: trace for a flat link index in [0, link_count).
@@ -143,6 +146,72 @@ class SnrFleetGenerator {
  private:
   FleetParams params_;
   std::uint64_t seed_;
+};
+
+/// Streaming generator for one link's SNR trace: produces the exact sample
+/// sequence of SnrFleetGenerator::generate_trace(fiber, lambda) in
+/// caller-sized chunks, holding only O(events) state instead of the full
+/// multi-year sample vector. The position is checkpointable: state()
+/// captures the sample index and per-sample Rng position, and a cursor
+/// reconstructed from the same (generator, fiber, lambda) plus restore()
+/// continues bit-identically — the substrate of rwc::replay's long-horizon
+/// driver (docs/REPLAY.md).
+class SnrTraceCursor {
+ public:
+  SnrTraceCursor(const SnrFleetGenerator& fleet, int fiber, int lambda);
+
+  /// Total samples in the underlying trace (floor(duration / interval)).
+  std::size_t total_samples() const { return total_samples_; }
+  /// Samples produced so far.
+  std::size_t position() const { return position_; }
+  bool done() const { return position_ >= total_samples_; }
+
+  /// Fills `out` with the next samples; returns how many were produced
+  /// (less than out.size() only at the end of the trace).
+  std::size_t next(std::span<float> out);
+
+  /// Checkpointable position: everything that is not a pure function of
+  /// (seed, fiber, lambda). The event schedule and per-wavelength statics
+  /// are reconstructed by the constructor.
+  struct State {
+    std::uint64_t position = 0;
+    util::RngState rng;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+  State state() const;
+  /// Repositions the cursor. Must be called on a cursor built from the
+  /// same (generator params, seed, fiber, lambda) as the captured one;
+  /// position is clamped to the trace length.
+  void restore(const State& state);
+
+ private:
+  /// One entry of the sparse event-depth difference array: the summed
+  /// depth delta taking effect at `index` (same accumulation order as the
+  /// dense array of the original batch generator, so sampling is
+  /// bit-identical).
+  struct DepthDelta {
+    std::size_t index = 0;
+    double delta_db = 0.0;
+  };
+
+  /// Re-derives delta_cursor_ / active_depth_ for position_.
+  void reseek();
+
+  util::Seconds interval_ = 0.0;
+  double noise_floor_db_ = 0.0;
+  double baseline_db_ = 0.0;
+  double jitter_sigma_ = 0.0;
+  double drift_amplitude_ = 0.0;
+  util::Seconds drift_period_ = 1.0;
+  double drift_phase_ = 0.0;
+  std::vector<DepthDelta> deltas_;  // sorted by index
+  std::size_t total_samples_ = 0;
+
+  util::Rng rng_{0};
+  std::size_t position_ = 0;
+  std::size_t delta_cursor_ = 0;
+  double active_depth_ = 0.0;
 };
 
 }  // namespace rwc::telemetry

@@ -151,4 +151,16 @@ Rng Rng::fork(std::uint64_t stream) const {
   return Rng(splitmix64(s));
 }
 
+RngState Rng::state() const {
+  return RngState{state_, cached_normal_, has_cached_normal_};
+}
+
+Rng Rng::from_state(const RngState& state) {
+  Rng rng(0);
+  rng.state_ = state.engine;
+  rng.cached_normal_ = state.cached_normal;
+  rng.has_cached_normal_ = state.has_cached_normal;
+  return rng;
+}
+
 }  // namespace rwc::util

@@ -17,6 +17,18 @@ namespace rwc::util {
 /// splitmix64 step; used for seeding and for deriving substreams.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Serializable position of an Rng stream: the full xoshiro256++ engine
+/// state plus the Box-Muller cache, so a generator restored from a
+/// checkpoint continues its output sequence bit-identically from where the
+/// capture left off (rwc::replay relies on this).
+struct RngState {
+  std::array<std::uint64_t, 4> engine{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+
+  friend bool operator==(const RngState&, const RngState&) = default;
+};
+
 /// Deterministic pseudo-random generator (xoshiro256++ engine) with its own
 /// distribution transforms. Cheap to copy; fork() derives independent
 /// substreams so that adding a consumer does not perturb existing ones.
@@ -69,6 +81,11 @@ class Rng {
   /// `Rng::stream(seed, 0)` is bit-identical to `Rng(seed)`, so call sites
   /// migrate without perturbing existing outputs.
   static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
+
+  /// Captures the stream position for checkpointing; from_state() resumes
+  /// the output sequence bit-identically.
+  RngState state() const;
+  static Rng from_state(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> state_{};

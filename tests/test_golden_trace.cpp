@@ -1,0 +1,183 @@
+// Golden-trace regression tests (ISSUE 4 satellite): the full scenario
+// sweep (sim::run_scenarios over static / dynamic / dynamic-hitless
+// policies) is pinned, bit-for-bit, against committed fixtures for two
+// seeds. Doubles are compared as IEEE-754 bit patterns — any drift in the
+// RNG streams, the TE engines, the controller or the accounting shows up
+// here first, with a field-level diff naming exactly what moved.
+//
+// Regenerating after an INTENDED behavior change:
+//   RWC_GOLDEN_REGEN=1 ./build/tests/rwc_tests --gtest_filter='GoldenTrace.*'
+// then commit the rewritten tests/golden/*.golden files alongside the
+// change that explains them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iomanip>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "util/rng.hpp"
+
+#ifndef RWC_GOLDEN_DIR
+#error "RWC_GOLDEN_DIR must point at the committed fixture directory"
+#endif
+
+namespace rwc {
+namespace {
+
+/// Hex bit pattern of a double: the only drift-proof way to commit one.
+std::string bits_of(double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << bits;
+  return out.str();
+}
+
+double double_of(const std::string& hex) {
+  const std::uint64_t bits = std::stoull(hex, nullptr, 16);
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+/// One fixture line per scenario:
+///   name offered delivered availability downtime failures flaps upgrades
+///   restorations lock_failures te_rounds
+/// (doubles as 16-digit hex bit patterns, counters in decimal).
+std::string serialize(const sim::ScenarioResult& result) {
+  const sim::SimulationMetrics& m = result.metrics;
+  std::ostringstream out;
+  out << result.name << ' ' << bits_of(m.offered_gbps_hours) << ' '
+      << bits_of(m.delivered_gbps_hours) << ' ' << bits_of(m.availability)
+      << ' ' << bits_of(m.reconfig_downtime_hours) << ' ' << m.link_failures
+      << ' ' << m.link_flaps << ' ' << m.upgrades << ' ' << m.restorations
+      << ' ' << m.lock_failures << ' ' << m.te_rounds;
+  return out.str();
+}
+
+struct GoldenField {
+  std::string name;
+  std::string expected;
+  std::string got;
+};
+
+/// Field-level diff of one scenario line; empty when identical.
+std::vector<GoldenField> diff_line(const std::string& expected,
+                                   const std::string& got) {
+  static const char* kFields[] = {
+      "name",          "offered_gbps_hours", "delivered_gbps_hours",
+      "availability",  "reconfig_downtime_hours", "link_failures",
+      "link_flaps",    "upgrades",           "restorations",
+      "lock_failures", "te_rounds"};
+  std::istringstream expected_in(expected), got_in(got);
+  std::vector<GoldenField> diffs;
+  for (const char* field : kFields) {
+    std::string expected_token, got_token;
+    expected_in >> expected_token;
+    got_in >> got_token;
+    if (expected_token == got_token) continue;
+    GoldenField diff{field, expected_token, got_token};
+    // Decode double fields so the diff is human-readable, not just hex.
+    if (expected_token.size() == 16 && got_token.size() == 16 &&
+        std::string(field) != "name") {
+      diff.expected += " (" + std::to_string(double_of(expected_token)) + ")";
+      diff.got += " (" + std::to_string(double_of(got_token)) + ")";
+    }
+    diffs.push_back(diff);
+  }
+  return diffs;
+}
+
+std::vector<sim::ScenarioResult> run_golden_sweep(std::uint64_t seed) {
+  util::Rng topo_rng = util::Rng::stream(seed, 0);
+  const graph::Graph topology = sim::waxman(8, topo_rng);
+  util::Rng demand_rng = util::Rng::stream(seed, 1);
+  sim::GravityParams gravity;
+  gravity.total = util::Gbps{topology.total_capacity().value * 0.4};
+  const te::TrafficMatrix demands =
+      sim::gravity_matrix(topology, gravity, demand_rng);
+
+  sim::SimulationConfig base;
+  base.horizon = 12.0 * util::kHour;
+  base.te_interval = 15.0 * util::kMinute;
+  base.seed = seed;
+  std::vector<sim::Scenario> scenarios;
+  {
+    sim::SimulationConfig config = base;
+    config.policy = sim::CapacityPolicy::kStatic;
+    scenarios.push_back({"static", config});
+  }
+  {
+    sim::SimulationConfig config = base;
+    config.policy = sim::CapacityPolicy::kDynamic;
+    scenarios.push_back({"dynamic", config});
+  }
+  {
+    sim::SimulationConfig config = base;
+    config.policy = sim::CapacityPolicy::kDynamicHitless;
+    scenarios.push_back({"dynamic-hitless", config});
+  }
+
+  const te::McfTe engine;
+  return sim::run_scenarios(topology, engine, demands, scenarios);
+}
+
+void check_against_golden(std::uint64_t seed) {
+  const std::filesystem::path path =
+      std::filesystem::path(RWC_GOLDEN_DIR) /
+      ("scenarios-" + std::to_string(seed) + ".golden");
+  const std::vector<sim::ScenarioResult> results = run_golden_sweep(seed);
+  std::vector<std::string> lines;
+  lines.reserve(results.size());
+  for (const sim::ScenarioResult& result : results)
+    lines.push_back(serialize(result));
+
+  if (std::getenv("RWC_GOLDEN_REGEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    for (const std::string& line : lines) out << line << '\n';
+    GTEST_SKIP() << "regenerated " << path << " — commit it";
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << path << "; generate it with\n  RWC_GOLDEN_REGEN=1 "
+      << "./build/tests/rwc_tests --gtest_filter='GoldenTrace.*'";
+  std::vector<std::string> expected;
+  for (std::string line; std::getline(in, line);)
+    if (!line.empty()) expected.push_back(line);
+
+  ASSERT_EQ(expected.size(), lines.size())
+      << "fixture " << path << " has " << expected.size()
+      << " scenarios, the sweep produced " << lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (expected[i] == lines[i]) continue;
+    std::ostringstream message;
+    message << "scenario " << i << " drifted from " << path << ":\n";
+    for (const GoldenField& diff : diff_line(expected[i], lines[i]))
+      message << "  " << diff.name << ": expected " << diff.expected
+              << ", got " << diff.got << '\n';
+    message << "If this change is intended, regenerate with\n"
+            << "  RWC_GOLDEN_REGEN=1 ./build/tests/rwc_tests "
+            << "--gtest_filter='GoldenTrace.*'\nand commit the new fixture.";
+    ADD_FAILURE() << message.str();
+  }
+}
+
+TEST(GoldenTrace, ScenarioSweepSeed20170701) { check_against_golden(20170701); }
+
+TEST(GoldenTrace, ScenarioSweepSeed20250806) { check_against_golden(20250806); }
+
+}  // namespace
+}  // namespace rwc
