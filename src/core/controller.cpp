@@ -34,6 +34,10 @@ struct ControllerMetrics {
   obs::Histogram& translate_seconds;
   obs::Histogram& consolidate_seconds;
   obs::Histogram& transition_seconds;
+  obs::Counter& incremental_hits;
+  obs::Counter& incremental_misses;
+  obs::Counter& incremental_augment_reuses;
+  obs::Histogram& incremental_dirty_links;
 
   static ControllerMetrics& instance() {
     static auto& registry = obs::Registry::global();
@@ -50,6 +54,10 @@ struct ControllerMetrics {
         registry.histogram("controller.round.translate.seconds"),
         registry.histogram("controller.round.consolidate.seconds"),
         registry.histogram("controller.round.transition.seconds"),
+        registry.counter("solver.incremental_hits"),
+        registry.counter("solver.incremental_misses"),
+        registry.counter("solver.incremental_augment_reuses"),
+        registry.histogram("solver.incremental_dirty_links"),
     };
     return metrics;
   }
@@ -127,6 +135,10 @@ void DynamicCapacityController::restore_state(PersistentState state) {
   last_assignment_ = std::move(state.last_assignment);
   last_traffic_ = std::move(state.last_traffic);
   last_snr_ = std::move(state.last_snr);
+  // The memo/augment cache are deliberately outside PersistentState; drop
+  // them so the first post-restore round performs a clean full re-solve.
+  memo_ = SolveMemo{};
+  augment_cache_.invalidate();
 }
 
 graph::Graph DynamicCapacityController::current_topology() const {
@@ -151,22 +163,34 @@ Gbps DynamicCapacityController::configured_capacity(EdgeId edge) const {
 ReconfigurationPlan DynamicCapacityController::evaluate(
     const graph::Graph& current,
     std::span<const VariableLink> variable_links,
-    const te::TrafficMatrix& demands, RoundStats& stats) const {
+    const te::TrafficMatrix& demands, RoundStats& stats,
+    AugmentCache* cache) const {
   ++stats.evaluations;
   obs::StopWatch watch;
-  const AugmentedTopology augmented =
-      augment_topology(current, variable_links, *options_.penalty,
-                       last_traffic_, options_.augment);
+  // Either path produces the identical augmented view: the cache rebuilds
+  // through the same augment_topology call whenever any input is dirty.
+  AugmentedTopology rebuilt;
+  const AugmentedTopology* augmented;
+  if (cache != nullptr) {
+    augmented = &cache->get(current, variable_links, *options_.penalty,
+                            last_traffic_, options_.augment);
+    if (cache->last_was_hit())
+      ControllerMetrics::instance().incremental_augment_reuses.add();
+  } else {
+    rebuilt = augment_topology(current, variable_links, *options_.penalty,
+                               last_traffic_, options_.augment);
+    augmented = &rebuilt;
+  }
   stats.augment_seconds += watch.seconds();
 
   watch.restart();
   const te::FlowAssignment assignment =
-      engine_.solve(augmented.graph, demands);
+      engine_.solve(augmented->graph, demands);
   stats.solve_seconds += watch.seconds();
 
   watch.restart();
   ReconfigurationPlan plan =
-      translate_assignment(current, augmented, variable_links, assignment);
+      translate_assignment(current, *augmented, variable_links, assignment);
   stats.translate_seconds += watch.seconds();
   return plan;
 }
@@ -353,17 +377,59 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
     if (!options_.protected_flows.empty())
       current = carve_out_protected(current, options_.protected_flows,
                                     variable_links);
-    report.plan = evaluate(current, variable_links, demands, report.stats);
 
-    // Consolidation: drop upgrades whose removal does not hurt throughput
-    // or penalty (fewest activations among cost-equal optima).
-    if (options_.consolidate && !report.plan.upgrades.empty()) {
-      obs::StopWatch consolidate_watch;
-      exec::ThreadPool& pool = options_.pool != nullptr
-                                   ? *options_.pool
-                                   : exec::ThreadPool::global();
-      consolidate(pool, current, variable_links, demands, report);
-      report.stats.consolidate_seconds = consolidate_watch.seconds();
+    // Incremental hot path (options_.incremental, docs/FLEET.md): the solve
+    // pipeline is a deterministic function of (configured capacities,
+    // variable links, demands, traffic on variable links) — penalty
+    // policies read traffic only for variable links, and engine caches are
+    // timing-only by contract. When all four match the previous round's,
+    // the memoized post-consolidation plan IS what a full re-solve would
+    // produce, bit for bit, so reuse it and skip augment/solve/translate/
+    // consolidate. The transition plan below is still recomputed normally
+    // (it depends on last_assignment_, which does evolve).
+    std::vector<double> variable_traffic;
+    if (options_.incremental) {
+      variable_traffic.reserve(variable_links.size());
+      for (const VariableLink& link : variable_links)
+        variable_traffic.push_back(
+            last_traffic_[static_cast<std::size_t>(link.edge.value)]);
+    }
+    const bool memo_hit =
+        options_.incremental && memo_.valid &&
+        memo_.configured == configured_ &&
+        memo_.variable_links == variable_links &&
+        memo_.variable_traffic == variable_traffic &&
+        memo_.demands == demands;
+    if (memo_hit) {
+      report.plan = memo_.plan;
+      report.stats.incremental_hit = true;
+    } else {
+      report.plan =
+          evaluate(current, variable_links, demands, report.stats,
+                   options_.incremental ? &augment_cache_ : nullptr);
+      if (options_.incremental)
+        report.stats.dirty_links = augment_cache_.last_dirty().size();
+
+      // Consolidation: drop upgrades whose removal does not hurt throughput
+      // or penalty (fewest activations among cost-equal optima).
+      if (options_.consolidate && !report.plan.upgrades.empty()) {
+        obs::StopWatch consolidate_watch;
+        exec::ThreadPool& pool = options_.pool != nullptr
+                                     ? *options_.pool
+                                     : exec::ThreadPool::global();
+        consolidate(pool, current, variable_links, demands, report);
+        report.stats.consolidate_seconds = consolidate_watch.seconds();
+      }
+
+      if (options_.incremental) {
+        memo_.valid = true;
+        memo_.configured = configured_;
+        memo_.variable_links.assign(variable_links.begin(),
+                                    variable_links.end());
+        memo_.variable_traffic = std::move(variable_traffic);
+        memo_.demands = demands;
+        memo_.plan = report.plan;
+      }
     }
 
     // Step 6: apply upgrades and plan the consistent transition.
@@ -412,6 +478,15 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
   metrics.translate_seconds.observe(report.stats.translate_seconds);
   metrics.consolidate_seconds.observe(report.stats.consolidate_seconds);
   metrics.transition_seconds.observe(report.stats.transition_seconds);
+  if (options_.incremental) {
+    if (report.stats.incremental_hit) {
+      metrics.incremental_hits.add();
+    } else {
+      metrics.incremental_misses.add();
+      metrics.incremental_dirty_links.observe(
+          static_cast<double>(report.stats.dirty_links));
+    }
+  }
   return report;
 }
 

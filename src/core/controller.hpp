@@ -60,6 +60,19 @@ struct ControllerOptions {
   /// changing capacity. The flows themselves are invisible to the TE run
   /// and do not appear in the round's physical assignment.
   std::vector<ProtectedFlow> protected_flows;
+  /// Incremental re-solve hot path (docs/FLEET.md): when a round's solve
+  /// inputs — configured capacities, variable-link set, demands, and the
+  /// penalty-relevant traffic on variable links — are identical to the
+  /// previous round's, the controller reuses the previous round's
+  /// (post-consolidation) plan instead of re-running augment/solve/
+  /// translate; when only the demands changed but no link is dirty, the
+  /// augmented topology is reused via core::AugmentCache. Results are
+  /// bit-identical to a full re-solve by construction (a full re-solve on
+  /// identical inputs is deterministic, and engine caches are timing-only
+  /// by contract); only RoundStats work counters and timings differ. The
+  /// memo is never checkpointed — a cold memo after restore costs one full
+  /// re-solve, nothing else.
+  bool incremental = false;
   /// Penalty policy; defaults to TrafficProportionalPenalty.
   std::shared_ptr<const PenaltyPolicy> penalty;
   /// Thread pool for the consolidation pass's candidate evaluations;
@@ -112,6 +125,13 @@ class DynamicCapacityController {
     std::uint64_t mincost_paths = 0;      ///< flow.mincost.paths delta
     std::uint64_t simplex_solves = 0;     ///< lp.simplex.solves delta
     std::uint64_t simplex_iterations = 0; ///< lp.simplex.iterations delta
+    /// Incremental hot path (options.incremental): whether this round's
+    /// plan was served from the previous round's memo without a solve.
+    /// Work accounting only — never part of a round's result signature.
+    bool incremental_hit = false;
+    /// Base links whose inputs changed since the previous augmentation
+    /// (edge_count on the first/cold round; 0 on a memo hit).
+    std::uint64_t dirty_links = 0;
   };
 
   /// Everything one TE round decided and how it went (the paper's §4
@@ -169,10 +189,15 @@ class DynamicCapacityController {
  private:
   /// One augment -> solve -> translate evaluation against `current`.
   /// Stage wall-times and the evaluation count accumulate into `stats`.
+  /// With `cache` non-null the augmentation goes through the dirty-link
+  /// cache (primary evaluation of an incremental round); consolidation
+  /// trials pass nullptr because their reduced variable sets would thrash
+  /// the cache.
   ReconfigurationPlan evaluate(const graph::Graph& current,
                                std::span<const VariableLink> variable_links,
                                const te::TrafficMatrix& demands,
-                               RoundStats& stats) const;
+                               RoundStats& stats,
+                               AugmentCache* cache = nullptr) const;
 
   /// Consolidation post-pass on report.plan: drops upgrades whose removal
   /// does not hurt throughput or penalty. Serial at pool sizes <= 1; at
@@ -184,11 +209,28 @@ class DynamicCapacityController {
                    const te::TrafficMatrix& demands,
                    RoundReport& report) const;
 
+  /// Inputs and outcome of the last full solve (options_.incremental): a
+  /// round whose solve inputs compare equal reuses `plan` wholesale.
+  /// Deliberately not part of PersistentState — restoring with a cold memo
+  /// changes timing only, never results.
+  struct SolveMemo {
+    bool valid = false;
+    std::vector<util::Gbps> configured;
+    std::vector<VariableLink> variable_links;
+    te::TrafficMatrix demands;
+    /// last_traffic_ sampled on the variable links (aligned with
+    /// variable_links) — the only traffic the penalty policies read.
+    std::vector<double> variable_traffic;
+    ReconfigurationPlan plan;
+  };
+
   graph::Graph physical_;
   optical::ModulationTable table_;
   const te::TeAlgorithm& engine_;
   ControllerOptions options_;
   std::vector<util::Gbps> configured_;
+  SolveMemo memo_;
+  AugmentCache augment_cache_;
   std::optional<HysteresisFilter> hysteresis_;
   te::FlowAssignment last_assignment_;
   std::vector<double> last_traffic_;

@@ -1,0 +1,94 @@
+#include "fleet/study.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "optical/modulation.hpp"
+
+namespace rwc::fleet {
+
+double DeploymentStudy::fraction_at_or_above(double rate_gbps) const {
+  for (const CdfPoint& point : capability_cdf)
+    if (point.rate_gbps >= rate_gbps - 1e-9) return point.fraction;
+  return 0.0;
+}
+
+DeploymentStudy build_study(const FleetResult& fleet) {
+  DeploymentStudy study;
+  study.instances = fleet.instances.size();
+  study.total_rounds = fleet.total_rounds;
+  study.incremental_hits = fleet.incremental_hits;
+  study.incremental_hit_rate = fleet.incremental_hit_rate();
+  study.failure_events = fleet.failure_events;
+  study.crawl_retained_events = fleet.crawl_retained_events;
+  study.crawl_retention_fraction = fleet.crawl_retention_fraction();
+
+  const optical::ModulationTable table = optical::ModulationTable::standard();
+  study.capability_cdf.reserve(table.formats().size());
+  for (const optical::ModulationFormat& format : table.formats())
+    study.capability_cdf.push_back(
+        DeploymentStudy::CdfPoint{format.capacity.value, 0, 0.0});
+
+  double offered = 0.0;
+  double delivered = 0.0;
+  double availability_sum = 0.0;
+  for (const InstanceResult& instance : fleet.instances) {
+    offered += instance.metrics.offered_gbps_hours;
+    delivered += instance.metrics.delivered_gbps_hours;
+    availability_sum += instance.metrics.availability;
+    for (std::size_t e = 0; e < instance.link_capability_gbps.size(); ++e) {
+      const double capability = instance.link_capability_gbps[e];
+      const double nominal = instance.link_nominal_gbps[e];
+      ++study.links;
+      study.total_gain_gbps += std::max(0.0, capability - nominal);
+      for (DeploymentStudy::CdfPoint& point : study.capability_cdf)
+        if (capability >= point.rate_gbps - 1e-9) ++point.links_at_or_above;
+    }
+  }
+  if (study.links > 0) {
+    study.mean_gain_gbps =
+        study.total_gain_gbps / static_cast<double>(study.links);
+    for (DeploymentStudy::CdfPoint& point : study.capability_cdf)
+      point.fraction = static_cast<double>(point.links_at_or_above) /
+                       static_cast<double>(study.links);
+  }
+  if (study.instances > 0)
+    study.availability =
+        availability_sum / static_cast<double>(study.instances);
+  if (offered > 0.0) study.delivered_fraction = delivered / offered;
+  return study;
+}
+
+std::string to_json(const DeploymentStudy& study) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\n";
+  out << "  \"instances\": " << study.instances << ",\n";
+  out << "  \"links\": " << study.links << ",\n";
+  out << "  \"capability_cdf\": [";
+  for (std::size_t i = 0; i < study.capability_cdf.size(); ++i) {
+    const DeploymentStudy::CdfPoint& point = study.capability_cdf[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"rate_gbps\": " << point.rate_gbps
+        << ", \"links_at_or_above\": " << point.links_at_or_above
+        << ", \"fraction\": " << point.fraction << "}";
+  }
+  out << "\n  ],\n";
+  out << "  \"total_gain_gbps\": " << study.total_gain_gbps << ",\n";
+  out << "  \"mean_gain_gbps\": " << study.mean_gain_gbps << ",\n";
+  out << "  \"failure_events\": " << study.failure_events << ",\n";
+  out << "  \"crawl_retained_events\": " << study.crawl_retained_events
+      << ",\n";
+  out << "  \"crawl_retention_fraction\": " << study.crawl_retention_fraction
+      << ",\n";
+  out << "  \"availability\": " << study.availability << ",\n";
+  out << "  \"delivered_fraction\": " << study.delivered_fraction << ",\n";
+  out << "  \"total_rounds\": " << study.total_rounds << ",\n";
+  out << "  \"incremental_hits\": " << study.incremental_hits << ",\n";
+  out << "  \"incremental_hit_rate\": " << study.incremental_hit_rate << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace rwc::fleet

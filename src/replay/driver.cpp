@@ -133,6 +133,7 @@ core::ControllerOptions controller_options_for(const ReplayConfig& config) {
   core::ControllerOptions options;
   options.snr_margin = config.snr_margin;
   options.hysteresis = config.hysteresis;
+  options.incremental = config.incremental;
   options.pool = config.pool;
   return options;
 }
@@ -285,6 +286,10 @@ core::DynamicCapacityController::RoundReport ReplayDriver::step() {
   chain = mix64(chain, report.restorations.size());
   chain = mix64(chain, report.transition_valid ? 1 : 0);
   signature_chain_ = chain;
+
+  // Observation hook (rwc::fleet aggregation): round state is final here,
+  // round_ still names the round just executed.
+  if (observer_) observer_(round_, snr, report);
 
   ++round_;
   driver_metrics.rounds.add();

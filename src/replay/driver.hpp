@@ -23,7 +23,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "bvt/latency.hpp"
@@ -71,6 +73,12 @@ struct ReplayConfig {
   std::uint64_t checkpoint_every = 0;
   /// Controller-side dampening of capacity increases.
   std::optional<core::HysteresisParams> hysteresis;
+  /// Enable the controller's incremental re-solve hot path
+  /// (core::ControllerOptions::incremental, docs/FLEET.md). Deliberately
+  /// NOT part of the config fingerprint: results are bit-identical with
+  /// the flag on or off, so checkpoints are portable across modes — the
+  /// differential tests rely on exactly that.
+  bool incremental = false;
   /// Pool for chunk generation and the controller's consolidation pass;
   /// nullptr selects exec::ThreadPool::global(). Results are identical at
   /// every pool size (docs/CONCURRENCY.md).
@@ -106,6 +114,26 @@ class ReplayDriver {
   /// Attaches a store for periodic checkpoints (config.checkpoint_every).
   /// The store must outlive the driver; nullptr detaches.
   void attach_store(CheckpointStore* store) { store_ = store; }
+
+  /// Per-round observation hook, invoked at the end of every step() with
+  /// the index of the round just executed, the raw per-link SNR fed to the
+  /// controller, and the round's report. Pure observation: it runs after
+  /// all round state (signature chain, metrics) is final and must not
+  /// mutate the driver. Not part of checkpointed state — an aggregator
+  /// that needs to survive restore must rebuild from its own data
+  /// (rwc::fleet re-registers its aggregation hook after every restore).
+  using RoundObserver = std::function<void(
+      std::uint64_t round, std::span<const util::Db> snr,
+      const core::DynamicCapacityController::RoundReport& report)>;
+  void set_round_observer(RoundObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// The driver's controller (e.g. to read configured capacities from an
+  /// observer).
+  const core::DynamicCapacityController& controller() const {
+    return controller_;
+  }
 
   /// Runs one TE round and returns its report (for signature checks and
   /// invariant harnesses). Precondition: !done().
@@ -166,6 +194,7 @@ class ReplayDriver {
   sim::SimulationMetrics metrics_;
 
   CheckpointStore* store_ = nullptr;
+  RoundObserver observer_;
 };
 
 }  // namespace rwc::replay

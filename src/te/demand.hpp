@@ -19,6 +19,8 @@ struct Demand {
   graph::NodeId dst;
   util::Gbps volume{0.0};
   int priority = 0;
+
+  friend bool operator==(const Demand&, const Demand&) = default;
 };
 
 using TrafficMatrix = std::vector<Demand>;

@@ -18,27 +18,12 @@
 #include "graph/graph.hpp"
 #include "optical/modulation.hpp"
 #include "te/demand.hpp"
+// InvariantResult / all_of and the RoundSignature helpers live in the
+// shared tests/support/ library so the example-based suites and the fleet
+// differential layer use the same definitions (same rwc::prop namespace).
+#include "support/round_signature.hpp"
 
 namespace rwc::prop {
-
-/// Outcome of one invariant check: ok, or a human-readable violation.
-struct InvariantResult {
-  bool ok = true;
-  std::string detail;
-
-  static InvariantResult pass() { return {}; }
-  static InvariantResult fail(std::string detail) {
-    return {false, std::move(detail)};
-  }
-  explicit operator bool() const { return ok; }
-};
-
-/// First failing result of a sequence of checks (all-pass otherwise).
-inline InvariantResult all_of(std::initializer_list<InvariantResult> checks) {
-  for (const InvariantResult& check : checks)
-    if (!check.ok) return check;
-  return InvariantResult::pass();
-}
 
 /// No link may be configured above the ladder rate its observed SNR
 /// supports at the controller's margin. `configured` and `snr` are indexed
@@ -134,60 +119,6 @@ inline InvariantResult check_flow_conservation(const graph::Graph& graph,
                                    std::to_string(n) + " (imbalance " +
                                    std::to_string(balance[n]) + " Gbps)");
   return InvariantResult::pass();
-}
-
-/// The comparable fingerprint of one controller round: everything the
-/// pool-size determinism contract (docs/CONCURRENCY.md) promises is
-/// bit-identical across thread counts. Work counters (evaluations, stage
-/// seconds) are deliberately excluded — speculative waves may discard
-/// extra evaluations at pool sizes >= 2.
-struct RoundSignature {
-  std::vector<std::pair<std::int32_t, double>> upgrades;  // (edge, to)
-  double routed = 0.0;
-  double penalty = 0.0;
-  std::size_t reductions = 0;
-  std::size_t restorations = 0;
-  bool transition_valid = false;
-
-  friend bool operator==(const RoundSignature&,
-                         const RoundSignature&) = default;
-};
-
-inline RoundSignature signature_of(
-    const core::DynamicCapacityController::RoundReport& report) {
-  RoundSignature sig;
-  for (const auto& change : report.plan.upgrades)
-    sig.upgrades.emplace_back(change.edge.value, change.to.value);
-  sig.routed = report.total_routed.value;
-  sig.penalty = report.total_penalty;
-  sig.reductions = report.reductions.size();
-  sig.restorations = report.restorations.size();
-  sig.transition_valid = report.transition_valid;
-  return sig;
-}
-
-inline std::string to_string(const RoundSignature& sig) {
-  std::ostringstream out;
-  out << "routed=" << sig.routed << " penalty=" << sig.penalty
-      << " reductions=" << sig.reductions
-      << " restorations=" << sig.restorations
-      << " transition_valid=" << sig.transition_valid << " upgrades=[";
-  for (std::size_t i = 0; i < sig.upgrades.size(); ++i) {
-    if (i > 0) out << ", ";
-    out << sig.upgrades[i].first << "->" << sig.upgrades[i].second;
-  }
-  out << "]";
-  return out.str();
-}
-
-/// Pool-size invariance: `got` must equal the serial-pool `expected`.
-inline InvariantResult check_signatures_equal(const RoundSignature& expected,
-                                              const RoundSignature& got,
-                                              const std::string& context) {
-  if (expected == got) return InvariantResult::pass();
-  return InvariantResult::fail(context + ": expected {" +
-                               to_string(expected) + "} got {" +
-                               to_string(got) + "}");
 }
 
 /// Model-based oracle for the hysteresis dwell contract: replays a

@@ -15,6 +15,7 @@
 #include "obs/registry.hpp"
 #include "flow/network.hpp"
 #include "prop/generators.hpp"
+#include "prop/seeds.hpp"
 #include "prop/invariants.hpp"
 #include "prop/shrink.hpp"
 #include "util/rng.hpp"
@@ -22,7 +23,9 @@
 namespace rwc {
 namespace {
 
-constexpr std::uint64_t kSeeds[] = {17, 29, 47};
+// Default seed triple; the nightly sweep widens this via RWC_PROP_SEEDS
+// (tests/prop/seeds.hpp).
+const std::vector<std::uint64_t> kSeeds = prop::sweep_seeds({17, 29, 47});
 
 struct FlowFixture {
   int nodes = 0;

@@ -10,6 +10,7 @@
 #include "fault/plan.hpp"
 #include "fault/registry.hpp"
 #include "prop/generators.hpp"
+#include "prop/seeds.hpp"
 #include "prop/invariants.hpp"
 #include "prop/shrink.hpp"
 #include "util/check.hpp"
@@ -18,7 +19,9 @@
 namespace rwc {
 namespace {
 
-constexpr std::uint64_t kSeeds[] = {17, 29, 47};
+// Default seed triple; the nightly sweep widens this via RWC_PROP_SEEDS
+// (tests/prop/seeds.hpp).
+const std::vector<std::uint64_t> kSeeds = prop::sweep_seeds({17, 29, 47});
 
 TEST(PropPlan, SpecRoundTripsGeneratedPlans) {
   std::vector<prop::SiteProfile> profiles = prop::degrading_sites();

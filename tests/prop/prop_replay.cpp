@@ -17,6 +17,7 @@
 #include "fault/registry.hpp"
 #include "obs/registry.hpp"
 #include "prop/generators.hpp"
+#include "prop/seeds.hpp"
 #include "prop/invariants.hpp"
 #include "replay/checkpoint.hpp"
 #include "replay/driver.hpp"
@@ -32,7 +33,9 @@ using replay::Error;
 using replay::ReplayConfig;
 using replay::ReplayDriver;
 
-constexpr std::uint64_t kSeeds[] = {17, 29, 47};
+// Default seed triple; the nightly sweep widens this via RWC_PROP_SEEDS
+// (tests/prop/seeds.hpp).
+const std::vector<std::uint64_t> kSeeds = prop::sweep_seeds({17, 29, 47});
 
 struct ReplayFixture {
   graph::Graph topology;

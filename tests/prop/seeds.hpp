@@ -1,0 +1,56 @@
+// Seed schedule for the property harness.
+//
+// Every prop suite iterates sweep_seeds(defaults): a short pinned list for
+// interactive/CI tier2 runs, overridable through the RWC_PROP_SEEDS
+// environment variable for the nightly sweep and for replaying a failure:
+//
+//   RWC_PROP_SEEDS=100            -> seeds 1..100 (the nightly 100-seed job)
+//   RWC_PROP_SEEDS=29,            -> exactly seed 29 (replay a failure)
+//   RWC_PROP_SEEDS=17,29,47       -> exactly those seeds
+//
+// A bare number N <= 1000 expands to the range 1..N; anything with a comma
+// is an explicit list (a trailing comma selects a single seed). shrink.hpp's
+// failure message prints the matching RWC_PROP_SEEDS=<seed>, assignment, so
+// the repro command is paste-ready.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace rwc::prop {
+
+inline std::vector<std::uint64_t> sweep_seeds(
+    std::initializer_list<std::uint64_t> defaults) {
+  const char* env = std::getenv("RWC_PROP_SEEDS");
+  if (env == nullptr || *env == '\0')
+    return std::vector<std::uint64_t>(defaults);
+  std::vector<std::uint64_t> seeds;
+  const std::string spec(env);
+  if (spec.find(',') == std::string::npos) {
+    const std::uint64_t n = std::strtoull(spec.c_str(), nullptr, 10);
+    if (n == 0) return std::vector<std::uint64_t>(defaults);
+    if (n <= 1000) {
+      for (std::uint64_t s = 1; s <= n; ++s) seeds.push_back(s);
+    } else {
+      seeds.push_back(n);  // a large value is a literal seed, not a count
+    }
+    return seeds;
+  }
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t end = spec.find(',', begin);
+    const std::string token =
+        spec.substr(begin, end == std::string::npos ? end : end - begin);
+    if (!token.empty())
+      seeds.push_back(std::strtoull(token.c_str(), nullptr, 10));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  if (seeds.empty()) return std::vector<std::uint64_t>(defaults);
+  return seeds;
+}
+
+}  // namespace rwc::prop

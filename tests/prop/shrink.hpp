@@ -57,8 +57,24 @@ inline std::optional<PropertyFailure> minimize_failure(
   return PropertyFailure{std::move(current), std::move(result)};
 }
 
+/// The exact command that replays a minimized failure: pins the generator
+/// seed through RWC_PROP_SEEDS (tests/prop/seeds.hpp; the trailing comma
+/// selects the single seed) and filters gtest down to the failing test.
+/// The plan spec is informational — properties re-generate their plan from
+/// the seed, so the seed alone reproduces.
+inline std::string repro_command(std::uint64_t seed,
+                                 const fault::FaultPlan& minimized) {
+  std::string name = "*";
+  if (const ::testing::TestInfo* info =
+          ::testing::UnitTest::GetInstance()->current_test_info())
+    name = std::string(info->test_suite_name()) + "." + info->name();
+  return "RWC_PROP_SEEDS=" + std::to_string(seed) +
+         ", ./build/tests/prop/rwc_prop_tests --gtest_filter=" + name +
+         "   # minimized plan: " + minimized.to_string();
+}
+
 /// gtest entry point: passes silently, or fails once with the seed, the
-/// minimized plan and the violated invariant.
+/// minimized plan, the violated invariant and a paste-ready repro command.
 inline void expect_property(std::uint64_t seed, const fault::FaultPlan& plan,
                             const Property& property) {
   const auto failure = minimize_failure(plan, property);
@@ -66,7 +82,8 @@ inline void expect_property(std::uint64_t seed, const fault::FaultPlan& plan,
   ADD_FAILURE() << "property violated: seed=" << seed << " plan=\""
                 << failure->minimized.to_string() << "\"\n  "
                 << failure->result.detail
-                << "\n  (full schedule was \"" << plan.to_string() << "\")";
+                << "\n  (full schedule was \"" << plan.to_string() << "\")"
+                << "\n  repro: " << repro_command(seed, failure->minimized);
 }
 
 }  // namespace rwc::prop

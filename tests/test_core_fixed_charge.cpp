@@ -136,6 +136,78 @@ TEST(FixedCharge, ValidatesInputs) {
   const std::vector<double> negative = {-1.0};
   EXPECT_THROW(solve_fixed_charge(g, variable, negative, engine, {}),
                util::CheckError);
+  // Subset enumeration is bounded to 30 links (2^n masks in a uint32).
+  const std::vector<VariableLink> too_many(31, {EdgeId{0}, 200_Gbps});
+  const std::vector<double> too_many_costs(31, 1.0);
+  EXPECT_THROW(solve_fixed_charge(g, too_many, too_many_costs, engine, {}),
+               util::CheckError);
+}
+
+TEST(FixedCharge, ZeroHeadroomActivationIsNeverChosen) {
+  // Unlike Algorithm 1 (which rejects zero-headroom variable links — they
+  // violate its strict-headroom precondition), activation semantics make a
+  // zero-headroom "upgrade" a legal no-op: it buys no throughput, so the
+  // lexicographic solver must never pay for it.
+  graph::Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const EdgeId useless = g.add_edge(a, b, 100_Gbps);
+  const EdgeId useful = g.add_edge(a, b, 100_Gbps);
+  const std::vector<VariableLink> variable = {
+      {useless, 100_Gbps},  // zero headroom
+      {useful, 200_Gbps}};
+  const std::vector<double> costs = {5.0, 20.0};
+  te::McfTe engine;
+  const te::TrafficMatrix demands = {{a, b, 300_Gbps, 0}};
+  const auto result = solve_fixed_charge(g, variable, costs, engine, demands);
+  EXPECT_TRUE(result.exact);
+  ASSERT_EQ(result.activated.size(), 1u);
+  EXPECT_EQ(result.activated[0].edge, useful);
+  EXPECT_EQ(result.activation_cost, 20.0);
+  EXPECT_NEAR(result.routed.value, 300.0, 1e-6);
+}
+
+TEST(FixedCharge, GreedyDropsZeroHeadroomActivations) {
+  graph::Graph g;
+  const NodeId a = g.add_node("a");
+  const NodeId b = g.add_node("b");
+  const EdgeId useless = g.add_edge(a, b, 100_Gbps);
+  const EdgeId useful = g.add_edge(a, b, 100_Gbps);
+  const std::vector<VariableLink> variable = {
+      {useless, 100_Gbps}, {useful, 200_Gbps}};
+  const std::vector<double> costs = {5.0, 20.0};
+  te::McfTe engine;
+  const te::TrafficMatrix demands = {{a, b, 300_Gbps, 0}};
+  FixedChargeOptions options;
+  options.exact_limit = 0;  // force the heuristic
+  const auto result =
+      solve_fixed_charge(g, variable, costs, engine, demands, options);
+  EXPECT_FALSE(result.exact);
+  // The drop pass removes the throughput-free activation despite it being
+  // the cheaper of the two.
+  ASSERT_EQ(result.activated.size(), 1u);
+  EXPECT_EQ(result.activated[0].edge, useful);
+  EXPECT_NEAR(result.routed.value, 300.0, 1e-6);
+}
+
+TEST(FixedCharge, FreeActivationsAreStillNotChosenWhenUseless) {
+  // Cost ties break toward smaller subsets (documented tie-break), so even
+  // at zero activation cost the solver returns the empty activation set
+  // when the base topology already carries the demand.
+  graph::Graph g = sim::fig7_square();
+  std::vector<VariableLink> variable;
+  std::vector<double> costs;
+  for (EdgeId e : g.edge_ids()) {
+    variable.push_back({e, 200_Gbps});
+    costs.push_back(0.0);
+  }
+  te::McfTe engine;
+  const te::TrafficMatrix demands = {
+      {*g.find_node("A"), *g.find_node("B"), 90_Gbps, 0}};
+  const auto result = solve_fixed_charge(g, variable, costs, engine, demands);
+  EXPECT_TRUE(result.exact);
+  EXPECT_TRUE(result.activated.empty());
+  EXPECT_EQ(result.activation_cost, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,255 @@
+// Tests for the controller's incremental re-solve hot path (docs/FLEET.md):
+// the memo fast path, the AugmentCache dirty-link diff, and the contract
+// that the hot path changes work counters and timings only — every round's
+// result is bit-identical to a full re-solve on the same inputs. A
+// non-incremental twin controller is driven with the same per-round inputs
+// and the round signatures (tests/support/round_signature.hpp) must match.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "sim/topology.hpp"
+#include "support/round_signature.hpp"
+#include "te/mcf_te.hpp"
+#include "util/check.hpp"
+
+namespace rwc::core {
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+using util::Db;
+using util::Gbps;
+using namespace util::literals;
+
+std::vector<Db> uniform_snr(const graph::Graph& g, double db) {
+  return std::vector<Db>(g.edge_count(), Db{db});
+}
+
+ControllerOptions incremental_options() {
+  ControllerOptions options;
+  options.snr_margin = 0.0_dB;
+  options.incremental = true;
+  return options;
+}
+
+ControllerOptions full_options() {
+  ControllerOptions options;
+  options.snr_margin = 0.0_dB;
+  return options;
+}
+
+/// Both controllers see the same round inputs; the incremental one must
+/// produce the same signature. Returns the incremental round's report.
+DynamicCapacityController::RoundReport step_pair(
+    DynamicCapacityController& incremental, DynamicCapacityController& full,
+    std::span<const Db> snr, const te::TrafficMatrix& demands,
+    const std::string& context) {
+  auto inc_report = incremental.run_round(snr, demands);
+  const auto full_report = full.run_round(snr, demands);
+  const prop::InvariantResult check = prop::check_signatures_equal(
+      prop::signature_of(full_report), prop::signature_of(inc_report),
+      context);
+  EXPECT_TRUE(check.ok) << check.detail;
+  EXPECT_FALSE(full_report.stats.incremental_hit);
+  return inc_report;
+}
+
+TEST(CoreIncremental, MemoHitsOnceInputsStabilize) {
+  graph::Graph base = sim::fig7_square();
+  te::McfTe engine;
+  DynamicCapacityController incremental(
+      base, optical::ModulationTable::standard(), engine,
+      incremental_options());
+  DynamicCapacityController full(base, optical::ModulationTable::standard(),
+                                 engine, full_options());
+  const te::TrafficMatrix demands = {
+      {*base.find_node("A"), *base.find_node("B"), 150_Gbps, 0}};
+  const std::vector<Db> snr = uniform_snr(base, 20.0);
+
+  // Round 0: cold — a full solve with every base link dirty.
+  auto report = step_pair(incremental, full, snr, demands, "round 0");
+  EXPECT_FALSE(report.stats.incremental_hit);
+  EXPECT_EQ(report.stats.dirty_links, base.edge_count());
+
+  // The first round may reconfigure links (upgrades change the next
+  // round's solve inputs); with constant SNR and demands the inputs reach
+  // a fixed point and the memo must serve every subsequent round.
+  report = step_pair(incremental, full, snr, demands, "round 1");
+  for (int round = 2; round < 6; ++round) {
+    report = step_pair(incremental, full, snr, demands,
+                       "round " + std::to_string(round));
+    EXPECT_TRUE(report.stats.incremental_hit) << "round " << round;
+    EXPECT_EQ(report.stats.dirty_links, 0u) << "round " << round;
+    EXPECT_EQ(report.stats.evaluations, 0u) << "round " << round;
+  }
+}
+
+TEST(CoreIncremental, SnrShiftOnEveryLinkMakesAllLinksDirty) {
+  graph::Graph base = sim::fig7_square();
+  te::McfTe engine;
+  DynamicCapacityController incremental(
+      base, optical::ModulationTable::standard(), engine,
+      incremental_options());
+  DynamicCapacityController full(base, optical::ModulationTable::standard(),
+                                 engine, full_options());
+  const te::TrafficMatrix demands = {
+      {*base.find_node("A"), *base.find_node("B"), 150_Gbps, 0}};
+
+  auto report =
+      step_pair(incremental, full, uniform_snr(base, 20.0), demands, "warm 0");
+  report =
+      step_pair(incremental, full, uniform_snr(base, 20.0), demands, "warm 1");
+  report =
+      step_pair(incremental, full, uniform_snr(base, 20.0), demands, "warm 2");
+  ASSERT_TRUE(report.stats.incremental_hit);
+
+  // Every link's SNR now supports only 175 G: every configured capacity
+  // changes, so the memo misses and the augment diff marks every link.
+  report =
+      step_pair(incremental, full, uniform_snr(base, 12.0), demands, "shift");
+  EXPECT_FALSE(report.stats.incremental_hit);
+  EXPECT_EQ(report.stats.dirty_links, base.edge_count());
+  EXPECT_GE(report.stats.evaluations, 1u);
+}
+
+TEST(CoreIncremental, DemandOnlyChangeReusesAugmentedTopology) {
+  graph::Graph base = sim::fig7_square();
+  te::McfTe engine;
+  DynamicCapacityController incremental(
+      base, optical::ModulationTable::standard(), engine,
+      incremental_options());
+  DynamicCapacityController full(base, optical::ModulationTable::standard(),
+                                 engine, full_options());
+  const NodeId a = *base.find_node("A");
+  const NodeId b = *base.find_node("B");
+  const std::vector<Db> snr = uniform_snr(base, 20.0);
+
+  te::TrafficMatrix demands = {{a, b, 150_Gbps, 0}};
+  step_pair(incremental, full, snr, demands, "warm 0");
+  step_pair(incremental, full, snr, demands, "warm 1");
+  auto report = step_pair(incremental, full, snr, demands, "warm 2");
+  ASSERT_TRUE(report.stats.incremental_hit);
+
+  // Changing only the demand volume invalidates the memo (the solve must
+  // rerun) but no base link's inputs moved, so the augmented topology is
+  // served from the AugmentCache: zero dirty links on a non-hit round.
+  demands[0].volume = 160_Gbps;
+  report = step_pair(incremental, full, snr, demands, "demand change");
+  EXPECT_FALSE(report.stats.incremental_hit);
+  EXPECT_EQ(report.stats.dirty_links, 0u);
+  EXPECT_GE(report.stats.evaluations, 1u);
+}
+
+TEST(CoreIncremental, RestoreStateInvalidatesMemoButNotResults) {
+  graph::Graph base = sim::fig7_square();
+  te::McfTe engine;
+  DynamicCapacityController incremental(
+      base, optical::ModulationTable::standard(), engine,
+      incremental_options());
+  DynamicCapacityController full(base, optical::ModulationTable::standard(),
+                                 engine, full_options());
+  const te::TrafficMatrix demands = {
+      {*base.find_node("A"), *base.find_node("B"), 150_Gbps, 0}};
+  const std::vector<Db> snr = uniform_snr(base, 20.0);
+
+  step_pair(incremental, full, snr, demands, "warm 0");
+  step_pair(incremental, full, snr, demands, "warm 1");
+  auto report = step_pair(incremental, full, snr, demands, "warm 2");
+  ASSERT_TRUE(report.stats.incremental_hit);
+
+  // Round-tripping through PersistentState drops the memo (it is
+  // deliberately not checkpointed): the next round costs one full solve
+  // with an all-dirty augment, then the memo re-forms.
+  incremental.restore_state(incremental.save_state());
+  report = step_pair(incremental, full, snr, demands, "post-restore");
+  EXPECT_FALSE(report.stats.incremental_hit);
+  EXPECT_EQ(report.stats.dirty_links, base.edge_count());
+  report = step_pair(incremental, full, snr, demands, "post-restore + 1");
+  EXPECT_TRUE(report.stats.incremental_hit);
+}
+
+TEST(CoreIncremental, ZeroHeadroomRoundsHitImmediately) {
+  // SNR pinned exactly at the nominal rate's threshold: no link has
+  // headroom, so no variable links exist and the solve inputs are stable
+  // from round 0 — the memo serves every round after the first.
+  graph::Graph base = sim::fig7_square();
+  te::McfTe engine;
+  DynamicCapacityController incremental(
+      base, optical::ModulationTable::standard(), engine,
+      incremental_options());
+  DynamicCapacityController full(base, optical::ModulationTable::standard(),
+                                 engine, full_options());
+  const te::TrafficMatrix demands = {
+      {*base.find_node("A"), *base.find_node("B"), 90_Gbps, 0}};
+  // 6.5 dB is the 100 G threshold (zero margin): feasible == nominal.
+  const std::vector<Db> snr = uniform_snr(base, 6.5);
+
+  auto report = step_pair(incremental, full, snr, demands, "round 0");
+  EXPECT_FALSE(report.stats.incremental_hit);
+  EXPECT_TRUE(report.plan.upgrades.empty());
+  for (int round = 1; round < 4; ++round) {
+    report = step_pair(incremental, full, snr, demands,
+                       "round " + std::to_string(round));
+    EXPECT_TRUE(report.stats.incremental_hit) << "round " << round;
+    EXPECT_TRUE(report.plan.upgrades.empty()) << "round " << round;
+  }
+}
+
+TEST(CoreIncremental, AugmentRejectsZeroHeadroomVariableLink) {
+  // Algorithm 1's precondition: a variable link must offer strictly more
+  // than its current capacity. A zero-headroom "upgrade" is a contract
+  // violation, not a no-op.
+  graph::Graph base = sim::fig7_square();
+  const std::vector<VariableLink> zero_headroom = {
+      {EdgeId{0}, base.edge(EdgeId{0}).capacity}};
+  EXPECT_THROW(augment_topology(base, zero_headroom,
+                                TrafficProportionalPenalty{}, {}),
+               util::CheckError);
+}
+
+TEST(CoreIncremental, AugmentCachePenaltyIdentityAndTrafficKeying) {
+  // The cache keys on the penalty policy's identity and the traffic on
+  // VARIABLE links only: swapping the policy object or moving variable-link
+  // traffic must miss; moving traffic on a non-variable link must hit.
+  graph::Graph base = sim::fig7_square();
+  const std::vector<VariableLink> variable = {{EdgeId{0}, 200_Gbps}};
+  const TrafficProportionalPenalty penalty_a;
+  const TrafficProportionalPenalty penalty_b;
+  std::vector<double> traffic(base.edge_count(), 0.0);
+
+  AugmentCache cache;
+  cache.get(base, variable, penalty_a, traffic, {});
+  EXPECT_FALSE(cache.last_was_hit());
+  EXPECT_EQ(cache.last_dirty().size(), base.edge_count());
+
+  cache.get(base, variable, penalty_a, traffic, {});
+  EXPECT_TRUE(cache.last_was_hit());
+
+  // Traffic on a NON-variable link is irrelevant to the augmentation.
+  traffic[1] = 40.0;
+  cache.get(base, variable, penalty_a, traffic, {});
+  EXPECT_TRUE(cache.last_was_hit());
+
+  // Traffic on the variable link feeds the penalty policy: dirty.
+  traffic[0] = 40.0;
+  cache.get(base, variable, penalty_a, traffic, {});
+  EXPECT_FALSE(cache.last_was_hit());
+  ASSERT_EQ(cache.last_dirty().size(), 1u);
+  EXPECT_EQ(cache.last_dirty()[0], EdgeId{0});
+
+  // Same parameters, different policy object: identity keying must miss.
+  cache.get(base, variable, penalty_b, traffic, {});
+  EXPECT_FALSE(cache.last_was_hit());
+
+  cache.invalidate();
+  cache.get(base, variable, penalty_b, traffic, {});
+  EXPECT_FALSE(cache.last_was_hit());
+  EXPECT_EQ(cache.last_dirty().size(), base.edge_count());
+}
+
+}  // namespace
+}  // namespace rwc::core
