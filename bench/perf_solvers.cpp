@@ -3,7 +3,12 @@
 // layer adds negligible cost on top of the TE solve itself.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
 #include "bench_common.hpp"
+#include "obs/registry.hpp"
 #include "core/augment.hpp"
 #include "core/controller.hpp"
 #include "core/translate.hpp"
@@ -284,6 +289,94 @@ void BM_ScenarioSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_ScenarioSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+/// Solver-ladder microbenchmark (docs/SOLVERS.md): one recorded mincost
+/// solve, re-served three ways. kReplay replays it exactly on the pristine
+/// network (the memo rung). kRepair steps `dirty` forward arcs OFF the
+/// recorded augmenting paths up 25% — support-preserving, so every
+/// iteration verifies on the repair rung with zero rollbacks — and solves
+/// the perturbed network warm. kCold solves the same perturbed network
+/// with the warm path disabled (the full rung).
+enum class RepairArm { kReplay, kRepair, kCold };
+
+void partial_repair_bench(benchmark::State& state, std::size_t dirty,
+                          RepairArm arm) {
+  auto g = make_topology(100, 17);
+  util::Rng rng(18);
+  for (graph::EdgeId e : g.edge_ids()) g.edge(e).cost = rng.uniform(0.0, 5.0);
+  const int sink = static_cast<int>(g.node_count()) - 1;
+
+  auto view = flow::make_network(g);
+  const std::vector<double> pristine = view.net.residuals();
+  flow::MinCostWarmStart recorded;
+  flow::min_cost_max_flow(view.net, 0, sink,
+                          std::numeric_limits<double>::infinity(), &recorded);
+
+  std::vector<bool> on_path(view.net.arc_count(), false);
+  for (const auto& aug : recorded.augmentations)
+    for (const int arc : aug.arcs) {
+      on_path[static_cast<std::size_t>(arc)] = true;
+      on_path[static_cast<std::size_t>(arc ^ 1)] = true;
+    }
+  std::vector<double> perturbed = pristine;
+  std::size_t dirtied = 0;
+  for (std::size_t arc = 0; arc + 1 < perturbed.size() && dirtied < dirty;
+       arc += 2) {
+    if (on_path[arc] || on_path[arc + 1] || perturbed[arc] <= 0.0) continue;
+    perturbed[arc] *= 1.25;
+    ++dirtied;
+  }
+
+  const std::vector<double>& start =
+      arm == RepairArm::kReplay ? pristine : perturbed;
+  auto& registry = obs::Registry::global();
+  const std::uint64_t repairs0 =
+      registry.counter("solver.partial_repairs").value();
+  const std::uint64_t rollbacks0 =
+      registry.counter("solver.partial_rollbacks").value();
+
+  flow::MinCostWarmStart warm;
+  for (auto _ : state) {
+    // A successful repair rewrites the recording for the perturbed
+    // network, so the pre-iteration reset (untimed) is what keeps every
+    // iteration on the same ladder rung.
+    state.PauseTiming();
+    view.net.restore_residuals(start);
+    if (arm != RepairArm::kCold) warm = recorded;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(flow::min_cost_max_flow(
+        view.net, 0, sink, std::numeric_limits<double>::infinity(),
+        arm == RepairArm::kCold ? nullptr : &warm));
+  }
+
+  const auto per_iter = [&](std::uint64_t delta) {
+    return static_cast<double>(delta) /
+           static_cast<double>(state.iterations());
+  };
+  state.counters["dirty_arcs"] = static_cast<double>(dirtied);
+  state.counters["repairs/iter"] =
+      per_iter(registry.counter("solver.partial_repairs").value() - repairs0);
+  state.counters["rollbacks/iter"] = per_iter(
+      registry.counter("solver.partial_rollbacks").value() - rollbacks0);
+  state.SetLabel(std::to_string(view.net.arc_count()) + " arcs");
+}
+
+void BM_MinCostExactReplay(benchmark::State& state) {
+  partial_repair_bench(state, 0, RepairArm::kReplay);
+}
+BENCHMARK(BM_MinCostExactReplay);
+
+void BM_MinCostPartialRepair(benchmark::State& state) {
+  partial_repair_bench(state, static_cast<std::size_t>(state.range(0)),
+                       RepairArm::kRepair);
+}
+BENCHMARK(BM_MinCostPartialRepair)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MinCostPerturbedCold(benchmark::State& state) {
+  partial_repair_bench(state, static_cast<std::size_t>(state.range(0)),
+                       RepairArm::kCold);
+}
+BENCHMARK(BM_MinCostPerturbedCold)->Arg(4);
+
 void BM_SimplexDense(benchmark::State& state) {
   // Random feasible LP: n variables, n/2 constraints.
   const int n = static_cast<int>(state.range(0));
@@ -311,6 +404,27 @@ BENCHMARK(BM_SimplexDense)->Arg(50)->Arg(100)->Arg(200);
 // as machine-readable JSON for perf-trajectory tracking.
 int main(int argc, char** argv) {
   rwc::bench::JsonExportGuard json_guard(argc, argv);
+  // `--perturb k`: register an extra BM_MinCostPartialRepair instance at
+  // exactly k dirty links, alongside the built-in 1/2/4/8 sweep. Stripped
+  // before google-benchmark sees the argument list.
+  int perturb = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--perturb") != 0) continue;
+    perturb = std::atoi(argv[i + 1]);
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    break;
+  }
+  static std::string perturb_name;
+  if (perturb > 0) {
+    perturb_name = "BM_MinCostPartialRepair/perturb:" + std::to_string(perturb);
+    benchmark::RegisterBenchmark(
+        perturb_name.c_str(),
+        [perturb](benchmark::State& state) {
+          partial_repair_bench(state, static_cast<std::size_t>(perturb),
+                               RepairArm::kRepair);
+        });
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

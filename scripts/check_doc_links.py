@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Doc link checker: every cross-reference must resolve.
+
+Two classes of reference are enforced, because both rot silently:
+
+1. Markdown links with relative targets in any tracked *.md file —
+   ``[text](docs/SOLVERS.md)``, ``[text](../DESIGN.md#anchor)``. The
+   target (anchor stripped) must exist relative to the file.
+2. Doc-path tokens anywhere in the tree (markdown, sources, tests,
+   benches, CI): any occurrence of ``docs/<Name>.md`` must name a file
+   that exists. Source comments lean on these as contracts
+   (e.g. mincost.cpp pointing at docs/SOLVERS.md), so a renamed or
+   missing doc is a build-docs bug, not cosmetics.
+
+Exits non-zero listing every broken reference.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+DOC_TOKEN = re.compile(r"\bdocs/[A-Za-z0-9_.-]+\.md\b")
+
+def tracked_files(root: pathlib.Path) -> list[pathlib.Path]:
+    out = subprocess.run(
+        ["git", "ls-files"], cwd=root, check=True, capture_output=True,
+        text=True)
+    return [root / line for line in out.stdout.splitlines() if line]
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    files = tracked_files(root)
+    errors: list[str] = []
+
+    for path in files:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (UnicodeDecodeError, OSError):
+            continue
+        rel = path.relative_to(root)
+
+        if path.suffix == ".md":
+            for match in MD_LINK.finditer(text):
+                target = match.group(1).split("#", 1)[0]
+                if (not target or "://" in target
+                        or target.startswith("mailto:")):
+                    continue
+                resolved = (path.parent / target).resolve()
+                if not resolved.exists():
+                    errors.append(f"{rel}: broken markdown link -> {target}")
+
+        for match in DOC_TOKEN.finditer(text):
+            token = match.group(0)
+            if not (root / token).exists():
+                errors.append(f"{rel}: dangling doc reference -> {token}")
+
+    if errors:
+        for error in sorted(set(errors)):
+            print(error, file=sys.stderr)
+        print(f"{len(set(errors))} broken doc reference(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK across {len(files)} tracked files")
+    return 0
+
+if __name__ == "__main__":
+    sys.exit(main())

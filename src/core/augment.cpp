@@ -141,6 +141,7 @@ const AugmentedTopology& AugmentCache::get(
   static auto& registry = obs::Registry::global();
   static auto& hits = registry.counter("augment.cache.hits");
   static auto& misses = registry.counter("augment.cache.misses");
+  static auto& dirty_links = registry.histogram("core.dirty_links");
 
   last_hit_ = false;
   last_dirty_.clear();
@@ -195,6 +196,10 @@ const AugmentedTopology& AugmentCache::get(
   }
 
   misses.add();
+  // Observed on rebuilds only: a hit contributes no rebuild work, so the
+  // histogram answers "how perturbed were the rounds that cost us a
+  // rebuild" (docs/OBSERVABILITY.md: core.dirty_links).
+  dirty_links.observe(static_cast<double>(last_dirty_.size()));
   cached_ = augment_topology(base, variable_links, penalty,
                              current_traffic_gbps, options);
   valid_ = true;

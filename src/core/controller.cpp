@@ -38,6 +38,7 @@ struct ControllerMetrics {
   obs::Counter& incremental_misses;
   obs::Counter& incremental_augment_reuses;
   obs::Histogram& incremental_dirty_links;
+  obs::Counter& partial_rounds;
 
   static ControllerMetrics& instance() {
     static auto& registry = obs::Registry::global();
@@ -58,6 +59,7 @@ struct ControllerMetrics {
         registry.counter("solver.incremental_misses"),
         registry.counter("solver.incremental_augment_reuses"),
         registry.histogram("solver.incremental_dirty_links"),
+        registry.counter("solver.partial_rounds"),
     };
     return metrics;
   }
@@ -69,6 +71,10 @@ struct SolverCounters {
   std::uint64_t mincost_paths;
   std::uint64_t simplex_solves;
   std::uint64_t simplex_iterations;
+  /// Partial-tier activity (docs/SOLVERS.md): verified min-cost repairs
+  /// plus LP warm-basis replays and memo hits. Their per-round delta
+  /// drives RoundStats.partial_resolve.
+  std::uint64_t partial_reuses;
 
   static SolverCounters read() {
     static auto& registry = obs::Registry::global();
@@ -77,9 +83,16 @@ struct SolverCounters {
     static auto& simplex_solves = registry.counter("lp.simplex.solves");
     static auto& simplex_iterations =
         registry.counter("lp.simplex.iterations");
+    static auto& partial_repairs =
+        registry.counter("solver.partial_repairs");
+    static auto& basis_hits = registry.counter("lp.basis_reuse_hits");
+    static auto& basis_memo_hits =
+        registry.counter("lp.basis_reuse_memo_hits");
     return SolverCounters{mincost_runs.value(), mincost_paths.value(),
                           simplex_solves.value(),
-                          simplex_iterations.value()};
+                          simplex_iterations.value(),
+                          partial_repairs.value() + basis_hits.value() +
+                              basis_memo_hits.value()};
   }
 };
 
@@ -465,6 +478,12 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
       counters_after.simplex_solves - counters_before.simplex_solves;
   report.stats.simplex_iterations = counters_after.simplex_iterations -
                                     counters_before.simplex_iterations;
+  report.stats.partial_resolve =
+      counters_after.partial_reuses > counters_before.partial_reuses;
+  if (physical_.edge_count() > 0)
+    report.stats.dirty_fraction =
+        static_cast<double>(report.stats.dirty_links) /
+        static_cast<double>(physical_.edge_count());
 
   auto& metrics = ControllerMetrics::instance();
   metrics.rounds.add();
@@ -487,6 +506,7 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
           static_cast<double>(report.stats.dirty_links));
     }
   }
+  if (report.stats.partial_resolve) metrics.partial_rounds.add();
   return report;
 }
 

@@ -27,6 +27,7 @@ struct FleetMetrics {
   obs::Counter& instances;
   obs::Counter& rounds;
   obs::Counter& incremental_hits;
+  obs::Counter& partial_rounds;
   obs::Counter& failure_events;
   obs::Counter& crawl_retained;
   obs::Gauge& hit_rate;
@@ -39,6 +40,7 @@ struct FleetMetrics {
         registry.counter("fleet.instances"),
         registry.counter("fleet.rounds"),
         registry.counter("fleet.incremental_hits"),
+        registry.counter("fleet.partial_rounds"),
         registry.counter("fleet.failure_events"),
         registry.counter("fleet.crawl_retained"),
         registry.gauge("fleet.incremental_hit_rate"),
@@ -108,8 +110,12 @@ InstanceResult run_instance(const FleetConfig& config, std::size_t instance) {
 
   // Engines are per-instance: their warm/path caches never alias across
   // instances (and caches are timing-only anyway).
-  te::McfTe mcf;
-  te::SwanTe swan;
+  te::McfTe::Options mcf_options;
+  mcf_options.partial_repair = config.partial;
+  te::SwanTe::Options swan_options;
+  swan_options.warm_basis = config.partial;
+  te::McfTe mcf(mcf_options);
+  te::SwanTe swan(swan_options);
   const te::TeAlgorithm& engine =
       config.engine == EngineKind::kMcf
           ? static_cast<const te::TeAlgorithm&>(mcf)
@@ -148,6 +154,7 @@ InstanceResult run_instance(const FleetConfig& config, std::size_t instance) {
       [&](std::uint64_t, std::span<const util::Db> snr,
           const core::DynamicCapacityController::RoundReport& report) {
         if (report.stats.incremental_hit) ++result.incremental_hits;
+        if (report.stats.partial_resolve) ++result.partial_rounds;
         for (std::size_t e = 0; e < edges; ++e) {
           const double feasible =
               table.feasible_capacity(snr[e], config.snr_margin).value;
@@ -205,6 +212,7 @@ FleetResult run_fleet(const FleetConfig& config) {
     chain = mix64(chain, instance.signature_chain);
     result.total_rounds += instance.rounds;
     result.incremental_hits += instance.incremental_hits;
+    result.partial_rounds += instance.partial_rounds;
     result.failure_events += instance.failure_events;
     result.crawl_retained_events += instance.crawl_retained_events;
   }
@@ -215,6 +223,7 @@ FleetResult run_fleet(const FleetConfig& config) {
   metrics.instances.add(config.instances);
   metrics.rounds.add(result.total_rounds);
   metrics.incremental_hits.add(result.incremental_hits);
+  metrics.partial_rounds.add(result.partial_rounds);
   metrics.failure_events.add(result.failure_events);
   metrics.crawl_retained.add(result.crawl_retained_events);
   metrics.hit_rate.set(result.incremental_hit_rate());

@@ -41,6 +41,7 @@
 #include "core/hysteresis.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/snr_model.hpp"
+#include "util/env.hpp"
 #include "util/units.hpp"
 
 namespace rwc::exec {
@@ -71,6 +72,12 @@ struct FleetConfig {
   /// Controller incremental re-solve hot path (docs/FLEET.md). Changes
   /// timing and work counters only, never results.
   bool incremental = true;
+  /// Solver partial tier (docs/SOLVERS.md): verified warm-start repair in
+  /// the mincost engine and pivot-replay warm bases in the SWAN LPs.
+  /// Bit-identical to cold solves by construction — changes timing and
+  /// work counters only, never results or the fleet chain.
+  /// RWC_PARTIAL_RESOLVE=0 flips the default off for bisection.
+  bool partial = util::env_flag("RWC_PARTIAL_RESOLVE", true);
   /// Diurnal demand scaling. Off by default so stable-SNR rounds repeat
   /// their solve inputs exactly — the case the incremental path serves.
   bool diurnal = false;
@@ -107,6 +114,10 @@ struct InstanceResult {
   std::uint64_t rounds = 0;
   /// Rounds served by the controller's memo without a re-solve.
   std::uint64_t incremental_hits = 0;
+  /// Rounds whose solve engaged the partial tier (a warm-start repair or
+  /// an LP basis replay) instead of running fully cold — the middle rung
+  /// of the memo -> partial -> full ladder (docs/SOLVERS.md).
+  std::uint64_t partial_rounds = 0;
   sim::SimulationMetrics metrics;
   /// Per directed edge: highest ladder rate the link's SNR supported at
   /// any round (Gbps) — the §2.1 capability distribution.
@@ -128,6 +139,7 @@ struct FleetResult {
   std::uint64_t fleet_chain = 0;
   std::uint64_t total_rounds = 0;
   std::uint64_t incremental_hits = 0;
+  std::uint64_t partial_rounds = 0;
   std::uint64_t failure_events = 0;
   std::uint64_t crawl_retained_events = 0;
   std::vector<InstanceResult> instances;
@@ -136,6 +148,16 @@ struct FleetResult {
     return total_rounds > 0
                ? static_cast<double>(incremental_hits) /
                      static_cast<double>(total_rounds)
+               : 0.0;
+  }
+  /// Fraction of the rounds that missed the memo but were still served by
+  /// the partial tier — how often "something changed" cost less than a
+  /// full re-solve (docs/SOLVERS.md).
+  double partial_hit_rate() const {
+    const std::uint64_t misses = total_rounds - incremental_hits;
+    return misses > 0
+               ? static_cast<double>(partial_rounds) /
+                     static_cast<double>(misses)
                : 0.0;
   }
   double crawl_retention_fraction() const {

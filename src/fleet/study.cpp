@@ -20,6 +20,8 @@ DeploymentStudy build_study(const FleetResult& fleet) {
   study.total_rounds = fleet.total_rounds;
   study.incremental_hits = fleet.incremental_hits;
   study.incremental_hit_rate = fleet.incremental_hit_rate();
+  study.partial_rounds = fleet.partial_rounds;
+  study.partial_hit_rate = fleet.partial_hit_rate();
   study.failure_events = fleet.failure_events;
   study.crawl_retained_events = fleet.crawl_retained_events;
   study.crawl_retention_fraction = fleet.crawl_retention_fraction();
@@ -86,7 +88,9 @@ std::string to_json(const DeploymentStudy& study) {
   out << "  \"delivered_fraction\": " << study.delivered_fraction << ",\n";
   out << "  \"total_rounds\": " << study.total_rounds << ",\n";
   out << "  \"incremental_hits\": " << study.incremental_hits << ",\n";
-  out << "  \"incremental_hit_rate\": " << study.incremental_hit_rate << "\n";
+  out << "  \"incremental_hit_rate\": " << study.incremental_hit_rate << ",\n";
+  out << "  \"partial_rounds\": " << study.partial_rounds << ",\n";
+  out << "  \"partial_hit_rate\": " << study.partial_hit_rate << "\n";
   out << "}\n";
   return out.str();
 }

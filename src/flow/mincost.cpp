@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/registry.hpp"
@@ -103,19 +104,33 @@ inline std::uint64_t mix64(std::uint64_t hash, std::uint64_t value) {
 
 std::uint64_t network_fingerprint(const ResidualNetwork& net, int source,
                                   int sink) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  hash = mix64(hash, net.node_count());
-  hash = mix64(hash, net.arc_count());
-  hash = mix64(hash, static_cast<std::uint64_t>(source));
-  hash = mix64(hash, static_cast<std::uint64_t>(sink));
+  return network_fingerprints(net, source, sink).exact;
+}
+
+NetworkFingerprints network_fingerprints(const ResidualNetwork& net,
+                                         int source, int sink) {
+  std::uint64_t exact = 0xcbf29ce484222325ULL;
+  std::uint64_t structural = 0x9e3779b97f4a7c15ULL;
+  const auto mix_both = [&](std::uint64_t value) {
+    exact = mix64(exact, value);
+    structural = mix64(structural, value);
+  };
+  mix_both(net.node_count());
+  mix_both(net.arc_count());
+  mix_both(static_cast<std::uint64_t>(source));
+  mix_both(static_cast<std::uint64_t>(sink));
   for (std::size_t arc = 0; arc < net.arc_count(); ++arc) {
     const int a = static_cast<int>(arc);
-    hash = mix64(hash, static_cast<std::uint64_t>(net.target(a)));
-    hash = mix64(hash, std::bit_cast<std::uint64_t>(net.residual(a)));
-    hash = mix64(hash, std::bit_cast<std::uint64_t>(net.cost(a)));
+    mix_both(static_cast<std::uint64_t>(net.target(a)));
+    // Residual magnitudes are the one input the structural fingerprint
+    // skips: equal structural fingerprints + differing residuals is the
+    // dirty-link perturbation the repair path handles.
+    exact = mix64(exact, std::bit_cast<std::uint64_t>(net.residual(a)));
+    mix_both(std::bit_cast<std::uint64_t>(net.cost(a)));
   }
-  // Reserve 0 as the "no recording" sentinel.
-  return hash == 0 ? 1 : hash;
+  // Reserve 0 as the "no recording" sentinel on both keys.
+  return NetworkFingerprints{exact == 0 ? 1 : exact,
+                             structural == 0 ? 1 : structural};
 }
 
 MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
@@ -135,14 +150,19 @@ MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
       obs::Registry::global().counter("solver.warm_starts");
   static auto& warm_misses =
       obs::Registry::global().counter("solver.warm_misses");
+  static auto& partial_repairs =
+      obs::Registry::global().counter("solver.partial_repairs");
+  static auto& partial_rollbacks =
+      obs::Registry::global().counter("solver.partial_rollbacks");
 
   // The fingerprint doubles as the warm-start key and the deterministic
   // fault key: it only depends on the solver inputs, never on scheduling,
   // so injected budgets hit the same solves at every pool size.
   const bool fault_armed = fault::Registry::global().armed();
-  std::uint64_t fingerprint = 0;
+  NetworkFingerprints prints;
   if (warm != nullptr || fault_armed)
-    fingerprint = network_fingerprint(net, source, sink);
+    prints = network_fingerprints(net, source, sink);
+  const std::uint64_t fingerprint = prints.exact;
   std::uint64_t budget = max_augmentations;
   if (fault_armed) {
     const fault::Action action = fault::at("flow.mincost", fingerprint);
@@ -158,6 +178,16 @@ MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
   bool budget_exhausted = false;
   bool replay_complete = false;  // replay alone satisfied this solve
   bool resumed = false;          // replay done, continue live from potentials
+
+  // Resets *warm to a fresh about-to-record state for this network.
+  const auto start_fresh_recording = [&]() {
+    warm->fingerprint = fingerprint;
+    warm->struct_fingerprint = prints.structural;
+    warm->initial_residuals = net.residuals();
+    warm->augmentations.clear();
+    warm->exhausted = false;
+    warm->final_potential.clear();
+  };
 
   if (warm != nullptr) {
     if (!warm->empty() && warm->fingerprint == fingerprint) {
@@ -212,12 +242,179 @@ MinCostFlowResult min_cost_max_flow(ResidualNetwork& net, int source,
         potential = warm->final_potential;
         resumed = true;
       }
+    } else if (!warm->empty() && warm->repairable() &&
+               warm->struct_fingerprint == prints.structural &&
+               warm->initial_residuals.size() == net.arc_count()) {
+      // ---- Partial repair: same structure/costs/terminals, perturbed
+      // residuals. Dijkstra over Johnson-reduced costs reads residual
+      // SUPPORT (residual > kFlowEps per arc), costs, structure and
+      // potentials — never residual magnitudes — so as long as the support
+      // pattern every recorded Dijkstra could have observed is unchanged,
+      // the cold solve on this network would choose the exact same
+      // augmenting paths. Replay them while tracking, in a shadow map, the
+      // recorded-trajectory residuals of every arc whose recorded and live
+      // trajectories may differ; verify support equality over that map
+      // before consuming each path. Any mismatch rolls the network back to
+      // the pre-repair snapshot and escalates to a cold solve.
+      const std::vector<double>& live0 = net.residuals();
+      const std::vector<double>& rec0 = warm->initial_residuals;
+      std::size_t dirty = 0;
+      for (std::size_t i = 0; i < live0.size(); ++i)
+        if (std::bit_cast<std::uint64_t>(live0[i]) !=
+            std::bit_cast<std::uint64_t>(rec0[i]))
+          ++dirty;
+      if (dirty == 0 ||
+          static_cast<double>(dirty) >
+              kMaxRepairDirtyFraction * static_cast<double>(net.arc_count())) {
+        // Too much of the network moved (or a fingerprint anomaly): the
+        // verification overhead would approach a cold solve — escalate.
+        warm_misses.add();
+        start_fresh_recording();
+      } else {
+        std::vector<double> snapshot = live0;  // rollback + new recording
+        std::unordered_map<int, double> shadow;
+        shadow.reserve(dirty * 4);
+        for (std::size_t i = 0; i < live0.size(); ++i)
+          if (std::bit_cast<std::uint64_t>(live0[i]) !=
+              std::bit_cast<std::uint64_t>(rec0[i]))
+            shadow.emplace(static_cast<int>(i), rec0[i]);
+        const auto support_equal = [&]() {
+          for (const auto& [arc, rec_res] : shadow)
+            if ((rec_res > kFlowEps) != (net.residual(arc) > kFlowEps))
+              return false;
+          return true;
+        };
+
+        bool diverged = false;
+        bool limit_bound = false;
+        std::size_t replayed = 0;
+        std::vector<double> live_bottlenecks;
+        live_bottlenecks.reserve(warm->augmentations.size());
+        for (const MinCostWarmStart::Augmentation& aug :
+             warm->augmentations) {
+          // Same check order as the cold loop (flow limit, then budget) so
+          // both bind at the same point with the same status.
+          if (!(result.flow + kFlowEps < flow_limit)) {
+            limit_bound = true;
+            break;
+          }
+          if (augmenting_paths >= budget) {
+            budget_exhausted = true;
+            break;
+          }
+          if (!support_equal()) {
+            diverged = true;
+            break;
+          }
+          // Live residual bottleneck along the recorded path (the recorded
+          // one may differ — residual magnitudes moved).
+          double residual_bottleneck = kInf;
+          for (int arc : aug.arcs)
+            residual_bottleneck =
+                std::min(residual_bottleneck, net.residual(arc));
+          const double bottleneck =
+              std::min(flow_limit - result.flow, residual_bottleneck);
+          // Support equality guarantees residual_bottleneck > kFlowEps
+          // (every recorded path arc has positive support), so a tiny
+          // bottleneck means the remaining limit binds — the cold break.
+          if (bottleneck <= kFlowEps) {
+            limit_bound = true;
+            break;
+          }
+          const bool divergent_amount =
+              std::bit_cast<std::uint64_t>(residual_bottleneck) !=
+              std::bit_cast<std::uint64_t>(aug.bottleneck);
+          for (int arc : aug.arcs) {
+            if (divergent_amount || shadow.contains(arc) ||
+                shadow.contains(arc ^ 1)) {
+              // This arc pair's recorded and live trajectories (now)
+              // differ: track the recorded side. A missing entry means the
+              // trajectories were equal until this push, so the live
+              // pre-push residual doubles as the recorded one.
+              double& fwd = shadow.try_emplace(arc, net.residual(arc))
+                                .first->second;
+              double& rev = shadow.try_emplace(arc ^ 1, net.residual(arc ^ 1))
+                                .first->second;
+              fwd -= aug.bottleneck;
+              if (fwd < 0.0) fwd = 0.0;  // mirror ResidualNetwork::push
+              rev += aug.bottleneck;
+            }
+            net.push(arc, bottleneck);
+          }
+          result.flow += bottleneck;
+          result.cost += bottleneck * aug.path_cost;
+          ++augmenting_paths;
+          ++replayed;
+          live_bottlenecks.push_back(residual_bottleneck);
+          if (bottleneck < residual_bottleneck) {  // limit truncated
+            limit_bound = true;
+            break;
+          }
+        }
+        if (!diverged && !budget_exhausted &&
+            !(result.flow + kFlowEps < flow_limit))
+          limit_bound = true;
+        const bool consumed_all = replayed == warm->augmentations.size();
+        bool exhausted_verified = false;
+        if (!diverged && consumed_all && warm->exhausted && !limit_bound &&
+            !budget_exhausted) {
+          // The recorded solve ended because the sink became unreachable —
+          // a support-determined outcome. One final check proves the same
+          // (failing) Dijkstra outcome here, i.e. true optimality.
+          if (support_equal())
+            exhausted_verified = true;
+          else
+            diverged = true;
+        }
+
+        if (diverged) {
+          partial_rollbacks.add();
+          warm_misses.add();
+          net.restore_residuals(std::move(snapshot));
+          result = MinCostFlowResult{};
+          augmenting_paths = 0;
+          budget_exhausted = false;
+          start_fresh_recording();
+        } else {
+          partial_repairs.add();
+          if (consumed_all && !limit_bound && !budget_exhausted) {
+            // Every recorded path was verified and replayed: rewrite the
+            // recording against this network (same paths and costs, live
+            // bottlenecks, this network's initial residuals). The recorded
+            // final_potential carries over — potentials after the last
+            // successful Dijkstra are identical by the support argument.
+            warm->fingerprint = fingerprint;
+            warm->initial_residuals = std::move(snapshot);
+            for (std::size_t t = 0; t < live_bottlenecks.size(); ++t)
+              warm->augmentations[t].bottleneck = live_bottlenecks[t];
+            warm->exhausted = exhausted_verified;
+            if (!exhausted_verified) {
+              // More flow requested than the recording covers: resume live
+              // SSP from the recorded potentials, extending the rewritten
+              // recording exactly as an exact-fingerprint resume would.
+              potential = warm->final_potential;
+              resumed = true;
+            } else {
+              replay_complete = true;
+              result.status = SolveStatus::kOptimal;
+            }
+          } else {
+            // The flow limit or budget bound the replay — possibly by
+            // truncating the final recorded augmentation, in which case
+            // consumed_all is true but the live pushes no longer reflect
+            // the limit-free trajectory. The result is already what the
+            // cold solve would return; leave the old network's recording
+            // untouched (its fingerprint no longer matches, so callers
+            // will not store it).
+            replay_complete = true;
+            if (!budget_exhausted)
+              result.status = SolveStatus::kFlowLimitReached;
+          }
+        }
+      }
     } else {
       warm_misses.add();
-      warm->fingerprint = fingerprint;
-      warm->augmentations.clear();
-      warm->exhausted = false;
-      warm->final_potential.clear();
+      start_fresh_recording();
     }
   }
 
@@ -322,19 +519,53 @@ std::shared_ptr<const MinCostWarmStart> WarmStartCache::find(
   return it == entries_.end() ? nullptr : it->second;
 }
 
+std::shared_ptr<const MinCostWarmStart> WarmStartCache::find_structural(
+    std::uint64_t struct_fingerprint) const {
+  std::uint64_t exact = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = structural_.find(struct_fingerprint);
+    if (it == structural_.end()) return nullptr;
+    exact = it->second;
+  }
+  // Same forced-miss fault keying as the exact lookup, so an injected
+  // invalidation cannot be resurrected through the structural index.
+  if (fault::at("cache.warm.find", exact)) return nullptr;
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(exact);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+void WarmStartCache::insert_locked(
+    std::shared_ptr<const MinCostWarmStart> recording) {
+  const std::uint64_t key = recording->fingerprint;
+  const std::uint64_t struct_key = recording->repairable()
+                                       ? recording->struct_fingerprint
+                                       : 0;
+  const auto [it, inserted] = entries_.insert_or_assign(key,
+                                                        std::move(recording));
+  (void)it;
+  if (struct_key != 0) structural_[struct_key] = key;
+  if (inserted) insertion_order_.push_back(key);
+  while (entries_.size() > max_entries_ && !insertion_order_.empty()) {
+    const std::uint64_t victim = insertion_order_.front();
+    insertion_order_.pop_front();
+    const auto entry = entries_.find(victim);
+    if (entry == entries_.end()) continue;
+    const std::uint64_t victim_struct = entry->second->struct_fingerprint;
+    entries_.erase(entry);
+    // The structural index must never point at an evicted recording.
+    const auto sit = structural_.find(victim_struct);
+    if (sit != structural_.end() && sit->second == victim)
+      structural_.erase(sit);
+  }
+}
+
 void WarmStartCache::store(
     std::shared_ptr<const MinCostWarmStart> recording) {
   RWC_EXPECTS(recording != nullptr && !recording->empty());
   std::lock_guard lock(mutex_);
-  const std::uint64_t key = recording->fingerprint;
-  const auto [it, inserted] = entries_.insert_or_assign(key,
-                                                        std::move(recording));
-  (void)it;
-  if (inserted) insertion_order_.push_back(key);
-  while (entries_.size() > max_entries_ && !insertion_order_.empty()) {
-    entries_.erase(insertion_order_.front());
-    insertion_order_.pop_front();
-  }
+  insert_locked(std::move(recording));
   // hits/misses are counted at the solver (solver.warm_*); the cache only
   // tracks occupancy.
 }
@@ -361,17 +592,10 @@ void WarmStartCache::restore(
   std::lock_guard lock(mutex_);
   entries_.clear();
   insertion_order_.clear();
+  structural_.clear();
   for (auto& recording : recordings) {
     if (recording == nullptr || recording->empty()) continue;
-    const std::uint64_t key = recording->fingerprint;
-    const auto [it, inserted] =
-        entries_.insert_or_assign(key, std::move(recording));
-    (void)it;
-    if (inserted) insertion_order_.push_back(key);
-    while (entries_.size() > max_entries_ && !insertion_order_.empty()) {
-      entries_.erase(insertion_order_.front());
-      insertion_order_.pop_front();
-    }
+    insert_locked(std::move(recording));
   }
 }
 

@@ -63,6 +63,26 @@ struct MinCostFlowResult {
 std::uint64_t network_fingerprint(const ResidualNetwork& net, int source,
                                   int sink);
 
+/// Exact + structural fingerprints, computed in one pass over the arcs.
+/// The structural fingerprint hashes everything the exact one does EXCEPT
+/// residual magnitudes: node/arc structure, per-arc targets, costs and
+/// terminals. Two networks with equal structural fingerprints differ (if at
+/// all) only in how much residual capacity each arc carries — exactly the
+/// perturbation a dirty-link round produces — which is what makes the
+/// partial-repair path below sound (docs/SOLVERS.md).
+struct NetworkFingerprints {
+  std::uint64_t exact = 0;
+  std::uint64_t structural = 0;
+};
+NetworkFingerprints network_fingerprints(const ResidualNetwork& net,
+                                         int source, int sink);
+
+/// Repair is only attempted while the dirty fraction (arcs whose initial
+/// residual differs from the recording's) stays at or below this bound;
+/// beyond it the verification overhead approaches a cold solve's cost and
+/// the solver escalates to a full solve instead (docs/SOLVERS.md).
+inline constexpr double kMaxRepairDirtyFraction = 0.25;
+
 /// Recording of one solve's augmenting-path sequence, replayable on a
 /// network with the same fingerprint. Value-semantic and cheap to copy
 /// relative to the solve it replaces.
@@ -86,7 +106,23 @@ struct MinCostWarmStart {
   /// Johnson potentials after the recorded solve's last Dijkstra.
   std::vector<double> final_potential;
 
+  /// Structural fingerprint (structure + costs + terminals, residual
+  /// magnitudes excluded) and the initial residuals the recording was made
+  /// against. Together they enable the partial-repair path: a solve whose
+  /// exact fingerprint misses but whose structural fingerprint matches can
+  /// diff its residuals against `initial_residuals` and replay the recorded
+  /// paths under support verification (see min_cost_max_flow). Zero /
+  /// empty on recordings restored from checkpoints — the fields are
+  /// deliberately never serialized (docs/REPLAY.md: warm bases are
+  /// observational; restored recordings are repair-ineligible, so the first
+  /// perturbed round after a restore solves cold).
+  std::uint64_t struct_fingerprint = 0;
+  std::vector<double> initial_residuals;
+
   bool empty() const { return fingerprint == 0; }
+  bool repairable() const {
+    return struct_fingerprint != 0 && !initial_residuals.empty();
+  }
 };
 
 /// Computes a minimum-cost maximum flow from source to sink (mutating
@@ -96,8 +132,21 @@ struct MinCostWarmStart {
 ///
 /// When `warm` is non-null: if it holds a recording matching this network,
 /// the solve replays it (bit-identical result, counted under
-/// solver.warm_starts); otherwise the solve runs cold and overwrites *warm
-/// with a fresh recording for next time.
+/// solver.warm_starts); if the recording matches structurally but not
+/// exactly and is repairable(), the solve attempts a PARTIAL REPAIR —
+/// replay the recorded augmenting paths on the perturbed residuals while
+/// verifying, before every path, that the support pattern (residual >
+/// kFlowEps per arc) any recorded Dijkstra could have observed is
+/// unchanged on the arcs whose residual trajectories may differ. Dijkstra
+/// over Johnson-reduced costs reads residual SUPPORT, costs, structure and
+/// potentials — never residual magnitudes — so verified support equality
+/// proves the cold path sequence on the perturbed network equals the
+/// recorded one, and the repaired result (flow, cost, status, final
+/// residuals) is bit-identical to a cold solve. On any verification
+/// failure the solver rolls the residuals back to the pre-repair snapshot
+/// and runs cold (counted under solver.partial_rollbacks; successful
+/// repairs under solver.partial_repairs). Otherwise the solve runs cold
+/// and overwrites *warm with a fresh recording for next time.
 ///
 /// `max_augmentations` bounds the augmenting-path count (replayed paths
 /// included); when it binds, the result carries
@@ -124,6 +173,13 @@ class WarmStartCache {
   std::shared_ptr<const MinCostWarmStart> find(
       std::uint64_t fingerprint) const;
 
+  /// The latest repairable recording whose structural fingerprint matches,
+  /// or nullptr. Feeds the partial-repair path on an exact-fingerprint
+  /// miss; recordings without repair data (struct_fingerprint == 0, e.g.
+  /// restored from a checkpoint) are never returned.
+  std::shared_ptr<const MinCostWarmStart> find_structural(
+      std::uint64_t struct_fingerprint) const;
+
   /// Stores (or refreshes) the recording under its own fingerprint.
   void store(std::shared_ptr<const MinCostWarmStart> recording);
 
@@ -141,11 +197,16 @@ class WarmStartCache {
       std::vector<std::shared_ptr<const MinCostWarmStart>> recordings);
 
  private:
+  void insert_locked(std::shared_ptr<const MinCostWarmStart> recording);
+
   mutable std::mutex mutex_;
   std::size_t max_entries_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const MinCostWarmStart>>
       entries_;
   std::deque<std::uint64_t> insertion_order_;  // FIFO eviction queue
+  /// struct fingerprint -> exact fingerprint of the latest repairable
+  /// recording with that structure; entries leave with their recordings.
+  std::unordered_map<std::uint64_t, std::uint64_t> structural_;
 };
 
 }  // namespace rwc::flow

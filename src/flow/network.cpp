@@ -36,6 +36,11 @@ void ResidualNetwork::push(int arc, double amount) {
 
 void ResidualNetwork::reset() { residuals_ = initial_; }
 
+void ResidualNetwork::restore_residuals(std::vector<double> residuals) {
+  RWC_EXPECTS(residuals.size() == residuals_.size());
+  residuals_ = std::move(residuals);
+}
+
 double ResidualNetwork::total_cost() const {
   double total = 0.0;
   for (std::size_t arc = 0; arc < targets_.size(); arc += 2) {

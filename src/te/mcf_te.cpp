@@ -56,19 +56,32 @@ FlowAssignment McfTe::solve(const graph::Graph& graph,
     }
     if (options_.warm_start) {
       // Exact record/replay keyed by the network fingerprint; replay is
-      // bit-identical to the cold solve (see flow/mincost.hpp).
-      const std::uint64_t fingerprint = flow::network_fingerprint(
+      // bit-identical to the cold solve (see flow/mincost.hpp). On an
+      // exact miss, a structurally matching recording (same arcs, costs,
+      // terminals; perturbed residuals — the dirty-link case) feeds the
+      // solver's verified partial-repair path instead of solving cold.
+      const flow::NetworkFingerprints prints = flow::network_fingerprints(
           net, demand.src.value, demand.dst.value);
-      const auto cached = warm_cache_.find(fingerprint);
+      auto cached = warm_cache_.find(prints.exact);
+      if (cached == nullptr && options_.partial_repair) {
+        cached = warm_cache_.find_structural(prints.structural);
+        // A structural hit that resolves to this exact network would turn
+        // a forced exact-miss into a replay; treat it as absent.
+        if (cached != nullptr && cached->fingerprint == prints.exact)
+          cached = nullptr;
+      }
       flow::MinCostWarmStart warm;
       if (cached != nullptr) warm = *cached;
       min_cost_max_flow(net, demand.src.value, demand.dst.value,
                         demand.volume.value, &warm);
-      // Re-store only when the recording is new or was extended by a
-      // resumed solve; a pure replay leaves it unchanged.
-      if (cached == nullptr ||
-          warm.augmentations.size() != cached->augmentations.size() ||
-          warm.exhausted != cached->exhausted) {
+      // Re-store when the recording now describes THIS network (cold
+      // re-record, verified repair, or resumed extension) and is new or
+      // changed; a pure replay and a prefix-bound repair (the recording
+      // still carries the old fingerprint) leave the cache untouched.
+      if (warm.fingerprint == prints.exact &&
+          (cached == nullptr || cached->fingerprint != prints.exact ||
+           warm.augmentations.size() != cached->augmentations.size() ||
+           warm.exhausted != cached->exhausted)) {
         warm_cache_.store(
             std::make_shared<flow::MinCostWarmStart>(std::move(warm)));
       }

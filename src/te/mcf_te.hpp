@@ -17,6 +17,7 @@
 
 #include "flow/mincost.hpp"
 #include "te/algorithm.hpp"
+#include "util/env.hpp"
 
 namespace rwc::te {
 
@@ -29,6 +30,11 @@ class McfTe final : public TeAlgorithm {
     /// cover a full round's demand count or cyclic FIFO thrash turns every
     /// repeat solve into a miss (docs/CONCURRENCY.md, "Warm starts").
     std::size_t warm_cache_entries = 8192;
+    /// On an exact-fingerprint miss, look up a structurally matching
+    /// recording and let the solver attempt a verified partial repair
+    /// (docs/SOLVERS.md). Bit-identical to a cold solve by construction;
+    /// RWC_PARTIAL_RESOLVE=0 flips the default off for bisection.
+    bool partial_repair = util::env_flag("RWC_PARTIAL_RESOLVE", true);
   };
 
   McfTe() : McfTe(Options{}) {}

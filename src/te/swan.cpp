@@ -105,6 +105,15 @@ FlowAssignment SwanTe::solve(const graph::Graph& graph,
   std::vector<int> x_of(static_cast<std::size_t>(n_vars));
   for (int v = 0; v < n_vars; ++v) x_of[static_cast<std::size_t>(v)] = v;
 
+  // Across controller rounds the LPs below differ from the previous
+  // round's only in rhs values (capacities, volumes, locked throughputs),
+  // which is exactly the perturbation the LP warm cache's verified pivot
+  // replay handles; results are bit-identical with or without the cache.
+  // (A locked throughput crossing zero flips that row's rhs sign and
+  // structurally misses — the solve just runs cold and re-records.)
+  lp::LpWarmCache* const lp_cache =
+      options_.warm_basis ? &lp_cache_ : nullptr;
+
   // Priority classes, high to low; each class's achieved throughput becomes
   // a >= constraint for later passes.
   std::set<int, std::greater<>> classes;
@@ -143,7 +152,7 @@ FlowAssignment SwanTe::solve(const graph::Graph& graph,
     }
     add_shared_constraints(maximize, graph, demands, shape, x_of);
     add_locked(maximize);
-    const auto max_solution = maximize.solve();
+    const auto max_solution = maximize.solve(lp_cache);
     RWC_CHECK_MSG(max_solution.optimal(), "SWAN throughput LP not optimal");
     locked.emplace_back(priority, max_solution.objective);
   }
@@ -154,7 +163,7 @@ FlowAssignment SwanTe::solve(const graph::Graph& graph,
     minimize.add_variable(shape.variables[static_cast<std::size_t>(v)].cost);
   add_shared_constraints(minimize, graph, demands, shape, x_of);
   add_locked(minimize);
-  auto solution = minimize.solve();
+  auto solution = minimize.solve(lp_cache);
   RWC_CHECK_MSG(solution.optimal(), "SWAN cost LP not optimal");
 
   if (options_.max_min_fairness) {
@@ -184,7 +193,7 @@ FlowAssignment SwanTe::solve(const graph::Graph& graph,
         }
       }
       if (!any_unfrozen) break;
-      const auto fair_solution = fair.solve();
+      const auto fair_solution = fair.solve(lp_cache);
       if (!fair_solution.optimal()) break;
       const double t_star =
           fair_solution.values[static_cast<std::size_t>(t)];

@@ -7,7 +7,9 @@
 #pragma once
 
 #include "graph/path_cache.hpp"
+#include "lp/simplex.hpp"
 #include "te/algorithm.hpp"
+#include "util/env.hpp"
 
 namespace rwc::te {
 
@@ -23,6 +25,13 @@ class SwanTe final : public TeAlgorithm {
     /// only on weights, never capacities, so cached results are identical
     /// to recomputation; the cache only saves time (docs/CONCURRENCY.md).
     bool use_path_cache = true;
+    /// Warm-start every LP solve from the previous round's pivot recording
+    /// (lp::LpWarmCache). Across rounds the SWAN LPs are rhs-only
+    /// perturbations of each other (capacities, volumes, locked
+    /// throughputs), so the verified pivot replay applies and results stay
+    /// bit-identical to cold solves (docs/SOLVERS.md).
+    /// RWC_PARTIAL_RESOLVE=0 flips the default off for bisection.
+    bool warm_basis = util::env_flag("RWC_PARTIAL_RESOLVE", true);
   };
 
   SwanTe() : options_{} {}
@@ -38,10 +47,17 @@ class SwanTe final : public TeAlgorithm {
   /// definition identical to recomputation.
   graph::PathCache& path_cache() const { return path_cache_; }
 
+  /// The LP warm-basis cache. Deliberately NOT checkpointed: warm bases
+  /// are observational, so after a restore the first solves run cold and
+  /// re-record (docs/REPLAY.md). Mutating it only changes timing.
+  lp::LpWarmCache& lp_cache() const { return lp_cache_; }
+
  private:
   Options options_;
   /// Tunnel precomputation cache; thread-safe, shared across solves.
   mutable graph::PathCache path_cache_;
+  /// Pivot recordings keyed by LP structure; thread-safe, timing-only.
+  mutable lp::LpWarmCache lp_cache_;
 };
 
 }  // namespace rwc::te

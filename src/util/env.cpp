@@ -1,0 +1,20 @@
+#include "util/env.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace rwc::util {
+
+bool env_flag(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+  std::string value(raw);
+  for (char& c : value)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (value == "0" || value == "false" || value == "off" || value == "no")
+    return false;
+  return true;
+}
+
+}  // namespace rwc::util

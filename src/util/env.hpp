@@ -1,0 +1,16 @@
+// Tiny environment-variable helpers for runtime escape hatches. Keep the
+// set small: every flag read here must be documented (README "escape
+// hatches") because env-dependent behavior is invisible in configs.
+#pragma once
+
+namespace rwc::util {
+
+/// True unless `name` is set to an explicit "off" value ("0", "false",
+/// "off", "no", case-insensitive); `fallback` when unset or empty. Any
+/// other non-empty value reads as true, so RWC_X=1 and RWC_X=yes both
+/// enable. Reads the environment on every call — callers on hot paths
+/// should latch the result once (the flags gate behavior chosen at
+/// engine-construction time, never per solve).
+bool env_flag(const char* name, bool fallback);
+
+}  // namespace rwc::util

@@ -73,6 +73,42 @@ TEST(PropFleet, IncrementalEqualsFullUnderFaultPlans) {
   }
 }
 
+TEST(PropFleet, PartialTierEqualsColdSolversUnderFaultPlans) {
+  // The solver ladder's middle rung (docs/SOLVERS.md) on randomized
+  // fleets: with the partial tier on, every fleet chain — under a
+  // randomized parallel-keyed fault plan — equals the cold-solver run.
+  // Diurnal demands make the tier's residual-only perturbation case occur.
+  for (const std::uint64_t seed : prop::sweep_seeds({9, 27})) {
+    util::Rng rng = util::Rng::stream(seed, 503);
+    FleetConfig base = random_fleet(seed, rng);
+    base.diurnal = true;
+    const fault::FaultPlan plan =
+        prop::random_fault_plan(prop::degrading_sites(), rng, seed);
+    prop::expect_property(
+        seed, plan, [&](const fault::FaultPlan& active) {
+          const auto run = [&](bool partial) {
+            FleetConfig config = base;
+            config.partial = partial;
+            fault::ScopedPlan armed(active);
+            return fleet::run_fleet(config);
+          };
+          const FleetResult cold = run(false);
+          const FleetResult partial = run(true);
+          if (cold.fleet_chain != partial.fleet_chain)
+            return prop::InvariantResult::fail(
+                "fleet chain diverged: cold vs partial tier under plan \"" +
+                active.to_string() + "\"");
+          for (std::size_t i = 0; i < cold.instances.size(); ++i)
+            if (cold.instances[i].signature_chain !=
+                partial.instances[i].signature_chain)
+              return prop::InvariantResult::fail(
+                  "instance " + std::to_string(i) + " diverged under plan \"" +
+                  active.to_string() + "\"");
+          return prop::InvariantResult::pass();
+        });
+  }
+}
+
 TEST(PropFleet, FleetChainInvariantToShardsAndPools) {
   for (const std::uint64_t seed : prop::sweep_seeds({7, 21})) {
     util::Rng rng = util::Rng::stream(seed, 501);

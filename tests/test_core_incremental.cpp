@@ -199,6 +199,122 @@ TEST(CoreIncremental, ZeroHeadroomRoundsHitImmediately) {
   }
 }
 
+TEST(CoreIncremental, SingleLinkSnrShiftDirtiesExactlyThatLink) {
+  // The finest-grained perturbation the paper's traces produce: one link's
+  // SNR crosses a modulation threshold. The augment diff must mark exactly
+  // that link and RoundStats must report the matching dirty fraction.
+  graph::Graph base = sim::fig7_square();
+  te::McfTe engine;
+  DynamicCapacityController incremental(
+      base, optical::ModulationTable::standard(), engine,
+      incremental_options());
+  DynamicCapacityController full(base, optical::ModulationTable::standard(),
+                                 engine, full_options());
+  const te::TrafficMatrix demands = {
+      {*base.find_node("A"), *base.find_node("B"), 150_Gbps, 0}};
+
+  std::vector<Db> snr = uniform_snr(base, 20.0);
+  step_pair(incremental, full, snr, demands, "warm 0");
+  step_pair(incremental, full, snr, demands, "warm 1");
+  auto report = step_pair(incremental, full, snr, demands, "warm 2");
+  ASSERT_TRUE(report.stats.incremental_hit);
+  EXPECT_EQ(report.stats.dirty_fraction, 0.0);
+
+  // Drop one link below the 200 G threshold: its feasible rate (and only
+  // its) changes, so the memo misses with a single dirty link.
+  snr[0] = Db{12.0};
+  report = step_pair(incremental, full, snr, demands, "single-link shift");
+  EXPECT_FALSE(report.stats.incremental_hit);
+  EXPECT_EQ(report.stats.dirty_links, 1u);
+  EXPECT_EQ(report.stats.dirty_fraction,
+            1.0 / static_cast<double>(base.edge_count()));
+
+  // Every link shifted (including the already-degraded one): the
+  // fraction saturates at 1.
+  report = step_pair(incremental, full, uniform_snr(base, 6.5), demands,
+                     "all-links shift");
+  EXPECT_FALSE(report.stats.incremental_hit);
+  EXPECT_EQ(report.stats.dirty_fraction, 1.0);
+}
+
+TEST(CoreIncremental, PartialResolveFlagTracksSolverTierOnDemandShift) {
+  // Two overlapping demands: changing the first demand's volume leaves the
+  // topology (and so every arc cost) untouched, but shifts the residuals
+  // the SECOND demand's solve starts from — exactly the dirty-subgraph
+  // case the solver's partial tier serves. The round must stay
+  // bit-identical to the full twin and report partial_resolve.
+  graph::Graph base = sim::fig7_square();
+  te::McfTe engine;
+  DynamicCapacityController incremental(
+      base, optical::ModulationTable::standard(), engine,
+      incremental_options());
+  DynamicCapacityController full(base, optical::ModulationTable::standard(),
+                                 engine, full_options());
+  const NodeId a = *base.find_node("A");
+  const NodeId b = *base.find_node("B");
+  const std::vector<Db> snr = uniform_snr(base, 20.0);
+
+  te::TrafficMatrix demands = {{a, b, 150_Gbps, 1}, {a, b, 120_Gbps, 0}};
+  // Two overlapping demands take a few rounds to reach the fixed point
+  // (upgrades feed the traffic-proportional penalty feeds the augment).
+  DynamicCapacityController::RoundReport report;
+  for (int round = 0; round < 8 && !report.stats.incremental_hit; ++round)
+    report = step_pair(incremental, full, snr, demands,
+                       "warm " + std::to_string(round));
+  ASSERT_TRUE(report.stats.incremental_hit);
+  EXPECT_FALSE(report.stats.partial_resolve);
+
+  demands[0].volume = 140_Gbps;
+  report = step_pair(incremental, full, snr, demands, "demand shift");
+  EXPECT_FALSE(report.stats.incremental_hit);
+  EXPECT_EQ(report.stats.dirty_links, 0u);
+  EXPECT_TRUE(report.stats.partial_resolve);
+}
+
+TEST(CoreIncremental, RestoreThenPartialRoundStaysBitIdentical) {
+  // Warm caches are observational and never checkpointed: after a
+  // save/restore round-trip the first round runs fully cold, and the
+  // partial tier must re-form from the fresh recordings — with every
+  // round still bit-identical to the always-full twin.
+  graph::Graph base = sim::fig7_square();
+  te::McfTe::Options cold_after_restore;
+  te::McfTe engine(cold_after_restore);
+  DynamicCapacityController incremental(
+      base, optical::ModulationTable::standard(), engine,
+      incremental_options());
+  DynamicCapacityController full(base, optical::ModulationTable::standard(),
+                                 engine, full_options());
+  const NodeId a = *base.find_node("A");
+  const NodeId b = *base.find_node("B");
+  const NodeId c = *base.find_node("C");
+  const std::vector<Db> snr = uniform_snr(base, 20.0);
+
+  // Distinct terminals: the two demands' per-demand networks never share a
+  // structural fingerprint, so a cold-cache round has nothing to repair
+  // (same-terminal demands would partially reuse each other within one
+  // round — also sound, but not what this test isolates).
+  te::TrafficMatrix demands = {{a, b, 150_Gbps, 1}, {c, b, 120_Gbps, 0}};
+  DynamicCapacityController::RoundReport report;
+  for (int round = 0; round < 8 && !report.stats.incremental_hit; ++round)
+    report = step_pair(incremental, full, snr, demands,
+                       "warm " + std::to_string(round));
+  ASSERT_TRUE(report.stats.incremental_hit);
+
+  // Restore drops the controller memo; the engine's warm cache is reset
+  // the way rwc::replay does on restore (docs/REPLAY.md).
+  incremental.restore_state(incremental.save_state());
+  engine.warm_cache().restore({});
+  report = step_pair(incremental, full, snr, demands, "post-restore");
+  EXPECT_FALSE(report.stats.incremental_hit);
+  EXPECT_FALSE(report.stats.partial_resolve);
+
+  step_pair(incremental, full, snr, demands, "re-warm");
+  demands[0].volume = 140_Gbps;
+  report = step_pair(incremental, full, snr, demands, "partial after restore");
+  EXPECT_FALSE(report.stats.incremental_hit);
+  EXPECT_TRUE(report.stats.partial_resolve);
+}
+
 TEST(CoreIncremental, AugmentRejectsZeroHeadroomVariableLink) {
   // Algorithm 1's precondition: a variable link must offer strictly more
   // than its current capacity. A zero-headroom "upgrade" is a contract

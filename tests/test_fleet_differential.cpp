@@ -67,19 +67,24 @@ InstanceFixture make_instance_fixture(std::uint64_t seed,
 struct ArmResult {
   std::vector<prop::RoundSignature> signatures;
   std::vector<bool> hits;
+  std::vector<bool> partials;
   std::uint64_t chain = 0;
 };
 
-ArmResult run_arm(const InstanceFixture& fixture, bool incremental) {
+ArmResult run_arm(const InstanceFixture& fixture, bool incremental,
+                  bool partial = true) {
   ReplayConfig config = fixture.config;
   config.incremental = incremental;
-  te::McfTe engine;
+  te::McfTe::Options options;
+  options.partial_repair = partial;
+  te::McfTe engine(options);
   ReplayDriver driver(fixture.topology, engine, fixture.demands, config);
   ArmResult result;
   while (!driver.done()) {
     const auto report = driver.step();
     result.signatures.push_back(prop::signature_of(report));
     result.hits.push_back(report.stats.incremental_hit);
+    result.partials.push_back(report.stats.partial_resolve);
   }
   result.chain = driver.signature_chain();
   return result;
@@ -142,6 +147,65 @@ TEST(FleetDifferential, IncrementalMatchesFullUnderFaultPlans) {
   expect_arms_equal(full, incremental, "faulted instance");
 }
 
+TEST(FleetDifferential, PartialTierMatchesColdSolversOnEveryRound) {
+  // Diurnal scaling shifts demand volumes every round while the topology
+  // (and so every arc cost) stays put on most rounds: the exact memo
+  // misses but later demands see residual-only perturbations — the
+  // partial tier's case. Its rounds must be bit-identical to the same
+  // rounds with the tier disabled and to full re-solves.
+  for (const std::uint64_t seed : {11u, 23u}) {
+    InstanceFixture fixture = make_instance_fixture(seed, 24);
+    fixture.config.diurnal = true;
+    const ArmResult cold = run_arm(fixture, false, false);
+    const ArmResult no_partial = run_arm(fixture, true, false);
+    const ArmResult partial = run_arm(fixture, true, true);
+    expect_arms_equal(cold, no_partial,
+                      "seed " + std::to_string(seed) + ", partial off");
+    expect_arms_equal(cold, partial,
+                      "seed " + std::to_string(seed) + ", partial on");
+    // The comparison only means something if the tier actually fired.
+    EXPECT_NE(std::count(partial.partials.begin(), partial.partials.end(),
+                         true),
+              0)
+        << "seed " << seed << ": no partial re-solve in 24 diurnal rounds";
+    EXPECT_EQ(std::count(no_partial.partials.begin(),
+                         no_partial.partials.end(), true),
+              0)
+        << "seed " << seed;
+  }
+}
+
+TEST(FleetDifferential, PartialTierMatchesUnderFaultPlans) {
+  // Same parallel-keyed plan discipline as the incremental test: budget
+  // faults truncate solves mid-flight and garbage faults shift the SNR
+  // inputs, and the partial tier must stay bit-identical through both.
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  fault::Injection snr_garbage;
+  snr_garbage.site = "core.snr";
+  snr_garbage.period = 3;
+  snr_garbage.hit = 1;
+  snr_garbage.action.kind = fault::Kind::kGarbage;
+  plan.injections.push_back(snr_garbage);
+  fault::Injection mincost_budget;
+  mincost_budget.site = "flow.mincost";
+  mincost_budget.period = 2;
+  mincost_budget.hit = 0;
+  mincost_budget.action.kind = fault::Kind::kBudget;
+  mincost_budget.action.magnitude = 12.0;
+  plan.injections.push_back(mincost_budget);
+
+  InstanceFixture fixture = make_instance_fixture(31, 20);
+  fixture.config.diurnal = true;
+  const auto faulted_arm = [&](bool partial) {
+    fault::ScopedPlan armed(plan);
+    return run_arm(fixture, true, partial);
+  };
+  const ArmResult without = faulted_arm(false);
+  const ArmResult with = faulted_arm(true);
+  expect_arms_equal(without, with, "faulted instance, partial tier");
+}
+
 TEST(FleetDifferential, FleetChainInvariantToShardsAndPoolSizes) {
   const FleetConfig base = small_fleet(101);
   const FleetResult reference = fleet::run_fleet(base);
@@ -176,6 +240,49 @@ TEST(FleetDifferential, FleetChainInvariantToIncrementalFlag) {
   EXPECT_GT(incremental.incremental_hits, 0u)
       << "hot path never fired across "
       << incremental.total_rounds << " fleet rounds";
+}
+
+TEST(FleetDifferential, FleetChainInvariantToPartialFlag) {
+  // The fleet-level statement of the solver ladder's contract: enabling
+  // the partial tier changes work counters only, never the fleet chain.
+  // Both engines are covered so the mincost repair AND the LP pivot-replay
+  // paths cross the fleet determinism bar — each under the perturbation
+  // its tier serves. For mcf, diurnal demands shift residuals while costs
+  // stay put. For swan, stable demands with SNR-driven capacity flips keep
+  // the maximize LP's structure fixed with rhs-only movement (diurnal
+  // traffic would shift the penalty-derived objective coefficients every
+  // round and structurally miss).
+  for (const fleet::EngineKind engine :
+       {fleet::EngineKind::kMcf, fleet::EngineKind::kSwan}) {
+    FleetConfig config = small_fleet(505);
+    config.instances = 3;
+    config.engine = engine;
+    config.diurnal = engine == fleet::EngineKind::kMcf;
+    if (engine == fleet::EngineKind::kSwan) config.rounds = 24;
+    config.partial = true;
+    const FleetResult partial = fleet::run_fleet(config);
+    config.partial = false;
+    const FleetResult cold = fleet::run_fleet(config);
+    const char* name = engine == fleet::EngineKind::kMcf ? "mcf" : "swan";
+    EXPECT_EQ(partial.fleet_chain, cold.fleet_chain) << name;
+    EXPECT_EQ(cold.partial_rounds, 0u) << name;
+    EXPECT_GT(partial.partial_rounds, 0u)
+        << name << ": partial tier never fired across "
+        << partial.total_rounds << " fleet rounds";
+
+    // The partial tier must also be invariant to execution parallelism:
+    // engine caches are shared across a pool's workers, so a lost or
+    // reordered recording store may change which rounds repair — never
+    // what they compute.
+    for (const std::size_t pool_threads : {1u, 2u, 8u}) {
+      exec::ThreadPool pool(pool_threads);
+      FleetConfig pooled = config;
+      pooled.partial = true;
+      pooled.pool = &pool;
+      EXPECT_EQ(fleet::run_fleet(pooled).fleet_chain, cold.fleet_chain)
+          << name << " pool=" << pool_threads;
+    }
+  }
 }
 
 TEST(FleetDifferential, InstanceSlotsMatchDirectRuns) {

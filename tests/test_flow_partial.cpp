@@ -1,0 +1,385 @@
+// Partial repair of warm-started min-cost flow (docs/SOLVERS.md): a solve
+// whose network matches a recording structurally but not exactly (dirty
+// residuals) replays the recorded augmenting paths under support
+// verification. Every outcome — verified repair, rollback to cold,
+// escalation on a too-dirty network — must be bit-identical to a cold
+// solve on the perturbed network, including the final residuals.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "flow/mincost.hpp"
+#include "flow/network.hpp"
+#include "graph/graph.hpp"
+#include "obs/registry.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::flow {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint64_t counter_value(const char* name) {
+  return obs::Registry::global().counter(name).value();
+}
+
+/// Two disjoint 0 -> 3 routes — 0-1-3 (cheap) and 0-2-3 (pricier) — plus a
+/// 1 -> 2 decoy arc no min-cost path ever uses. Arc pair indices: 0/1 =
+/// 0->1, 2/3 = 1->3, 4/5 = 0->2, 6/7 = 2->3, 8/9 = decoy.
+ResidualNetwork diamond(double cap01 = 10.0, double decoy_cap = 10.0) {
+  ResidualNetwork net(4);
+  net.add_arc(0, 1, cap01, 1.0);
+  net.add_arc(1, 3, 10.0, 1.0);
+  net.add_arc(0, 2, 10.0, 2.0);
+  net.add_arc(2, 3, 10.0, 2.0);
+  net.add_arc(1, 2, decoy_cap, 100.0);
+  return net;
+}
+
+/// Same structure as `base` would have, with selected arcs' initial
+/// residuals overwritten — the dirty-link perturbation.
+ResidualNetwork perturb(ResidualNetwork net,
+                        const std::vector<std::pair<int, double>>& changes) {
+  std::vector<double> residuals = net.residuals();
+  for (const auto& [arc, value] : changes)
+    residuals[static_cast<std::size_t>(arc)] = value;
+  net.restore_residuals(std::move(residuals));
+  return net;
+}
+
+std::vector<double> arc_flows(const ResidualNetwork& net) {
+  std::vector<double> flows;
+  for (int arc = 0; arc < static_cast<int>(net.arc_count()); arc += 2)
+    flows.push_back(net.flow(arc));
+  return flows;
+}
+
+void expect_bit_identical(const ResidualNetwork& a, const ResidualNetwork& b,
+                          const MinCostFlowResult& ra,
+                          const MinCostFlowResult& rb) {
+  EXPECT_EQ(ra.flow, rb.flow);
+  EXPECT_EQ(ra.cost, rb.cost);
+  EXPECT_EQ(ra.status, rb.status);
+  ASSERT_EQ(a.arc_count(), b.arc_count());
+  EXPECT_EQ(a.residuals(), b.residuals());  // full state, not just flows
+  EXPECT_EQ(arc_flows(a), arc_flows(b));
+}
+
+TEST(MinCostPartial, StructuralFingerprintIgnoresResidualsOnly) {
+  const ResidualNetwork a = diamond(10.0);
+  const ResidualNetwork b = diamond(8.0);  // same structure, dirty capacity
+  const auto fa = network_fingerprints(a, 0, 3);
+  const auto fb = network_fingerprints(b, 0, 3);
+  EXPECT_EQ(fa.structural, fb.structural);
+  EXPECT_NE(fa.exact, fb.exact);
+  EXPECT_EQ(fa.exact, network_fingerprint(a, 0, 3));
+
+  // Costs, structure and terminals all break the structural match.
+  ResidualNetwork costs(4);
+  costs.add_arc(0, 1, 10.0, 1.5);
+  costs.add_arc(1, 3, 10.0, 1.0);
+  costs.add_arc(0, 2, 10.0, 2.0);
+  costs.add_arc(2, 3, 10.0, 2.0);
+  costs.add_arc(1, 2, 10.0, 100.0);
+  EXPECT_NE(network_fingerprints(costs, 0, 3).structural, fa.structural);
+  EXPECT_NE(network_fingerprints(a, 0, 2).structural, fa.structural);
+}
+
+TEST(MinCostPartial, RepairOfUntouchedDirtyArcMatchesColdBitwise) {
+  // The decoy arc is dirty but never on an augmenting path: support stays
+  // equal throughout, so the repair replays to a verified-optimal end.
+  ResidualNetwork record_net = diamond();
+  MinCostWarmStart warm;
+  min_cost_max_flow(record_net, 0, 3, kInf, &warm);
+  ASSERT_TRUE(warm.exhausted);
+  ASSERT_TRUE(warm.repairable());
+
+  ResidualNetwork cold_net = perturb(diamond(), {{8, 7.0}});
+  const auto cold = min_cost_max_flow(cold_net, 0, 3);
+
+  const std::uint64_t repairs_before = counter_value("solver.partial_repairs");
+  ResidualNetwork repair_net = perturb(diamond(), {{8, 7.0}});
+  const auto repaired = min_cost_max_flow(repair_net, 0, 3, kInf, &warm);
+  expect_bit_identical(cold_net, repair_net, cold, repaired);
+  EXPECT_EQ(counter_value("solver.partial_repairs"), repairs_before + 1);
+  // The recording was rewritten against the perturbed network and stays
+  // verified-complete: a replay on the same perturbed network is exact.
+  const ResidualNetwork fresh = perturb(diamond(), {{8, 7.0}});
+  EXPECT_EQ(warm.fingerprint, network_fingerprint(fresh, 0, 3));
+  EXPECT_TRUE(warm.exhausted);
+  ResidualNetwork replay_net = perturb(diamond(), {{8, 7.0}});
+  const auto replayed = min_cost_max_flow(replay_net, 0, 3, kInf, &warm);
+  expect_bit_identical(cold_net, replay_net, cold, replayed);
+}
+
+TEST(MinCostPartial, RepairWithDivergentBottleneckMatchesColdBitwise) {
+  // Shrinking both arcs of the 0->2->3 path equally leaves every support
+  // decision identical while the last augmentation's bottleneck shrinks
+  // from 10 to 9: a genuine repair with a divergent amount, and the final
+  // saturation pattern still matches the recorded one, so exhaustion
+  // verifies without a live Dijkstra.
+  ResidualNetwork record_net = diamond();
+  MinCostWarmStart warm;
+  min_cost_max_flow(record_net, 0, 3, kInf, &warm);
+
+  ResidualNetwork cold_net = perturb(diamond(), {{4, 9.0}, {6, 9.0}});
+  const auto cold = min_cost_max_flow(cold_net, 0, 3);
+
+  const std::uint64_t repairs_before = counter_value("solver.partial_repairs");
+  ResidualNetwork repair_net = perturb(diamond(), {{4, 9.0}, {6, 9.0}});
+  const auto repaired = min_cost_max_flow(repair_net, 0, 3, kInf, &warm);
+  expect_bit_identical(cold_net, repair_net, cold, repaired);
+  EXPECT_EQ(counter_value("solver.partial_repairs"), repairs_before + 1);
+  // Rewritten in place: new fingerprint, live (9.0) bottleneck, exhaustion
+  // verified — an exact replay on the perturbed network follows.
+  const ResidualNetwork fresh = perturb(diamond(), {{4, 9.0}, {6, 9.0}});
+  EXPECT_EQ(warm.fingerprint, network_fingerprint(fresh, 0, 3));
+  EXPECT_TRUE(warm.exhausted);
+  ResidualNetwork replay_net = perturb(diamond(), {{4, 9.0}, {6, 9.0}});
+  const auto replayed = min_cost_max_flow(replay_net, 0, 3, kInf, &warm);
+  expect_bit_identical(cold_net, replay_net, cold, replayed);
+}
+
+TEST(MinCostPartial, AsymmetricShrinkRollsBackConservatively) {
+  // Shrinking only 0->2 leaves a one-unit sliver on 2->3 after the replay,
+  // flipping that arc's support versus the recorded (saturated) pattern.
+  // The exhaustion check cannot prove optimality from support alone, so
+  // the repair rolls back and solves cold — still bit-identical.
+  ResidualNetwork record_net = diamond();
+  MinCostWarmStart warm;
+  min_cost_max_flow(record_net, 0, 3, kInf, &warm);
+
+  ResidualNetwork cold_net = perturb(diamond(), {{4, 9.0}});
+  const auto cold = min_cost_max_flow(cold_net, 0, 3);
+
+  const std::uint64_t rollbacks_before =
+      counter_value("solver.partial_rollbacks");
+  ResidualNetwork repair_net = perturb(diamond(), {{4, 9.0}});
+  const auto repaired = min_cost_max_flow(repair_net, 0, 3, kInf, &warm);
+  expect_bit_identical(cold_net, repair_net, cold, repaired);
+  EXPECT_EQ(counter_value("solver.partial_rollbacks"), rollbacks_before + 1);
+}
+
+TEST(MinCostPartial, SaturatedDirtyLinkRollsBackToColdBitwise) {
+  // The dirty link drops to zero capacity: its support flips, the
+  // before-path verification fails, and the solver must roll the residuals
+  // back and solve cold — still bit-identical to a never-warm cold solve.
+  ResidualNetwork record_net = diamond();
+  MinCostWarmStart warm;
+  min_cost_max_flow(record_net, 0, 3, kInf, &warm);
+
+  ResidualNetwork cold_net = perturb(diamond(), {{0, 0.0}});
+  const auto cold = min_cost_max_flow(cold_net, 0, 3);
+
+  const std::uint64_t rollbacks_before =
+      counter_value("solver.partial_rollbacks");
+  ResidualNetwork repair_net = perturb(diamond(), {{0, 0.0}});
+  const auto result = min_cost_max_flow(repair_net, 0, 3, kInf, &warm);
+  expect_bit_identical(cold_net, repair_net, cold, result);
+  EXPECT_EQ(counter_value("solver.partial_rollbacks"), rollbacks_before + 1);
+  // The rollback re-recorded the perturbed network; it replays exactly.
+  const ResidualNetwork fresh = perturb(diamond(), {{0, 0.0}});
+  EXPECT_EQ(warm.fingerprint, network_fingerprint(fresh, 0, 3));
+}
+
+TEST(MinCostPartial, FullyDirtyNetworkEscalatesToColdSolve) {
+  // Every link dirty (100% of forward arcs, beyond kMaxRepairDirtyFraction
+  // of all arcs): the repair tier must escalate to a full solve without
+  // attempting a replay.
+  ResidualNetwork record_net = diamond();
+  MinCostWarmStart warm;
+  min_cost_max_flow(record_net, 0, 3, kInf, &warm);
+
+  const std::vector<std::pair<int, double>> everything{
+      {0, 11.0}, {2, 12.0}, {4, 13.0}, {6, 14.0}, {8, 15.0}};
+  ResidualNetwork cold_net = perturb(diamond(), everything);
+  const auto cold = min_cost_max_flow(cold_net, 0, 3);
+
+  const std::uint64_t repairs_before = counter_value("solver.partial_repairs");
+  const std::uint64_t rollbacks_before =
+      counter_value("solver.partial_rollbacks");
+  const std::uint64_t misses_before = counter_value("solver.warm_misses");
+  ResidualNetwork escalate_net = perturb(diamond(), everything);
+  const auto result = min_cost_max_flow(escalate_net, 0, 3, kInf, &warm);
+  expect_bit_identical(cold_net, escalate_net, cold, result);
+  EXPECT_EQ(counter_value("solver.partial_repairs"), repairs_before);
+  EXPECT_EQ(counter_value("solver.partial_rollbacks"), rollbacks_before);
+  EXPECT_EQ(counter_value("solver.warm_misses"), misses_before + 1);
+}
+
+TEST(MinCostPartial, RepairHonorsFlowLimitAndKeepsRecordingIntact) {
+  // A flow limit that binds mid-replay: the repair truncates exactly where
+  // a cold limited solve would, and leaves the recording describing the
+  // ORIGINAL network (the caller must not store it for the perturbed one).
+  ResidualNetwork record_net = diamond();
+  MinCostWarmStart warm;
+  min_cost_max_flow(record_net, 0, 3, kInf, &warm);
+  const std::uint64_t recorded_fingerprint = warm.fingerprint;
+
+  for (double limit : {2.5, 10.0, 12.0}) {
+    ResidualNetwork cold_net = perturb(diamond(), {{8, 6.0}});
+    const auto cold = min_cost_max_flow(cold_net, 0, 3, limit);
+
+    ResidualNetwork repair_net = perturb(diamond(), {{8, 6.0}});
+    MinCostWarmStart repair_warm = warm;  // keep the original intact
+    const auto repaired =
+        min_cost_max_flow(repair_net, 0, 3, limit, &repair_warm);
+    expect_bit_identical(cold_net, repair_net, cold, repaired);
+    EXPECT_EQ(repaired.status, SolveStatus::kFlowLimitReached);
+    EXPECT_EQ(repair_warm.fingerprint, recorded_fingerprint);
+  }
+}
+
+TEST(MinCostPartial, RepairOfTruncatedRecordingResumesLiveSsp) {
+  // Record WITH a limit (recording not exhausted), then repair on a dirty
+  // network asking for everything: replay the prefix, then resume live
+  // SSP from the recorded potentials — bit-identical to cold throughout.
+  ResidualNetwork record_net = diamond();
+  MinCostWarmStart warm;
+  min_cost_max_flow(record_net, 0, 3, 10.0, &warm);
+  ASSERT_FALSE(warm.exhausted);
+
+  ResidualNetwork cold_net = perturb(diamond(), {{8, 4.0}});
+  const auto cold = min_cost_max_flow(cold_net, 0, 3);
+
+  const std::uint64_t repairs_before = counter_value("solver.partial_repairs");
+  ResidualNetwork repair_net = perturb(diamond(), {{8, 4.0}});
+  const auto repaired = min_cost_max_flow(repair_net, 0, 3, kInf, &warm);
+  expect_bit_identical(cold_net, repair_net, cold, repaired);
+  EXPECT_EQ(counter_value("solver.partial_repairs"), repairs_before + 1);
+  // The resumed solve extended the recording to completion for the
+  // perturbed network.
+  EXPECT_TRUE(warm.exhausted);
+  const ResidualNetwork fresh = perturb(diamond(), {{8, 4.0}});
+  EXPECT_EQ(warm.fingerprint, network_fingerprint(fresh, 0, 3));
+}
+
+TEST(MinCostPartial, RecordingWithoutRepairDataRunsCold) {
+  // A recording stripped of its repair fields — exactly what a
+  // checkpoint-restored recording looks like (docs/REPLAY.md) — must never
+  // feed the repair path: structural match or not, the solve runs cold.
+  ResidualNetwork record_net = diamond();
+  MinCostWarmStart warm;
+  min_cost_max_flow(record_net, 0, 3, kInf, &warm);
+  warm.struct_fingerprint = 0;
+  warm.initial_residuals.clear();
+  ASSERT_FALSE(warm.repairable());
+
+  ResidualNetwork cold_net = perturb(diamond(), {{8, 7.0}});
+  const auto cold = min_cost_max_flow(cold_net, 0, 3);
+
+  const std::uint64_t repairs_before = counter_value("solver.partial_repairs");
+  const std::uint64_t misses_before = counter_value("solver.warm_misses");
+  ResidualNetwork miss_net = perturb(diamond(), {{8, 7.0}});
+  const auto result = min_cost_max_flow(miss_net, 0, 3, kInf, &warm);
+  expect_bit_identical(cold_net, miss_net, cold, result);
+  EXPECT_EQ(counter_value("solver.partial_repairs"), repairs_before);
+  EXPECT_EQ(counter_value("solver.warm_misses"), misses_before + 1);
+  // The cold re-record regains repair eligibility for future rounds.
+  EXPECT_TRUE(warm.repairable());
+}
+
+TEST(WarmStartCacheStructural, IndexFindsLatestAndFollowsEviction) {
+  WarmStartCache cache(2);
+  auto make = [](std::uint64_t exact, std::uint64_t structural) {
+    auto recording = std::make_shared<MinCostWarmStart>();
+    recording->fingerprint = exact;
+    recording->struct_fingerprint = structural;
+    recording->initial_residuals = {1.0};
+    return recording;
+  };
+  cache.store(make(1, 100));
+  ASSERT_NE(cache.find_structural(100), nullptr);
+  EXPECT_EQ(cache.find_structural(100)->fingerprint, 1u);
+
+  // A newer recording with the same structure wins the index.
+  cache.store(make(2, 100));
+  EXPECT_EQ(cache.find_structural(100)->fingerprint, 2u);
+
+  // FIFO eviction of a recording removes its structural entry.
+  cache.store(make(3, 300));
+  cache.store(make(4, 400));  // evicts exact=1 then exact=2
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_EQ(cache.find_structural(100), nullptr);
+  ASSERT_NE(cache.find_structural(300), nullptr);
+  ASSERT_NE(cache.find_structural(400), nullptr);
+}
+
+TEST(WarmStartCacheStructural, NonRepairableRecordingsAreNotIndexed) {
+  WarmStartCache cache(4);
+  auto recording = std::make_shared<MinCostWarmStart>();
+  recording->fingerprint = 7;
+  recording->struct_fingerprint = 700;
+  // No initial_residuals: restored-from-checkpoint shape.
+  cache.store(std::move(recording));
+  EXPECT_NE(cache.find(7), nullptr);
+  EXPECT_EQ(cache.find_structural(700), nullptr);
+}
+
+TEST(McfTePartial, PerturbedRoundMatchesColdEngineExactly) {
+  // End-to-end through the TE engine: after a round on the base graph, a
+  // round on a one-edge-perturbed graph takes the structural-repair path
+  // and must route every demand exactly like an engine with the partial
+  // tier disabled (which itself matches a cold engine).
+  util::Rng topo_rng = util::Rng::stream(23, 0);
+  const graph::Graph base = sim::waxman(16, topo_rng);
+  util::Rng demand_rng = util::Rng::stream(23, 1);
+  sim::GravityParams gravity;
+  gravity.total = util::Gbps{base.total_capacity().value / 3.0};
+  gravity.sparsity = 0.85;
+  const te::TrafficMatrix demands =
+      sim::gravity_matrix(base, gravity, demand_rng);
+
+  graph::Graph perturbed;
+  for (graph::NodeId node : base.node_ids())
+    perturbed.add_node(base.node_name(node));
+  for (graph::EdgeId edge : base.edge_ids()) {
+    const graph::Edge& e = base.edge(edge);
+    const util::Gbps capacity =
+        edge.value == 0 ? util::Gbps{e.capacity.value * 0.75} : e.capacity;
+    perturbed.add_edge(e.src, e.dst, capacity, e.cost, e.weight);
+  }
+
+  te::McfTe::Options no_partial;
+  no_partial.partial_repair = false;
+  const te::McfTe plain_engine(no_partial);
+  const te::McfTe partial_engine;  // partial_repair defaults on
+
+  // Round 1 (identical graphs) seeds both engines' caches.
+  (void)plain_engine.solve(base, demands);
+  (void)partial_engine.solve(base, demands);
+
+  const std::uint64_t activity_before =
+      counter_value("solver.partial_repairs") +
+      counter_value("solver.partial_rollbacks");
+  const auto plain = plain_engine.solve(perturbed, demands);
+  const auto partial = partial_engine.solve(perturbed, demands);
+  // The perturbed first-demand network is a 1-arc dirty diff against the
+  // cached recording, so the partial tier must have engaged.
+  EXPECT_GT(counter_value("solver.partial_repairs") +
+                counter_value("solver.partial_rollbacks"),
+            activity_before);
+
+  ASSERT_EQ(partial.total_routed.value, plain.total_routed.value);
+  ASSERT_EQ(partial.edge_load_gbps, plain.edge_load_gbps);
+  ASSERT_EQ(partial.routings.size(), plain.routings.size());
+  for (std::size_t d = 0; d < partial.routings.size(); ++d) {
+    ASSERT_EQ(partial.routings[d].paths.size(),
+              plain.routings[d].paths.size());
+    for (std::size_t p = 0; p < partial.routings[d].paths.size(); ++p) {
+      EXPECT_EQ(partial.routings[d].paths[p].second.value,
+                plain.routings[d].paths[p].second.value);
+      EXPECT_EQ(partial.routings[d].paths[p].first.edges,
+                plain.routings[d].paths[p].first.edges);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rwc::flow
