@@ -1,0 +1,459 @@
+// Always-on control-plane serving loop (rwc::serve): concurrent
+// snapshot-read throughput against a live round cadence (docs/SERVE.md;
+// EXPERIMENTS.md "Always-on serving").
+//
+//   serve_loop [rounds] [--selfcheck] [--soak] [--json <path>]
+//
+// Default mode drives a ServeService with producer threads streaming
+// telemetry and reader threads snapshotting the current PlanEpoch
+// wait-free, and reports epoch-read QPS, read-latency quantiles and
+// rounds/sec under churn.
+//
+// --selfcheck turns the bench into the PR's proof obligation:
+//   A. determinism over the ingest log — a live concurrent run's recorded
+//      log, replayed on fresh services at pool sizes {1, 2, 8}, must
+//      reproduce the live signature chain bit-for-bit;
+//   B. no torn epochs — every snapshot taken while publications race must
+//      satisfy PlanEpoch::consistent() and observe monotone epoch numbers;
+//   C. wait-free readers — with a `serve.publish` stall fault arming a
+//      300 ms writer-side delay, readers must keep completing snapshots
+//      throughout the stall with p99 far below the stall duration.
+//
+// --soak is the kill/restore self-check drill (nightly `ctest -L soak`):
+// reference run, then kill + restore-from-checkpoint, then restore with
+// the newest checkpoint corrupted (replay.restore fault) so the store
+// falls back one file. Any chain divergence exits non-zero.
+// RWC_SOAK_ROUNDS overrides the horizon for quick local drills.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exec/rcu.hpp"
+#include "exec/thread_pool.hpp"
+#include "fault/registry.hpp"
+#include "obs/timer.hpp"
+#include "replay/checkpoint.hpp"
+#include "serve/service.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using rwc::serve::IngestEvent;
+using rwc::serve::IngestType;
+using rwc::serve::PlanEpoch;
+using rwc::serve::ServeConfig;
+using rwc::serve::ServeService;
+
+struct Fleet {
+  rwc::graph::Graph topology;
+  rwc::te::TrafficMatrix demands;
+};
+
+Fleet make_fleet() {
+  rwc::util::Rng topo_rng = rwc::util::Rng::stream(rwc::bench::kFleetSeed, 0);
+  Fleet fleet{rwc::sim::waxman(12, topo_rng), {}};
+  rwc::util::Rng demand_rng =
+      rwc::util::Rng::stream(rwc::bench::kFleetSeed, 1);
+  rwc::sim::GravityParams gravity;
+  gravity.total =
+      rwc::util::Gbps{fleet.topology.total_capacity().value * 0.4};
+  fleet.demands = rwc::sim::gravity_matrix(fleet.topology, gravity, demand_rng);
+  return fleet;
+}
+
+ServeConfig make_config() {
+  ServeConfig config;
+  config.seed = rwc::bench::kFleetSeed;
+  config.hysteresis = rwc::core::HysteresisParams{};
+  return config;
+}
+
+/// Deterministic synthetic telemetry for round `round`: a pure function of
+/// (seed, round), so the soak drills can re-feed the exact schedule to a
+/// reference, a doomed and a resumed service.
+std::vector<IngestEvent> schedule_batch(std::uint64_t seed,
+                                        std::uint64_t round,
+                                        std::size_t edges,
+                                        std::size_t demands) {
+  rwc::util::Rng rng = rwc::util::Rng::stream(seed, 0x1000 + round);
+  std::vector<IngestEvent> batch;
+  const int snr_samples = static_cast<int>(rng.uniform_int(1, 6));
+  for (int i = 0; i < snr_samples; ++i) {
+    IngestEvent event;
+    event.type = IngestType::kSnr;
+    event.index = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(edges) - 1));
+    event.value = rng.uniform(4.0, 20.0);  // walks links across the ladder
+    batch.push_back(event);
+  }
+  if (demands > 0 && rng.bernoulli(0.3)) {
+    IngestEvent event;
+    event.type = IngestType::kDemand;
+    event.index = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(demands) - 1));
+    event.value = rng.uniform(0.0, 60.0);
+    batch.push_back(event);
+  }
+  return batch;
+}
+
+/// One concurrent reader: snapshots epochs in a tight loop until `stop`,
+/// asserting consistency + monotonicity, timing each read.
+struct ReaderStats {
+  std::uint64_t reads = 0;
+  std::uint64_t torn = 0;
+  std::uint64_t went_backwards = 0;
+  double max_seconds = 0.0;
+};
+
+void reader_loop(ServeService& service, std::atomic<bool>& stop,
+                 rwc::obs::Histogram& latency, ReaderStats& stats) {
+  rwc::exec::RcuReader reader(service.rcu_domain());
+  std::uint64_t last_epoch = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const rwc::obs::StopWatch watch;
+    rwc::exec::RcuGuard<PlanEpoch> epoch(service.epoch_cell(), reader);
+    if (epoch) {
+      if (!epoch->consistent()) ++stats.torn;
+      if (epoch->epoch < last_epoch) ++stats.went_backwards;
+      last_epoch = epoch->epoch;
+    }
+    const double seconds = watch.seconds();
+    latency.observe(seconds);
+    stats.max_seconds = std::max(stats.max_seconds, seconds);
+    ++stats.reads;
+  }
+}
+
+/// One concurrent producer: streams jittered SNR samples as fast as the
+/// queue accepts them (arrival order deliberately racy).
+void producer_loop(ServeService& service, std::atomic<bool>& stop,
+                   std::uint64_t stream) {
+  rwc::util::Rng rng =
+      rwc::util::Rng::stream(rwc::bench::kFleetSeed, 0x2000 + stream);
+  const std::size_t edges = service.link_snr().size();
+  while (!stop.load(std::memory_order_relaxed)) {
+    IngestEvent event;
+    event.type = IngestType::kSnr;
+    event.index = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(edges) - 1));
+    event.value = rng.uniform(4.0, 20.0);
+    service.queue().offer(event);
+    std::this_thread::yield();
+  }
+}
+
+/// Runs `rounds` live rounds with `readers` reader threads and `producers`
+/// producer threads; returns aggregated reader stats. The service outlives
+/// the threads; `latency` collects per-read seconds.
+ReaderStats run_concurrent(ServeService& service, std::uint64_t rounds,
+                           std::size_t readers, std::size_t producers,
+                           rwc::obs::Histogram& latency,
+                           double* rounds_seconds = nullptr) {
+  std::atomic<bool> stop{false};
+  std::vector<ReaderStats> stats(readers);
+  std::vector<std::thread> threads;
+  threads.reserve(readers + producers);
+  for (std::size_t r = 0; r < readers; ++r)
+    threads.emplace_back(reader_loop, std::ref(service), std::ref(stop),
+                         std::ref(latency), std::ref(stats[r]));
+  for (std::size_t p = 0; p < producers; ++p)
+    threads.emplace_back(producer_loop, std::ref(service), std::ref(stop),
+                         static_cast<std::uint64_t>(p));
+
+  const rwc::obs::StopWatch watch;
+  for (std::uint64_t round = 0; round < rounds; ++round) service.step();
+  if (rounds_seconds != nullptr) *rounds_seconds = watch.seconds();
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) thread.join();
+
+  ReaderStats total;
+  for (const ReaderStats& s : stats) {
+    total.reads += s.reads;
+    total.torn += s.torn;
+    total.went_backwards += s.went_backwards;
+    total.max_seconds = std::max(total.max_seconds, s.max_seconds);
+  }
+  return total;
+}
+
+int run_perf(std::uint64_t rounds) {
+  const Fleet fleet = make_fleet();
+  const rwc::te::McfTe engine;
+  ServeService service(fleet.topology, engine, fleet.demands, make_config());
+
+  auto& registry = rwc::obs::Registry::global();
+  rwc::obs::Histogram& latency = registry.histogram("serve.read.seconds");
+
+  double rounds_seconds = 0.0;
+  const ReaderStats stats = run_concurrent(
+      service, rounds, /*readers=*/4, /*producers=*/2, latency,
+      &rounds_seconds);
+
+  rwc::bench::print_header("Serve loop: wait-free reads under churn");
+  std::printf("%-28s %llu\n", "rounds",
+              static_cast<unsigned long long>(rounds));
+  std::printf("%-28s %.1f\n", "rounds/sec",
+              rounds_seconds > 0.0
+                  ? static_cast<double>(rounds) / rounds_seconds
+                  : 0.0);
+  std::printf("%-28s %llu\n", "epoch reads",
+              static_cast<unsigned long long>(stats.reads));
+  std::printf("%-28s %.0f\n", "read QPS",
+              rounds_seconds > 0.0
+                  ? static_cast<double>(stats.reads) / rounds_seconds
+                  : 0.0);
+  std::printf("%-28s %.2f us\n", "read p50", latency.quantile(0.5) * 1e6);
+  std::printf("%-28s %.2f us\n", "read p99", latency.quantile(0.99) * 1e6);
+  std::printf("%-28s %.2f us\n", "read max", stats.max_seconds * 1e6);
+  std::printf("%-28s %llu\n", "torn epochs",
+              static_cast<unsigned long long>(stats.torn));
+  std::printf("%-28s %llu\n", "ingest offered",
+              static_cast<unsigned long long>(service.queue().offered()));
+  std::printf("%-28s %llu\n", "ingest dropped",
+              static_cast<unsigned long long>(service.queue().dropped()));
+  std::printf("%-28s %llu\n", "epochs published",
+              static_cast<unsigned long long>(service.epochs_published()));
+  std::printf("%-28s %llu\n", "rcu deferred frees",
+              static_cast<unsigned long long>(
+                  registry.counter("exec.rcu.retired").value() -
+                  registry.counter("exec.rcu.reclaimed").value()));
+  return stats.torn == 0 ? 0 : 1;
+}
+
+/// Selfcheck legs A+B: live concurrent run, then log replay at pool sizes
+/// {1, 2, 8}.
+bool selfcheck_determinism(const Fleet& fleet,
+                           const rwc::te::TeAlgorithm& engine,
+                           std::uint64_t rounds) {
+  auto& registry = rwc::obs::Registry::global();
+  rwc::obs::Histogram& latency =
+      registry.histogram("serve.selfcheck.read.seconds");
+
+  ServeService live(fleet.topology, engine, fleet.demands, make_config());
+  const ReaderStats stats =
+      run_concurrent(live, rounds, /*readers=*/4, /*producers=*/2, latency);
+
+  bool ok = true;
+  std::printf("%-28s reads %llu torn %llu backwards %llu\n", "live run",
+              static_cast<unsigned long long>(stats.reads),
+              static_cast<unsigned long long>(stats.torn),
+              static_cast<unsigned long long>(stats.went_backwards));
+  if (stats.torn != 0 || stats.went_backwards != 0) {
+    std::fprintf(stderr, "selfcheck: torn/regressing epochs observed\n");
+    ok = false;
+  }
+  if (live.log().rounds() != rounds) {
+    std::fprintf(stderr, "selfcheck: log holds %zu rounds, expected %llu\n",
+                 live.log().rounds(),
+                 static_cast<unsigned long long>(rounds));
+    ok = false;
+  }
+
+  for (const std::size_t pool_size : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+    rwc::exec::ThreadPool pool(pool_size);
+    ServeConfig config = make_config();
+    config.pool = &pool;
+    ServeService replayed(fleet.topology, engine, fleet.demands, config);
+    for (std::size_t round = 0; round < live.log().rounds(); ++round)
+      replayed.step(live.log().batch(round));
+    const bool match = replayed.signature_chain() == live.signature_chain();
+    std::printf("%-28s pool=%zu chain %s\n", "log replay",
+                pool_size, match ? "MATCH" : "MISMATCH");
+    if (!match) {
+      std::fprintf(stderr,
+                   "selfcheck: replay pool=%zu chain %016llx != live "
+                   "%016llx\n",
+                   pool_size,
+                   static_cast<unsigned long long>(
+                       replayed.signature_chain()),
+                   static_cast<unsigned long long>(live.signature_chain()));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Selfcheck leg C: a writer-side publication stall must be invisible to
+/// the read path — readers keep snapshotting the previous epoch wait-free.
+bool selfcheck_stalled_publish(const Fleet& fleet,
+                               const rwc::te::TeAlgorithm& engine) {
+  constexpr double kStallSeconds = 0.3;
+  auto& registry = rwc::obs::Registry::global();
+  rwc::obs::Histogram& latency =
+      registry.histogram("serve.stall.read.seconds");
+
+  ServeService service(fleet.topology, engine, fleet.demands, make_config());
+  service.step();  // publish epoch 1 so readers have something to hold
+
+  // Stall every publication from here on (round 2 onward: hit 1+).
+  rwc::fault::ScopedPlan plan(rwc::fault::FaultPlan::parse(
+      "serve.publish%1@0:stall=" + std::to_string(kStallSeconds)));
+
+  std::atomic<bool> stop{false};
+  ReaderStats stats;
+  std::thread reader(reader_loop, std::ref(service), std::ref(stop),
+                     std::ref(latency), std::ref(stats));
+  for (int round = 0; round < 3; ++round) service.step();  // ~0.9 s stalled
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const double p99 = latency.quantile(0.99);
+  // Readers must have made continuous progress across ~3 stalled
+  // publications, and no single read may come anywhere near the stall.
+  const bool progressed = stats.reads > 1000;
+  const bool unaffected = p99 < kStallSeconds / 2.0 &&
+                          stats.max_seconds < kStallSeconds / 2.0;
+  std::printf("%-28s reads %llu p99 %.2f us max %.2f us (stall %.0f ms)\n",
+              "stalled publish", static_cast<unsigned long long>(stats.reads),
+              p99 * 1e6, stats.max_seconds * 1e6, kStallSeconds * 1e3);
+  if (!progressed)
+    std::fprintf(stderr,
+                 "selfcheck: readers starved during stalled publish\n");
+  if (!unaffected)
+    std::fprintf(stderr,
+                 "selfcheck: read latency tracked the writer stall\n");
+  return progressed && unaffected && stats.torn == 0;
+}
+
+int run_selfcheck(std::uint64_t rounds) {
+  const Fleet fleet = make_fleet();
+  const rwc::te::McfTe engine;
+  rwc::bench::print_header("Serve loop selfcheck");
+  bool ok = selfcheck_determinism(fleet, engine, rounds);
+  ok &= selfcheck_stalled_publish(fleet, engine);
+  std::printf("\nselfcheck: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+/// Scratch checkpoint directory, removed on destruction.
+struct ScratchStore {
+  std::filesystem::path dir;
+  rwc::replay::CheckpointStore store;
+  explicit ScratchStore(const std::string& tag)
+      : dir(std::filesystem::temp_directory_path() /
+            ("rwc-serve-loop-" + tag + "-" +
+             std::to_string(static_cast<unsigned>(::getpid())))),
+        store((std::filesystem::remove_all(dir), dir), /*keep=*/3) {}
+  ~ScratchStore() { std::filesystem::remove_all(dir); }
+};
+
+/// Feeds the deterministic schedule for rounds [service.round(), rounds).
+void run_schedule(ServeService& service, std::uint64_t rounds) {
+  const std::size_t edges = service.link_snr().size();
+  const std::size_t demands = service.demands().size();
+  while (service.round() < rounds)
+    service.step(schedule_batch(rwc::bench::kFleetSeed, service.round(),
+                                edges, demands));
+}
+
+/// One recovery drill: kill at `kill_round`, restore from the store
+/// (optionally corrupting the newest checkpoint first), finish on the same
+/// deterministic schedule, compare chains.
+bool drill(const Fleet& fleet, const rwc::te::TeAlgorithm& engine,
+           const ServeConfig& config, std::uint64_t rounds,
+           std::uint64_t reference_chain, std::uint64_t kill_round,
+           bool corrupt_newest, const char* label) {
+  ScratchStore scratch(label);
+  {
+    ServeService doomed(fleet.topology, engine, fleet.demands, config);
+    doomed.set_checkpoint_store(&scratch.store);
+    run_schedule(doomed, kill_round);  // "crash": destroyed mid-horizon
+  }
+  ServeService resumed(fleet.topology, engine, fleet.demands, config);
+  rwc::replay::Error error;
+  if (corrupt_newest) {
+    // The newest file arrives truncated exactly once; restore_latest must
+    // reject it and fall back to the previous checkpoint.
+    rwc::fault::ScopedPlan plan(
+        rwc::fault::FaultPlan::parse("replay.restore@0:drop"));
+    error = resumed.restore_latest(scratch.store);
+  } else {
+    error = resumed.restore_latest(scratch.store);
+  }
+  if (error != rwc::replay::Error::kNone) {
+    std::fprintf(stderr, "%s: restore_latest failed: %s\n", label,
+                 rwc::replay::to_string(error));
+    return false;
+  }
+  const std::uint64_t resumed_from = resumed.round();
+  run_schedule(resumed, rounds);
+  const bool ok = resumed.signature_chain() == reference_chain;
+  std::printf("%-28s killed@%llu resumed@%llu chain %s\n", label,
+              static_cast<unsigned long long>(kill_round),
+              static_cast<unsigned long long>(resumed_from),
+              ok ? "MATCH" : "MISMATCH");
+  if (!ok)
+    std::fprintf(stderr, "%s: resumed chain %016llx != reference %016llx\n",
+                 label,
+                 static_cast<unsigned long long>(resumed.signature_chain()),
+                 static_cast<unsigned long long>(reference_chain));
+  return ok;
+}
+
+int run_soak(std::uint64_t rounds) {
+  if (const char* env = std::getenv("RWC_SOAK_ROUNDS")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) rounds = static_cast<std::uint64_t>(parsed);
+  }
+  const Fleet fleet = make_fleet();
+  const rwc::te::McfTe engine;
+  ServeConfig config = make_config();
+  // Several snapshots per horizon however short the run, so both drills
+  // always have an older file to fall back to.
+  config.checkpoint_every = std::max<std::uint64_t>(1, rounds / 6);
+
+  rwc::bench::print_header("Serve soak: kill / restore / verify");
+  ServeService reference(fleet.topology, engine, fleet.demands, config);
+  run_schedule(reference, rounds);
+  std::printf("%-28s %llu rounds, chain %016llx\n", "reference",
+              static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(reference.signature_chain()));
+
+  const std::uint64_t kill_round =
+      std::min(rounds - 1, config.checkpoint_every * 2 + 17);
+  bool ok = drill(fleet, engine, config, rounds,
+                  reference.signature_chain(), kill_round,
+                  /*corrupt_newest=*/false, "kill-restore");
+  ok &= drill(fleet, engine, config, rounds, reference.signature_chain(),
+              kill_round, /*corrupt_newest=*/true, "corrupt-fallback");
+  std::printf("\nsoak: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rwc::bench::JsonExportGuard json_guard(argc, argv);
+  bool selfcheck = false;
+  bool soak = false;
+  std::uint64_t rounds = 64;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selfcheck") {
+      selfcheck = true;
+    } else if (arg == "--soak") {
+      soak = true;
+    } else if (const long long parsed = std::atoll(arg.c_str());
+               parsed > 0) {
+      rounds = static_cast<std::uint64_t>(parsed);
+    }
+  }
+  if (soak) return run_soak(std::max<std::uint64_t>(rounds, 48));
+  if (selfcheck) return run_selfcheck(std::min<std::uint64_t>(rounds, 24));
+  return run_perf(rounds);
+}

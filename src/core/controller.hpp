@@ -190,6 +190,12 @@ class DynamicCapacityController {
   /// Physical topology with the currently configured capacities.
   graph::Graph current_topology() const;
   util::Gbps configured_capacity(graph::EdgeId edge) const;
+  /// All configured capacities, indexed by edge id — the epoch-publication
+  /// hook (rwc::serve): building a PlanEpoch copies this span once instead
+  /// of issuing edge_count bounds-checked per-edge lookups.
+  std::span<const util::Gbps> configured_capacities() const {
+    return configured_;
+  }
   const te::FlowAssignment& last_assignment() const {
     return last_assignment_;
   }

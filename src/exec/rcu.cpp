@@ -1,0 +1,123 @@
+#include "exec/rcu.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/registry.hpp"
+
+namespace rwc::exec {
+
+namespace {
+
+/// Handles into the global registry (docs/OBSERVABILITY.md: exec.rcu.*).
+/// Writer-side only — the read path touches no shared instrument.
+struct RcuMetrics {
+  obs::Counter& retired;
+  obs::Counter& reclaimed;
+  obs::Counter& synchronizes;
+
+  static RcuMetrics& instance() {
+    static auto& registry = obs::Registry::global();
+    static RcuMetrics metrics{
+        registry.counter("exec.rcu.retired"),
+        registry.counter("exec.rcu.reclaimed"),
+        registry.counter("exec.rcu.synchronizes"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+RcuDomain::RcuDomain(std::size_t max_readers) {
+  RWC_EXPECTS(max_readers > 0);
+  slots_.reserve(max_readers);
+  for (std::size_t i = 0; i < max_readers; ++i)
+    slots_.push_back(std::make_unique<Slot>());
+}
+
+RcuDomain::~RcuDomain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RWC_EXPECTS(registered_ == 0);
+  for (const Retired& entry : retired_) entry.deleter(entry.object);
+  retired_.clear();
+}
+
+std::size_t RcuDomain::registered_readers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registered_;
+}
+
+std::size_t RcuDomain::deferred() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return retired_.size();
+}
+
+RcuDomain::Slot* RcuDomain::register_reader() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& slot : slots_) {
+    if (!slot->in_use) {
+      slot->in_use = true;
+      ++registered_;
+      return slot.get();
+    }
+  }
+  RWC_CHECK_MSG(false, "RcuDomain reader capacity exhausted");
+  return nullptr;
+}
+
+void RcuDomain::unregister_reader(Slot* slot) {
+  // A destructing reader must have released its snapshot; clearing the
+  // announcement here would hide that bug, so check instead.
+  RWC_EXPECTS(slot->announce.load(std::memory_order_relaxed) == kQuiescent);
+  std::lock_guard<std::mutex> lock(mutex_);
+  slot->in_use = false;
+  --registered_;
+  // A departing reader can be the last thing delaying a grace period.
+  reclaim_locked();
+}
+
+void RcuDomain::retire(void* object, void (*deleter)(void*),
+                       std::uint64_t tag) {
+  retired_.push_back(Retired{object, deleter, tag});
+  RcuMetrics::instance().retired.add();
+}
+
+std::uint64_t RcuDomain::min_announcement() const {
+  std::uint64_t min = kQuiescent;
+  for (const auto& slot : slots_)
+    min = std::min(min, slot->announce.load(std::memory_order_seq_cst));
+  return min;
+}
+
+void RcuDomain::reclaim_locked() {
+  // An object retired at tag t was unreachable from the moment version
+  // became t, and any reader still holding it announced < t. So once every
+  // active announcement is >= t (or no reader is active), t is safe.
+  const std::uint64_t min = min_announcement();
+  auto keep = retired_.begin();
+  for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+    if (it->tag <= min) {
+      it->deleter(it->object);
+      RcuMetrics::instance().reclaimed.add();
+    } else {
+      *keep++ = *it;
+    }
+  }
+  retired_.erase(keep, retired_.end());
+}
+
+void RcuDomain::synchronize() {
+  RcuMetrics::instance().synchronizes.add();
+  const std::uint64_t target = version_.load(std::memory_order_seq_cst);
+  // Wait until no active reader's announcement predates `target`: every
+  // object retired at or before the current version is then free-able.
+  for (;;) {
+    if (min_announcement() >= target) break;
+    std::this_thread::yield();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  reclaim_locked();
+}
+
+}  // namespace rwc::exec

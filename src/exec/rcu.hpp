@@ -1,0 +1,242 @@
+// RCU-style epoch publication (rwc::exec).
+//
+// The read-side primitive behind rwc::serve's snapshot path: a single
+// writer publishes immutable objects through one atomic pointer swap, and
+// any number of registered readers acquire the current object WAIT-FREE —
+// an acquire is one announcement store, one fence and one pointer load,
+// with no CAS loop, no lock and no shared-counter contention. Reclamation
+// is grace-period based: a retired object is freed only once every active
+// reader has announced a version at or past the retirement, so a reader
+// can hold a snapshot for arbitrarily long without ever blocking the
+// writer (the writer just keeps the garbage until the reader quiesces).
+//
+// Protocol (the classic asymmetric Dekker pattern, docs/CONCURRENCY.md):
+//
+//   reader acquire:                 writer publish:
+//     a = version   (seq_cst)         swap current   (seq_cst)
+//     slot = a      (seq_cst)         version = v+1  (seq_cst)
+//     load current  (seq_cst)         retire old @ tag v+1
+//                                     free retired with tag <= min slot
+//
+// With seq_cst on both sides, either the writer's scan sees the reader's
+// announcement (and keeps the object), or the reader's pointer load sees
+// the new object (and never touches the retired one). An object's retire
+// tag is the version that replaced it, and any reader that could still
+// hold it announced a strictly smaller version — so "free tag t when every
+// active announcement is >= t" never frees live memory.
+//
+// Single-writer contract: publish/synchronize must not race each other
+// (RcuDomain serializes them with an internal mutex, so multiple writers
+// are safe but will contend; the intended use is one publisher thread).
+// tests/test_exec_rcu.cpp proves reclamation and safety; the TSan CI job
+// runs the serve stress suite (tests/serve/) over this code.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rwc::exec {
+
+/// Reader registry + grace-period tracker. One domain can protect any
+/// number of RcuCell<T>s that share its readers (rwc::serve uses one per
+/// service). max_readers is a hard capacity: registration beyond it
+/// throws, so the read path never needs a resizable (lock-guarded)
+/// structure.
+class RcuDomain {
+ public:
+  explicit RcuDomain(std::size_t max_readers = 256);
+  RcuDomain(const RcuDomain&) = delete;
+  RcuDomain& operator=(const RcuDomain&) = delete;
+  /// Frees everything still retired. Callers must have dropped every
+  /// guard and destroyed every cell first (checked).
+  ~RcuDomain();
+
+  std::size_t max_readers() const { return slots_.size(); }
+  std::size_t registered_readers() const;
+
+  /// Current publication version (starts at 1; each publish increments).
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_seq_cst);
+  }
+
+  /// Number of retired-but-not-yet-freed objects (writer-side telemetry).
+  std::size_t deferred() const;
+
+  /// Blocks (spin + yield) until every reader active at call time has
+  /// quiesced past the current version, then frees all retired objects.
+  /// Writer-side only.
+  void synchronize();
+
+ private:
+  friend class RcuReader;
+  template <typename T>
+  friend class RcuCell;
+
+  struct alignas(64) Slot {
+    /// kQuiescent, or the version announced by the occupying reader.
+    std::atomic<std::uint64_t> announce{kQuiescent};
+    /// Managed under mutex_ (registration only, never on the read path).
+    bool in_use = false;
+  };
+
+  static constexpr std::uint64_t kQuiescent = ~std::uint64_t{0};
+
+  /// Registers a reader; returns its slot. Throws util::CheckError when
+  /// the domain is at max_readers.
+  Slot* register_reader();
+  void unregister_reader(Slot* slot);
+
+  /// Retires `object` at the current version; the deleter runs once every
+  /// reader that could hold the object has quiesced. Called by RcuCell
+  /// with the version tag already bumped.
+  void retire(void* object, void (*deleter)(void*), std::uint64_t tag);
+
+  /// Frees every retired object whose tag all active readers have passed.
+  /// Requires mutex_ held.
+  void reclaim_locked();
+
+  /// Smallest announced version over active readers (kQuiescent when all
+  /// readers are quiescent).
+  std::uint64_t min_announcement() const;
+
+  struct Retired {
+    void* object;
+    void (*deleter)(void*);
+    std::uint64_t tag;
+  };
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::uint64_t> version_{1};
+  mutable std::mutex mutex_;  // registration + retire list + publish order
+  std::vector<Retired> retired_;
+  std::size_t registered_ = 0;
+};
+
+/// One reader's registration in a domain (RAII). A reader handle is NOT
+/// thread-safe: each concurrent reader thread owns its own RcuReader.
+/// At most one snapshot may be outstanding per reader at a time (checked);
+/// re-acquiring after release is the expected pattern of a serving loop.
+class RcuReader {
+ public:
+  explicit RcuReader(RcuDomain& domain)
+      : domain_(&domain), slot_(domain.register_reader()) {}
+  RcuReader(const RcuReader&) = delete;
+  RcuReader& operator=(const RcuReader&) = delete;
+  RcuReader(RcuReader&& other) noexcept
+      : domain_(other.domain_), slot_(other.slot_) {
+    other.slot_ = nullptr;
+  }
+  RcuReader& operator=(RcuReader&&) = delete;
+  ~RcuReader() {
+    if (slot_ != nullptr) domain_->unregister_reader(slot_);
+  }
+
+ private:
+  template <typename T>
+  friend class RcuCell;
+
+  RcuDomain* domain_;
+  RcuDomain::Slot* slot_;
+};
+
+/// A published immutable object of type T, swapped atomically and read
+/// wait-free through a domain's readers.
+template <typename T>
+class RcuCell {
+ public:
+  explicit RcuCell(RcuDomain& domain) : domain_(&domain) {}
+  RcuCell(const RcuCell&) = delete;
+  RcuCell& operator=(const RcuCell&) = delete;
+  ~RcuCell() {
+    // Retire the final object through the domain so late readers stay
+    // safe until the domain synchronizes/destructs.
+    const T* last = current_.exchange(nullptr, std::memory_order_seq_cst);
+    if (last != nullptr) {
+      std::lock_guard<std::mutex> lock(domain_->mutex_);
+      const std::uint64_t tag =
+          domain_->version_.fetch_add(1, std::memory_order_seq_cst) + 1;
+      domain_->retire(const_cast<T*>(last), &delete_object, tag);
+      domain_->reclaim_locked();
+    }
+  }
+
+  /// Wait-free snapshot of the current object; nullptr before the first
+  /// publish. The object stays valid until release(). Requires no other
+  /// snapshot outstanding on `reader`.
+  const T* acquire(RcuReader& reader) const {
+    RcuDomain::Slot* slot = reader.slot_;
+    RWC_EXPECTS(slot->announce.load(std::memory_order_relaxed) ==
+                RcuDomain::kQuiescent);
+    // Announce the version BEFORE loading the pointer: any object this
+    // load can return is protected by an announcement <= its retire tag.
+    const std::uint64_t v =
+        domain_->version_.load(std::memory_order_seq_cst);
+    slot->announce.store(v, std::memory_order_seq_cst);
+    return current_.load(std::memory_order_seq_cst);
+  }
+
+  /// Ends the snapshot started by acquire() on the same reader.
+  void release(RcuReader& reader) const {
+    reader.slot_->announce.store(RcuDomain::kQuiescent,
+                                 std::memory_order_release);
+  }
+
+  /// Publishes `next` as the new current object, retires the previous one,
+  /// and frees any retired object every reader has quiesced past. Single
+  /// logical writer (serialized on the domain mutex).
+  void publish(std::unique_ptr<const T> next) {
+    RWC_EXPECTS(next != nullptr);
+    std::lock_guard<std::mutex> lock(domain_->mutex_);
+    const T* old =
+        current_.exchange(next.release(), std::memory_order_seq_cst);
+    const std::uint64_t tag =
+        domain_->version_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    if (old != nullptr)
+      domain_->retire(const_cast<T*>(old), &delete_object, tag);
+    domain_->reclaim_locked();
+  }
+
+  /// Writer-side peek (no grace period; only safe on the publishing
+  /// thread, which is the only one that can retire it).
+  const T* unsafe_current() const {
+    return current_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  static void delete_object(void* object) {
+    delete static_cast<const T*>(object);
+  }
+
+  RcuDomain* domain_;
+  std::atomic<const T*> current_{nullptr};
+};
+
+/// RAII snapshot: acquire on construction, release on destruction.
+template <typename T>
+class RcuGuard {
+ public:
+  RcuGuard(const RcuCell<T>& cell, RcuReader& reader)
+      : cell_(&cell), reader_(&reader), object_(cell.acquire(reader)) {}
+  RcuGuard(const RcuGuard&) = delete;
+  RcuGuard& operator=(const RcuGuard&) = delete;
+  ~RcuGuard() { cell_->release(*reader_); }
+
+  const T* get() const { return object_; }
+  const T* operator->() const { return object_; }
+  const T& operator*() const { return *object_; }
+  explicit operator bool() const { return object_ != nullptr; }
+
+ private:
+  const RcuCell<T>* cell_;
+  RcuReader* reader_;
+  const T* object_;
+};
+
+}  // namespace rwc::exec

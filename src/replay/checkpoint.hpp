@@ -106,6 +106,14 @@ struct Checkpoint {
   bool obs_present = false;
   std::vector<std::pair<std::string, std::uint64_t>> obs_counters;
   std::vector<std::pair<std::string, double>> obs_gauges;
+
+  // Serve section (optional): opaque state payload of the rwc::serve
+  // control-plane state machine (current demands/SNR, ingest-log cursor —
+  // serve/service.cpp owns the inner framing, docs/SERVE.md documents it).
+  // The envelope CRC-frames it like every other section; decoders that
+  // predate the section skip it by id.
+  bool serve_present = false;
+  std::vector<std::byte> serve_payload;
 };
 
 /// Serializes `checkpoint` into the framed binary form above.

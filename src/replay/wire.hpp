@@ -1,0 +1,118 @@
+// Little-endian wire primitives shared by every rwc binary codec: the
+// checkpoint sections (replay/checkpoint.cpp) and the serve control-plane
+// state payload (serve/service.cpp) frame their bytes through the same
+// writer/reader pair, so "doubles travel as IEEE-754 bit patterns" and
+// "any overrun latches fail()" hold once, for every format.
+//
+// ByteReader is deliberately forgiving in-flight and strict at the end:
+// a truncated payload makes every subsequent read return zero instead of
+// throwing, and the caller checks failed()/exhausted() exactly once after
+// parsing — the pattern every section decoder in docs/REPLAY.md follows.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rwc::replay::wire {
+
+/// Little-endian append-only serializer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value) { bytes_.push_back(std::byte{value}); }
+  void u32(std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8)
+      bytes_.push_back(std::byte{static_cast<std::uint8_t>(value >> shift)});
+  }
+  void u64(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8)
+      bytes_.push_back(std::byte{static_cast<std::uint8_t>(value >> shift)});
+  }
+  void i32(std::int32_t value) { u32(static_cast<std::uint32_t>(value)); }
+  void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+  void str(const std::string& value) {
+    u32(static_cast<std::uint32_t>(value.size()));
+    for (char c : value)
+      bytes_.push_back(std::byte{static_cast<std::uint8_t>(c)});
+  }
+
+  const std::vector<std::byte>& bytes() const { return bytes_; }
+  std::vector<std::byte> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+/// Bounds-checked little-endian reader: any overrun latches fail() and
+/// makes every subsequent read return zero, so payload parsers can run to
+/// completion and check once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    if (position_ + 1 > bytes_.size())
+      return static_cast<std::uint8_t>(fail_read());
+    return std::to_integer<std::uint8_t>(bytes_[position_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t value = 0;
+    if (position_ + 4 > bytes_.size())
+      return static_cast<std::uint32_t>(fail_read());
+    for (int shift = 0; shift < 32; shift += 8)
+      value |= static_cast<std::uint32_t>(
+                   std::to_integer<std::uint8_t>(bytes_[position_++]))
+               << shift;
+    return value;
+  }
+  std::uint64_t u64() {
+    std::uint64_t value = 0;
+    if (position_ + 8 > bytes_.size()) return fail_read();
+    for (int shift = 0; shift < 64; shift += 8)
+      value |= static_cast<std::uint64_t>(
+                   std::to_integer<std::uint8_t>(bytes_[position_++]))
+               << shift;
+    return value;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint32_t size = u32();
+    if (position_ + size > bytes_.size()) {
+      fail_read();
+      return {};
+    }
+    std::string value(size, '\0');
+    std::memcpy(value.data(), bytes_.data() + position_, size);
+    position_ += size;
+    return value;
+  }
+  /// Element-count sanity bound: a count that could not possibly fit in the
+  /// remaining payload (>= 1 byte per element) marks the payload malformed
+  /// without attempting a huge allocation.
+  bool fits(std::uint64_t count) {
+    if (count <= bytes_.size() - position_) return true;
+    failed_ = true;
+    return false;
+  }
+
+  bool failed() const { return failed_; }
+  bool exhausted() const { return position_ == bytes_.size(); }
+
+ private:
+  std::uint64_t fail_read() {
+    failed_ = true;
+    position_ = bytes_.size();
+    return 0;
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t position_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace rwc::replay::wire

@@ -1,0 +1,71 @@
+// Versioned immutable plan epochs (rwc::serve).
+//
+// A PlanEpoch is everything a control-plane client needs from one
+// completed TE round — configured capacities, routing loads, the round's
+// upgrade decisions and accounting — frozen into an immutable object and
+// published through exec::RcuCell with a single atomic pointer swap.
+// Readers acquire whatever epoch is current, wait-free, and may hold it
+// for as long as they like: the RCU grace period keeps a superseded epoch
+// alive until its last reader quiesces (docs/SERVE.md, "Epoch lifecycle").
+//
+// Every epoch carries a checksum folded over all of its content at
+// publish time. A reader that recomputes it and mismatches has observed a
+// torn or partial epoch — which the publication protocol makes impossible,
+// and which bench/serve_loop --selfcheck and tests/serve/ verify on every
+// read under racing publishes.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/controller.hpp"
+
+namespace rwc::serve {
+
+/// Immutable snapshot of one published round. Never mutated after
+/// publish() — the whole point of the epoch design.
+struct PlanEpoch {
+  /// Monotonic publication number (1 = first published round). Readers
+  /// use it for staleness checks; it only ever increases.
+  std::uint64_t epoch = 0;
+  /// Round index (0-based) of the ServeService state machine that
+  /// produced this epoch.
+  std::uint64_t round = 0;
+  /// Rolling signature chain through this round (ServeService contract:
+  /// equal chains <=> bit-identical round histories).
+  std::uint64_t signature_chain = 0;
+
+  /// Configured capacity per directed edge (Gbps), after this round's
+  /// flaps/restorations/upgrades.
+  std::vector<double> capacity_gbps;
+  /// Routed load per directed edge (Gbps) of this round's assignment.
+  std::vector<double> edge_load_gbps;
+  /// Capacity upgrades this round decided: (edge id, new rate Gbps).
+  std::vector<std::pair<std::int32_t, double>> upgrades;
+
+  double total_routed_gbps = 0.0;
+  double total_penalty = 0.0;
+  std::size_t reductions = 0;
+  std::size_t restorations = 0;
+  bool transition_valid = false;
+
+  /// Content checksum, folded at publish time over every field above.
+  std::uint64_t checksum = 0;
+
+  /// Recomputes the content fold (excluding `checksum` itself).
+  std::uint64_t compute_checksum() const;
+  /// True when checksum matches content — what a snapshot reader asserts
+  /// to prove it never sees a torn epoch.
+  bool consistent() const { return checksum == compute_checksum(); }
+};
+
+/// Builds the epoch for a just-completed round from the controller's
+/// published state (core's configured_capacities() hook + the report).
+/// `epoch`/`round`/`signature_chain` are the service's counters.
+PlanEpoch make_epoch(
+    std::uint64_t epoch, std::uint64_t round, std::uint64_t signature_chain,
+    const core::DynamicCapacityController& controller,
+    const core::DynamicCapacityController::RoundReport& report);
+
+}  // namespace rwc::serve

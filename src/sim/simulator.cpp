@@ -55,8 +55,10 @@ SimulationMetrics WanSimulator::run(const te::TrafficMatrix& base_demands) {
   // Traces are pure per (fiber, lambda), so the fleet can be generated in
   // parallel with results landing in edge order — identical to the serial
   // loop at every pool size.
+  exec::ThreadPool& pool =
+      config_.pool != nullptr ? *config_.pool : exec::ThreadPool::global();
   const std::vector<telemetry::SnrTrace> traces = exec::parallel_map(
-      exec::ThreadPool::global(), edges, [&](std::size_t e) {
+      pool, edges, [&](std::size_t e) {
         return fleet.generate_trace(static_cast<int>(e / 2),
                                     static_cast<int>(e % 2));
       });
@@ -73,6 +75,7 @@ SimulationMetrics WanSimulator::run(const te::TrafficMatrix& base_demands) {
   // Dynamic policies share one controller across rounds.
   core::ControllerOptions controller_options;
   controller_options.snr_margin = config_.snr_margin;
+  controller_options.pool = config_.pool;
   core::DynamicCapacityController controller(topology_, table, engine_,
                                              controller_options);
 

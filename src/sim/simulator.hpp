@@ -56,6 +56,12 @@ struct SimulationConfig {
   telemetry::SnrModelParams snr_model;
   bvt::LatencyModelParams latency;
   std::uint64_t seed = 1;
+  /// Thread pool for the fleet trace generation and the controller's
+  /// consolidation pass; nullptr selects exec::ThreadPool::global().
+  /// Results are bit-identical at every pool size (docs/CONCURRENCY.md) —
+  /// the knob exists so embedders (rwc::fleet shards, rwc::serve) can keep
+  /// a simulation off the global pool instead of contending on it.
+  exec::ThreadPool* pool = nullptr;
 };
 
 struct SimulationMetrics {

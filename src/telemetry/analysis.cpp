@@ -77,14 +77,17 @@ std::vector<std::size_t> failures_per_capacity(
 FleetCapacityReport analyze_fleet(const SnrFleetGenerator& fleet,
                                   const optical::ModulationTable& table,
                                   Gbps current_static_capacity,
-                                  double hdr_coverage) {
+                                  double hdr_coverage,
+                                  exec::ThreadPool* pool) {
   FleetCapacityReport report;
   const auto links = static_cast<std::size_t>(fleet.link_count());
   // Trace generation + per-link analysis is pure per link index, so it
   // fans out over the pool; the reduction below runs serially in link
   // order, keeping the report bit-identical at every pool size.
+  exec::ThreadPool& map_pool =
+      pool != nullptr ? *pool : exec::ThreadPool::global();
   const std::vector<LinkSnrStats> per_link = exec::parallel_map(
-      exec::ThreadPool::global(), links, [&](std::size_t link) {
+      map_pool, links, [&](std::size_t link) {
         const SnrTrace trace = fleet.generate_trace(static_cast<int>(link));
         return analyze_link(trace, table, hdr_coverage);
       });

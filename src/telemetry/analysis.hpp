@@ -9,6 +9,10 @@
 #include "telemetry/snr_model.hpp"
 #include "util/stats.hpp"
 
+namespace rwc::exec {
+class ThreadPool;
+}
+
 namespace rwc::telemetry {
 
 /// Per-link SNR variation and capacity statistics (Fig. 2a / 2b inputs).
@@ -69,9 +73,13 @@ struct FleetCapacityReport {
   util::Gbps total_gain{0.0};
 };
 
+/// `pool` drives the per-link fan-out; nullptr selects
+/// exec::ThreadPool::global(). The report is bit-identical at every pool
+/// size (docs/CONCURRENCY.md).
 FleetCapacityReport analyze_fleet(const SnrFleetGenerator& fleet,
                                   const optical::ModulationTable& table,
                                   util::Gbps current_static_capacity,
-                                  double hdr_coverage = 0.95);
+                                  double hdr_coverage = 0.95,
+                                  exec::ThreadPool* pool = nullptr);
 
 }  // namespace rwc::telemetry

@@ -1,0 +1,200 @@
+// Reader/writer stress over the serve epoch path (tier2; the TSan CI job
+// runs this executable to prove the RCU protocol race-free): many reader
+// threads snapshot PlanEpochs wait-free while the serving thread publishes
+// at full speed, at controller pool sizes {1, 2, 8}; plus the
+// restore-then-continue bit-identity drill under concurrent readers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "exec/rcu.hpp"
+#include "exec/thread_pool.hpp"
+#include "serve/service.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::serve {
+namespace {
+
+struct Fixture {
+  graph::Graph topology;
+  te::TrafficMatrix demands;
+  te::McfTe engine;
+
+  Fixture() {
+    util::Rng topo_rng = util::Rng::stream(4242, 0);
+    topology = sim::waxman(10, topo_rng);
+    util::Rng demand_rng = util::Rng::stream(4242, 1);
+    sim::GravityParams gravity;
+    gravity.total = util::Gbps{topology.total_capacity().value * 0.35};
+    demands = sim::gravity_matrix(topology, gravity, demand_rng);
+  }
+};
+
+/// Deterministic per-round telemetry (pure in round), so every pool size
+/// sees the same ingest log without any producer-thread raciness.
+std::vector<IngestEvent> batch_for(std::uint64_t round, std::size_t edges) {
+  util::Rng rng = util::Rng::stream(4242, 0x500 + round);
+  std::vector<IngestEvent> batch;
+  const int events = static_cast<int>(rng.uniform_int(1, 5));
+  for (int i = 0; i < events; ++i)
+    batch.push_back(
+        {IngestType::kSnr,
+         static_cast<std::uint32_t>(rng.uniform_int(
+             0, static_cast<std::int64_t>(edges) - 1)),
+         rng.uniform(4.0, 20.0)});
+  return batch;
+}
+
+struct ReaderTally {
+  std::uint64_t reads = 0;
+  std::uint64_t torn = 0;
+  std::uint64_t backwards = 0;
+};
+
+void hammer_reads(ServeService& service, std::atomic<bool>& stop,
+                  ReaderTally& tally) {
+  exec::RcuReader reader(service.rcu_domain());
+  std::uint64_t last = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    exec::RcuGuard<PlanEpoch> epoch(service.epoch_cell(), reader);
+    if (epoch) {
+      if (!epoch->consistent()) ++tally.torn;
+      if (epoch->epoch < last) ++tally.backwards;
+      last = epoch->epoch;
+    }
+    ++tally.reads;
+  }
+}
+
+TEST(ServeStress, RacingReadersNeverObserveTornEpochsAtAnyPoolSize) {
+  const Fixture fixture;
+  std::uint64_t reference_chain = 0;
+
+  for (const std::size_t pool_size : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+    exec::ThreadPool pool(pool_size);
+    ServeConfig config;
+    config.pool = &pool;
+    ServeService service(fixture.topology, fixture.engine, fixture.demands,
+                         config);
+
+    constexpr std::size_t kReaders = 6;
+    std::atomic<bool> stop{false};
+    std::vector<ReaderTally> tallies(kReaders);
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (std::size_t r = 0; r < kReaders; ++r)
+      readers.emplace_back(hammer_reads, std::ref(service), std::ref(stop),
+                           std::ref(tallies[r]));
+
+    constexpr std::uint64_t kRounds = 20;
+    for (std::uint64_t round = 0; round < kRounds; ++round)
+      service.step(batch_for(round, fixture.topology.edge_count()));
+
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& thread : readers) thread.join();
+
+    std::uint64_t reads = 0;
+    for (const ReaderTally& tally : tallies) {
+      reads += tally.reads;
+      EXPECT_EQ(tally.torn, 0u) << "pool=" << pool_size;
+      EXPECT_EQ(tally.backwards, 0u) << "pool=" << pool_size;
+    }
+    EXPECT_GT(reads, 0u);
+    EXPECT_EQ(service.round(), kRounds);
+
+    // Pool-size determinism: every pool size chains identically.
+    if (reference_chain == 0) {
+      reference_chain = service.signature_chain();
+    } else {
+      EXPECT_EQ(service.signature_chain(), reference_chain)
+          << "pool=" << pool_size;
+    }
+  }
+}
+
+TEST(ServeStress, RestoreThenContinueIsBitIdenticalUnderConcurrentReaders) {
+  const Fixture fixture;
+  const std::size_t edges = fixture.topology.edge_count();
+
+  ServeService reference(fixture.topology, fixture.engine, fixture.demands);
+  for (std::uint64_t round = 0; round < 12; ++round)
+    reference.step(batch_for(round, edges));
+  const std::uint64_t reference_chain = reference.signature_chain();
+
+  ServeService halves(fixture.topology, fixture.engine, fixture.demands);
+  for (std::uint64_t round = 0; round < 6; ++round)
+    halves.step(batch_for(round, edges));
+  const replay::Checkpoint checkpoint = halves.checkpoint();
+
+  ServeService restored(fixture.topology, fixture.engine, fixture.demands);
+  ASSERT_EQ(restored.restore(checkpoint), replay::Error::kNone);
+
+  // Finish the horizon with readers hammering the whole time: restore must
+  // be bit-identical AND the read path must stay torn-free across it.
+  std::atomic<bool> stop{false};
+  ReaderTally tally;
+  std::thread reader(hammer_reads, std::ref(restored), std::ref(stop),
+                     std::ref(tally));
+  for (std::uint64_t round = 6; round < 12; ++round)
+    restored.step(batch_for(round, edges));
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(restored.signature_chain(), reference_chain);
+  EXPECT_EQ(tally.torn, 0u);
+  EXPECT_EQ(tally.backwards, 0u);
+}
+
+TEST(ServeStress, ConcurrentProducersNeverCorruptTheQueue) {
+  const Fixture fixture;
+  // kDropNewest with a tight bound: rejected offers never enter the queue,
+  // so the producer-side conservation law below is exact even while the
+  // shed path fires constantly.
+  ServeConfig config;
+  config.queue_capacity = 64;
+  config.shed = ShedPolicy::kDropNewest;
+  ServeService service(fixture.topology, fixture.engine, fixture.demands,
+                       config);
+  const std::size_t edges = fixture.topology.edge_count();
+
+  constexpr std::size_t kProducers = 4;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p)
+    producers.emplace_back([&service, &stop, edges, p] {
+      util::Rng rng = util::Rng::stream(4242, 0x900 + p);
+      while (!stop.load(std::memory_order_relaxed)) {
+        service.queue().offer(
+            {IngestType::kSnr,
+             static_cast<std::uint32_t>(rng.uniform_int(
+                 0, static_cast<std::int64_t>(edges) - 1)),
+             rng.uniform(4.0, 20.0)});
+        std::this_thread::yield();
+      }
+    });
+
+  for (int round = 0; round < 10; ++round) service.step();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : producers) thread.join();
+  service.step();  // drain the tail
+
+  // Conservation: everything offered was either accepted or shed.
+  EXPECT_EQ(service.queue().offered(),
+            service.queue().accepted() + service.queue().dropped());
+  // And the log replays to the same chain (the racy arrivals are recorded).
+  ServeService replayed(fixture.topology, fixture.engine, fixture.demands);
+  for (std::size_t round = 0; round < service.log().rounds(); ++round)
+    replayed.step(service.log().batch(round));
+  EXPECT_EQ(replayed.signature_chain(), service.signature_chain());
+}
+
+}  // namespace
+}  // namespace rwc::serve

@@ -1,0 +1,148 @@
+// Tests for the RCU epoch-publication primitive (exec/rcu.hpp): wait-free
+// snapshot safety, grace-period reclamation, and reader-capacity limits.
+// The concurrent stress lives in tests/serve/ (tier2, run under TSan).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exec/rcu.hpp"
+#include "util/check.hpp"
+
+namespace rwc::exec {
+namespace {
+
+/// Payload whose destructor records into a shared counter, so tests can
+/// observe exactly when reclamation happens.
+struct Tracked {
+  explicit Tracked(int value, std::atomic<int>& frees)
+      : value(value), frees(&frees) {}
+  ~Tracked() { frees->fetch_add(1); }
+  int value;
+  std::atomic<int>* frees;
+};
+
+TEST(Rcu, AcquireBeforeFirstPublishReturnsNull) {
+  RcuDomain domain(4);
+  RcuCell<int> cell(domain);
+  RcuReader reader(domain);
+  RcuGuard<int> guard(cell, reader);
+  EXPECT_FALSE(guard);
+  EXPECT_EQ(guard.get(), nullptr);
+}
+
+TEST(Rcu, ReadersSeePublishedValues) {
+  RcuDomain domain(4);
+  RcuCell<int> cell(domain);
+  RcuReader reader(domain);
+  cell.publish(std::make_unique<int>(42));
+  {
+    RcuGuard<int> guard(cell, reader);
+    ASSERT_TRUE(guard);
+    EXPECT_EQ(*guard, 42);
+  }
+  cell.publish(std::make_unique<int>(7));
+  {
+    RcuGuard<int> guard(cell, reader);
+    EXPECT_EQ(*guard, 7);
+  }
+}
+
+TEST(Rcu, VersionAdvancesOnEveryPublish) {
+  RcuDomain domain(2);
+  RcuCell<int> cell(domain);
+  const std::uint64_t before = domain.version();
+  cell.publish(std::make_unique<int>(1));
+  cell.publish(std::make_unique<int>(2));
+  EXPECT_EQ(domain.version(), before + 2);
+}
+
+TEST(Rcu, SupersededObjectSurvivesWhileAReaderHoldsIt) {
+  std::atomic<int> frees{0};
+  RcuDomain domain(4);
+  {
+    RcuCell<Tracked> cell(domain);
+    RcuReader reader(domain);
+    cell.publish(std::make_unique<Tracked>(1, frees));
+
+    const Tracked* held = cell.acquire(reader);
+    ASSERT_NE(held, nullptr);
+    cell.publish(std::make_unique<Tracked>(2, frees));
+    // The old object is retired but must stay alive: this reader's
+    // announcement predates its retirement.
+    EXPECT_EQ(frees.load(), 0);
+    EXPECT_EQ(held->value, 1);
+    EXPECT_GE(domain.deferred(), 1u);
+
+    cell.release(reader);
+    // The next publication reclaims: no active announcement pins the tag.
+    cell.publish(std::make_unique<Tracked>(3, frees));
+    EXPECT_EQ(frees.load(), 2);  // objects 1 and 2
+  }
+  // Cell destruction retires the final object; no reader is active, so the
+  // domain frees it immediately.
+  EXPECT_EQ(frees.load(), 3);
+}
+
+TEST(Rcu, SynchronizeWaitsForActiveReaders) {
+  std::atomic<int> frees{0};
+  RcuDomain domain(4);
+  RcuCell<Tracked> cell(domain);
+  cell.publish(std::make_unique<Tracked>(1, frees));
+
+  RcuReader reader(domain);
+  const Tracked* held = cell.acquire(reader);
+  ASSERT_EQ(held->value, 1);
+  cell.publish(std::make_unique<Tracked>(2, frees));
+
+  std::atomic<bool> synchronized{false};
+  std::thread writer([&] {
+    domain.synchronize();
+    synchronized.store(true);
+  });
+  // The writer must block while the snapshot is held...
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(synchronized.load());
+  EXPECT_EQ(frees.load(), 0);
+  // ...and complete (freeing the superseded object) once it is released.
+  cell.release(reader);
+  writer.join();
+  EXPECT_TRUE(synchronized.load());
+  EXPECT_EQ(frees.load(), 1);
+}
+
+TEST(Rcu, RegistrationBeyondCapacityThrows) {
+  RcuDomain domain(2);
+  RcuReader first(domain);
+  {
+    RcuReader second(domain);
+    EXPECT_EQ(domain.registered_readers(), 2u);
+    EXPECT_THROW({ RcuReader third(domain); }, util::CheckError);
+  }
+  // Slots are reusable after a reader departs.
+  RcuReader replacement(domain);
+  EXPECT_EQ(domain.registered_readers(), 2u);
+}
+
+TEST(Rcu, DepartingReaderUnpinsReclamation) {
+  std::atomic<int> frees{0};
+  RcuDomain domain(4);
+  RcuCell<Tracked> cell(domain);
+  cell.publish(std::make_unique<Tracked>(1, frees));
+  {
+    RcuReader reader(domain);
+    const Tracked* held = cell.acquire(reader);
+    ASSERT_NE(held, nullptr);
+    cell.publish(std::make_unique<Tracked>(2, frees));
+    EXPECT_EQ(frees.load(), 0);
+    cell.release(reader);
+    // Reader departs here; its unregistration reclaims the retired object.
+  }
+  EXPECT_EQ(frees.load(), 1);
+}
+
+}  // namespace
+}  // namespace rwc::exec
