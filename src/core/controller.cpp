@@ -34,6 +34,7 @@ struct ControllerMetrics {
   obs::Histogram& translate_seconds;
   obs::Histogram& consolidate_seconds;
   obs::Histogram& transition_seconds;
+  obs::Histogram& update_seconds;
   obs::Counter& incremental_hits;
   obs::Counter& incremental_misses;
   obs::Counter& incremental_augment_reuses;
@@ -55,6 +56,7 @@ struct ControllerMetrics {
         registry.histogram("controller.round.translate.seconds"),
         registry.histogram("controller.round.consolidate.seconds"),
         registry.histogram("controller.round.transition.seconds"),
+        registry.histogram("controller.round.update.seconds"),
         registry.counter("solver.incremental_hits"),
         registry.counter("solver.incremental_misses"),
         registry.counter("solver.incremental_augment_reuses"),
@@ -445,7 +447,11 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
       }
     }
 
-    // Step 6: apply upgrades and plan the consistent transition.
+    // Step 6: apply upgrades and plan the consistent transition. The
+    // pre-upgrade snapshot is the physical "now" the update scheduler
+    // transitions from: flaps/restorations already landed at t=0 (SNR
+    // forced them), only the TE-chosen upgrades are scheduled reconfigs.
+    const std::vector<Gbps> pre_upgrade_capacity = configured_;
     for (const CapacityChange& change : report.plan.upgrades)
       configured_[static_cast<std::size_t>(change.edge.value)] = change.to;
 
@@ -458,6 +464,27 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
     report.transition_valid =
         te::validate_transition(upgraded, previous, report.transition);
     report.stats.transition_seconds = transition_watch.seconds();
+
+    // Optional consistent-update stage (docs/UPDATE.md): order this
+    // round's reconfigs + route moves into invariant-checked update
+    // rounds. Observational by contract — plan_schedule reads controller
+    // state, never writes it, so results are identical with it on or off.
+    if (options_.update.has_value()) {
+      obs::StopWatch update_watch;
+      report.update = update::plan_schedule(
+          physical_, pre_upgrade_capacity, configured_, previous,
+          report.plan.physical_assignment, *options_.update);
+      report.update_valid =
+          report.update->feasible &&
+          update::validate_schedule(physical_, *report.update, configured_,
+                                    report.plan.physical_assignment);
+      report.stats.update_rounds = report.update->rounds.size();
+      report.stats.update_route_moves = report.update->route_moves;
+      report.stats.update_reconfigs = report.update->reconfigs;
+      report.stats.update_makespan_seconds =
+          report.update->makespan_seconds;
+      report.stats.update_seconds = update_watch.seconds();
+    }
 
     report.total_routed = report.plan.physical_assignment.total_routed;
     report.total_penalty = report.plan.total_penalty;
@@ -497,6 +524,8 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
   metrics.translate_seconds.observe(report.stats.translate_seconds);
   metrics.consolidate_seconds.observe(report.stats.consolidate_seconds);
   metrics.transition_seconds.observe(report.stats.transition_seconds);
+  if (options_.update.has_value())
+    metrics.update_seconds.observe(report.stats.update_seconds);
   if (options_.incremental) {
     if (report.stats.incremental_hit) {
       metrics.incremental_hits.add();

@@ -28,6 +28,7 @@
 #include "optical/modulation.hpp"
 #include "te/algorithm.hpp"
 #include "te/consistent_update.hpp"
+#include "update/schedule.hpp"
 
 namespace rwc::exec {
 class ThreadPool;
@@ -73,6 +74,14 @@ struct ControllerOptions {
   /// memo is never checkpointed — a cold memo after restore costs one full
   /// re-solve, nothing else.
   bool incremental = false;
+  /// Optional consistent-update transition stage (docs/UPDATE.md): when
+  /// set, every round also plans an update::UpdateSchedule ordering the
+  /// round's BVT reconfigs and route moves into congestion-free /
+  /// loop-free update rounds (from the previous round's capacities +
+  /// routing to the new ones). Purely observational: the schedule rides
+  /// in RoundReport::update and its shape in RoundStats, but controller
+  /// results and signatures are bit-identical with the stage on or off.
+  std::optional<update::SchedulerConfig> update;
   /// Penalty policy; defaults to TrafficProportionalPenalty.
   std::shared_ptr<const PenaltyPolicy> penalty;
   /// Thread pool for the consolidation pass's candidate evaluations;
@@ -142,6 +151,15 @@ class DynamicCapacityController {
     /// dirty_links / edge_count: 0.0 on a memo hit, 1.0 on a cold or
     /// fully-perturbed round. Only meaningful with options.incremental.
     double dirty_fraction = 0.0;
+    /// Consistent-update stage (options.update): shape of the planned
+    /// schedule. Work accounting only — never part of a round's result
+    /// signature (like every other stats field).
+    std::uint64_t update_rounds = 0;
+    std::uint64_t update_route_moves = 0;
+    std::uint64_t update_reconfigs = 0;
+    double update_makespan_seconds = 0.0;
+    /// Schedule planning + validation wall time.
+    double update_seconds = 0.0;
   };
 
   /// Everything one TE round decided and how it went (the paper's §4
@@ -161,6 +179,12 @@ class DynamicCapacityController {
     te::UpdatePlan transition;
     /// Whether the transition plan passed validation.
     bool transition_valid = false;
+    /// Ordered update schedule for this round's transition (only when
+    /// options.update is set) — executable via update::ScheduleExecutor.
+    std::optional<update::UpdateSchedule> update;
+    /// Whether the schedule is feasible AND passed validate_schedule.
+    /// Meaningless when options.update is unset.
+    bool update_valid = false;
     /// Per-stage timings and solver counters for this round.
     RoundStats stats;
   };

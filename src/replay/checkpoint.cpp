@@ -34,6 +34,7 @@ enum class SectionId : std::uint32_t {
   kPathCache = 6,
   kObs = 7,
   kServe = 8,
+  kUpdate = 9,
 };
 
 /// Handles into the global registry (docs/OBSERVABILITY.md: replay.*).
@@ -462,6 +463,8 @@ std::vector<std::byte> encode(const Checkpoint& checkpoint) {
     sections.emplace_back(SectionId::kObs, encode_obs(checkpoint));
   if (checkpoint.serve_present)
     sections.emplace_back(SectionId::kServe, checkpoint.serve_payload);
+  if (checkpoint.update_present)
+    sections.emplace_back(SectionId::kUpdate, checkpoint.update_payload);
 
   ByteWriter writer;
   for (char c : kMagic) writer.u8(static_cast<std::uint8_t>(c));
@@ -536,6 +539,11 @@ Error decode(std::span<const std::byte> bytes, Checkpoint& out) {
         // integrity and length.
         out.serve_payload.assign(payload.begin(), payload.end());
         out.serve_present = true;
+        break;
+      case SectionId::kUpdate:
+        // Opaque like kServe: update/executor.cpp owns the inner framing.
+        out.update_payload.assign(payload.begin(), payload.end());
+        out.update_present = true;
         break;
       default:
         // Unknown id within a known version: skip (forward compatibility).

@@ -114,6 +114,13 @@ struct Checkpoint {
   // predate the section skip it by id.
   bool serve_present = false;
   std::vector<std::byte> serve_payload;
+
+  // Update section (optional): opaque execution cursor of a mid-flight
+  // update::ScheduleExecutor (committed-round count + timing counters —
+  // update/executor.cpp owns the inner framing, docs/UPDATE.md documents
+  // it). Same envelope contract as the serve section.
+  bool update_present = false;
+  std::vector<std::byte> update_payload;
 };
 
 /// Serializes `checkpoint` into the framed binary form above.

@@ -10,6 +10,7 @@
 #include "fault/registry.hpp"
 #include "obs/registry.hpp"
 #include "replay/wire.hpp"
+#include "update/executor.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -103,6 +104,7 @@ core::ControllerOptions controller_options_for(const ServeConfig& config) {
   options.hysteresis = config.hysteresis;
   options.incremental = config.incremental;
   options.pool = config.pool;
+  options.update = config.update;
   return options;
 }
 
@@ -196,6 +198,19 @@ ServeService::RoundReport ServeService::step_batch(
   chain = mix64(chain, report.restorations.size());
   chain = mix64(chain, report.transition_valid ? 1 : 0);
   signature_chain_ = chain;
+
+  // Consistent-update stage (config_.update): commit the round's schedule
+  // BEFORE the epoch becomes visible — readers never observe a plan whose
+  // dataplane transition has not finished. Execution is observational
+  // (controller state already advanced; the executor walks its own copy of
+  // the schedule's dataplane), so the chain above is identical with the
+  // stage on or off; update.commit/update.rollback faults can stretch or
+  // abort the transition but never perturb the published state.
+  if (report.update.has_value() && report.update->feasible) {
+    update::ScheduleExecutor executor(controller_.physical_topology(),
+                                      *report.update);
+    executor.run();
+  }
 
   publish_epoch(report);
 

@@ -38,6 +38,7 @@
 #include "serve/epoch.hpp"
 #include "serve/ingest.hpp"
 #include "te/algorithm.hpp"
+#include "update/schedule.hpp"
 #include "util/units.hpp"
 
 namespace rwc::exec {
@@ -78,6 +79,14 @@ struct ServeConfig {
   /// exec::ThreadPool::global(). Bit-identical results at every pool size
   /// (docs/CONCURRENCY.md), so not fingerprinted.
   exec::ThreadPool* pool = nullptr;
+
+  /// Optional consistent-update transition stage (docs/UPDATE.md): each
+  /// round's schedule is planned and EXECUTED (update::ScheduleExecutor,
+  /// update.commit/update.rollback fault sites live) before the epoch
+  /// publishes — an epoch never becomes visible ahead of its transition.
+  /// Observational by the controller's contract, so NOT fingerprinted — a
+  /// restored service may flip it freely.
+  std::optional<update::SchedulerConfig> update;
 };
 
 class ServeService {

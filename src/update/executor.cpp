@@ -1,0 +1,233 @@
+#include "update/executor.hpp"
+
+#include <algorithm>
+
+#include "fault/registry.hpp"
+#include "obs/registry.hpp"
+#include "replay/wire.hpp"
+#include "util/check.hpp"
+
+namespace rwc::update {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+constexpr std::uint32_t kExecutorStateVersion = 1;
+
+struct ExecMetrics {
+  obs::Counter& rounds_committed;
+  obs::Counter& commit_attempts;
+  obs::Counter& rollbacks;
+  obs::Counter& aborts;
+
+  static ExecMetrics& instance() {
+    static ExecMetrics metrics{
+        obs::Registry::global().counter("update.exec.rounds_committed"),
+        obs::Registry::global().counter("update.exec.commit_attempts"),
+        obs::Registry::global().counter("update.exec.rollbacks"),
+        obs::Registry::global().counter("update.exec.aborts"),
+    };
+    return metrics;
+  }
+};
+
+double drain_limit_for(bvt::Procedure procedure, double from, double to,
+                       double headroom) {
+  if (procedure == bvt::Procedure::kStandard) return 0.0;
+  return std::min(from, to) * (1.0 + headroom);
+}
+
+/// Injected stall/delay time in seconds (kDelay magnitudes travel in
+/// milliseconds — fault/plan.hpp).
+double injected_seconds(const fault::Action& action) {
+  if (action.kind == fault::Kind::kStall) return action.magnitude;
+  if (action.kind == fault::Kind::kDelay) return action.magnitude / 1000.0;
+  return 0.0;
+}
+
+}  // namespace
+
+ScheduleExecutor::ScheduleExecutor(const graph::Graph& topology,
+                                   const UpdateSchedule& schedule,
+                                   ExecutorOptions options)
+    : topology_(&topology),
+      schedule_(&schedule),
+      options_(options),
+      state_(schedule.initial) {
+  RWC_CHECK_MSG(options_.max_attempts_per_round >= 1,
+                "ScheduleExecutor: max_attempts_per_round must be >= 1");
+  RWC_CHECK_MSG(state_.load_gbps.size() == topology.edge_count(),
+                "ScheduleExecutor: schedule does not match the topology");
+}
+
+void ScheduleExecutor::apply_move(const Move& move,
+                                  const StateObserver& observer) {
+  if (move.kind == Move::Kind::kReconfig) {
+    const auto e = static_cast<std::size_t>(move.edge.value);
+    // Drain phase: the link's admissible load collapses to the drain limit
+    // (0 when the laser power-cycles) for the duration of the modulation
+    // change. Observable so the invariant layer audits the dark window.
+    state_.limit_gbps[e] =
+        drain_limit_for(schedule_->procedure, move.from.value, move.to.value,
+                        schedule_->headroom);
+    if (observer) observer(state_);
+    // Commit: the BVT now runs at the target rate.
+    state_.capacity_gbps[e] = move.to.value;
+    state_.limit_gbps[e] = move.to.value * (1.0 + schedule_->headroom);
+    if (observer) observer(state_);
+    return;
+  }
+  const double sign = move.kind == Move::Kind::kRouteRemove ? -1.0 : 1.0;
+  const RouteKey key{move.demand_index, move.path.edges};
+  for (graph::EdgeId edge : move.path.edges)
+    state_.load_gbps[static_cast<std::size_t>(edge.value)] +=
+        sign * move.volume.value;
+  state_.routes[key] += sign * move.volume.value;
+  if (state_.routes[key] <= kEps) state_.routes.erase(key);
+  if (observer) observer(state_);
+}
+
+void ScheduleExecutor::revert_move(const Move& move,
+                                   const StateObserver& observer) {
+  if (move.kind == Move::Kind::kReconfig) {
+    const auto e = static_cast<std::size_t>(move.edge.value);
+    // Safe in one step: the edge's load was at or below the drain limit
+    // when the reconfig applied, and every later same-round move has
+    // already been reverted, so the pre-move limit re-admits it.
+    state_.capacity_gbps[e] = move.from.value;
+    state_.limit_gbps[e] = move.from.value * (1.0 + schedule_->headroom);
+    if (observer) observer(state_);
+    return;
+  }
+  const double sign = move.kind == Move::Kind::kRouteRemove ? 1.0 : -1.0;
+  const RouteKey key{move.demand_index, move.path.edges};
+  for (graph::EdgeId edge : move.path.edges)
+    state_.load_gbps[static_cast<std::size_t>(edge.value)] +=
+        sign * move.volume.value;
+  state_.routes[key] += sign * move.volume.value;
+  if (state_.routes[key] <= kEps) state_.routes.erase(key);
+  if (observer) observer(state_);
+}
+
+bool ScheduleExecutor::attempt_round(const UpdateRound& round,
+                                     const StateObserver& observer) {
+  ++result_.commit_attempts;
+  ExecMetrics::instance().commit_attempts.add();
+  // Round-start snapshot: rollback restores it verbatim, so a failed
+  // attempt leaves the state BIT-identical to before (inverse floating-
+  // point arithmetic alone would drift in the last ulp).
+  const DataplaneState checkpoint = state_;
+  for (const Move& move : round.moves) apply_move(move, observer);
+
+  // Fault site: the round's commit barrier. kFail forces a full rollback
+  // and retry; kStall/kDelay are timing-only (inflate makespan, commit
+  // anyway); anything else commits untouched.
+  const fault::Action action = fault::next("update.commit");
+  result_.makespan_seconds += injected_seconds(action);
+  if (action.kind != fault::Kind::kFail) {
+    result_.makespan_seconds += round.duration_seconds;
+    return true;
+  }
+
+  ++result_.rollbacks;
+  ExecMetrics::instance().rollbacks.add();
+  // The failed attempt and its rollback each cost a round's wall time.
+  result_.makespan_seconds += 2.0 * round.duration_seconds;
+  for (auto it = round.moves.rbegin(); it != round.moves.rend(); ++it)
+    revert_move(*it, observer);
+  state_ = checkpoint;  // exact restore (see snapshot note above)
+  if (observer) observer(state_);
+  // Fault site: rollback path. Contractually timing-only — state motion
+  // is the deterministic inverse replay above.
+  result_.makespan_seconds += injected_seconds(fault::next("update.rollback"));
+  return false;
+}
+
+const ExecutionResult& ScheduleExecutor::run(const StateObserver& observer) {
+  return run_rounds(schedule_->rounds.size(), observer);
+}
+
+const ExecutionResult& ScheduleExecutor::run_rounds(
+    std::size_t count, const StateObserver& observer) {
+  for (std::size_t i = 0; i < count && !done(); ++i) {
+    const UpdateRound& round = schedule_->rounds[next_round_];
+    bool committed = false;
+    for (std::size_t attempt = 0;
+         attempt < options_.max_attempts_per_round && !committed; ++attempt)
+      committed = attempt_round(round, observer);
+    if (!committed) {
+      // Clean abort at the round boundary: the dataplane is exactly the
+      // committed prefix (monotone progress — never a torn round).
+      result_.aborted = true;
+      ExecMetrics::instance().aborts.add();
+      break;
+    }
+    ++next_round_;
+    ++result_.rounds_committed;
+    ExecMetrics::instance().rounds_committed.add();
+  }
+  result_.completed =
+      !result_.aborted && next_round_ >= schedule_->rounds.size();
+  return result_;
+}
+
+std::vector<std::byte> ScheduleExecutor::save_state() const {
+  replay::wire::ByteWriter writer;
+  writer.u32(kExecutorStateVersion);
+  writer.u8(result_.aborted ? 1 : 0);
+  writer.u8(result_.completed ? 1 : 0);
+  writer.u32(static_cast<std::uint32_t>(next_round_));
+  writer.u64(result_.rounds_committed);
+  writer.u64(result_.commit_attempts);
+  writer.u64(result_.rollbacks);
+  writer.f64(result_.makespan_seconds);
+  return writer.take();
+}
+
+bool ScheduleExecutor::restore_state(std::span<const std::byte> payload) {
+  replay::wire::ByteReader reader(payload);
+  if (reader.u32() != kExecutorStateVersion) return false;
+  ExecutionResult restored;
+  restored.aborted = reader.u8() != 0;
+  restored.completed = reader.u8() != 0;
+  const std::uint32_t next_round = reader.u32();
+  restored.rounds_committed = reader.u64();
+  restored.commit_attempts = reader.u64();
+  restored.rollbacks = reader.u64();
+  restored.makespan_seconds = reader.f64();
+  if (reader.failed() || !reader.exhausted()) return false;
+  if (next_round > schedule_->rounds.size()) return false;
+  if (restored.rounds_committed != next_round) return false;
+  if (restored.completed &&
+      (restored.aborted || next_round != schedule_->rounds.size()))
+    return false;
+
+  // The dataplane is a pure function of (schedule, committed prefix):
+  // re-apply rounds [0, next_round) in canonical order, fault-free and
+  // unobserved, for a bit-identical rebuild.
+  DataplaneState state = schedule_->initial;
+  for (std::uint32_t r = 0; r < next_round; ++r) {
+    for (const Move& move : schedule_->rounds[r].moves) {
+      if (move.kind == Move::Kind::kReconfig) {
+        const auto e = static_cast<std::size_t>(move.edge.value);
+        state.capacity_gbps[e] = move.to.value;
+        state.limit_gbps[e] = move.to.value * (1.0 + schedule_->headroom);
+        continue;
+      }
+      const double sign =
+          move.kind == Move::Kind::kRouteRemove ? -1.0 : 1.0;
+      const RouteKey key{move.demand_index, move.path.edges};
+      for (graph::EdgeId edge : move.path.edges)
+        state.load_gbps[static_cast<std::size_t>(edge.value)] +=
+            sign * move.volume.value;
+      state.routes[key] += sign * move.volume.value;
+      if (state.routes[key] <= kEps) state.routes.erase(key);
+    }
+  }
+  state_ = std::move(state);
+  next_round_ = next_round;
+  result_ = restored;
+  return true;
+}
+
+}  // namespace rwc::update

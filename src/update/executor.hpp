@@ -1,0 +1,106 @@
+// Commit/rollback executor for update schedules (docs/UPDATE.md §4).
+//
+// Drives an UpdateSchedule round by round against a live DataplaneState.
+// Each round is transactional: the moves apply in canonical order
+// (removals, then reconfigs — drain phase observable — then adds), an
+// `update.commit` fault-site evaluation decides the round's fate, and a
+// kFail injection rolls every move back (inverse moves in reverse order,
+// themselves observable and subject to `update.rollback` timing faults)
+// before retrying. Progress is monotone: the dataplane state between
+// rounds is always the prefix of committed rounds, never a torn round —
+// the property tests/prop/prop_update.cpp proves under random mid-update
+// fault plans.
+//
+// Faults only ever perturb timing (kStall/kDelay inflate the reported
+// makespan) or force retries/aborts at round boundaries; the committed
+// state sequence is bit-identical to a fault-free run of the same prefix.
+// Execution is checkpointable: save_state() captures a tiny cursor
+// (committed-round count + timing/attempt counters) and restore_state()
+// rebuilds the dataplane deterministically by re-applying the committed
+// prefix — restore-then-continue is bit-identical at every pool size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "update/schedule.hpp"
+
+namespace rwc::update {
+
+struct ExecutorOptions {
+  /// Commit attempts per round before the executor aborts the schedule at
+  /// the current round boundary (bounds livelock under periodic kFail
+  /// plans). Must be >= 1.
+  std::size_t max_attempts_per_round = 8;
+};
+
+struct ExecutionResult {
+  bool completed = false;  ///< every round committed
+  bool aborted = false;    ///< gave up after max_attempts_per_round
+  std::size_t rounds_committed = 0;
+  std::uint64_t commit_attempts = 0;
+  std::uint64_t rollbacks = 0;
+  /// Committed round durations plus injected stall/delay time. Timing
+  /// only — excluded from signatures, like RoundStats.
+  double makespan_seconds = 0.0;
+
+  friend bool operator==(const ExecutionResult&,
+                         const ExecutionResult&) = default;
+};
+
+/// Observer invoked after every individual state mutation (each route
+/// move applied or reverted, each reconfig's drain and commit step). The
+/// state passed is the live intermediate dataplane — the hook the
+/// invariant properties use to audit every transient.
+using StateObserver = std::function<void(const DataplaneState&)>;
+
+class ScheduleExecutor {
+ public:
+  ScheduleExecutor(const graph::Graph& topology, const UpdateSchedule& schedule,
+                   ExecutorOptions options = {});
+
+  /// Executes every remaining round (or until abort). Returns the final
+  /// result; `observer` (optional) sees every intermediate state.
+  const ExecutionResult& run(const StateObserver& observer = {});
+
+  /// Executes up to `count` further rounds (for mid-schedule checkpoint
+  /// tests). No-op once done() or aborted().
+  const ExecutionResult& run_rounds(std::size_t count,
+                                    const StateObserver& observer = {});
+
+  const DataplaneState& state() const { return state_; }
+  const ExecutionResult& result() const { return result_; }
+  std::size_t next_round() const { return next_round_; }
+  bool done() const {
+    return next_round_ >= schedule_->rounds.size() || result_.aborted;
+  }
+  bool aborted() const { return result_.aborted; }
+
+  /// Serializes the execution cursor (committed-round count, attempt and
+  /// timing counters) via replay::wire. The dataplane itself is not
+  /// serialized: it is a pure function of the schedule and the cursor,
+  /// and restore_state() re-derives it bit-identically.
+  std::vector<std::byte> save_state() const;
+
+  /// Restores a cursor produced by save_state() against the same
+  /// schedule. Returns false (state unchanged) on a malformed payload or
+  /// a cursor that does not fit this schedule.
+  bool restore_state(std::span<const std::byte> payload);
+
+ private:
+  bool attempt_round(const UpdateRound& round, const StateObserver& observer);
+  void apply_move(const Move& move, const StateObserver& observer);
+  void revert_move(const Move& move, const StateObserver& observer);
+
+  const graph::Graph* topology_;
+  const UpdateSchedule* schedule_;
+  ExecutorOptions options_;
+  DataplaneState state_;
+  std::size_t next_round_ = 0;
+  ExecutionResult result_;
+};
+
+}  // namespace rwc::update

@@ -1,0 +1,7 @@
+// Library identification for rwc_update.
+namespace rwc::update {
+
+/// Version string of the update subsystem (matches the top-level project).
+const char* version() { return "1.0.0"; }
+
+}  // namespace rwc::update

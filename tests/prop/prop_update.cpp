@@ -1,0 +1,260 @@
+// Consistent-update properties under fault injection (docs/UPDATE.md):
+// controller-planned transition schedules executed with random
+// update.commit / update.rollback fault plans must keep EVERY transient
+// dataplane state congestion-free, black-hole-free and loop-free
+// (check_dataplane is the oracle), commit monotonically (an aborted
+// execution stops exactly on a committed-round prefix, never a torn
+// round), and — when the schedule survives its faults — converge to a
+// dataplane bit-identical to a fault-free run. Violations report the seed
+// plus the halving-minimized plan spec (prop/shrink.hpp). The mutation
+// checks at the bottom prove each oracle can actually reject a broken
+// execution — a property that cannot fail is vacuous.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "fault/registry.hpp"
+#include "obs/registry.hpp"
+#include "optical/modulation.hpp"
+#include "prop/generators.hpp"
+#include "prop/invariants.hpp"
+#include "prop/seeds.hpp"
+#include "prop/shrink.hpp"
+#include "te/mcf_te.hpp"
+#include "update/executor.hpp"
+#include "update/schedule.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rwc {
+namespace {
+
+const std::vector<std::uint64_t> kSeeds = prop::sweep_seeds({13, 37, 59});
+
+// Local site profiles: both executor sites are serial (fault::next on a
+// per-site hit counter). update.commit understands kFail (roll back and
+// retry the round) plus the timing kinds; update.rollback is timing-only
+// by contract. kStall is safe here — the executor books the stall into
+// its simulated makespan, it never sleeps.
+const std::vector<prop::SiteProfile>& update_sites() {
+  static const std::vector<prop::SiteProfile> sites = {
+      {"update.commit", true,
+       {fault::Kind::kFail, fault::Kind::kStall, fault::Kind::kDelay}},
+      {"update.rollback", true,
+       {fault::Kind::kStall, fault::Kind::kDelay}},
+  };
+  return sites;
+}
+
+/// Random WAN driven through a few controller rounds with the update
+/// stage on; keeps every feasible non-empty transition schedule the
+/// controller planned. Pure in `seed`.
+struct UpdateFixture {
+  graph::Graph topology;
+  std::vector<update::UpdateSchedule> schedules;
+
+  explicit UpdateFixture(std::uint64_t seed) {
+    util::Rng rng = util::Rng::stream(seed, 650);
+    topology = prop::random_topology(rng);
+    const te::TrafficMatrix demands = prop::random_demands(topology, rng);
+    core::ControllerOptions options;
+    update::SchedulerConfig stage;
+    stage.headroom = 0.1;
+    stage.seed = seed;
+    options.update = stage;
+    const te::McfTe engine;
+    core::DynamicCapacityController controller(
+        topology, optical::ModulationTable::standard(), engine, options);
+    for (std::uint64_t round = 0; round < 4; ++round) {
+      util::Rng snr_rng = util::Rng::stream(seed, 660 + round);
+      const auto snr = prop::random_snr(topology.edge_count(), snr_rng);
+      const auto report = controller.run_round(snr, demands);
+      if (report.update.has_value() && report.update->feasible &&
+          !report.update->rounds.empty())
+        schedules.push_back(*report.update);
+    }
+  }
+};
+
+/// Property 1+2: with `plan` armed, every state the executor ever exposes
+/// — after each route move, each reconfig drain/commit step, and each
+/// rollback step — satisfies check_dataplane: within capacity (plus
+/// headroom / the static overload floor), no traffic on a drained link,
+/// every route a simple contiguous src->dst path (loop- and
+/// black-hole-free).
+prop::InvariantResult transients_stay_clean(const UpdateFixture& fixture,
+                                            const fault::FaultPlan& plan) {
+  try {
+    for (const update::UpdateSchedule& schedule : fixture.schedules) {
+      std::string violation;
+      bool clean = true;
+      fault::ScopedPlan armed(plan);
+      update::ScheduleExecutor executor(fixture.topology, schedule);
+      executor.run([&](const update::DataplaneState& state) {
+        if (clean && !update::check_dataplane(fixture.topology, schedule,
+                                              state, &violation))
+          clean = false;
+      });
+      if (!clean)
+        return prop::InvariantResult::fail(
+            "transient dataplane violation under plan \"" +
+            plan.to_string() + "\": " + violation);
+    }
+    return prop::InvariantResult::pass();
+  } catch (const util::CheckError& error) {
+    return prop::InvariantResult::fail(std::string("CheckError escaped: ") +
+                                       error.what());
+  }
+}
+
+/// Property 3: faults never corrupt state — they only retry, stretch
+/// timing, or abort at a round boundary. A completed faulted execution
+/// ends bit-identical to the fault-free run (and its makespan can only
+/// have grown); an aborted one ends bit-identical to the fault-free
+/// execution of exactly its committed-round prefix (monotone progress).
+prop::InvariantResult faulted_replays_fault_free(
+    const UpdateFixture& fixture, const fault::FaultPlan& plan) {
+  try {
+    for (const update::UpdateSchedule& schedule : fixture.schedules) {
+      update::ScheduleExecutor faulted(fixture.topology, schedule);
+      {
+        fault::ScopedPlan armed(plan);
+        faulted.run();
+      }
+      const update::ExecutionResult& result = faulted.result();
+      update::ScheduleExecutor reference(fixture.topology, schedule);
+      reference.run_rounds(result.rounds_committed);
+      if (!(faulted.state() == reference.state()))
+        return prop::InvariantResult::fail(
+            "faulted execution (committed " +
+            std::to_string(result.rounds_committed) + "/" +
+            std::to_string(schedule.rounds.size()) +
+            " rounds) diverged from the fault-free replay of its "
+            "committed prefix under plan \"" + plan.to_string() + "\"");
+      if (result.completed &&
+          result.makespan_seconds <
+              reference.result().makespan_seconds - 1e-12)
+        return prop::InvariantResult::fail(
+            "faults shortened the makespan under plan \"" +
+            plan.to_string() + "\"");
+      if (result.aborted && result.rounds_committed >= schedule.rounds.size())
+        return prop::InvariantResult::fail(
+            "aborted execution claims a full commit under plan \"" +
+            plan.to_string() + "\"");
+      if (!result.aborted &&
+          result.rounds_committed != schedule.rounds.size())
+        return prop::InvariantResult::fail(
+            "non-aborted execution stopped early under plan \"" +
+            plan.to_string() + "\"");
+    }
+    return prop::InvariantResult::pass();
+  } catch (const util::CheckError& error) {
+    return prop::InvariantResult::fail(std::string("CheckError escaped: ") +
+                                       error.what());
+  }
+}
+
+TEST(PropUpdate, TransientStatesStayCongestionAndLoopFreeUnderFaults) {
+  // Vacuity guards: the fixtures must actually produce schedules, and the
+  // generated plans must actually fire inside the executor.
+  const std::uint64_t injected_before =
+      obs::Registry::global().counter("fault.injected").value();
+  std::size_t schedules = 0;
+  for (const std::uint64_t seed : kSeeds) {
+    const UpdateFixture fixture(seed);
+    schedules += fixture.schedules.size();
+    util::Rng fault_rng = util::Rng::stream(seed, 651);
+    for (int trial = 0; trial < 2; ++trial) {
+      const fault::FaultPlan plan =
+          prop::random_fault_plan(update_sites(), fault_rng, seed);
+      prop::expect_property(seed, plan,
+                            [&](const fault::FaultPlan& candidate) {
+                              return transients_stay_clean(fixture,
+                                                           candidate);
+                            });
+    }
+  }
+  EXPECT_GT(schedules, 0u)
+      << "no fixture produced a transition schedule — nothing was tested";
+  EXPECT_GT(obs::Registry::global().counter("fault.injected").value(),
+            injected_before)
+      << "no generated injection ever fired — the property is vacuous";
+}
+
+TEST(PropUpdate, FaultedExecutionReplaysBitIdenticallyFaultFree) {
+  const std::uint64_t injected_before =
+      obs::Registry::global().counter("fault.injected").value();
+  std::size_t schedules = 0;
+  for (const std::uint64_t seed : kSeeds) {
+    const UpdateFixture fixture(seed);
+    schedules += fixture.schedules.size();
+    util::Rng fault_rng = util::Rng::stream(seed, 652);
+    for (int trial = 0; trial < 2; ++trial) {
+      const fault::FaultPlan plan =
+          prop::random_fault_plan(update_sites(), fault_rng, seed);
+      prop::expect_property(seed, plan,
+                            [&](const fault::FaultPlan& candidate) {
+                              return faulted_replays_fault_free(fixture,
+                                                                candidate);
+                            });
+    }
+  }
+  EXPECT_GT(schedules, 0u)
+      << "no fixture produced a transition schedule — nothing was tested";
+  EXPECT_GT(obs::Registry::global().counter("fault.injected").value(),
+            injected_before)
+      << "no generated injection ever fired — the property is vacuous";
+}
+
+// ---- Mutation checks: each oracle must reject a broken execution. -----
+
+TEST(PropUpdate, MutationTransientOracleRejectsOversubscription) {
+  const UpdateFixture fixture(kSeeds.front());
+  ASSERT_FALSE(fixture.schedules.empty());
+  // Inflate the first route move far beyond any link: executing the
+  // broken schedule must trip the transient oracle even fault-free.
+  update::UpdateSchedule broken = fixture.schedules.front();
+  bool mutated = false;
+  for (auto& round : broken.rounds) {
+    for (auto& move : round.moves)
+      if (move.kind != update::Move::Kind::kReconfig) {
+        move.volume = util::Gbps{1e6};
+        mutated = true;
+        break;
+      }
+    if (mutated) break;
+  }
+  ASSERT_TRUE(mutated);
+  UpdateFixture poisoned = fixture;
+  poisoned.schedules = {broken};
+  const prop::InvariantResult result =
+      transients_stay_clean(poisoned, fault::FaultPlan{});
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(PropUpdate, MutationReplayOracleRejectsDivergentPrefixes) {
+  const UpdateFixture fixture(kSeeds.front());
+  ASSERT_FALSE(fixture.schedules.empty());
+  // A schedule whose round list was quietly truncated after planning: the
+  // faulted arm executes fewer rounds than the reference replays, so the
+  // prefix comparison must reject it.
+  update::UpdateSchedule truncated = fixture.schedules.front();
+  ASSERT_FALSE(truncated.rounds.empty());
+  UpdateFixture reference = fixture;
+  reference.schedules = {fixture.schedules.front()};
+  update::ScheduleExecutor full(reference.topology,
+                                reference.schedules.front());
+  full.run();
+  truncated.rounds.pop_back();
+  update::ScheduleExecutor partial(reference.topology, truncated);
+  partial.run();
+  EXPECT_FALSE(full.state() == partial.state())
+      << "dropping a round left the final dataplane unchanged — the "
+         "bit-identity oracle would never fire on this fixture";
+}
+
+}  // namespace
+}  // namespace rwc

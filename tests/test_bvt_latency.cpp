@@ -61,6 +61,94 @@ TEST(Latency, ProcedureNames) {
   EXPECT_STREQ(to_string(Procedure::kEfficient), "efficient");
 }
 
+// ---- Edge regimes feeding the update scheduler (docs/UPDATE.md) -------
+
+TEST(Latency, ExpectedDowntimeIsTheSumOfComponentMeans) {
+  const LatencyModelParams p;
+  const LatencyModel model(p);
+  EXPECT_DOUBLE_EQ(model.expected_downtime(Procedure::kStandard),
+                   p.laser_shutdown_mean + p.register_program_mean +
+                       p.laser_warmup_mean + p.dsp_relock_mean);
+  EXPECT_DOUBLE_EQ(model.expected_downtime(Procedure::kEfficient),
+                   p.fast_program_mean + p.dsp_relock_mean);
+}
+
+TEST(Latency, ExpectedDowntimeMatchesTheSampleMean) {
+  // The lognormal components are parameterized by their moments, so the
+  // analytic expectation must agree with the empirical mean.
+  const LatencyModel model;
+  for (Procedure procedure : {Procedure::kStandard, Procedure::kEfficient}) {
+    const auto samples = sample(procedure, 5000, 42);
+    const double expected = model.expected_downtime(procedure);
+    EXPECT_NEAR(util::summarize(samples).mean, expected, 0.15 * expected);
+  }
+}
+
+TEST(Latency, NoOpTransitionIsFreeInBothProcedures) {
+  // from == to is the hitless boundary case: no laser cycling, no DSP
+  // relock — exactly zero, sampled or expected.
+  const LatencyModel model;
+  util::Rng rng(7);
+  for (Procedure procedure : {Procedure::kStandard, Procedure::kEfficient}) {
+    EXPECT_DOUBLE_EQ(
+        model.transition_downtime(procedure, util::Gbps{100.0},
+                                  util::Gbps{100.0}),
+        0.0);
+    EXPECT_DOUBLE_EQ(
+        model.transition_downtime(procedure, util::Gbps{0.0},
+                                  util::Gbps{0.0}, &rng),
+        0.0);
+  }
+  // And the zero-duration path must not have consumed randomness.
+  util::Rng untouched(7);
+  EXPECT_DOUBLE_EQ(model.sample_downtime(Procedure::kStandard, rng),
+                   model.sample_downtime(Procedure::kStandard, untouched));
+}
+
+TEST(Latency, AnyRateChangePaysTheFullProcedureCost) {
+  // Every 25G step is a modulation-format change (Fig. 6b), so the cost is
+  // flat in |from - to|: a one-step and an eight-step change charge the
+  // same expected downtime.
+  const LatencyModel model;
+  for (Procedure procedure : {Procedure::kStandard, Procedure::kEfficient}) {
+    const double one_step = model.transition_downtime(
+        procedure, util::Gbps{100.0}, util::Gbps{125.0});
+    const double eight_steps = model.transition_downtime(
+        procedure, util::Gbps{100.0}, util::Gbps{300.0});
+    const double downgrade = model.transition_downtime(
+        procedure, util::Gbps{300.0}, util::Gbps{100.0});
+    EXPECT_DOUBLE_EQ(one_step, model.expected_downtime(procedure));
+    EXPECT_DOUBLE_EQ(one_step, eight_steps);
+    EXPECT_DOUBLE_EQ(one_step, downgrade);
+  }
+}
+
+TEST(Latency, HitlessVersusLaserCyclingBoundary) {
+  // The two procedures sit on opposite sides of the drain decision the
+  // update scheduler makes: seconds of dark link vs milliseconds hitless.
+  const LatencyModel model;
+  const double standard = model.transition_downtime(
+      Procedure::kStandard, util::Gbps{100.0}, util::Gbps{200.0});
+  const double efficient = model.transition_downtime(
+      Procedure::kEfficient, util::Gbps{100.0}, util::Gbps{200.0});
+  EXPECT_GT(standard, 60.0);
+  EXPECT_LT(efficient, 0.1);
+  EXPECT_GT(standard / efficient, 500.0);
+}
+
+TEST(Latency, SampledTransitionsFollowTheRngStream) {
+  // With an rng attached the transition draws from the same stream as
+  // sample_downtime — deterministic given the seed.
+  const LatencyModel model;
+  util::Rng a(11);
+  util::Rng b(11);
+  const double via_transition = model.transition_downtime(
+      Procedure::kEfficient, util::Gbps{100.0}, util::Gbps{200.0}, &a);
+  const double via_sample = model.sample_downtime(Procedure::kEfficient, b);
+  EXPECT_DOUBLE_EQ(via_transition, via_sample);
+  EXPECT_GT(via_transition, 0.0);
+}
+
 class LatencySeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(LatencySeedSweep, MeansStableAcrossSeeds) {
