@@ -1,0 +1,275 @@
+// Closed-loop OD demand estimation (rwc::demand): the estimated-demand
+// control loop measured and proven against the oracle-demand loop
+// (docs/DEMAND.md; EXPERIMENTS.md "Demand estimation").
+//
+//   demand_loop [rounds] [--selfcheck] [--json <path>]
+//
+// Default mode drives the estimated-demand replay loop and reports
+// rounds/sec plus the estimator's observability and certification
+// counters.
+//
+// --selfcheck turns the bench into the PR's proof obligation:
+//   A. determinism — the noisy estimated chain replayed at thread-pool
+//      sizes {1, 2, 8} must reproduce the unpooled chain bit-for-bit;
+//   B. exact recovery — on zero-noise counters with on-grid true volumes
+//      the estimated loop's signature chain must equal the oracle loop's,
+//      and every post-bootstrap round must carry the exact-recovery
+//      certificate (demand.estimates_exact advances by rounds-1);
+//   C. graceful degradation — sweeping counter noise {0, 0.01, 0.05,
+//      0.20} over a mini-fleet, delivered traffic must never exceed the
+//      zero-noise arm's (estimation error cannot manufacture capacity)
+//      and the zero-noise arm must equal the oracle arm bitwise.
+// The sweep rows are exported as demand.bench.* gauges so `--json`
+// snapshots them into BENCH_demand.json for CI drift tracking.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "demand/estimator.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/timer.hpp"
+#include "replay/driver.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using rwc::replay::ReplayConfig;
+using rwc::replay::ReplayDriver;
+
+struct Fleet {
+  rwc::graph::Graph topology;
+  rwc::te::TrafficMatrix demands;
+};
+
+/// Instance with ON-GRID demand volumes: leg B compares the estimated
+/// chain against the oracle chain bitwise, which needs truths the 1e-6
+/// Gbps estimate grid can represent (docs/DEMAND.md §4).
+Fleet make_fleet() {
+  rwc::util::Rng topo_rng = rwc::util::Rng::stream(rwc::bench::kFleetSeed, 60);
+  Fleet fleet{rwc::sim::waxman(10, topo_rng), {}};
+  rwc::util::Rng demand_rng =
+      rwc::util::Rng::stream(rwc::bench::kFleetSeed, 61);
+  rwc::sim::GravityParams gravity;
+  gravity.total =
+      rwc::util::Gbps{fleet.topology.total_capacity().value * 0.45};
+  fleet.demands = rwc::sim::gravity_matrix(fleet.topology, gravity, demand_rng);
+  for (rwc::te::Demand& demand : fleet.demands)
+    demand.volume =
+        rwc::util::Gbps{rwc::demand::snap_to_grid(demand.volume.value)};
+  return fleet;
+}
+
+ReplayConfig make_config(std::uint64_t rounds) {
+  ReplayConfig config;
+  config.rounds = rounds;
+  config.diurnal = false;  // leg B precondition: on-grid volumes stay on-grid
+  config.hysteresis = rwc::core::HysteresisParams{};
+  config.seed = rwc::util::Rng::stream(rwc::bench::kFleetSeed, 62).next_u64();
+  return config;
+}
+
+std::uint64_t run_chain(const Fleet& fleet, const ReplayConfig& config) {
+  rwc::te::McfTe engine;
+  ReplayDriver driver(fleet.topology, engine, fleet.demands, config);
+  driver.run();
+  return driver.signature_chain();
+}
+
+int run_perf(std::uint64_t rounds) {
+  const Fleet fleet = make_fleet();
+  ReplayConfig config = make_config(rounds);
+  config.demand.source = rwc::demand::DemandSource::kEstimated;
+  config.demand.noise = 0.02;
+  config.demand.loss_rate = 0.01;
+
+  rwc::te::McfTe engine;
+  ReplayDriver driver(fleet.topology, engine, fleet.demands, config);
+  const rwc::obs::StopWatch watch;
+  driver.run();
+  const double seconds = watch.seconds();
+
+  auto& registry = rwc::obs::Registry::global();
+  rwc::bench::print_header("Demand loop: estimated-demand control rounds");
+  std::printf("%-28s %llu\n", "rounds",
+              static_cast<unsigned long long>(rounds));
+  std::printf("%-28s %zu links, %zu ODs\n", "instance",
+              fleet.topology.edge_count(), fleet.demands.size());
+  std::printf("%-28s %.1f\n", "rounds/sec",
+              seconds > 0.0 ? static_cast<double>(rounds) / seconds : 0.0);
+  std::printf("%-28s %llu\n", "estimator solves",
+              static_cast<unsigned long long>(
+                  registry.counter("demand.solves").value()));
+  std::printf("%-28s %llu\n", "exact certificates",
+              static_cast<unsigned long long>(
+                  registry.counter("demand.estimates_exact").value()));
+  std::printf("%-28s %llu\n", "damped fallbacks",
+              static_cast<unsigned long long>(
+                  registry.counter("demand.estimates_damped").value()));
+  std::printf("%-28s %llu\n", "counters sanitized",
+              static_cast<unsigned long long>(
+                  registry.counter("demand.counters_sanitized").value()));
+  return 0;
+}
+
+/// Selfcheck leg A: the noisy estimated chain is invariant to the
+/// thread-pool size (the estimator must not depend on reduction order).
+bool selfcheck_pool_determinism(const Fleet& fleet, std::uint64_t rounds) {
+  ReplayConfig config = make_config(rounds);
+  config.demand.source = rwc::demand::DemandSource::kEstimated;
+  config.demand.noise = 0.02;
+  const std::uint64_t reference = run_chain(fleet, config);
+
+  bool ok = true;
+  for (const std::size_t pool_size : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+    rwc::exec::ThreadPool pool(pool_size);
+    ReplayConfig pooled = config;
+    pooled.pool = &pool;
+    const std::uint64_t chain = run_chain(fleet, pooled);
+    const bool match = chain == reference;
+    std::printf("%-28s pool=%zu chain %s\n", "pool determinism", pool_size,
+                match ? "MATCH" : "MISMATCH");
+    if (!match) {
+      std::fprintf(stderr,
+                   "selfcheck: pool=%zu chain %016llx != reference %016llx\n",
+                   pool_size, static_cast<unsigned long long>(chain),
+                   static_cast<unsigned long long>(reference));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Selfcheck leg B: zero-noise estimated == oracle, certified per round.
+bool selfcheck_exact_recovery(const Fleet& fleet, std::uint64_t rounds) {
+  const ReplayConfig oracle = make_config(rounds);
+  const std::uint64_t oracle_chain = run_chain(fleet, oracle);
+
+  ReplayConfig estimated = oracle;
+  estimated.demand.source = rwc::demand::DemandSource::kEstimated;
+  auto& exact = rwc::obs::Registry::global().counter("demand.estimates_exact");
+  const std::uint64_t exact_before = exact.value();
+  const std::uint64_t estimated_chain = run_chain(fleet, estimated);
+  const std::uint64_t certified = exact.value() - exact_before;
+
+  const bool chains_match = estimated_chain == oracle_chain;
+  // Round 0 bootstraps from intent (nothing installed to invert); every
+  // later round must certify or the equivalence is vacuous.
+  const bool all_certified = certified >= rounds - 1;
+  std::printf("%-28s chain %s, %llu/%llu rounds certified\n",
+              "exact recovery", chains_match ? "MATCH" : "MISMATCH",
+              static_cast<unsigned long long>(certified),
+              static_cast<unsigned long long>(rounds - 1));
+  if (!chains_match)
+    std::fprintf(stderr,
+                 "selfcheck: estimated chain %016llx != oracle %016llx\n",
+                 static_cast<unsigned long long>(estimated_chain),
+                 static_cast<unsigned long long>(oracle_chain));
+  if (!all_certified)
+    std::fprintf(stderr,
+                 "selfcheck: only %llu certified exact recoveries, need %llu\n",
+                 static_cast<unsigned long long>(certified),
+                 static_cast<unsigned long long>(rounds - 1));
+  return chains_match && all_certified;
+}
+
+/// Selfcheck leg C: counter-noise sweep over a mini-fleet simulation.
+/// Delivered traffic under estimation error never exceeds the clean arm.
+bool selfcheck_noise_sweep(const Fleet& fleet) {
+  constexpr double kNoise[] = {0.0, 0.01, 0.05, 0.20};
+
+  rwc::sim::SimulationConfig base;
+  base.horizon = 12.0 * rwc::util::kHour;
+  base.te_interval = 15.0 * rwc::util::kMinute;
+  base.seed = rwc::bench::kFleetSeed;
+  base.diurnal = false;
+  base.policy = rwc::sim::CapacityPolicy::kDynamic;
+
+  std::vector<rwc::sim::Scenario> scenarios;
+  scenarios.push_back({"oracle", base});
+  for (const double noise : kNoise) {
+    rwc::sim::SimulationConfig config = base;
+    config.demand.source = rwc::demand::DemandSource::kEstimated;
+    config.demand.noise = noise;
+    scenarios.push_back({"noise-" + std::to_string(noise), config});
+  }
+
+  const rwc::te::McfTe engine;
+  const std::vector<rwc::sim::ScenarioResult> results =
+      rwc::sim::run_scenarios(fleet.topology, engine, fleet.demands,
+                              scenarios);
+
+  auto& registry = rwc::obs::Registry::global();
+  const double oracle_delivered = results[0].metrics.delivered_gbps_hours;
+  const double clean_delivered = results[1].metrics.delivered_gbps_hours;
+  bool ok = true;
+  std::printf("%-28s %14s %14s %10s\n", "noise sweep", "delivered",
+              "availability", "te rounds");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const rwc::sim::SimulationMetrics& m = results[i].metrics;
+    std::printf("%-28s %14.2f %14.6f %10llu\n", results[i].name.c_str(),
+                m.delivered_gbps_hours, m.availability,
+                static_cast<unsigned long long>(m.te_rounds));
+    registry.gauge("demand.bench." + results[i].name + ".delivered").set(
+        m.delivered_gbps_hours);
+    registry.gauge("demand.bench." + results[i].name + ".availability").set(
+        m.availability);
+  }
+  if (clean_delivered != oracle_delivered) {
+    std::fprintf(stderr,
+                 "selfcheck: zero-noise delivered %.9f != oracle %.9f\n",
+                 clean_delivered, oracle_delivered);
+    ok = false;
+  }
+  // Estimation error can only lose traffic (honest delivered accounting):
+  // allow a whisker of FP slack, nothing more.
+  const double eps = 1e-9 * std::max(1.0, clean_delivered);
+  for (std::size_t i = 2; i < results.size(); ++i) {
+    if (results[i].metrics.delivered_gbps_hours >
+        clean_delivered + eps) {
+      std::fprintf(stderr,
+                   "selfcheck: %s delivered %.9f exceeds zero-noise %.9f\n",
+                   results[i].name.c_str(),
+                   results[i].metrics.delivered_gbps_hours, clean_delivered);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+int run_selfcheck(std::uint64_t rounds) {
+  const Fleet fleet = make_fleet();
+  rwc::bench::print_header("Demand loop selfcheck");
+  bool ok = selfcheck_pool_determinism(fleet, rounds);
+  ok &= selfcheck_exact_recovery(fleet, rounds);
+  ok &= selfcheck_noise_sweep(fleet);
+  std::printf("\nselfcheck: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rwc::bench::JsonExportGuard json_guard(argc, argv);
+  bool selfcheck = false;
+  std::uint64_t rounds = 96;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selfcheck") {
+      selfcheck = true;
+    } else if (const long long parsed = std::atoll(arg.c_str());
+               parsed > 0) {
+      rounds = static_cast<std::uint64_t>(parsed);
+    }
+  }
+  if (selfcheck) return run_selfcheck(std::min<std::uint64_t>(rounds, 24));
+  return run_perf(rounds);
+}

@@ -13,6 +13,13 @@
 //   --rounds N       TE rounds per instance (default 96)
 //   --seed N         fleet seed (default 20170701, the repo's pinned seed)
 //   --engine mcf|swan
+//   --demand oracle|estimated
+//                    demand source for every instance (docs/DEMAND.md):
+//                    oracle feeds the true matrix, estimated closes the
+//                    loop through link counters and the OD estimator
+//   --demand-noise F relative counter noise for --demand estimated
+//                    (default 0; the zero-noise fleet numbers match the
+//                    oracle fleet numbers bit-for-bit)
 //   --faults SPEC    arm a fault plan (RWC_FAULTS grammar) around the run;
 //                    parallel-keyed sites only (docs/FLEET.md)
 //   --full           disable the incremental hot path
@@ -325,6 +332,12 @@ int main(int argc, char** argv) {
   if (const auto v = arg_value(argc, argv, "--engine"))
     config.engine = (*v == "swan") ? rwc::fleet::EngineKind::kSwan
                                    : rwc::fleet::EngineKind::kMcf;
+  if (const auto v = arg_value(argc, argv, "--demand"))
+    config.demand.source = (*v == "estimated")
+                               ? rwc::demand::DemandSource::kEstimated
+                               : rwc::demand::DemandSource::kOracle;
+  if (const auto v = arg_value(argc, argv, "--demand-noise"))
+    config.demand.noise = std::stod(*v);
   config.incremental = !has_flag(argc, argv, "--full");
 
   std::optional<rwc::fault::ScopedPlan> fault_plan;

@@ -119,6 +119,9 @@ DynamicCapacityController::DynamicCapacityController(
       options_(std::move(options)) {
   if (options_.penalty == nullptr)
     options_.penalty = std::make_shared<TrafficProportionalPenalty>();
+  if (options_.demand.estimated())
+    demand_pipeline_ = std::make_unique<demand::DemandPipeline>(
+        physical_.edge_count(), options_.demand);
   configured_.reserve(physical_.edge_count());
   for (EdgeId edge : physical_.edge_ids())
     configured_.push_back(physical_.edge(edge).capacity);
@@ -307,6 +310,22 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
     // stats flush below reads total_seconds.
     obs::Span round_span("controller.round", &report.stats.total_seconds);
 
+    // Step 0 (options_.demand, docs/DEMAND.md): closed-loop demand
+    // estimation. The handed-in matrix becomes the offered intent; the
+    // pipeline synthesizes link counters from it over the previous round's
+    // installed routing and infers the matrix the TE stages actually solve.
+    // With the default oracle source this block is skipped and `demands`
+    // flows through untouched.
+    const te::TrafficMatrix* round_demands = &demands;
+    te::TrafficMatrix estimated_demands;
+    if (demand_pipeline_ != nullptr) {
+      demand::DemandPipeline::Result estimate =
+          demand_pipeline_->round(demands, last_assignment_);
+      estimated_demands = std::move(estimate.demands);
+      report.demand = estimate.stats;
+      round_demands = &estimated_demands;
+    }
+
     // Step 1-2: feasible rates; flap down links whose SNR degraded.
     static auto& snr_clamped =
         obs::Registry::global().counter("controller.snr_clamped");
@@ -414,13 +433,13 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
         memo_.configured == configured_ &&
         memo_.variable_links == variable_links &&
         memo_.variable_traffic == variable_traffic &&
-        memo_.demands == demands;
+        memo_.demands == *round_demands;
     if (memo_hit) {
       report.plan = memo_.plan;
       report.stats.incremental_hit = true;
     } else {
       report.plan =
-          evaluate(current, variable_links, demands, report.stats,
+          evaluate(current, variable_links, *round_demands, report.stats,
                    options_.incremental ? &augment_cache_ : nullptr);
       if (options_.incremental)
         report.stats.dirty_links = augment_cache_.last_dirty().size();
@@ -432,7 +451,7 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
         exec::ThreadPool& pool = options_.pool != nullptr
                                      ? *options_.pool
                                      : exec::ThreadPool::global();
-        consolidate(pool, current, variable_links, demands, report);
+        consolidate(pool, current, variable_links, *round_demands, report);
         report.stats.consolidate_seconds = consolidate_watch.seconds();
       }
 
@@ -442,7 +461,7 @@ DynamicCapacityController::run_round(std::span<const Db> link_snr,
         memo_.variable_links.assign(variable_links.begin(),
                                     variable_links.end());
         memo_.variable_traffic = std::move(variable_traffic);
-        memo_.demands = demands;
+        memo_.demands = *round_demands;
         memo_.plan = report.plan;
       }
     }

@@ -24,6 +24,7 @@
 #include "core/augment.hpp"
 #include "core/hysteresis.hpp"
 #include "core/translate.hpp"
+#include "demand/pipeline.hpp"
 #include "obs/registry.hpp"
 #include "optical/modulation.hpp"
 #include "te/algorithm.hpp"
@@ -82,6 +83,15 @@ struct ControllerOptions {
   /// in RoundReport::update and its shape in RoundStats, but controller
   /// results and signatures are bit-identical with the stage on or off.
   std::optional<update::SchedulerConfig> update;
+  /// Closed-loop demand estimation (docs/DEMAND.md). With the default
+  /// kOracle source the controller consumes the handed-in matrix directly,
+  /// bit-for-bit as before. With kEstimated the handed-in matrix is the
+  /// OFFERED INTENT: a demand::DemandPipeline synthesizes link counters
+  /// from it over the previous round's installed routing, degrades them
+  /// per the config (and any armed demand.counter plan), infers an OD
+  /// matrix back, and the TE stages solve THAT. Unlike every stats knob,
+  /// this changes RESULTS — embedders fingerprint it (serve, replay).
+  demand::DemandConfig demand;
   /// Penalty policy; defaults to TrafficProportionalPenalty.
   std::shared_ptr<const PenaltyPolicy> penalty;
   /// Thread pool for the consolidation pass's candidate evaluations;
@@ -179,6 +189,11 @@ class DynamicCapacityController {
     te::UpdatePlan transition;
     /// Whether the transition plan passed validation.
     bool transition_valid = false;
+    /// Demand-estimation outcome of this round (only when options.demand
+    /// selects kEstimated). Diagnostics — never part of a round's result
+    /// signature; the estimated volumes the round solved are (read them
+    /// via demand_pipeline()->last_estimated()).
+    std::optional<demand::EstimateStats> demand;
     /// Ordered update schedule for this round's transition (only when
     /// options.update is set) — executable via update::ScheduleExecutor.
     std::optional<update::UpdateSchedule> update;
@@ -226,6 +241,14 @@ class DynamicCapacityController {
   const optical::ModulationTable& table() const { return table_; }
   const ControllerOptions& options() const { return options_; }
 
+  /// The estimation pipeline (nullptr unless options.demand is estimated).
+  /// Its evolving state rides the optional kDemand checkpoint section —
+  /// PersistentState stays wire-compatible (docs/REPLAY.md).
+  demand::DemandPipeline* demand_pipeline() { return demand_pipeline_.get(); }
+  const demand::DemandPipeline* demand_pipeline() const {
+    return demand_pipeline_.get();
+  }
+
  private:
   /// One augment -> solve -> translate evaluation against `current`.
   /// Stage wall-times and the evaluation count accumulate into `stats`.
@@ -268,6 +291,7 @@ class DynamicCapacityController {
   optical::ModulationTable table_;
   const te::TeAlgorithm& engine_;
   ControllerOptions options_;
+  std::unique_ptr<demand::DemandPipeline> demand_pipeline_;
   std::vector<util::Gbps> configured_;
   SolveMemo memo_;
   AugmentCache augment_cache_;

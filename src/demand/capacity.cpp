@@ -1,0 +1,44 @@
+#include "demand/capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/registry.hpp"
+
+namespace rwc::demand {
+
+CapacityEstimator::CapacityEstimator(std::size_t links, double decay,
+                                     double tolerance)
+    : decay_(decay), tolerance_(tolerance), peak_gbps_(links, 0.0) {}
+
+void CapacityEstimator::observe(const CounterSet& counters,
+                                double interval_seconds) {
+  const std::size_t n = std::min(peak_gbps_.size(), counters.samples.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const CounterSample& sample = counters.samples[i];
+    peak_gbps_[i] *= decay_;
+    if (sample.missing) continue;
+    const double rate = gbps_of(sample.tx_bytes, interval_seconds);
+    if (!std::isfinite(rate) || rate < 0.0) continue;
+    peak_gbps_[i] = std::max(peak_gbps_[i], rate);
+  }
+}
+
+std::vector<CapacityEstimate> CapacityEstimator::estimates(
+    const optical::ModulationTable& table, std::span<const util::Db> snr,
+    util::Db margin) const {
+  static auto& mismatches =
+      obs::Registry::global().counter("demand.capacity.mismatch");
+  std::vector<CapacityEstimate> result(peak_gbps_.size());
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    result[i].measured_gbps = peak_gbps_[i];
+    result[i].snr_gbps =
+        i < snr.size() ? table.feasible_capacity(snr[i], margin).value : 0.0;
+    result[i].consistent =
+        result[i].measured_gbps <= result[i].snr_gbps * (1.0 + tolerance_);
+    if (!result[i].consistent) mismatches.add();
+  }
+  return result;
+}
+
+}  // namespace rwc::demand

@@ -1,0 +1,57 @@
+// Measurement-based capacity estimation with an SNR cross-check
+// (rwc::demand, CapEst-style — PAPERS.md, Jindal et al.).
+//
+// The counters already tell us what each link demonstrably carried; the SNR
+// ladder tells us what it should be able to carry. CapacityEstimator keeps
+// a decayed peak of the delivered rate per link (the measurement-based
+// estimate: a lower bound that converges from below as traffic exercises
+// the link) and cross-checks it against telemetry's SNR-derived feasible
+// rate (optical::ModulationTable::feasible_capacity). A link measured ABOVE
+// its SNR-feasible rate means the two telemetry planes disagree — counted
+// under demand.capacity.mismatch, a diagnostic that never alters results.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "demand/counters.hpp"
+#include "optical/modulation.hpp"
+#include "util/units.hpp"
+
+namespace rwc::demand {
+
+struct CapacityEstimate {
+  double measured_gbps = 0.0;  ///< decayed peak delivered rate
+  double snr_gbps = 0.0;       ///< ladder rate the SNR supports at margin
+  /// measured <= snr * (1 + tolerance): the planes agree.
+  bool consistent = true;
+};
+
+class CapacityEstimator {
+ public:
+  /// `decay` multiplies the running peak each round before the new sample
+  /// competes with it; `tolerance` is the cross-check slack.
+  explicit CapacityEstimator(std::size_t links, double decay = 0.98,
+                             double tolerance = 0.05);
+
+  /// Feeds one round of counters (missing/corrupt samples are skipped).
+  void observe(const CounterSet& counters, double interval_seconds);
+
+  /// Cross-checks against per-link SNR; counts demand.capacity.mismatch.
+  std::vector<CapacityEstimate> estimates(const optical::ModulationTable& table,
+                                          std::span<const util::Db> snr,
+                                          util::Db margin) const;
+
+  /// Decayed peak delivered rate per link (checkpointable state).
+  const std::vector<double>& measured() const { return peak_gbps_; }
+  void restore_measured(std::vector<double> peak) {
+    peak_gbps_ = std::move(peak);
+  }
+
+ private:
+  double decay_;
+  double tolerance_;
+  std::vector<double> peak_gbps_;
+};
+
+}  // namespace rwc::demand

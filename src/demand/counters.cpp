@@ -1,0 +1,93 @@
+#include "demand/counters.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "fault/registry.hpp"
+#include "util/rng.hpp"
+
+namespace rwc::demand {
+
+CounterSet synthesize_counters(const RoutingMatrix& matrix,
+                               std::span<const double> true_volumes,
+                               std::span<const CounterSample> previous,
+                               const DemandConfig& config,
+                               std::uint64_t round) {
+  CounterSet set;
+  set.round = round;
+  set.samples.resize(matrix.links);
+  util::Rng rng = util::Rng::stream(config.seed, round);
+
+  for (std::size_t i = 0; i < matrix.links; ++i) {
+    CounterSample sample;
+    // Offered load in the contractual row-entry order (the estimator's
+    // exact-recovery certificate re-runs this sum bit-for-bit).
+    const double offered = offered_load(matrix.rows[i], true_volumes);
+
+    // Loss: a per-round per-link loss probability surfaces as lost-packet
+    // counters; the delivered byte/packet counters shrink accordingly.
+    double delivered = offered;
+    double loss_fraction = 0.0;
+    if (config.loss_rate > 0.0) {
+      loss_fraction =
+          std::clamp(rng.uniform(0.0, 2.0 * config.loss_rate), 0.0, 1.0);
+      delivered = offered * (1.0 - loss_fraction);
+    }
+    sample.tx_bytes = bytes_of(delivered, config.interval_seconds);
+    sample.tx_packets = sample.tx_bytes / kPacketBytes;
+    if (loss_fraction > 0.0 && loss_fraction < 1.0) {
+      sample.lost_packets =
+          sample.tx_packets * loss_fraction / (1.0 - loss_fraction);
+    } else if (loss_fraction >= 1.0) {
+      sample.lost_packets =
+          bytes_of(offered, config.interval_seconds) / kPacketBytes;
+    }
+
+    // Multiplicative export noise (skipped entirely at noise == 0 so the
+    // zero-noise counters are byte-exact, not merely close).
+    if (config.noise > 0.0) {
+      const double factor = 1.0 + rng.normal(0.0, config.noise);
+      sample.tx_bytes = std::max(0.0, sample.tx_bytes * factor);
+      sample.tx_packets = sample.tx_bytes / kPacketBytes;
+    }
+
+    // Collection staleness: the link re-exports the previous interval.
+    if (config.staleness > 0.0 && rng.bernoulli(config.staleness) &&
+        i < previous.size()) {
+      sample = previous[i];
+    }
+
+    // Fault injection (docs/FAULTS.md, site demand.counter): this link's
+    // counters vanish, arrive corrupted, stale or double-counted. Keyed by
+    // edge id, so injections are pool-size independent, and applied BEFORE
+    // the sample is recorded (record-before-apply — replaying the log
+    // without faults reproduces the faulted run).
+    switch (fault::at("demand.counter", static_cast<std::uint64_t>(i)).kind) {
+      case fault::Kind::kDrop:
+        sample = CounterSample{};
+        sample.missing = true;
+        break;
+      case fault::Kind::kNan:
+        sample.tx_bytes = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case fault::Kind::kGarbage:
+        sample.tx_bytes = -1e18;
+        break;
+      case fault::Kind::kStale:
+        sample = i < previous.size() ? previous[i] : CounterSample{};
+        break;
+      case fault::Kind::kDuplicate:
+        sample.tx_bytes *= 2.0;
+        sample.tx_packets *= 2.0;
+        sample.lost_packets *= 2.0;
+        break;
+      default:
+        break;
+    }
+
+    set.samples[i] = sample;
+  }
+  return set;
+}
+
+}  // namespace rwc::demand

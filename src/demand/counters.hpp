@@ -1,0 +1,94 @@
+// Synthetic per-link counter generation + the recorded counter log
+// (rwc::demand).
+//
+// synthesize_counters models what a collection round would export per
+// directed link: delivered bytes/packets and lost packets over the
+// interval, derived from the true offered intent routed over the installed
+// path splits (demand/routing_matrix.hpp), then degraded by the configured
+// loss / noise / staleness and by any armed `demand.counter` fault plan
+// (drop / garbage / nan / stale / duplicate, keyed by edge id —
+// docs/FAULTS.md). Everything is a pure function of (config, round,
+// inputs): the noise stream is util::Rng::stream(config.seed, round), so
+// synthesis is deterministic under any thread-pool size.
+//
+// Faults and degradations apply BEFORE the sample is recorded — the same
+// record-before-apply rule as serve's ingest log — so feeding a recorded
+// CounterSet back through the estimator, without faults armed, reproduces
+// the live run's estimates bit-identically (docs/DEMAND.md §5,
+// tests/prop/prop_demand.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "demand/config.hpp"
+#include "demand/routing_matrix.hpp"
+
+namespace rwc::demand {
+
+/// What one directed link exported for one collection interval. Doubles,
+/// not integers: counters feed straight into the least-squares solve, and
+/// fault injection needs to plant NaN/garbage values a sanitizer must catch.
+struct CounterSample {
+  double tx_bytes = 0.0;      ///< bytes delivered (post-loss) on the link
+  double tx_packets = 0.0;    ///< packets delivered
+  double lost_packets = 0.0;  ///< packets dropped on the link
+  bool missing = false;       ///< collection dropped this link entirely
+
+  friend bool operator==(const CounterSample&, const CounterSample&) = default;
+};
+
+/// One collection round: a sample per directed physical link.
+struct CounterSet {
+  std::uint64_t round = 0;
+  std::vector<CounterSample> samples;
+
+  friend bool operator==(const CounterSet&, const CounterSet&) = default;
+};
+
+/// Modeled MTU of the packet counters (bytes/packet).
+inline constexpr double kPacketBytes = 1500.0;
+
+/// Bytes exported for `gbps` sustained over `interval_seconds`.
+inline double bytes_of(double gbps, double interval_seconds) {
+  return gbps * (interval_seconds * 1e9 / 8.0);
+}
+
+/// Gbps carried by `bytes` over `interval_seconds`.
+inline double gbps_of(double bytes, double interval_seconds) {
+  return bytes * 8.0 / interval_seconds / 1e9;
+}
+
+/// Synthesizes round `round`'s counters from the true volumes (indexed by
+/// OD, aligned with `matrix`) routed over `matrix`. `previous` holds the
+/// prior round's recorded samples for the staleness model and the kStale
+/// fault (pass an empty span on round 0: a stale round-0 link exports
+/// zeros). The `demand.counter` fault site fires here, keyed by edge id.
+CounterSet synthesize_counters(const RoutingMatrix& matrix,
+                               std::span<const double> true_volumes,
+                               std::span<const CounterSample> previous,
+                               const DemandConfig& config,
+                               std::uint64_t round);
+
+/// Bounded ring of recorded counter rounds (config.record_rounds).
+class CounterLog {
+ public:
+  explicit CounterLog(std::size_t capacity) : capacity_(capacity) {}
+
+  void append(CounterSet set) {
+    if (capacity_ == 0) return;
+    if (sets_.size() == capacity_) sets_.pop_front();
+    sets_.push_back(std::move(set));
+  }
+
+  std::size_t size() const { return sets_.size(); }
+  const CounterSet& at(std::size_t i) const { return sets_[i]; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<CounterSet> sets_;
+};
+
+}  // namespace rwc::demand

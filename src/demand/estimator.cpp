@@ -1,0 +1,262 @@
+#include "demand/estimator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "fault/registry.hpp"
+#include "obs/registry.hpp"
+
+namespace rwc::demand {
+
+namespace {
+
+/// Handles into the global registry (docs/OBSERVABILITY.md: demand.*).
+struct EstimatorMetrics {
+  obs::Counter& solves;
+  obs::Counter& exact;
+  obs::Counter& damped;
+  obs::Counter& sanitized;
+  obs::Counter& dropped;
+  obs::Counter& lossy;
+  obs::Counter& unobservable_ods;
+  obs::Counter& budget_exhausted;
+  obs::Gauge& residual;
+
+  static EstimatorMetrics& instance() {
+    static auto& registry = obs::Registry::global();
+    static EstimatorMetrics metrics{
+        registry.counter("demand.solves"),
+        registry.counter("demand.estimates_exact"),
+        registry.counter("demand.estimates_damped"),
+        registry.counter("demand.counters_sanitized"),
+        registry.counter("demand.counters_dropped"),
+        registry.counter("demand.counters_lossy"),
+        registry.counter("demand.unobservable_ods"),
+        registry.counter("demand.solve.budget_exhausted"),
+        registry.gauge("demand.residual"),
+    };
+    return metrics;
+  }
+};
+
+struct UsableRow {
+  std::size_t link = 0;
+  double offered_gbps = 0.0;  ///< delivered rate divided back by (1 - loss)
+};
+
+bool finite_non_negative(double value) {
+  return std::isfinite(value) && value >= 0.0;
+}
+
+/// In-place Cholesky LL^T of the dense symmetric `a` (n x n, row-major).
+/// Returns false when a pivot falls below `tolerance` (rank deficiency).
+bool cholesky(std::vector<double>& a, std::size_t n, double tolerance) {
+  for (std::size_t k = 0; k < n; ++k) {
+    double diag = a[k * n + k];
+    for (std::size_t j = 0; j < k; ++j) diag -= a[k * n + j] * a[k * n + j];
+    if (!(diag > tolerance)) return false;
+    const double root = std::sqrt(diag);
+    a[k * n + k] = root;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double value = a[i * n + k];
+      for (std::size_t j = 0; j < k; ++j)
+        value -= a[i * n + j] * a[k * n + j];
+      a[i * n + k] = value / root;
+    }
+  }
+  return true;
+}
+
+/// Solves L L^T x = b given the factor from cholesky().
+std::vector<double> cholesky_solve(const std::vector<double>& l, std::size_t n,
+                                   std::vector<double> b) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) b[i] -= l[i * n + j] * b[j];
+    b[i] /= l[i * n + i];
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    for (std::size_t j = i + 1; j < n; ++j) b[i] -= l[j * n + i] * b[j];
+    b[i] /= l[i * n + i];
+  }
+  return b;
+}
+
+bool bitwise_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+double snap_to_grid(double gbps) {
+  return std::round(gbps / kVolumeGridGbps) * kVolumeGridGbps;
+}
+
+EstimateResult estimate_od_volumes(const RoutingMatrix& matrix,
+                                   const CounterSet& counters,
+                                   std::span<const double> intent,
+                                   std::span<const double> prior,
+                                   const DemandConfig& config) {
+  auto& metrics = EstimatorMetrics::instance();
+  EstimateResult result;
+  result.volumes.assign(intent.begin(), intent.end());
+  EstimateStats& stats = result.stats;
+
+  // Sanitize + loss composition: one usable row per trustworthy link.
+  std::vector<UsableRow> rows;
+  bool all_links_clean = counters.samples.size() == matrix.links;
+  rows.reserve(counters.samples.size());
+  for (std::size_t i = 0;
+       i < std::min(counters.samples.size(), matrix.links); ++i) {
+    const CounterSample& sample = counters.samples[i];
+    if (sample.missing) {
+      ++stats.dropped;
+      all_links_clean = false;
+      continue;
+    }
+    if (!finite_non_negative(sample.tx_bytes) ||
+        !finite_non_negative(sample.tx_packets) ||
+        !finite_non_negative(sample.lost_packets)) {
+      ++stats.sanitized;
+      all_links_clean = false;
+      continue;
+    }
+    const double total_packets = sample.tx_packets + sample.lost_packets;
+    const double loss =
+        total_packets > 0.0 ? sample.lost_packets / total_packets : 0.0;
+    if (loss >= 1.0 - 1e-12) {  // 100% loss: offered load unrecoverable
+      ++stats.lossy_unobservable;
+      all_links_clean = false;
+      continue;
+    }
+    double offered = gbps_of(sample.tx_bytes, config.interval_seconds);
+    if (loss > 0.0) {
+      offered /= (1.0 - loss);
+      all_links_clean = false;  // lossy rounds never certify exact
+    }
+    rows.push_back({i, offered});
+  }
+  metrics.sanitized.add(stats.sanitized);
+  metrics.dropped.add(stats.dropped);
+  metrics.lossy.add(stats.lossy_unobservable);
+
+  // Observable OD columns (compacted local index space).
+  std::vector<std::uint32_t> cols;
+  std::vector<std::int32_t> col_of(matrix.ods, -1);
+  for (std::size_t j = 0; j < matrix.ods; ++j) {
+    if (matrix.observable[j]) {
+      col_of[j] = static_cast<std::int32_t>(cols.size());
+      cols.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  stats.unobservable_ods = matrix.ods - cols.size();
+  metrics.unobservable_ods.add(stats.unobservable_ods);
+
+  // Bootstrap / nothing to invert: the offered intent is the estimate.
+  if (cols.empty() || rows.empty()) return result;
+
+  const auto prior_of = [&](std::uint32_t od) {
+    return od < prior.size() ? prior[od] : intent[od];
+  };
+
+  // Fault injection (docs/FAULTS.md, site demand.solve): a solve budget
+  // smaller than the unknown count aborts the inversion; every observable
+  // OD falls back to its prior — finite and non-negative, never garbage.
+  const fault::Action solve_fault = fault::next("demand.solve");
+  if (solve_fault.kind == fault::Kind::kBudget &&
+      static_cast<double>(cols.size()) > solve_fault.magnitude) {
+    for (const std::uint32_t od : cols)
+      result.volumes[od] = std::max(0.0, prior_of(od));
+    stats.budget_exhausted = true;
+    metrics.budget_exhausted.add();
+    return result;
+  }
+
+  // Normal equations A = R^T R, b = R^T y over the usable rows.
+  const std::size_t n = cols.size();
+  std::vector<double> a(n * n, 0.0);
+  std::vector<double> b(n, 0.0);
+  for (const UsableRow& row : rows) {
+    const auto& entries = matrix.rows[row.link];
+    for (const RoutingMatrix::Entry& e1 : entries) {
+      const auto c1 = static_cast<std::size_t>(col_of[e1.od]);
+      b[c1] += e1.fraction * row.offered_gbps;
+      for (const RoutingMatrix::Entry& e2 : entries) {
+        const auto c2 = static_cast<std::size_t>(col_of[e2.od]);
+        a[c1 * n + c2] += e1.fraction * e2.fraction;
+      }
+    }
+  }
+  double max_diag = 0.0;
+  for (std::size_t c = 0; c < n; ++c) max_diag = std::max(max_diag, a[c * n + c]);
+
+  // Undamped first; ridge-damped toward the EWMA/intent prior on rank
+  // deficiency (under-determined instances, duplicated columns).
+  std::vector<double> factor = a;
+  std::vector<double> x;
+  if (cholesky(factor, n, 1e-10 * std::max(max_diag, 1.0))) {
+    x = cholesky_solve(factor, n, b);
+  } else {
+    const double lambda = config.damping * std::max(max_diag, 1.0);
+    factor = a;
+    for (std::size_t c = 0; c < n; ++c) factor[c * n + c] += lambda;
+    std::vector<double> damped_b = b;
+    for (std::size_t c = 0; c < n; ++c)
+      damped_b[c] += lambda * prior_of(cols[c]);
+    if (!cholesky(factor, n, 0.0)) {
+      // Degenerate beyond repair (all-zero rows): fall back to the prior.
+      for (const std::uint32_t od : cols)
+        result.volumes[od] = std::max(0.0, prior_of(od));
+      return result;
+    }
+    x = cholesky_solve(factor, n, damped_b);
+    stats.damped = true;
+    metrics.damped.add();
+  }
+  stats.estimated = true;
+  metrics.solves.add();
+
+  // Non-negativity projection.
+  for (double& value : x) value = std::max(0.0, value);
+
+  // Exact-recovery certificate: snap onto the grid and re-synthesize every
+  // link's byte counter in the contractual arithmetic order; accept the
+  // snapped candidate iff every counter matches bit-for-bit. Only clean
+  // loss-free rounds with every link reporting are eligible.
+  bool lost_free = true;
+  for (const CounterSample& sample : counters.samples)
+    if (sample.missing || sample.lost_packets != 0.0) lost_free = false;
+  if (all_links_clean && lost_free) {
+    std::vector<double> candidate(matrix.ods, 0.0);
+    for (std::size_t c = 0; c < n; ++c) candidate[cols[c]] = snap_to_grid(x[c]);
+    bool certified = true;
+    for (std::size_t i = 0; i < matrix.links && certified; ++i) {
+      const double bytes = bytes_of(offered_load(matrix.rows[i], candidate),
+                                    config.interval_seconds);
+      certified = bitwise_equal(bytes, counters.samples[i].tx_bytes);
+    }
+    if (certified) {
+      for (std::size_t c = 0; c < n; ++c) x[c] = candidate[cols[c]];
+      stats.exact = true;
+      metrics.exact.add();
+    }
+  }
+
+  for (std::size_t c = 0; c < n; ++c) result.volumes[cols[c]] = x[c];
+
+  // RMS link-load residual of the returned estimate (observable part only;
+  // unobservable ODs route nothing, so they cancel out of every row).
+  std::vector<double> final_volumes(matrix.ods, 0.0);
+  for (std::size_t c = 0; c < n; ++c) final_volumes[cols[c]] = x[c];
+  double squares = 0.0;
+  for (const UsableRow& row : rows) {
+    const double delta =
+        offered_load(matrix.rows[row.link], final_volumes) - row.offered_gbps;
+    squares += delta * delta;
+  }
+  stats.residual = std::sqrt(squares / static_cast<double>(rows.size()));
+  metrics.residual.set(stats.residual);
+  return result;
+}
+
+}  // namespace rwc::demand

@@ -1,0 +1,46 @@
+#include "demand/routing_matrix.hpp"
+
+namespace rwc::demand {
+
+RoutingMatrix build_routing_matrix(std::size_t edge_count,
+                                   const te::TrafficMatrix& ods,
+                                   const te::FlowAssignment& previous) {
+  RoutingMatrix matrix;
+  matrix.links = edge_count;
+  matrix.ods = ods.size();
+  matrix.rows.assign(edge_count, {});
+  matrix.observable.assign(ods.size(), 0);
+
+  if (previous.routings.size() != ods.size()) return matrix;
+  for (std::size_t j = 0; j < ods.size(); ++j) {
+    const auto& routing = previous.routings[j];
+    if (routing.demand.src != ods[j].src || routing.demand.dst != ods[j].dst)
+      return matrix;
+  }
+
+  for (std::size_t j = 0; j < ods.size(); ++j) {
+    const auto& routing = previous.routings[j];
+    if (!(routing.routed.value > 0.0)) continue;
+    matrix.observable[j] = 1;
+    for (const auto& [path, volume] : routing.paths) {
+      const double fraction = volume.value / routing.routed.value;
+      if (!(fraction > 0.0)) continue;
+      for (const graph::EdgeId edge : path.edges) {
+        const auto i = static_cast<std::size_t>(edge.value);
+        if (i >= edge_count) continue;
+        auto& row = matrix.rows[i];
+        // OD indices ascend across the outer loop, so a same-OD entry (two
+        // paths of OD j sharing this link) can only be the row's last.
+        if (!row.empty() && row.back().od == j) {
+          row.back().fraction += fraction;
+        } else {
+          row.push_back({static_cast<std::uint32_t>(j), fraction});
+        }
+      }
+    }
+  }
+
+  return matrix;
+}
+
+}  // namespace rwc::demand

@@ -1,0 +1,67 @@
+// Sparse routing matrix of the installed TE plan (rwc::demand).
+//
+// Row i = directed physical link i, column j = OD pair j of the traffic
+// matrix; entry (i, j) is the fraction of OD j's routed volume that crosses
+// link i under the previous round's path splits. This is the `route` matrix
+// of the pseudoinverse OD-estimation technique (SNIPPETS.md snippet 1):
+// link_load = R * od_volumes, so the estimator inverts R against observed
+// link counters. ODs the previous plan did not route (routed == 0, or no
+// plan yet) have empty columns and are UNOBSERVABLE — the estimator falls
+// back to the offered intent for them (docs/DEMAND.md §3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "te/demand.hpp"
+
+namespace rwc::demand {
+
+struct RoutingMatrix {
+  /// One sparse entry of a link's row: `fraction` of OD `od`'s volume.
+  struct Entry {
+    std::uint32_t od = 0;
+    double fraction = 0.0;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  /// Per directed link, entries in ascending OD order. The entry order is
+  /// CONTRACTUAL: counter synthesis and the estimator's exact-recovery
+  /// certificate both accumulate link loads in exactly this order, so a
+  /// bit-identical candidate reproduces bit-identical counters.
+  std::vector<std::vector<Entry>> rows;
+  /// Per OD: whether the previous plan routed a positive volume for it.
+  std::vector<std::uint8_t> observable;
+  std::size_t links = 0;
+  std::size_t ods = 0;
+
+  std::size_t observable_ods() const {
+    std::size_t n = 0;
+    for (std::uint8_t o : observable) n += o;
+    return n;
+  }
+};
+
+/// Builds the routing matrix of `previous` against the OD list `ods`.
+/// The assignment must be positionally aligned with `ods` (same src/dst per
+/// index — both built-in TE engines preserve demand order); a misaligned or
+/// absent assignment yields an all-unobservable matrix (the round-0
+/// bootstrap: no routes installed yet, nothing to invert).
+RoutingMatrix build_routing_matrix(std::size_t edge_count,
+                                   const te::TrafficMatrix& ods,
+                                   const te::FlowAssignment& previous);
+
+/// Offered load of one link row under per-OD volumes (Gbps), accumulated in
+/// row-entry order — the shared arithmetic of counter synthesis and the
+/// estimator's exact-recovery certificate.
+inline double offered_load(std::span<const RoutingMatrix::Entry> row,
+                           std::span<const double> od_volumes) {
+  double load = 0.0;
+  for (const RoutingMatrix::Entry& entry : row)
+    load += entry.fraction * od_volumes[entry.od];
+  return load;
+}
+
+}  // namespace rwc::demand

@@ -107,6 +107,12 @@ InstanceResult run_instance(const FleetConfig& config, std::size_t instance) {
   // same pool (exec::parallel_for re-entry rule), so sharing the fleet
   // pool is deadlock-free and deterministic.
   replay_config.pool = config.pool;
+  replay_config.demand = config.demand;
+  // Per-instance counter stream: derive the pipeline seed from the
+  // instance's trace seed so counter noise is independent across
+  // instances yet pure in (config, instance id).
+  if (config.demand.estimated())
+    replay_config.demand.seed = config.demand.seed ^ trace_seed;
 
   // Engines are per-instance: their warm/path caches never alias across
   // instances (and caches are timing-only anyway).

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/hysteresis.hpp"
+#include "demand/config.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/snr_model.hpp"
 #include "util/env.hpp"
@@ -102,6 +103,12 @@ struct FleetConfig {
   /// parallelizes — nested use runs inline on worker threads); nullptr
   /// selects exec::ThreadPool::global().
   exec::ThreadPool* pool = nullptr;
+  /// Demand source every instance's controller runs on (docs/DEMAND.md).
+  /// kEstimated makes each instance infer its matrix from synthetic link
+  /// counters; the per-instance counter stream derives from the instance's
+  /// own trace seed, so results stay a pure function of
+  /// (config, instance id) and the shard/pool invariance holds unchanged.
+  demand::DemandConfig demand;
 };
 
 /// What one instance contributes to the study. Everything here is a pure

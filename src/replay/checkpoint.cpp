@@ -35,6 +35,7 @@ enum class SectionId : std::uint32_t {
   kObs = 7,
   kServe = 8,
   kUpdate = 9,
+  kDemand = 10,
 };
 
 /// Handles into the global registry (docs/OBSERVABILITY.md: replay.*).
@@ -404,6 +405,53 @@ bool decode_obs(std::span<const std::byte> payload, Checkpoint& out) {
   return !reader.failed() && reader.exhausted();
 }
 
+std::vector<std::byte> encode_demand(const Checkpoint& checkpoint) {
+  ByteWriter writer;
+  const demand::DemandPipeline::State& state = checkpoint.demand_state;
+  writer.u64(state.round);
+  writer.u8(state.ewma_warm ? 1 : 0);
+  writer.u64(state.ewma.size());
+  for (double value : state.ewma) writer.f64(value);
+  writer.u64(state.last_observed.size());
+  for (const demand::CounterSample& sample : state.last_observed) {
+    writer.f64(sample.tx_bytes);
+    writer.f64(sample.tx_packets);
+    writer.f64(sample.lost_packets);
+    writer.u8(sample.missing ? 1 : 0);
+  }
+  writer.u64(state.capacity_peak_gbps.size());
+  for (double peak : state.capacity_peak_gbps) writer.f64(peak);
+  return writer.take();
+}
+
+bool decode_demand(std::span<const std::byte> payload, Checkpoint& out) {
+  ByteReader reader(payload);
+  demand::DemandPipeline::State& state = out.demand_state;
+  state.round = reader.u64();
+  state.ewma_warm = reader.u8() != 0;
+  const std::uint64_t ewma = reader.u64();
+  if (!reader.fits(ewma)) return false;
+  state.ewma.reserve(ewma);
+  for (std::uint64_t i = 0; i < ewma; ++i) state.ewma.push_back(reader.f64());
+  const std::uint64_t samples = reader.u64();
+  if (!reader.fits(samples)) return false;
+  state.last_observed.reserve(samples);
+  for (std::uint64_t i = 0; i < samples && !reader.failed(); ++i) {
+    demand::CounterSample sample;
+    sample.tx_bytes = reader.f64();
+    sample.tx_packets = reader.f64();
+    sample.lost_packets = reader.f64();
+    sample.missing = reader.u8() != 0;
+    state.last_observed.push_back(sample);
+  }
+  const std::uint64_t peaks = reader.u64();
+  if (!reader.fits(peaks)) return false;
+  state.capacity_peak_gbps.reserve(peaks);
+  for (std::uint64_t i = 0; i < peaks; ++i)
+    state.capacity_peak_gbps.push_back(reader.f64());
+  return !reader.failed() && reader.exhausted();
+}
+
 void append_section(ByteWriter& writer, SectionId id,
                     const std::vector<std::byte>& payload) {
   writer.u32(static_cast<std::uint32_t>(id));
@@ -465,6 +513,8 @@ std::vector<std::byte> encode(const Checkpoint& checkpoint) {
     sections.emplace_back(SectionId::kServe, checkpoint.serve_payload);
   if (checkpoint.update_present)
     sections.emplace_back(SectionId::kUpdate, checkpoint.update_payload);
+  if (checkpoint.demand_present)
+    sections.emplace_back(SectionId::kDemand, encode_demand(checkpoint));
 
   ByteWriter writer;
   for (char c : kMagic) writer.u8(static_cast<std::uint8_t>(c));
@@ -544,6 +594,10 @@ Error decode(std::span<const std::byte> bytes, Checkpoint& out) {
         // Opaque like kServe: update/executor.cpp owns the inner framing.
         out.update_payload.assign(payload.begin(), payload.end());
         out.update_present = true;
+        break;
+      case SectionId::kDemand:
+        ok = decode_demand(payload, out);
+        out.demand_present = true;
         break;
       default:
         // Unknown id within a known version: skip (forward compatibility).

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "demand/pipeline.hpp"
 #include "flow/mincost.hpp"
 #include "graph/path_cache.hpp"
 #include "sim/simulator.hpp"
@@ -121,6 +122,16 @@ struct Checkpoint {
   // it). Same envelope contract as the serve section.
   bool update_present = false;
   std::vector<std::byte> update_payload;
+
+  // Demand section (present exactly when the run estimates demands from
+  // link counters, core::ControllerOptions::demand): the DemandPipeline's
+  // cross-round state — round index, EWMA prior, last observed counters,
+  // capacity peaks (docs/DEMAND.md). Unlike the cache/obs sections it
+  // CHANGES RESULTS, so restore() treats it as mandatory whenever the
+  // restoring driver runs estimated and rejects its absence with
+  // kMissingSection.
+  bool demand_present = false;
+  demand::DemandPipeline::State demand_state;
 };
 
 /// Serializes `checkpoint` into the framed binary form above.

@@ -112,6 +112,20 @@ std::uint64_t fingerprint_of(const graph::Graph& topology,
     hash = mix64(hash,
                  static_cast<std::uint32_t>(config.hysteresis->up_hold_rounds));
   }
+  // Demand fields join the fingerprint only in estimated mode: estimation
+  // changes results, but oracle runs must keep the exact pre-demand hash so
+  // historical checkpoints still restore.
+  if (config.demand.estimated()) {
+    const demand::DemandConfig& d = config.demand;
+    hash = mix64(hash, static_cast<std::uint64_t>(d.source));
+    hash = mix_double(hash, d.noise);
+    hash = mix_double(hash, d.loss_rate);
+    hash = mix_double(hash, d.staleness);
+    hash = mix_double(hash, d.interval_seconds);
+    hash = mix_double(hash, d.ewma_alpha);
+    hash = mix_double(hash, d.damping);
+    hash = mix64(hash, d.seed);
+  }
   return hash;
 }
 
@@ -135,6 +149,7 @@ core::ControllerOptions controller_options_for(const ReplayConfig& config) {
   options.hysteresis = config.hysteresis;
   options.incremental = config.incremental;
   options.pool = config.pool;
+  options.demand = config.demand;
   return options;
 }
 
@@ -266,8 +281,23 @@ core::DynamicCapacityController::RoundReport ReplayDriver::step() {
   for (graph::EdgeId edge : topology_.edge_ids())
     if (controller_.configured_capacity(edge).value > 0.0) ++links_up;
 
+  // Honest delivered account in estimated mode: TE routed the ESTIMATED
+  // matrix, but only traffic actually offered can be delivered — each OD
+  // is capped at its TRUE volume (docs/DEMAND.md). The signature chain
+  // below keeps mixing total_routed (the controller's own output), so the
+  // accounting policy never perturbs round-equivalence checks.
+  double delivered = routed;
+  if (controller_.demand_pipeline() != nullptr) {
+    delivered = 0.0;
+    const auto& routings = report.plan.physical_assignment.routings;
+    for (std::size_t j = 0; j < routings.size(); ++j) {
+      const double truth = j < demands.size() ? demands[j].volume.value
+                                              : routings[j].routed.value;
+      delivered += std::min(routings[j].routed.value, truth);
+    }
+  }
   metrics_.delivered_gbps_hours +=
-      std::max(0.0, routed * tick_hours - lost);
+      std::max(0.0, delivered * tick_hours - lost);
   metrics_.availability +=
       static_cast<double>(links_up) / static_cast<double>(edges);
 
@@ -327,6 +357,10 @@ Checkpoint ReplayDriver::checkpoint() const {
   out.controller = controller_.save_state();
   out.cursors = chunk_base_states_;
   out.latency_rng = latency_rng_.state();
+  if (const demand::DemandPipeline* pipeline = controller_.demand_pipeline()) {
+    out.demand_present = true;
+    out.demand_state = pipeline->save_state();
+  }
   if (config_.checkpoint_caches) {
     out.caches_present = true;
     if (const auto* mcf = dynamic_cast<const te::McfTe*>(&engine_)) {
@@ -380,6 +414,26 @@ Error ReplayDriver::restore(const Checkpoint& checkpoint) {
     driver_metrics.rejected.add();
     return Error::kMalformed;
   }
+  // The demand section changes results, so when this driver estimates it is
+  // MANDATORY: a checkpoint without it cannot reproduce the run (the round
+  // index drives the counter noise stream, the EWMA anchors damped solves).
+  demand::DemandPipeline* pipeline = controller_.demand_pipeline();
+  if (pipeline != nullptr) {
+    if (!checkpoint.demand_present) {
+      driver_metrics.rejected.add();
+      return Error::kMissingSection;
+    }
+    const demand::DemandPipeline::State& demand_state = checkpoint.demand_state;
+    const bool demand_ok =
+        (demand_state.last_observed.empty() ||
+         demand_state.last_observed.size() == edges) &&
+        (demand_state.capacity_peak_gbps.empty() ||
+         demand_state.capacity_peak_gbps.size() == edges);
+    if (!demand_ok) {
+      driver_metrics.rejected.add();
+      return Error::kMalformed;
+    }
+  }
 
   // Optional obs rewind first, so the restore's own bookkeeping lands on
   // top of the restored values.
@@ -393,6 +447,7 @@ Error ReplayDriver::restore(const Checkpoint& checkpoint) {
   }
 
   controller_.restore_state(state);
+  if (pipeline != nullptr) pipeline->restore_state(checkpoint.demand_state);
   latency_rng_ = util::Rng::from_state(checkpoint.latency_rng);
   round_ = checkpoint.round;
   chunk_base_round_ = checkpoint.chunk_base_round;

@@ -30,6 +30,7 @@
 
 #include "bvt/latency.hpp"
 #include "core/controller.hpp"
+#include "demand/config.hpp"
 #include "replay/checkpoint.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/snr_model.hpp"
@@ -83,6 +84,15 @@ struct ReplayConfig {
   /// nullptr selects exec::ThreadPool::global(). Results are identical at
   /// every pool size (docs/CONCURRENCY.md).
   exec::ThreadPool* pool = nullptr;
+  /// Demand source of every controller round (docs/DEMAND.md). kOracle
+  /// keeps the historical behavior: the true matrix is fed to TE directly.
+  /// kEstimated routes each round through a demand::DemandPipeline — TE
+  /// sees the counter-inferred matrix, delivered accounting caps each OD
+  /// at its TRUE volume (routing against an over-estimate never counts as
+  /// delivering traffic nobody offered), and checkpoints carry the kDemand
+  /// section. The demand fields join the config fingerprint only in
+  /// estimated mode, so existing oracle checkpoints stay valid.
+  demand::DemandConfig demand;
 };
 
 class ReplayDriver {

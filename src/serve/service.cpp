@@ -95,6 +95,20 @@ std::uint64_t fingerprint_of(const graph::Graph& topology,
                  static_cast<std::uint32_t>(config.hysteresis->up_hold_rounds));
   }
   hash = mix_double(hash, config.initial_snr_db);
+  // Demand fields join the fingerprint only in estimated mode: estimation
+  // changes results, oracle services keep the historical hash (same policy
+  // as replay::ReplayDriver).
+  if (config.demand.estimated()) {
+    const demand::DemandConfig& d = config.demand;
+    hash = mix64(hash, static_cast<std::uint64_t>(d.source));
+    hash = mix_double(hash, d.noise);
+    hash = mix_double(hash, d.loss_rate);
+    hash = mix_double(hash, d.staleness);
+    hash = mix_double(hash, d.interval_seconds);
+    hash = mix_double(hash, d.ewma_alpha);
+    hash = mix_double(hash, d.damping);
+    hash = mix64(hash, d.seed);
+  }
   return hash;
 }
 
@@ -105,6 +119,7 @@ core::ControllerOptions controller_options_for(const ServeConfig& config) {
   options.incremental = config.incremental;
   options.pool = config.pool;
   options.update = config.update;
+  options.demand = config.demand;
   return options;
 }
 
@@ -274,6 +289,10 @@ replay::Checkpoint ServeService::checkpoint() const {
   writer.u64(epochs_);
   out.serve_present = true;
   out.serve_payload = writer.take();
+  if (const demand::DemandPipeline* pipeline = controller_.demand_pipeline()) {
+    out.demand_present = true;
+    out.demand_state = pipeline->save_state();
+  }
   return out;
 }
 
@@ -307,9 +326,22 @@ replay::Error ServeService::restore(const replay::Checkpoint& checkpoint) {
     return replay::Error::kMalformed;
   if (state.hysteresis.has_value() != config_.hysteresis.has_value())
     return replay::Error::kMalformed;
+  // Mandatory demand section when this service estimates (results depend
+  // on it); shape checks mirror ReplayDriver::restore.
+  demand::DemandPipeline* pipeline = controller_.demand_pipeline();
+  if (pipeline != nullptr) {
+    if (!checkpoint.demand_present) return replay::Error::kMissingSection;
+    const demand::DemandPipeline::State& demand_state = checkpoint.demand_state;
+    if (!(demand_state.last_observed.empty() ||
+          demand_state.last_observed.size() == edges) ||
+        !(demand_state.capacity_peak_gbps.empty() ||
+          demand_state.capacity_peak_gbps.size() == edges))
+      return replay::Error::kMalformed;
+  }
 
   // Point of no return: every mutation below succeeds unconditionally.
   controller_.restore_state(state);
+  if (pipeline != nullptr) pipeline->restore_state(checkpoint.demand_state);
   for (std::size_t d = 0; d < demands_.size(); ++d)
     demands_[d].volume = util::Gbps{volumes[d]};
   for (std::size_t e = 0; e < snr_.size(); ++e) snr_[e] = util::Db{snr[e]};

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/controller.hpp"
+#include "demand/config.hpp"
 #include "exec/rcu.hpp"
 #include "graph/graph.hpp"
 #include "optical/modulation.hpp"
@@ -87,6 +88,14 @@ struct ServeConfig {
   /// Observational by the controller's contract, so NOT fingerprinted — a
   /// restored service may flip it freely.
   std::optional<update::SchedulerConfig> update;
+
+  /// Demand source of every round (docs/DEMAND.md). kEstimated routes the
+  /// live (sanitized) intent through a demand::DemandPipeline before TE —
+  /// the published epochs carry counter-inferred volumes. CHANGES RESULTS,
+  /// so the demand fields join the config fingerprint (estimated mode
+  /// only; oracle services keep the historical hash) and checkpoints grow
+  /// a mandatory kDemand section.
+  demand::DemandConfig demand;
 };
 
 class ServeService {

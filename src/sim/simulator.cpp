@@ -76,6 +76,7 @@ SimulationMetrics WanSimulator::run(const te::TrafficMatrix& base_demands) {
   core::ControllerOptions controller_options;
   controller_options.snr_margin = config_.snr_margin;
   controller_options.pool = config_.pool;
+  controller_options.demand = config_.demand;
   core::DynamicCapacityController controller(topology_, table, engine_,
                                              controller_options);
 
@@ -130,6 +131,19 @@ SimulationMetrics WanSimulator::run(const te::TrafficMatrix& base_demands) {
             devices[e].set_link_snr(snr[e]);
         const auto report = controller.run_round(snr, demands);
         routed = report.total_routed.value;
+        // Honest delivered account in estimated mode: TE routed the
+        // ESTIMATED matrix; cap each OD's delivered at its TRUE offered
+        // volume (docs/DEMAND.md).
+        if (controller.demand_pipeline() != nullptr) {
+          routed = 0.0;
+          const auto& routings = report.plan.physical_assignment.routings;
+          for (std::size_t j = 0; j < routings.size(); ++j) {
+            const double truth = j < demands.size()
+                                     ? demands[j].volume.value
+                                     : routings[j].routed.value;
+            routed += std::min(routings[j].routed.value, truth);
+          }
+        }
         metrics.upgrades += report.plan.upgrades.size();
 
         // Analytic account: each capacity change takes the link out for a

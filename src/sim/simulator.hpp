@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bvt/latency.hpp"
+#include "demand/config.hpp"
 #include "graph/graph.hpp"
 #include "sim/event.hpp"
 #include "te/algorithm.hpp"
@@ -62,6 +63,13 @@ struct SimulationConfig {
   /// the knob exists so embedders (rwc::fleet shards, rwc::serve) can keep
   /// a simulation off the global pool instead of contending on it.
   exec::ThreadPool* pool = nullptr;
+  /// Demand source for the dynamic policies (docs/DEMAND.md). kOracle feeds
+  /// the true matrix to TE (historical behavior); kEstimated infers it from
+  /// synthetic link counters each round, and delivered accounting caps each
+  /// OD at its true offered volume. Static policies always see the oracle
+  /// matrix — they model today's networks, which the paper's measurement
+  /// loop does not touch.
+  demand::DemandConfig demand;
 };
 
 struct SimulationMetrics {

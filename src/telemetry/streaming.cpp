@@ -1,5 +1,6 @@
 #include "telemetry/streaming.hpp"
 
+#include "telemetry/analysis.hpp"
 #include "util/check.hpp"
 
 namespace rwc::telemetry {
@@ -14,9 +15,13 @@ StreamingLinkAnalyzer::StreamingLinkAnalyzer(double coverage)
 }
 
 void StreamingLinkAnalyzer::add(Db snr) {
-  summary_.add(snr.value);
-  lower_.add(snr.value);
-  upper_.add(snr.value);
+  // Same sanitization as the batch path (analyze_link): a NaN or negative
+  // sample must degrade the estimate toward the 0 dB floor, not poison the
+  // running summary and quantile sketches for the rest of the stream.
+  const double value = sanitize_sample_db(snr.value);
+  summary_.add(value);
+  lower_.add(value);
+  upper_.add(value);
 }
 
 void StreamingLinkAnalyzer::add(const SnrTrace& trace) {

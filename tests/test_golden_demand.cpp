@@ -1,0 +1,210 @@
+// Golden-trace regression tests for the estimated-demand loop (ISSUE 9
+// satellite): a scenario sweep over demand sources — oracle, zero-noise
+// estimated, noisy estimated, lossy estimated — is pinned bit-for-bit
+// against committed fixtures for two seeds, in its own fixture files so
+// the pre-existing GoldenTrace sweep stays byte-stable. Doubles are
+// compared as IEEE-754 bit patterns; any drift in the counter synthesis
+// streams, the estimator arithmetic or the honest delivered accounting
+// shows up here first, with a field-level diff naming what moved.
+//
+// The zero-noise arm also carries a live assertion (not just the pin): on
+// grid-snapped demands without diurnal scaling its delivered/availability
+// metrics must equal the oracle arm's bit-for-bit — the exact-recovery
+// certificate at simulator scale (docs/DEMAND.md §4).
+//
+// Regenerating after an INTENDED behavior change:
+//   RWC_GOLDEN_REGEN=1 ./build/tests/rwc_tests --gtest_filter='GoldenDemand.*'
+// then commit the rewritten tests/golden/demand-scenarios-*.golden files
+// alongside the change that explains them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "demand/estimator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "util/rng.hpp"
+
+#ifndef RWC_GOLDEN_DIR
+#error "RWC_GOLDEN_DIR must point at the committed fixture directory"
+#endif
+
+namespace rwc {
+namespace {
+
+std::string bits_of(double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << bits;
+  return out.str();
+}
+
+double double_of(const std::string& hex) {
+  const std::uint64_t bits = std::stoull(hex, nullptr, 16);
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+/// One fixture line per scenario — same field order as the GoldenTrace
+/// fixtures (doubles as 16-digit hex bit patterns, counters in decimal).
+std::string serialize(const sim::ScenarioResult& result) {
+  const sim::SimulationMetrics& m = result.metrics;
+  std::ostringstream out;
+  out << result.name << ' ' << bits_of(m.offered_gbps_hours) << ' '
+      << bits_of(m.delivered_gbps_hours) << ' ' << bits_of(m.availability)
+      << ' ' << bits_of(m.reconfig_downtime_hours) << ' ' << m.link_failures
+      << ' ' << m.link_flaps << ' ' << m.upgrades << ' ' << m.restorations
+      << ' ' << m.lock_failures << ' ' << m.te_rounds;
+  return out.str();
+}
+
+struct GoldenField {
+  std::string name;
+  std::string expected;
+  std::string got;
+};
+
+std::vector<GoldenField> diff_line(const std::string& expected,
+                                   const std::string& got) {
+  static const char* kFields[] = {
+      "name",          "offered_gbps_hours", "delivered_gbps_hours",
+      "availability",  "reconfig_downtime_hours", "link_failures",
+      "link_flaps",    "upgrades",           "restorations",
+      "lock_failures", "te_rounds"};
+  std::istringstream expected_in(expected), got_in(got);
+  std::vector<GoldenField> diffs;
+  for (const char* field : kFields) {
+    std::string expected_token, got_token;
+    expected_in >> expected_token;
+    got_in >> got_token;
+    if (expected_token == got_token) continue;
+    GoldenField diff{field, expected_token, got_token};
+    if (expected_token.size() == 16 && got_token.size() == 16 &&
+        std::string(field) != "name") {
+      diff.expected += " (" + std::to_string(double_of(expected_token)) + ")";
+      diff.got += " (" + std::to_string(double_of(got_token)) + ")";
+    }
+    diffs.push_back(diff);
+  }
+  return diffs;
+}
+
+std::vector<sim::ScenarioResult> run_demand_sweep(std::uint64_t seed) {
+  util::Rng topo_rng = util::Rng::stream(seed, 0);
+  const graph::Graph topology = sim::waxman(8, topo_rng);
+  util::Rng demand_rng = util::Rng::stream(seed, 1);
+  sim::GravityParams gravity;
+  gravity.total = util::Gbps{topology.total_capacity().value * 0.4};
+  te::TrafficMatrix demands =
+      sim::gravity_matrix(topology, gravity, demand_rng);
+  // On-grid volumes + no diurnal scaling: the preconditions of the exact-
+  // recovery certificate, so the zero-noise arm equals the oracle arm.
+  for (te::Demand& demand : demands)
+    demand.volume = util::Gbps{demand::snap_to_grid(demand.volume.value)};
+
+  sim::SimulationConfig base;
+  base.horizon = 12.0 * util::kHour;
+  base.te_interval = 15.0 * util::kMinute;
+  base.seed = seed;
+  base.diurnal = false;
+  base.policy = sim::CapacityPolicy::kDynamic;
+  std::vector<sim::Scenario> scenarios;
+  {
+    sim::SimulationConfig config = base;
+    scenarios.push_back({"oracle", config});
+  }
+  {
+    sim::SimulationConfig config = base;
+    config.demand.source = demand::DemandSource::kEstimated;
+    scenarios.push_back({"estimated-clean", config});
+  }
+  {
+    sim::SimulationConfig config = base;
+    config.demand.source = demand::DemandSource::kEstimated;
+    config.demand.noise = 0.05;
+    scenarios.push_back({"estimated-noisy", config});
+  }
+  {
+    sim::SimulationConfig config = base;
+    config.demand.source = demand::DemandSource::kEstimated;
+    config.demand.loss_rate = 0.02;
+    scenarios.push_back({"estimated-lossy", config});
+  }
+
+  const te::McfTe engine;
+  return sim::run_scenarios(topology, engine, demands, scenarios);
+}
+
+void check_against_golden(std::uint64_t seed) {
+  const std::filesystem::path path =
+      std::filesystem::path(RWC_GOLDEN_DIR) /
+      ("demand-scenarios-" + std::to_string(seed) + ".golden");
+  const std::vector<sim::ScenarioResult> results = run_demand_sweep(seed);
+
+  // Live zero-noise equivalence, independent of the committed fixture:
+  // scenario 0 is the oracle arm, scenario 1 the clean estimated arm.
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(bits_of(results[0].metrics.delivered_gbps_hours),
+            bits_of(results[1].metrics.delivered_gbps_hours))
+      << "zero-noise estimated delivered traffic diverged from oracle";
+  EXPECT_EQ(bits_of(results[0].metrics.availability),
+            bits_of(results[1].metrics.availability));
+  EXPECT_EQ(results[0].metrics.upgrades, results[1].metrics.upgrades);
+  EXPECT_EQ(results[0].metrics.link_flaps, results[1].metrics.link_flaps);
+
+  std::vector<std::string> lines;
+  lines.reserve(results.size());
+  for (const sim::ScenarioResult& result : results)
+    lines.push_back(serialize(result));
+
+  if (std::getenv("RWC_GOLDEN_REGEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    for (const std::string& line : lines) out << line << '\n';
+    GTEST_SKIP() << "regenerated " << path << " — commit it";
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << path << "; generate it with\n  RWC_GOLDEN_REGEN=1 "
+      << "./build/tests/rwc_tests --gtest_filter='GoldenDemand.*'";
+  std::vector<std::string> expected;
+  for (std::string line; std::getline(in, line);)
+    if (!line.empty()) expected.push_back(line);
+
+  ASSERT_EQ(expected.size(), lines.size())
+      << "fixture " << path << " has " << expected.size()
+      << " scenarios, the sweep produced " << lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (expected[i] == lines[i]) continue;
+    std::ostringstream message;
+    message << "scenario " << i << " drifted from " << path << ":\n";
+    for (const GoldenField& diff : diff_line(expected[i], lines[i]))
+      message << "  " << diff.name << ": expected " << diff.expected
+              << ", got " << diff.got << '\n';
+    message << "If this change is intended, regenerate with\n"
+            << "  RWC_GOLDEN_REGEN=1 ./build/tests/rwc_tests "
+            << "--gtest_filter='GoldenDemand.*'\nand commit the new fixture.";
+    ADD_FAILURE() << message.str();
+  }
+}
+
+TEST(GoldenDemand, DemandSweepSeed20170701) { check_against_golden(20170701); }
+
+TEST(GoldenDemand, DemandSweepSeed20250807) { check_against_golden(20250807); }
+
+}  // namespace
+}  // namespace rwc

@@ -1,8 +1,12 @@
 // Tests for the streaming link analyzer and the trace / ticket CSV IO.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <limits>
 
+#include "obs/registry.hpp"
 #include "telemetry/analysis.hpp"
 #include "telemetry/io.hpp"
 #include "telemetry/streaming.hpp"
@@ -45,6 +49,54 @@ TEST(Streaming, MatchesExactAnalysisOnStableLink) {
   // The ladder decision normally agrees (quantile error < one rung).
   EXPECT_NEAR(streaming.feasible_capacity.value,
               exact.feasible_capacity.value, 25.0);
+}
+
+TEST(Streaming, SanitizesCorruptSamplesAtChunkBoundaries) {
+  // Regression (ISSUE 9 satellite): the streaming path used to feed raw
+  // samples into its summary/quantile sketches, so a NaN at a chunk
+  // boundary poisoned every later stat while the batch path (analyze_link)
+  // sanitized it away. Both paths must now route through
+  // sanitize_sample_db: corrupt readings clamp to the 0 dB floor, are
+  // counted under telemetry.samples_clamped, and the two analyses agree.
+  const auto table = optical::ModulationTable::standard();
+  auto trace = small_trace();
+  const std::size_t boundary = trace.size() / 2;
+  ASSERT_GT(boundary, 0u);
+  ASSERT_LT(boundary + 2, trace.size());
+  // A refill glitch duplicates the last pre-boundary sample into the next
+  // chunk, then exports a NaN and a negative loss-of-light reading.
+  trace.samples_db[boundary] = trace.samples_db[boundary - 1];
+  trace.samples_db[boundary + 1] = std::numeric_limits<float>::quiet_NaN();
+  trace.samples_db[boundary + 2] = -4.0f;
+
+  auto& clamped = obs::Registry::global().counter("telemetry.samples_clamped");
+  const std::uint64_t before = clamped.value();
+  telemetry::StreamingLinkAnalyzer analyzer;
+  // Feed as two chunks split at the corrupted boundary, the streaming
+  // refill shape.
+  telemetry::SnrTrace chunk = trace;
+  chunk.samples_db.assign(trace.samples_db.begin(),
+                          trace.samples_db.begin() +
+                              static_cast<std::ptrdiff_t>(boundary));
+  analyzer.add(chunk);
+  chunk.samples_db.assign(trace.samples_db.begin() +
+                              static_cast<std::ptrdiff_t>(boundary),
+                          trace.samples_db.end());
+  analyzer.add(chunk);
+  const auto streaming = analyzer.stats(table);
+  EXPECT_EQ(clamped.value() - before, 2u)
+      << "exactly the NaN and the negative sample must clamp";
+
+  EXPECT_EQ(analyzer.count(), trace.size());
+  EXPECT_EQ(streaming.min_snr.value, 0.0)
+      << "corrupt samples must clamp to the floor, not poison the min";
+  EXPECT_TRUE(std::isfinite(streaming.max_snr.value));
+  EXPECT_TRUE(std::isfinite(streaming.hdr.lo));
+  EXPECT_TRUE(std::isfinite(streaming.hdr.hi));
+
+  const auto exact = telemetry::analyze_link(trace, table);
+  EXPECT_EQ(streaming.min_snr, exact.min_snr);
+  EXPECT_EQ(streaming.max_snr, exact.max_snr);
 }
 
 TEST(Streaming, RequiresData) {
