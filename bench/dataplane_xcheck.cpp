@@ -1,0 +1,210 @@
+// Solver-vs-dataplane differential oracle (rwc::dataplane) —
+// docs/DATAPLANE.md; EXPERIMENTS.md "Dataplane cross-check".
+//
+//   dataplane_xcheck [rounds] [--selfcheck] [--json <path>]
+//
+// Default mode drives one seeded instance through the controller +
+// dataplane pipeline and reports rounds/sec plus the oracle's gap and
+// violation summary.
+//
+// --selfcheck turns the bench into the PR's proof obligation:
+//   A. gap oracle — four instances (two seeds x {Mcf, Swan}, one
+//      demand-aware) must pass every oracle clause: per-OD goodput within
+//      the declared gap of the solver allocation, no overshoot beyond the
+//      hash-imbalance tolerance, zero capacity-safety violations outside
+//      scheduled update windows, byte conservation;
+//   B. determinism — the xcheck chain must be bit-identical at pool sizes
+//      {1, 2, 8}, and a mid-run checkpoint restore-then-continue of BOTH
+//      the controller and the dataplane must reproduce the uninterrupted
+//      chain bit-for-bit;
+//   C. reaction — a forced unscheduled mid-round downshift of the busiest
+//      link must trigger HPCC rate cuts with capacity safety intact.
+// Summary rows are exported as dataplane.bench.* gauges so `--json`
+// snapshots them into BENCH_dataplane.json for CI drift tracking.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.hpp"
+#include "dataplane/xcheck.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using rwc::dataplane::XcheckConfig;
+using rwc::dataplane::XcheckEngine;
+using rwc::dataplane::XcheckOutcome;
+using rwc::dataplane::run_xcheck;
+
+XcheckConfig make_config(std::uint64_t seed_stream, std::size_t rounds) {
+  XcheckConfig config;
+  config.seed =
+      rwc::util::Rng::stream(rwc::bench::kFleetSeed, seed_stream).next_u64();
+  config.rounds = rounds;
+  return config;
+}
+
+int run_perf(std::uint64_t rounds) {
+  XcheckConfig config = make_config(70, rounds);
+  const rwc::obs::StopWatch watch;
+  const XcheckOutcome outcome = run_xcheck(config);
+  const double seconds = watch.seconds();
+
+  double delivered = 0.0;
+  std::uint64_t migrations = 0;
+  for (const rwc::dataplane::XcheckRound& round : outcome.rounds) {
+    delivered += round.delivered_bytes;
+    migrations += round.migrations;
+  }
+  rwc::bench::print_header("Dataplane cross-check: controller + flowlet sim");
+  std::printf("%-28s %llu\n", "rounds",
+              static_cast<unsigned long long>(rounds));
+  std::printf("%-28s %.1f\n", "rounds/sec",
+              seconds > 0.0 ? static_cast<double>(rounds) / seconds : 0.0);
+  std::printf("%-28s %.4f\n", "max shortfall", outcome.max_shortfall);
+  std::printf("%-28s %.4f\n", "max overshoot", outcome.max_overshoot);
+  std::printf("%-28s %llu\n", "flowlet migrations",
+              static_cast<unsigned long long>(migrations));
+  std::printf("%-28s %.3e\n", "delivered bytes", delivered);
+  std::printf("%-28s %s\n", "oracle", outcome.pass ? "PASS" : "FAIL");
+  if (!outcome.pass)
+    std::fprintf(stderr, "oracle: %s\n", outcome.failure.c_str());
+  return outcome.pass ? 0 : 1;
+}
+
+/// Selfcheck leg A: the gap oracle across engines, seeds and workloads.
+bool selfcheck_gap_oracle(std::size_t rounds) {
+  struct Arm {
+    const char* name;
+    std::uint64_t stream;
+    XcheckEngine engine;
+    bool demand_aware;
+  };
+  const Arm arms[] = {
+      {"mcf", 71, XcheckEngine::kMcf, false},
+      {"mcf-hanauer", 72, XcheckEngine::kMcf, true},
+      {"swan", 73, XcheckEngine::kSwan, false},
+      {"swan-seed2", 74, XcheckEngine::kSwan, false},
+  };
+  auto& registry = rwc::obs::Registry::global();
+  bool ok = true;
+  std::printf("%-28s %10s %10s %8s %6s\n", "gap oracle", "shortfall",
+              "overshoot", "capviol", "pass");
+  for (const Arm& arm : arms) {
+    XcheckConfig config = make_config(arm.stream, rounds);
+    config.engine = arm.engine;
+    config.demand_aware = arm.demand_aware;
+    const XcheckOutcome outcome = run_xcheck(config);
+    std::printf("%-28s %10.4f %10.4f %8llu %6s\n", arm.name,
+                outcome.max_shortfall, outcome.max_overshoot,
+                static_cast<unsigned long long>(outcome.capacity_violations),
+                outcome.pass ? "yes" : "NO");
+    registry.gauge(std::string("dataplane.bench.") + arm.name + ".shortfall")
+        .set(outcome.max_shortfall);
+    registry.gauge(std::string("dataplane.bench.") + arm.name + ".overshoot")
+        .set(outcome.max_overshoot);
+    if (!outcome.pass) {
+      std::fprintf(stderr, "selfcheck: arm %s failed: %s\n", arm.name,
+                   outcome.failure.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Selfcheck leg B: bit-identity across pool sizes {1, 2, 8} and across a
+/// mid-run checkpoint restore-then-continue of controller + dataplane.
+bool selfcheck_determinism(std::size_t rounds) {
+  const XcheckConfig config = make_config(75, rounds);
+  const XcheckOutcome reference = run_xcheck(config);
+
+  bool ok = true;
+  for (const std::size_t pool_size : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+    rwc::exec::ThreadPool pool(pool_size);
+    XcheckConfig pooled = config;
+    pooled.pool = &pool;
+    const XcheckOutcome outcome = run_xcheck(pooled);
+    const bool match = outcome.chain == reference.chain;
+    std::printf("%-28s pool=%zu chain %s\n", "pool determinism", pool_size,
+                match ? "MATCH" : "MISMATCH");
+    if (!match) {
+      std::fprintf(stderr,
+                   "selfcheck: pool=%zu chain %016llx != reference %016llx\n",
+                   pool_size,
+                   static_cast<unsigned long long>(outcome.chain),
+                   static_cast<unsigned long long>(reference.chain));
+      ok = false;
+    }
+  }
+
+  XcheckConfig restored = config;
+  restored.checkpoint_round = rounds / 2;
+  const XcheckOutcome outcome = run_xcheck(restored);
+  const bool match = outcome.chain == reference.chain;
+  std::printf("%-28s chain %s\n", "checkpoint restore",
+              match ? "MATCH" : "MISMATCH");
+  if (!match) {
+    std::fprintf(stderr,
+                 "selfcheck: restored chain %016llx != reference %016llx\n",
+                 static_cast<unsigned long long>(outcome.chain),
+                 static_cast<unsigned long long>(reference.chain));
+    ok = false;
+  }
+  return ok;
+}
+
+/// Selfcheck leg C: a forced unscheduled downshift must provoke the HPCC
+/// reaction (rate cuts) while capacity safety holds.
+bool selfcheck_downshift(std::size_t rounds) {
+  XcheckConfig config = make_config(76, rounds);
+  config.downshift_round = rounds - 1;
+  const XcheckOutcome outcome = run_xcheck(config);
+  const rwc::dataplane::XcheckRound& round = outcome.rounds.back();
+  std::printf("%-28s %llu rate cuts, %llu capviol, %s\n", "downshift",
+              static_cast<unsigned long long>(round.rate_cuts),
+              static_cast<unsigned long long>(round.capacity_violations),
+              outcome.pass ? "PASS" : "FAIL");
+  if (!outcome.pass)
+    std::fprintf(stderr, "selfcheck: downshift arm failed: %s\n",
+                 outcome.failure.c_str());
+  rwc::obs::Registry::global()
+      .gauge("dataplane.bench.downshift.rate_cuts")
+      .set(static_cast<double>(round.rate_cuts));
+  return outcome.pass;
+}
+
+int run_selfcheck(std::uint64_t rounds) {
+  const std::size_t r = static_cast<std::size_t>(std::min<std::uint64_t>(
+      std::max<std::uint64_t>(rounds, 2), 6));
+  rwc::bench::print_header("Dataplane cross-check selfcheck");
+  bool ok = selfcheck_gap_oracle(r);
+  ok &= selfcheck_determinism(r);
+  ok &= selfcheck_downshift(r);
+  std::printf("\nselfcheck: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rwc::bench::JsonExportGuard json_guard(argc, argv);
+  bool selfcheck = false;
+  std::uint64_t rounds = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selfcheck") {
+      selfcheck = true;
+    } else if (const long long parsed = std::atoll(arg.c_str());
+               parsed > 0) {
+      rounds = static_cast<std::uint64_t>(parsed);
+    }
+  }
+  if (selfcheck) return run_selfcheck(rounds);
+  return run_perf(rounds);
+}

@@ -1,0 +1,35 @@
+// Dataplane-backed demand counter source (rwc::dataplane) —
+// docs/DATAPLANE.md §6.
+//
+// counter_observations reconciles one measured dataplane round against the
+// installed analytic model: a link is *reconcilable* when every OD
+// crossing it delivered its installed share (routing-matrix fraction times
+// the installed volume) within `rel_tol`, the link's whole-link measured
+// rate matches the analytic offered load, and the measurement region saw
+// zero drops on the link. demand::counters_from_observations then exports
+// the analytic bytes for reconcilable links (byte-for-byte what the
+// estimator's exact-recovery certificate re-derives) and the raw measured
+// bytes/drops for the rest — so a clean dataplane still certifies exact
+// recovery, while congestion and faults surface as real counter signal.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dataplane/dataplane.hpp"
+#include "demand/counters.hpp"
+#include "demand/routing_matrix.hpp"
+
+namespace rwc::dataplane {
+
+/// Reconciles `result` (one measured round) against `matrix` and the
+/// per-OD `installed_volumes` the estimator will invert for. `rel_tol`
+/// bounds the relative gap between a measured rate and its analytic
+/// share; it is loose enough for tick-summation noise (~1e-12) and tight
+/// enough that a single faulted packet (~1/(flowlets*ticks) of a share)
+/// breaks reconciliation.
+std::vector<demand::DataplaneLinkObservation> counter_observations(
+    const RoundResult& result, const demand::RoutingMatrix& matrix,
+    std::span<const double> installed_volumes, double rel_tol = 1e-6);
+
+}  // namespace rwc::dataplane

@@ -1,0 +1,615 @@
+#include "dataplane/dataplane.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "dataplane/wcmp.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+#include "fault/registry.hpp"
+#include "obs/registry.hpp"
+#include "replay/wire.hpp"
+#include "util/check.hpp"
+
+namespace rwc::dataplane {
+
+namespace {
+
+inline std::uint64_t mix64(std::uint64_t hash, std::uint64_t value) {
+  hash ^= value + 0x9e3779b97f4a7c15ull + (hash << 6) + (hash >> 2);
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 33;
+  return hash;
+}
+
+inline std::uint64_t mix64(std::uint64_t hash, double value) {
+  return mix64(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Utilization stand-in for a dark link with queued bytes: large enough
+/// that one multiplicative cut collapses the rate, small enough to keep
+/// the arithmetic finite.
+constexpr double kDarkUtilization = 1e6;
+/// Rate floor as a fraction of the flowlet's allocated rate.
+constexpr double kMinRateFraction = 0x1.0p-20;
+/// FP tolerance of the per-tick capacity-safety audit (relative + bytes).
+constexpr double kServiceRelTol = 1e-9;
+constexpr double kServiceAbsTolBytes = 1e-3;
+
+constexpr std::uint32_t kStateMagic = 0x52574344u;  // "RWCD"
+constexpr std::uint32_t kStateVersion = 1;
+
+struct Metrics {
+  obs::Counter& rounds;
+  obs::Counter& ticks;
+  obs::Counter& migrations;
+  obs::Counter& rate_cuts;
+  obs::Counter& delivered_bytes;
+  obs::Counter& dropped_bytes;
+  obs::Counter& capacity_violations;
+  obs::Gauge& inflight_bytes;
+
+  static Metrics& get() {
+    static Metrics metrics{
+        obs::Registry::global().counter("dataplane.rounds"),
+        obs::Registry::global().counter("dataplane.ticks"),
+        obs::Registry::global().counter("dataplane.migrations"),
+        obs::Registry::global().counter("dataplane.rate_cuts"),
+        obs::Registry::global().counter("dataplane.delivered_bytes"),
+        obs::Registry::global().counter("dataplane.dropped_bytes"),
+        obs::Registry::global().counter("dataplane.capacity_violations"),
+        obs::Registry::global().gauge("dataplane.inflight_bytes"),
+    };
+    return metrics;
+  }
+};
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+DataplaneSim::DataplaneSim(const graph::Graph& topology, std::size_t ods,
+                           DataplaneConfig config)
+    : config_(config),
+      edge_count_(topology.edge_count()),
+      ods_(ods) {
+  RWC_CHECK_MSG(config_.tick_seconds > 0.0, "dataplane: tick_seconds <= 0");
+  RWC_CHECK_MSG(config_.ticks_per_round >= 8 &&
+                    is_pow2(config_.ticks_per_round),
+                "dataplane: ticks_per_round must be a power of two >= 8");
+  RWC_CHECK_MSG(is_pow2(config_.flowlets_per_od),
+                "dataplane: flowlets_per_od must be a power of two");
+  flowlets_.resize(ods_ * config_.flowlets_per_od);
+  for (std::size_t i = 0; i < ods_; ++i)
+    for (std::size_t j = 0; j < config_.flowlets_per_od; ++j)
+      flowlets_[i * config_.flowlets_per_od + j].od =
+          static_cast<std::uint32_t>(i);
+  link_queued_.assign(edge_count_, 0.0);
+  link_util_.assign(edge_count_, 0.0);
+}
+
+void DataplaneSim::install(const te::FlowAssignment& assignment,
+                           RoundResult& result) {
+  RWC_CHECK_MSG(assignment.routings.size() == ods_,
+                "dataplane: assignment OD count mismatch");
+  const std::size_t kF = config_.flowlets_per_od;
+  std::vector<double> weights;
+  std::vector<std::uint64_t> identities;
+  std::vector<const graph::Path*> paths;
+  std::vector<std::uint32_t> counts;
+  std::vector<std::size_t> picks(kF);
+
+  for (std::size_t i = 0; i < ods_; ++i) {
+    const te::FlowAssignment::DemandRouting& routing = assignment.routings[i];
+    weights.clear();
+    identities.clear();
+    paths.clear();
+    for (const auto& [path, volume] : routing.paths) {
+      if (!(volume.value > 0.0) || path.empty()) continue;
+      weights.push_back(volume.value);
+      identities.push_back(path_identity(path.edges));
+      paths.push_back(&path);
+    }
+
+    Flowlet* base = &flowlets_[i * kF];
+    if (paths.empty()) {
+      // Unrouted OD: sources stop injecting; in-flight bytes keep
+      // draining on their old paths.
+      for (std::size_t j = 0; j < kF; ++j) {
+        Flowlet& fl = base[j];
+        fl.offered_gbps = 0.0;
+        fl.rate_gbps = 0.0;
+        if (!fl.active.hops.empty()) {
+          if (fl.active.inflight() > 0.0)
+            fl.draining.push_back(std::move(fl.active));
+          fl.active = Pipeline{};
+        }
+      }
+      continue;
+    }
+
+    // WCMP placement (dataplane.hash faults perturb per flowlet).
+    counts.assign(paths.size(), 0);
+    for (std::size_t j = 0; j < kF; ++j) {
+      Flowlet& fl = base[j];
+      std::uint64_t salt = config_.hash_salt;
+      bool stale = false;
+      if (const fault::Action action = fault::at(
+              "dataplane.hash", static_cast<std::uint64_t>(i * kF + j))) {
+        if (action.kind == fault::Kind::kGarbage)
+          salt = mix64(salt, action.magnitude + static_cast<double>(j));
+        else if (action.kind == fault::Kind::kStale)
+          stale = true;
+      }
+      std::size_t pick = wcmp_pick(
+          flowlet_key(static_cast<std::uint32_t>(i),
+                      static_cast<std::uint32_t>(j), salt),
+          weights, identities);
+      if (stale && fl.active.path_id != 0) {
+        for (std::size_t p = 0; p < identities.size(); ++p)
+          if (identities[p] == fl.active.path_id) {
+            pick = p;
+            break;
+          }
+      }
+      picks[j] = pick;
+      ++counts[pick];
+    }
+    // Coverage fixup: a path the solver loaded must carry at least one
+    // flowlet, or its volume would be silently unroutable. Steal from the
+    // most-loaded path (lowest index on ties) deterministically.
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      if (counts[p] != 0) continue;
+      std::size_t donor = 0;
+      for (std::size_t q = 1; q < counts.size(); ++q)
+        if (counts[q] > counts[donor]) donor = q;
+      if (counts[donor] < 2) continue;  // nothing to steal
+      for (std::size_t j = kF; j-- > 0;)
+        if (picks[j] == donor) {
+          picks[j] = p;
+          break;
+        }
+      --counts[donor];
+      ++counts[p];
+    }
+
+    // Install: shape each path's flowlets to an equal share of the
+    // installed path volume, so per-path offered load equals the solver's
+    // split exactly (goodput can never exceed the allocation except by
+    // transient queue drain — docs/DATAPLANE.md §5).
+    for (std::size_t j = 0; j < kF; ++j) {
+      Flowlet& fl = base[j];
+      const std::size_t pick = picks[j];
+      const double offered =
+          weights[pick] / static_cast<double>(counts[pick]);
+      const std::uint64_t path_id = identities[pick];
+      if (fl.active.path_id != path_id) {
+        if (fl.active.path_id != 0) ++result.migrations;
+        if (fl.active.inflight() > 0.0)
+          fl.draining.push_back(std::move(fl.active));
+        fl.active = Pipeline{};
+        fl.active.path_id = path_id;
+        fl.active.hops.reserve(paths[pick]->edges.size());
+        for (const graph::EdgeId edge : paths[pick]->edges)
+          fl.active.hops.push_back(Hop{edge.value, 0.0, 0.0, 0.0});
+        fl.rate_gbps = offered;
+      } else if (fl.offered_gbps != offered) {
+        // Same path, new allocation: the controller re-shapes the source.
+        fl.rate_gbps = offered;
+      }
+      fl.offered_gbps = offered;
+    }
+  }
+}
+
+RoundResult DataplaneSim::run_round(const te::FlowAssignment& assignment,
+                                    const CapacityTimeline& timeline) {
+  RWC_CHECK_MSG(timeline.edges.size() == edge_count_,
+                "dataplane: timeline edge count mismatch");
+  RWC_CHECK_MSG(timeline.ticks == config_.ticks_per_round &&
+                    timeline.tick_seconds == config_.tick_seconds,
+                "dataplane: timeline tick geometry mismatch");
+  exec::ThreadPool& pool =
+      config_.pool != nullptr ? *config_.pool : exec::ThreadPool::global();
+  Metrics& metrics = Metrics::get();
+
+  const std::size_t ticks = config_.ticks_per_round;
+  const double dt = config_.tick_seconds;
+  const double bytes_per_gbps_tick = dt * 1e9 / 8.0;
+  const double buffer_seconds = config_.buffer_ms / 1e3;
+  const double eta = config_.target_utilization;
+
+  RoundResult result;
+  result.od_goodput_gbps.assign(ods_, 0.0);
+  result.od_delivered_bytes.assign(ods_, 0.0);
+  result.links.assign(edge_count_, LinkRoundStats{});
+  result.link_od_measured_bytes.assign(edge_count_ * ods_, 0.0);
+
+  install(assignment, result);
+
+  // Measurement region: after the last scheduled window plus a settling
+  // margin, and never before mid-round — transition backlog must drain
+  // before goodput is scored against the allocation.
+  const std::uint32_t settle = static_cast<std::uint32_t>(ticks / 8);
+  result.measure_begin = std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(ticks - 1),
+      std::max<std::uint32_t>(timeline.last_window_end() + settle,
+                              static_cast<std::uint32_t>(ticks / 2)));
+  result.measure_seconds =
+      static_cast<double>(ticks - result.measure_begin) * dt;
+
+  for (Flowlet& fl : flowlets_) {
+    fl.measured_bytes = 0.0;
+    fl.round_delivered = 0.0;
+    fl.cuts_scratch = 0;
+  }
+
+  const std::size_t nf = flowlets_.size();
+  std::vector<double> cap_bytes(edge_count_, 0.0);
+  std::vector<double> buffer_bytes(edge_count_, 0.0);
+  std::vector<double> frac(edge_count_, 1.0);
+  std::vector<double> tick_serviced(edge_count_, 0.0);
+  std::vector<std::size_t> event_cursor(edge_count_, 0);
+
+  const bool faults_armed = fault::Registry::global().armed();
+
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    const bool measuring = tick >= result.measure_begin;
+    const bool in_window = timeline.in_window(tick);
+
+    // Capacity breakpoints for this tick.
+    for (std::size_t e = 0; e < edge_count_; ++e) {
+      const std::vector<CapacityTimeline::Event>& events = timeline.edges[e];
+      std::size_t& cursor = event_cursor[e];
+      while (cursor < events.size() && events[cursor].tick <= tick) {
+        cap_bytes[e] = events[cursor].gbps * bytes_per_gbps_tick;
+        ++cursor;
+      }
+      buffer_bytes[e] =
+          std::max(cap_bytes[e] / bytes_per_gbps_tick,
+                   config_.min_buffer_gbps) *
+          buffer_seconds * 1e9 / 8.0;
+    }
+
+    // Phase A (parallel): HPCC-style rate control + injection amounts.
+    exec::parallel_for(pool, nf, [&](std::size_t f) {
+      Flowlet& fl = flowlets_[f];
+      if (fl.offered_gbps > 0.0 && !fl.active.hops.empty()) {
+        double util = 0.0;
+        for (const Hop& hop : fl.active.hops)
+          util = std::max(util,
+                          link_util_[static_cast<std::size_t>(hop.edge)]);
+        // Congested when some path link's standing queue exceeds 1/eta
+        // ticks' worth of service. util == 1 is the steady state of a
+        // link the solver fills to capacity (each tick's arrivals are
+        // exactly one tick's service) — NOT congestion; only backlog
+        // growth beyond that margin cuts.
+        if (util * eta > 1.0) {
+          fl.rate_gbps = std::max(fl.rate_gbps * (eta / util),
+                                  fl.offered_gbps * kMinRateFraction);
+          ++fl.cuts_scratch;
+        } else {
+          fl.rate_gbps =
+              std::min(fl.offered_gbps,
+                       fl.rate_gbps +
+                           config_.additive_increase * fl.offered_gbps);
+        }
+      } else {
+        fl.rate_gbps = 0.0;
+      }
+      double attempt =
+          fl.rate_gbps * bytes_per_gbps_tick + fl.deferred_bytes;
+      fl.deferred_bytes = 0.0;
+      fl.inject_scratch = attempt;
+      // The ledger charges bytes when the source GENERATES them (bytes
+      // pulled back out of deferred were charged on their original
+      // tick), so kDelay parking balances against the inflight term:
+      // cumulative injected == delivered + dropped + inflight holds
+      // under every fault plan, not just clean runs.
+      fl.injected_bytes += fl.rate_gbps * bytes_per_gbps_tick;
+      if (faults_armed && attempt > 0.0) {
+        if (const fault::Action action = fault::at(
+                "dataplane.packet",
+                static_cast<std::uint64_t>(tick) * nf + f)) {
+          switch (action.kind) {
+            case fault::Kind::kDrop:
+              // Lost before entering the network: dropped at the source
+              // (the generation charge above keeps the ledger balanced).
+              fl.dropped_bytes += attempt;
+              fl.inject_scratch = 0.0;
+              break;
+            case fault::Kind::kDuplicate:
+              // The duplicated copies are new bytes on the wire.
+              fl.injected_bytes += attempt;
+              fl.inject_scratch = attempt * 2.0;
+              break;
+            case fault::Kind::kDelay:
+              fl.deferred_bytes = attempt;
+              fl.inject_scratch = 0.0;
+              break;
+            default:
+              break;
+          }
+        }
+      }
+    });
+
+    // Phase B (serial, flowlet order): arrivals + injections land against
+    // per-link buffer budgets; tail-drop beyond. The landing order is the
+    // flowlet index order — deterministic at every pool size.
+    for (std::size_t f = 0; f < nf; ++f) {
+      Flowlet& fl = flowlets_[f];
+      auto land = [&](Pipeline& pipeline, double inject) {
+        for (std::size_t h = 0; h < pipeline.hops.size(); ++h) {
+          Hop& hop = pipeline.hops[h];
+          double incoming = hop.arriving;
+          hop.arriving = 0.0;
+          if (h == 0) incoming += inject;
+          if (incoming <= 0.0) continue;
+          const std::size_t e = static_cast<std::size_t>(hop.edge);
+          const double room =
+              std::max(0.0, buffer_bytes[e] - link_queued_[e]);
+          const double accepted = std::min(incoming, room);
+          const double dropped = incoming - accepted;
+          hop.queued += accepted;
+          link_queued_[e] += accepted;
+          if (dropped > 0.0) {
+            fl.dropped_bytes += dropped;
+            result.links[e].dropped_bytes += dropped;
+            if (measuring)
+              result.links[e].measured_dropped_bytes += dropped;
+          }
+          result.links[e].max_queued_bytes =
+              std::max(result.links[e].max_queued_bytes, link_queued_[e]);
+        }
+      };
+      // Already charged at generation; a flowlet with no installed path
+      // parks its bytes back at the source instead of leaking them.
+      if (fl.active.hops.empty() && fl.inject_scratch > 0.0)
+        fl.deferred_bytes += fl.inject_scratch;
+      land(fl.active, fl.active.hops.empty() ? 0.0 : fl.inject_scratch);
+      fl.inject_scratch = 0.0;
+      for (Pipeline& pipeline : fl.draining) land(pipeline, 0.0);
+    }
+
+    // Phase C (parallel over links): proportional service fraction and
+    // the utilization signal the NEXT tick's rate control reads.
+    exec::parallel_for(pool, edge_count_, [&](std::size_t e) {
+      const double queued = link_queued_[e];
+      frac[e] = queued > cap_bytes[e] && queued > 0.0
+                    ? cap_bytes[e] / queued
+                    : 1.0;
+      link_util_[e] = cap_bytes[e] > 0.0
+                          ? queued / cap_bytes[e]
+                          : (queued > 0.0 ? kDarkUtilization : 0.0);
+    });
+
+    // Phase D (parallel over flowlets): apply service, store-and-forward
+    // serviced bytes to the next hop (they land next tick in phase B).
+    exec::parallel_for(pool, nf, [&](std::size_t f) {
+      Flowlet& fl = flowlets_[f];
+      auto service = [&](Pipeline& pipeline) {
+        for (std::size_t h = 0; h < pipeline.hops.size(); ++h) {
+          Hop& hop = pipeline.hops[h];
+          if (hop.queued <= 0.0) {
+            hop.serviced = 0.0;
+            continue;
+          }
+          const double serviced =
+              hop.queued * frac[static_cast<std::size_t>(hop.edge)];
+          hop.queued -= serviced;
+          hop.serviced = serviced;
+          if (h + 1 < pipeline.hops.size()) {
+            pipeline.hops[h + 1].arriving += serviced;
+          } else {
+            fl.delivered_bytes += serviced;
+            fl.round_delivered += serviced;
+            if (measuring) fl.measured_bytes += serviced;
+          }
+        }
+      };
+      service(fl.active);
+      for (Pipeline& pipeline : fl.draining) service(pipeline);
+    });
+
+    // Phase E (serial, flowlet order): per-link and per-OD accounting,
+    // drained-pipeline retirement, capacity-safety audit.
+    std::fill(tick_serviced.begin(), tick_serviced.end(), 0.0);
+    for (std::size_t f = 0; f < nf; ++f) {
+      Flowlet& fl = flowlets_[f];
+      auto account = [&](Pipeline& pipeline) {
+        for (std::size_t h = 0; h < pipeline.hops.size(); ++h) {
+          Hop& hop = pipeline.hops[h];
+          const double s = hop.serviced;
+          if (s <= 0.0) continue;
+          hop.serviced = 0.0;
+          const std::size_t e = static_cast<std::size_t>(hop.edge);
+          link_queued_[e] = std::max(0.0, link_queued_[e] - s);
+          tick_serviced[e] += s;
+          result.links[e].serviced_bytes += s;
+          if (measuring) {
+            result.links[e].measured_bytes += s;
+            result.link_od_measured_bytes[e * ods_ + fl.od] += s;
+          }
+        }
+      };
+      account(fl.active);
+      for (Pipeline& pipeline : fl.draining) account(pipeline);
+      std::erase_if(fl.draining, [](const Pipeline& pipeline) {
+        return pipeline.inflight() <= 0.0;
+      });
+    }
+    for (std::size_t e = 0; e < edge_count_; ++e) {
+      if (tick_serviced[e] >
+          cap_bytes[e] * (1.0 + kServiceRelTol) + kServiceAbsTolBytes) {
+        if (in_window)
+          ++result.window_violations;
+        else
+          ++result.capacity_violations;
+      }
+    }
+  }
+
+  // Round aggregation (serial, flowlet order).
+  double inflight = 0.0;
+  for (const Flowlet& fl : flowlets_) {
+    result.od_goodput_gbps[fl.od] += fl.measured_bytes;
+    result.od_delivered_bytes[fl.od] += fl.round_delivered;
+    result.injected_bytes += fl.injected_bytes;
+    result.delivered_bytes += fl.delivered_bytes;
+    result.dropped_bytes += fl.dropped_bytes;
+    result.rate_cuts += fl.cuts_scratch;
+    inflight += fl.active.inflight() + fl.deferred_bytes;
+    for (const Pipeline& pipeline : fl.draining)
+      inflight += pipeline.inflight();
+  }
+  result.inflight_bytes = inflight;
+  for (double& goodput : result.od_goodput_gbps)
+    goodput = goodput * 8.0 / result.measure_seconds / 1e9;
+  result.signature = state_signature();
+  ++round_;
+
+  metrics.rounds.add(1);
+  metrics.ticks.add(static_cast<std::uint64_t>(ticks));
+  metrics.migrations.add(result.migrations);
+  metrics.rate_cuts.add(result.rate_cuts);
+  metrics.delivered_bytes.add(
+      static_cast<std::uint64_t>(result.delivered_bytes));
+  metrics.dropped_bytes.add(
+      static_cast<std::uint64_t>(result.dropped_bytes));
+  metrics.capacity_violations.add(result.capacity_violations);
+  metrics.inflight_bytes.set(result.inflight_bytes);
+  return result;
+}
+
+std::uint64_t DataplaneSim::state_signature() const {
+  std::uint64_t hash = 0x64617461706c616eull;  // "dataplan"
+  hash = mix64(hash, round_);
+  for (const Flowlet& fl : flowlets_) {
+    hash = mix64(hash, static_cast<std::uint64_t>(fl.od));
+    hash = mix64(hash, fl.offered_gbps);
+    hash = mix64(hash, fl.rate_gbps);
+    hash = mix64(hash, fl.deferred_bytes);
+    hash = mix64(hash, fl.injected_bytes);
+    hash = mix64(hash, fl.delivered_bytes);
+    hash = mix64(hash, fl.dropped_bytes);
+    auto fold_pipeline = [&hash](const Pipeline& pipeline) {
+      hash = mix64(hash, pipeline.path_id);
+      for (const Hop& hop : pipeline.hops) {
+        hash = mix64(hash, static_cast<std::uint64_t>(
+                               static_cast<std::uint32_t>(hop.edge)));
+        hash = mix64(hash, hop.queued);
+        hash = mix64(hash, hop.arriving);
+      }
+    };
+    fold_pipeline(fl.active);
+    hash = mix64(hash, static_cast<std::uint64_t>(fl.draining.size()));
+    for (const Pipeline& pipeline : fl.draining) fold_pipeline(pipeline);
+  }
+  for (const double queued : link_queued_) hash = mix64(hash, queued);
+  for (const double util : link_util_) hash = mix64(hash, util);
+  return hash;
+}
+
+void DataplaneSim::encode_pipeline(const Pipeline& pipeline,
+                                   replay::wire::ByteWriter& writer) const {
+  writer.u64(pipeline.path_id);
+  writer.u32(static_cast<std::uint32_t>(pipeline.hops.size()));
+  for (const Hop& hop : pipeline.hops) {
+    writer.i32(hop.edge);
+    writer.f64(hop.queued);
+    writer.f64(hop.arriving);
+  }
+}
+
+std::vector<std::byte> DataplaneSim::save_state() const {
+  replay::wire::ByteWriter writer;
+  writer.u32(kStateMagic);
+  writer.u32(kStateVersion);
+  writer.u64(static_cast<std::uint64_t>(edge_count_));
+  writer.u64(static_cast<std::uint64_t>(ods_));
+  writer.u64(static_cast<std::uint64_t>(config_.flowlets_per_od));
+  writer.u64(round_);
+  for (const Flowlet& fl : flowlets_) {
+    writer.u32(fl.od);
+    writer.f64(fl.offered_gbps);
+    writer.f64(fl.rate_gbps);
+    writer.f64(fl.deferred_bytes);
+    writer.f64(fl.injected_bytes);
+    writer.f64(fl.delivered_bytes);
+    writer.f64(fl.dropped_bytes);
+    encode_pipeline(fl.active, writer);
+    writer.u32(static_cast<std::uint32_t>(fl.draining.size()));
+    for (const Pipeline& pipeline : fl.draining)
+      encode_pipeline(pipeline, writer);
+  }
+  for (const double queued : link_queued_) writer.f64(queued);
+  for (const double util : link_util_) writer.f64(util);
+  // Trailing integrity fold: restore_state recomputes the signature of the
+  // decoded state and rejects any payload whose bytes were disturbed —
+  // framing checks alone cannot catch a flipped bit inside a double.
+  writer.u64(state_signature());
+  return writer.take();
+}
+
+void DataplaneSim::restore_state(std::span<const std::byte> payload) {
+  replay::wire::ByteReader reader(payload);
+  RWC_CHECK_MSG(reader.u32() == kStateMagic && reader.u32() == kStateVersion,
+                "dataplane: unrecognized state payload");
+  RWC_CHECK_MSG(reader.u64() == edge_count_ && reader.u64() == ods_ &&
+                    reader.u64() == config_.flowlets_per_od,
+                "dataplane: state payload shape mismatch");
+  const std::uint64_t round = reader.u64();
+  std::vector<Flowlet> flowlets(flowlets_.size());
+  auto read_pipeline = [&reader](Pipeline& pipeline) {
+    pipeline.path_id = reader.u64();
+    const std::uint32_t hops = reader.u32();
+    pipeline.hops.resize(hops);
+    for (Hop& hop : pipeline.hops) {
+      hop.edge = reader.i32();
+      hop.queued = reader.f64();
+      hop.arriving = reader.f64();
+      hop.serviced = 0.0;
+    }
+  };
+  for (Flowlet& fl : flowlets) {
+    fl.od = reader.u32();
+    fl.offered_gbps = reader.f64();
+    fl.rate_gbps = reader.f64();
+    fl.deferred_bytes = reader.f64();
+    fl.injected_bytes = reader.f64();
+    fl.delivered_bytes = reader.f64();
+    fl.dropped_bytes = reader.f64();
+    read_pipeline(fl.active);
+    const std::uint32_t draining = reader.u32();
+    RWC_CHECK_MSG(!reader.failed() && draining <= 1u << 20,
+                  "dataplane: corrupt state payload");
+    fl.draining.resize(draining);
+    for (Pipeline& pipeline : fl.draining) read_pipeline(pipeline);
+  }
+  std::vector<double> link_queued(edge_count_);
+  std::vector<double> link_util(edge_count_);
+  for (double& queued : link_queued) queued = reader.f64();
+  for (double& util : link_util) util = reader.f64();
+  const std::uint64_t stored_signature = reader.u64();
+  RWC_CHECK_MSG(!reader.failed() && reader.exhausted(),
+                "dataplane: truncated state payload");
+  std::uint64_t restored_round = round;
+  std::swap(round_, restored_round);
+  std::swap(flowlets_, flowlets);
+  std::swap(link_queued_, link_queued);
+  std::swap(link_util_, link_util);
+  if (state_signature() != stored_signature) {
+    // Strong guarantee: put the pre-restore state back before rejecting.
+    std::swap(round_, restored_round);
+    std::swap(flowlets_, flowlets);
+    std::swap(link_queued_, link_queued);
+    std::swap(link_util_, link_util);
+    RWC_CHECK_MSG(false, "dataplane: state payload signature mismatch");
+  }
+}
+
+}  // namespace rwc::dataplane

@@ -1,0 +1,67 @@
+// Per-round capacity timelines (rwc::dataplane) — docs/DATAPLANE.md §4.
+//
+// A CapacityTimeline is the dataplane's view of what each physical link
+// can carry at every tick of a round: piecewise-constant per-edge Gbps
+// breakpoints plus the scheduled *update windows* — the tick ranges in
+// which the round's consistent-update transition (rwc::update) is still
+// executing and the differential oracle tolerates transient gap/drop
+// violations. build_timeline maps an UpdateSchedule into the leading
+// ticks of the round: each update round gets a tick window proportional
+// to its duration, reconfiguring edges sit at their drain limit inside
+// their window (0 for the laser-cycling procedure — the link is dark),
+// and everything ends at the round's configured capacities. Without a
+// schedule (options.update unset, or an infeasible plan) capacity changes
+// collapse to a single synthetic window at the head of the round.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "update/schedule.hpp"
+#include "util/units.hpp"
+
+namespace rwc::dataplane {
+
+struct CapacityTimeline {
+  /// One capacity breakpoint: the edge carries `gbps` from `tick` until
+  /// the next breakpoint (or the end of the round).
+  struct Event {
+    std::uint32_t tick = 0;
+    double gbps = 0.0;
+
+    friend bool operator==(const Event&, const Event&) = default;
+  };
+
+  std::size_t ticks = 0;
+  double tick_seconds = 0.0;
+  /// Per edge: breakpoints sorted by tick, the first always at tick 0.
+  std::vector<std::vector<Event>> edges;
+  /// Scheduled update windows as half-open tick ranges, ascending.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> windows;
+
+  double capacity_gbps(std::size_t edge, std::size_t tick) const;
+  bool in_window(std::size_t tick) const;
+  /// End of the last scheduled window (0 when none): the earliest tick the
+  /// differential oracle may start measuring steady-state goodput.
+  std::uint32_t last_window_end() const;
+
+  /// Inserts a breakpoint (test/bench hook for forced mid-round BVT
+  /// downshifts outside any scheduled window). Keeps breakpoints sorted;
+  /// a breakpoint at an existing tick overwrites it.
+  void add_event(std::size_t edge, std::uint32_t tick, double gbps);
+};
+
+/// Builds the round's timeline from the previous round's configured
+/// capacities (`before`), the new ones (`after`) and the round's update
+/// schedule (nullptr or infeasible => a synthetic window of ticks/8 at
+/// the head of the round covering the capacity jump, and only when some
+/// edge actually changed). The schedule's rounds are compressed into at
+/// most `ticks / 2` leading ticks so at least half of every round is
+/// steady state for the oracle to measure.
+CapacityTimeline build_timeline(std::span<const util::Gbps> before,
+                                std::span<const util::Gbps> after,
+                                const update::UpdateSchedule* schedule,
+                                std::size_t ticks, double tick_seconds);
+
+}  // namespace rwc::dataplane

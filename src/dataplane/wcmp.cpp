@@ -1,0 +1,72 @@
+#include "dataplane/wcmp.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace rwc::dataplane {
+
+namespace {
+
+// fmix64 of MurmurHash3 / splitmix64 finalizer: a cheap full-avalanche
+// mix. The dataplane never uses Rng in its hot loop — placement must be a
+// pure function of identities, not of draw order.
+inline std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+inline std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
+  return mix(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+// Uniform in (0, 1]: never 0, so -ln(u) is finite.
+inline double to_unit(std::uint64_t h) {
+  return (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint64_t path_identity(std::span<const graph::EdgeId> edges) {
+  std::uint64_t h = 0x1c0ffee0d00dull;
+  for (const graph::EdgeId edge : edges)
+    h = combine(h, static_cast<std::uint64_t>(edge.value));
+  return h;
+}
+
+std::uint64_t flowlet_key(std::uint32_t od, std::uint32_t flowlet,
+                          std::uint64_t salt) {
+  return combine(combine(salt, od), flowlet);
+}
+
+std::size_t wcmp_pick(std::uint64_t key, std::span<const double> weights,
+                      std::span<const std::uint64_t> identities) {
+  RWC_CHECK_MSG(!weights.empty(), "wcmp_pick: no candidate paths");
+  RWC_CHECK_MSG(weights.size() == identities.size(),
+                "wcmp_pick: weights/identities size mismatch");
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  bool any_positive = false;
+  for (std::size_t p = 0; p < weights.size(); ++p) {
+    if (!(weights[p] > 0.0)) continue;
+    any_positive = true;
+    const double u = to_unit(combine(key, identities[p]));
+    const double score = -std::log(u) / weights[p];
+    if (score < best_score) {
+      best_score = score;
+      best = p;
+    }
+  }
+  // All-zero weights (an OD the plan routed at volume 0): fall back to the
+  // deterministic first path so the flowlet still has a pipeline to drain.
+  if (!any_positive) return 0;
+  return best;
+}
+
+}  // namespace rwc::dataplane

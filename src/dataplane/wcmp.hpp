@@ -1,0 +1,43 @@
+// WCMP flowlet placement (rwc::dataplane) — docs/DATAPLANE.md §3.
+//
+// Each OD pair's traffic is carried by a fixed set of flowlets (hash
+// units); every flowlet independently picks one of the OD's installed
+// tunnel paths by weighted rendezvous (highest-random-weight) hashing:
+// for each candidate path the flowlet draws a deterministic uniform from
+// hash(flowlet key, path identity, salt) and scores it -ln(u) / weight;
+// the minimum score wins. Rendezvous hashing is what makes re-splits
+// minimal: when one path's weight changes, only flowlets whose winning
+// score involved that path can change their pick — everything else keeps
+// both its score set and its argmin, so a weight change migrates only the
+// flowlet mass that must move (tests/test_dataplane_unit.cpp pins this).
+//
+// Placement is pure arithmetic on (key, weights, path identities): no RNG
+// state, no iteration order — bit-identical at every pool size. The
+// `dataplane.hash` fault site perturbs the salt (kGarbage) or freezes the
+// previous pick (kStale) per flowlet; see docs/FAULTS.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace rwc::dataplane {
+
+/// Stable 64-bit identity of a tunnel path: a mix of its edge id sequence.
+/// Paths compare by identity across rounds (path objects are rebuilt every
+/// round; their edge sequences are what persists).
+std::uint64_t path_identity(std::span<const graph::EdgeId> edges);
+
+/// The flowlet's stable hash key within the family rooted at `salt`.
+std::uint64_t flowlet_key(std::uint32_t od, std::uint32_t flowlet,
+                          std::uint64_t salt);
+
+/// Weighted rendezvous pick: index of the winning path among `weights`
+/// (> 0 entries only compete; zero/negative weights never win unless all
+/// are). Requires weights.size() == identities.size() and at least one
+/// entry. Deterministic in (key, weights, identities).
+std::size_t wcmp_pick(std::uint64_t key, std::span<const double> weights,
+                      std::span<const std::uint64_t> identities);
+
+}  // namespace rwc::dataplane

@@ -1,0 +1,108 @@
+// Solver-vs-dataplane differential oracle (rwc::dataplane) —
+// docs/DATAPLANE.md §5.
+//
+// run_xcheck drives the full pipeline on one seeded WAN instance: a
+// Waxman (or Hanauer-style demand-aware) workload through the real
+// DynamicCapacityController — SNR flaps, TE solve, consistent-update
+// schedule — and then replays every round's installed plan through the
+// DataplaneSim. The oracle per round:
+//
+//   * per-OD goodput within `gap_tolerance` of the solver allocation
+//     (shortfall), and never above it beyond `overshoot_tolerance`
+//     (WCMP hash granularity + transition-backlog drain);
+//   * zero capacity-safety violations outside scheduled update windows
+//     (and, with the proportional-service discipline, inside them too);
+//   * conservation: injected == delivered + dropped + in-flight.
+//
+// Rounds with a forced unscheduled downshift (`downshift_round`) exempt
+// the shortfall clause — capacity vanished mid-round with no schedule —
+// and instead require the HPCC reaction to have fired (rate cuts > 0)
+// with capacity safety intact. Everything is a pure function of
+// (config, pool-independent): bench/dataplane_xcheck --selfcheck pins
+// bit-identity across pool sizes {1,2,8} and checkpoint restore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataplane/dataplane.hpp"
+
+namespace rwc::exec {
+class ThreadPool;
+}
+
+namespace rwc::dataplane {
+
+enum class XcheckEngine { kMcf, kSwan };
+
+struct XcheckConfig {
+  std::uint64_t seed = 1;
+  int nodes = 10;
+  std::size_t rounds = 4;
+  XcheckEngine engine = XcheckEngine::kMcf;
+  /// Demand total as a fraction of topology capacity.
+  double demand_load = 0.4;
+  /// Hanauer-style demand-aware (elephant-skewed) workload instead of the
+  /// gravity model (sim/workload.hpp).
+  bool demand_aware = false;
+  /// Plan consistent-update schedules (core's update stage) so the
+  /// timeline carries real reconfig windows.
+  bool schedule_updates = true;
+  /// Max tolerated relative goodput shortfall vs the solver allocation.
+  double gap_tolerance = 0.02;
+  /// Max tolerated relative overshoot (hash granularity + backlog drain).
+  double overshoot_tolerance = 0.02;
+  /// Allocation below which an OD is not scored (Gbps).
+  double min_alloc_gbps = 1e-3;
+  /// Round on which to force an unscheduled mid-round downshift of the
+  /// most-loaded link to `downshift_factor` of its capacity (SIZE_MAX =
+  /// never) — the HPCC reaction leg.
+  std::size_t downshift_round = static_cast<std::size_t>(-1);
+  double downshift_factor = 0.25;
+  /// Round before which to checkpoint + rebuild + restore both the
+  /// controller and the dataplane (SIZE_MAX = never). The outcome must be
+  /// bit-identical to an uninterrupted run — the restore-then-continue
+  /// gate of bench/dataplane_xcheck --selfcheck.
+  std::size_t checkpoint_round = static_cast<std::size_t>(-1);
+  DataplaneConfig dataplane;
+  /// Pool for controller + dataplane; nullptr = exec::ThreadPool::global().
+  exec::ThreadPool* pool = nullptr;
+};
+
+struct XcheckRound {
+  double max_shortfall = 0.0;  ///< max over scored ODs, relative
+  double max_overshoot = 0.0;
+  double total_alloc_gbps = 0.0;
+  double total_goodput_gbps = 0.0;
+  std::uint64_t capacity_violations = 0;
+  std::uint64_t window_violations = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t rate_cuts = 0;
+  double delivered_bytes = 0.0;
+  double dropped_bytes = 0.0;
+  double max_queued_bytes = 0.0;
+  bool scheduled = false;   ///< a feasible update schedule shaped the round
+  bool downshifted = false; ///< forced unscheduled downshift fired
+  std::uint64_t signature = 0;  ///< dataplane state fold after the round
+};
+
+struct XcheckOutcome {
+  bool pass = true;
+  std::string failure;  ///< first violated clause (empty when pass)
+  std::vector<XcheckRound> rounds;
+  double max_shortfall = 0.0;
+  double max_overshoot = 0.0;
+  std::uint64_t capacity_violations = 0;  ///< outside update windows
+  std::uint64_t window_violations = 0;
+  std::uint64_t migrations = 0;
+  /// Fold of every round's signature in round order: two runs agree on
+  /// every dataplane round iff the chains agree.
+  std::uint64_t chain = 0;
+};
+
+/// Runs the differential oracle on one seeded instance. Bit-identical at
+/// every pool size and across checkpoint restore-then-continue.
+XcheckOutcome run_xcheck(const XcheckConfig& config);
+
+}  // namespace rwc::dataplane

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "fault/registry.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace rwc::demand {
@@ -85,6 +86,38 @@ CounterSet synthesize_counters(const RoutingMatrix& matrix,
         break;
     }
 
+    set.samples[i] = sample;
+  }
+  return set;
+}
+
+CounterSet counters_from_observations(
+    const RoutingMatrix& matrix, std::span<const double> installed_volumes,
+    std::span<const DataplaneLinkObservation> observations,
+    double interval_seconds, std::uint64_t round) {
+  RWC_CHECK_MSG(observations.size() == matrix.links,
+                "counters_from_observations: observation/link count mismatch");
+  RWC_CHECK_MSG(installed_volumes.size() == matrix.ods,
+                "counters_from_observations: volume/OD count mismatch");
+  CounterSet set;
+  set.round = round;
+  set.samples.resize(matrix.links);
+  for (std::size_t i = 0; i < matrix.links; ++i) {
+    const DataplaneLinkObservation& obs = observations[i];
+    CounterSample sample;
+    if (obs.reconcilable) {
+      // Reconciled export: the dataplane delivered the installed model, so
+      // export the model itself — bit-identical to what the certificate
+      // will re-derive from a recovered candidate.
+      sample.tx_bytes = bytes_of(offered_load(matrix.rows[i],
+                                              installed_volumes),
+                                 interval_seconds);
+    } else {
+      sample.tx_bytes = bytes_of(obs.delivered_gbps, interval_seconds);
+      sample.lost_packets =
+          bytes_of(obs.dropped_gbps, interval_seconds) / kPacketBytes;
+    }
+    sample.tx_packets = sample.tx_bytes / kPacketBytes;
     set.samples[i] = sample;
   }
   return set;

@@ -72,6 +72,30 @@ CounterSet synthesize_counters(const RoutingMatrix& matrix,
                                const DemandConfig& config,
                                std::uint64_t round);
 
+/// One directed link as observed by a measurement dataplane
+/// (dataplane::counter_observations — docs/DATAPLANE.md §6): measured
+/// delivered/dropped rates over the measurement region, plus whether the
+/// link *reconciles* — every OD crossing it delivered at its installed
+/// analytic share (fraction * volume) with zero measured drops.
+struct DataplaneLinkObservation {
+  double delivered_gbps = 0.0;  ///< measured delivered rate on the link
+  double dropped_gbps = 0.0;    ///< measured drop rate on the link
+  bool reconcilable = false;    ///< measured == installed model, drop-free
+};
+
+/// Builds a counter round from dataplane link observations instead of the
+/// synthetic model. Reconcilable links re-export the installed analytic
+/// load — bytes_of(offered_load(row, installed_volumes)) in the
+/// contractual row-entry order — so the estimator's exact-recovery
+/// certificate can fire on byte-for-byte equality (a float sum measured
+/// over thousands of ticks never reproduces the analytic sum bitwise).
+/// Non-reconcilable links export their raw measured bytes and drops: the
+/// estimator sees real congestion/fault signal, just not certified-exact.
+CounterSet counters_from_observations(
+    const RoutingMatrix& matrix, std::span<const double> installed_volumes,
+    std::span<const DataplaneLinkObservation> observations,
+    double interval_seconds, std::uint64_t round);
+
 /// Bounded ring of recorded counter rounds (config.record_rounds).
 class CounterLog {
  public:

@@ -1,0 +1,74 @@
+// Fleet-scale dataplane differential sweep (rwc::fleet) —
+// docs/DATAPLANE.md §8.
+//
+// Runs the solver-vs-dataplane oracle (dataplane/xcheck.hpp) over many
+// independent WAN instances, sharded on exec::ThreadPool with the same
+// determinism contract as fleet.hpp: every instance is a pure function of
+// (config, instance id) — its xcheck seed derives from
+// util::Rng::stream(config.seed, id), its per-instance outcome lands in an
+// id-indexed slot, and the sweep chain folds the per-instance chains in id
+// order. Results are bit-identical across shard counts AND pool sizes,
+// and instances alternate engines (Mcf/Swan) and workloads
+// (gravity/demand-aware) so one sweep covers the full oracle matrix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataplane/xcheck.hpp"
+
+namespace rwc::exec {
+class ThreadPool;
+}
+
+namespace rwc::fleet {
+
+struct DataplaneSweepConfig {
+  /// Independent xcheck instances to run.
+  std::size_t instances = 16;
+  /// Deterministic partition into contiguous shards; results are
+  /// invariant to this value.
+  std::size_t shards = 4;
+  std::uint64_t seed = 1;
+  /// Per-instance oracle shape (seed/engine/demand_aware are overridden
+  /// per instance; pool is overridden with the sweep pool).
+  dataplane::XcheckConfig base;
+  /// Pool for shard execution; nullptr = exec::ThreadPool::global().
+  exec::ThreadPool* pool = nullptr;
+};
+
+/// One instance's slot: the oracle outcome reduced to what the sweep
+/// aggregates (the full round list stays with run_dataplane_instance).
+struct DataplaneInstanceResult {
+  bool pass = true;
+  std::string failure;
+  std::uint64_t chain = 0;
+  double max_shortfall = 0.0;
+  double max_overshoot = 0.0;
+  std::uint64_t capacity_violations = 0;
+  std::uint64_t migrations = 0;
+};
+
+struct DataplaneSweepResult {
+  /// mix of every instance's chain, folded in id order.
+  std::uint64_t sweep_chain = 0;
+  std::size_t failed_instances = 0;
+  /// First failing instance's clause, empty when all pass.
+  std::string first_failure;
+  double max_shortfall = 0.0;
+  double max_overshoot = 0.0;
+  std::uint64_t capacity_violations = 0;
+  std::vector<DataplaneInstanceResult> instances;
+};
+
+/// Runs one sweep instance in isolation (what a shard does per instance).
+/// Exposed for the shard-invariance differential tests.
+DataplaneInstanceResult run_dataplane_instance(
+    const DataplaneSweepConfig& config, std::size_t instance);
+
+/// Runs the sweep: shards execute on the pool, slots are id-indexed, the
+/// fold is serial in id order. Records fleet.dataplane.* metrics.
+DataplaneSweepResult run_dataplane_sweep(const DataplaneSweepConfig& config);
+
+}  // namespace rwc::fleet

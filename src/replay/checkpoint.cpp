@@ -36,6 +36,7 @@ enum class SectionId : std::uint32_t {
   kServe = 8,
   kUpdate = 9,
   kDemand = 10,
+  kDataplane = 11,
 };
 
 /// Handles into the global registry (docs/OBSERVABILITY.md: replay.*).
@@ -515,6 +516,8 @@ std::vector<std::byte> encode(const Checkpoint& checkpoint) {
     sections.emplace_back(SectionId::kUpdate, checkpoint.update_payload);
   if (checkpoint.demand_present)
     sections.emplace_back(SectionId::kDemand, encode_demand(checkpoint));
+  if (checkpoint.dataplane_present)
+    sections.emplace_back(SectionId::kDataplane, checkpoint.dataplane_payload);
 
   ByteWriter writer;
   for (char c : kMagic) writer.u8(static_cast<std::uint8_t>(c));
@@ -598,6 +601,12 @@ Error decode(std::span<const std::byte> bytes, Checkpoint& out) {
       case SectionId::kDemand:
         ok = decode_demand(payload, out);
         out.demand_present = true;
+        break;
+      case SectionId::kDataplane:
+        // Opaque like kServe: dataplane/dataplane.cpp owns the inner
+        // framing (DataplaneSim::save_state).
+        out.dataplane_payload.assign(payload.begin(), payload.end());
+        out.dataplane_present = true;
         break;
       default:
         // Unknown id within a known version: skip (forward compatibility).

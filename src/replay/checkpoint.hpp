@@ -123,6 +123,15 @@ struct Checkpoint {
   bool update_present = false;
   std::vector<std::byte> update_payload;
 
+  // Dataplane section (optional): opaque evolving state of a
+  // dataplane::DataplaneSim riding along with the control-plane run
+  // (flowlet rates, pipeline queues, round counter —
+  // dataplane/dataplane.cpp owns the inner framing, docs/DATAPLANE.md
+  // documents it). Same envelope contract as the serve/update sections:
+  // restore-then-continue is bit-identical to the uninterrupted run.
+  bool dataplane_present = false;
+  std::vector<std::byte> dataplane_payload;
+
   // Demand section (present exactly when the run estimates demands from
   // link counters, core::ControllerOptions::demand): the DemandPipeline's
   // cross-round state — round index, EWMA prior, last observed counters,

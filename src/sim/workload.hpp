@@ -26,6 +26,45 @@ te::TrafficMatrix gravity_matrix(const graph::Graph& graph,
 /// Uniformly scales all volumes by `factor`.
 te::TrafficMatrix scale_matrix(const te::TrafficMatrix& base, double factor);
 
+/// Demand-aware reconfigurable-topology workload (Hanauer et al.,
+/// "Dynamic Demand-Aware Link Scheduling for Reconfigurable Datacenters"
+/// — PAPERS.md): unlike the gravity model's near-uniform spread, most of
+/// the volume concentrates on a few *elephant* OD pairs (the demand the
+/// reconfigurable fabric would dedicate links to) over a thin mouse-flow
+/// background. rotate_elephants shifts which pairs are hot — successive
+/// epochs of the same matrix stress WCMP re-splits and the update
+/// scheduler with large coordinated demand swings.
+struct DemandAwareParams {
+  /// Sum of all demand volumes.
+  util::Gbps total{1000.0};
+  /// Number of elephant OD pairs (clamped to the available pairs).
+  std::size_t elephants = 6;
+  /// Fraction of `total` carried by the elephants together.
+  double elephant_share = 0.7;
+  /// Zipf-like skew among the elephants themselves: elephant k carries
+  /// weight (k+1)^-skew. 0 = equal elephants.
+  double skew = 1.0;
+  /// Fraction of non-elephant pairs with no demand at all.
+  double sparsity = 0.5;
+  /// Priority assigned to all demands.
+  int priority = 0;
+};
+
+/// Builds a demand-aware matrix: every ordered node pair is a candidate;
+/// `elephants` of them (drawn by `rng`) split `elephant_share` of the
+/// total with Zipf weights, the surviving mice split the rest uniformly.
+/// ODs with zero volume are kept (volume 0) so rotations preserve the
+/// OD-slot order a DataplaneSim or estimator is built against.
+te::TrafficMatrix demand_aware_matrix(const graph::Graph& graph,
+                                      const DemandAwareParams& params,
+                                      util::Rng& rng);
+
+/// Rotates which pairs are hot: epoch e advances every elephant by
+/// `step * e` positions through the OD list (volumes permute, the OD-slot
+/// order is untouched). Epoch 0 returns `base` unchanged.
+te::TrafficMatrix rotate_elephants(const te::TrafficMatrix& base,
+                                   std::size_t epoch, std::size_t step = 1);
+
 /// Diurnal multiplier in [trough, 1]: sinusoid with a 24 h period peaking at
 /// `peak_hour` local time.
 double diurnal_factor(util::Seconds t, double trough = 0.5,

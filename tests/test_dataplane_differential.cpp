@@ -1,0 +1,284 @@
+// Differential tests of the dataplane against the solver allocation
+// (docs/DATAPLANE.md §5): the gap oracle for both TE engines over two
+// seeds, capacity safety, bitwise determinism across thread-pool sizes
+// and fleet shard counts, checkpoint restore-then-continue, and the
+// dataplane-backed demand counter source certifying exact recovery on a
+// clean round.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "dataplane/counters.hpp"
+#include "dataplane/dataplane.hpp"
+#include "dataplane/xcheck.hpp"
+#include "demand/estimator.hpp"
+#include "demand/routing_matrix.hpp"
+#include "exec/thread_pool.hpp"
+#include "fault/registry.hpp"
+#include "fleet/dataplane_sweep.hpp"
+#include "optical/modulation.hpp"
+#include "replay/checkpoint.hpp"
+#include "sim/topology.hpp"
+#include "sim/workload.hpp"
+#include "te/mcf_te.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rwc {
+namespace {
+
+using dataplane::XcheckConfig;
+using dataplane::XcheckEngine;
+using dataplane::XcheckOutcome;
+using dataplane::run_xcheck;
+
+XcheckConfig small_config(std::uint64_t seed, XcheckEngine engine) {
+  XcheckConfig config;
+  config.seed = seed;
+  config.rounds = 3;
+  config.engine = engine;
+  return config;
+}
+
+TEST(DataplaneDifferential, GapOracleHoldsForMcf) {
+  for (const std::uint64_t seed : {11ull, 23ull}) {
+    const XcheckOutcome outcome =
+        run_xcheck(small_config(seed, XcheckEngine::kMcf));
+    EXPECT_TRUE(outcome.pass) << "seed " << seed << ": " << outcome.failure;
+    EXPECT_EQ(outcome.capacity_violations, 0u) << "seed " << seed;
+  }
+}
+
+TEST(DataplaneDifferential, GapOracleHoldsForSwan) {
+  for (const std::uint64_t seed : {11ull, 23ull}) {
+    const XcheckOutcome outcome =
+        run_xcheck(small_config(seed, XcheckEngine::kSwan));
+    EXPECT_TRUE(outcome.pass) << "seed " << seed << ": " << outcome.failure;
+    EXPECT_EQ(outcome.capacity_violations, 0u) << "seed " << seed;
+  }
+}
+
+TEST(DataplaneDifferential, GapOracleHoldsOnDemandAwareWorkload) {
+  XcheckConfig config = small_config(31, XcheckEngine::kMcf);
+  config.demand_aware = true;
+  const XcheckOutcome outcome = run_xcheck(config);
+  EXPECT_TRUE(outcome.pass) << outcome.failure;
+}
+
+TEST(DataplaneDifferential, ChainIsBitIdenticalAcrossPoolSizes) {
+  const XcheckConfig config = small_config(17, XcheckEngine::kMcf);
+  const XcheckOutcome reference = run_xcheck(config);
+  for (const std::size_t pool_size : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+    exec::ThreadPool pool(pool_size);
+    XcheckConfig pooled = config;
+    pooled.pool = &pool;
+    const XcheckOutcome outcome = run_xcheck(pooled);
+    EXPECT_EQ(outcome.chain, reference.chain) << "pool " << pool_size;
+  }
+}
+
+TEST(DataplaneDifferential, CheckpointRestoreThenContinueIsBitIdentical) {
+  const XcheckConfig config = small_config(19, XcheckEngine::kMcf);
+  const XcheckOutcome reference = run_xcheck(config);
+  for (const std::size_t at : {std::size_t{1}, std::size_t{2}}) {
+    XcheckConfig restored = config;
+    restored.checkpoint_round = at;
+    const XcheckOutcome outcome = run_xcheck(restored);
+    EXPECT_EQ(outcome.chain, reference.chain) << "checkpoint before round "
+                                              << at;
+    EXPECT_TRUE(outcome.pass) << outcome.failure;
+  }
+}
+
+TEST(DataplaneDifferential, SweepChainIsInvariantToShardCount) {
+  fleet::DataplaneSweepConfig config;
+  config.instances = 4;
+  config.seed = 5;
+  config.base.rounds = 2;
+  config.base.nodes = 8;
+
+  config.shards = 1;
+  const fleet::DataplaneSweepResult serial =
+      fleet::run_dataplane_sweep(config);
+  EXPECT_EQ(serial.failed_instances, 0u) << serial.first_failure;
+
+  config.shards = 3;
+  const fleet::DataplaneSweepResult sharded =
+      fleet::run_dataplane_sweep(config);
+  EXPECT_EQ(sharded.sweep_chain, serial.sweep_chain);
+
+  // An instance run in isolation equals its slot in the sharded sweep.
+  const fleet::DataplaneInstanceResult alone =
+      fleet::run_dataplane_instance(config, 2);
+  EXPECT_EQ(alone.chain, sharded.instances[2].chain);
+}
+
+TEST(DataplaneDifferential, SimStateRoundTripsThroughSaveRestore) {
+  util::Rng topo_rng = util::Rng::stream(29, 810);
+  const graph::Graph topology = sim::waxman(8, topo_rng);
+  dataplane::DataplaneConfig config;
+  dataplane::DataplaneSim sim(topology, 12, config);
+  const std::vector<std::byte> state = sim.save_state();
+
+  dataplane::DataplaneSim restored(topology, 12, config);
+  restored.restore_state(state);
+  EXPECT_EQ(restored.state_signature(), sim.state_signature());
+
+  // Corrupt payloads are rejected, not absorbed.
+  std::vector<std::byte> corrupt = state;
+  corrupt[corrupt.size() / 2] ^= std::byte{0x40};
+  dataplane::DataplaneSim victim(topology, 12, config);
+  EXPECT_THROW(victim.restore_state(corrupt), util::CheckError);
+  // Mismatched shape (different OD count) is rejected too.
+  dataplane::DataplaneSim other(topology, 13, config);
+  EXPECT_THROW(other.restore_state(state), util::CheckError);
+}
+
+TEST(DataplaneDifferential, CheckpointCarriesTheDataplaneSection) {
+  replay::Checkpoint checkpoint;
+  checkpoint.dataplane_present = true;
+  checkpoint.dataplane_payload = {std::byte{0x52}, std::byte{0x57},
+                                  std::byte{0x43}, std::byte{0x44}};
+  const std::vector<std::byte> encoded = replay::encode(checkpoint);
+  replay::Checkpoint decoded;
+  ASSERT_EQ(replay::decode(encoded, decoded), replay::Error::kNone);
+  EXPECT_TRUE(decoded.dataplane_present);
+  EXPECT_EQ(decoded.dataplane_payload, checkpoint.dataplane_payload);
+}
+
+// The dataplane-backed counter source (docs/DATAPLANE.md §6): on a clean
+// measured round every link reconciles with the installed analytic model,
+// the exported counters equal the synthetic zero-noise stream
+// byte-for-byte, and the estimator certifies exact recovery from them.
+TEST(DataplaneDifferential, CleanRoundCountersCertifyExactRecovery) {
+  util::Rng topo_rng = util::Rng::stream(37, 810);
+  const graph::Graph topology = sim::waxman(8, topo_rng);
+  util::Rng demand_rng = util::Rng::stream(37, 811);
+  sim::GravityParams gravity;
+  gravity.total = util::Gbps{topology.total_capacity().value * 0.3};
+  te::TrafficMatrix demands =
+      sim::gravity_matrix(topology, gravity, demand_rng);
+  for (te::Demand& demand : demands)
+    demand.volume = util::Gbps{demand::snap_to_grid(demand.volume.value)};
+
+  const te::McfTe engine;
+  core::DynamicCapacityController controller(
+      topology, optical::ModulationTable::standard(), engine, {});
+  const std::vector<util::Db> snr(topology.edge_count(), util::Db{20.0});
+  controller.run_round(snr, demands);
+  const te::FlowAssignment& assignment = controller.last_assignment();
+
+  // Steady capacities, no schedule: the whole trailing half measures.
+  const std::span<const util::Gbps> configured =
+      controller.configured_capacities();
+  const std::vector<util::Gbps> caps(configured.begin(), configured.end());
+  dataplane::DataplaneConfig dp_config;
+  const dataplane::CapacityTimeline timeline = dataplane::build_timeline(
+      caps, caps, nullptr, dp_config.ticks_per_round, dp_config.tick_seconds);
+  dataplane::DataplaneSim sim(topology, demands.size(), dp_config);
+  const dataplane::RoundResult result = sim.run_round(assignment, timeline);
+
+  std::vector<double> volumes;
+  for (const te::Demand& demand : demands)
+    volumes.push_back(demand.volume.value);
+  const demand::RoutingMatrix matrix =
+      demand::build_routing_matrix(topology.edge_count(), demands, assignment);
+
+  const std::vector<demand::DataplaneLinkObservation> observations =
+      dataplane::counter_observations(result, matrix, volumes);
+  std::size_t reconciled = 0;
+  for (const demand::DataplaneLinkObservation& obs : observations)
+    reconciled += obs.reconcilable ? 1 : 0;
+  EXPECT_EQ(reconciled, observations.size())
+      << "a clean measured round must reconcile every link";
+
+  demand::DemandConfig demand_config;
+  const demand::CounterSet set = demand::counters_from_observations(
+      matrix, volumes, observations, demand_config.interval_seconds, 1);
+  // Byte-for-byte the zero-noise synthetic stream (the estimator's
+  // record/replay substrate, so the log composes with both sources).
+  const demand::CounterSet synthetic =
+      demand::synthesize_counters(matrix, volumes, {}, demand_config, 1);
+  ASSERT_EQ(set.samples.size(), synthetic.samples.size());
+  for (std::size_t i = 0; i < set.samples.size(); ++i)
+    EXPECT_EQ(set.samples[i], synthetic.samples[i]) << "link " << i;
+
+  demand::CounterLog log(4);
+  log.append(set);
+  ASSERT_EQ(log.size(), 1u);
+
+  const demand::EstimateResult estimate = demand::estimate_od_volumes(
+      matrix, log.at(0), volumes, {}, demand_config);
+  EXPECT_TRUE(estimate.stats.exact)
+      << "exact-recovery certificate must fire on reconciled counters";
+  ASSERT_EQ(estimate.volumes.size(), volumes.size());
+  for (std::size_t j = 0; j < volumes.size(); ++j)
+    EXPECT_EQ(estimate.volumes[j], volumes[j]) << "od " << j;
+}
+
+// A mid-measurement downshift breaks reconciliation on the affected
+// links: the source degrades to raw measured counters instead of lying
+// with the analytic model.
+TEST(DataplaneDifferential, CongestedRoundDoesNotReconcile) {
+  util::Rng topo_rng = util::Rng::stream(41, 810);
+  const graph::Graph topology = sim::waxman(8, topo_rng);
+  util::Rng demand_rng = util::Rng::stream(41, 811);
+  sim::GravityParams gravity;
+  gravity.total = util::Gbps{topology.total_capacity().value * 0.4};
+  te::TrafficMatrix demands =
+      sim::gravity_matrix(topology, gravity, demand_rng);
+
+  const te::McfTe engine;
+  core::DynamicCapacityController controller(
+      topology, optical::ModulationTable::standard(), engine, {});
+  const std::vector<util::Db> snr(topology.edge_count(), util::Db{20.0});
+  controller.run_round(snr, demands);
+  const te::FlowAssignment& assignment = controller.last_assignment();
+
+  const std::span<const util::Gbps> configured =
+      controller.configured_capacities();
+  const std::vector<util::Gbps> caps(configured.begin(), configured.end());
+  dataplane::DataplaneConfig dp_config;
+  dataplane::CapacityTimeline timeline = dataplane::build_timeline(
+      caps, caps, nullptr, dp_config.ticks_per_round, dp_config.tick_seconds);
+  const std::vector<double>& load = assignment.edge_load_gbps;
+  std::size_t busiest = 0;
+  for (std::size_t e = 1; e < load.size(); ++e)
+    if (load[e] > load[busiest]) busiest = e;
+  ASSERT_GT(load[busiest], 0.0);
+  timeline.add_event(
+      busiest,
+      static_cast<std::uint32_t>(dp_config.ticks_per_round * 3 / 4),
+      load[busiest] * 0.25);
+
+  dataplane::DataplaneSim sim(topology, demands.size(), dp_config);
+  const dataplane::RoundResult result = sim.run_round(assignment, timeline);
+
+  std::vector<double> volumes;
+  for (const te::Demand& demand : demands)
+    volumes.push_back(demand.volume.value);
+  const demand::RoutingMatrix matrix =
+      demand::build_routing_matrix(topology.edge_count(), demands, assignment);
+  const std::vector<demand::DataplaneLinkObservation> observations =
+      dataplane::counter_observations(result, matrix, volumes);
+  EXPECT_FALSE(observations[busiest].reconcilable)
+      << "the downshifted link must not reconcile";
+  // The degraded export still feeds the estimator without tripping it.
+  demand::DemandConfig demand_config;
+  const demand::CounterSet set = demand::counters_from_observations(
+      matrix, volumes, observations, demand_config.interval_seconds, 1);
+  const demand::EstimateResult estimate = demand::estimate_od_volumes(
+      matrix, set, volumes, {}, demand_config);
+  for (const double volume : estimate.volumes) {
+    EXPECT_TRUE(std::isfinite(volume));
+    EXPECT_GE(volume, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rwc
